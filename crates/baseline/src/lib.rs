@@ -1,0 +1,296 @@
+//! # tripro-baseline
+//!
+//! A PostGIS-style stand-in used by the Fig 13 comparison (paper §6.6).
+//!
+//! **Substitution note (see DESIGN.md):** running actual PostGIS is outside
+//! this reproduction's environment, so this crate mimics how a generic
+//! spatial DBMS processes 3D joins, reproducing exactly the algorithmic
+//! deficits Fig 13 attributes to it:
+//!
+//! * geometry is stored **serialised at full resolution** — no LODs — and,
+//!   like PostGIS evaluating `ST_3DIntersects(a, b)` row by row, every
+//!   predicate call first *deserialises* ("detoasts") both operands;
+//! * the only index is an R-tree over whole-object MBBs;
+//! * refinement is **brute-force over all face pairs**, single-threaded;
+//! * there is no decode cache and no intra-geometry index;
+//! * nearest-neighbour has **no index support**: as in §6.6, the caller
+//!   supplies a buffer distance, candidates are fetched by intersecting the
+//!   buffered MBB, and all candidate distances are computed.
+
+use tripro_geom::{tri_tri_dist2, tri_tri_intersect, Aabb, Triangle};
+use tripro_index::RTree;
+use tripro_mesh::TriMesh;
+
+/// One stored full-resolution object: MBB plus the serialised geometry
+/// (little-endian `f64` triangle soup, the WKB-like on-disk form).
+pub struct BaselineObject {
+    pub mbb: Aabb,
+    blob: Vec<u8>,
+    face_count: usize,
+}
+
+impl BaselineObject {
+    fn serialize(faces: &[Triangle]) -> Vec<u8> {
+        let mut blob = Vec::with_capacity(faces.len() * 72);
+        for t in faces {
+            for p in t.vertices() {
+                blob.extend_from_slice(&p.x.to_le_bytes());
+                blob.extend_from_slice(&p.y.to_le_bytes());
+                blob.extend_from_slice(&p.z.to_le_bytes());
+            }
+        }
+        blob
+    }
+
+    /// Deserialise the geometry — performed per predicate evaluation, the
+    /// way PostGIS detoasts each operand per row.
+    pub fn deserialize(&self) -> Vec<Triangle> {
+        let mut out = Vec::with_capacity(self.face_count);
+        let f = |s: &[u8]| f64::from_le_bytes(s.try_into().unwrap());
+        for c in self.blob.chunks_exact(72) {
+            out.push(Triangle::new(
+                tripro_geom::vec3(f(&c[0..8]), f(&c[8..16]), f(&c[16..24])),
+                tripro_geom::vec3(f(&c[24..32]), f(&c[32..40]), f(&c[40..48])),
+                tripro_geom::vec3(f(&c[48..56]), f(&c[56..64]), f(&c[64..72])),
+            ));
+        }
+        out
+    }
+}
+
+/// An in-memory table of 3D objects with an MBB index.
+pub struct BaselineDb {
+    objects: Vec<BaselineObject>,
+    rtree: RTree<u32>,
+}
+
+impl BaselineDb {
+    /// Load meshes at full resolution (serialised form).
+    pub fn load(meshes: &[TriMesh]) -> Self {
+        let objects: Vec<BaselineObject> = meshes
+            .iter()
+            .map(|m| {
+                let faces = m.triangles();
+                BaselineObject {
+                    mbb: m.aabb(),
+                    blob: BaselineObject::serialize(&faces),
+                    face_count: faces.len(),
+                }
+            })
+            .collect();
+        let rtree = RTree::bulk_load(
+            objects
+                .iter()
+                .enumerate()
+                .map(|(i, o)| (o.mbb, i as u32))
+                .collect(),
+        );
+        Self { objects, rtree }
+    }
+
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Raw geometry bytes resident in memory (the cost PostGIS pays for
+    /// keeping full-resolution geometry around).
+    pub fn resident_bytes(&self) -> usize {
+        self.objects.iter().map(|o| o.blob.len()).sum()
+    }
+
+    fn intersects_pair(a: &BaselineObject, b: &BaselineObject) -> bool {
+        // Per-row detoast, exactly like a SQL predicate evaluation.
+        let fa = a.deserialize();
+        let fb = b.deserialize();
+        for x in &fa {
+            for y in &fb {
+                if tri_tri_intersect(x, y) {
+                    return true;
+                }
+            }
+        }
+        // Containment fallback: MBB containment plus a vertex test.
+        if a.mbb.contains_box(&b.mbb) && tripro_geom::point_in_mesh(fb[0].a, &fa) {
+            return true;
+        }
+        if b.mbb.contains_box(&a.mbb) && tripro_geom::point_in_mesh(fa[0].a, &fb) {
+            return true;
+        }
+        false
+    }
+
+    fn dist2_pair(a: &BaselineObject, b: &BaselineObject) -> f64 {
+        let fa = a.deserialize();
+        let fb = b.deserialize();
+        let mut best = f64::INFINITY;
+        for x in &fa {
+            for y in &fb {
+                let d2 = tri_tri_dist2(x, y);
+                if d2 < best {
+                    best = d2;
+                    if best == 0.0 {
+                        return 0.0;
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Intersection join: for each object of `self`, the objects of `other`
+    /// it intersects. Single-threaded MBB filter + brute-force refine.
+    pub fn intersection_join(&self, other: &BaselineDb) -> Vec<(u32, Vec<u32>)> {
+        let mut out = Vec::with_capacity(self.len());
+        for (t, obj) in self.objects.iter().enumerate() {
+            let mut hits = Vec::new();
+            for c in other.rtree.query_intersects(&obj.mbb) {
+                if Self::intersects_pair(obj, &other.objects[c as usize]) {
+                    hits.push(c);
+                }
+            }
+            hits.sort_unstable();
+            out.push((t as u32, hits));
+        }
+        out
+    }
+
+    /// Within join at distance `d`.
+    pub fn within_join(&self, other: &BaselineDb, d: f64) -> Vec<(u32, Vec<u32>)> {
+        let d2 = d * d;
+        let mut out = Vec::with_capacity(self.len());
+        for (t, obj) in self.objects.iter().enumerate() {
+            let window = obj.mbb.inflate(d);
+            let mut hits = Vec::new();
+            for c in other.rtree.query_intersects(&window) {
+                if Self::dist2_pair(obj, &other.objects[c as usize]) <= d2 {
+                    hits.push(c);
+                }
+            }
+            hits.sort_unstable();
+            out.push((t as u32, hits));
+        }
+        out
+    }
+
+    /// Nearest-neighbour join emulated PostGIS-style (§6.6): candidates are
+    /// everything whose MBB intersects the target MBB inflated by `buffer`;
+    /// all candidate distances are computed and the minimum wins. A buffer
+    /// that is too small yields `None` for that target.
+    pub fn nn_join_with_buffer(&self, other: &BaselineDb, buffer: f64) -> Vec<(u32, Option<u32>)> {
+        let mut out = Vec::with_capacity(self.len());
+        for (t, obj) in self.objects.iter().enumerate() {
+            let window = obj.mbb.inflate(buffer);
+            let mut best: Option<(f64, u32)> = None;
+            for c in other.rtree.query_intersects(&window) {
+                let d2 = Self::dist2_pair(obj, &other.objects[c as usize]);
+                if best.map_or(true, |(bd, bc)| d2 < bd || (d2 == bd && c < bc)) {
+                    best = Some((d2, c));
+                }
+            }
+            out.push((t as u32, best.map(|(_, c)| c)));
+        }
+        out
+    }
+
+    /// A valid NN buffer for `self ⋈ other`: the maximum over targets of the
+    /// MBB-based guaranteed-containing distance. The paper derives its
+    /// buffer from true NN distances computed by 3DPro; this bound needs no
+    /// other system and always contains the true neighbour.
+    pub fn safe_nn_buffer(&self, other: &BaselineDb) -> f64 {
+        let mut buffer = 0.0f64;
+        for obj in &self.objects {
+            // Distance to the nearest candidate by MAXDIST: the true NN is
+            // within this bound.
+            let mut best = f64::INFINITY;
+            for o in &other.objects {
+                best = best.min(obj.mbb.max_dist(&o.mbb));
+            }
+            if best.is_finite() {
+                buffer = buffer.max(best);
+            }
+        }
+        buffer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tripro_geom::vec3;
+    use tripro_mesh::testutil::sphere;
+
+    fn dbs() -> (BaselineDb, BaselineDb) {
+        let t = BaselineDb::load(&[
+            sphere(vec3(0.0, 0.0, 0.0), 2.0, 2),
+            sphere(vec3(10.0, 0.0, 0.0), 2.0, 2),
+        ]);
+        let s = BaselineDb::load(&[
+            sphere(vec3(0.5, 0.0, 0.0), 2.0, 2),
+            // Gap to t1's surface: 13.5 - 1 - 12 = 0.5 exactly (both
+            // surfaces have a vertex on the x axis).
+            sphere(vec3(13.5, 0.0, 0.0), 1.0, 2),
+            sphere(vec3(40.0, 0.0, 0.0), 2.0, 2),
+        ]);
+        (t, s)
+    }
+
+    #[test]
+    fn intersection() {
+        let (t, s) = dbs();
+        let res = t.intersection_join(&s);
+        assert_eq!(res[0].1, vec![0]);
+        assert!(res[1].1.is_empty());
+    }
+
+    #[test]
+    fn containment_detected() {
+        let t = BaselineDb::load(&[sphere(vec3(0.0, 0.0, 0.0), 4.0, 2)]);
+        let s = BaselineDb::load(&[sphere(vec3(0.0, 0.0, 0.0), 1.0, 1)]);
+        assert_eq!(t.intersection_join(&s)[0].1, vec![0]);
+    }
+
+    #[test]
+    fn within() {
+        let (t, s) = dbs();
+        // t1 at x=10 (r=2) to s1 at x=13.5 (r=1): gap 0.5.
+        let res = t.within_join(&s, 0.5);
+        assert_eq!(res[0].1, vec![0]);
+        assert_eq!(res[1].1, vec![1]);
+        let res = t.within_join(&s, 30.0);
+        assert_eq!(res[1].1, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn nn_with_buffer() {
+        let (t, s) = dbs();
+        let buffer = t.safe_nn_buffer(&s);
+        let res = t.nn_join_with_buffer(&s, buffer);
+        assert_eq!(res[0].1, Some(0));
+        assert_eq!(res[1].1, Some(1));
+        // Tiny buffer still finds overlapping neighbours.
+        let res = t.nn_join_with_buffer(&s, 0.0);
+        assert_eq!(res[0].1, Some(0));
+    }
+
+    #[test]
+    fn resident_size_reflects_full_resolution() {
+        let (t, _) = dbs();
+        assert_eq!(t.resident_bytes(), 2 * 128 * std::mem::size_of::<Triangle>());
+    }
+
+    #[test]
+    fn empty_db() {
+        let e = BaselineDb::load(&[]);
+        assert!(e.is_empty());
+        let (t, _) = dbs();
+        assert!(t.intersection_join(&e).iter().all(|(_, v)| v.is_empty()));
+        assert!(t
+            .nn_join_with_buffer(&e, 10.0)
+            .iter()
+            .all(|(_, n)| n.is_none()));
+    }
+}

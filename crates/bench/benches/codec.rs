@@ -1,0 +1,89 @@
+//! Criterion benches for the PPVP codec: encode, progressive decode per
+//! LOD, and the entropy-coder backend.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use tripro_mesh::{encode, EncoderConfig};
+use tripro_synth::{nucleus, vessel, NucleusConfig, VesselConfig};
+
+fn bench_encode(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let nuc = nucleus(&mut rng, &NucleusConfig::default(), tripro_geom::vec3(5.0, 5.0, 5.0));
+    let ves = vessel(
+        &mut rng,
+        &VesselConfig { levels: 3, grid: 32, ..Default::default() },
+        tripro_geom::Vec3::ZERO,
+    )
+    .mesh;
+    let cfg = EncoderConfig::default();
+    let mut g = c.benchmark_group("ppvp_encode");
+    g.sample_size(20);
+    g.bench_function("nucleus_320f", |b| b.iter(|| encode(black_box(&nuc), &cfg).unwrap()));
+    g.bench_function(format!("vessel_{}f", ves.faces.len()), |b| {
+        b.iter(|| encode(black_box(&ves), &cfg).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_progressive_decode(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let ves = vessel(
+        &mut rng,
+        &VesselConfig { levels: 3, grid: 32, ..Default::default() },
+        tripro_geom::Vec3::ZERO,
+    )
+    .mesh;
+    let cm = encode(&ves, &EncoderConfig::default()).unwrap();
+    let mut g = c.benchmark_group("ppvp_decode");
+    g.sample_size(20);
+    for lod in 0..=cm.max_lod() {
+        g.bench_with_input(BenchmarkId::new("to_lod", lod), &lod, |b, &lod| {
+            b.iter(|| {
+                let mut dec = cm.decoder().unwrap();
+                dec.decode_to(lod).unwrap();
+                dec.mesh().face_count()
+            })
+        });
+    }
+    // Incremental refinement (the FPR access pattern): one step from below.
+    if cm.max_lod() >= 1 {
+        let top = cm.max_lod();
+        g.bench_function("incremental_last_step", |b| {
+            b.iter_batched(
+                || {
+                    let mut dec = cm.decoder().unwrap();
+                    dec.decode_to(top - 1).unwrap();
+                    dec
+                },
+                |mut dec| {
+                    dec.decode_to(top).unwrap();
+                    dec.mesh().face_count()
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_range_coder(c: &mut Criterion) {
+    // Mixed-entropy payload.
+    let mut data = Vec::new();
+    let mut x: u64 = 99;
+    for _ in 0..65536 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        data.push(if x % 4 == 0 { (x >> 33) as u8 } else { 7 });
+    }
+    let compressed = tripro_coder::compress(&data);
+    let mut g = c.benchmark_group("range_coder");
+    g.sample_size(20);
+    g.throughput(criterion::Throughput::Bytes(data.len() as u64));
+    g.bench_function("compress_64k", |b| b.iter(|| tripro_coder::compress(black_box(&data))));
+    g.bench_function("decompress_64k", |b| {
+        b.iter(|| tripro_coder::decompress(black_box(&compressed)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(codec, bench_encode, bench_progressive_decode, bench_range_coder);
+criterion_main!(codec);

@@ -1,0 +1,64 @@
+//! Criterion benches for the spatial indexes: R-tree bulk load, window
+//! queries, within and NN candidate traversals.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tripro_geom::{vec3, Aabb};
+use tripro_index::RTree;
+
+fn boxes(n: usize) -> Vec<(Aabb, u32)> {
+    let side = (n as f64).cbrt().ceil() as usize;
+    let mut out = Vec::with_capacity(n);
+    let mut id = 0;
+    'outer: for x in 0..side {
+        for y in 0..side {
+            for z in 0..side {
+                let lo = vec3(3.0 * x as f64, 3.0 * y as f64, 3.0 * z as f64);
+                out.push((Aabb::from_corners(lo, lo + vec3(1.2, 1.2, 1.2)), id));
+                id += 1;
+                if out.len() == n {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    out
+}
+
+fn bench_rtree(c: &mut Criterion) {
+    let items = boxes(10_000);
+    let mut g = c.benchmark_group("rtree");
+    g.sample_size(20);
+    g.bench_function("bulk_load_10k", |b| b.iter(|| RTree::bulk_load(black_box(items.clone()))));
+    let tree = RTree::bulk_load(items.clone());
+    let window = Aabb::from_corners(vec3(10.0, 10.0, 10.0), vec3(25.0, 25.0, 25.0));
+    g.bench_function("window_query_10k", |b| {
+        b.iter(|| tree.query_intersects(black_box(&window)))
+    });
+    let probe = Aabb::from_point(vec3(31.4, 15.9, 26.5));
+    g.bench_function("nn_candidates_10k", |b| b.iter(|| tree.nn_candidates(black_box(&probe))));
+    g.bench_function("within_10k", |b| b.iter(|| tree.within(black_box(&probe), 5.0)));
+    g.bench_function("knn8_candidates_10k", |b| {
+        b.iter(|| tree.knn_candidates(black_box(&probe), 8))
+    });
+    g.finish();
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let items = boxes(2_000);
+    c.bench_function("rtree/incremental_insert_2k", |b| {
+        b.iter(|| {
+            let mut t = RTree::new();
+            for (bb, id) in &items {
+                t.insert(*bb, *id);
+            }
+            t.len()
+        })
+    });
+}
+
+criterion_group! {
+    name = indexes;
+    config = Criterion::default().sample_size(20);
+    targets = bench_rtree, bench_insert
+}
+criterion_main!(indexes);

@@ -1,0 +1,93 @@
+//! Criterion benches for the end-to-end joins at reduced scale: the
+//! FR-vs-FPR comparison of Table 1 / Fig 10 in micro form (one benchmark
+//! per join type and paradigm), plus the Fig 13 baseline comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tripro::{Accel, Engine, ObjectStore, Paradigm, QueryConfig, StoreConfig};
+use tripro_baseline::BaselineDb;
+use tripro_synth::{DatasetConfig, VesselConfig};
+
+struct Fixture {
+    a: ObjectStore,
+    b: ObjectStore,
+    vessels: ObjectStore,
+    raw_a: Vec<tripro_mesh::TriMesh>,
+    raw_b: Vec<tripro_mesh::TriMesh>,
+}
+
+fn fixture() -> Fixture {
+    let block = tripro_synth::generate(&DatasetConfig {
+        nuclei_count: 30,
+        vessel_count: 1,
+        vessel: VesselConfig { levels: 2, grid: 24, ..Default::default() },
+        seed: 0xBE7C,
+        ..Default::default()
+    });
+    let cfg = StoreConfig::default();
+    Fixture {
+        a: ObjectStore::build(&block.nuclei_a, &cfg).unwrap(),
+        b: ObjectStore::build(&block.nuclei_b, &cfg).unwrap(),
+        vessels: ObjectStore::build(&block.vessels, &cfg).unwrap(),
+        raw_a: block.nuclei_a,
+        raw_b: block.nuclei_b,
+    }
+}
+
+fn bench_joins(c: &mut Criterion) {
+    let f = fixture();
+    let mut g = c.benchmark_group("joins_30n");
+    g.sample_size(10);
+
+    for paradigm in [Paradigm::FilterRefine, Paradigm::FilterProgressiveRefine] {
+        let cfg = QueryConfig::new(paradigm, Accel::Brute);
+        let engine = Engine::new(&f.a, &f.b);
+        g.bench_function(format!("intersection/{}", paradigm.label()), |bch| {
+            bch.iter(|| {
+                f.a.cache().clear();
+                f.b.cache().clear();
+                engine.intersection_join(&cfg).0.len()
+            })
+        });
+        g.bench_function(format!("within/{}", paradigm.label()), |bch| {
+            bch.iter(|| {
+                f.a.cache().clear();
+                f.b.cache().clear();
+                engine.within_join(2.0, &cfg).0.len()
+            })
+        });
+        g.bench_function(format!("nn/{}", paradigm.label()), |bch| {
+            bch.iter(|| {
+                f.a.cache().clear();
+                f.b.cache().clear();
+                engine.nn_join(&cfg).0.len()
+            })
+        });
+        let ev = Engine::new(&f.a, &f.vessels);
+        g.bench_function(format!("within_vessel/{}", paradigm.label()), |bch| {
+            bch.iter(|| {
+                f.a.cache().clear();
+                f.vessels.cache().clear();
+                ev.within_join(5.0, &cfg).0.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_baseline(c: &mut Criterion) {
+    let f = fixture();
+    let ta = BaselineDb::load(&f.raw_a);
+    let tb = BaselineDb::load(&f.raw_b);
+    let mut g = c.benchmark_group("baseline_30n");
+    g.sample_size(10);
+    g.bench_function("intersection/postgis_sim", |bch| {
+        bch.iter(|| ta.intersection_join(&tb).len())
+    });
+    g.bench_function("within/postgis_sim", |bch| {
+        bch.iter(|| ta.within_join(&tb, 2.0).len())
+    });
+    g.finish();
+}
+
+criterion_group!(joins, bench_joins, bench_baseline);
+criterion_main!(joins);

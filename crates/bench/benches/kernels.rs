@@ -1,0 +1,81 @@
+//! Criterion microbenches for the hot geometry kernels that dominate the
+//! refinement step: triangle–triangle intersection and distance, the
+//! AABB-tree traversals, and point-in-polyhedron.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use tripro_geom::{tri_tri_dist2, tri_tri_intersect, vec3, Triangle};
+use tripro_index::AabbTree;
+use tripro_synth::{icosphere, nucleus, NucleusConfig};
+
+fn tri_pair_far() -> (Triangle, Triangle) {
+    (
+        Triangle::new(vec3(0.0, 0.0, 0.0), vec3(1.0, 0.0, 0.0), vec3(0.0, 1.0, 0.0)),
+        Triangle::new(vec3(3.0, 1.0, 2.0), vec3(4.0, 1.5, 2.0), vec3(3.0, 2.0, 2.5)),
+    )
+}
+
+fn tri_pair_crossing() -> (Triangle, Triangle) {
+    (
+        Triangle::new(vec3(0.0, 0.0, 0.0), vec3(2.0, 0.0, 0.0), vec3(0.0, 2.0, 0.0)),
+        Triangle::new(vec3(0.5, 0.5, -1.0), vec3(0.5, 0.5, 1.0), vec3(1.5, 0.5, 0.0)),
+    )
+}
+
+fn bench_tri_tri(c: &mut Criterion) {
+    let far = tri_pair_far();
+    let cross = tri_pair_crossing();
+    c.bench_function("tri_tri_intersect/disjoint", |b| {
+        b.iter(|| tri_tri_intersect(black_box(&far.0), black_box(&far.1)))
+    });
+    c.bench_function("tri_tri_intersect/crossing", |b| {
+        b.iter(|| tri_tri_intersect(black_box(&cross.0), black_box(&cross.1)))
+    });
+    c.bench_function("tri_tri_dist2/disjoint", |b| {
+        b.iter(|| tri_tri_dist2(black_box(&far.0), black_box(&far.1)))
+    });
+}
+
+fn bench_aabbtree(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let cfg = NucleusConfig { subdivs: 3, ..Default::default() }; // 1280 faces
+    let a = nucleus(&mut rng, &cfg, vec3(0.0, 0.0, 0.0)).triangles();
+    let b = nucleus(&mut rng, &cfg, vec3(4.0, 0.0, 0.0)).triangles();
+    c.bench_function("aabbtree/build_1280", |bch| {
+        bch.iter(|| AabbTree::build(black_box(a.clone())))
+    });
+    let ta = AabbTree::build(a.clone());
+    let tb = AabbTree::build(b.clone());
+    c.bench_function("aabbtree/min_dist_1280x1280", |bch| {
+        bch.iter(|| {
+            let mut n = 0;
+            ta.min_dist2_tree(black_box(&tb), f64::INFINITY, &mut n)
+        })
+    });
+    c.bench_function("brute/min_dist_1280x1280", |bch| {
+        bch.iter(|| {
+            let mut best = f64::INFINITY;
+            for x in &a {
+                for y in &b {
+                    best = best.min(tri_tri_dist2(x, y));
+                }
+            }
+            best
+        })
+    });
+}
+
+fn bench_point_in_mesh(c: &mut Criterion) {
+    let s = icosphere(3);
+    let tris = s.triangles();
+    c.bench_function("point_in_mesh/1280_faces", |b| {
+        b.iter(|| tripro_geom::point_in_mesh(black_box(vec3(0.2, 0.1, 0.3)), &tris))
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_tri_tri, bench_aabbtree, bench_point_in_mesh
+}
+criterion_main!(kernels);

@@ -1,0 +1,46 @@
+//! Criterion bench for the §5.2 resource manager: CPU-only vs device-only
+//! vs hybrid task draining on one face-pair workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tripro::{BatchExecutor, ResourceManager};
+use tripro_geom::{vec3, Triangle};
+
+fn sheet(n: usize, z: f64) -> Vec<Triangle> {
+    let mut tris = Vec::new();
+    for x in 0..n {
+        for y in 0..n {
+            let p = vec3(x as f64, y as f64, z);
+            tris.push(Triangle::new(p, p + vec3(1.0, 0.0, 0.0), p + vec3(0.0, 1.0, 0.0)));
+            tris.push(Triangle::new(
+                p + vec3(1.0, 0.0, 0.0),
+                p + vec3(1.0, 1.0, 0.0),
+                p + vec3(0.0, 1.0, 0.0),
+            ));
+        }
+    }
+    tris
+}
+
+fn bench_resource_manager(c: &mut Criterion) {
+    let a = sheet(16, 0.0);
+    let b = sheet(16, 3.0);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let mut g = c.benchmark_group("resource_manager");
+    g.sample_size(10);
+    g.bench_function("device_only", |bench| {
+        let ex = BatchExecutor::new(cores);
+        bench.iter(|| ex.min_dist2(&a, &b, f64::INFINITY).0)
+    });
+    g.bench_function("cpu_only_tasks", |bench| {
+        let rm = ResourceManager::new(cores, 1);
+        bench.iter(|| rm.min_dist2(&a, &b, f64::INFINITY).0)
+    });
+    g.bench_function("hybrid_split", |bench| {
+        let rm = ResourceManager::new((cores / 2).max(1), (cores / 2).max(1));
+        bench.iter(|| rm.min_dist2(&a, &b, f64::INFINITY).0)
+    });
+    g.finish();
+}
+
+criterion_group!(resource, bench_resource_manager);
+criterion_main!(resource);

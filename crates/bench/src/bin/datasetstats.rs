@@ -1,0 +1,109 @@
+//! Dataset statistics mirroring §6.2: protruding-vertex fractions,
+//! compression ratios and cost, per-LOD size shares, and the fraction of
+//! faces shared between adjacent LODs.
+//!
+//! ```sh
+//! cargo run --release -p tripro-bench --bin datasetstats
+//! ```
+
+use tripro_bench::harness::{Scale, TableWriter, Workloads};
+use tripro_mesh::{encode, lod_profile, protruding_fraction_of, raw_size, EncoderConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    let w = Workloads::generate(scale);
+    let mut out = TableWriter::new();
+    out.line(format!("Dataset statistics (paper §6.2); scale={scale:?}"));
+
+    // ---- protruding fractions ----
+    let frac_of = |meshes: &[tripro_mesh::TriMesh]| {
+        let sample = meshes.len().min(20);
+        let mut acc = 0.0;
+        for m in &meshes[..sample] {
+            acc += protruding_fraction_of(m, 16);
+        }
+        acc / sample as f64
+    };
+    let f_nuc = frac_of(&w.raw_nuclei_a);
+    let f_ves = frac_of(&w.raw_vessels);
+    // Extension: red blood cells sit between the paper's two families.
+    let f_rbc = {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x2BC);
+        let cells: Vec<_> = (0..10)
+            .map(|i| {
+                tripro_synth::rbc(
+                    &mut rng,
+                    &tripro_synth::RbcConfig::default(),
+                    tripro_geom::vec3(i as f64 * 4.0, 0.0, 0.0),
+                )
+            })
+            .collect();
+        frac_of(&cells)
+    };
+    out.blank();
+    out.line("protruding-vertex fraction (paper: ~99% nuclei, ~75% vessels, 92% all):");
+    out.line(format!("  nuclei:  {:.1}%", f_nuc * 100.0));
+    out.line(format!("  vessels: {:.1}%", f_ves * 100.0));
+    out.line(format!("  RBCs:    {:.1}%  (extension dataset)", f_rbc * 100.0));
+
+    // ---- compression ratio and in-memory sizes ----
+    let raw_total: usize = w
+        .raw_nuclei_a
+        .iter()
+        .chain(&w.raw_nuclei_b)
+        .chain(&w.raw_vessels)
+        .map(raw_size)
+        .sum();
+    let compressed_total =
+        w.nuclei_a.compressed_bytes() + w.nuclei_b.compressed_bytes() + w.vessels.compressed_bytes();
+    // In-memory decoded structures (the paper compares CGAL polyhedra, which
+    // are far heavier than flat arrays; we report the editable-Mesh size:
+    // slots + incidence lists ≈ 88 bytes/face measured).
+    let decoded_estimate: usize = (w.nuclei_a.total_full_faces()
+        + w.nuclei_b.total_full_faces()
+        + w.vessels.total_full_faces())
+        * 88;
+    out.blank();
+    out.line("sizes:");
+    out.line(format!("  serialized raw geometry:   {:>10} KiB", raw_total / 1024));
+    out.line(format!("  decoded in-memory (est.):  {:>10} KiB", decoded_estimate / 1024));
+    out.line(format!("  PPVP compressed:           {:>10} KiB", compressed_total / 1024));
+    out.line(format!(
+        "  ratio vs raw: {:.1}x, vs in-memory: {:.1}x (paper: 1.15TB -> 18.4GB = 62x vs CGAL)",
+        raw_total as f64 / compressed_total as f64,
+        decoded_estimate as f64 / compressed_total as f64,
+    ));
+
+    // ---- compression cost ----
+    let t0 = std::time::Instant::now();
+    let n_sample = w.raw_nuclei_a.len().min(50);
+    for m in &w.raw_nuclei_a[..n_sample] {
+        let _ = encode(m, &EncoderConfig::default()).unwrap();
+    }
+    let per_nucleus = t0.elapsed().as_secs_f64() / n_sample as f64;
+    let t0 = std::time::Instant::now();
+    let v_sample = w.raw_vessels.len().min(2);
+    for m in &w.raw_vessels[..v_sample] {
+        let _ = encode(m, &EncoderConfig::default()).unwrap();
+    }
+    let per_vessel = t0.elapsed().as_secs_f64() / v_sample.max(1) as f64;
+    out.blank();
+    out.line("compression cost (paper: 0.4 ms/nucleus, 36.3 ms/vessel):");
+    out.line(format!("  per nucleus: {:.2} ms", per_nucleus * 1e3));
+    out.line(format!("  per vessel:  {:.1} ms", per_vessel * 1e3));
+
+    // ---- shared faces between adjacent LODs ----
+    let mut shares = Vec::new();
+    for id in 0..(w.nuclei_a.len().min(10) as u32) {
+        let p = lod_profile(&w.nuclei_a.object(id).compressed).unwrap();
+        shares.extend(p.shared_face_fractions);
+    }
+    let mean_share = shares.iter().sum::<f64>() / shares.len().max(1) as f64;
+    out.blank();
+    out.line(format!(
+        "faces shared between adjacent LODs: {:.1}% (paper: ~15.6%)",
+        mean_share * 100.0
+    ));
+    out.save("datasetstats");
+}

@@ -1,0 +1,64 @@
+//! Fig 10: execution-time breakdown (filtering / decompression / geometric
+//! computation) for every test × acceleration × paradigm.
+//!
+//! ```sh
+//! cargo run --release -p tripro-bench --bin fig10
+//! ```
+
+use tripro::{Accel, Paradigm};
+use tripro_bench::harness::{Scale, TableWriter, TestId, Workloads};
+
+fn main() {
+    let scale = Scale::from_env();
+    let w = Workloads::generate(scale);
+    let mut out = TableWriter::new();
+    out.line(format!(
+        "Fig 10 — time breakdown (seconds): filter / decode / geometry; scale={scale:?}"
+    ));
+
+    for test in TestId::selected() {
+        out.blank();
+        out.line(format!("== {} ==", test.label()));
+        out.line(format!(
+            "{:<16} {:<5} {:>10} {:>10} {:>10} {:>10}",
+            "accel", "par.", "filter", "decode", "geometry", "total"
+        ));
+        let mut accels = vec![Accel::Brute, Accel::Partition, Accel::Aabb, Accel::Gpu];
+        if test.has_partition_gpu_column() {
+            accels.push(Accel::PartitionGpu);
+        }
+        let paradigms: Vec<Paradigm> = match std::env::var("TRIPRO_PARADIGMS").as_deref() {
+            Ok("FR") => vec![Paradigm::FilterRefine],
+            Ok("FPR") => vec![Paradigm::FilterProgressiveRefine],
+            _ => vec![Paradigm::FilterRefine, Paradigm::FilterProgressiveRefine],
+        };
+        for accel in accels {
+            for &paradigm in &paradigms {
+                let cell = w.run(test, paradigm, accel, None);
+                let s = &cell.stats;
+                out.line(format!(
+                    "{:<16} {:<5} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+                    accel.label(),
+                    paradigm.label(),
+                    s.filter_s(),
+                    s.decode_s(),
+                    s.compute_s(),
+                    cell.seconds
+                ));
+            }
+        }
+    }
+    out.blank();
+    out.line("Paper shape: filtering is a tiny slice everywhere; decoding");
+    out.line("dominates the intersection test (INT-NN) and the FPR runs of");
+    out.line("WN-NN; geometry dominates the distance-based FR runs.");
+    let mut name = match std::env::var("TRIPRO_TESTS") {
+        Ok(sel) => format!("fig10_{}", sel.replace(',', "_")),
+        Err(_) => "fig10".to_string(),
+    };
+    if let Ok(p) = std::env::var("TRIPRO_PARADIGMS") {
+        name.push('_');
+        name.push_str(&p);
+    }
+    out.save(&name);
+}

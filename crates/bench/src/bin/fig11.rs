@@ -1,0 +1,48 @@
+//! Fig 11: number of remaining faces vs decimation rounds, for a nucleus
+//! and a vessel. The paper observes the face count halving every two rounds
+//! (hence r = 2 per LOD step) and nuclei bottoming out near ~10 faces.
+//!
+//! ```sh
+//! cargo run --release -p tripro-bench --bin fig11
+//! ```
+
+use rand::SeedableRng;
+use tripro_bench::harness::TableWriter;
+use tripro_mesh::{decimation_profile, quantize_mesh, PruneMode};
+use tripro_synth::{nucleus, vessel, NucleusConfig, VesselConfig};
+
+fn main() {
+    let mut out = TableWriter::new();
+    out.line("Fig 11 — remaining faces vs decimation rounds (PPVP pruning)");
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let nuc = nucleus(&mut rng, &NucleusConfig::default(), tripro_geom::vec3(5.0, 5.0, 5.0));
+    let ves = vessel(
+        &mut rng,
+        &VesselConfig { levels: 3, grid: 40, ..Default::default() },
+        tripro_geom::Vec3::ZERO,
+    )
+    .mesh;
+
+    for (name, tm) in [("nucleus", &nuc), ("vessel", &ves)] {
+        let (mesh, _) = quantize_mesh(tm, 16).expect("quantize");
+        let profile = decimation_profile(&mesh, PruneMode::ProtrudingOnly, 14);
+        out.blank();
+        out.line(format!("{name} ({} faces):", tm.faces.len()));
+        out.line(format!("{:>6} {:>9} {:>18}", "round", "faces", "ratio to 2 rounds ago"));
+        for (round, faces) in profile.iter().enumerate() {
+            let r2 = if round >= 2 {
+                format!("{:.2}", profile[round - 2] as f64 / *faces as f64)
+            } else {
+                "-".to_string()
+            };
+            out.line(format!("{round:>6} {faces:>9} {r2:>18}"));
+        }
+    }
+    out.blank();
+    out.line("Paper shape: the face count decays geometrically; the ratio over");
+    out.line("two rounds (the paper's r) hovers around 2. PPVP on strongly");
+    out.line("recessing regions (vessel joints) stalls earlier than on convex");
+    out.line("nuclei.");
+    out.save("fig11");
+}

@@ -1,0 +1,60 @@
+//! Fig 12: number of object pairs evaluated and pruned by refinements at
+//! each LOD, per query type, plus the pruned fraction and the §6.5 LOD
+//! choice (pruned fraction > 1/r² = 25% for r = 2).
+//!
+//! ```sh
+//! cargo run --release -p tripro-bench --bin fig12
+//! ```
+
+use tripro::{choose_lods, Accel, QueryKind};
+use tripro_bench::harness::{Scale, TableWriter, TestId, Workloads};
+
+fn main() {
+    let scale = Scale::from_env();
+    let w = Workloads::generate(scale);
+    let mut out = TableWriter::new();
+    out.line(format!(
+        "Fig 12 — object pairs evaluated/pruned per LOD (profiling round, scale={scale:?})"
+    ));
+
+    for test in TestId::ALL {
+        let engine = w.engine(test);
+        let kind = match test {
+            TestId::IntNN => QueryKind::Intersection,
+            TestId::WnNN => QueryKind::Within(w.wn_nn_distance),
+            TestId::WnNV => QueryKind::Within(w.wn_nv_distance),
+            TestId::NnNN | TestId::NnNV => QueryKind::NearestNeighbour,
+        };
+        w.clear_caches();
+        let choice = choose_lods(&engine, kind, engine.target.len(), Accel::Brute);
+        out.blank();
+        out.line(format!(
+            "== {} ==  (r = {:.2}, refine when pruned fraction > {:.0}%)",
+            test.label(),
+            choice.r,
+            choice.threshold * 100.0
+        ));
+        out.line(format!(
+            "{:>4} {:>10} {:>10} {:>8}  chosen",
+            "LOD", "evaluated", "pruned", "frac"
+        ));
+        for a in &choice.activity {
+            out.line(format!(
+                "{:>4} {:>10} {:>10} {:>7.1}%  {}",
+                a.lod,
+                a.evaluated,
+                a.pruned,
+                a.pruned_fraction * 100.0,
+                if choice.chosen.contains(&a.lod) { "*" } else { "" }
+            ));
+        }
+        out.line(format!("chosen LOD list: {:?}", choice.chosen));
+    }
+    out.blank();
+    out.line("(fractions can exceed 100%: MINDIST-range pruning also resolves");
+    out.line("candidates that were never geometrically evaluated at that LOD)");
+    out.line("Paper shape: intersection and generous within joins resolve large");
+    out.line("fractions at LOD 0–1; highly selective joins concentrate pruning");
+    out.line("at the top LOD, and profiling then refines only there.");
+    out.save("fig12");
+}

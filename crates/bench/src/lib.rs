@@ -1,0 +1,33 @@
+//! # tripro-bench
+//!
+//! Benchmark harness for every table and figure in the 3DPro paper's
+//! evaluation (§6). Criterion microbenches live in `benches/`; the
+//! table/figure harness binaries live in `src/bin/` (one per table/figure,
+//! see DESIGN.md's experiment index).
+
+pub mod harness;
+
+#[cfg(test)]
+mod smoke {
+    use rand::SeedableRng;
+    use tripro_mesh::{encode, EncoderConfig};
+    use tripro_synth::{vessel, VesselConfig};
+
+    #[test]
+    fn vessel_ppvp_end_to_end() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let cfg = VesselConfig { levels: 3, grid: 40, ..Default::default() };
+        let v = vessel(&mut rng, &cfg, tripro_geom::Vec3::ZERO);
+        let cm = encode(&v.mesh, &EncoderConfig::default()).expect("encode");
+        let mut dec = cm.decoder().unwrap();
+        let mut prev = dec.mesh().signed_volume6();
+        for lod in 1..=dec.max_lod() {
+            dec.decode_to(lod).unwrap();
+            let vol = dec.mesh().signed_volume6();
+            assert!(vol >= prev, "subset property at lod {lod}");
+            prev = vol;
+        }
+        assert_eq!(dec.mesh().face_count(), v.mesh.faces.len());
+        dec.mesh().validate_closed_manifold().unwrap();
+    }
+}

@@ -1,0 +1,89 @@
+//! Minimal `--flag value` argument parsing (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` / `--switch` arguments.
+#[derive(Debug, Default)]
+pub struct Parsed {
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Parsed {
+    pub fn parse(argv: &[String]) -> Result<Parsed, String> {
+        let mut out = Parsed::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            let key = a
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got {a:?}"))?;
+            // A flag followed by another flag (or nothing) is a switch.
+            match argv.get(i + 1) {
+                Some(v) if !v.starts_with("--") => {
+                    out.values.insert(key.to_string(), v.clone());
+                    i += 2;
+                }
+                _ => {
+                    out.switches.push(key.to_string());
+                    i += 1;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    pub fn has(&self, switch: &str) -> bool {
+        self.switches.iter().any(|s| s == switch)
+    }
+
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing required --{key}"))
+    }
+
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(s) => s.parse().map_err(|_| format!("bad value for --{key}: {s:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn values_and_switches() {
+        let p = Parsed::parse(&sv(&["--out", "dir", "--fr", "--k", "3"])).unwrap();
+        assert_eq!(p.get("out"), Some("dir"));
+        assert!(p.has("fr"));
+        assert_eq!(p.get_parsed::<usize>("k", 1).unwrap(), 3);
+        assert_eq!(p.get_parsed::<usize>("missing", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn require_and_errors() {
+        let p = Parsed::parse(&sv(&["--a", "1"])).unwrap();
+        assert!(p.require("a").is_ok());
+        assert!(p.require("b").is_err());
+        assert!(Parsed::parse(&sv(&["positional"])).is_err());
+        let p = Parsed::parse(&sv(&["--x", "not_a_number"])).unwrap();
+        assert!(p.get_parsed::<usize>("x", 0).is_err());
+    }
+
+    #[test]
+    fn trailing_switch() {
+        let p = Parsed::parse(&sv(&["--verbose"])).unwrap();
+        assert!(p.has("verbose"));
+        assert!(!p.has("quiet"));
+    }
+}

@@ -1,0 +1,375 @@
+//! CLI subcommand implementations.
+
+use crate::args::Parsed;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Print a line to stdout, exiting quietly on a closed pipe (e.g. `| head`).
+macro_rules! outln {
+    ($($arg:tt)*) => {{
+        let mut stdout = std::io::stdout().lock();
+        if writeln!(stdout, $($arg)*).is_err() {
+            std::process::exit(0);
+        }
+    }};
+}
+use tripro::{Accel, Engine, ExecStats, ObjectStore, Paradigm, QueryConfig, StoreConfig};
+use tripro_mesh::{load_mesh, save_obj, EncoderConfig, TriMesh};
+use tripro_synth::{DatasetConfig, VesselConfig};
+
+/// `tripro generate` — synthesize a tissue block as OBJ directories.
+pub fn generate(a: &Parsed) -> Result<(), String> {
+    let out = PathBuf::from(a.require("out")?);
+    let cfg = DatasetConfig {
+        nuclei_count: a.get_parsed("nuclei", 200usize)?,
+        vessel_count: a.get_parsed("vessels", 2usize)?,
+        seed: a.get_parsed("seed", 0x3D9E0u64)?,
+        vessel: VesselConfig {
+            grid: a.get_parsed("grid", 32usize)?,
+            levels: a.get_parsed("levels", 3usize)?,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    eprintln!("generating {} nuclei (x2 segmentations) and {} vessels...", cfg.nuclei_count, cfg.vessel_count);
+    let block = tripro_synth::generate(&cfg);
+    for (sub, meshes) in [
+        ("nuclei_a", &block.nuclei_a),
+        ("nuclei_b", &block.nuclei_b),
+        ("vessels", &block.vessels),
+    ] {
+        let dir = out.join(sub);
+        std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+        for (i, m) in meshes.iter().enumerate() {
+            save_obj(dir.join(format!("{sub}_{i:06}.obj")), m).map_err(|e| e.to_string())?;
+        }
+        eprintln!("  wrote {} meshes to {}", meshes.len(), dir.display());
+    }
+    Ok(())
+}
+
+fn collect_meshes(dir: &Path) -> Result<Vec<(PathBuf, TriMesh)>, String> {
+    let mut files = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for e in std::fs::read_dir(&d).map_err(|e| format!("{}: {e}", d.display()))? {
+            let p = e.map_err(|e| e.to_string())?.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if matches!(
+                p.extension().and_then(|x| x.to_str()).map(str::to_ascii_lowercase).as_deref(),
+                Some("obj") | Some("off")
+            ) {
+                files.push(p);
+            }
+        }
+    }
+    files.sort();
+    let mut out = Vec::with_capacity(files.len());
+    for p in files {
+        let m = load_mesh(&p).map_err(|e| format!("{}: {e}", p.display()))?;
+        out.push((p, m));
+    }
+    Ok(out)
+}
+
+/// `tripro build` — compress a directory of meshes into a store.
+pub fn build(a: &Parsed) -> Result<(), String> {
+    let input = PathBuf::from(a.require("in")?);
+    let out = PathBuf::from(a.require("out")?);
+    let mut meshes = collect_meshes(&input)?;
+    if meshes.is_empty() {
+        return Err(format!("no .obj/.off meshes under {}", input.display()));
+    }
+    if a.has("repair") {
+        let mut flipped_total = 0usize;
+        for (path, m) in &mut meshes {
+            tripro_mesh::remove_duplicate_faces(m);
+            m.weld(0.0);
+            flipped_total += tripro_mesh::fix_orientation(m)
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+        }
+        eprintln!("repair: normalised winding ({flipped_total} faces flipped)");
+    }
+    eprintln!("compressing {} meshes...", meshes.len());
+    let cfg = StoreConfig {
+        encoder: EncoderConfig {
+            bits: a.get_parsed("bits", 16u32)?,
+            max_lod: a.get_parsed("lods", 5usize)?,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let only: Vec<TriMesh> = meshes.iter().map(|(_, m)| m.clone()).collect();
+    let t0 = std::time::Instant::now();
+    let store = ObjectStore::build(&only, &cfg).map_err(|e| {
+        format!("encoding failed (meshes must be closed orientable manifolds): {e}")
+    })?;
+    let cell: f64 = a.get_parsed("cuboid", 1e18f64)?;
+    store.save_dir(&out, cell).map_err(|e| e.to_string())?;
+    eprintln!(
+        "built store: {} objects, {} KiB compressed, {:?}; saved to {}",
+        store.len(),
+        store.compressed_bytes() / 1024,
+        t0.elapsed(),
+        out.display()
+    );
+    Ok(())
+}
+
+/// `tripro info` — summarize a store.
+pub fn info(a: &Parsed) -> Result<(), String> {
+    let store = load_store(a.require("store")?)?;
+    outln!("objects:            {}", store.len());
+    outln!("compressed bytes:   {}", store.compressed_bytes());
+    outln!("full-LOD faces:     {}", store.total_full_faces());
+    outln!("max LOD:            {}", store.max_lod_overall());
+    let bb = store.rtree().bounds();
+    outln!("bounds:             {:?} .. {:?}", bb.lo.to_array(), bb.hi.to_array());
+    // LOD ladder histogram.
+    let mut ladders = std::collections::BTreeMap::new();
+    for id in 0..store.len() as u32 {
+        *ladders.entry(store.max_lod(id)).or_insert(0usize) += 1;
+    }
+    for (lod, n) in ladders {
+        outln!("  {n} objects reach LOD {lod}");
+    }
+    Ok(())
+}
+
+/// `tripro lods` — export every LOD of one object.
+pub fn lods(a: &Parsed) -> Result<(), String> {
+    let store = load_store(a.require("store")?)?;
+    let id: u32 = a.get_parsed("id", 0u32)?;
+    if id as usize >= store.len() {
+        return Err(format!("object {id} out of range (store has {})", store.len()));
+    }
+    let out = PathBuf::from(a.require("out")?);
+    std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
+    let stats = ExecStats::new();
+    for lod in 0..=store.max_lod(id) {
+        let data = store.get(id, lod, &stats);
+        let tris = data.triangles.as_ref();
+        let mut tm = TriMesh::default();
+        for t in tris {
+            let base = tm.vertices.len() as u32;
+            tm.vertices.extend(t.vertices());
+            tm.faces.push([base, base + 1, base + 2]);
+        }
+        let path = out.join(format!("object{id}_lod{lod}.obj"));
+        save_obj(&path, &tm).map_err(|e| e.to_string())?;
+        outln!("LOD {lod}: {} faces -> {}", tris.len(), path.display());
+    }
+    Ok(())
+}
+
+/// `tripro render` — rasterise one object to a PPM image.
+pub fn render(a: &Parsed) -> Result<(), String> {
+    let store = load_store(a.require("store")?)?;
+    let id: u32 = a.get_parsed("id", 0u32)?;
+    if id as usize >= store.len() {
+        return Err(format!("object {id} out of range (store has {})", store.len()));
+    }
+    let out = a.require("out")?;
+    let size: usize = a.get_parsed("size", 640usize)?;
+    let lod: usize = a.get_parsed("lod", store.max_lod(id))?;
+    let stats = ExecStats::new();
+    let data = store.get(id, lod, &stats);
+    let cam = tripro_viz::Camera::isometric(store.mbb(id));
+    let opts = tripro_viz::RenderOptions { width: size, height: size, ..Default::default() };
+    let img = tripro_viz::render_triangles(&data.triangles, &cam, &opts);
+    img.save_ppm(out).map_err(|e| e.to_string())?;
+    eprintln!("rendered object {id} LOD {} ({} faces) to {out}", lod.min(store.max_lod(id)), data.triangles.len());
+    Ok(())
+}
+
+fn load_store(dir: &str) -> Result<ObjectStore, String> {
+    ObjectStore::load_dir(Path::new(dir), 256 << 20).map_err(|e| format!("{dir}: {e}"))
+}
+
+fn accel_of(a: &Parsed) -> Result<Accel, String> {
+    Ok(match a.get("accel").unwrap_or("aabb") {
+        "brute" => Accel::Brute,
+        "partition" => Accel::Partition,
+        "aabb" => Accel::Aabb,
+        "gpu" => Accel::Gpu,
+        "partition-gpu" => Accel::PartitionGpu,
+        "obb" => Accel::ObbTree,
+        other => return Err(format!("unknown --accel {other:?}")),
+    })
+}
+
+/// `tripro query <kind>` — run a join between two stores.
+pub fn query(kind: &str, a: &Parsed) -> Result<(), String> {
+    let target = load_store(a.require("target")?)?;
+    let source = load_store(a.require("source")?)?;
+    let paradigm = if a.has("fr") {
+        Paradigm::FilterRefine
+    } else {
+        Paradigm::FilterProgressiveRefine
+    };
+    let cfg = QueryConfig::new(paradigm, accel_of(a)?)
+        .with_threads(a.get_parsed("threads", 1usize)?);
+    let engine = Engine::new(&target, &source);
+    let t0 = std::time::Instant::now();
+    match kind {
+        "intersect" => {
+            let (pairs, stats) = engine.intersection_join(&cfg);
+            report(&pairs, t0.elapsed(), &stats);
+        }
+        "within" => {
+            let d: f64 = a
+                .require("distance")?
+                .parse()
+                .map_err(|_| "bad --distance".to_string())?;
+            let (pairs, stats) = engine.within_join(d, &cfg);
+            report(&pairs, t0.elapsed(), &stats);
+        }
+        "nn" => {
+            let k: usize = a.get_parsed("k", 1usize)?;
+            if k == 1 {
+                let (pairs, stats) = engine.nn_join(&cfg);
+                for (t, n) in &pairs {
+                    outln!("{t}\t{}", n.map_or(-1i64, |v| v as i64));
+                }
+                summary(t0.elapsed(), &stats);
+            } else {
+                let (pairs, stats) = engine.knn_join(k, &cfg);
+                report(&pairs, t0.elapsed(), &stats);
+            }
+        }
+        "contains" => {
+            // Point containment against the *target* store only.
+            let p = tripro_geom::vec3(
+                a.require("x")?.parse().map_err(|_| "bad --x".to_string())?,
+                a.require("y")?.parse().map_err(|_| "bad --y".to_string())?,
+                a.require("z")?.parse().map_err(|_| "bad --z".to_string())?,
+            );
+            let q = tripro::PointQuery::new(&target);
+            let stats = ExecStats::new();
+            let hits = q.containing(p, &cfg, &stats);
+            for id in &hits {
+                outln!("{id}");
+            }
+            summary(t0.elapsed(), &stats);
+        }
+        other => {
+            return Err(format!(
+                "unknown query kind {other:?}; use intersect|within|nn|contains"
+            ))
+        }
+    }
+    Ok(())
+}
+
+fn report(pairs: &[(u32, Vec<u32>)], elapsed: std::time::Duration, stats: &ExecStats) {
+    for (t, matches) in pairs {
+        if !matches.is_empty() {
+            let list: Vec<String> = matches.iter().map(u32::to_string).collect();
+            outln!("{t}\t{}", list.join(","));
+        }
+    }
+    summary(elapsed, stats);
+}
+
+fn summary(elapsed: std::time::Duration, stats: &ExecStats) {
+    let s = stats.snapshot();
+    eprintln!(
+        "done in {elapsed:?} (filter {:.3}s, decode {:.3}s, geometry {:.3}s, {} face pairs, {} decodes)",
+        s.filter_s(),
+        s.decode_s(),
+        s.compute_s(),
+        s.face_pair_tests,
+        s.decodes
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accel_parsing() {
+        let parse = |v: &str| {
+            let p = Parsed::parse(&["--accel".to_string(), v.to_string()]).unwrap();
+            accel_of(&p)
+        };
+        assert_eq!(parse("brute").unwrap(), Accel::Brute);
+        assert_eq!(parse("partition-gpu").unwrap(), Accel::PartitionGpu);
+        assert!(parse("warp-drive").is_err());
+        // Default.
+        let p = Parsed::parse(&[]).unwrap();
+        assert_eq!(accel_of(&p).unwrap(), Accel::Aabb);
+    }
+
+    #[test]
+    fn collect_meshes_recurses_and_sorts() {
+        let dir = std::env::temp_dir().join(format!("tripro_cli_test_{}", std::process::id()));
+        let sub = dir.join("nested");
+        std::fs::create_dir_all(&sub).unwrap();
+        let tm = tripro_mesh::testutil::sphere(tripro_geom::vec3(0.0, 0.0, 0.0), 1.0, 0);
+        save_obj(dir.join("b.obj"), &tm).unwrap();
+        save_obj(sub.join("a.obj"), &tm).unwrap();
+        std::fs::write(dir.join("ignore.txt"), "x").unwrap();
+        let meshes = collect_meshes(&dir).unwrap();
+        assert_eq!(meshes.len(), 2);
+        assert!(meshes.iter().all(|(_, m)| m.faces.len() == 8));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn collect_meshes_missing_dir_errors() {
+        assert!(collect_meshes(Path::new("/nonexistent_tripro_dir")).is_err());
+    }
+
+    #[test]
+    fn end_to_end_generate_build_query() {
+        let dir = std::env::temp_dir().join(format!("tripro_cli_e2e_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let arg = |pairs: &[(&str, &str)]| {
+            let mut v = Vec::new();
+            for (k, val) in pairs {
+                v.push(format!("--{k}"));
+                v.push(val.to_string());
+            }
+            Parsed::parse(&v).unwrap()
+        };
+        let data = dir.join("data");
+        generate(&arg(&[
+            ("out", data.to_str().unwrap()),
+            ("nuclei", "8"),
+            ("vessels", "0"),
+        ]))
+        .unwrap();
+        let store_a = dir.join("store_a");
+        let store_b = dir.join("store_b");
+        build(&arg(&[
+            ("in", data.join("nuclei_a").to_str().unwrap()),
+            ("out", store_a.to_str().unwrap()),
+        ]))
+        .unwrap();
+        build(&arg(&[
+            ("in", data.join("nuclei_b").to_str().unwrap()),
+            ("out", store_b.to_str().unwrap()),
+        ]))
+        .unwrap();
+        info(&arg(&[("store", store_a.to_str().unwrap())])).unwrap();
+        query(
+            "nn",
+            &arg(&[
+                ("target", store_a.to_str().unwrap()),
+                ("source", store_b.to_str().unwrap()),
+            ]),
+        )
+        .unwrap();
+        let lod_dir = dir.join("lods");
+        lods(&arg(&[
+            ("store", store_a.to_str().unwrap()),
+            ("id", "0"),
+            ("out", lod_dir.to_str().unwrap()),
+        ]))
+        .unwrap();
+        assert!(std::fs::read_dir(&lod_dir).unwrap().count() >= 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

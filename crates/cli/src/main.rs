@@ -1,0 +1,75 @@
+//! `tripro` — command-line front end for the 3DPro engine.
+//!
+//! ```text
+//! tripro generate --out DIR [--nuclei N] [--vessels V] [--seed S]
+//! tripro build    --in DIR --out DIR [--bits B] [--lods L]
+//! tripro info     --store DIR
+//! tripro lods     --store DIR --id N --out DIR
+//! tripro query intersect --target DIR --source DIR [--fr] [--accel A]
+//! tripro query within    --target DIR --source DIR --distance D [...]
+//! tripro query nn        --target DIR --source DIR [--k K] [...]
+//! ```
+
+mod args;
+mod commands;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    match argv.first().map(String::as_str) {
+        Some("generate") => commands::generate(&args::Parsed::parse(&argv[1..])?),
+        Some("build") => commands::build(&args::Parsed::parse(&argv[1..])?),
+        Some("info") => commands::info(&args::Parsed::parse(&argv[1..])?),
+        Some("lods") => commands::lods(&args::Parsed::parse(&argv[1..])?),
+        Some("render") => commands::render(&args::Parsed::parse(&argv[1..])?),
+        Some("query") => {
+            let kind = argv.get(1).ok_or("query needs a subcommand: intersect|within|nn")?;
+            commands::query(kind, &args::Parsed::parse(&argv[2..])?)
+        }
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{}", HELP);
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}; try `tripro help`")),
+    }
+}
+
+const HELP: &str = "\
+tripro — progressive 3D spatial query engine (3DPro reproduction)
+
+USAGE:
+  tripro generate --out DIR [--nuclei N] [--vessels V] [--seed S] [--grid G]
+      Generate a synthetic tissue block and write OBJ meshes into
+      DIR/nuclei_a, DIR/nuclei_b, DIR/vessels.
+
+  tripro build --in DIR --out DIR [--bits B] [--lods L] [--cuboid C] [--repair]
+      PPVP-compress every .obj/.off under IN (recursively) into a store.
+      --repair welds duplicates and normalises winding first.
+
+  tripro info --store DIR
+      Print object counts, LOD ladders, compressed sizes.
+
+  tripro lods --store DIR --id N --out DIR
+      Export every LOD of one object as OBJ files.
+
+  tripro render --store DIR --id N --out FILE.ppm [--lod L] [--size S]
+      Render one object (at LOD L, default full) to a PPM image.
+
+  tripro query intersect --target DIR --source DIR [--fr] [--accel A] [--threads T]
+  tripro query within    --target DIR --source DIR --distance D [--fr] [--accel A]
+  tripro query nn        --target DIR --source DIR [--k K] [--fr] [--accel A]
+  tripro query contains  --target DIR --source DIR --x X --y Y --z Z
+      Run a spatial join between two stores (contains probes only the
+      target store). Default paradigm is FPR (progressive); --fr selects
+      classical Filter-Refine.
+      A = brute | partition | aabb | gpu | partition-gpu | obb (default: aabb)
+";

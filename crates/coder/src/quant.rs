@@ -1,0 +1,206 @@
+//! Uniform grid quantisation of coordinates.
+//!
+//! 3DPro snaps all mesh coordinates onto a per-object uniform grid before
+//! compression ("adaptive quantization", paper §6.2): the grid adapts to
+//! each object's bounding box, so small objects keep high precision. All
+//! geometric predicates used by PPVP then run exactly on the integer grid.
+
+use crate::varint::{write_f64, ByteReader, DecodeError};
+
+/// Parameters of a uniform quantisation grid over an axis-aligned box.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantizer {
+    /// Lower corner of the quantised region.
+    pub lo: [f64; 3],
+    /// Grid step per axis (strictly positive).
+    pub step: [f64; 3],
+    /// Bits per axis; grid indices lie in `[0, 2^bits - 1]`.
+    pub bits: u32,
+}
+
+impl Quantizer {
+    /// Build a grid with `bits` per axis covering `[lo, hi]`.
+    ///
+    /// Degenerate axes (zero extent) get a unit step so quantisation is the
+    /// identity on that axis. `bits` must be in `[1, 30]` so grid indices
+    /// stay within the exact-predicate bound of `tripro-geom`.
+    pub fn new(lo: [f64; 3], hi: [f64; 3], bits: u32) -> Self {
+        assert!((1..=30).contains(&bits), "bits must be in 1..=30, got {bits}");
+        let cells = ((1u64 << bits) - 1) as f64;
+        let mut step = [0.0; 3];
+        for a in 0..3 {
+            let extent = hi[a] - lo[a];
+            assert!(extent >= 0.0, "hi must dominate lo");
+            step[a] = if extent > 0.0 { extent / cells } else { 1.0 };
+        }
+        Self { lo, step, bits }
+    }
+
+    /// Largest representable grid index.
+    #[inline]
+    pub fn max_index(&self) -> i64 {
+        (1i64 << self.bits) - 1
+    }
+
+    /// Snap a coordinate to its grid index (clamped to the representable
+    /// range, so out-of-box inputs degrade gracefully).
+    #[inline]
+    pub fn quantize_axis(&self, axis: usize, x: f64) -> i64 {
+        let q = ((x - self.lo[axis]) / self.step[axis]).round() as i64;
+        q.clamp(0, self.max_index())
+    }
+
+    /// Grid index back to the coordinate of the cell centre.
+    #[inline]
+    pub fn dequantize_axis(&self, axis: usize, q: i64) -> f64 {
+        self.lo[axis] + q as f64 * self.step[axis]
+    }
+
+    /// Quantise a point.
+    #[inline]
+    pub fn quantize(&self, p: [f64; 3]) -> [i64; 3] {
+        [
+            self.quantize_axis(0, p[0]),
+            self.quantize_axis(1, p[1]),
+            self.quantize_axis(2, p[2]),
+        ]
+    }
+
+    /// Dequantise a grid point.
+    #[inline]
+    pub fn dequantize(&self, q: [i64; 3]) -> [f64; 3] {
+        [
+            self.dequantize_axis(0, q[0]),
+            self.dequantize_axis(1, q[1]),
+            self.dequantize_axis(2, q[2]),
+        ]
+    }
+
+    /// Worst-case rounding error, i.e. half the grid-cell diagonal.
+    pub fn max_error(&self) -> f64 {
+        0.5 * (self.step[0] * self.step[0]
+            + self.step[1] * self.step[1]
+            + self.step[2] * self.step[2])
+            .sqrt()
+    }
+
+    /// Serialise to bytes (paired with [`Quantizer::read`]).
+    pub fn write(&self, out: &mut Vec<u8>) {
+        out.push(self.bits as u8);
+        for a in 0..3 {
+            write_f64(out, self.lo[a]);
+        }
+        for a in 0..3 {
+            write_f64(out, self.step[a]);
+        }
+    }
+
+    /// Deserialise from a reader.
+    pub fn read(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        let bits = r.read_byte()? as u32;
+        if !(1..=30).contains(&bits) {
+            return Err(DecodeError);
+        }
+        let mut lo = [0.0; 3];
+        let mut step = [0.0; 3];
+        for v in &mut lo {
+            *v = r.read_f64()?;
+        }
+        for v in &mut step {
+            *v = r.read_f64()?;
+            // Reject zero, negative, NaN, and infinite steps.
+            if !(v.is_finite() && *v > 0.0) {
+                return Err(DecodeError);
+            }
+        }
+        Ok(Self { lo, step, bits })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_is_stable() {
+        let q = Quantizer::new([0.0, -1.0, 10.0], [1.0, 1.0, 20.0], 12);
+        let p = [0.3333, 0.7072, 15.5];
+        let g = q.quantize(p);
+        let p2 = q.dequantize(g);
+        // Quantising the dequantised point must be a fixed point.
+        assert_eq!(q.quantize(p2), g);
+        // And the error is bounded.
+        let err = ((p[0] - p2[0]).powi(2) + (p[1] - p2[1]).powi(2) + (p[2] - p2[2]).powi(2)).sqrt();
+        assert!(err <= q.max_error() * (1.0 + 1e-9), "err={err} max={}", q.max_error());
+    }
+
+    #[test]
+    fn corners_are_exact() {
+        let q = Quantizer::new([-5.0, 0.0, 2.0], [5.0, 4.0, 3.0], 16);
+        assert_eq!(q.quantize([-5.0, 0.0, 2.0]), [0, 0, 0]);
+        let m = q.max_index();
+        let g = q.quantize([5.0, 4.0, 3.0]);
+        assert_eq!(g, [m, m, m]);
+        let back = q.dequantize(g);
+        assert!((back[0] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clamps_out_of_range() {
+        let q = Quantizer::new([0.0; 3], [1.0; 3], 8);
+        assert_eq!(q.quantize([-3.0, 0.5, 9.0])[0], 0);
+        assert_eq!(q.quantize([-3.0, 0.5, 9.0])[2], q.max_index());
+    }
+
+    #[test]
+    fn degenerate_axis() {
+        // Flat object in z.
+        let q = Quantizer::new([0.0, 0.0, 5.0], [1.0, 1.0, 5.0], 10);
+        let g = q.quantize([0.5, 0.5, 5.0]);
+        assert_eq!(g[2], 0);
+        assert_eq!(q.dequantize(g)[2], 5.0);
+    }
+
+    #[test]
+    fn more_bits_less_error() {
+        let lo = [0.0; 3];
+        let hi = [100.0; 3];
+        let e8 = Quantizer::new(lo, hi, 8).max_error();
+        let e16 = Quantizer::new(lo, hi, 16).max_error();
+        assert!(e16 < e8 / 100.0);
+    }
+
+    #[test]
+    fn serialisation_roundtrip() {
+        let q = Quantizer::new([0.25, -3.5, 1e6], [1.75, 4.5, 2e6], 14);
+        let mut buf = Vec::new();
+        q.write(&mut buf);
+        let mut r = ByteReader::new(&buf);
+        let q2 = Quantizer::read(&mut r).unwrap();
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn bad_serialised_bits_rejected() {
+        let mut buf = vec![31u8];
+        buf.extend([0u8; 48]);
+        assert!(Quantizer::read(&mut ByteReader::new(&buf)).is_err());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bits_panics() {
+        Quantizer::new([0.0; 3], [1.0; 3], 0);
+    }
+
+    #[test]
+    fn indices_fit_exact_predicate_bound() {
+        let q = Quantizer::new([0.0; 3], [1.0; 3], 30);
+        assert!(q.max_index() <= tripro_geom_max());
+    }
+
+    // Mirror of tripro_geom::MAX_EXACT_COORD without a circular dev-dep.
+    fn tripro_geom_max() -> i64 {
+        1 << 30
+    }
+}

@@ -1,0 +1,146 @@
+//! Point-in-polyhedron testing over triangle soups by ray-parity counting.
+//!
+//! Used by the intersection query's containment fallback (paper Alg. 1,
+//! steps 8–12): if no face pair intersects, one object may still contain the
+//! other, which is decided by testing a single vertex.
+
+use crate::intersect::{ray_triangle, RayHit};
+use crate::tri::Triangle;
+use crate::vec3::{vec3, Vec3};
+
+/// Deterministic pseudo-random direction sequence for ray re-casting.
+/// (A tiny SplitMix64 so `tripro-geom` stays dependency-free.)
+fn direction(seed: u64) -> Vec3 {
+    let mut z = seed.wrapping_add(0x9E3779B97F4A7C15);
+    let mut next = || {
+        z = z.wrapping_add(0x9E3779B97F4A7C15);
+        let mut x = z;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+        x ^ (x >> 31)
+    };
+    loop {
+        let u = (next() >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0;
+        let v = (next() >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0;
+        let w = (next() >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0;
+        let d = vec3(u, v, w);
+        if d.norm2() > 0.01 {
+            return d.normalized().unwrap();
+        }
+    }
+}
+
+/// `true` when `p` is inside the closed surface described by `faces`
+/// (boundary points may be classified either way).
+///
+/// Casts a ray and counts crossings; on any ambiguous graze it re-casts in a
+/// new pseudo-random direction (up to 32 attempts, then falls back to the
+/// last parity, which for closed well-formed meshes is unreachable in
+/// practice).
+pub fn point_in_mesh(p: Vec3, faces: &[Triangle]) -> bool {
+    let mut seed = 0xD3500D5EEDu64;
+    for _attempt in 0..32 {
+        let dir = direction(seed);
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let mut crossings = 0usize;
+        let mut ambiguous = false;
+        for f in faces {
+            match ray_triangle(p, dir, f) {
+                RayHit::Hit(_) => crossings += 1,
+                RayHit::Miss => {}
+                RayHit::Ambiguous => {
+                    ambiguous = true;
+                    break;
+                }
+            }
+        }
+        if !ambiguous {
+            return crossings % 2 == 1;
+        }
+    }
+    false
+}
+
+/// Signed volume of the solid bounded by `faces` (positive when faces are
+/// counter-clockwise / outward-oriented), via the divergence theorem.
+pub fn mesh_volume(faces: &[Triangle]) -> f64 {
+    let mut v6 = 0.0;
+    for f in faces {
+        v6 += f.a.dot(f.b.cross(f.c));
+    }
+    v6 / 6.0
+}
+
+/// Total surface area.
+pub fn mesh_surface_area(faces: &[Triangle]) -> f64 {
+    faces.iter().map(Triangle::area).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A unit cube as 12 outward-oriented triangles.
+    pub fn cube() -> Vec<Triangle> {
+        let v = [
+            vec3(0.0, 0.0, 0.0),
+            vec3(1.0, 0.0, 0.0),
+            vec3(1.0, 1.0, 0.0),
+            vec3(0.0, 1.0, 0.0),
+            vec3(0.0, 0.0, 1.0),
+            vec3(1.0, 0.0, 1.0),
+            vec3(1.0, 1.0, 1.0),
+            vec3(0.0, 1.0, 1.0),
+        ];
+        let quads = [
+            // bottom (z=0, normal -z), top (z=1, normal +z)
+            [0, 3, 2, 1],
+            [4, 5, 6, 7],
+            // front (y=0, normal -y), back (y=1)
+            [0, 1, 5, 4],
+            [2, 3, 7, 6],
+            // left (x=0), right (x=1)
+            [0, 4, 7, 3],
+            [1, 2, 6, 5],
+        ];
+        let mut out = Vec::new();
+        for q in quads {
+            out.push(Triangle::new(v[q[0]], v[q[1]], v[q[2]]));
+            out.push(Triangle::new(v[q[0]], v[q[2]], v[q[3]]));
+        }
+        out
+    }
+
+    #[test]
+    fn cube_volume_and_area() {
+        let c = cube();
+        assert!((mesh_volume(&c) - 1.0).abs() < 1e-12);
+        assert!((mesh_surface_area(&c) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inside_outside() {
+        let c = cube();
+        assert!(point_in_mesh(vec3(0.5, 0.5, 0.5), &c));
+        assert!(point_in_mesh(vec3(0.1, 0.9, 0.2), &c));
+        assert!(!point_in_mesh(vec3(1.5, 0.5, 0.5), &c));
+        assert!(!point_in_mesh(vec3(-0.1, 0.5, 0.5), &c));
+        assert!(!point_in_mesh(vec3(0.5, 0.5, 2.0), &c));
+    }
+
+    #[test]
+    fn near_boundary_consistency() {
+        let c = cube();
+        assert!(point_in_mesh(vec3(0.5, 0.5, 1e-6), &c));
+        assert!(!point_in_mesh(vec3(0.5, 0.5, -1e-6), &c));
+    }
+
+    #[test]
+    fn direction_is_unit_and_varied() {
+        let d1 = direction(1);
+        let d2 = direction(2);
+        assert!((d1.norm() - 1.0).abs() < 1e-12);
+        assert!((d2.norm() - 1.0).abs() < 1e-12);
+        assert!((d1 - d2).norm() > 1e-6);
+    }
+}

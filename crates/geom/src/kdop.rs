@@ -1,0 +1,231 @@
+//! k-DOP conservative approximations (13 directions).
+//!
+//! The paper's §2.2 defines two approximation families: *progressive*
+//! (subset — what PPVP produces) and *conservative* (superset). A k-DOP —
+//! the intersection of slabs along fixed directions — is a conservative
+//! approximation that is strictly tighter than the MBB (whose 3 axes are a
+//! subset of the 13 directions), at 26 floats per object. Its properties
+//! complement PPVP's:
+//!
+//! * if two objects' k-DOPs do not intersect, the objects do not intersect;
+//! * the k-DOP gap along any unit direction lower-bounds the true distance.
+//!
+//! The query engine uses these for *conservative rejection*, the mirror
+//! image of FPR's progressive early acceptance (see
+//! `QueryConfig::conservative_prefilter`).
+
+use crate::vec3::{vec3, Vec3};
+
+/// Number of slab directions.
+pub const K: usize = 13;
+
+/// The 13 unit directions: 3 axes, 6 face diagonals, 4 body diagonals.
+/// Shared by every [`Kdop`], so slabs are directly comparable.
+pub fn directions() -> [Vec3; K] {
+    let s2 = std::f64::consts::FRAC_1_SQRT_2;
+    let s3 = 1.0 / 3f64.sqrt();
+    [
+        vec3(1.0, 0.0, 0.0),
+        vec3(0.0, 1.0, 0.0),
+        vec3(0.0, 0.0, 1.0),
+        vec3(s2, s2, 0.0),
+        vec3(s2, -s2, 0.0),
+        vec3(s2, 0.0, s2),
+        vec3(s2, 0.0, -s2),
+        vec3(0.0, s2, s2),
+        vec3(0.0, s2, -s2),
+        vec3(s3, s3, s3),
+        vec3(s3, s3, -s3),
+        vec3(s3, -s3, s3),
+        vec3(s3, -s3, -s3),
+    ]
+}
+
+/// A discrete-orientation polytope: for each direction `dᵢ`, the interval
+/// `[loᵢ, hiᵢ]` of the object's projections onto `dᵢ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Kdop {
+    pub lo: [f64; K],
+    pub hi: [f64; K],
+}
+
+impl Kdop {
+    /// The empty k-DOP (identity for [`Kdop::union`]).
+    pub const EMPTY: Kdop = Kdop { lo: [f64::INFINITY; K], hi: [f64::NEG_INFINITY; K] };
+
+    /// Tight k-DOP of a point set.
+    pub fn from_points<I: IntoIterator<Item = Vec3>>(points: I) -> Kdop {
+        let dirs = directions();
+        let mut k = Kdop::EMPTY;
+        for p in points {
+            for (i, d) in dirs.iter().enumerate() {
+                let t = p.dot(*d);
+                k.lo[i] = k.lo[i].min(t);
+                k.hi[i] = k.hi[i].max(t);
+            }
+        }
+        k
+    }
+
+    /// `true` when no point was ever added.
+    pub fn is_empty(&self) -> bool {
+        self.lo[0] > self.hi[0]
+    }
+
+    /// Smallest k-DOP containing both.
+    pub fn union(&self, rhs: &Kdop) -> Kdop {
+        let mut out = *self;
+        for i in 0..K {
+            out.lo[i] = out.lo[i].min(rhs.lo[i]);
+            out.hi[i] = out.hi[i].max(rhs.hi[i]);
+        }
+        out
+    }
+
+    /// `true` when the point lies inside every slab.
+    pub fn contains_point(&self, p: Vec3) -> bool {
+        let dirs = directions();
+        for (i, d) in dirs.iter().enumerate() {
+            let t = p.dot(*d);
+            if t < self.lo[i] - 1e-12 || t > self.hi[i] + 1e-12 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Conservative intersection test: `false` guarantees the underlying
+    /// objects are disjoint (§2.2 property 1); `true` is inconclusive.
+    pub fn intersects(&self, rhs: &Kdop) -> bool {
+        for i in 0..K {
+            if self.hi[i] < rhs.lo[i] || rhs.hi[i] < self.lo[i] {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// A lower bound on the distance between the underlying objects
+    /// (§2.2 property 2): the largest separating gap over the 13 unit
+    /// directions. Zero when every slab pair overlaps.
+    pub fn min_dist(&self, rhs: &Kdop) -> f64 {
+        let mut best = 0.0f64;
+        for i in 0..K {
+            let gap = (rhs.lo[i] - self.hi[i]).max(self.lo[i] - rhs.hi[i]);
+            if gap > best {
+                best = gap;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cube_points(lo: f64, hi: f64) -> Vec<Vec3> {
+        let mut out = Vec::new();
+        for &x in &[lo, hi] {
+            for &y in &[lo, hi] {
+                for &z in &[lo, hi] {
+                    out.push(vec3(x, y, z));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn directions_are_unit() {
+        for d in directions() {
+            assert!((d.norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn contains_its_points() {
+        let pts = vec![vec3(1.0, 2.0, 3.0), vec3(-1.0, 0.5, 2.0), vec3(0.0, 0.0, 0.0)];
+        let k = Kdop::from_points(pts.clone());
+        for p in pts {
+            assert!(k.contains_point(p));
+        }
+        assert!(!k.contains_point(vec3(10.0, 10.0, 10.0)));
+    }
+
+    #[test]
+    fn axis_separated_cubes() {
+        let a = Kdop::from_points(cube_points(0.0, 1.0));
+        let b = Kdop::from_points(cube_points(3.0, 4.0).into_iter().map(|p| vec3(p.x, 0.5, 0.5)));
+        assert!(!a.intersects(&b));
+        // Axis gap: 3.0 - 1.0 = 2.0.
+        assert!((a.min_dist(&b) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diagonal_separation_beats_aabb() {
+        // Two unit cubes separated along the body diagonal: their AABB
+        // MINDIST is sqrt(3)·gap_per_axis; a 13-DOP sees the diagonal slab
+        // directly. Here cubes at origin and at (2,2,2).
+        let a = Kdop::from_points(cube_points(0.0, 1.0));
+        let b = Kdop::from_points(cube_points(2.0, 3.0));
+        assert!(!a.intersects(&b));
+        // True distance between cubes: |(2,2,2)-(1,1,1)| = sqrt(3).
+        let bound = a.min_dist(&b);
+        assert!(bound > 0.0 && bound <= 3f64.sqrt() + 1e-12);
+        // The diagonal direction gives exactly sqrt(3) here.
+        assert!((bound - 3f64.sqrt()).abs() < 1e-9, "bound {bound}");
+    }
+
+    #[test]
+    fn min_dist_lower_bounds_true_distance() {
+        // Deterministic pseudo-random point clusters: the k-DOP bound must
+        // never exceed the true closest-pair distance.
+        let mut seed = 0xD0Du64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as f64 / (1u64 << 31) as f64
+        };
+        for trial in 0..20 {
+            let a: Vec<Vec3> =
+                (0..12).map(|_| vec3(next() * 2.0, next() * 2.0, next() * 2.0)).collect();
+            let off = vec3(3.0 + trial as f64 * 0.1, 1.0, -0.5);
+            let b: Vec<Vec3> =
+                (0..12).map(|_| vec3(next() * 2.0, next() * 2.0, next() * 2.0) + off).collect();
+            let true_d = a
+                .iter()
+                .flat_map(|p| b.iter().map(move |q| p.dist(*q)))
+                .fold(f64::INFINITY, f64::min);
+            let ka = Kdop::from_points(a.clone());
+            let kb = Kdop::from_points(b.clone());
+            assert!(
+                ka.min_dist(&kb) <= true_d + 1e-9,
+                "trial {trial}: bound {} exceeds true {true_d}",
+                ka.min_dist(&kb)
+            );
+        }
+    }
+
+    #[test]
+    fn union_and_empty() {
+        let e = Kdop::EMPTY;
+        assert!(e.is_empty());
+        let a = Kdop::from_points(cube_points(0.0, 1.0));
+        assert_eq!(e.union(&a), a);
+        let b = Kdop::from_points(cube_points(2.0, 3.0));
+        let u = a.union(&b);
+        assert!(u.intersects(&a) && u.intersects(&b));
+        assert!(u.contains_point(vec3(1.5, 1.5, 1.5)));
+    }
+
+    #[test]
+    fn tighter_than_aabb_for_rotated_bar() {
+        // A thin bar along (1,1,1): its AABB is a fat cube, its 13-DOP is a
+        // thin diagonal slab. A probe point near the AABB corner but far
+        // from the bar must be excluded by the DOP.
+        let bar: Vec<Vec3> = (0..50).map(|i| Vec3::splat(i as f64 * 0.1)).collect();
+        let k = Kdop::from_points(bar);
+        let probe = vec3(4.9, 0.1, 0.1); // inside the AABB, far from the bar
+        assert!(!k.contains_point(probe));
+    }
+}

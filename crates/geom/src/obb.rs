@@ -1,0 +1,357 @@
+//! Oriented bounding boxes via principal component analysis.
+//!
+//! Used by the partition-based acceleration (paper §5.1) to approximate
+//! skeleton-grouped sub-objects more tightly than axis-aligned boxes.
+
+use crate::aabb::Aabb;
+use crate::vec3::{vec3, Vec3};
+
+/// A symmetric 3×3 matrix stored as its 6 unique entries.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Sym3 {
+    pub xx: f64,
+    pub xy: f64,
+    pub xz: f64,
+    pub yy: f64,
+    pub yz: f64,
+    pub zz: f64,
+}
+
+impl Sym3 {
+    /// Covariance matrix of a point set around its mean.
+    pub fn covariance(points: &[Vec3]) -> (Vec3, Sym3) {
+        if points.is_empty() {
+            return (Vec3::ZERO, Sym3::default());
+        }
+        let n = points.len() as f64;
+        let mean = points.iter().fold(Vec3::ZERO, |s, p| s + *p) / n;
+        let mut c = Sym3::default();
+        for p in points {
+            let d = *p - mean;
+            c.xx += d.x * d.x;
+            c.xy += d.x * d.y;
+            c.xz += d.x * d.z;
+            c.yy += d.y * d.y;
+            c.yz += d.y * d.z;
+            c.zz += d.z * d.z;
+        }
+        c.xx /= n;
+        c.xy /= n;
+        c.xz /= n;
+        c.yy /= n;
+        c.yz /= n;
+        c.zz /= n;
+        (mean, c)
+    }
+
+    fn to_array(self) -> [[f64; 3]; 3] {
+        [
+            [self.xx, self.xy, self.xz],
+            [self.xy, self.yy, self.yz],
+            [self.xz, self.yz, self.zz],
+        ]
+    }
+
+    /// Eigen-decomposition by cyclic Jacobi rotations. Returns the three
+    /// orthonormal eigenvectors (columns), largest eigenvalue first.
+    pub fn eigenvectors(self) -> [Vec3; 3] {
+        let mut a = self.to_array();
+        // v accumulates the rotations; starts as identity.
+        let mut v = [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]];
+
+        for _sweep in 0..32 {
+            // Largest off-diagonal element.
+            let off = a[0][1].abs().max(a[0][2].abs()).max(a[1][2].abs());
+            if off < 1e-14 {
+                break;
+            }
+            for &(p, q) in &[(0usize, 1usize), (0, 2), (1, 2)] {
+                if a[p][q].abs() < 1e-300 {
+                    continue;
+                }
+                let theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Apply the rotation J(p,q,theta): A = Jᵀ A J.
+                let mut a2 = a;
+                for k in 0..3 {
+                    a2[p][k] = c * a[p][k] - s * a[q][k];
+                    a2[q][k] = s * a[p][k] + c * a[q][k];
+                }
+                let mut a3 = a2;
+                for k in 0..3 {
+                    a3[k][p] = c * a2[k][p] - s * a2[k][q];
+                    a3[k][q] = s * a2[k][p] + c * a2[k][q];
+                }
+                a = a3;
+                let mut v2 = v;
+                for k in 0..3 {
+                    v2[k][p] = c * v[k][p] - s * v[k][q];
+                    v2[k][q] = s * v[k][p] + c * v[k][q];
+                }
+                v = v2;
+            }
+        }
+
+        // Sort eigenpairs by eigenvalue, descending.
+        let mut pairs: Vec<(f64, Vec3)> = (0..3)
+            .map(|i| (a[i][i], vec3(v[0][i], v[1][i], v[2][i])))
+            .collect();
+        pairs.sort_by(|l, r| r.0.partial_cmp(&l.0).unwrap());
+        [pairs[0].1, pairs[1].1, pairs[2].1]
+    }
+}
+
+/// An oriented bounding box: a centre, three orthonormal axes, and
+/// half-extents along those axes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Obb {
+    pub center: Vec3,
+    pub axes: [Vec3; 3],
+    pub half_extent: Vec3,
+}
+
+impl Obb {
+    /// Fit an OBB to points using the covariance axes.
+    pub fn fit(points: &[Vec3]) -> Obb {
+        if points.is_empty() {
+            return Obb {
+                center: Vec3::ZERO,
+                axes: [Vec3::X, Vec3::Y, Vec3::Z],
+                half_extent: Vec3::ZERO,
+            };
+        }
+        let (_, cov) = Sym3::covariance(points);
+        let axes = cov.eigenvectors();
+        // Project onto the axes to find the tight extents.
+        let mut lo = Vec3::splat(f64::INFINITY);
+        let mut hi = Vec3::splat(f64::NEG_INFINITY);
+        for p in points {
+            let q = vec3(p.dot(axes[0]), p.dot(axes[1]), p.dot(axes[2]));
+            lo = lo.min(q);
+            hi = hi.max(q);
+        }
+        let mid = (lo + hi) * 0.5;
+        let center = axes[0] * mid.x + axes[1] * mid.y + axes[2] * mid.z;
+        Obb { center, axes, half_extent: (hi - lo) * 0.5 }
+    }
+
+    /// Volume of the box.
+    #[inline]
+    pub fn volume(&self) -> f64 {
+        8.0 * self.half_extent.x * self.half_extent.y * self.half_extent.z
+    }
+
+    /// `true` when the point lies inside or on the box.
+    pub fn contains_point(&self, p: Vec3) -> bool {
+        let d = p - self.center;
+        for i in 0..3 {
+            if d.dot(self.axes[i]).abs() > self.half_extent[i] + 1e-12 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The smallest AABB enclosing this OBB.
+    pub fn to_aabb(&self) -> Aabb {
+        let mut r = Vec3::ZERO;
+        for i in 0..3 {
+            r += self.axes[i].abs() * self.half_extent[i];
+        }
+        Aabb::new(self.center - r, self.center + r)
+    }
+
+    /// Exact separating-axis intersection test between two OBBs
+    /// (15 candidate axes: 3 + 3 face normals and 9 edge cross products).
+    pub fn intersects(&self, rhs: &Obb) -> bool {
+        self.separation_gap(rhs) <= 0.0
+    }
+
+    /// The largest separating gap between the two boxes over the 15 SAT
+    /// axes: `0` when they intersect, otherwise a **lower bound** on the
+    /// true distance between them (the gap along a unit axis can never
+    /// exceed the Euclidean separation).
+    pub fn separation_gap(&self, rhs: &Obb) -> f64 {
+        let mut axes: Vec<Vec3> = Vec::with_capacity(15);
+        axes.extend_from_slice(&self.axes);
+        axes.extend_from_slice(&rhs.axes);
+        for a in self.axes {
+            for b in rhs.axes {
+                let c = a.cross(b);
+                if c.norm2() > 1e-12 {
+                    axes.push(c.normalized().unwrap());
+                }
+            }
+        }
+        let d = rhs.center - self.center;
+        let mut best = f64::NEG_INFINITY;
+        for l in axes {
+            let ra = self.half_extent.x * self.axes[0].dot(l).abs()
+                + self.half_extent.y * self.axes[1].dot(l).abs()
+                + self.half_extent.z * self.axes[2].dot(l).abs();
+            let rb = rhs.half_extent.x * rhs.axes[0].dot(l).abs()
+                + rhs.half_extent.y * rhs.axes[1].dot(l).abs()
+                + rhs.half_extent.z * rhs.axes[2].dot(l).abs();
+            let gap = d.dot(l).abs() - (ra + rb);
+            if gap > best {
+                best = gap;
+            }
+        }
+        best.max(0.0)
+    }
+
+    /// The 8 corners.
+    pub fn corners(&self) -> [Vec3; 8] {
+        let e = self.half_extent;
+        let (u, v, w) = (self.axes[0] * e.x, self.axes[1] * e.y, self.axes[2] * e.z);
+        let c = self.center;
+        [
+            c - u - v - w,
+            c + u - v - w,
+            c - u + v - w,
+            c + u + v - w,
+            c - u - v + w,
+            c + u - v + w,
+            c - u + v + w,
+            c + u + v + w,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covariance_of_axis_line() {
+        let pts: Vec<Vec3> = (0..10).map(|i| vec3(i as f64, 0.0, 0.0)).collect();
+        let (mean, cov) = Sym3::covariance(&pts);
+        assert!((mean - vec3(4.5, 0.0, 0.0)).norm() < 1e-12);
+        assert!(cov.xx > 0.0);
+        assert_eq!(cov.yy, 0.0);
+        assert_eq!(cov.zz, 0.0);
+    }
+
+    #[test]
+    fn eigenvectors_orthonormal() {
+        let pts: Vec<Vec3> = (0..50)
+            .map(|i| {
+                let t = i as f64 * 0.1;
+                vec3(3.0 * t, t, 0.2 * (t * 7.0).sin())
+            })
+            .collect();
+        let (_, cov) = Sym3::covariance(&pts);
+        let ax = cov.eigenvectors();
+        for i in 0..3 {
+            assert!((ax[i].norm() - 1.0).abs() < 1e-9, "axis {i} not unit");
+            for j in (i + 1)..3 {
+                assert!(ax[i].dot(ax[j]).abs() < 1e-9, "axes {i},{j} not orthogonal");
+            }
+        }
+        // Dominant axis should be close to the line direction (3,1,~0).
+        let dir = vec3(3.0, 1.0, 0.0).normalized().unwrap();
+        assert!(ax[0].dot(dir).abs() > 0.99);
+    }
+
+    #[test]
+    fn obb_tighter_than_aabb_for_diagonal_bar() {
+        // A thin bar along the (1,1,1) diagonal with small jitter.
+        let pts: Vec<Vec3> = (0..100)
+            .map(|i| {
+                let t = i as f64 * 0.1;
+                let j = vec3(
+                    0.01 * ((i * 37) % 7) as f64,
+                    0.01 * ((i * 13) % 5) as f64,
+                    0.01 * ((i * 29) % 3) as f64,
+                );
+                vec3(t, t, t) + j
+            })
+            .collect();
+        let obb = Obb::fit(&pts);
+        let aabb = Aabb::from_points(pts.iter().cloned());
+        assert!(obb.volume() < aabb.volume() * 0.5, "OBB should be much tighter");
+        // Every point must be inside the OBB.
+        for p in &pts {
+            assert!(obb.contains_point(*p));
+        }
+        // The enclosing AABB of the OBB must contain the original AABB.
+        let enc = obb.to_aabb();
+        assert!(enc.contains_box(&aabb.inflate(-0.0)) || enc.union(&aabb) == enc);
+    }
+
+    #[test]
+    fn obb_of_empty_and_single() {
+        let o = Obb::fit(&[]);
+        assert_eq!(o.half_extent, Vec3::ZERO);
+        let o = Obb::fit(&[vec3(1.0, 2.0, 3.0)]);
+        assert!(o.contains_point(vec3(1.0, 2.0, 3.0)));
+        assert_eq!(o.half_extent, Vec3::ZERO);
+    }
+
+    #[test]
+    fn sat_detects_separation_and_overlap() {
+        let a = Obb {
+            center: Vec3::ZERO,
+            axes: [Vec3::X, Vec3::Y, Vec3::Z],
+            half_extent: vec3(1.0, 1.0, 1.0),
+        };
+        // Overlapping axis-aligned boxes.
+        let b = Obb { center: vec3(1.5, 0.0, 0.0), ..a };
+        assert!(a.intersects(&b));
+        assert_eq!(a.separation_gap(&b), 0.0);
+        // Separated along x by 1.
+        let c = Obb { center: vec3(3.0, 0.0, 0.0), ..a };
+        assert!(!a.intersects(&c));
+        assert!((a.separation_gap(&c) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sat_rotated_boxes_cross_axis_case() {
+        // Two unit boxes rotated 45° about z, corner-to-corner: only a
+        // cross-product/diagonal axis separates tightly.
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        let rot = [vec3(s, s, 0.0), vec3(-s, s, 0.0), Vec3::Z];
+        let a = Obb { center: Vec3::ZERO, axes: rot, half_extent: vec3(1.0, 1.0, 1.0) };
+        let b = Obb { center: vec3(3.0, 0.0, 0.0), axes: rot, half_extent: vec3(1.0, 1.0, 1.0) };
+        // Corners reach x = ±√2 from each centre: gap = 3 − 2√2 ≈ 0.17.
+        assert!(!a.intersects(&b));
+        let g = a.separation_gap(&b);
+        assert!(g > 0.0 && g <= 3.0 - 2.0 * 2f64.sqrt() + 1e-9, "gap {g}");
+        // Moving them together makes them intersect.
+        let c = Obb { center: vec3(2.0, 0.0, 0.0), ..b };
+        assert!(a.intersects(&c));
+    }
+
+    #[test]
+    fn separation_gap_lower_bounds_corner_distance() {
+        // The SAT gap never exceeds the true min distance between boxes
+        // (checked against corner-pair distance, an upper bound on truth).
+        let a = Obb {
+            center: Vec3::ZERO,
+            axes: [Vec3::X, Vec3::Y, Vec3::Z],
+            half_extent: vec3(1.0, 0.5, 0.25),
+        };
+        for (cx, cy) in [(4.0, 1.0), (3.0, 3.0), (0.0, 5.0)] {
+            let b = Obb { center: vec3(cx, cy, 0.5), ..a };
+            let gap = a.separation_gap(&b);
+            let min_corner = a
+                .corners()
+                .iter()
+                .flat_map(|p| b.corners().into_iter().map(move |q| p.dist(q)))
+                .fold(f64::INFINITY, f64::min);
+            assert!(gap <= min_corner + 1e-9, "gap {gap} vs corners {min_corner}");
+        }
+    }
+
+    #[test]
+    fn corners_inside_enclosing_aabb() {
+        let pts: Vec<Vec3> = (0..30).map(|i| vec3((i % 5) as f64, (i % 3) as f64, i as f64 * 0.1)).collect();
+        let obb = Obb::fit(&pts);
+        let bb = obb.to_aabb().inflate(1e-9);
+        for c in obb.corners() {
+            assert!(bb.contains_point(c));
+        }
+    }
+}

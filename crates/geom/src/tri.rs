@@ -1,0 +1,121 @@
+//! Triangle primitive.
+
+use crate::aabb::Aabb;
+use crate::vec3::Vec3;
+
+/// A triangle given by its three corner points, oriented counter-clockwise
+/// when seen from the outer side (right-hand rule, paper §2.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triangle {
+    pub a: Vec3,
+    pub b: Vec3,
+    pub c: Vec3,
+}
+
+impl Triangle {
+    #[inline]
+    pub const fn new(a: Vec3, b: Vec3, c: Vec3) -> Self {
+        Self { a, b, c }
+    }
+
+    /// Non-normalised outward normal (`(b-a) × (c-a)`), with magnitude equal
+    /// to twice the triangle area.
+    #[inline]
+    pub fn scaled_normal(&self) -> Vec3 {
+        (self.b - self.a).cross(self.c - self.a)
+    }
+
+    /// Unit outward normal, `None` for degenerate triangles.
+    #[inline]
+    pub fn normal(&self) -> Option<Vec3> {
+        self.scaled_normal().normalized()
+    }
+
+    /// Triangle area.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        0.5 * self.scaled_normal().norm()
+    }
+
+    /// Centroid.
+    #[inline]
+    pub fn centroid(&self) -> Vec3 {
+        (self.a + self.b + self.c) / 3.0
+    }
+
+    /// Bounding box.
+    #[inline]
+    pub fn aabb(&self) -> Aabb {
+        Aabb::from_points([self.a, self.b, self.c])
+    }
+
+    /// `true` when the triangle has (near-)zero area.
+    #[inline]
+    pub fn is_degenerate(&self) -> bool {
+        let n2 = self.scaled_normal().norm2();
+        // Compare against the scale of the edges to stay unit-independent.
+        let s = (self.b - self.a).norm2().max((self.c - self.a).norm2());
+        n2 <= s * s * 1e-24
+    }
+
+    /// Corner points as an array.
+    #[inline]
+    pub fn vertices(&self) -> [Vec3; 3] {
+        [self.a, self.b, self.c]
+    }
+
+    /// The three edges as (start, end) pairs, in CCW order.
+    #[inline]
+    pub fn edges(&self) -> [(Vec3, Vec3); 3] {
+        [(self.a, self.b), (self.b, self.c), (self.c, self.a)]
+    }
+
+    /// Triangle with reversed orientation (flipped normal).
+    #[inline]
+    pub fn flipped(&self) -> Triangle {
+        Triangle::new(self.a, self.c, self.b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vec3::vec3;
+
+    fn t() -> Triangle {
+        Triangle::new(vec3(0.0, 0.0, 0.0), vec3(2.0, 0.0, 0.0), vec3(0.0, 2.0, 0.0))
+    }
+
+    #[test]
+    fn normal_and_area() {
+        assert_eq!(t().normal(), Some(vec3(0.0, 0.0, 1.0)));
+        assert_eq!(t().area(), 2.0);
+        assert_eq!(t().flipped().normal(), Some(vec3(0.0, 0.0, -1.0)));
+    }
+
+    #[test]
+    fn centroid_and_aabb() {
+        let c = t().centroid();
+        assert!((c - vec3(2.0 / 3.0, 2.0 / 3.0, 0.0)).norm() < 1e-12);
+        let bb = t().aabb();
+        assert_eq!(bb.lo, vec3(0.0, 0.0, 0.0));
+        assert_eq!(bb.hi, vec3(2.0, 2.0, 0.0));
+    }
+
+    #[test]
+    fn degeneracy() {
+        assert!(!t().is_degenerate());
+        let d = Triangle::new(vec3(0.0, 0.0, 0.0), vec3(1.0, 1.0, 1.0), vec3(2.0, 2.0, 2.0));
+        assert!(d.is_degenerate());
+        let p = Triangle::new(Vec3::ZERO, Vec3::ZERO, Vec3::ZERO);
+        assert!(p.is_degenerate());
+    }
+
+    #[test]
+    fn edges_are_ccw_cycle() {
+        let e = t().edges();
+        assert_eq!(e[0].1, e[1].0);
+        assert_eq!(e[1].1, e[2].0);
+        assert_eq!(e[2].1, e[0].0);
+    }
+}

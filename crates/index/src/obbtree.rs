@@ -1,0 +1,291 @@
+//! OBB-tree: a bounding-volume hierarchy of *oriented* boxes over one
+//! polyhedron's faces — the third intra-geometry index the paper's
+//! introduction cites (Gottschalk et al.'s OBB-tree) alongside R-trees and
+//! AABB-trees.
+//!
+//! Oriented boxes hug tilted geometry (vessel branches!) far more tightly
+//! than axis-aligned ones, pruning more node pairs per traversal at the
+//! price of a costlier overlap test (15-axis SAT vs 6 comparisons).
+
+use tripro_geom::{tri_tri_dist2, tri_tri_intersect, Obb, Triangle};
+
+const LEAF_SIZE: usize = 4;
+
+#[derive(Debug, Clone)]
+struct ObbNode {
+    bb: Obb,
+    kind: NodeKind,
+}
+
+#[derive(Debug, Clone)]
+enum NodeKind {
+    Leaf { start: u32, end: u32 },
+    Inner { left: u32, right: u32 },
+}
+
+/// A static OBB hierarchy over a triangle list.
+#[derive(Debug, Clone)]
+pub struct ObbTree {
+    tris: Vec<Triangle>,
+    order: Vec<u32>,
+    nodes: Vec<ObbNode>,
+    root: u32,
+}
+
+impl ObbTree {
+    /// Build by recursive splitting along the dominant covariance axis of
+    /// the contained triangle vertices (the classical OBB-tree recipe).
+    pub fn build(tris: Vec<Triangle>) -> Self {
+        assert!(!tris.is_empty(), "cannot build an OBB-tree over zero faces");
+        let mut order: Vec<u32> = (0..tris.len() as u32).collect();
+        let mut nodes = Vec::with_capacity(2 * tris.len() / LEAF_SIZE + 2);
+        let root = Self::build_rec(&tris, &mut order, 0, tris.len(), &mut nodes);
+        Self { tris, order, nodes, root }
+    }
+
+    fn fit(tris: &[Triangle], order: &[u32]) -> Obb {
+        let pts: Vec<tripro_geom::Vec3> = order
+            .iter()
+            .flat_map(|&i| tris[i as usize].vertices())
+            .collect();
+        Obb::fit(&pts)
+    }
+
+    fn build_rec(
+        tris: &[Triangle],
+        order: &mut [u32],
+        start: usize,
+        end: usize,
+        nodes: &mut Vec<ObbNode>,
+    ) -> u32 {
+        let bb = Self::fit(tris, &order[start..end]);
+        if end - start <= LEAF_SIZE {
+            nodes.push(ObbNode { bb, kind: NodeKind::Leaf { start: start as u32, end: end as u32 } });
+            return (nodes.len() - 1) as u32;
+        }
+        // Split at the median centroid projection onto the box's major axis.
+        let axis = bb.axes[0];
+        let mid = (start + end) / 2;
+        order[start..end].select_nth_unstable_by(mid - start, |&a, &b| {
+            let ca = tris[a as usize].centroid().dot(axis);
+            let cb = tris[b as usize].centroid().dot(axis);
+            ca.total_cmp(&cb)
+        });
+        let left = Self::build_rec(tris, order, start, mid, nodes);
+        let right = Self::build_rec(tris, order, mid, end, nodes);
+        nodes.push(ObbNode { bb, kind: NodeKind::Inner { left, right } });
+        (nodes.len() - 1) as u32
+    }
+
+    pub fn len(&self) -> usize {
+        self.tris.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Root bounding volume.
+    pub fn bounds(&self) -> &Obb {
+        &self.nodes[self.root as usize].bb
+    }
+
+    /// `true` when any face pair of the two trees intersects.
+    pub fn intersects_tree(&self, other: &ObbTree, tests: &mut u64) -> bool {
+        let mut stack = vec![(self.root, other.root)];
+        while let Some((a, b)) = stack.pop() {
+            let na = &self.nodes[a as usize];
+            let nb = &other.nodes[b as usize];
+            if !na.bb.intersects(&nb.bb) {
+                continue;
+            }
+            match (&na.kind, &nb.kind) {
+                (NodeKind::Leaf { start: s1, end: e1 }, NodeKind::Leaf { start: s2, end: e2 }) => {
+                    for &i in &self.order[*s1 as usize..*e1 as usize] {
+                        for &j in &other.order[*s2 as usize..*e2 as usize] {
+                            *tests += 1;
+                            if tri_tri_intersect(&self.tris[i as usize], &other.tris[j as usize]) {
+                                return true;
+                            }
+                        }
+                    }
+                }
+                (NodeKind::Inner { left, right }, _) => {
+                    stack.push((*left, b));
+                    stack.push((*right, b));
+                }
+                (_, NodeKind::Inner { left, right }) => {
+                    stack.push((a, *left));
+                    stack.push((a, *right));
+                }
+            }
+        }
+        false
+    }
+
+    /// Minimum squared distance between the trees' triangle sets, branch-
+    /// and-bound with the SAT separation gap as the node-pair lower bound.
+    /// `upper` seeds pruning; the result is `min(true d², upper)`.
+    pub fn min_dist2_tree(&self, other: &ObbTree, upper: f64, tests: &mut u64) -> f64 {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        #[derive(PartialEq)]
+        struct Key(f64);
+        impl Eq for Key {}
+        impl PartialOrd for Key {
+            fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(o))
+            }
+        }
+        impl Ord for Key {
+            fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+                self.0.total_cmp(&o.0)
+            }
+        }
+        let mut best = upper;
+        let mut heap = BinaryHeap::new();
+        let g0 = self.nodes[self.root as usize]
+            .bb
+            .separation_gap(&other.nodes[other.root as usize].bb);
+        heap.push((Reverse(Key(g0 * g0)), self.root, other.root));
+        while let Some((Reverse(Key(lb2)), a, b)) = heap.pop() {
+            if lb2 >= best {
+                break;
+            }
+            let na = &self.nodes[a as usize];
+            let nb = &other.nodes[b as usize];
+            match (&na.kind, &nb.kind) {
+                (NodeKind::Leaf { start: s1, end: e1 }, NodeKind::Leaf { start: s2, end: e2 }) => {
+                    for &i in &self.order[*s1 as usize..*e1 as usize] {
+                        for &j in &other.order[*s2 as usize..*e2 as usize] {
+                            *tests += 1;
+                            let d2 = tri_tri_dist2(&self.tris[i as usize], &other.tris[j as usize]);
+                            if d2 < best {
+                                best = d2;
+                                if best == 0.0 {
+                                    return 0.0;
+                                }
+                            }
+                        }
+                    }
+                }
+                (NodeKind::Inner { left, right }, _) => {
+                    for &c in &[*left, *right] {
+                        let g = self.nodes[c as usize].bb.separation_gap(&nb.bb);
+                        if g * g < best {
+                            heap.push((Reverse(Key(g * g)), c, b));
+                        }
+                    }
+                }
+                (_, NodeKind::Inner { left, right }) => {
+                    for &c in &[*left, *right] {
+                        let g = na.bb.separation_gap(&other.nodes[c as usize].bb);
+                        if g * g < best {
+                            heap.push((Reverse(Key(g * g)), a, c));
+                        }
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tripro_geom::vec3;
+
+    /// A tilted strip of triangles along direction (1, 1, 0).
+    fn strip(n: usize, offset: tripro_geom::Vec3) -> Vec<Triangle> {
+        let dir = vec3(1.0, 1.0, 0.0) * std::f64::consts::FRAC_1_SQRT_2;
+        let perp = vec3(-1.0, 1.0, 0.0) * (0.2 * std::f64::consts::FRAC_1_SQRT_2);
+        let mut out = Vec::new();
+        for i in 0..n {
+            let p = offset + dir * (i as f64 * 0.5);
+            out.push(Triangle::new(p, p + dir * 0.5, p + perp));
+            out.push(Triangle::new(p + dir * 0.5, p + dir * 0.5 + perp, p + perp));
+        }
+        out
+    }
+
+    #[test]
+    fn build_and_bounds() {
+        let t = ObbTree::build(strip(20, vec3(0.0, 0.0, 0.0)));
+        assert_eq!(t.len(), 40);
+        // The root OBB should be slim: its minor half-extent is tiny
+        // compared to its major one (an AABB would be a fat square).
+        let he = t.bounds().half_extent;
+        assert!(he.x > 5.0, "major {he}");
+        assert!(he.min_component() < 0.5, "minor {he}");
+    }
+
+    #[test]
+    fn distance_matches_brute_force() {
+        let a_tris = strip(10, vec3(0.0, 0.0, 0.0));
+        let b_tris = strip(10, vec3(0.0, 0.0, 2.0));
+        let brute = a_tris
+            .iter()
+            .flat_map(|x| b_tris.iter().map(move |y| tri_tri_dist2(x, y)))
+            .fold(f64::INFINITY, f64::min);
+        let ta = ObbTree::build(a_tris);
+        let tb = ObbTree::build(b_tris);
+        let mut n = 0;
+        let d2 = ta.min_dist2_tree(&tb, f64::INFINITY, &mut n);
+        assert!((d2 - brute).abs() < 1e-9, "obb {d2} vs brute {brute}");
+        assert!((d2 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intersection_detection() {
+        let a = ObbTree::build(strip(10, vec3(0.0, 0.0, 0.0)));
+        // Crossing triangle through the middle of the strip.
+        let poker = ObbTree::build(vec![Triangle::new(
+            vec3(1.8, 1.8, -1.0),
+            vec3(1.8, 1.9, 1.0),
+            vec3(1.9, 1.8, 1.0),
+        )]);
+        let mut n = 0;
+        assert!(a.intersects_tree(&poker, &mut n));
+        let far = ObbTree::build(strip(4, vec3(0.0, 0.0, 9.0)));
+        let mut n2 = 0;
+        assert!(!a.intersects_tree(&far, &mut n2));
+        assert_eq!(n2, 0, "root OBBs alone must separate");
+    }
+
+    #[test]
+    fn obb_prunes_diagonal_geometry_better_than_aabb() {
+        // Two parallel diagonal strips close in AABB terms but well
+        // separated: OBB-tree should resolve the distance with few
+        // tri-tri tests.
+        let a_tris = strip(40, vec3(0.0, 0.0, 0.0));
+        let b_tris = strip(40, vec3(-2.0, 2.0, 0.0)); // shifted perpendicular
+        let ta = ObbTree::build(a_tris.clone());
+        let tb = ObbTree::build(b_tris.clone());
+        let mut obb_tests = 0;
+        let d_obb = ta.min_dist2_tree(&tb, f64::INFINITY, &mut obb_tests);
+        let aabb_a = crate::AabbTree::build(a_tris);
+        let aabb_b = crate::AabbTree::build(b_tris);
+        let mut aabb_tests = 0;
+        let d_aabb = aabb_a.min_dist2_tree(&aabb_b, f64::INFINITY, &mut aabb_tests);
+        assert!((d_obb - d_aabb).abs() < 1e-9);
+        assert!(
+            obb_tests <= aabb_tests,
+            "obb {obb_tests} vs aabb {aabb_tests} tri-tri tests"
+        );
+    }
+
+    #[test]
+    fn upper_seed_respected() {
+        let ta = ObbTree::build(strip(5, vec3(0.0, 0.0, 0.0)));
+        let tb = ObbTree::build(strip(5, vec3(0.0, 0.0, 10.0)));
+        let mut n = 0;
+        assert_eq!(ta.min_dist2_tree(&tb, 25.0, &mut n), 25.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_build_panics() {
+        let _ = ObbTree::build(vec![]);
+    }
+}

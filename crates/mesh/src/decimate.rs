@@ -1,0 +1,444 @@
+//! Vertex-removal decimation rounds and protruding-vertex classification
+//! (paper §3).
+//!
+//! One *round of decimation* removes an independent set of vertices: when a
+//! vertex is removed, the hole left by its star is re-triangulated with a
+//! deterministic fan and all ring vertices become *irremovable* for the rest
+//! of the round (§2.3). PPVP additionally only removes **protruding**
+//! vertices (§3.1–3.2), which makes every simplified mesh a progressive
+//! (subset) approximation of the original.
+
+use crate::mesh::{Mesh, VertId};
+use tripro_geom::{orient3d, IVec3, Orientation};
+
+/// Maximum ring size for which removal is attempted; larger stars are kept
+/// to bound re-triangulation fan quality.
+pub const MAX_VALENCE: usize = 12;
+
+/// Smallest closed triangle mesh: never decimate below a tetrahedron.
+pub const MIN_FACES: usize = 4;
+
+/// What a vertex's removal would do to the enclosed solid (paper §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VertexClass {
+    /// Removal only cuts solid tetrahedra off (or leaves volume unchanged):
+    /// every fan face has the vertex on its non-negative side.
+    Protruding,
+    /// Removal would fill at least one "pit", growing the solid.
+    Recessing,
+}
+
+/// Which vertices a decimation round may remove.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PruneMode {
+    /// PPVP: protruding vertices only — guarantees subset approximations.
+    ProtrudingOnly,
+    /// PPMC-like: any removable vertex — better decimation rate, but the
+    /// simplified mesh is neither a progressive nor a conservative
+    /// approximation (used as the comparison coder).
+    Any,
+}
+
+/// The record of one vertex removal, sufficient to invert it exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemovalEvent {
+    /// Id of the removed vertex (encoder id space).
+    pub removed: VertId,
+    /// Ordered one-ring at removal time, rotated to start at its
+    /// minimum-id vertex (the fan anchor), CCW from outside.
+    pub ring: Vec<VertId>,
+    /// Grid position of the removed vertex.
+    pub pos: IVec3,
+}
+
+/// Rotate a ring so it starts at its minimum-id vertex. The cyclic order is
+/// preserved, making the fan anchor deterministic.
+pub fn canonical_rotation(ring: &[VertId]) -> Vec<VertId> {
+    let k = ring.len();
+    let anchor = (0..k).min_by_key(|&i| ring[i]).unwrap();
+    (0..k).map(|i| ring[(anchor + i) % k]).collect()
+}
+
+/// Classify a vertex against the deterministic fan over `ring` (which must
+/// already start at the anchor). `None` when some fan triangle is degenerate
+/// (classification is then undefined and removal is skipped).
+pub fn classify_against_fan(mesh: &Mesh, v: VertId, ring: &[VertId]) -> Option<VertexClass> {
+    let p = mesh.position(v);
+    let r0 = mesh.position(ring[0]);
+    let mut class = VertexClass::Protruding;
+    for i in 1..ring.len() - 1 {
+        let ri = mesh.position(ring[i]);
+        let rj = mesh.position(ring[i + 1]);
+        if tripro_geom::ivec::is_degenerate_tri(r0, ri, rj) {
+            return None;
+        }
+        match orient3d(r0, ri, rj, p) {
+            Orientation::Positive | Orientation::Coplanar => {}
+            Orientation::Negative => class = VertexClass::Recessing,
+        }
+    }
+    Some(class)
+}
+
+/// Classify every live vertex (for dataset statistics, §6.2): vertices whose
+/// ring is not a simple disk or whose fan degenerates are skipped.
+pub fn classify_vertices(mesh: &Mesh) -> Vec<(VertId, VertexClass)> {
+    let mut out = Vec::new();
+    for v in mesh.vertex_ids() {
+        if let Some(ring) = mesh.ordered_ring(v) {
+            if ring.len() < 3 || ring.len() > MAX_VALENCE {
+                continue;
+            }
+            let ring = canonical_rotation(&ring);
+            if let Some(c) = classify_against_fan(mesh, v, &ring) {
+                out.push((v, c));
+            }
+        }
+    }
+    out
+}
+
+/// Check that removing `v` and fanning `ring` keeps the mesh a closed
+/// manifold: no fan edge may already exist outside `v`'s star.
+fn fan_is_manifold_safe(mesh: &Mesh, v: VertId, ring: &[VertId]) -> bool {
+    // New interior edges are (ring[0], ring[i]) for i in 2..k-1.
+    for i in 2..ring.len() - 1 {
+        if mesh.edge_used_outside(ring[0], ring[i], v) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Attempt to remove vertex `v`, returning the event on success.
+fn try_remove(mesh: &mut Mesh, v: VertId, mode: PruneMode) -> Option<RemovalEvent> {
+    if mesh.face_count() < MIN_FACES + 2 {
+        return None; // would drop below a tetrahedron
+    }
+    let ring = mesh.ordered_ring(v)?;
+    if ring.len() < 3 || ring.len() > MAX_VALENCE {
+        return None;
+    }
+    let ring = canonical_rotation(&ring);
+    let class = classify_against_fan(mesh, v, &ring)?;
+    if mode == PruneMode::ProtrudingOnly && class != VertexClass::Protruding {
+        return None;
+    }
+    if !fan_is_manifold_safe(mesh, v, &ring) {
+        return None;
+    }
+
+    let pos = mesh.position(v);
+    let incident: Vec<_> = mesh.faces_of(v).to_vec();
+    for f in incident {
+        mesh.remove_face(f);
+    }
+    mesh.remove_vertex(v);
+    for i in 1..ring.len() - 1 {
+        mesh.add_face(ring[0], ring[i], ring[i + 1]);
+    }
+    Some(RemovalEvent { removed: v, ring, pos })
+}
+
+/// Run one decimation round in deterministic ascending-id order.
+///
+/// Returns the removal events in the order they were applied (the decoder
+/// replays them in reverse). An empty result means the mesh cannot be
+/// simplified further under `mode`.
+pub fn decimate_round(mesh: &mut Mesh, mode: PruneMode) -> Vec<RemovalEvent> {
+    let bound = mesh.vertex_id_bound();
+    let mut irremovable = vec![false; bound as usize];
+    let mut events = Vec::new();
+    for v in 0..bound {
+        if !mesh.is_vertex_alive(v) || irremovable[v as usize] {
+            continue;
+        }
+        if let Some(ev) = try_remove(mesh, v, mode) {
+            for &r in &ev.ring {
+                irremovable[r as usize] = true;
+            }
+            events.push(ev);
+        }
+    }
+    events
+}
+
+/// Invert a removal event: delete the fan and restore the vertex star.
+/// `expected_id` is the id the re-inserted vertex must take in `mesh`'s id
+/// space, and `ring` must already be mapped to that space.
+///
+/// Panics if the fan is absent — callers validating untrusted input should
+/// use [`try_apply_insertion`].
+pub fn apply_insertion(mesh: &mut Mesh, ring: &[VertId], pos: IVec3, expected_id: VertId) {
+    try_apply_insertion(mesh, ring, pos, expected_id)
+        .expect("fan face must exist during progressive decode");
+}
+
+/// Fallible [`apply_insertion`]: verifies the fan exists and the ring is
+/// well-formed before mutating, so corrupt streams leave the mesh intact.
+pub fn try_apply_insertion(
+    mesh: &mut Mesh,
+    ring: &[VertId],
+    pos: IVec3,
+    expected_id: VertId,
+) -> Result<(), crate::mesh::MeshError> {
+    if ring.len() < 3 {
+        return Err(crate::mesh::MeshError::DegenerateFace);
+    }
+    // Ring vertices must be distinct and alive.
+    let mut sorted: Vec<VertId> = ring.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    if sorted.len() != ring.len() || !ring.iter().all(|&r| mesh.is_vertex_alive(r)) {
+        return Err(crate::mesh::MeshError::NotClosedManifold(
+            "insertion ring repeats or references dead vertices".into(),
+        ));
+    }
+    // All fan faces must exist before any mutation.
+    let mut fan = Vec::with_capacity(ring.len() - 2);
+    for i in 1..ring.len() - 1 {
+        let f = mesh.find_face(ring[0], ring[i], ring[i + 1]).ok_or_else(|| {
+            crate::mesh::MeshError::NotClosedManifold("fan face missing during decode".into())
+        })?;
+        fan.push(f);
+    }
+    let mut fan_sorted = fan.clone();
+    fan_sorted.sort_unstable();
+    fan_sorted.dedup();
+    if fan_sorted.len() != fan.len() {
+        return Err(crate::mesh::MeshError::NotClosedManifold(
+            "insertion fan repeats a face".into(),
+        ));
+    }
+    if expected_id as usize > mesh.vertex_id_bound() as usize
+        || mesh.is_vertex_alive(expected_id)
+    {
+        return Err(crate::mesh::MeshError::BadVertexRef(expected_id));
+    }
+    for f in fan {
+        mesh.remove_face(f);
+    }
+    let v = mesh.revive_or_add_vertex(expected_id, pos);
+    for i in 0..ring.len() {
+        let a = ring[i];
+        let b = ring[(i + 1) % ring.len()];
+        mesh.add_face(v, a, b);
+    }
+    Ok(())
+}
+
+/// Face counts after each successive decimation round (Fig 11): index 0 is
+/// the original face count; the profile stops when a round removes nothing
+/// or `rounds` is reached.
+pub fn decimation_profile(mesh: &Mesh, mode: PruneMode, rounds: usize) -> Vec<usize> {
+    let mut m = mesh.clone();
+    let mut out = vec![m.face_count()];
+    for _ in 0..rounds {
+        if decimate_round(&mut m, mode).is_empty() {
+            break;
+        }
+        out.push(m.face_count());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh::tetrahedron;
+    use tripro_geom::ivec3;
+
+    /// Octahedron with one apex pulled far out: apex is protruding.
+    fn spiky_octahedron() -> Mesh {
+        let p = vec![
+            ivec3(8, 0, 8),
+            ivec3(0, 8, 8),
+            ivec3(-8, 0, 8),
+            ivec3(0, -8, 8),
+            ivec3(0, 0, 32),  // protruding apex
+            ivec3(0, 0, 0),   // bottom apex
+        ];
+        let f = [
+            [0u32, 1, 4],
+            [1, 2, 4],
+            [2, 3, 4],
+            [3, 0, 4],
+            [1, 0, 5],
+            [2, 1, 5],
+            [3, 2, 5],
+            [0, 3, 5],
+        ];
+        Mesh::from_parts(p, &f).expect("valid")
+    }
+
+    /// Octahedron with the top apex pushed *into* the solid: recessing.
+    fn dented_octahedron() -> Mesh {
+        let p = vec![
+            ivec3(8, 0, 8),
+            ivec3(0, 8, 8),
+            ivec3(-8, 0, 8),
+            ivec3(0, -8, 8),
+            ivec3(0, 0, 4),   // dented apex (below the 0-1-2-3 plane)
+            ivec3(0, 0, 0),
+        ];
+        let f = [
+            [0u32, 1, 4],
+            [1, 2, 4],
+            [2, 3, 4],
+            [3, 0, 4],
+            [1, 0, 5],
+            [2, 1, 5],
+            [3, 2, 5],
+            [0, 3, 5],
+        ];
+        Mesh::from_parts(p, &f).expect("valid")
+    }
+
+    #[test]
+    fn canonical_rotation_starts_at_min() {
+        assert_eq!(canonical_rotation(&[5, 3, 9, 7]), vec![3, 9, 7, 5]);
+        assert_eq!(canonical_rotation(&[1, 2, 3]), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn spike_is_protruding() {
+        let m = spiky_octahedron();
+        let ring = canonical_rotation(&m.ordered_ring(4).unwrap());
+        assert_eq!(classify_against_fan(&m, 4, &ring), Some(VertexClass::Protruding));
+    }
+
+    #[test]
+    fn dent_is_recessing() {
+        let m = dented_octahedron();
+        let ring = canonical_rotation(&m.ordered_ring(4).unwrap());
+        assert_eq!(classify_against_fan(&m, 4, &ring), Some(VertexClass::Recessing));
+    }
+
+    #[test]
+    fn ppvp_round_shrinks_volume_only() {
+        let mut m = spiky_octahedron();
+        let before = m.signed_volume6();
+        let events = decimate_round(&mut m, PruneMode::ProtrudingOnly);
+        assert!(!events.is_empty(), "spike should be removable");
+        m.validate_closed_manifold().unwrap();
+        let after = m.signed_volume6();
+        assert!(after <= before, "PPVP must never grow the solid");
+        assert!(after > 0);
+    }
+
+    #[test]
+    fn ppvp_skips_recessing_vertex() {
+        let mut m = dented_octahedron();
+        let before_vol = m.signed_volume6();
+        let events = decimate_round(&mut m, PruneMode::ProtrudingOnly);
+        // Vertex 4 must not be among the removed (it is recessing).
+        assert!(events.iter().all(|e| e.removed != 4));
+        assert!(m.signed_volume6() <= before_vol);
+        m.validate_closed_manifold().unwrap();
+    }
+
+    #[test]
+    fn any_mode_may_remove_recessing() {
+        let mut m = dented_octahedron();
+        let events = decimate_round(&mut m, PruneMode::Any);
+        m.validate_closed_manifold().unwrap();
+        // In Any mode the dented apex (vertex 4, lowest removable id) goes,
+        // and the volume *grows* — the PPMC failure mode the paper fixes.
+        if events.iter().any(|e| e.removed == 4) {
+            assert!(m.signed_volume6() > dented_octahedron().signed_volume6());
+        }
+    }
+
+    #[test]
+    fn tetrahedron_cannot_decimate() {
+        let mut m = tetrahedron();
+        let events = decimate_round(&mut m, PruneMode::Any);
+        assert!(events.is_empty());
+        assert_eq!(m.face_count(), 4);
+    }
+
+    #[test]
+    fn ring_vertices_become_irremovable() {
+        let mut m = spiky_octahedron();
+        let events = decimate_round(&mut m, PruneMode::ProtrudingOnly);
+        // After removing a vertex, its entire ring is locked; with 6 vertices
+        // at most one removal can happen (ring covers 4 of the other 5).
+        assert!(events.len() <= 2);
+    }
+
+    #[test]
+    fn insertion_inverts_removal() {
+        let mut m = spiky_octahedron();
+        let orig = m.clone();
+        let events = decimate_round(&mut m, PruneMode::ProtrudingOnly);
+        m.validate_closed_manifold().unwrap();
+        // Replay in reverse.
+        for ev in events.iter().rev() {
+            apply_insertion(&mut m, &ev.ring, ev.pos, ev.removed);
+        }
+        m.validate_closed_manifold().unwrap();
+        assert_eq!(m.vertex_count(), orig.vertex_count());
+        assert_eq!(m.face_count(), orig.face_count());
+        assert_eq!(m.signed_volume6(), orig.signed_volume6());
+        // Same face set (as unordered triples up to rotation).
+        let norm = |mesh: &Mesh| {
+            let mut fs: Vec<[u32; 3]> = mesh
+                .face_ids()
+                .map(|f| {
+                    let v = mesh.face(f);
+                    let m = (0..3).min_by_key(|&i| v[i]).unwrap();
+                    [v[m], v[(m + 1) % 3], v[(m + 2) % 3]]
+                })
+                .collect();
+            fs.sort_unstable();
+            fs
+        };
+        assert_eq!(norm(&m), norm(&orig));
+    }
+
+    #[test]
+    fn insertion_reuses_dead_id_slot() {
+        // In the decoder the inserted id is freshly appended; this helper
+        // asserts the expected id matches what add_vertex returns.
+        let mut m = Mesh::new();
+        let a = m.add_vertex(ivec3(0, 0, 0));
+        let b = m.add_vertex(ivec3(8, 0, 0));
+        let c = m.add_vertex(ivec3(0, 8, 0));
+        let d = m.add_vertex(ivec3(0, 0, 8));
+        m.add_face(a, c, b);
+        m.add_face(a, b, d);
+        m.add_face(b, c, d);
+        m.add_face(a, d, c);
+        m.validate_closed_manifold().unwrap();
+        // Insert a new apex over face (a,b,d) — ring (a,b,d).
+        let f = m.find_face(a, b, d).unwrap();
+        let _ = f;
+        apply_insertion(&mut m, &[a, b, d], ivec3(2, 2, 9), 4);
+        m.validate_closed_manifold().unwrap();
+        assert_eq!(m.vertex_count(), 5);
+        assert_eq!(m.face_count(), 6);
+    }
+
+    #[test]
+    fn decimation_profile_monotonic() {
+        let m = spiky_octahedron();
+        let prof = decimation_profile(&m, PruneMode::Any, 10);
+        assert_eq!(prof[0], 8);
+        for w in prof.windows(2) {
+            assert!(w[1] < w[0]);
+        }
+    }
+
+    #[test]
+    fn classify_vertices_counts() {
+        let m = spiky_octahedron();
+        let classes = classify_vertices(&m);
+        assert!(!classes.is_empty());
+        let protruding = classes
+            .iter()
+            .filter(|(_, c)| *c == VertexClass::Protruding)
+            .count();
+        // A convex-ish shape: most vertices protrude.
+        assert!(protruding * 2 >= classes.len());
+    }
+}

@@ -1,0 +1,589 @@
+//! Editable indexed triangle mesh on the quantisation grid.
+//!
+//! The working representation for PPVP encoding and decoding: vertices carry
+//! exact grid coordinates ([`IVec3`]), faces are vertex triples oriented
+//! counter-clockwise from outside, and per-vertex incidence lists support
+//! the local operations decimation needs — ordered one-rings, edge
+//! existence, and face lookup by vertex triple.
+//!
+//! Vertex and face ids are stable across edits (slots are tomb-stoned, never
+//! renumbered), which the progressive codec relies on.
+
+use tripro_geom::{ivec3, IVec3, Triangle};
+use tripro_coder::Quantizer;
+
+/// Stable vertex identifier.
+pub type VertId = u32;
+/// Stable face identifier.
+pub type FaceId = u32;
+
+#[derive(Debug, Clone)]
+struct VertSlot {
+    pos: IVec3,
+    alive: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FaceSlot {
+    v: [VertId; 3],
+    alive: bool,
+}
+
+/// Errors arising when constructing or editing meshes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MeshError {
+    /// A face references a missing or dead vertex.
+    BadVertexRef(u32),
+    /// A face repeats a vertex.
+    DegenerateFace,
+    /// The mesh is not a closed orientable 2-manifold.
+    NotClosedManifold(String),
+}
+
+impl std::fmt::Display for MeshError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MeshError::BadVertexRef(v) => write!(f, "face references invalid vertex {v}"),
+            MeshError::DegenerateFace => write!(f, "face repeats a vertex"),
+            MeshError::NotClosedManifold(why) => write!(f, "not a closed manifold: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for MeshError {}
+
+/// Editable triangle mesh with stable ids and incidence lists.
+#[derive(Debug, Clone, Default)]
+pub struct Mesh {
+    verts: Vec<VertSlot>,
+    faces: Vec<FaceSlot>,
+    /// Alive faces incident to each vertex (unordered).
+    vfaces: Vec<Vec<FaceId>>,
+    alive_verts: usize,
+    alive_faces: usize,
+    free_faces: Vec<FaceId>,
+}
+
+impl Mesh {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a mesh from grid positions and CCW faces, validating indices
+    /// and degeneracy (but not manifoldness — see
+    /// [`Mesh::validate_closed_manifold`]).
+    pub fn from_parts(positions: Vec<IVec3>, face_list: &[[u32; 3]]) -> Result<Self, MeshError> {
+        let mut m = Mesh::new();
+        for p in positions {
+            m.add_vertex(p);
+        }
+        for f in face_list {
+            m.try_add_face(f[0], f[1], f[2])?;
+        }
+        Ok(m)
+    }
+
+    /// Number of live vertices.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.alive_verts
+    }
+
+    /// Number of live faces.
+    #[inline]
+    pub fn face_count(&self) -> usize {
+        self.alive_faces
+    }
+
+    /// Upper bound (exclusive) on vertex ids ever allocated.
+    #[inline]
+    pub fn vertex_id_bound(&self) -> u32 {
+        self.verts.len() as u32
+    }
+
+    /// Upper bound (exclusive) on face ids ever allocated.
+    #[inline]
+    pub fn face_id_bound(&self) -> u32 {
+        self.faces.len() as u32
+    }
+
+    /// `true` when the vertex id refers to a live vertex.
+    #[inline]
+    pub fn is_vertex_alive(&self, v: VertId) -> bool {
+        self.verts.get(v as usize).is_some_and(|s| s.alive)
+    }
+
+    /// `true` when the face id refers to a live face.
+    #[inline]
+    pub fn is_face_alive(&self, f: FaceId) -> bool {
+        self.faces.get(f as usize).is_some_and(|s| s.alive)
+    }
+
+    /// Grid position of a live vertex.
+    #[inline]
+    pub fn position(&self, v: VertId) -> IVec3 {
+        debug_assert!(self.is_vertex_alive(v));
+        self.verts[v as usize].pos
+    }
+
+    /// Grid position of any allocated vertex slot, live or dead. Positions
+    /// are immutable per id, so dead slots still report the position the
+    /// vertex had — the PPVP encoder uses this to recompute ring centroids
+    /// after later rounds removed some ring members.
+    #[inline]
+    pub fn position_any(&self, v: VertId) -> IVec3 {
+        self.verts[v as usize].pos
+    }
+
+    /// Vertex triple of a live face.
+    #[inline]
+    pub fn face(&self, f: FaceId) -> [VertId; 3] {
+        debug_assert!(self.is_face_alive(f));
+        self.faces[f as usize].v
+    }
+
+    /// Append a new vertex, returning its id.
+    pub fn add_vertex(&mut self, pos: IVec3) -> VertId {
+        let id = self.verts.len() as VertId;
+        self.verts.push(VertSlot { pos, alive: true });
+        self.vfaces.push(Vec::new());
+        self.alive_verts += 1;
+        id
+    }
+
+    /// Re-insert a vertex under a specific id: revives the dead slot when it
+    /// exists (encoder-side undo), or appends when `expected` is the next
+    /// fresh id (decoder-side). Panics if the id cannot be honoured — that
+    /// means encoder and decoder id assignment diverged.
+    pub fn revive_or_add_vertex(&mut self, expected: VertId, pos: IVec3) -> VertId {
+        let idx = expected as usize;
+        if idx < self.verts.len() {
+            assert!(!self.verts[idx].alive, "vertex id {expected} already alive");
+            self.verts[idx] = VertSlot { pos, alive: true };
+            self.alive_verts += 1;
+            expected
+        } else {
+            assert_eq!(
+                idx,
+                self.verts.len(),
+                "vertex id {expected} out of sync with decode stream"
+            );
+            self.add_vertex(pos)
+        }
+    }
+
+    /// Mark a vertex dead. It must have no incident faces.
+    pub fn remove_vertex(&mut self, v: VertId) {
+        debug_assert!(self.is_vertex_alive(v));
+        debug_assert!(
+            self.vfaces[v as usize].is_empty(),
+            "removing vertex {v} with live incident faces"
+        );
+        self.verts[v as usize].alive = false;
+        self.alive_verts -= 1;
+    }
+
+    /// Add a face after checking vertex references and degeneracy.
+    pub fn try_add_face(&mut self, a: VertId, b: VertId, c: VertId) -> Result<FaceId, MeshError> {
+        for v in [a, b, c] {
+            if !self.is_vertex_alive(v) {
+                return Err(MeshError::BadVertexRef(v));
+            }
+        }
+        if a == b || b == c || a == c {
+            return Err(MeshError::DegenerateFace);
+        }
+        Ok(self.add_face(a, b, c))
+    }
+
+    /// Add a face (callers must uphold validity).
+    pub fn add_face(&mut self, a: VertId, b: VertId, c: VertId) -> FaceId {
+        let slot = FaceSlot { v: [a, b, c], alive: true };
+        let id = if let Some(id) = self.free_faces.pop() {
+            self.faces[id as usize] = slot;
+            id
+        } else {
+            self.faces.push(slot);
+            (self.faces.len() - 1) as FaceId
+        };
+        for v in [a, b, c] {
+            self.vfaces[v as usize].push(id);
+        }
+        self.alive_faces += 1;
+        id
+    }
+
+    /// Remove a live face.
+    pub fn remove_face(&mut self, f: FaceId) {
+        debug_assert!(self.is_face_alive(f));
+        let vs = self.faces[f as usize].v;
+        self.faces[f as usize].alive = false;
+        for v in vs {
+            let list = &mut self.vfaces[v as usize];
+            if let Some(i) = list.iter().position(|&x| x == f) {
+                list.swap_remove(i);
+            }
+        }
+        self.alive_faces -= 1;
+        self.free_faces.push(f);
+    }
+
+    /// Ids of live faces incident to `v`.
+    #[inline]
+    pub fn faces_of(&self, v: VertId) -> &[FaceId] {
+        &self.vfaces[v as usize]
+    }
+
+    /// Valence (number of incident faces = number of incident edges for
+    /// interior vertices of a closed mesh).
+    #[inline]
+    pub fn valence(&self, v: VertId) -> usize {
+        self.vfaces[v as usize].len()
+    }
+
+    /// Find the live face `(a, b, c)` up to rotation (not reflection).
+    pub fn find_face(&self, a: VertId, b: VertId, c: VertId) -> Option<FaceId> {
+        for &f in self.vfaces.get(a as usize)? {
+            let v = self.faces[f as usize].v;
+            if v == [a, b, c] || v == [b, c, a] || v == [c, a, b] {
+                return Some(f);
+            }
+        }
+        None
+    }
+
+    /// `true` when some live face not incident to `exclude` uses the
+    /// undirected edge `{a, b}`.
+    pub fn edge_used_outside(&self, a: VertId, b: VertId, exclude: VertId) -> bool {
+        for &f in &self.vfaces[a as usize] {
+            let v = self.faces[f as usize].v;
+            if v.contains(&exclude) {
+                continue;
+            }
+            if v.contains(&b) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The one-ring of `v`, ordered counter-clockwise as seen from outside
+    /// the surface, starting at an arbitrary neighbour.
+    ///
+    /// Returns `None` when the star of `v` is not a simple disk (non-manifold
+    /// configurations) or `v` lies on a boundary.
+    pub fn ordered_ring(&self, v: VertId) -> Option<Vec<VertId>> {
+        let incident = &self.vfaces[v as usize];
+        let k = incident.len();
+        if k < 3 {
+            return None;
+        }
+        // For each incident face rotate it to (v, a, b): directed ring edge a→b.
+        let mut edges: Vec<(VertId, VertId)> = Vec::with_capacity(k);
+        for &f in incident {
+            let fv = self.faces[f as usize].v;
+            let i = fv.iter().position(|&x| x == v)?;
+            let a = fv[(i + 1) % 3];
+            let b = fv[(i + 2) % 3];
+            edges.push((a, b));
+        }
+        // Chain the edges into a single cycle.
+        let mut ring = Vec::with_capacity(k);
+        let start = edges[0].0;
+        let mut cur = start;
+        for _ in 0..k {
+            ring.push(cur);
+            let mut next = None;
+            for &(a, b) in &edges {
+                if a == cur {
+                    if next.is_some() {
+                        return None; // duplicated outgoing edge: not a disk
+                    }
+                    next = Some(b);
+                }
+            }
+            cur = next?;
+        }
+        if cur != start || ring.len() != k {
+            return None;
+        }
+        // All ring members distinct?
+        let mut sorted = ring.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != k {
+            return None;
+        }
+        Some(ring)
+    }
+
+    /// Iterator over live vertex ids in ascending order.
+    pub fn vertex_ids(&self) -> impl Iterator<Item = VertId> + '_ {
+        self.verts
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.alive)
+            .map(|(i, _)| i as VertId)
+    }
+
+    /// Iterator over live face ids in ascending order.
+    pub fn face_ids(&self) -> impl Iterator<Item = FaceId> + '_ {
+        self.faces
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.alive)
+            .map(|(i, _)| i as FaceId)
+    }
+
+    /// Validate that the mesh is a closed, consistently-oriented 2-manifold:
+    /// every directed edge appears exactly once and its opposite exists, and
+    /// every vertex star is a simple disk.
+    pub fn validate_closed_manifold(&self) -> Result<(), MeshError> {
+        let mut directed: std::collections::HashMap<(VertId, VertId), u32> =
+            std::collections::HashMap::with_capacity(self.alive_faces * 3);
+        for f in self.face_ids() {
+            let v = self.face(f);
+            for i in 0..3 {
+                let e = (v[i], v[(i + 1) % 3]);
+                *directed.entry(e).or_insert(0) += 1;
+            }
+        }
+        for (&(a, b), &n) in &directed {
+            if n != 1 {
+                return Err(MeshError::NotClosedManifold(format!(
+                    "directed edge ({a},{b}) used {n} times"
+                )));
+            }
+            if !directed.contains_key(&(b, a)) {
+                return Err(MeshError::NotClosedManifold(format!(
+                    "edge ({a},{b}) lacks its opposite — surface has a boundary"
+                )));
+            }
+        }
+        for v in self.vertex_ids() {
+            if self.valence(v) > 0 && self.ordered_ring(v).is_none() {
+                return Err(MeshError::NotClosedManifold(format!(
+                    "vertex {v} star is not a simple disk"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Euler characteristic `V - E + F` of the live mesh (2 for a sphere).
+    pub fn euler_characteristic(&self) -> i64 {
+        let v = self.alive_verts as i64;
+        let f = self.alive_faces as i64;
+        // In a closed triangle mesh every face contributes 3 edge-halves.
+        let e = (f * 3) / 2;
+        v - e + f
+    }
+
+    /// Materialise the live faces as dequantised floating-point triangles.
+    pub fn triangles(&self, q: &Quantizer) -> Vec<Triangle> {
+        let p = |v: VertId| {
+            let g = self.position(v);
+            let f = q.dequantize([g.x, g.y, g.z]);
+            tripro_geom::vec3(f[0], f[1], f[2])
+        };
+        self.face_ids()
+            .map(|f| {
+                let [a, b, c] = self.face(f);
+                Triangle::new(p(a), p(b), p(c))
+            })
+            .collect()
+    }
+
+    /// Live grid positions paired with their vertex ids.
+    pub fn grid_positions(&self) -> Vec<(VertId, IVec3)> {
+        self.vertex_ids().map(|v| (v, self.position(v))).collect()
+    }
+
+    /// Exact signed volume ×6 of the enclosed solid on the grid
+    /// (positive for outward-oriented closed surfaces).
+    pub fn signed_volume6(&self) -> i128 {
+        let mut total: i128 = 0;
+        for f in self.face_ids() {
+            let [a, b, c] = self.face(f);
+            let pa = self.position(a);
+            let pb = self.position(b);
+            let pc = self.position(c);
+            let (cx, cy, cz) = pb.cross_wide(pc);
+            total += cx * pa.x as i128 + cy * pa.y as i128 + cz * pa.z as i128;
+        }
+        total
+    }
+}
+
+/// A tetrahedron as grid positions — convenience for tests.
+pub fn tetrahedron() -> Mesh {
+    // Positive orientation: all faces CCW from outside.
+    let p = vec![
+        ivec3(0, 0, 0),
+        ivec3(4, 0, 0),
+        ivec3(0, 4, 0),
+        ivec3(0, 0, 4),
+    ];
+    let f = [[0u32, 2, 1], [0, 1, 3], [1, 2, 3], [0, 3, 2]];
+    Mesh::from_parts(p, &f).expect("tetrahedron is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An octahedron: 6 vertices, 8 faces, every vertex valence 4.
+    pub(crate) fn octahedron() -> Mesh {
+        let p = vec![
+            ivec3(8, 0, 0),
+            ivec3(-8, 0, 0),
+            ivec3(0, 8, 0),
+            ivec3(0, -8, 0),
+            ivec3(0, 0, 8),
+            ivec3(0, 0, -8),
+        ];
+        let f = [
+            [0u32, 2, 4],
+            [2, 1, 4],
+            [1, 3, 4],
+            [3, 0, 4],
+            [2, 0, 5],
+            [1, 2, 5],
+            [3, 1, 5],
+            [0, 3, 5],
+        ];
+        Mesh::from_parts(p, &f).expect("octahedron is valid")
+    }
+
+    #[test]
+    fn tetrahedron_is_closed_manifold() {
+        let m = tetrahedron();
+        assert_eq!(m.vertex_count(), 4);
+        assert_eq!(m.face_count(), 4);
+        m.validate_closed_manifold().unwrap();
+        assert_eq!(m.euler_characteristic(), 2);
+        assert!(m.signed_volume6() > 0, "tetrahedron must be outward-oriented");
+    }
+
+    #[test]
+    fn octahedron_ring_ordering() {
+        let m = octahedron();
+        m.validate_closed_manifold().unwrap();
+        let ring = m.ordered_ring(4).expect("apex ring");
+        assert_eq!(ring.len(), 4);
+        // Ring must be the equator 0,2,1,3 in cyclic order.
+        let pos = ring.iter().position(|&v| v == 0).unwrap();
+        let rotated: Vec<_> = (0..4).map(|i| ring[(pos + i) % 4]).collect();
+        assert_eq!(rotated, vec![0, 2, 1, 3]);
+    }
+
+    #[test]
+    fn face_add_remove_and_find() {
+        let mut m = octahedron();
+        let f = m.find_face(0, 2, 4).expect("face exists");
+        assert!(m.find_face(2, 4, 0).is_some(), "rotation finds the same face");
+        assert!(m.find_face(0, 4, 2).is_none(), "reflection is a different face");
+        m.remove_face(f);
+        assert_eq!(m.face_count(), 7);
+        assert!(m.find_face(0, 2, 4).is_none());
+        let f2 = m.add_face(0, 2, 4);
+        assert!(m.is_face_alive(f2));
+        assert_eq!(m.face_count(), 8);
+        m.validate_closed_manifold().unwrap();
+    }
+
+    #[test]
+    fn face_slot_recycling() {
+        let mut m = octahedron();
+        let bound_before = m.face_id_bound();
+        let f = m.find_face(0, 2, 4).unwrap();
+        m.remove_face(f);
+        let f2 = m.add_face(0, 2, 4);
+        assert_eq!(f, f2, "slot should be recycled");
+        assert_eq!(m.face_id_bound(), bound_before);
+    }
+
+    #[test]
+    fn vertex_removal_requires_no_faces() {
+        let mut m = octahedron();
+        let fs: Vec<_> = m.faces_of(4).to_vec();
+        for f in fs {
+            m.remove_face(f);
+        }
+        m.remove_vertex(4);
+        assert_eq!(m.vertex_count(), 5);
+        assert!(!m.is_vertex_alive(4));
+    }
+
+    #[test]
+    fn boundary_is_rejected() {
+        let mut m = octahedron();
+        let f = m.find_face(0, 2, 4).unwrap();
+        m.remove_face(f);
+        assert!(matches!(
+            m.validate_closed_manifold(),
+            Err(MeshError::NotClosedManifold(_))
+        ));
+    }
+
+    #[test]
+    fn bad_face_references() {
+        let mut m = tetrahedron();
+        assert_eq!(m.try_add_face(0, 1, 9), Err(MeshError::BadVertexRef(9)));
+        assert_eq!(m.try_add_face(0, 1, 1), Err(MeshError::DegenerateFace));
+    }
+
+    #[test]
+    fn edge_used_outside_detection() {
+        let m = octahedron();
+        // Edge {0,2} is used by faces (0,2,4) and (2,0,5).
+        assert!(m.edge_used_outside(0, 2, 4), "face (2,0,5) uses it outside 4's star");
+        // Excluding both apexes leaves nothing.
+        let mut m2 = m.clone();
+        let f = m2.find_face(2, 0, 5).unwrap();
+        m2.remove_face(f);
+        assert!(!m2.edge_used_outside(0, 2, 4));
+    }
+
+    #[test]
+    fn non_manifold_star_detected() {
+        // Two tetrahedra glued at a single vertex: its star is two disks.
+        let mut m = tetrahedron();
+        let a = m.add_vertex(ivec3(10, 10, 10));
+        let b = m.add_vertex(ivec3(14, 10, 10));
+        let c = m.add_vertex(ivec3(10, 14, 10));
+        // Second tetrahedron shares vertex 0.
+        m.add_face(a, c, b);
+        m.add_face(a, b, 0);
+        m.add_face(b, c, 0);
+        m.add_face(a, 0, c);
+        assert!(m.ordered_ring(0).is_none());
+        assert!(m.validate_closed_manifold().is_err());
+    }
+
+    #[test]
+    fn triangles_dequantise() {
+        let m = tetrahedron();
+        let q = Quantizer::new([0.0; 3], [4.0; 3], 2);
+        let tris = m.triangles(&q);
+        assert_eq!(tris.len(), 4);
+        let vol: f64 = tripro_geom::mesh_volume(&tris);
+        // Grid step is 4/3 per axis... positions 0 and 4 map to 0.0 and 16/3.
+        assert!(vol > 0.0);
+    }
+
+    #[test]
+    fn signed_volume_flips_with_orientation() {
+        let m = tetrahedron();
+        let v6 = m.signed_volume6();
+        let mut flipped = Mesh::new();
+        for (_, p) in m.grid_positions() {
+            flipped.add_vertex(p);
+        }
+        for f in m.face_ids() {
+            let [a, b, c] = m.face(f);
+            flipped.add_face(a, c, b);
+        }
+        assert_eq!(flipped.signed_volume6(), -v6);
+    }
+}

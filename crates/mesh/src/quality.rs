@@ -1,0 +1,149 @@
+//! LOD distortion metrics: how far a simplified LOD deviates from the full
+//! mesh, in the spirit of the distortion-rate curves of the progressive-
+//! compression literature the paper builds on (PPMC et al.). The paper
+//! itself uses LODs only through the subset guarantee; these metrics let a
+//! user *choose* quantisation bits and ladder depth with error in hand.
+
+use crate::ppvp::CompressedMesh;
+use tripro_coder::DecodeError;
+use tripro_geom::{distance::point_triangle_dist2, Triangle, Vec3};
+
+/// Sampled one-sided Hausdorff distance from `from`'s surface to `to`'s
+/// surface: the maximum over sample points of the distance to the nearest
+/// `to`-triangle. Deterministic: samples are placed at each triangle's
+/// vertices, edge midpoints and centroid, weighted implicitly by the mesh's
+/// own tessellation.
+pub fn one_sided_hausdorff(from: &[Triangle], to: &[Triangle]) -> f64 {
+    let mut worst2 = 0.0f64;
+    for t in from {
+        for p in sample_points(t) {
+            let mut best2 = f64::INFINITY;
+            for u in to {
+                let d2 = point_triangle_dist2(p, u);
+                if d2 < best2 {
+                    best2 = d2;
+                    if best2 == 0.0 {
+                        break;
+                    }
+                }
+            }
+            worst2 = worst2.max(best2);
+        }
+    }
+    worst2.sqrt()
+}
+
+fn sample_points(t: &Triangle) -> [Vec3; 7] {
+    [
+        t.a,
+        t.b,
+        t.c,
+        (t.a + t.b) * 0.5,
+        (t.b + t.c) * 0.5,
+        (t.c + t.a) * 0.5,
+        t.centroid(),
+    ]
+}
+
+/// Distortion profile of one compressed object: for every LOD below the
+/// top, the sampled one-sided Hausdorff distance from that LOD's surface to
+/// the full-resolution surface, both absolute and relative to the object's
+/// bounding-box diagonal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistortionProfile {
+    /// `(lod, absolute error, error / bbox diagonal)`.
+    pub per_lod: Vec<(usize, f64, f64)>,
+}
+
+/// Measure the distortion ladder of `cm`.
+///
+/// Cost is `O(Σ faces(lod) × faces(top))` — meant for profiling sessions
+/// and the ablation benches, not the query path.
+pub fn distortion_profile(cm: &CompressedMesh) -> Result<DistortionProfile, DecodeError> {
+    let mut dec = cm.decoder()?;
+    let mut lods: Vec<(usize, Vec<Triangle>)> = Vec::new();
+    for lod in 0..=cm.max_lod() {
+        dec.decode_to(lod)?;
+        lods.push((lod, dec.triangles()));
+    }
+    let (_, full) = lods.last().cloned().expect("ladder has at least the base");
+    let diag = cm.aabb().diagonal().max(f64::MIN_POSITIVE);
+    let per_lod = lods
+        .iter()
+        .take(lods.len() - 1)
+        .map(|(lod, tris)| {
+            let e = one_sided_hausdorff(tris, &full);
+            (*lod, e, e / diag)
+        })
+        .collect();
+    Ok(DistortionProfile { per_lod })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ppvp::{encode, EncoderConfig};
+    use crate::testutil::sphere;
+    use tripro_geom::vec3;
+
+    #[test]
+    fn identical_meshes_have_zero_error() {
+        let s = sphere(vec3(0.0, 0.0, 0.0), 1.0, 1).triangles();
+        // Closest-point evaluation on shared vertices leaves ~1e-16 noise.
+        assert!(one_sided_hausdorff(&s, &s) < 1e-9);
+    }
+
+    #[test]
+    fn offset_sheet_distance_is_offset() {
+        let a = vec![Triangle::new(
+            vec3(0.0, 0.0, 0.0),
+            vec3(1.0, 0.0, 0.0),
+            vec3(0.0, 1.0, 0.0),
+        )];
+        let b = vec![Triangle::new(
+            vec3(0.0, 0.0, 2.0),
+            vec3(1.0, 0.0, 2.0),
+            vec3(0.0, 1.0, 2.0),
+        )];
+        assert!((one_sided_hausdorff(&a, &b) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hausdorff_is_one_sided() {
+        // A small patch vs a big plane: patch→plane is 0, plane→patch not.
+        let patch = vec![Triangle::new(
+            vec3(0.0, 0.0, 0.0),
+            vec3(0.1, 0.0, 0.0),
+            vec3(0.0, 0.1, 0.0),
+        )];
+        let plane = vec![Triangle::new(
+            vec3(-10.0, -10.0, 0.0),
+            vec3(10.0, -10.0, 0.0),
+            vec3(0.0, 10.0, 0.0),
+        )];
+        assert!(one_sided_hausdorff(&patch, &plane) < 1e-9);
+        assert!(one_sided_hausdorff(&plane, &patch) > 5.0);
+    }
+
+    #[test]
+    fn distortion_decreases_with_lod() {
+        let tm = sphere(vec3(5.0, 5.0, 5.0), 2.0, 3);
+        let cm = encode(&tm, &EncoderConfig::default()).unwrap();
+        let prof = distortion_profile(&cm).unwrap();
+        assert_eq!(prof.per_lod.len(), cm.max_lod());
+        // Error shrinks (weakly) as LOD rises, and is a small fraction of
+        // the diagonal even at the base for a sphere.
+        for w in prof.per_lod.windows(2) {
+            assert!(
+                w[1].1 <= w[0].1 * 1.25,
+                "distortion should trend down: {:?}",
+                prof.per_lod
+            );
+        }
+        let (_, base_err, base_rel) = prof.per_lod[0];
+        assert!(base_err > 0.0);
+        assert!(base_rel < 0.25, "base error {base_rel} of diagonal");
+        let (_, top_err, _) = *prof.per_lod.last().unwrap();
+        assert!(top_err < base_err);
+    }
+}

@@ -1,0 +1,361 @@
+//! Mesh repair utilities: orientation fixing, duplicate-face removal and
+//! connected-component splitting.
+//!
+//! The PPVP encoder requires closed, *consistently oriented* 2-manifolds.
+//! Meshes from segmentation pipelines or OBJ exports frequently violate
+//! that with mixed winding; these helpers make real-world inputs ingestible.
+
+use crate::trimesh::TriMesh;
+use std::collections::HashMap;
+
+/// Diagnostics from [`analyze`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MeshDiagnostics {
+    pub vertices: usize,
+    pub faces: usize,
+    /// Undirected edges used by exactly two faces.
+    pub manifold_edges: usize,
+    /// Undirected edges used once (boundary) — nonzero means not closed.
+    pub boundary_edges: usize,
+    /// Undirected edges used more than twice — nonzero means non-manifold.
+    pub nonmanifold_edges: usize,
+    /// Adjacent face pairs whose windings disagree.
+    pub inconsistent_pairs: usize,
+    /// Connected components (by shared edges).
+    pub components: usize,
+}
+
+impl MeshDiagnostics {
+    /// `true` when the mesh is a closed, consistently oriented manifold —
+    /// ready for PPVP encoding.
+    pub fn is_encodable(&self) -> bool {
+        self.boundary_edges == 0 && self.nonmanifold_edges == 0 && self.inconsistent_pairs == 0
+    }
+}
+
+fn edge_key(a: u32, b: u32) -> (u32, u32) {
+    (a.min(b), a.max(b))
+}
+
+/// Map undirected edge → faces using it (with the direction each uses).
+fn edge_faces(tm: &TriMesh) -> HashMap<(u32, u32), Vec<(usize, bool)>> {
+    let mut map: HashMap<(u32, u32), Vec<(usize, bool)>> =
+        HashMap::with_capacity(tm.faces.len() * 3 / 2);
+    for (fi, f) in tm.faces.iter().enumerate() {
+        for i in 0..3 {
+            let (a, b) = (f[i], f[(i + 1) % 3]);
+            // `true` when the face traverses the edge in canonical (min→max)
+            // direction.
+            map.entry(edge_key(a, b)).or_default().push((fi, a < b));
+        }
+    }
+    map
+}
+
+/// Inspect a mesh without modifying it.
+pub fn analyze(tm: &TriMesh) -> MeshDiagnostics {
+    let edges = edge_faces(tm);
+    let mut d = MeshDiagnostics {
+        vertices: tm.vertices.len(),
+        faces: tm.faces.len(),
+        ..Default::default()
+    };
+    for users in edges.values() {
+        match users.len() {
+            1 => d.boundary_edges += 1,
+            2 => {
+                d.manifold_edges += 1;
+                // Consistent orientation: the two faces traverse the shared
+                // edge in opposite directions.
+                if users[0].1 == users[1].1 {
+                    d.inconsistent_pairs += 1;
+                }
+            }
+            _ => d.nonmanifold_edges += 1,
+        }
+    }
+    d.components = components_impl(tm, &edges).len();
+    d
+}
+
+fn components_impl(
+    tm: &TriMesh,
+    edges: &HashMap<(u32, u32), Vec<(usize, bool)>>,
+) -> Vec<Vec<usize>> {
+    let mut comp = vec![usize::MAX; tm.faces.len()];
+    let mut out = Vec::new();
+    for start in 0..tm.faces.len() {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        let id = out.len();
+        let mut members = Vec::new();
+        let mut stack = vec![start];
+        comp[start] = id;
+        while let Some(f) = stack.pop() {
+            members.push(f);
+            let face = tm.faces[f];
+            for i in 0..3 {
+                let key = edge_key(face[i], face[(i + 1) % 3]);
+                for &(g, _) in &edges[&key] {
+                    if comp[g] == usize::MAX {
+                        comp[g] = id;
+                        stack.push(g);
+                    }
+                }
+            }
+        }
+        out.push(members);
+    }
+    out
+}
+
+/// Split into edge-connected components, each with compacted vertices.
+pub fn connected_components(tm: &TriMesh) -> Vec<TriMesh> {
+    let edges = edge_faces(tm);
+    components_impl(tm, &edges)
+        .into_iter()
+        .map(|faces| {
+            let mut remap: HashMap<u32, u32> = HashMap::new();
+            let mut vertices = Vec::new();
+            let mut out_faces = Vec::with_capacity(faces.len());
+            for fi in faces {
+                let mut nf = [0u32; 3];
+                for (slot, &v) in nf.iter_mut().zip(&tm.faces[fi]) {
+                    *slot = *remap.entry(v).or_insert_with(|| {
+                        vertices.push(tm.vertices[v as usize]);
+                        (vertices.len() - 1) as u32
+                    });
+                }
+                out_faces.push(nf);
+            }
+            TriMesh::new(vertices, out_faces)
+        })
+        .collect()
+}
+
+/// Remove exact duplicate faces (same vertex set, either winding),
+/// keeping the first occurrence. Returns the number removed.
+pub fn remove_duplicate_faces(tm: &mut TriMesh) -> usize {
+    let mut seen = std::collections::HashSet::with_capacity(tm.faces.len());
+    let before = tm.faces.len();
+    tm.faces.retain(|f| {
+        let mut k = *f;
+        k.sort_unstable();
+        seen.insert(k)
+    });
+    before - tm.faces.len()
+}
+
+/// Errors from [`fix_orientation`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RepairError {
+    /// An edge is used by more than two faces; winding propagation is
+    /// ill-defined.
+    NonManifoldEdge(u32, u32),
+    /// A component is not closed, so "outward" is undefined.
+    OpenSurface,
+}
+
+impl std::fmt::Display for RepairError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RepairError::NonManifoldEdge(a, b) => {
+                write!(f, "edge ({a},{b}) used by more than two faces")
+            }
+            RepairError::OpenSurface => write!(f, "surface has boundary edges"),
+        }
+    }
+}
+
+impl std::error::Error for RepairError {}
+
+/// Make the winding consistent across every component and outward-facing
+/// (positive enclosed volume). Returns the number of faces flipped.
+pub fn fix_orientation(tm: &mut TriMesh) -> Result<usize, RepairError> {
+    let edges = edge_faces(tm);
+    for (&(a, b), users) in &edges {
+        if users.len() > 2 {
+            return Err(RepairError::NonManifoldEdge(a, b));
+        }
+        if users.len() < 2 {
+            return Err(RepairError::OpenSurface);
+        }
+    }
+
+    // BFS propagate winding within each component.
+    let n = tm.faces.len();
+    let mut visited = vec![false; n];
+    let mut flip = vec![false; n];
+    let mut flipped = 0usize;
+    let edges_of = |f: &[u32; 3]| -> [(u32, u32, bool); 3] {
+        let mut out = [(0, 0, false); 3];
+        for i in 0..3 {
+            let (a, b) = (f[i], f[(i + 1) % 3]);
+            out[i] = (a.min(b), a.max(b), a < b);
+        }
+        out
+    };
+    for start in 0..n {
+        if visited[start] {
+            continue;
+        }
+        visited[start] = true;
+        let mut queue = std::collections::VecDeque::from([start]);
+        let mut component = vec![start];
+        while let Some(f) = queue.pop_front() {
+            let face = tm.faces[f];
+            for (lo, hi, dir) in edges_of(&face) {
+                // Effective direction after any pending flip of f.
+                let dir_f = dir ^ flip[f];
+                for &(g, _) in &edges[&(lo, hi)] {
+                    if g == f || visited[g] {
+                        continue;
+                    }
+                    let gface = tm.faces[g];
+                    let gdir_raw = edges_of(&gface)
+                        .iter()
+                        .find(|(l, h, _)| (*l, *h) == (lo, hi))
+                        .map(|(_, _, d)| *d)
+                        .unwrap();
+                    // Consistent when the neighbours traverse oppositely.
+                    flip[g] = gdir_raw == dir_f;
+                    visited[g] = true;
+                    component.push(g);
+                    queue.push_back(g);
+                }
+            }
+        }
+        // Apply pending flips for this component, then orient outward.
+        for &f in &component {
+            if flip[f] {
+                tm.faces[f].swap(1, 2);
+                flipped += 1;
+            }
+        }
+        let vol: f64 = component
+            .iter()
+            .map(|&f| {
+                let t = tm.faces[f];
+                let (a, b, c) = (
+                    tm.vertices[t[0] as usize],
+                    tm.vertices[t[1] as usize],
+                    tm.vertices[t[2] as usize],
+                );
+                a.dot(b.cross(c)) / 6.0
+            })
+            .sum();
+        if vol < 0.0 {
+            for &f in &component {
+                tm.faces[f].swap(1, 2);
+            }
+            flipped += component.len();
+        }
+    }
+    Ok(flipped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{cube, sphere};
+    use tripro_geom::vec3;
+
+    #[test]
+    fn analyze_clean_sphere() {
+        let s = sphere(vec3(0.0, 0.0, 0.0), 1.0, 2);
+        let d = analyze(&s);
+        assert!(d.is_encodable(), "{d:?}");
+        assert_eq!(d.boundary_edges, 0);
+        assert_eq!(d.components, 1);
+        assert_eq!(d.manifold_edges, s.faces.len() * 3 / 2);
+    }
+
+    #[test]
+    fn analyze_detects_boundary_and_inconsistency() {
+        let mut s = sphere(vec3(0.0, 0.0, 0.0), 1.0, 1);
+        s.faces.pop();
+        let d = analyze(&s);
+        assert_eq!(d.boundary_edges, 3);
+        assert!(!d.is_encodable());
+
+        let mut s = sphere(vec3(0.0, 0.0, 0.0), 1.0, 1);
+        s.faces[0].swap(1, 2); // flip one face
+        let d = analyze(&s);
+        assert_eq!(d.inconsistent_pairs, 3);
+        assert!(!d.is_encodable());
+    }
+
+    #[test]
+    fn fix_orientation_repairs_random_flips() {
+        let mut s = sphere(vec3(0.0, 0.0, 0.0), 2.0, 2);
+        let truth_volume = s.volume();
+        // Flip a third of the faces.
+        for i in (0..s.faces.len()).step_by(3) {
+            s.faces[i].swap(1, 2);
+        }
+        assert!(!analyze(&s).is_encodable());
+        let flipped = fix_orientation(&mut s).unwrap();
+        assert!(flipped > 0);
+        let d = analyze(&s);
+        assert!(d.is_encodable(), "{d:?}");
+        assert!((s.volume() - truth_volume).abs() < 1e-9, "outward orientation restored");
+        // And it is now PPVP-encodable.
+        crate::ppvp::encode(&s, &crate::ppvp::EncoderConfig::default()).unwrap();
+    }
+
+    #[test]
+    fn fix_orientation_flips_inverted_component() {
+        let mut c = cube(vec3(0.0, 0.0, 0.0), 2.0);
+        for f in &mut c.faces {
+            f.swap(1, 2); // consistently inside-out
+        }
+        assert!(c.volume() < 0.0);
+        fix_orientation(&mut c).unwrap();
+        assert!((c.volume() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fix_orientation_rejects_open_and_nonmanifold() {
+        let mut s = sphere(vec3(0.0, 0.0, 0.0), 1.0, 1);
+        s.faces.pop();
+        assert_eq!(fix_orientation(&mut s), Err(RepairError::OpenSurface));
+
+        let mut s = sphere(vec3(0.0, 0.0, 0.0), 1.0, 1);
+        let f0 = s.faces[0];
+        s.faces.push(f0); // edge now used 3x (actually all three edges)
+        assert!(matches!(
+            fix_orientation(&mut s),
+            Err(RepairError::NonManifoldEdge(_, _))
+        ));
+    }
+
+    #[test]
+    fn components_split_and_compact() {
+        let mut a = sphere(vec3(0.0, 0.0, 0.0), 1.0, 1);
+        let b = cube(vec3(10.0, 0.0, 0.0), 2.0);
+        // Merge into one soup.
+        let off = a.vertices.len() as u32;
+        a.vertices.extend(b.vertices.iter());
+        a.faces.extend(b.faces.iter().map(|f| [f[0] + off, f[1] + off, f[2] + off]));
+        assert_eq!(analyze(&a).components, 2);
+        let mut comps = connected_components(&a);
+        comps.sort_by_key(|c| c.faces.len());
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].faces.len(), 12);
+        assert_eq!(comps[1].faces.len(), 32);
+        // Compacted: no dangling vertices.
+        assert_eq!(comps[0].vertices.len(), 8);
+    }
+
+    #[test]
+    fn duplicate_faces_removed() {
+        let mut c = cube(vec3(0.0, 0.0, 0.0), 1.0);
+        let f = c.faces[3];
+        c.faces.push(f);
+        c.faces.push([f[1], f[2], f[0]]); // rotation
+        c.faces.push([f[0], f[2], f[1]]); // reflection
+        assert_eq!(remove_duplicate_faces(&mut c), 3);
+        assert_eq!(c.faces.len(), 12);
+    }
+}

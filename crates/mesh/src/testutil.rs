@@ -1,0 +1,122 @@
+//! Shared test helpers: small procedural meshes.
+//!
+//! Only compiled for tests (`cfg(test)`) and for dependants' dev builds via
+//! the `testutil` feature — the real dataset generators live in
+//! `tripro-synth`.
+
+use crate::trimesh::TriMesh;
+use tripro_geom::{vec3, Vec3};
+
+/// A sphere mesh built by subdividing an octahedron `subdivs` times and
+/// projecting onto radius `r` around `center`. Face count is `8 · 4^subdivs`.
+pub fn sphere(center: Vec3, r: f64, subdivs: usize) -> TriMesh {
+    let mut vertices = vec![
+        vec3(1.0, 0.0, 0.0),
+        vec3(-1.0, 0.0, 0.0),
+        vec3(0.0, 1.0, 0.0),
+        vec3(0.0, -1.0, 0.0),
+        vec3(0.0, 0.0, 1.0),
+        vec3(0.0, 0.0, -1.0),
+    ];
+    let mut faces: Vec<[u32; 3]> = vec![
+        [0, 2, 4],
+        [2, 1, 4],
+        [1, 3, 4],
+        [3, 0, 4],
+        [2, 0, 5],
+        [1, 2, 5],
+        [3, 1, 5],
+        [0, 3, 5],
+    ];
+    for _ in 0..subdivs {
+        let mut midpoints: std::collections::HashMap<(u32, u32), u32> =
+            std::collections::HashMap::new();
+        let mut next = Vec::with_capacity(faces.len() * 4);
+        let mut mid = |a: u32, b: u32, vertices: &mut Vec<Vec3>| -> u32 {
+            let key = (a.min(b), a.max(b));
+            *midpoints.entry(key).or_insert_with(|| {
+                let m = (vertices[a as usize] + vertices[b as usize]) * 0.5;
+                let m = m.normalized().unwrap();
+                vertices.push(m);
+                (vertices.len() - 1) as u32
+            })
+        };
+        for f in &faces {
+            let [a, b, c] = *f;
+            let ab = mid(a, b, &mut vertices);
+            let bc = mid(b, c, &mut vertices);
+            let ca = mid(c, a, &mut vertices);
+            next.push([a, ab, ca]);
+            next.push([b, bc, ab]);
+            next.push([c, ca, bc]);
+            next.push([ab, bc, ca]);
+        }
+        faces = next;
+    }
+    for v in &mut vertices {
+        *v = center + *v * r;
+    }
+    TriMesh::new(vertices, faces)
+}
+
+/// A unit cube as a closed triangle mesh (12 faces) at `center` with side `s`.
+pub fn cube(center: Vec3, s: f64) -> TriMesh {
+    let h = s * 0.5;
+    let vertices = vec![
+        center + vec3(-h, -h, -h),
+        center + vec3(h, -h, -h),
+        center + vec3(h, h, -h),
+        center + vec3(-h, h, -h),
+        center + vec3(-h, -h, h),
+        center + vec3(h, -h, h),
+        center + vec3(h, h, h),
+        center + vec3(-h, h, h),
+    ];
+    let quads = [
+        [0usize, 3, 2, 1],
+        [4, 5, 6, 7],
+        [0, 1, 5, 4],
+        [2, 3, 7, 6],
+        [0, 4, 7, 3],
+        [1, 2, 6, 5],
+    ];
+    let mut faces = Vec::new();
+    for q in quads {
+        faces.push([q[0] as u32, q[1] as u32, q[2] as u32]);
+        faces.push([q[0] as u32, q[2] as u32, q[3] as u32]);
+    }
+    TriMesh::new(vertices, faces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trimesh::quantize_mesh;
+
+    #[test]
+    fn sphere_is_closed_manifold() {
+        for subdivs in 0..4 {
+            let s = sphere(vec3(0.0, 0.0, 0.0), 1.0, subdivs);
+            assert_eq!(s.faces.len(), 8 * 4usize.pow(subdivs as u32));
+            let (m, _) = quantize_mesh(&s, 16).unwrap();
+            m.validate_closed_manifold().unwrap();
+            assert_eq!(m.euler_characteristic(), 2);
+        }
+    }
+
+    #[test]
+    fn sphere_volume_approaches_analytic() {
+        let s = sphere(vec3(5.0, 5.0, 5.0), 2.0, 4);
+        let analytic = 4.0 / 3.0 * std::f64::consts::PI * 8.0;
+        let v = s.volume();
+        assert!(v > 0.9 * analytic && v < analytic, "v={v} vs {analytic}");
+    }
+
+    #[test]
+    fn cube_is_closed_manifold() {
+        let c = cube(vec3(1.0, 2.0, 3.0), 2.0);
+        assert!((c.volume() - 8.0).abs() < 1e-9);
+        let (m, _) = quantize_mesh(&c, 12).unwrap();
+        m.validate_closed_manifold().unwrap();
+    }
+}

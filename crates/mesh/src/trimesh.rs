@@ -1,0 +1,298 @@
+//! Floating-point triangle-soup mesh and its conversion onto the
+//! quantisation grid.
+//!
+//! `TriMesh` is the interchange format: generators (`tripro-synth`) produce
+//! it, the PPVP encoder consumes it after snapping to a grid.
+
+use crate::mesh::{Mesh, MeshError};
+use tripro_coder::Quantizer;
+use tripro_geom::{ivec3, Aabb, IVec3, Triangle, Vec3};
+
+/// An indexed triangle mesh with `f64` vertices.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TriMesh {
+    pub vertices: Vec<Vec3>,
+    /// Vertex triples, counter-clockwise from outside.
+    pub faces: Vec<[u32; 3]>,
+}
+
+impl TriMesh {
+    pub fn new(vertices: Vec<Vec3>, faces: Vec<[u32; 3]>) -> Self {
+        Self { vertices, faces }
+    }
+
+    /// Bounding box of all vertices.
+    pub fn aabb(&self) -> Aabb {
+        Aabb::from_points(self.vertices.iter().cloned())
+    }
+
+    /// Materialise faces as triangles.
+    pub fn triangles(&self) -> Vec<Triangle> {
+        self.faces
+            .iter()
+            .map(|f| {
+                Triangle::new(
+                    self.vertices[f[0] as usize],
+                    self.vertices[f[1] as usize],
+                    self.vertices[f[2] as usize],
+                )
+            })
+            .collect()
+    }
+
+    /// Merge vertices closer than `eps` (exact duplicates when `eps == 0`),
+    /// dropping faces that become degenerate. Returns the number of removed
+    /// vertices.
+    pub fn weld(&mut self, eps: f64) -> usize {
+        let n = self.vertices.len();
+        let mut map: Vec<u32> = (0..n as u32).collect();
+        if eps == 0.0 {
+            let mut seen: std::collections::HashMap<[u64; 3], u32> =
+                std::collections::HashMap::with_capacity(n);
+            for (i, v) in self.vertices.iter().enumerate() {
+                let key = [v.x.to_bits(), v.y.to_bits(), v.z.to_bits()];
+                map[i] = *seen.entry(key).or_insert(i as u32);
+            }
+        } else {
+            // Grid hash: points within eps land in the same or adjacent cell.
+            let inv = 1.0 / eps;
+            let mut grid: std::collections::HashMap<(i64, i64, i64), Vec<u32>> =
+                std::collections::HashMap::new();
+            for (i, v) in self.vertices.iter().enumerate() {
+                let c = (
+                    (v.x * inv).floor() as i64,
+                    (v.y * inv).floor() as i64,
+                    (v.z * inv).floor() as i64,
+                );
+                let mut found = None;
+                'search: for dx in -1..=1 {
+                    for dy in -1..=1 {
+                        for dz in -1..=1 {
+                            if let Some(cands) = grid.get(&(c.0 + dx, c.1 + dy, c.2 + dz)) {
+                                for &j in cands {
+                                    if self.vertices[j as usize].dist(*v) <= eps {
+                                        found = Some(j);
+                                        break 'search;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                match found {
+                    Some(j) => map[i] = j,
+                    None => grid.entry(c).or_default().push(i as u32),
+                }
+            }
+        }
+
+        // Compact: keep representatives only.
+        let mut new_id = vec![u32::MAX; n];
+        let mut verts = Vec::new();
+        for i in 0..n {
+            if map[i] == i as u32 {
+                new_id[i] = verts.len() as u32;
+                verts.push(self.vertices[i]);
+            }
+        }
+        for i in 0..n {
+            new_id[i] = new_id[map[i] as usize];
+        }
+        let removed = n - verts.len();
+        self.vertices = verts;
+        self.faces.retain_mut(|f| {
+            for v in f.iter_mut() {
+                *v = new_id[*v as usize];
+            }
+            f[0] != f[1] && f[1] != f[2] && f[0] != f[2]
+        });
+        removed
+    }
+
+    /// Total surface area.
+    pub fn surface_area(&self) -> f64 {
+        self.triangles().iter().map(Triangle::area).sum()
+    }
+
+    /// Signed volume (positive when outward-oriented).
+    pub fn volume(&self) -> f64 {
+        tripro_geom::mesh_volume(&self.triangles())
+    }
+
+    /// Translate all vertices.
+    pub fn translate(&mut self, d: Vec3) {
+        for v in &mut self.vertices {
+            *v += d;
+        }
+    }
+
+    /// Scale all vertices about the origin.
+    pub fn scale(&mut self, s: f64) {
+        for v in &mut self.vertices {
+            *v = *v * s;
+        }
+    }
+}
+
+/// Snap a `TriMesh` onto a `bits`-per-axis grid over its bounding box and
+/// build the editable [`Mesh`].
+///
+/// Fails with [`MeshError::DegenerateFace`] when quantisation collapses a
+/// face (use more bits), and propagates manifold violations from validation.
+pub fn quantize_mesh(tm: &TriMesh, bits: u32) -> Result<(Mesh, Quantizer), MeshError> {
+    let bb = tm.aabb();
+    let q = Quantizer::new(bb.lo.to_array(), bb.hi.to_array(), bits);
+    let mut grid_pos: Vec<IVec3> = Vec::with_capacity(tm.vertices.len());
+    for v in &tm.vertices {
+        let g = q.quantize(v.to_array());
+        grid_pos.push(ivec3(g[0], g[1], g[2]));
+    }
+    // Weld grid-coincident vertices (rare at sane bit widths).
+    let mut seen: std::collections::HashMap<IVec3, u32> =
+        std::collections::HashMap::with_capacity(grid_pos.len());
+    let mut remap = vec![0u32; grid_pos.len()];
+    let mut verts = Vec::new();
+    for (i, g) in grid_pos.iter().enumerate() {
+        match seen.entry(*g) {
+            std::collections::hash_map::Entry::Occupied(e) => remap[i] = *e.get(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let id = verts.len() as u32;
+                e.insert(id);
+                verts.push(*g);
+                remap[i] = id;
+            }
+        }
+    }
+    let mut faces = Vec::with_capacity(tm.faces.len());
+    for f in &tm.faces {
+        let g = [remap[f[0] as usize], remap[f[1] as usize], remap[f[2] as usize]];
+        if g[0] == g[1] || g[1] == g[2] || g[0] == g[2] {
+            return Err(MeshError::DegenerateFace);
+        }
+        faces.push(g);
+    }
+    let mesh = Mesh::from_parts(verts, &faces)?;
+    Ok((mesh, q))
+}
+
+/// Rebuild a `TriMesh` from an editable mesh (dequantised, compacted ids).
+pub fn to_trimesh(mesh: &Mesh, q: &Quantizer) -> TriMesh {
+    let mut id_map = std::collections::HashMap::new();
+    let mut vertices = Vec::with_capacity(mesh.vertex_count());
+    for (vid, g) in mesh.grid_positions() {
+        let f = q.dequantize([g.x, g.y, g.z]);
+        id_map.insert(vid, vertices.len() as u32);
+        vertices.push(tripro_geom::vec3(f[0], f[1], f[2]));
+    }
+    let faces = mesh
+        .face_ids()
+        .map(|f| {
+            let [a, b, c] = mesh.face(f);
+            [id_map[&a], id_map[&b], id_map[&c]]
+        })
+        .collect();
+    TriMesh { vertices, faces }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tripro_geom::vec3;
+
+    fn unit_tet() -> TriMesh {
+        TriMesh::new(
+            vec![
+                vec3(0.0, 0.0, 0.0),
+                vec3(1.0, 0.0, 0.0),
+                vec3(0.0, 1.0, 0.0),
+                vec3(0.0, 0.0, 1.0),
+            ],
+            vec![[0, 2, 1], [0, 1, 3], [1, 2, 3], [0, 3, 2]],
+        )
+    }
+
+    #[test]
+    fn measures() {
+        let t = unit_tet();
+        assert!((t.volume() - 1.0 / 6.0).abs() < 1e-12);
+        assert!(t.surface_area() > 1.0);
+        assert_eq!(t.triangles().len(), 4);
+    }
+
+    #[test]
+    fn weld_exact_duplicates() {
+        let mut t = unit_tet();
+        // Duplicate vertex 1 and use the duplicate in one face.
+        t.vertices.push(t.vertices[1]);
+        t.faces[1] = [0, 4, 3];
+        let removed = t.weld(0.0);
+        assert_eq!(removed, 1);
+        assert_eq!(t.vertices.len(), 4);
+        assert!(t.faces.iter().all(|f| f.iter().all(|&v| v < 4)));
+        assert_eq!(t.faces.len(), 4);
+    }
+
+    #[test]
+    fn weld_epsilon_merges_near_points() {
+        let mut t = unit_tet();
+        t.vertices.push(vec3(1e-9, 0.0, 0.0)); // near vertex 0
+        t.faces[1] = [4, 1, 3];
+        let removed = t.weld(1e-6);
+        assert_eq!(removed, 1);
+        assert_eq!(t.faces.len(), 4);
+        assert_eq!(t.faces[1], [0, 1, 3]);
+    }
+
+    #[test]
+    fn weld_drops_collapsed_faces() {
+        let mut t = unit_tet();
+        t.vertices.push(t.vertices[2]);
+        t.faces.push([2, 4, 0]); // becomes degenerate after weld
+        t.weld(0.0);
+        assert_eq!(t.faces.len(), 4);
+    }
+
+    #[test]
+    fn quantize_roundtrip_geometry() {
+        let t = unit_tet();
+        let (m, q) = quantize_mesh(&t, 16).unwrap();
+        m.validate_closed_manifold().unwrap();
+        assert_eq!(m.vertex_count(), 4);
+        assert_eq!(m.face_count(), 4);
+        let back = to_trimesh(&m, &q);
+        assert_eq!(back.vertices.len(), 4);
+        // Max error bounded by the grid diagonal.
+        for (a, b) in t.vertices.iter().zip(&back.vertices) {
+            assert!(a.dist(*b) <= q.max_error() * 1.0001);
+        }
+        // Volume approximately preserved.
+        assert!((back.volume() - t.volume()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn quantize_collision_detected() {
+        // Two interior vertices 0.6 apart in a 10-unit box collapse onto the
+        // same grid point at 1 bit per axis.
+        let t = TriMesh::new(
+            vec![
+                vec3(0.0, 0.0, 0.0),
+                vec3(10.0, 10.0, 10.0),
+                vec3(4.0, 4.0, 4.0),
+                vec3(4.6, 4.6, 4.6),
+            ],
+            vec![[2, 3, 0], [2, 1, 3]],
+        );
+        assert!(matches!(quantize_mesh(&t, 1), Err(MeshError::DegenerateFace)));
+    }
+
+    #[test]
+    fn transform_helpers() {
+        let mut t = unit_tet();
+        t.translate(vec3(1.0, 2.0, 3.0));
+        assert_eq!(t.vertices[0], vec3(1.0, 2.0, 3.0));
+        t.scale(2.0);
+        assert_eq!(t.vertices[0], vec3(2.0, 4.0, 6.0));
+        let bb = t.aabb();
+        assert_eq!(bb.lo, vec3(2.0, 4.0, 6.0));
+    }
+}

@@ -1,0 +1,225 @@
+//! Tissue-block dataset builder: places nuclei and vessels in a shared
+//! volume the way the paper's datasets are laid out (§6.2): objects of the
+//! same dataset never intersect and are roughly uniformly distributed.
+//!
+//! Produces the dataset combinations the five experiment types need:
+//! two nuclei segmentations A and B (B is a jittered re-segmentation of A,
+//! so the intersection join A⋈B finds matches, §6.3), and a vessel set
+//! sharing the block with the nuclei for the NV joins.
+
+use crate::nuclei::{nucleus, NucleusConfig};
+use crate::vessel::{vessel, VesselConfig};
+use rand::{Rng, SeedableRng};
+use tripro_geom::{vec3, Aabb, Vec3};
+use tripro_mesh::TriMesh;
+
+/// Dataset scale and shape knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetConfig {
+    pub nuclei_count: usize,
+    pub vessel_count: usize,
+    pub nucleus: NucleusConfig,
+    pub vessel: VesselConfig,
+    /// Master seed; every object derives its own deterministic stream.
+    pub seed: u64,
+    /// Nucleus cell size as a multiple of the nucleus diameter; must stay
+    /// > 1 to guarantee intra-dataset disjointness.
+    pub spacing: f64,
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        Self {
+            nuclei_count: 500,
+            vessel_count: 4,
+            nucleus: NucleusConfig::default(),
+            vessel: VesselConfig::default(),
+            seed: 0x3D9E0,
+            spacing: 1.8,
+        }
+    }
+}
+
+/// A generated tissue block.
+#[derive(Debug, Clone)]
+pub struct TissueBlock {
+    /// Primary nuclei segmentation (dataset D₁).
+    pub nuclei_a: Vec<TriMesh>,
+    /// Alternative segmentation of the same tissue: each nucleus of A
+    /// re-segmented with jitter, so A⋈B intersects frequently.
+    pub nuclei_b: Vec<TriMesh>,
+    /// Vessel dataset.
+    pub vessels: Vec<TriMesh>,
+    /// Overall extent of the block.
+    pub extent: Aabb,
+}
+
+/// Generate a tissue block deterministically from `cfg.seed`.
+pub fn generate(cfg: &DatasetConfig) -> TissueBlock {
+    assert!(cfg.spacing > 1.0, "spacing must exceed 1 for disjointness");
+    let mut placement_rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+
+    // ---- nuclei ----
+    let max_r = cfg.nucleus.radius
+        * (1.0 + cfg.nucleus.radius_jitter)
+        * (1.0 + cfg.nucleus.lobe_amplitude)
+        * (1.0 + cfg.nucleus.aniso);
+    let cell = 2.0 * max_r * cfg.spacing;
+    let side = (cfg.nuclei_count as f64).cbrt().ceil() as usize;
+    let mut cells: Vec<(usize, usize, usize)> = (0..side)
+        .flat_map(|x| (0..side).flat_map(move |y| (0..side).map(move |z| (x, y, z))))
+        .collect();
+    // Shuffle so truncation keeps the distribution uniform.
+    for i in (1..cells.len()).rev() {
+        let j = placement_rng.gen_range(0..=i);
+        cells.swap(i, j);
+    }
+    cells.truncate(cfg.nuclei_count);
+
+    let jitter_room = (cell - 2.0 * max_r) * 0.5;
+    let mut nuclei_a = Vec::with_capacity(cfg.nuclei_count);
+    let mut nuclei_b = Vec::with_capacity(cfg.nuclei_count);
+    for (i, (x, y, z)) in cells.iter().enumerate() {
+        let base = vec3(
+            (*x as f64 + 0.5) * cell,
+            (*y as f64 + 0.5) * cell,
+            (*z as f64 + 0.5) * cell,
+        );
+        let mut rng_a = rand::rngs::StdRng::seed_from_u64(cfg.seed ^ (0xA000_0000 + i as u64));
+        let ca = base
+            + vec3(
+                (rng_a.gen::<f64>() - 0.5) * jitter_room,
+                (rng_a.gen::<f64>() - 0.5) * jitter_room,
+                (rng_a.gen::<f64>() - 0.5) * jitter_room,
+            );
+        nuclei_a.push(nucleus(&mut rng_a, &cfg.nucleus, ca));
+
+        // Alternative segmentation: small positional and shape jitter.
+        let mut rng_b = rand::rngs::StdRng::seed_from_u64(cfg.seed ^ (0xB000_0000 + i as u64));
+        let cb = ca
+            + vec3(
+                (rng_b.gen::<f64>() - 0.5) * 0.3 * cfg.nucleus.radius,
+                (rng_b.gen::<f64>() - 0.5) * 0.3 * cfg.nucleus.radius,
+                (rng_b.gen::<f64>() - 0.5) * 0.3 * cfg.nucleus.radius,
+            );
+        nuclei_b.push(nucleus(&mut rng_b, &cfg.nucleus, cb));
+    }
+
+    let nuclei_extent = cell * side as f64;
+
+    // ---- vessels ----
+    // Generate each vessel at the origin, then pack its AABB into a lane
+    // beside (and through) the nuclei region.
+    let mut vessels = Vec::with_capacity(cfg.vessel_count);
+    let mut cursor_x = 0.0f64;
+    for i in 0..cfg.vessel_count {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed ^ (0xCE55E1 + i as u64 * 7919));
+        let v = vessel(&mut rng, &cfg.vessel, Vec3::ZERO);
+        let bb = v.mesh.aabb();
+        // Shift so this vessel's box starts at cursor_x with a small gap,
+        // vertically centred in the block.
+        let gap = cfg.vessel.root_radius;
+        let dx = cursor_x - bb.lo.x + gap;
+        let dy = (nuclei_extent - bb.extent().y) * 0.5 - bb.lo.y;
+        let dz = (nuclei_extent - bb.extent().z) * 0.5 - bb.lo.z;
+        let mut m = v.mesh;
+        m.translate(vec3(dx, dy, dz));
+        cursor_x = m.aabb().hi.x + gap;
+        vessels.push(m);
+    }
+
+    let mut extent = Aabb::from_corners(Vec3::ZERO, Vec3::splat(nuclei_extent));
+    for v in &vessels {
+        extent = extent.union(&v.aabb());
+    }
+
+    TissueBlock { nuclei_a, nuclei_b, vessels, extent }
+}
+
+/// Check that no pair of meshes in `set` has intersecting AABBs — a cheap
+/// sufficient condition for dataset disjointness used by tests and the
+/// harness sanity checks.
+pub fn aabbs_disjoint(set: &[TriMesh]) -> bool {
+    let boxes: Vec<Aabb> = set.iter().map(TriMesh::aabb).collect();
+    for i in 0..boxes.len() {
+        for j in (i + 1)..boxes.len() {
+            if boxes[i].intersects(&boxes[j]) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> DatasetConfig {
+        DatasetConfig {
+            nuclei_count: 60,
+            vessel_count: 2,
+            vessel: VesselConfig { levels: 2, grid: 24, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn counts_match_config() {
+        let block = generate(&small_cfg());
+        assert_eq!(block.nuclei_a.len(), 60);
+        assert_eq!(block.nuclei_b.len(), 60);
+        assert_eq!(block.vessels.len(), 2);
+    }
+
+    #[test]
+    fn intra_dataset_objects_disjoint() {
+        let block = generate(&small_cfg());
+        assert!(aabbs_disjoint(&block.nuclei_a), "nuclei A must not intersect");
+        assert!(aabbs_disjoint(&block.vessels), "vessels must not intersect");
+    }
+
+    #[test]
+    fn cross_dataset_nuclei_overlap() {
+        let block = generate(&small_cfg());
+        // Each B nucleus should overlap its A counterpart (the INT join's
+        // raison d'être).
+        let overlapping = block
+            .nuclei_a
+            .iter()
+            .zip(&block.nuclei_b)
+            .filter(|(a, b)| a.aabb().intersects(&b.aabb()))
+            .count();
+        assert!(
+            overlapping * 10 >= block.nuclei_a.len() * 9,
+            "only {overlapping}/{} A-B pairs overlap",
+            block.nuclei_a.len()
+        );
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = generate(&small_cfg());
+        let b = generate(&small_cfg());
+        assert_eq!(a.nuclei_a[0], b.nuclei_a[0]);
+        assert_eq!(a.vessels[0], b.vessels[0]);
+        let mut other = small_cfg();
+        other.seed ^= 1;
+        let c = generate(&other);
+        assert_ne!(a.nuclei_a[0], c.nuclei_a[0]);
+    }
+
+    #[test]
+    fn extent_covers_everything() {
+        let block = generate(&small_cfg());
+        for m in block
+            .nuclei_a
+            .iter()
+            .chain(&block.nuclei_b)
+            .chain(&block.vessels)
+        {
+            let bb = m.aabb();
+            assert!(block.extent.contains_box(&bb) || block.extent.union(&bb) == block.extent);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # tripro-synth
+//!
+//! Synthetic dataset generators standing in for the paper's proprietary
+//! 3D pathology reconstructions: near-convex perturbed-icosphere *nuclei*
+//! and bifurcated capsule-tree *vessels* polygonised by marching
+//! tetrahedra, plus the tissue-block placement logic that lays them out
+//! the way §6.2 describes (uniform, intra-dataset disjoint).
+
+pub mod dataset;
+pub mod marching;
+pub mod nuclei;
+pub mod rbc;
+pub mod sdf;
+pub mod vessel;
+
+pub use dataset::{aabbs_disjoint, generate, DatasetConfig, TissueBlock};
+pub use marching::{polygonize, GridSpec};
+pub use nuclei::{icosphere, nucleus, NucleusConfig};
+pub use rbc::{rbc, BiconcaveDisc, RbcConfig};
+pub use sdf::{smooth_min, Capsule, Cone, Sdf, SmoothUnion, Sphere, Union};
+pub use vessel::{grow_skeleton, vessel, SkeletonSegment, Vessel, VesselConfig};

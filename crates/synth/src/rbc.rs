@@ -1,0 +1,159 @@
+//! Red-blood-cell generator: biconcave discs.
+//!
+//! A third object family between the paper's two extremes: RBCs are
+//! compact like nuclei but carry two deep concave dimples, so their
+//! protruding-vertex fraction falls between the near-convex nuclei (~99%)
+//! and the heavily recessed vessels — useful for stressing PPVP on shapes
+//! where pruning stalls locally.
+
+use crate::marching::{polygonize, GridSpec};
+use crate::nuclei::random_unit;
+use crate::sdf::{smooth_min, Sdf, Sphere};
+use rand::Rng;
+use tripro_geom::{Aabb, Vec3};
+use tripro_mesh::TriMesh;
+
+/// Biconcave disc field: a flattened ball with two dimple spheres smoothly
+/// carved out of its top and bottom.
+pub struct BiconcaveDisc {
+    pub center: Vec3,
+    /// Disc radius in the equatorial plane.
+    pub radius: f64,
+    /// Half-thickness at the rim.
+    pub thickness: f64,
+    /// Dimple depth as a fraction of the thickness (0 = none, ~0.9 = deep).
+    pub dimple: f64,
+}
+
+impl Sdf for BiconcaveDisc {
+    fn eval(&self, p: Vec3) -> f64 {
+        let d = p - self.center;
+        // Flattened ball: scale z so the ball becomes an oblate spheroid.
+        // (Approximate SDF — adequate for polygonisation.)
+        let q = Vec3::new(d.x, d.y, d.z * self.radius / self.thickness);
+        let body = q.norm() - self.radius;
+        // Dimples: spheres above and below the centre, smooth-subtracted.
+        let dr = self.radius * 0.9;
+        let dz = self.thickness * (2.0 - self.dimple);
+        let top = Sphere { center: self.center + Vec3::new(0.0, 0.0, dz + dr * 0.2), radius: dr };
+        let bot = Sphere { center: self.center - Vec3::new(0.0, 0.0, dz + dr * 0.2), radius: dr };
+        // Smooth subtraction: max(a, -b) via -smin(-a, b).
+        let k = self.thickness * 0.3;
+        let carved_top = -smooth_min(-body, top.eval(p), k);
+        -smooth_min(-carved_top, bot.eval(p), k)
+    }
+}
+
+/// RBC shape parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RbcConfig {
+    pub radius: f64,
+    pub thickness: f64,
+    pub dimple: f64,
+    pub radius_jitter: f64,
+    /// Marching-tetrahedra cubes along the longest axis.
+    pub grid: usize,
+}
+
+impl Default for RbcConfig {
+    fn default() -> Self {
+        Self { radius: 1.0, thickness: 0.35, dimple: 0.75, radius_jitter: 0.15, grid: 28 }
+    }
+}
+
+/// Generate one red blood cell centred at `center` with a random tilt.
+pub fn rbc(rng: &mut impl Rng, cfg: &RbcConfig, center: Vec3) -> TriMesh {
+    let radius = cfg.radius * (1.0 + cfg.radius_jitter * (rng.gen::<f64>() * 2.0 - 1.0));
+    let field = BiconcaveDisc {
+        center: Vec3::ZERO,
+        radius,
+        thickness: cfg.thickness * radius / cfg.radius,
+        dimple: cfg.dimple,
+    };
+    let bb = Aabb::from_corners(
+        Vec3::new(-radius, -radius, -radius),
+        Vec3::new(radius, radius, radius),
+    );
+    let mut tm = polygonize(&field, &GridSpec::covering(&bb, cfg.grid));
+    // Random rotation (tilt the disc axis), then translate into place.
+    let axis = random_unit(rng);
+    let angle = rng.gen::<f64>() * std::f64::consts::TAU;
+    let (s, c) = angle.sin_cos();
+    for v in &mut tm.vertices {
+        let r = *v * c + axis.cross(*v) * s + axis * (axis.dot(*v) * (1.0 - c));
+        *v = r + center;
+    }
+    tm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tripro_geom::vec3;
+    use tripro_mesh::{protruding_fraction_of, quantize_mesh};
+
+    #[test]
+    fn rbc_is_closed_manifold() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(30);
+        for i in 0..5 {
+            let cell = rbc(&mut rng, &RbcConfig::default(), vec3(i as f64 * 4.0, 0.0, 0.0));
+            assert!(cell.faces.len() > 300, "faces: {}", cell.faces.len());
+            let (m, _) = quantize_mesh(&cell, 16).unwrap();
+            m.validate_closed_manifold().unwrap();
+            assert!(cell.volume() > 0.0);
+        }
+    }
+
+    #[test]
+    fn rbc_is_flatter_than_a_ball_and_dimpled() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let cfg = RbcConfig { radius_jitter: 0.0, ..Default::default() };
+        let field = BiconcaveDisc {
+            center: Vec3::ZERO,
+            radius: cfg.radius,
+            thickness: cfg.thickness,
+            dimple: cfg.dimple,
+        };
+        // Inside at the rim plane, outside at the pole region centre
+        // (the dimple carves the middle thin).
+        assert!(field.eval(vec3(0.8, 0.0, 0.0)) < 0.0, "rim interior");
+        assert!(field.eval(vec3(0.0, 0.0, 0.9)) > 0.0, "well above the disc");
+        let centre_thickness = field.eval(vec3(0.0, 0.0, cfg.thickness * 0.8));
+        assert!(centre_thickness > 0.0, "dimple thins the centre");
+        // A disc's volume is far below the bounding ball's.
+        let cell = rbc(&mut rng, &cfg, Vec3::ZERO);
+        let ball = 4.0 / 3.0 * std::f64::consts::PI * cfg.radius.powi(3);
+        assert!(cell.volume() < 0.4 * ball);
+    }
+
+    #[test]
+    fn rbc_protruding_fraction_between_nucleus_and_vessel() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(32);
+        let cell = rbc(&mut rng, &RbcConfig::default(), Vec3::ZERO);
+        let f = protruding_fraction_of(&cell, 16);
+        // Dimples recess, rim protrudes: expect a middling fraction.
+        assert!(f > 0.3 && f < 0.98, "fraction {f}");
+    }
+
+    #[test]
+    fn rbc_encodes_with_ppvp() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(33);
+        let cell = rbc(&mut rng, &RbcConfig::default(), vec3(2.0, 2.0, 2.0));
+        let cm = tripro_mesh::encode(&cell, &tripro_mesh::EncoderConfig::default()).unwrap();
+        assert!(cm.max_lod() >= 1);
+        let mut dec = cm.decoder().unwrap();
+        dec.decode_to(cm.max_lod()).unwrap();
+        assert_eq!(dec.mesh().face_count(), cell.faces.len());
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let mk = |seed| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            rbc(&mut rng, &RbcConfig::default(), Vec3::ZERO)
+        };
+        assert_eq!(mk(5), mk(5));
+        assert_ne!(mk(5), mk(6));
+    }
+}

@@ -1,0 +1,185 @@
+//! Signed distance fields used to sculpt synthetic 3D objects.
+//!
+//! The paper's vessel dataset comes from proprietary tissue reconstructions;
+//! we substitute implicit surfaces — smooth unions of capsules along a
+//! bifurcating skeleton — polygonised by marching tetrahedra
+//! (see `DESIGN.md` §2 for the substitution rationale).
+
+use tripro_geom::Vec3;
+
+/// A signed distance field: negative inside, positive outside.
+pub trait Sdf {
+    /// Signed distance (or a conservative approximation of it) at `p`.
+    fn eval(&self, p: Vec3) -> f64;
+}
+
+/// Sphere of radius `r` centred at `c`.
+#[derive(Debug, Clone, Copy)]
+pub struct Sphere {
+    pub center: Vec3,
+    pub radius: f64,
+}
+
+impl Sdf for Sphere {
+    #[inline]
+    fn eval(&self, p: Vec3) -> f64 {
+        p.dist(self.center) - self.radius
+    }
+}
+
+/// Capsule: all points within `radius` of segment `[a, b]`.
+#[derive(Debug, Clone, Copy)]
+pub struct Capsule {
+    pub a: Vec3,
+    pub b: Vec3,
+    pub radius: f64,
+}
+
+impl Sdf for Capsule {
+    #[inline]
+    fn eval(&self, p: Vec3) -> f64 {
+        let ab = self.b - self.a;
+        let denom = ab.norm2();
+        let t = if denom > 0.0 {
+            ((p - self.a).dot(ab) / denom).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        p.dist(self.a + ab * t) - self.radius
+    }
+}
+
+/// Tapered capsule: the radius blends linearly from `ra` at `a` to `rb` at
+/// `b` — vessels thin out along their branches.
+#[derive(Debug, Clone, Copy)]
+pub struct Cone {
+    pub a: Vec3,
+    pub b: Vec3,
+    pub ra: f64,
+    pub rb: f64,
+}
+
+impl Sdf for Cone {
+    #[inline]
+    fn eval(&self, p: Vec3) -> f64 {
+        let ab = self.b - self.a;
+        let denom = ab.norm2();
+        let t = if denom > 0.0 {
+            ((p - self.a).dot(ab) / denom).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let r = self.ra + (self.rb - self.ra) * t;
+        p.dist(self.a + ab * t) - r
+    }
+}
+
+/// Smooth union of a set of fields with blending width `k` (polynomial
+/// smooth-min). `k = 0` degrades to a hard union.
+pub struct SmoothUnion<S> {
+    pub parts: Vec<S>,
+    pub k: f64,
+}
+
+impl<S: Sdf> Sdf for SmoothUnion<S> {
+    fn eval(&self, p: Vec3) -> f64 {
+        let mut d = f64::INFINITY;
+        for s in &self.parts {
+            let e = s.eval(p);
+            d = if self.k > 0.0 && d.is_finite() {
+                smooth_min(d, e, self.k)
+            } else {
+                d.min(e)
+            };
+        }
+        d
+    }
+}
+
+/// Polynomial smooth minimum (Inigo Quilez's formulation).
+#[inline]
+pub fn smooth_min(a: f64, b: f64, k: f64) -> f64 {
+    let h = (0.5 + 0.5 * (b - a) / k).clamp(0.0, 1.0);
+    b + (a - b) * h - k * h * (1.0 - h)
+}
+
+/// Boxed trait-object union for heterogeneous scenes.
+pub struct Union(pub Vec<Box<dyn Sdf + Send + Sync>>);
+
+impl Sdf for Union {
+    fn eval(&self, p: Vec3) -> f64 {
+        self.0.iter().map(|s| s.eval(p)).fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tripro_geom::vec3;
+
+    #[test]
+    fn sphere_signs() {
+        let s = Sphere { center: vec3(1.0, 0.0, 0.0), radius: 2.0 };
+        assert!(s.eval(vec3(1.0, 0.0, 0.0)) < 0.0);
+        assert_eq!(s.eval(vec3(3.0, 0.0, 0.0)), 0.0);
+        assert!(s.eval(vec3(5.0, 0.0, 0.0)) > 0.0);
+        assert!((s.eval(vec3(5.0, 0.0, 0.0)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capsule_signs() {
+        let c = Capsule { a: vec3(0.0, 0.0, 0.0), b: vec3(4.0, 0.0, 0.0), radius: 1.0 };
+        assert!(c.eval(vec3(2.0, 0.0, 0.0)) < 0.0);
+        assert!((c.eval(vec3(2.0, 3.0, 0.0)) - 2.0).abs() < 1e-12);
+        // Beyond an endpoint the cap is spherical.
+        assert!((c.eval(vec3(6.0, 0.0, 0.0)) - 1.0).abs() < 1e-12);
+        // Degenerate capsule is a sphere.
+        let pt = Capsule { a: vec3(1.0, 1.0, 1.0), b: vec3(1.0, 1.0, 1.0), radius: 0.5 };
+        assert!((pt.eval(vec3(1.0, 1.0, 2.0)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cone_tapers() {
+        let c = Cone { a: vec3(0.0, 0.0, 0.0), b: vec3(10.0, 0.0, 0.0), ra: 2.0, rb: 1.0 };
+        assert!((c.eval(vec3(0.0, 5.0, 0.0)) - 3.0).abs() < 1e-12);
+        assert!((c.eval(vec3(10.0, 5.0, 0.0)) - 4.0).abs() < 1e-12);
+        assert!((c.eval(vec3(5.0, 5.0, 0.0)) - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smooth_min_properties() {
+        // Bounded above by the hard min and converges to it for distant values.
+        for (a, b) in [(0.0, 5.0), (3.0, 3.1), (-2.0, 1.0)] {
+            let s = smooth_min(a, b, 0.5);
+            assert!(s <= a.min(b) + 1e-12);
+        }
+        assert!((smooth_min(0.0, 100.0, 0.5) - 0.0).abs() < 1e-9);
+        // Symmetry.
+        assert!((smooth_min(1.0, 2.0, 0.7) - smooth_min(2.0, 1.0, 0.7)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smooth_union_blends() {
+        let u = SmoothUnion {
+            parts: vec![
+                Sphere { center: vec3(-1.0, 0.0, 0.0), radius: 1.0 },
+                Sphere { center: vec3(1.0, 0.0, 0.0), radius: 1.0 },
+            ],
+            k: 0.5,
+        };
+        // Midpoint between two touching spheres: hard union is 0, smooth
+        // union pulls it negative (fills the crease).
+        assert!(u.eval(vec3(0.0, 0.0, 0.0)) < 0.0);
+        // Far away it behaves like the distance to the nearest sphere.
+        assert!((u.eval(vec3(10.0, 0.0, 0.0)) - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn union_takes_min() {
+        let u = Union(vec![
+            Box::new(Sphere { center: vec3(0.0, 0.0, 0.0), radius: 1.0 }),
+            Box::new(Sphere { center: vec3(10.0, 0.0, 0.0), radius: 2.0 }),
+        ]);
+        assert!((u.eval(vec3(5.0, 0.0, 0.0)) - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,228 @@
+//! Vessel generator: bifurcated tube structures with thousands to tens of
+//! thousands of surface faces, standing in for the paper's reconstructed
+//! blood vessels (§6.2: ~30k faces and ~5 bifurcations per vessel, ~75%
+//! protruding vertices because branch joints recess).
+//!
+//! A random binary branching skeleton is grown from a root; the vessel
+//! surface is the smooth union of tapered capsules along the skeleton
+//! segments, polygonised by marching tetrahedra.
+
+use crate::marching::{polygonize, GridSpec};
+use crate::nuclei::random_unit;
+use crate::sdf::{Cone, Sdf, SmoothUnion};
+use rand::Rng;
+use tripro_geom::{Aabb, Vec3};
+use tripro_mesh::TriMesh;
+
+/// Vessel shape parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct VesselConfig {
+    /// Trunk radius.
+    pub root_radius: f64,
+    /// Trunk segment length.
+    pub segment_len: f64,
+    /// Bifurcation levels (5 matches the paper's average).
+    pub levels: usize,
+    /// Radius decay per level (Murray-like thinning).
+    pub radius_decay: f64,
+    /// Branching angle spread in radians.
+    pub spread: f64,
+    /// Marching-tetrahedra cubes along the longest axis; controls the face
+    /// count (≈ quadratic in this value).
+    pub grid: usize,
+    /// Smooth-union blending radius as a fraction of the root radius.
+    pub blend: f64,
+}
+
+impl Default for VesselConfig {
+    fn default() -> Self {
+        Self {
+            root_radius: 1.0,
+            segment_len: 5.0,
+            levels: 5,
+            radius_decay: 0.78,
+            spread: 0.55,
+            grid: 48,
+            blend: 0.4,
+        }
+    }
+}
+
+/// One skeleton segment with radii at both ends.
+#[derive(Debug, Clone, Copy)]
+pub struct SkeletonSegment {
+    pub a: Vec3,
+    pub b: Vec3,
+    pub ra: f64,
+    pub rb: f64,
+}
+
+/// A vessel: the generated surface plus its skeleton (the skeleton also
+/// drives the partition-based acceleration, paper §5.1).
+#[derive(Debug, Clone)]
+pub struct Vessel {
+    pub mesh: TriMesh,
+    pub skeleton: Vec<SkeletonSegment>,
+}
+
+/// Grow a random bifurcating skeleton from `root` towards `dir`.
+pub fn grow_skeleton(
+    rng: &mut impl Rng,
+    cfg: &VesselConfig,
+    root: Vec3,
+    dir: Vec3,
+) -> Vec<SkeletonSegment> {
+    let mut segments = Vec::new();
+    // (start, direction, radius, level)
+    let mut stack = vec![(root, dir, cfg.root_radius, 0usize)];
+    while let Some((start, dir, radius, level)) = stack.pop() {
+        if level > cfg.levels {
+            continue;
+        }
+        let len = cfg.segment_len * cfg.radius_decay.powi(level as i32)
+            * (0.8 + 0.4 * rng.gen::<f64>());
+        let end = start + dir * len;
+        let r_end = radius * cfg.radius_decay;
+        segments.push(SkeletonSegment { a: start, b: end, ra: radius, rb: r_end });
+        if level == cfg.levels {
+            continue;
+        }
+        // Bifurcate: two children deflected to either side of `dir`.
+        let axis = perpendicular(rng, dir);
+        for sign in [-1.0, 1.0] {
+            let angle = cfg.spread * (0.7 + 0.6 * rng.gen::<f64>());
+            let child = rotate(dir, axis, sign * angle);
+            stack.push((end, child, r_end, level + 1));
+        }
+    }
+    segments
+}
+
+fn perpendicular(rng: &mut impl Rng, d: Vec3) -> Vec3 {
+    loop {
+        let r = random_unit(rng);
+        let p = r - d * r.dot(d);
+        if let Some(u) = p.normalized() {
+            return u;
+        }
+    }
+}
+
+/// Rodrigues rotation of `v` around unit `axis` by `angle`.
+fn rotate(v: Vec3, axis: Vec3, angle: f64) -> Vec3 {
+    let (s, c) = angle.sin_cos();
+    v * c + axis.cross(v) * s + axis * (axis.dot(v) * (1.0 - c))
+}
+
+/// Generate one vessel rooted at `root`.
+pub fn vessel(rng: &mut impl Rng, cfg: &VesselConfig, root: Vec3) -> Vessel {
+    let dir = {
+        // Mostly "up" with some tilt, like a vessel crossing tissue.
+        let mut d = random_unit(rng);
+        d.z = d.z.abs() + 1.0;
+        d.normalized().unwrap()
+    };
+    let skeleton = grow_skeleton(rng, cfg, root, dir);
+    let field = SmoothUnion {
+        parts: skeleton
+            .iter()
+            .map(|s| Cone { a: s.a, b: s.b, ra: s.ra, rb: s.rb })
+            .collect(),
+        k: cfg.blend * cfg.root_radius,
+    };
+    // Bounding box of the skeleton inflated by the max radius.
+    let mut bb = Aabb::EMPTY;
+    for s in &skeleton {
+        bb.expand(s.a);
+        bb.expand(s.b);
+    }
+    let bb = bb.inflate(cfg.root_radius * (1.0 + cfg.blend));
+    let mesh = polygonize(&field, &GridSpec::covering(&bb, cfg.grid));
+    Vessel { mesh, skeleton }
+}
+
+/// Evaluate the vessel SDF at a point (used by tests / placement).
+pub fn vessel_sdf(skeleton: &[SkeletonSegment], blend: f64, p: Vec3) -> f64 {
+    let field = SmoothUnion {
+        parts: skeleton
+            .iter()
+            .map(|s| Cone { a: s.a, b: s.b, ra: s.ra, rb: s.rb })
+            .collect(),
+        k: blend,
+    };
+    field.eval(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tripro_geom::vec3;
+    use tripro_mesh::{protruding_fraction_of, quantize_mesh};
+
+    fn small_cfg() -> VesselConfig {
+        VesselConfig { levels: 3, grid: 32, ..Default::default() }
+    }
+
+    #[test]
+    fn skeleton_bifurcates() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let cfg = small_cfg();
+        let segs = grow_skeleton(&mut rng, &cfg, Vec3::ZERO, vec3(0.0, 0.0, 1.0));
+        // Binary tree with `levels+1` segment generations: 2^(L+1) - 1.
+        assert_eq!(segs.len(), (1 << (cfg.levels + 1)) - 1);
+        // Radii decay along the tree.
+        let rmin = segs.iter().map(|s| s.rb).fold(f64::INFINITY, f64::min);
+        assert!(rmin < cfg.root_radius * 0.5);
+    }
+
+    #[test]
+    fn vessel_is_closed_manifold_with_many_faces() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let v = vessel(&mut rng, &small_cfg(), Vec3::ZERO);
+        assert!(v.mesh.faces.len() > 1500, "faces: {}", v.mesh.faces.len());
+        let (m, _) = quantize_mesh(&v.mesh, 16).unwrap();
+        m.validate_closed_manifold().unwrap();
+        assert!(v.mesh.volume() > 0.0);
+    }
+
+    #[test]
+    fn vessel_has_recessing_vertices_unlike_nuclei() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let v = vessel(&mut rng, &small_cfg(), Vec3::ZERO);
+        let f = protruding_fraction_of(&v.mesh, 16);
+        // §6.2: ~75% protruding for vessels — bifurcation joints recess.
+        // Cylindrical bodies are flat-ish so the exact number varies; demand
+        // "clearly less than a nucleus but still majority".
+        assert!(f > 0.3 && f < 0.999, "protruding fraction {f}");
+    }
+
+    #[test]
+    fn grid_controls_face_count() {
+        let mut rng1 = rand::rngs::StdRng::seed_from_u64(9);
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(9);
+        let coarse = vessel(&mut rng1, &VesselConfig { levels: 2, grid: 24, ..Default::default() }, Vec3::ZERO);
+        let fine = vessel(&mut rng2, &VesselConfig { levels: 2, grid: 48, ..Default::default() }, Vec3::ZERO);
+        assert!(fine.mesh.faces.len() > 2 * coarse.mesh.faces.len());
+    }
+
+    #[test]
+    fn sdf_negative_on_skeleton() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let cfg = small_cfg();
+        let segs = grow_skeleton(&mut rng, &cfg, Vec3::ZERO, vec3(0.0, 0.0, 1.0));
+        for s in &segs {
+            let mid = (s.a + s.b) * 0.5;
+            assert!(vessel_sdf(&segs, 0.4, mid) < 0.0);
+        }
+    }
+
+    #[test]
+    fn rotation_preserves_length_and_angle() {
+        let v = vec3(0.0, 0.0, 1.0);
+        let axis = vec3(1.0, 0.0, 0.0);
+        let r = rotate(v, axis, std::f64::consts::FRAC_PI_2);
+        assert!((r - vec3(0.0, -1.0, 0.0)).norm() < 1e-12);
+        assert!((rotate(v, axis, 0.3).norm() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,321 @@
+//! LRU decode cache (paper §5.3): decoded faces for `(object, LOD)` pairs
+//! are kept for reuse, because decompression is compute-intensive and one
+//! source object (e.g. a vessel) is typically a candidate for hundreds of
+//! target objects.
+//!
+//! Decoder *states* are also retained so that refining an object from LOD
+//! `k` to `k+1` replays only the missing segments — the progressive decode
+//! the paper's FPR paradigm depends on.
+
+use crate::stats::ExecStats;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+use tripro_geom::Triangle;
+use tripro_index::{AabbTree, ObbTree};
+use tripro_mesh::{CompressedMesh, ProgressiveMesh};
+
+/// Decoded geometry of one object at one LOD, plus lazily built per-LOD
+/// acceleration structures.
+pub struct LodData {
+    /// Dequantised faces.
+    pub triangles: Arc<Vec<Triangle>>,
+    /// Lazily built AABB-tree over the faces (accel `Aabb`).
+    tree: OnceLock<Arc<AabbTree>>,
+    /// Lazily built OBB-tree over the faces (accel `ObbTree`).
+    obb_tree: OnceLock<Arc<ObbTree>>,
+    /// Lazily built partition grouping (accel `Partition`).
+    groups: OnceLock<Arc<crate::partition::GroupedFaces>>,
+}
+
+impl LodData {
+    pub fn new(triangles: Vec<Triangle>) -> Self {
+        Self {
+            triangles: Arc::new(triangles),
+            tree: OnceLock::new(),
+            obb_tree: OnceLock::new(),
+            groups: OnceLock::new(),
+        }
+    }
+
+    /// Approximate memory footprint in bytes (triangles dominate).
+    pub fn bytes(&self) -> usize {
+        self.triangles.len() * std::mem::size_of::<Triangle>() + 64
+    }
+
+    /// The AABB-tree over this LOD's faces, built on first use.
+    pub fn tree(&self) -> &Arc<AabbTree> {
+        self.tree
+            .get_or_init(|| Arc::new(AabbTree::build(self.triangles.as_ref().clone())))
+    }
+
+    /// The OBB-tree over this LOD's faces, built on first use.
+    pub fn obb_tree(&self) -> &Arc<ObbTree> {
+        self.obb_tree
+            .get_or_init(|| Arc::new(ObbTree::build(self.triangles.as_ref().clone())))
+    }
+
+    /// Partition grouping against `skeleton`, built on first use. The
+    /// skeleton is fixed per object, so the grouping is stable across calls.
+    pub fn groups(&self, skeleton: &[tripro_geom::Vec3]) -> &Arc<crate::partition::GroupedFaces> {
+        self.groups.get_or_init(|| {
+            Arc::new(crate::partition::group_faces(&self.triangles, skeleton))
+        })
+    }
+}
+
+type Key = (u32, u8);
+
+struct CacheInner {
+    map: HashMap<Key, (Arc<LodData>, u64)>,
+    used_bytes: usize,
+    tick: u64,
+}
+
+/// Thread-safe LRU cache of decoded LODs with progressive decoder-state
+/// reuse. A `capacity_bytes` of 0 disables caching entirely (every request
+/// decodes from scratch) — the paper's Table 2 baseline.
+pub struct DecodeCache {
+    inner: Mutex<CacheInner>,
+    /// Retained decoder states for incremental refinement.
+    states: Mutex<HashMap<u32, ProgressiveMesh>>,
+    /// Per-object decode locks (sharded) so two threads don't decode the
+    /// same object twice; mirrors the paper's cuboid-level locks.
+    locks: Vec<Mutex<()>>,
+    capacity_bytes: usize,
+}
+
+impl DecodeCache {
+    pub fn new(capacity_bytes: usize) -> Self {
+        Self {
+            inner: Mutex::new(CacheInner { map: HashMap::new(), used_bytes: 0, tick: 0 }),
+            states: Mutex::new(HashMap::new()),
+            locks: (0..64).map(|_| Mutex::new(())).collect(),
+            capacity_bytes,
+        }
+    }
+
+    /// `true` when caching is enabled.
+    pub fn enabled(&self) -> bool {
+        self.capacity_bytes > 0
+    }
+
+    /// Bytes currently held.
+    pub fn used_bytes(&self) -> usize {
+        self.inner.lock().used_bytes
+    }
+
+    /// Fetch `(id, lod)`, decoding from `compressed` on a miss. Decode time
+    /// and hit/miss counters are recorded into `stats`.
+    pub fn get(
+        &self,
+        id: u32,
+        lod: usize,
+        compressed: &CompressedMesh,
+        stats: &ExecStats,
+    ) -> Arc<LodData> {
+        let key: Key = (id, lod as u8);
+        if self.enabled() {
+            if let Some(hit) = self.lookup(key) {
+                stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return hit;
+            }
+            // Serialise decodes of the same object.
+            let _guard = self.locks[id as usize % self.locks.len()].lock();
+            if let Some(hit) = self.lookup(key) {
+                stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return hit;
+            }
+            stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+            let data = Arc::new(self.decode(id, lod, compressed, stats));
+            self.insert(key, data.clone());
+            data
+        } else {
+            stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+            Arc::new(self.decode_fresh(lod, compressed, stats))
+        }
+    }
+
+    fn lookup(&self, key: Key) -> Option<Arc<LodData>> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some((data, last)) = inner.map.get_mut(&key) {
+            *last = tick;
+            return Some(data.clone());
+        }
+        None
+    }
+
+    fn insert(&self, key: Key, data: Arc<LodData>) {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.used_bytes += data.bytes();
+        inner.map.insert(key, (data, tick));
+        // Evict least-recently-used entries until under capacity.
+        while inner.used_bytes > self.capacity_bytes && inner.map.len() > 1 {
+            let victim = *inner
+                .map
+                .iter()
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(k, _)| k)
+                .unwrap();
+            if let Some((data, _)) = inner.map.remove(&victim) {
+                inner.used_bytes -= data.bytes();
+            }
+        }
+    }
+
+    /// Decode with decoder-state reuse: resume the retained state when it is
+    /// at or below the requested LOD, otherwise start from the base.
+    fn decode(
+        &self,
+        id: u32,
+        lod: usize,
+        compressed: &CompressedMesh,
+        stats: &ExecStats,
+    ) -> LodData {
+        let t0 = Instant::now();
+        // Take the state out so the decode itself runs without the map lock.
+        let state = {
+            let mut states = self.states.lock();
+            states.remove(&id)
+        };
+        let mut pm = match state {
+            Some(pm) if pm.current_lod() <= lod => pm,
+            _ => compressed.decoder().expect("stored object must decode"),
+        };
+        pm.decode_to(lod).expect("stored object must decode");
+        let tris = pm.triangles();
+        {
+            let mut states = self.states.lock();
+            states.insert(id, pm);
+        }
+        stats.add_decode(t0.elapsed());
+        stats.decodes.fetch_add(1, Ordering::Relaxed);
+        LodData::new(tris)
+    }
+
+    fn decode_fresh(&self, lod: usize, compressed: &CompressedMesh, stats: &ExecStats) -> LodData {
+        let t0 = Instant::now();
+        let mut pm = compressed.decoder().expect("stored object must decode");
+        pm.decode_to(lod).expect("stored object must decode");
+        let tris = pm.triangles();
+        stats.add_decode(t0.elapsed());
+        stats.decodes.fetch_add(1, Ordering::Relaxed);
+        LodData::new(tris)
+    }
+
+    /// Drop all cached data and decoder states.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.map.clear();
+        inner.used_bytes = 0;
+        self.states.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tripro_geom::vec3;
+    use tripro_mesh::{encode, testutil::sphere, EncoderConfig};
+
+    fn compressed_sphere() -> CompressedMesh {
+        let tm = sphere(vec3(0.0, 0.0, 0.0), 2.0, 3);
+        encode(&tm, &EncoderConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let cm = compressed_sphere();
+        let cache = DecodeCache::new(64 << 20);
+        let stats = ExecStats::new();
+        let a = cache.get(0, 1, &cm, &stats);
+        let b = cache.get(0, 1, &cm, &stats);
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = stats.snapshot();
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.decodes, 1);
+    }
+
+    #[test]
+    fn progressive_state_reuse_decodes_incrementally() {
+        let cm = compressed_sphere();
+        let cache = DecodeCache::new(64 << 20);
+        let stats = ExecStats::new();
+        let max = cm.max_lod();
+        for lod in 0..=max {
+            let d = cache.get(7, lod, &cm, &stats);
+            assert!(!d.triangles.is_empty());
+        }
+        // Face counts at successive LODs must strictly grow.
+        let c0 = cache.get(7, 0, &cm, &stats).triangles.len();
+        let cm_ = cache.get(7, max, &cm, &stats).triangles.len();
+        assert!(cm_ > c0);
+    }
+
+    #[test]
+    fn disabled_cache_always_decodes() {
+        let cm = compressed_sphere();
+        let cache = DecodeCache::new(0);
+        let stats = ExecStats::new();
+        let _ = cache.get(0, 1, &cm, &stats);
+        let _ = cache.get(0, 1, &cm, &stats);
+        let s = stats.snapshot();
+        assert_eq!(s.cache_hits, 0);
+        assert_eq!(s.decodes, 2);
+        assert_eq!(cache.used_bytes(), 0);
+    }
+
+    #[test]
+    fn eviction_respects_capacity() {
+        let cm = compressed_sphere();
+        // Tiny capacity: roughly one decoded LOD.
+        let one = {
+            let cache = DecodeCache::new(usize::MAX);
+            let stats = ExecStats::new();
+            cache.get(0, 2, &cm, &stats).bytes()
+        };
+        let cache = DecodeCache::new(one + one / 2);
+        let stats = ExecStats::new();
+        for id in 0..6 {
+            let _ = cache.get(id, 2, &cm, &stats);
+        }
+        assert!(cache.used_bytes() <= one + one / 2);
+        // Recently used id=5 should still hit; id=0 should have been evicted.
+        let before = stats.snapshot();
+        let _ = cache.get(5, 2, &cm, &stats);
+        let after = stats.snapshot();
+        assert_eq!(after.cache_hits, before.cache_hits + 1);
+        let _ = cache.get(0, 2, &cm, &stats);
+        assert_eq!(stats.snapshot().cache_misses, after.cache_misses + 1);
+    }
+
+    #[test]
+    fn tree_is_memoized() {
+        let cm = compressed_sphere();
+        let cache = DecodeCache::new(64 << 20);
+        let stats = ExecStats::new();
+        let d = cache.get(0, 0, &cm, &stats);
+        let t1 = d.tree().clone();
+        let t2 = d.tree().clone();
+        assert!(Arc::ptr_eq(&t1, &t2));
+        assert_eq!(t1.len(), d.triangles.len());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let cm = compressed_sphere();
+        let cache = DecodeCache::new(64 << 20);
+        let stats = ExecStats::new();
+        let _ = cache.get(0, 0, &cm, &stats);
+        assert!(cache.used_bytes() > 0);
+        cache.clear();
+        assert_eq!(cache.used_bytes(), 0);
+    }
+}

@@ -1,0 +1,371 @@
+//! The geometry computer (paper §5.1): evaluates one decoded object pair —
+//! intersection or minimum distance — under a configurable acceleration
+//! strategy. The FPR paradigm calls this once per LOD per surviving pair.
+
+use crate::cache::LodData;
+use crate::gpu::BatchExecutor;
+use crate::stats::ExecStats;
+use std::time::Instant;
+use tripro_geom::{tri_tri_dist2, tri_tri_intersect, Vec3};
+
+/// Intra-geometry acceleration strategy (the columns of Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Accel {
+    /// Evaluate every face pair directly.
+    Brute,
+    /// Skeleton-partitioned sub-objects with per-group boxes (§5.1).
+    Partition,
+    /// Per-object AABB-tree over faces (§5.1).
+    Aabb,
+    /// Batched data-parallel execution (simulated GPU, §5.1).
+    Gpu,
+    /// Partition pre-filtering feeding the batch executor.
+    PartitionGpu,
+    /// Per-object OBB-tree (Gottschalk et al.), the third intra-geometry
+    /// index the paper's introduction cites. Extension column: not part of
+    /// Table 1's strategy set ([`Accel::ALL`]).
+    ObbTree,
+}
+
+impl Accel {
+    /// All strategies, in Table 1 column order.
+    pub const ALL: [Accel; 5] =
+        [Accel::Brute, Accel::Partition, Accel::Aabb, Accel::Gpu, Accel::PartitionGpu];
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            Accel::Brute => "Brute-force",
+            Accel::Partition => "Partition",
+            Accel::Aabb => "AABB",
+            Accel::Gpu => "GPU",
+            Accel::PartitionGpu => "Partition+GPU",
+            Accel::ObbTree => "OBB-tree",
+        }
+    }
+}
+
+/// Geometry computer bound to an acceleration strategy.
+#[derive(Debug, Clone)]
+pub struct Computer {
+    pub accel: Accel,
+    pub executor: BatchExecutor,
+}
+
+impl Computer {
+    pub fn new(accel: Accel, threads: usize) -> Self {
+        Self { accel, executor: BatchExecutor::new(threads) }
+    }
+
+    /// Do the two decoded geometries intersect (any face pair)?
+    /// Skeletons drive the partition strategies and are ignored otherwise.
+    pub fn intersects(
+        &self,
+        a: &LodData,
+        b: &LodData,
+        sk_a: &[Vec3],
+        sk_b: &[Vec3],
+        stats: &ExecStats,
+    ) -> bool {
+        let t0 = Instant::now();
+        let (hit, tests) = match self.accel {
+            Accel::Brute => brute_intersects(a, b),
+            Accel::Aabb => {
+                let mut n = 0;
+                let hit = a.tree().intersects_tree(b.tree(), &mut n);
+                (hit, n)
+            }
+            Accel::Partition => partition_intersects(a, b, sk_a, sk_b, None),
+            Accel::Gpu => self.executor.any_intersect(&a.triangles, &b.triangles),
+            Accel::PartitionGpu => partition_intersects(a, b, sk_a, sk_b, Some(&self.executor)),
+            Accel::ObbTree => {
+                let mut n = 0;
+                let hit = a.obb_tree().intersects_tree(b.obb_tree(), &mut n);
+                (hit, n)
+            }
+        };
+        stats.add_face_pairs(tests);
+        stats.add_compute(t0.elapsed());
+        hit
+    }
+
+    /// Minimum distance (squared) between the two decoded geometries.
+    /// `upper` seeds pruning; the result is `min(true d², upper)`.
+    pub fn min_dist2(
+        &self,
+        a: &LodData,
+        b: &LodData,
+        sk_a: &[Vec3],
+        sk_b: &[Vec3],
+        upper: f64,
+        stats: &ExecStats,
+    ) -> f64 {
+        let t0 = Instant::now();
+        let (d2, tests) = match self.accel {
+            Accel::Brute => brute_min_dist2(a, b, upper),
+            Accel::Aabb => {
+                let mut n = 0;
+                let d2 = a.tree().min_dist2_tree(b.tree(), upper, &mut n);
+                (d2, n)
+            }
+            Accel::Partition => partition_min_dist2(a, b, sk_a, sk_b, upper, None),
+            Accel::Gpu => self.executor.min_dist2(&a.triangles, &b.triangles, upper),
+            Accel::PartitionGpu => {
+                partition_min_dist2(a, b, sk_a, sk_b, upper, Some(&self.executor))
+            }
+            Accel::ObbTree => {
+                let mut n = 0;
+                let d2 = a.obb_tree().min_dist2_tree(b.obb_tree(), upper, &mut n);
+                (d2, n)
+            }
+        };
+        stats.add_face_pairs(tests);
+        stats.add_compute(t0.elapsed());
+        d2
+    }
+}
+
+fn brute_intersects(a: &LodData, b: &LodData) -> (bool, u64) {
+    let mut tests = 0u64;
+    for x in a.triangles.iter() {
+        for y in b.triangles.iter() {
+            tests += 1;
+            if tri_tri_intersect(x, y) {
+                return (true, tests);
+            }
+        }
+    }
+    (false, tests)
+}
+
+fn brute_min_dist2(a: &LodData, b: &LodData, upper: f64) -> (f64, u64) {
+    let mut best = upper;
+    let mut tests = 0u64;
+    for x in a.triangles.iter() {
+        for y in b.triangles.iter() {
+            tests += 1;
+            let d2 = tri_tri_dist2(x, y);
+            if d2 < best {
+                best = d2;
+                if best == 0.0 {
+                    return (0.0, tests);
+                }
+            }
+        }
+    }
+    (best, tests)
+}
+
+fn partition_intersects(
+    a: &LodData,
+    b: &LodData,
+    sk_a: &[Vec3],
+    sk_b: &[Vec3],
+    executor: Option<&BatchExecutor>,
+) -> (bool, u64) {
+    let ga = a.groups(sk_a).clone();
+    let gb = b.groups(sk_b).clone();
+    let mut tests = 0u64;
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    for (i, bi) in ga.non_empty() {
+        for (j, bj) in gb.non_empty() {
+            if !bi.intersects(bj) {
+                continue;
+            }
+            if let Some(ex) = executor {
+                // Pack the surviving group pair into the GPU buffer.
+                for &fi in ga.group(i) {
+                    for &fj in gb.group(j) {
+                        pairs.push((fi, fj));
+                    }
+                }
+                let _ = ex;
+            } else {
+                for &fi in ga.group(i) {
+                    for &fj in gb.group(j) {
+                        tests += 1;
+                        if tri_tri_intersect(
+                            &a.triangles[fi as usize],
+                            &b.triangles[fj as usize],
+                        ) {
+                            return (true, tests);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if let Some(ex) = executor {
+        let (hit, n) = ex.any_intersect_pairs(&a.triangles, &b.triangles, &pairs);
+        return (hit, tests + n);
+    }
+    (false, tests)
+}
+
+fn partition_min_dist2(
+    a: &LodData,
+    b: &LodData,
+    sk_a: &[Vec3],
+    sk_b: &[Vec3],
+    upper: f64,
+    executor: Option<&BatchExecutor>,
+) -> (f64, u64) {
+    let ga = a.groups(sk_a).clone();
+    let gb = b.groups(sk_b).clone();
+    // Order group pairs by box distance, then branch-and-bound.
+    let mut group_pairs: Vec<(f64, usize, usize)> = Vec::new();
+    for (i, bi) in ga.non_empty() {
+        for (j, bj) in gb.non_empty() {
+            group_pairs.push((bi.min_dist2(bj), i, j));
+        }
+    }
+    group_pairs.sort_by(|x, y| x.0.total_cmp(&y.0));
+    let mut best = upper;
+    let mut tests = 0u64;
+    if let Some(ex) = executor {
+        // Two-phase: decide the surviving group pairs with the box bound,
+        // then evaluate them as one packed batch.
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        for &(lb, i, j) in &group_pairs {
+            if lb >= best {
+                break;
+            }
+            for &fi in ga.group(i) {
+                for &fj in gb.group(j) {
+                    pairs.push((fi, fj));
+                }
+            }
+        }
+        let (d2, n) = ex.min_dist2_pairs(&a.triangles, &b.triangles, &pairs, best);
+        return (d2, tests + n);
+    }
+    for &(lb, i, j) in &group_pairs {
+        if lb >= best {
+            break;
+        }
+        for &fi in ga.group(i) {
+            for &fj in gb.group(j) {
+                tests += 1;
+                let d2 = tri_tri_dist2(&a.triangles[fi as usize], &b.triangles[fj as usize]);
+                if d2 < best {
+                    best = d2;
+                    if best == 0.0 {
+                        return (0.0, tests);
+                    }
+                }
+            }
+        }
+    }
+    (best, tests)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::sample_skeleton;
+    use tripro_geom::{vec3, Triangle};
+
+    fn sheet(n: usize, z: f64) -> LodData {
+        let mut tris = Vec::new();
+        for x in 0..n {
+            for y in 0..n {
+                let p = vec3(x as f64, y as f64, z);
+                tris.push(Triangle::new(p, p + vec3(1.0, 0.0, 0.0), p + vec3(0.0, 1.0, 0.0)));
+                tris.push(Triangle::new(
+                    p + vec3(1.0, 0.0, 0.0),
+                    p + vec3(1.0, 1.0, 0.0),
+                    p + vec3(0.0, 1.0, 0.0),
+                ));
+            }
+        }
+        LodData::new(tris)
+    }
+
+    fn skeleton_of(d: &LodData, k: usize) -> Vec<Vec3> {
+        let pts: Vec<Vec3> = d.triangles.iter().map(|t| t.centroid()).collect();
+        sample_skeleton(&pts, k)
+    }
+
+    #[test]
+    fn all_strategies_agree_on_distance() {
+        let a = sheet(6, 0.0);
+        let b = sheet(6, 4.0);
+        let sk_a = skeleton_of(&a, 4);
+        let sk_b = skeleton_of(&b, 4);
+        let stats = ExecStats::new();
+        let mut results = Vec::new();
+        for accel in Accel::ALL {
+            let c = Computer::new(accel, 4);
+            let d2 = c.min_dist2(&a, &b, &sk_a, &sk_b, f64::INFINITY, &stats);
+            results.push((accel, d2));
+        }
+        for (accel, d2) in &results {
+            assert!((d2 - 16.0).abs() < 1e-9, "{accel:?} got {d2}");
+        }
+        assert!(stats.snapshot().face_pair_tests > 0);
+    }
+
+    #[test]
+    fn all_strategies_agree_on_intersection() {
+        let a = sheet(5, 0.0);
+        // Tilted sheet crossing a's plane in the middle.
+        let mut crossing = Vec::new();
+        for x in 0..5 {
+            let p = vec3(x as f64, 2.0, -1.0);
+            crossing.push(Triangle::new(p, p + vec3(1.0, 0.0, 0.0), p + vec3(0.0, 0.5, 2.0)));
+        }
+        let b = LodData::new(crossing);
+        let far = sheet(5, 9.0);
+        let sk_a = skeleton_of(&a, 3);
+        let sk_b = skeleton_of(&b, 2);
+        let sk_far = skeleton_of(&far, 3);
+        let stats = ExecStats::new();
+        for accel in Accel::ALL {
+            let c = Computer::new(accel, 4);
+            assert!(c.intersects(&a, &b, &sk_a, &sk_b, &stats), "{accel:?} missed hit");
+            assert!(!c.intersects(&a, &far, &sk_a, &sk_far, &stats), "{accel:?} false hit");
+        }
+    }
+
+    #[test]
+    fn upper_bound_short_circuits() {
+        let a = sheet(4, 0.0);
+        let b = sheet(4, 10.0);
+        let stats = ExecStats::new();
+        for accel in Accel::ALL {
+            let c = Computer::new(accel, 2);
+            // True d² = 100; seed 9 ⇒ answer stays 9.
+            let d2 = c.min_dist2(&a, &b, &[], &[], 9.0, &stats);
+            assert_eq!(d2, 9.0, "{accel:?}");
+        }
+    }
+
+    #[test]
+    fn partition_prunes_pairs() {
+        // Two long thin strips far apart except at one end: partition should
+        // skip most group pairs.
+        let mut a_tris = Vec::new();
+        let mut b_tris = Vec::new();
+        for x in 0..40 {
+            let p = vec3(x as f64, 0.0, 0.0);
+            a_tris.push(Triangle::new(p, p + vec3(1.0, 0.0, 0.0), p + vec3(0.0, 1.0, 0.0)));
+            let q = vec3(x as f64, 0.0, 3.0 + x as f64 * 0.5);
+            b_tris.push(Triangle::new(q, q + vec3(1.0, 0.0, 0.0), q + vec3(0.0, 1.0, 0.0)));
+        }
+        let a = LodData::new(a_tris);
+        let b = LodData::new(b_tris);
+        let sk_a = skeleton_of(&a, 8);
+        let sk_b = skeleton_of(&b, 8);
+        let s_brute = ExecStats::new();
+        let s_part = ExecStats::new();
+        let brute = Computer::new(Accel::Brute, 1).min_dist2(&a, &b, &[], &[], f64::INFINITY, &s_brute);
+        let part =
+            Computer::new(Accel::Partition, 1).min_dist2(&a, &b, &sk_a, &sk_b, f64::INFINITY, &s_part);
+        assert!((brute - part).abs() < 1e-9);
+        assert!(
+            s_part.snapshot().face_pair_tests < s_brute.snapshot().face_pair_tests / 2,
+            "partition {} vs brute {}",
+            s_part.snapshot().face_pair_tests,
+            s_brute.snapshot().face_pair_tests
+        );
+    }
+}

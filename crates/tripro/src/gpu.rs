@@ -1,0 +1,361 @@
+//! GPU-style batch executor (paper §5.1, "GPU-based Parallelization").
+//!
+//! **Substitution note (see DESIGN.md):** this environment has no CUDA
+//! device, so the GPU path is simulated by a data-parallel batch executor
+//! that preserves the GPU code path's structure: face pairs are packed into
+//! a flat computation buffer, split into fixed-size *kernel launches*, and
+//! each launch is executed by a worker over contiguous memory with no
+//! per-pair dispatch overhead. Early exit happens only at launch
+//! granularity, exactly like polling a device-side flag between kernels.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use tripro_geom::{tri_tri_dist2, tri_tri_intersect, Triangle};
+
+/// Number of face pairs evaluated per simulated kernel launch.
+pub const KERNEL_SIZE: usize = 8192;
+
+/// Batch executor configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchExecutor {
+    /// Worker count (the simulated device's parallelism).
+    pub threads: usize,
+    /// Pairs per kernel launch.
+    pub kernel_size: usize,
+}
+
+impl Default for BatchExecutor {
+    fn default() -> Self {
+        Self {
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            kernel_size: KERNEL_SIZE,
+        }
+    }
+}
+
+impl BatchExecutor {
+    pub fn new(threads: usize) -> Self {
+        Self { threads: threads.max(1), kernel_size: KERNEL_SIZE }
+    }
+
+    /// `true` if any pair `(a[i], b[j])` over the full cross product
+    /// intersects. Returns `(result, pairs_tested)`.
+    pub fn any_intersect(&self, a: &[Triangle], b: &[Triangle]) -> (bool, u64) {
+        let total = a.len() * b.len();
+        if total == 0 {
+            return (false, 0);
+        }
+        let found = AtomicBool::new(false);
+        let tested = AtomicU64::new(0);
+        let next = AtomicUsize::new(0);
+        let kernels = total.div_ceil(self.kernel_size);
+        let workers = self.threads.min(kernels);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    loop {
+                        if found.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= kernels {
+                            return;
+                        }
+                        let start = k * self.kernel_size;
+                        let end = (start + self.kernel_size).min(total);
+                        let mut local = 0u64;
+                        for idx in start..end {
+                            let (i, j) = (idx / b.len(), idx % b.len());
+                            local += 1;
+                            if tri_tri_intersect(&a[i], &b[j]) {
+                                found.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                        tested.fetch_add(local, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        (found.load(Ordering::Relaxed), tested.load(Ordering::Relaxed))
+    }
+
+    /// Minimum squared distance over the full cross product, clamped below
+    /// by nothing (exact). `upper` seeds the running bound so kernels can
+    /// skip pairs whose result cannot improve it. Returns
+    /// `(min(upper, true minimum), pairs_tested)`.
+    pub fn min_dist2(&self, a: &[Triangle], b: &[Triangle], upper: f64) -> (f64, u64) {
+        let total = a.len() * b.len();
+        if total == 0 {
+            return (upper, 0);
+        }
+        let tested = AtomicU64::new(0);
+        let next = AtomicUsize::new(0);
+        let zero = AtomicBool::new(false);
+        let kernels = total.div_ceil(self.kernel_size);
+        let workers = self.threads.min(kernels);
+        let best_bits = AtomicU64::new(upper.to_bits());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    loop {
+                        if zero.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= kernels {
+                            return;
+                        }
+                        let start = k * self.kernel_size;
+                        let end = (start + self.kernel_size).min(total);
+                        let mut local_best = f64::INFINITY;
+                        let mut local = 0u64;
+                        for idx in start..end {
+                            let (i, j) = (idx / b.len(), idx % b.len());
+                            local += 1;
+                            let d2 = tri_tri_dist2(&a[i], &b[j]);
+                            if d2 < local_best {
+                                local_best = d2;
+                                if d2 == 0.0 {
+                                    zero.store(true, Ordering::Relaxed);
+                                    break;
+                                }
+                            }
+                        }
+                        tested.fetch_add(local, Ordering::Relaxed);
+                        // Lock-free running minimum (f64 bits are monotone
+                        // for non-negative values).
+                        let mut cur = best_bits.load(Ordering::Relaxed);
+                        while f64::from_bits(cur) > local_best {
+                            match best_bits.compare_exchange_weak(
+                                cur,
+                                local_best.to_bits(),
+                                Ordering::Relaxed,
+                                Ordering::Relaxed,
+                            ) {
+                                Ok(_) => break,
+                                Err(c) => cur = c,
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        if zero.load(Ordering::Relaxed) {
+            return (0.0, tested.load(Ordering::Relaxed));
+        }
+        (
+            f64::from_bits(best_bits.load(Ordering::Relaxed)),
+            tested.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Minimum squared distance over an explicit packed pair buffer
+    /// (used by the partition+GPU combination where only surviving group
+    /// pairs are packed).
+    pub fn min_dist2_pairs(
+        &self,
+        a: &[Triangle],
+        b: &[Triangle],
+        pairs: &[(u32, u32)],
+        upper: f64,
+    ) -> (f64, u64) {
+        if pairs.is_empty() {
+            return (upper, 0);
+        }
+        let tested = AtomicU64::new(0);
+        let next = AtomicUsize::new(0);
+        let kernels = pairs.len().div_ceil(self.kernel_size);
+        let workers = self.threads.min(kernels);
+        let best_bits = AtomicU64::new(upper.to_bits());
+        let zero = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    if zero.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= kernels {
+                        return;
+                    }
+                    let start = k * self.kernel_size;
+                    let end = (start + self.kernel_size).min(pairs.len());
+                    let mut local_best = f64::INFINITY;
+                    let mut local = 0u64;
+                    for &(i, j) in &pairs[start..end] {
+                        local += 1;
+                        let d2 = tri_tri_dist2(&a[i as usize], &b[j as usize]);
+                        if d2 < local_best {
+                            local_best = d2;
+                            if d2 == 0.0 {
+                                zero.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                    }
+                    tested.fetch_add(local, Ordering::Relaxed);
+                    let mut cur = best_bits.load(Ordering::Relaxed);
+                    while f64::from_bits(cur) > local_best {
+                        match best_bits.compare_exchange_weak(
+                            cur,
+                            local_best.to_bits(),
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        ) {
+                            Ok(_) => break,
+                            Err(c) => cur = c,
+                        }
+                    }
+                });
+            }
+        });
+        if zero.load(Ordering::Relaxed) {
+            return (0.0, tested.load(Ordering::Relaxed));
+        }
+        (
+            f64::from_bits(best_bits.load(Ordering::Relaxed)),
+            tested.load(Ordering::Relaxed),
+        )
+    }
+
+    /// `true` if any pair in the packed buffer intersects.
+    pub fn any_intersect_pairs(
+        &self,
+        a: &[Triangle],
+        b: &[Triangle],
+        pairs: &[(u32, u32)],
+    ) -> (bool, u64) {
+        if pairs.is_empty() {
+            return (false, 0);
+        }
+        let found = AtomicBool::new(false);
+        let tested = AtomicU64::new(0);
+        let next = AtomicUsize::new(0);
+        let kernels = pairs.len().div_ceil(self.kernel_size);
+        let workers = self.threads.min(kernels);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    if found.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= kernels {
+                        return;
+                    }
+                    let start = k * self.kernel_size;
+                    let end = (start + self.kernel_size).min(pairs.len());
+                    let mut local = 0u64;
+                    for &(i, j) in &pairs[start..end] {
+                        local += 1;
+                        if tri_tri_intersect(&a[i as usize], &b[j as usize]) {
+                            found.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                    tested.fetch_add(local, Ordering::Relaxed);
+                });
+            }
+        });
+        (found.load(Ordering::Relaxed), tested.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tripro_geom::vec3;
+
+    fn sheet(n: usize, z: f64) -> Vec<Triangle> {
+        let mut tris = Vec::new();
+        for x in 0..n {
+            for y in 0..n {
+                let p = vec3(x as f64, y as f64, z);
+                tris.push(Triangle::new(p, p + vec3(1.0, 0.0, 0.0), p + vec3(0.0, 1.0, 0.0)));
+                tris.push(Triangle::new(
+                    p + vec3(1.0, 0.0, 0.0),
+                    p + vec3(1.0, 1.0, 0.0),
+                    p + vec3(0.0, 1.0, 0.0),
+                ));
+            }
+        }
+        tris
+    }
+
+    #[test]
+    fn intersect_detects() {
+        let ex = BatchExecutor::new(4);
+        let a = sheet(6, 0.0);
+        let poker = vec![Triangle::new(
+            vec3(3.2, 3.2, -1.0),
+            vec3(3.3, 3.2, 1.0),
+            vec3(3.2, 3.4, 1.0),
+        )];
+        let (hit, tested) = ex.any_intersect(&a, &poker);
+        assert!(hit);
+        assert!(tested > 0);
+        let b = sheet(6, 5.0);
+        let (miss, tested2) = ex.any_intersect(&a, &b);
+        assert!(!miss);
+        assert_eq!(tested2, (a.len() * b.len()) as u64, "no early exit on miss");
+    }
+
+    #[test]
+    fn min_dist_matches_brute() {
+        let ex = BatchExecutor::new(4);
+        let a = sheet(5, 0.0);
+        let b = sheet(5, 2.5);
+        let brute = a
+            .iter()
+            .flat_map(|x| b.iter().map(move |y| tri_tri_dist2(x, y)))
+            .fold(f64::INFINITY, f64::min);
+        let (d2, _) = ex.min_dist2(&a, &b, f64::INFINITY);
+        assert!((d2 - brute).abs() < 1e-12);
+        assert!((d2 - 6.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_dist_zero_short_circuits() {
+        let ex = BatchExecutor::new(2);
+        let a = sheet(4, 0.0);
+        let (d2, _) = ex.min_dist2(&a, &a, f64::INFINITY);
+        assert_eq!(d2, 0.0);
+    }
+
+    #[test]
+    fn upper_seed_is_respected() {
+        let ex = BatchExecutor::new(2);
+        let a = sheet(3, 0.0);
+        let b = sheet(3, 10.0);
+        // True d2 = 100; a seed of 50 stays (nothing improves it).
+        let (d2, _) = ex.min_dist2(&a, &b, 50.0);
+        assert_eq!(d2, 50.0);
+    }
+
+    #[test]
+    fn pair_buffer_variants() {
+        let ex = BatchExecutor::new(3);
+        let a = sheet(3, 0.0);
+        let b = sheet(3, 2.0);
+        let all: Vec<(u32, u32)> = (0..a.len() as u32)
+            .flat_map(|i| (0..b.len() as u32).map(move |j| (i, j)))
+            .collect();
+        let (d2, n) = ex.min_dist2_pairs(&a, &b, &all, f64::INFINITY);
+        assert!((d2 - 4.0).abs() < 1e-12);
+        assert_eq!(n, all.len() as u64);
+        let (hit, _) = ex.any_intersect_pairs(&a, &b, &all);
+        assert!(!hit);
+        let (hit2, _) = ex.any_intersect_pairs(&a, &a, &all[..5]);
+        assert!(hit2);
+        // Empty buffers.
+        assert_eq!(ex.min_dist2_pairs(&a, &b, &[], 7.0), (7.0, 0));
+        assert_eq!(ex.any_intersect_pairs(&a, &b, &[]), (false, 0));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let ex = BatchExecutor::new(2);
+        assert_eq!(ex.any_intersect(&[], &sheet(2, 0.0)), (false, 0));
+        assert_eq!(ex.min_dist2(&sheet(2, 0.0), &[], 3.0), (3.0, 0));
+    }
+}

@@ -1,0 +1,201 @@
+//! Skeleton-based object partitioning (paper §5.1): a complex object is
+//! split into simple sub-objects, each approximated by its own box, which
+//! tightens filtering and restricts refinement to relevant face groups.
+//!
+//! Skeleton points come from farthest-point sampling of the full-resolution
+//! surface; every face (at any LOD) is assigned to its nearest skeleton
+//! point, so face groups are stable across the LOD ladder and decoded faces
+//! can be "assigned to proper candidate boxes" during progressive
+//! refinement, exactly as §5.1 describes.
+
+use tripro_geom::{Aabb, Triangle, Vec3};
+
+/// Farthest-point sampling of `k` skeleton points from `points`.
+///
+/// Deterministic: starts from the point closest to the centroid, then
+/// repeatedly picks the point farthest from the chosen set.
+pub fn sample_skeleton(points: &[Vec3], k: usize) -> Vec<Vec3> {
+    if points.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    let k = k.min(points.len());
+    let centroid = points.iter().fold(Vec3::ZERO, |s, p| s + *p) / points.len() as f64;
+    let first = points
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.dist2(centroid).total_cmp(&b.1.dist2(centroid)))
+        .map(|(i, _)| i)
+        .unwrap();
+    let mut chosen = vec![points[first]];
+    // dist2 to nearest chosen point, updated incrementally.
+    let mut best: Vec<f64> = points.iter().map(|p| p.dist2(points[first])).collect();
+    while chosen.len() < k {
+        let (idx, _) = best
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap();
+        let p = points[idx];
+        chosen.push(p);
+        for (b, q) in best.iter_mut().zip(points) {
+            *b = b.min(q.dist2(p));
+        }
+    }
+    chosen
+}
+
+/// Default skeleton size for an object with `full_faces` faces at full
+/// resolution: one sub-object per ~500 faces, at least 1.
+pub fn default_skeleton_size(full_faces: usize) -> usize {
+    (full_faces / 500).max(1)
+}
+
+/// Faces of one LOD grouped by nearest skeleton point.
+#[derive(Debug, Clone)]
+pub struct GroupedFaces {
+    /// Face indices ordered by group.
+    pub order: Vec<u32>,
+    /// Group `g` spans `order[offsets[g]..offsets[g+1]]`.
+    pub offsets: Vec<usize>,
+    /// Bounding box per group (empty groups have `Aabb::EMPTY`).
+    pub boxes: Vec<Aabb>,
+}
+
+impl GroupedFaces {
+    /// Number of groups (including empty ones).
+    pub fn group_count(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// Face indices of group `g`.
+    pub fn group(&self, g: usize) -> &[u32] {
+        &self.order[self.offsets[g]..self.offsets[g + 1]]
+    }
+
+    /// Iterator over non-empty `(group index, box)` pairs.
+    pub fn non_empty(&self) -> impl Iterator<Item = (usize, &Aabb)> + '_ {
+        self.boxes
+            .iter()
+            .enumerate()
+            .filter(|(g, bb)| !bb.is_empty() && !self.group(*g).is_empty())
+    }
+}
+
+/// Assign each triangle to its nearest skeleton point by centroid.
+pub fn group_faces(tris: &[Triangle], skeleton: &[Vec3]) -> GroupedFaces {
+    let k = skeleton.len().max(1);
+    let mut assignment = vec![0usize; tris.len()];
+    if skeleton.len() > 1 {
+        for (i, t) in tris.iter().enumerate() {
+            let c = t.centroid();
+            let mut best = 0;
+            let mut bd = f64::INFINITY;
+            for (g, s) in skeleton.iter().enumerate() {
+                let d = c.dist2(*s);
+                if d < bd {
+                    bd = d;
+                    best = g;
+                }
+            }
+            assignment[i] = best;
+        }
+    }
+    // Counting sort into groups.
+    let mut counts = vec![0usize; k];
+    for &g in &assignment {
+        counts[g] += 1;
+    }
+    let mut offsets = vec![0usize; k + 1];
+    for g in 0..k {
+        offsets[g + 1] = offsets[g] + counts[g];
+    }
+    let mut order = vec![0u32; tris.len()];
+    let mut cursor = offsets.clone();
+    let mut boxes = vec![Aabb::EMPTY; k];
+    for (i, &g) in assignment.iter().enumerate() {
+        order[cursor[g]] = i as u32;
+        cursor[g] += 1;
+        boxes[g] = boxes[g].union(&tris[i].aabb());
+    }
+    GroupedFaces { order, offsets, boxes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tripro_geom::vec3;
+
+    #[test]
+    fn skeleton_sampling_spreads() {
+        // Points along a line: FPS should pick spread-out points.
+        let pts: Vec<Vec3> = (0..100).map(|i| vec3(i as f64, 0.0, 0.0)).collect();
+        let sk = sample_skeleton(&pts, 3);
+        assert_eq!(sk.len(), 3);
+        // Should include (near) both extremes.
+        let xs: Vec<f64> = sk.iter().map(|p| p.x).collect();
+        assert!(xs.iter().any(|&x| x < 5.0));
+        assert!(xs.iter().any(|&x| x > 95.0));
+    }
+
+    #[test]
+    fn skeleton_edge_cases() {
+        assert!(sample_skeleton(&[], 5).is_empty());
+        assert!(sample_skeleton(&[vec3(1.0, 1.0, 1.0)], 0).is_empty());
+        let one = sample_skeleton(&[vec3(1.0, 1.0, 1.0)], 5);
+        assert_eq!(one.len(), 1);
+    }
+
+    fn two_cluster_tris() -> Vec<Triangle> {
+        let mut out = Vec::new();
+        for cx in [0.0, 100.0] {
+            for i in 0..10 {
+                let p = vec3(cx + i as f64 * 0.1, 0.0, 0.0);
+                out.push(Triangle::new(p, p + vec3(0.05, 0.0, 0.0), p + vec3(0.0, 0.05, 0.0)));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn grouping_separates_clusters() {
+        let tris = two_cluster_tris();
+        let sk = vec![vec3(0.5, 0.0, 0.0), vec3(100.5, 0.0, 0.0)];
+        let g = group_faces(&tris, &sk);
+        assert_eq!(g.group_count(), 2);
+        assert_eq!(g.group(0).len(), 10);
+        assert_eq!(g.group(1).len(), 10);
+        // Boxes are tight around their cluster.
+        assert!(g.boxes[0].hi.x < 50.0);
+        assert!(g.boxes[1].lo.x > 50.0);
+        // Every face appears exactly once.
+        let mut all: Vec<u32> = g.order.clone();
+        all.sort_unstable();
+        assert_eq!(all, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_group_fallback() {
+        let tris = two_cluster_tris();
+        let g = group_faces(&tris, &[vec3(0.0, 0.0, 0.0)]);
+        assert_eq!(g.group_count(), 1);
+        assert_eq!(g.group(0).len(), 20);
+        let g2 = group_faces(&tris, &[]);
+        assert_eq!(g2.group_count(), 1);
+    }
+
+    #[test]
+    fn default_sizes() {
+        assert_eq!(default_skeleton_size(300), 1);
+        assert_eq!(default_skeleton_size(30_000), 60);
+    }
+
+    #[test]
+    fn non_empty_iterator_skips_empty_groups() {
+        let tris = two_cluster_tris();
+        // A skeleton point far from everything gets no faces.
+        let sk = vec![vec3(0.5, 0.0, 0.0), vec3(100.5, 0.0, 0.0), vec3(0.0, 1e6, 0.0)];
+        let g = group_faces(&tris, &sk);
+        let ids: Vec<usize> = g.non_empty().map(|(i, _)| i).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+}

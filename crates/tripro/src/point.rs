@@ -1,0 +1,159 @@
+//! Progressive point-containment queries.
+//!
+//! Paper §4.1 notes that point-in-polyhedron checks can themselves be
+//! accelerated by the Filter-Progressive-Refine paradigm: because every
+//! lower LOD is a subset of the full object, *"inside at a lower LOD"*
+//! already proves *"inside at the highest LOD"* — only points outside all
+//! lower LODs need the full-resolution parity test.
+
+use crate::query::{Paradigm, QueryConfig};
+use crate::stats::ExecStats;
+use crate::store::{ObjectId, ObjectStore};
+use std::time::Instant;
+use tripro_geom::{Aabb, Vec3};
+
+/// Point-query interface over one object store.
+pub struct PointQuery<'a> {
+    pub store: &'a ObjectStore,
+}
+
+impl<'a> PointQuery<'a> {
+    pub fn new(store: &'a ObjectStore) -> Self {
+        Self { store }
+    }
+
+    /// Ids of all objects whose solid contains `p`.
+    pub fn containing(
+        &self,
+        p: Vec3,
+        cfg: &QueryConfig,
+        stats: &ExecStats,
+    ) -> Vec<ObjectId> {
+        let t0 = Instant::now();
+        let probe = Aabb::from_point(p);
+        let candidates = self.store.rtree().query_intersects(&probe);
+        stats.add_filter(t0.elapsed());
+
+        let mut out = Vec::new();
+        for c in candidates {
+            if self.contains(c, p, cfg, stats) {
+                out.push(c);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Does object `id` contain point `p`?
+    pub fn contains(
+        &self,
+        id: ObjectId,
+        p: Vec3,
+        cfg: &QueryConfig,
+        stats: &ExecStats,
+    ) -> bool {
+        if !self.store.mbb(id).contains_point(p) {
+            return false;
+        }
+        let top = self.store.max_lod(id);
+        let lods: Vec<usize> = match cfg.paradigm {
+            Paradigm::FilterRefine => vec![top],
+            Paradigm::FilterProgressiveRefine => {
+                let mut l: Vec<usize> = if cfg.lod_list.is_empty() {
+                    (0..=top).collect()
+                } else {
+                    cfg.lod_list.iter().cloned().filter(|&x| x <= top).collect()
+                };
+                if l.last() != Some(&top) {
+                    l.push(top);
+                }
+                l
+            }
+        };
+        for &lod in &lods {
+            let geom = self.store.get(id, lod, stats);
+            stats.record_pair_evaluated(lod);
+            let t1 = Instant::now();
+            let inside = tripro_geom::point_in_mesh(p, &geom.triangles);
+            stats.add_compute(t1.elapsed());
+            if inside {
+                // Subset property: inside a lower LOD ⇒ inside the object.
+                stats.record_pair_pruned(lod);
+                return true;
+            }
+            if lod == top {
+                // Outside at full resolution: definitive.
+                stats.record_pair_pruned(lod);
+                return false;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compute::Accel;
+    use crate::store::StoreConfig;
+    use tripro_geom::vec3;
+    use tripro_mesh::testutil::sphere;
+
+    fn store() -> ObjectStore {
+        let meshes = vec![
+            sphere(vec3(0.0, 0.0, 0.0), 2.0, 3),
+            sphere(vec3(10.0, 0.0, 0.0), 2.0, 3),
+        ];
+        ObjectStore::build(&meshes, &StoreConfig { build_threads: 1, ..Default::default() })
+            .unwrap()
+    }
+
+    #[test]
+    fn containing_finds_the_right_object() {
+        let s = store();
+        let q = PointQuery::new(&s);
+        let stats = ExecStats::new();
+        for paradigm in [Paradigm::FilterRefine, Paradigm::FilterProgressiveRefine] {
+            let cfg = QueryConfig::new(paradigm, Accel::Brute);
+            assert_eq!(q.containing(vec3(0.0, 0.0, 0.0), &cfg, &stats), vec![0]);
+            assert_eq!(q.containing(vec3(10.0, 0.5, 0.0), &cfg, &stats), vec![1]);
+            assert!(q.containing(vec3(5.0, 0.0, 0.0), &cfg, &stats).is_empty());
+            assert!(q.containing(vec3(0.0, 0.0, 50.0), &cfg, &stats).is_empty());
+        }
+    }
+
+    #[test]
+    fn deep_interior_accepts_at_low_lod() {
+        let s = store();
+        let q = PointQuery::new(&s);
+        let cfg = QueryConfig::new(Paradigm::FilterProgressiveRefine, Accel::Brute);
+        let stats = ExecStats::new();
+        // Deep inside: some lower LOD already contains it, so FPR resolves
+        // before reaching full resolution.
+        assert!(q.contains(0, vec3(0.0, 0.0, 0.0), &cfg, &stats));
+        let snap = stats.snapshot();
+        let top = s.max_lod(0);
+        let early: u64 = snap.pairs_pruned[..top].iter().sum();
+        assert_eq!(early, 1, "centre must resolve below LOD {top}: {snap:?}");
+    }
+
+    #[test]
+    fn near_surface_point_needs_high_lod() {
+        let s = store();
+        let q = PointQuery::new(&s);
+        let cfg = QueryConfig::new(Paradigm::FilterProgressiveRefine, Accel::Brute);
+        let fr = QueryConfig::new(Paradigm::FilterRefine, Accel::Brute);
+        let stats = ExecStats::new();
+        // A point just inside the sphere surface: low LODs (slimmer) exclude
+        // it, so FPR walks up the ladder — and must agree with FR.
+        let p = vec3(1.98, 0.0, 0.0);
+        assert_eq!(
+            q.contains(0, p, &cfg, &stats),
+            q.contains(0, p, &fr, &stats)
+        );
+        // Just outside: both must reject.
+        let p = vec3(2.01, 0.0, 0.0);
+        assert!(!q.contains(0, p, &cfg, &stats));
+        assert!(!q.contains(0, p, &fr, &stats));
+    }
+}

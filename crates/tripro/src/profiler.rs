@@ -1,0 +1,195 @@
+//! LOD-choice profiling (paper §4.4 and §6.5): run a sampled join visiting
+//! every LOD, measure the fraction of object pairs each LOD prunes, and keep
+//! only the LODs whose pruned fraction beats `1/r²` — the break-even point
+//! where the work a refinement level saves at higher LODs exceeds the work
+//! it costs (with `r` the face-count growth ratio between adjacent LODs;
+//! the paper measures r = 2 for two decimation rounds per level).
+
+use crate::compute::Accel;
+use crate::query::{Engine, Paradigm, QueryConfig};
+use crate::stats::ExecStats;
+use crate::store::ObjectId;
+
+/// Which join to profile.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum QueryKind {
+    Intersection,
+    Within(f64),
+    NearestNeighbour,
+}
+
+impl QueryKind {
+    pub fn label(&self) -> &'static str {
+        match self {
+            QueryKind::Intersection => "intersection",
+            QueryKind::Within(_) => "within",
+            QueryKind::NearestNeighbour => "nearest-neighbour",
+        }
+    }
+}
+
+/// Per-LOD refinement activity measured by a profiling run (Fig 12 rows).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LodActivity {
+    pub lod: usize,
+    pub evaluated: u64,
+    pub pruned: u64,
+    pub pruned_fraction: f64,
+}
+
+/// Result of a profiling run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LodChoice {
+    /// Per-LOD evaluated/pruned counts (Fig 12).
+    pub activity: Vec<LodActivity>,
+    /// Face-count growth ratio between adjacent LODs, measured on a sample.
+    pub r: f64,
+    /// The break-even pruned fraction `1/r²` (25% for r = 2, §6.5).
+    pub threshold: f64,
+    /// LODs worth refining at (always ends with the ladder top so results
+    /// stay exact, §4.4).
+    pub chosen: Vec<usize>,
+}
+
+/// Profile `kind` on up to `sample` target objects and derive the LOD list.
+pub fn choose_lods(engine: &Engine<'_>, kind: QueryKind, sample: usize, accel: Accel) -> LodChoice {
+    let cfg = QueryConfig::new(Paradigm::FilterProgressiveRefine, accel);
+    let stats = ExecStats::new();
+    let n = engine.target.len().min(sample) as ObjectId;
+    for t in 0..n {
+        match kind {
+            QueryKind::Intersection => {
+                let _ = engine.intersect_one(t, &cfg, &stats);
+            }
+            QueryKind::Within(d) => {
+                let _ = engine.within_one(t, d, &cfg, &stats);
+            }
+            QueryKind::NearestNeighbour => {
+                let _ = engine.nn_one(t, &cfg, &stats);
+            }
+        }
+    }
+    let snap = stats.snapshot();
+    let top = engine
+        .target
+        .max_lod_overall()
+        .max(engine.source.max_lod_overall());
+
+    let activity: Vec<LodActivity> = (0..=top)
+        .map(|lod| {
+            let evaluated = *snap.pairs_evaluated.get(lod).unwrap_or(&0);
+            let pruned = *snap.pairs_pruned.get(lod).unwrap_or(&0);
+            LodActivity {
+                lod,
+                evaluated,
+                pruned,
+                pruned_fraction: if evaluated > 0 {
+                    pruned as f64 / evaluated as f64
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect();
+
+    let r = measure_r(engine, sample);
+    let threshold = 1.0 / (r * r);
+    let mut chosen: Vec<usize> = activity
+        .iter()
+        .filter(|a| a.evaluated > 0 && a.pruned_fraction > threshold)
+        .map(|a| a.lod)
+        .collect();
+    if chosen.last() != Some(&top) {
+        chosen.push(top);
+    }
+    LodChoice { activity, r, threshold, chosen }
+}
+
+/// Measure the average face-count growth ratio between adjacent LODs over a
+/// sample of source objects (the paper's Fig 11 measures ≈2 per level).
+pub fn measure_r(engine: &Engine<'_>, sample: usize) -> f64 {
+    let stats = ExecStats::new();
+    let n = engine.source.len().min(sample.max(1)) as ObjectId;
+    let mut ratios = Vec::new();
+    for id in 0..n {
+        let top = engine.source.max_lod(id);
+        let mut prev = engine.source.get(id, 0, &stats).triangles.len();
+        for lod in 1..=top {
+            let cur = engine.source.get(id, lod, &stats).triangles.len();
+            if prev > 0 {
+                ratios.push(cur as f64 / prev as f64);
+            }
+            prev = cur;
+        }
+    }
+    if ratios.is_empty() {
+        2.0
+    } else {
+        ratios.iter().sum::<f64>() / ratios.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{ObjectStore, StoreConfig};
+    use tripro_geom::vec3;
+    use tripro_mesh::testutil::sphere;
+
+    fn stores() -> (ObjectStore, ObjectStore) {
+        let cfg = StoreConfig { build_threads: 2, ..Default::default() };
+        let targets: Vec<_> = (0..6)
+            .map(|i| sphere(vec3(i as f64 * 8.0, 0.0, 0.0), 2.0, 3))
+            .collect();
+        let sources: Vec<_> = (0..6)
+            .map(|i| sphere(vec3(i as f64 * 8.0 + 3.0, 4.0, 0.0), 1.5, 3))
+            .collect();
+        (
+            ObjectStore::build(&targets, &cfg).unwrap(),
+            ObjectStore::build(&sources, &cfg).unwrap(),
+        )
+    }
+
+    #[test]
+    fn r_is_about_two() {
+        let (t, s) = stores();
+        let engine = Engine::new(&t, &s);
+        let r = measure_r(&engine, 3);
+        assert!(r > 1.3 && r < 3.5, "r = {r}");
+    }
+
+    #[test]
+    fn choice_ends_at_top_and_reports_activity() {
+        let (t, s) = stores();
+        let engine = Engine::new(&t, &s);
+        let choice = choose_lods(&engine, QueryKind::NearestNeighbour, 6, Accel::Brute);
+        let top = t.max_lod_overall().max(s.max_lod_overall());
+        assert_eq!(*choice.chosen.last().unwrap(), top);
+        assert!(choice.threshold > 0.0 && choice.threshold < 1.0);
+        assert_eq!(choice.activity.len(), top + 1);
+        assert!(choice.activity.iter().any(|a| a.evaluated > 0));
+    }
+
+    #[test]
+    fn within_profile_prunes_early() {
+        let (t, s) = stores();
+        let engine = Engine::new(&t, &s);
+        // Generous distance: everything within → early accepts at low LODs.
+        let choice = choose_lods(&engine, QueryKind::Within(10.0), 6, Accel::Brute);
+        let low: u64 = choice.activity[0].pruned;
+        assert!(low > 0, "low LODs should prune within-pairs: {:?}", choice.activity);
+    }
+
+    #[test]
+    fn chosen_list_usable_by_engine() {
+        let (t, s) = stores();
+        let engine = Engine::new(&t, &s);
+        let choice = choose_lods(&engine, QueryKind::NearestNeighbour, 6, Accel::Brute);
+        let cfg = QueryConfig::new(Paradigm::FilterProgressiveRefine, Accel::Brute)
+            .with_lods(choice.chosen.clone());
+        let (with_choice, _) = engine.nn_join(&cfg);
+        let all = QueryConfig::new(Paradigm::FilterProgressiveRefine, Accel::Brute);
+        let (with_all, _) = engine.nn_join(&all);
+        assert_eq!(with_choice, with_all, "LOD choice must not change results");
+    }
+}

@@ -1,0 +1,857 @@
+//! The query processor: intersection, within and nearest-neighbour spatial
+//! joins under both paradigms (paper §4):
+//!
+//! * **Filter-Refine (FR)** — R-tree filter, then refinement on fully
+//!   decoded geometry (the classical baseline).
+//! * **Filter-Progressive-Refine (FPR)** — the paper's contribution:
+//!   candidates are decoded and refined at increasing LODs; the PPVP subset
+//!   guarantee lets results return early (Alg. 1–3), skipping most
+//!   high-LOD decoding and geometry.
+
+use crate::compute::{Accel, Computer};
+use crate::stats::ExecStats;
+use crate::store::{ObjectId, ObjectStore};
+use std::time::Instant;
+use tripro_geom::DistRange;
+
+/// Query processing paradigm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Paradigm {
+    /// Decode to the highest LOD immediately (classical Filter-Refine).
+    FilterRefine,
+    /// Refine progressively from low LODs (the paper's FPR).
+    FilterProgressiveRefine,
+}
+
+impl Paradigm {
+    pub fn label(&self) -> &'static str {
+        match self {
+            Paradigm::FilterRefine => "FR",
+            Paradigm::FilterProgressiveRefine => "FPR",
+        }
+    }
+}
+
+/// Query configuration.
+#[derive(Debug, Clone)]
+pub struct QueryConfig {
+    pub paradigm: Paradigm,
+    pub accel: Accel,
+    /// Worker threads for the join driver (cuboid-level parallelism).
+    pub threads: usize,
+    /// LODs the progressive refinement visits, ascending. Empty = every
+    /// LOD from 0 to the ladder top (§4.4/§6.5 discuss better choices).
+    pub lod_list: Vec<usize>,
+    /// Cuboid edge length for batched execution; `None` derives one from
+    /// the target extent.
+    pub cuboid_cell: Option<f64>,
+    /// Extension beyond the paper (see §2.2's *conservative* approximation
+    /// family): prune candidates with the precomputed 13-DOPs — reject
+    /// intersection candidates whose DOPs are disjoint, and tighten
+    /// distance lower bounds with DOP gaps. Off by default so the paper's
+    /// comparisons stay faithful.
+    pub conservative_prefilter: bool,
+}
+
+impl QueryConfig {
+    pub fn new(paradigm: Paradigm, accel: Accel) -> Self {
+        Self {
+            paradigm,
+            accel,
+            threads: 1,
+            lod_list: Vec::new(),
+            cuboid_cell: None,
+            conservative_prefilter: false,
+        }
+    }
+
+    pub fn with_conservative_prefilter(mut self) -> Self {
+        self.conservative_prefilter = true;
+        self
+    }
+
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    pub fn with_lods(mut self, lods: Vec<usize>) -> Self {
+        self.lod_list = lods;
+        self
+    }
+}
+
+/// Result of a join: per target object, the matched source objects.
+pub type JoinPairs = Vec<(ObjectId, Vec<ObjectId>)>;
+
+/// Result of a NN join: per target object, its nearest source object.
+pub type NnPairs = Vec<(ObjectId, Option<ObjectId>)>;
+
+/// A spatial-join engine over a target dataset `D₁` and source dataset `D₂`.
+pub struct Engine<'a> {
+    pub target: &'a ObjectStore,
+    pub source: &'a ObjectStore,
+}
+
+impl<'a> Engine<'a> {
+    pub fn new(target: &'a ObjectStore, source: &'a ObjectStore) -> Self {
+        Self { target, source }
+    }
+
+    /// The LOD ladder a query under `cfg` visits, ascending and ending at
+    /// the ladder top.
+    fn lods(&self, cfg: &QueryConfig) -> Vec<usize> {
+        let top = self.target.max_lod_overall().max(self.source.max_lod_overall());
+        match cfg.paradigm {
+            Paradigm::FilterRefine => vec![top],
+            Paradigm::FilterProgressiveRefine => {
+                let mut lods = if cfg.lod_list.is_empty() {
+                    (0..=top).collect::<Vec<_>>()
+                } else {
+                    cfg.lod_list.clone()
+                };
+                lods.retain(|&l| l <= top);
+                lods.sort_unstable();
+                lods.dedup();
+                if lods.last() != Some(&top) {
+                    lods.push(top);
+                }
+                lods
+            }
+        }
+    }
+
+    fn computer(&self, cfg: &QueryConfig) -> Computer {
+        // The computer's executor parallelism is independent of the join
+        // driver's thread count: it models the device.
+        Computer::new(cfg.accel, std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4))
+    }
+
+    // -----------------------------------------------------------------
+    // Intersection join (paper §4.1, Alg. 1)
+    // -----------------------------------------------------------------
+
+    /// Source objects whose geometry intersects target object `t`.
+    pub fn intersect_one(
+        &self,
+        t: ObjectId,
+        cfg: &QueryConfig,
+        stats: &ExecStats,
+    ) -> Vec<ObjectId> {
+        let computer = self.computer(cfg);
+        let lods = self.lods(cfg);
+
+        // Filter: MBB intersection against the global index. With the
+        // partition strategies the finer sub-object boxes filter instead.
+        let t0 = Instant::now();
+        let mut candidates = match cfg.accel {
+            Accel::Partition | Accel::PartitionGpu => {
+                let mut c = self.source.partition_rtree().query_intersects(self.target.mbb(t));
+                c.sort_unstable();
+                c.dedup();
+                c
+            }
+            _ => self.source.rtree().query_intersects(self.target.mbb(t)),
+        };
+        if cfg.conservative_prefilter {
+            let kt = &self.target.object(t).kdop;
+            candidates.retain(|&c| kt.intersects(&self.source.object(c).kdop));
+        }
+        stats.add_filter(t0.elapsed());
+
+        let mut results = Vec::new();
+        let t_max = self.target.max_lod(t);
+        for &lod in &lods {
+            if candidates.is_empty() {
+                break;
+            }
+            let geom_t = self.target.get(t, lod, stats);
+            let sk_t = self.target.skeleton(t);
+            candidates.retain(|&c| {
+                let geom_c = self.source.get(c, lod, stats);
+                stats.record_pair_evaluated(lod);
+                let hit = computer.intersects(
+                    &geom_t,
+                    &geom_c,
+                    sk_t,
+                    self.source.skeleton(c),
+                    stats,
+                );
+                if hit {
+                    // Early accept (P1: intersection at a lower LOD implies
+                    // intersection at every higher LOD).
+                    results.push(c);
+                    stats.record_pair_pruned(lod);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+
+        // Containment fallback at the highest LOD (Alg. 1 steps 8–12):
+        // surfaces may be disjoint while one solid contains the other.
+        let top = *lods.last().unwrap();
+        for c in candidates {
+            stats.record_pair_pruned(top);
+            let c_in_t = self.target.mbb(t).contains_box(self.source.mbb(c));
+            let t_in_c = self.source.mbb(c).contains_box(self.target.mbb(t));
+            if c_in_t {
+                let geom_t = self.target.get(t, t_max, stats);
+                let geom_c = self.source.get(c, 0, stats);
+                let v = geom_c.triangles[0].a;
+                let t1 = Instant::now();
+                let inside = tripro_geom::point_in_mesh(v, &geom_t.triangles);
+                stats.add_compute(t1.elapsed());
+                if inside {
+                    results.push(c);
+                    continue;
+                }
+            }
+            if t_in_c {
+                let geom_c = self.source.get(c, self.source.max_lod(c), stats);
+                let geom_t = self.target.get(t, 0, stats);
+                let v = geom_t.triangles[0].a;
+                let t1 = Instant::now();
+                let inside = tripro_geom::point_in_mesh(v, &geom_c.triangles);
+                stats.add_compute(t1.elapsed());
+                if inside {
+                    results.push(c);
+                }
+            }
+        }
+        results.sort_unstable();
+        results
+    }
+
+    /// Intersection spatial join `D₁ ⋈ D₂` over all target objects.
+    pub fn intersection_join(&self, cfg: &QueryConfig) -> (JoinPairs, ExecStats) {
+        let stats = ExecStats::new();
+        let out = self.drive(cfg, &stats, |t, stats| self.intersect_one(t, cfg, stats));
+        (out, stats)
+    }
+
+    // -----------------------------------------------------------------
+    // Within join (paper §4.2, Alg. 2)
+    // -----------------------------------------------------------------
+
+    /// Source objects whose distance to target `t` is at most `d`.
+    pub fn within_one(
+        &self,
+        t: ObjectId,
+        d: f64,
+        cfg: &QueryConfig,
+        stats: &ExecStats,
+    ) -> Vec<ObjectId> {
+        let computer = self.computer(cfg);
+        let lods = self.lods(cfg);
+
+        let t0 = Instant::now();
+        let filtered = self.source.rtree().within(self.target.mbb(t), d);
+
+        // Objects proven within by MBB bounds alone need no geometry.
+        let mut results = filtered.definite;
+        let mut candidates = filtered.candidates;
+        if cfg.conservative_prefilter {
+            // §2.2 conservative rejection: a 13-DOP gap exceeding `d`
+            // proves the objects are farther than `d` apart.
+            let kt = &self.target.object(t).kdop;
+            candidates.retain(|&c| kt.min_dist(&self.source.object(c).kdop) <= d);
+        }
+        // The partition strategies re-examine candidates with the finer
+        // sub-object boxes (§5.1): the min-over-groups MAXDIST can prove
+        // "within" and the min-over-groups MINDIST can disprove it, both
+        // without touching geometry.
+        if matches!(cfg.accel, Accel::Partition | Accel::PartitionGpu) {
+            let tm = self.target.mbb(t);
+            candidates.retain(|&c| {
+                let boxes = &self.source.object(c).group_boxes;
+                if boxes.is_empty() {
+                    return true;
+                }
+                let min = boxes.iter().map(|b| b.min_dist(tm)).fold(f64::INFINITY, f64::min);
+                if min > d {
+                    return false; // certainly too far
+                }
+                let max = boxes.iter().map(|b| b.max_dist(tm)).fold(f64::INFINITY, f64::min);
+                if max <= d {
+                    results.push(c); // certainly within
+                    return false;
+                }
+                true
+            });
+        }
+        stats.add_filter(t0.elapsed());
+        let d2 = d * d;
+        let seed = d2 * (1.0 + 1e-9) + f64::MIN_POSITIVE;
+
+        let t_max = self.target.max_lod(t);
+        for &lod in &lods {
+            if candidates.is_empty() {
+                break;
+            }
+            let geom_t = self.target.get(t, lod, stats);
+            let sk_t = self.target.skeleton(t);
+            candidates.retain(|&c| {
+                let exact = lod >= t_max && lod >= self.source.max_lod(c);
+                let geom_c = self.source.get(c, lod, stats);
+                stats.record_pair_evaluated(lod);
+                let dist2 = computer.min_dist2(
+                    &geom_t,
+                    &geom_c,
+                    sk_t,
+                    self.source.skeleton(c),
+                    seed,
+                    stats,
+                );
+                if dist2 <= d2 {
+                    // P2: the LOD distance upper-bounds the true distance.
+                    results.push(c);
+                    stats.record_pair_pruned(lod);
+                    false
+                } else if exact {
+                    // The exact distance exceeds d: reject.
+                    stats.record_pair_pruned(lod);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        results.sort_unstable();
+        results
+    }
+
+    /// Within spatial join: all source objects within `d` of each target.
+    pub fn within_join(&self, d: f64, cfg: &QueryConfig) -> (JoinPairs, ExecStats) {
+        let stats = ExecStats::new();
+        let out = self.drive(cfg, &stats, |t, stats| self.within_one(t, d, cfg, stats));
+        (out, stats)
+    }
+
+    // -----------------------------------------------------------------
+    // Nearest-neighbour join (paper §4.3, Alg. 3)
+    // -----------------------------------------------------------------
+
+    /// The nearest source object to target `t` (`None` for an empty source).
+    pub fn nn_one(
+        &self,
+        t: ObjectId,
+        cfg: &QueryConfig,
+        stats: &ExecStats,
+    ) -> Option<ObjectId> {
+        let computer = self.computer(cfg);
+        let lods = self.lods(cfg);
+
+        let t0 = Instant::now();
+        let mut candidates: Vec<(ObjectId, DistRange)> =
+            self.source.rtree().nn_candidates(self.target.mbb(t));
+        // Partition strategies tighten the initial ranges with the finer
+        // sub-object boxes (min over groups is valid for both bounds).
+        if matches!(cfg.accel, Accel::Partition | Accel::PartitionGpu) {
+            for (c, r) in &mut candidates {
+                let boxes = &self.source.object(*c).group_boxes;
+                if !boxes.is_empty() {
+                    let tm = self.target.mbb(t);
+                    r.min = boxes.iter().map(|b| b.min_dist(tm)).fold(f64::INFINITY, f64::min);
+                    r.max = boxes.iter().map(|b| b.max_dist(tm)).fold(f64::INFINITY, f64::min);
+                }
+            }
+        }
+        if cfg.conservative_prefilter {
+            let kt = &self.target.object(t).kdop;
+            for (c, r) in &mut candidates {
+                r.min = r.min.max(kt.min_dist(&self.source.object(*c).kdop));
+            }
+        }
+        stats.add_filter(t0.elapsed());
+        if candidates.is_empty() {
+            return None;
+        }
+
+        let mut minmax = candidates
+            .iter()
+            .map(|(_, r)| r.max)
+            .fold(f64::INFINITY, f64::min);
+        let t_max = self.target.max_lod(t);
+
+        for &lod in &lods {
+            if candidates.len() <= 1 {
+                break;
+            }
+            let geom_t = self.target.get(t, lod, stats);
+            let sk_t = self.target.skeleton(t);
+            let mut next = Vec::with_capacity(candidates.len());
+            for (c, mut r) in candidates {
+                // Alg. 3 step 5: MINMAXDIST keeps decreasing, re-check.
+                if r.min > minmax {
+                    stats.record_pair_pruned(lod);
+                    continue;
+                }
+                let exact = lod >= t_max && lod >= self.source.max_lod(c);
+                let geom_c = self.source.get(c, lod, stats);
+                stats.record_pair_evaluated(lod);
+                let seed = minmax * minmax * (1.0 + 1e-9) + f64::MIN_POSITIVE;
+                let dist2 = computer.min_dist2(
+                    &geom_t,
+                    &geom_c,
+                    sk_t,
+                    self.source.skeleton(c),
+                    seed,
+                    stats,
+                );
+                if dist2 < seed {
+                    // Exact LOD distance obtained: tighten MAXDIST (step 9);
+                    // at the highest LOD the range collapses (step 11).
+                    let dist = dist2.sqrt();
+                    r.max = dist;
+                    if exact {
+                        r.min = dist;
+                    }
+                    minmax = minmax.min(r.max);
+                    next.push((c, r));
+                } else if exact {
+                    // Cut off above MINMAXDIST at the exact LOD: this
+                    // candidate cannot beat the current best (ties break
+                    // toward the earlier winner).
+                    stats.record_pair_pruned(lod);
+                } else {
+                    // LOD distance exceeds the bound but the true distance
+                    // may still be smaller; keep with MBB-derived range.
+                    next.push((c, r));
+                }
+            }
+            // Post-pass prune with the settled MINMAXDIST (steps 14–16).
+            candidates = next
+                .into_iter()
+                .filter(|(_, r)| {
+                    let keep = r.min <= minmax;
+                    if !keep {
+                        stats.record_pair_pruned(lod);
+                    }
+                    keep
+                })
+                .collect();
+        }
+
+        candidates
+            .into_iter()
+            .min_by(|a, b| a.1.max.total_cmp(&b.1.max).then(a.0.cmp(&b.0)))
+            .map(|(c, _)| c)
+    }
+
+    /// Nearest-neighbour join (ANN query): the nearest source object for
+    /// every target object.
+    pub fn nn_join(&self, cfg: &QueryConfig) -> (NnPairs, ExecStats) {
+        let stats = ExecStats::new();
+        let out = self.drive(cfg, &stats, |t, stats| self.nn_one(t, cfg, stats));
+        (out, stats)
+    }
+
+    /// The `k` nearest source objects to target `t`, closest first
+    /// (§4.3's kNN extension: the candidate list keeps at least `k`
+    /// entries, pruning against the k-th smallest MAXDIST).
+    pub fn knn_one(
+        &self,
+        t: ObjectId,
+        k: usize,
+        cfg: &QueryConfig,
+        stats: &ExecStats,
+    ) -> Vec<ObjectId> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let computer = self.computer(cfg);
+        let lods = self.lods(cfg);
+
+        let t0 = Instant::now();
+        let mut candidates: Vec<(ObjectId, DistRange)> =
+            self.source.rtree().knn_candidates(self.target.mbb(t), k);
+        stats.add_filter(t0.elapsed());
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+
+        let t_max = self.target.max_lod(t);
+        // The pruning threshold is the k-th smallest MAXDIST.
+        let kth_max = |cands: &[(ObjectId, DistRange)]| -> f64 {
+            if cands.len() < k {
+                return f64::INFINITY;
+            }
+            let mut maxs: Vec<f64> = cands.iter().map(|(_, r)| r.max).collect();
+            maxs.sort_by(f64::total_cmp);
+            maxs[k - 1]
+        };
+        let mut threshold = kth_max(&candidates);
+
+        for &lod in &lods {
+            if candidates.len() <= k {
+                break;
+            }
+            let geom_t = self.target.get(t, lod, stats);
+            let sk_t = self.target.skeleton(t);
+            let mut next = Vec::with_capacity(candidates.len());
+            for (c, mut r) in candidates {
+                if r.min > threshold {
+                    stats.record_pair_pruned(lod);
+                    continue;
+                }
+                let exact = lod >= t_max && lod >= self.source.max_lod(c);
+                let geom_c = self.source.get(c, lod, stats);
+                stats.record_pair_evaluated(lod);
+                let seed = threshold * threshold * (1.0 + 1e-9) + f64::MIN_POSITIVE;
+                let dist2 = computer.min_dist2(
+                    &geom_t,
+                    &geom_c,
+                    sk_t,
+                    self.source.skeleton(c),
+                    seed,
+                    stats,
+                );
+                if dist2 < seed {
+                    let dist = dist2.sqrt();
+                    r.max = dist;
+                    if exact {
+                        r.min = dist;
+                    }
+                    next.push((c, r));
+                } else if exact {
+                    stats.record_pair_pruned(lod);
+                } else {
+                    next.push((c, r));
+                }
+                threshold = threshold.min(kth_max(&next).max(
+                    // Until k candidates are settled the threshold cannot
+                    // tighten below the k-th best seen.
+                    0.0,
+                ));
+            }
+            threshold = kth_max(&next);
+            candidates = next
+                .into_iter()
+                .filter(|(_, r)| {
+                    let keep = r.min <= threshold;
+                    if !keep {
+                        stats.record_pair_pruned(lod);
+                    }
+                    keep
+                })
+                .collect();
+        }
+
+        // Exact distances for whatever remains (bounded by the filter), then
+        // take the k best.
+        let top = *lods.last().unwrap();
+        let geom_t = self.target.get(t, top, stats);
+        let sk_t = self.target.skeleton(t);
+        let mut scored: Vec<(f64, ObjectId)> = candidates
+            .into_iter()
+            .map(|(c, r)| {
+                if r.min == r.max {
+                    (r.max, c)
+                } else {
+                    let geom_c = self.source.get(c, top, stats);
+                    stats.record_pair_evaluated(top);
+                    let d2 = computer.min_dist2(
+                        &geom_t,
+                        &geom_c,
+                        sk_t,
+                        self.source.skeleton(c),
+                        f64::INFINITY,
+                        stats,
+                    );
+                    (d2.sqrt(), c)
+                }
+            })
+            .collect();
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        scored.truncate(k);
+        scored.into_iter().map(|(_, c)| c).collect()
+    }
+
+    /// k-nearest-neighbour join: the `k` nearest source objects for every
+    /// target object, closest first.
+    pub fn knn_join(&self, k: usize, cfg: &QueryConfig) -> (JoinPairs, ExecStats) {
+        let stats = ExecStats::new();
+        let out = self.drive(cfg, &stats, |t, stats| self.knn_one(t, k, cfg, stats));
+        (out, stats)
+    }
+
+    // -----------------------------------------------------------------
+    // Parallel join driver: batch target objects by cuboid (§5.3) and let
+    // workers claim cuboids, preserving decode-cache locality.
+    // -----------------------------------------------------------------
+
+    fn drive<R: Send>(
+        &self,
+        cfg: &QueryConfig,
+        stats: &ExecStats,
+        per_object: impl Fn(ObjectId, &ExecStats) -> R + Sync,
+    ) -> Vec<(ObjectId, R)> {
+        let cell = cfg.cuboid_cell.unwrap_or_else(|| {
+            let e = self.target.rtree().bounds().extent();
+            (e.max_component() / 4.0).max(1e-9)
+        });
+        let cuboids = self.target.cuboids(cell);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let results = std::sync::Mutex::new(Vec::with_capacity(self.target.len()));
+        let workers = cfg.threads.max(1).min(cuboids.len().max(1));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= cuboids.len() {
+                        return;
+                    }
+                    let mut local = Vec::with_capacity(cuboids[i].len());
+                    for &t in &cuboids[i] {
+                        local.push((t, per_object(t, stats)));
+                    }
+                    results.lock().unwrap().extend(local);
+                });
+            }
+        });
+        let mut out = results.into_inner().unwrap();
+        out.sort_by_key(|(t, _)| *t);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreConfig;
+    use tripro_geom::vec3;
+    use tripro_mesh::testutil::sphere;
+    use tripro_mesh::TriMesh;
+
+    fn store_of(meshes: Vec<TriMesh>) -> ObjectStore {
+        ObjectStore::build(&meshes, &StoreConfig { build_threads: 2, ..Default::default() })
+            .unwrap()
+    }
+
+    /// Targets: spheres along x at 0, 10, 20. Sources: spheres at 0.5
+    /// (overlaps t0), 13 (3 away from t1's surface), 40 (far).
+    fn setup() -> (ObjectStore, ObjectStore) {
+        let targets = store_of(vec![
+            sphere(vec3(0.0, 0.0, 0.0), 2.0, 3),
+            sphere(vec3(10.0, 0.0, 0.0), 2.0, 3),
+            sphere(vec3(20.0, 0.0, 0.0), 2.0, 3),
+        ]);
+        let sources = store_of(vec![
+            sphere(vec3(0.5, 0.0, 0.0), 2.0, 3),
+            sphere(vec3(13.0, 0.0, 0.0), 1.0, 3),
+            sphere(vec3(40.0, 0.0, 0.0), 2.0, 3),
+        ]);
+        (targets, sources)
+    }
+
+    fn all_configs() -> Vec<QueryConfig> {
+        let mut out = Vec::new();
+        for p in [Paradigm::FilterRefine, Paradigm::FilterProgressiveRefine] {
+            // Table 1's five strategies plus the OBB-tree extension.
+            for a in Accel::ALL.into_iter().chain([Accel::ObbTree]) {
+                out.push(QueryConfig::new(p, a));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn intersection_join_all_strategies_agree() {
+        let (t, s) = setup();
+        let engine = Engine::new(&t, &s);
+        for cfg in all_configs() {
+            let (pairs, _) = engine.intersection_join(&cfg);
+            assert_eq!(pairs.len(), 3);
+            assert_eq!(pairs[0].1, vec![0], "{:?} {:?}", cfg.paradigm, cfg.accel);
+            assert!(pairs[1].1.is_empty(), "{:?} {:?}", cfg.paradigm, cfg.accel);
+            assert!(pairs[2].1.is_empty());
+        }
+    }
+
+    #[test]
+    fn containment_counts_as_intersection() {
+        // Small sphere strictly inside a big one.
+        let t = store_of(vec![sphere(vec3(0.0, 0.0, 0.0), 4.0, 3)]);
+        let s = store_of(vec![sphere(vec3(0.0, 0.0, 0.0), 1.0, 2)]);
+        let engine = Engine::new(&t, &s);
+        for cfg in all_configs() {
+            let stats = ExecStats::new();
+            let hits = engine.intersect_one(0, &cfg, &stats);
+            assert_eq!(hits, vec![0], "{:?} {:?}", cfg.paradigm, cfg.accel);
+        }
+    }
+
+    #[test]
+    fn within_join_all_strategies_agree() {
+        let (t, s) = setup();
+        let engine = Engine::new(&t, &s);
+        // t1 (at x=10, r=2) to s1 (at x=13, r=1): surface gap = 0.
+        // Actually: centres 3 apart, radii sum 3 ⇒ touching; use d = 0.5.
+        for cfg in all_configs() {
+            let (pairs, _) = engine.within_join(0.5, &cfg);
+            assert_eq!(pairs[0].1, vec![0], "{:?} {:?}", cfg.paradigm, cfg.accel);
+            assert_eq!(pairs[1].1, vec![1], "{:?} {:?}", cfg.paradigm, cfg.accel);
+            assert!(pairs[2].1.is_empty(), "{:?} {:?}", cfg.paradigm, cfg.accel);
+        }
+    }
+
+    #[test]
+    fn within_respects_distance_threshold() {
+        let (t, s) = setup();
+        let engine = Engine::new(&t, &s);
+        let cfg = QueryConfig::new(Paradigm::FilterProgressiveRefine, Accel::Brute);
+        let stats = ExecStats::new();
+        // t2 at x=20 to s1 at x=13 (r=1): gap = 20-2 - 14 = 4.
+        assert!(engine.within_one(2, 3.9, &cfg, &stats).is_empty());
+        assert_eq!(engine.within_one(2, 4.2, &cfg, &stats), vec![1]);
+    }
+
+    #[test]
+    fn nn_join_all_strategies_agree() {
+        let (t, s) = setup();
+        let engine = Engine::new(&t, &s);
+        for cfg in all_configs() {
+            let (pairs, _) = engine.nn_join(&cfg);
+            assert_eq!(pairs[0].1, Some(0), "{:?} {:?}", cfg.paradigm, cfg.accel);
+            assert_eq!(pairs[1].1, Some(1), "{:?} {:?}", cfg.paradigm, cfg.accel);
+            assert_eq!(pairs[2].1, Some(1), "{:?} {:?}", cfg.paradigm, cfg.accel);
+        }
+    }
+
+    #[test]
+    fn fpr_decodes_less_than_fr() {
+        let (t, s) = setup();
+        let engine = Engine::new(&t, &s);
+        let fr = QueryConfig::new(Paradigm::FilterRefine, Accel::Brute);
+        let fpr = QueryConfig::new(Paradigm::FilterProgressiveRefine, Accel::Brute);
+        let (_, st_fr) = engine.within_join(0.5, &fr);
+        t.cache().clear();
+        s.cache().clear();
+        let (_, st_fpr) = engine.within_join(0.5, &fpr);
+        let fr_pairs = st_fr.snapshot().face_pair_tests;
+        let fpr_pairs = st_fpr.snapshot().face_pair_tests;
+        assert!(
+            fpr_pairs < fr_pairs,
+            "FPR should test fewer face pairs: {fpr_pairs} vs {fr_pairs}"
+        );
+    }
+
+    #[test]
+    fn parallel_driver_matches_serial() {
+        let (t, s) = setup();
+        let engine = Engine::new(&t, &s);
+        let serial = QueryConfig::new(Paradigm::FilterProgressiveRefine, Accel::Brute);
+        let parallel = serial.clone().with_threads(4);
+        let (a, _) = engine.nn_join(&serial);
+        let (b, _) = engine.nn_join(&parallel);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lod_list_is_respected() {
+        let (t, s) = setup();
+        let engine = Engine::new(&t, &s);
+        let cfg = QueryConfig::new(Paradigm::FilterProgressiveRefine, Accel::Brute)
+            .with_lods(vec![1, 3]);
+        let lods = engine.lods(&cfg);
+        let top = t.max_lod_overall().max(s.max_lod_overall());
+        assert_eq!(*lods.last().unwrap(), top);
+        assert!(lods.contains(&1));
+        // FR ignores the list entirely.
+        let fr = QueryConfig::new(Paradigm::FilterRefine, Accel::Brute).with_lods(vec![0, 1]);
+        assert_eq!(engine.lods(&fr), vec![top]);
+    }
+
+    #[test]
+    fn conservative_prefilter_preserves_results_and_prunes() {
+        let (t, s) = setup();
+        let engine = Engine::new(&t, &s);
+        for accel in [Accel::Brute, Accel::Partition] {
+            let plain = QueryConfig::new(Paradigm::FilterProgressiveRefine, accel);
+            let dop = plain.clone().with_conservative_prefilter();
+
+            let (i1, _) = engine.intersection_join(&plain);
+            let (i2, _) = engine.intersection_join(&dop);
+            assert_eq!(i1, i2, "{accel:?} intersection");
+
+            let (w1, _) = engine.within_join(0.5, &plain);
+            let (w2, _) = engine.within_join(0.5, &dop);
+            assert_eq!(w1, w2, "{accel:?} within");
+
+            let (n1, _) = engine.nn_join(&plain);
+            let (n2, _) = engine.nn_join(&dop);
+            assert_eq!(n1, n2, "{accel:?} nn");
+        }
+        // The DOP bound must never exceed the true distance: compare the
+        // kdop gap against the MBB MINDIST for every store pair.
+        for a in 0..t.len() as u32 {
+            for b in 0..s.len() as u32 {
+                let dop_gap = t.object(a).kdop.min_dist(&s.object(b).kdop);
+                let mbb_gap = t.mbb(a).min_dist(s.mbb(b));
+                assert!(
+                    dop_gap >= mbb_gap - 1e-9,
+                    "13 directions include the 3 axes, so the DOP bound dominates"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn knn_returns_ordered_neighbours() {
+        let (t, s) = setup();
+        let engine = Engine::new(&t, &s);
+        for cfg in all_configs() {
+            let stats = ExecStats::new();
+            // Target 1 (x=10): nearest is s1 (x=13), then s0 (x=0.5), then s2.
+            let knn = engine.knn_one(1, 2, &cfg, &stats);
+            assert_eq!(knn.len(), 2, "{:?} {:?}", cfg.paradigm, cfg.accel);
+            assert_eq!(knn[0], 1, "{:?} {:?}", cfg.paradigm, cfg.accel);
+            assert_eq!(knn[1], 0, "{:?} {:?}", cfg.paradigm, cfg.accel);
+            // k=1 agrees with nn_one; k larger than the dataset returns all.
+            assert_eq!(engine.knn_one(1, 1, &cfg, &stats), vec![1]);
+            assert_eq!(engine.knn_one(1, 99, &cfg, &stats).len(), 3);
+            assert!(engine.knn_one(1, 0, &cfg, &stats).is_empty());
+        }
+    }
+
+    #[test]
+    fn knn_join_shapes() {
+        let (t, s) = setup();
+        let engine = Engine::new(&t, &s);
+        let cfg = QueryConfig::new(Paradigm::FilterProgressiveRefine, Accel::Brute);
+        let (pairs, _) = engine.knn_join(2, &cfg);
+        assert_eq!(pairs.len(), 3);
+        for (tid, nns) in &pairs {
+            assert_eq!(nns.len(), 2, "target {tid}");
+            // First entry must equal the NN join's answer.
+            let stats = ExecStats::new();
+            assert_eq!(Some(nns[0]), engine.nn_one(*tid, &cfg, &stats));
+        }
+    }
+
+    #[test]
+    fn empty_source() {
+        let (t, _) = setup();
+        let s = store_of(vec![]);
+        let engine = Engine::new(&t, &s);
+        let cfg = QueryConfig::new(Paradigm::FilterProgressiveRefine, Accel::Brute);
+        let stats = ExecStats::new();
+        assert!(engine.intersect_one(0, &cfg, &stats).is_empty());
+        assert!(engine.within_one(0, 5.0, &cfg, &stats).is_empty());
+        assert_eq!(engine.nn_one(0, &cfg, &stats), None);
+    }
+
+    #[test]
+    fn stats_track_lod_activity() {
+        let (t, s) = setup();
+        let engine = Engine::new(&t, &s);
+        let cfg = QueryConfig::new(Paradigm::FilterProgressiveRefine, Accel::Brute);
+        let (_, stats) = engine.nn_join(&cfg);
+        let snap = stats.snapshot();
+        assert!(snap.pairs_evaluated.iter().sum::<u64>() > 0);
+        assert!(snap.decode_ns > 0);
+        assert!(snap.compute_ns > 0);
+    }
+}

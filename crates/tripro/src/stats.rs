@@ -1,0 +1,176 @@
+//! Execution statistics: the time breakdown (filter / decode / geometry)
+//! behind Fig 10, the per-LOD evaluated/pruned pair counts behind Fig 12,
+//! and the cache counters behind Table 2.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Maximum LOD index tracked by the per-LOD counters.
+pub const MAX_TRACKED_LOD: usize = 15;
+
+/// Thread-safe accumulator for one query execution.
+#[derive(Debug, Default)]
+pub struct ExecStats {
+    /// Nanoseconds spent querying the global index.
+    pub filter_ns: AtomicU64,
+    /// Nanoseconds spent decompressing objects.
+    pub decode_ns: AtomicU64,
+    /// Nanoseconds spent in geometric computation.
+    pub compute_ns: AtomicU64,
+    /// Triangle-pair predicate evaluations.
+    pub face_pair_tests: AtomicU64,
+    /// Object pairs evaluated at each LOD (Fig 12).
+    pub pairs_evaluated: [AtomicU64; MAX_TRACKED_LOD + 1],
+    /// Object pairs resolved (pruned from further refinement) at each LOD.
+    pub pairs_pruned: [AtomicU64; MAX_TRACKED_LOD + 1],
+    /// Decode-cache hits and misses.
+    pub cache_hits: AtomicU64,
+    pub cache_misses: AtomicU64,
+    /// Number of object decodes performed (cache misses materialised).
+    pub decodes: AtomicU64,
+}
+
+impl ExecStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn add_filter(&self, d: Duration) {
+        self.filter_ns.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_decode(&self, d: Duration) {
+        self.decode_ns.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_compute(&self, d: Duration) {
+        self.compute_ns.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_face_pairs(&self, n: u64) {
+        self.face_pair_tests.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn record_pair_evaluated(&self, lod: usize) {
+        self.pairs_evaluated[lod.min(MAX_TRACKED_LOD)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn record_pair_pruned(&self, lod: usize) {
+        self.pairs_pruned[lod.min(MAX_TRACKED_LOD)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot into a plain, serialisable struct.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            filter_ns: self.filter_ns.load(Ordering::Relaxed),
+            decode_ns: self.decode_ns.load(Ordering::Relaxed),
+            compute_ns: self.compute_ns.load(Ordering::Relaxed),
+            face_pair_tests: self.face_pair_tests.load(Ordering::Relaxed),
+            pairs_evaluated: self
+                .pairs_evaluated
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect(),
+            pairs_pruned: self
+                .pairs_pruned
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect(),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            decodes: self.decodes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data snapshot of [`ExecStats`].
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StatsSnapshot {
+    pub filter_ns: u64,
+    pub decode_ns: u64,
+    pub compute_ns: u64,
+    pub face_pair_tests: u64,
+    pub pairs_evaluated: Vec<u64>,
+    pub pairs_pruned: Vec<u64>,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub decodes: u64,
+}
+
+impl StatsSnapshot {
+    /// Filter time in seconds.
+    pub fn filter_s(&self) -> f64 {
+        self.filter_ns as f64 / 1e9
+    }
+
+    /// Decode time in seconds.
+    pub fn decode_s(&self) -> f64 {
+        self.decode_ns as f64 / 1e9
+    }
+
+    /// Geometry time in seconds.
+    pub fn compute_s(&self) -> f64 {
+        self.compute_ns as f64 / 1e9
+    }
+
+    /// Fraction of object pairs pruned at each LOD that saw evaluations —
+    /// the quantity §4.4 compares against `1/r²` to pick refinement LODs.
+    pub fn pruned_fractions(&self) -> Vec<(usize, f64)> {
+        self.pairs_evaluated
+            .iter()
+            .zip(&self.pairs_pruned)
+            .enumerate()
+            .filter(|(_, (&e, _))| e > 0)
+            .map(|(lod, (&e, &p))| (lod, p as f64 / e as f64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_and_snapshot() {
+        let s = ExecStats::new();
+        s.add_filter(Duration::from_millis(2));
+        s.add_decode(Duration::from_millis(3));
+        s.add_compute(Duration::from_millis(5));
+        s.add_face_pairs(100);
+        s.record_pair_evaluated(0);
+        s.record_pair_evaluated(0);
+        s.record_pair_pruned(0);
+        s.record_pair_evaluated(5);
+        let snap = s.snapshot();
+        assert_eq!(snap.filter_ns, 2_000_000);
+        assert_eq!(snap.face_pair_tests, 100);
+        assert_eq!(snap.pairs_evaluated[0], 2);
+        assert_eq!(snap.pairs_pruned[0], 1);
+        assert_eq!(snap.pairs_evaluated[5], 1);
+        assert!((snap.compute_s() - 0.005).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pruned_fractions_skip_empty_lods() {
+        let s = ExecStats::new();
+        s.record_pair_evaluated(1);
+        s.record_pair_evaluated(1);
+        s.record_pair_pruned(1);
+        s.record_pair_evaluated(3);
+        let f = s.snapshot().pruned_fractions();
+        assert_eq!(f, vec![(1, 0.5), (3, 0.0)]);
+    }
+
+    #[test]
+    fn lod_overflow_clamps() {
+        let s = ExecStats::new();
+        s.record_pair_evaluated(999);
+        assert_eq!(s.snapshot().pairs_evaluated[MAX_TRACKED_LOD], 1);
+    }
+}

@@ -1,0 +1,111 @@
+//! Orthographic camera: a view direction, an up hint, and a framing box.
+
+use tripro_geom::{Aabb, Vec3};
+
+/// Orthographic camera looking along `-direction` ("direction" points from
+/// the scene towards the camera).
+#[derive(Debug, Clone, Copy)]
+pub struct Camera {
+    /// Unit vector from scene to camera.
+    pub towards: Vec3,
+    /// Image-space right and up basis (orthonormal with `towards`).
+    pub right: Vec3,
+    pub up: Vec3,
+    /// Scene-space centre mapped to the image centre.
+    pub center: Vec3,
+    /// Half-extent of the view square in scene units.
+    pub half_extent: f64,
+}
+
+impl Camera {
+    /// Camera viewing from `direction` (need not be unit), framing `bb`
+    /// with a small margin. `up_hint` resolves the roll; any vector not
+    /// parallel to `direction` works.
+    pub fn framing(bb: &Aabb, direction: Vec3, up_hint: Vec3) -> Self {
+        let towards = direction.normalized().unwrap_or(Vec3::Z);
+        let mut right = up_hint.cross(towards);
+        if right.norm2() < 1e-12 {
+            right = Vec3::X.cross(towards);
+            if right.norm2() < 1e-12 {
+                right = Vec3::Y.cross(towards);
+            }
+        }
+        let right = right.normalized().unwrap();
+        let up = towards.cross(right).normalized().unwrap();
+        let center = bb.center();
+        // Fit: project all corners, take the max |coordinate|.
+        let mut half = 0.0f64;
+        for c in bb.corners() {
+            let d = c - center;
+            half = half.max(d.dot(right).abs()).max(d.dot(up).abs());
+        }
+        Self { towards, right, up, center, half_extent: half * 1.05 + 1e-12 }
+    }
+
+    /// Standard three-quarter view of a box.
+    pub fn isometric(bb: &Aabb) -> Self {
+        Self::framing(bb, Vec3::new(1.0, 1.0, 1.0), Vec3::Z)
+    }
+
+    /// Project a scene point to `(x, y, depth)` in the unit square
+    /// `[0, 1]²` (y grows downward, image convention); depth grows away
+    /// from the camera.
+    #[inline]
+    pub fn project(&self, p: Vec3) -> (f64, f64, f64) {
+        let d = p - self.center;
+        let x = d.dot(self.right) / (2.0 * self.half_extent) + 0.5;
+        let y = 0.5 - d.dot(self.up) / (2.0 * self.half_extent);
+        let depth = -d.dot(self.towards);
+        (x, y, depth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tripro_geom::vec3;
+
+    #[test]
+    fn basis_is_orthonormal() {
+        let bb = Aabb::from_corners(vec3(-1.0, -2.0, -3.0), vec3(1.0, 2.0, 3.0));
+        let cam = Camera::isometric(&bb);
+        assert!((cam.towards.norm() - 1.0).abs() < 1e-12);
+        assert!((cam.right.norm() - 1.0).abs() < 1e-12);
+        assert!((cam.up.norm() - 1.0).abs() < 1e-12);
+        assert!(cam.towards.dot(cam.right).abs() < 1e-12);
+        assert!(cam.towards.dot(cam.up).abs() < 1e-12);
+        assert!(cam.right.dot(cam.up).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_corners_project_inside_unit_square() {
+        let bb = Aabb::from_corners(vec3(5.0, -1.0, 2.0), vec3(9.0, 4.0, 3.0));
+        for dir in [vec3(1.0, 0.0, 0.0), vec3(0.3, -0.9, 0.4), vec3(1.0, 1.0, 1.0)] {
+            let cam = Camera::framing(&bb, dir, Vec3::Z);
+            for c in bb.corners() {
+                let (x, y, _) = cam.project(c);
+                assert!((0.0..=1.0).contains(&x), "x={x} dir={dir}");
+                assert!((0.0..=1.0).contains(&y), "y={y} dir={dir}");
+            }
+        }
+    }
+
+    #[test]
+    fn center_projects_to_middle_and_depth_orders() {
+        let bb = Aabb::from_corners(vec3(-1.0, -1.0, -1.0), vec3(1.0, 1.0, 1.0));
+        let cam = Camera::framing(&bb, vec3(0.0, 0.0, 1.0), Vec3::Y);
+        let (x, y, _) = cam.project(bb.center());
+        assert!((x - 0.5).abs() < 1e-12 && (y - 0.5).abs() < 1e-12);
+        // A point nearer the camera (larger z here) has smaller depth.
+        let (_, _, near) = cam.project(vec3(0.0, 0.0, 1.0));
+        let (_, _, far) = cam.project(vec3(0.0, 0.0, -1.0));
+        assert!(near < far);
+    }
+
+    #[test]
+    fn degenerate_up_hint_recovers() {
+        let bb = Aabb::from_corners(vec3(0.0, 0.0, 0.0), vec3(1.0, 1.0, 1.0));
+        let cam = Camera::framing(&bb, Vec3::Z, Vec3::Z); // parallel hint
+        assert!((cam.right.norm() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,94 @@
+//! RGB image buffer with binary-PPM output.
+
+/// An 8-bit RGB image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    /// Row-major RGB triples.
+    pixels: Vec<[u8; 3]>,
+}
+
+impl Image {
+    /// A `width × height` image filled with `background`.
+    pub fn new(width: usize, height: usize, background: [u8; 3]) -> Self {
+        assert!(width > 0 && height > 0, "image must be non-empty");
+        Self { width, height, pixels: vec![background; width * height] }
+    }
+
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixel at `(x, y)`; `(0, 0)` is the top-left corner.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> [u8; 3] {
+        self.pixels[y * self.width + x]
+    }
+
+    /// Set pixel at `(x, y)` (ignores out-of-bounds coordinates).
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, rgb: [u8; 3]) {
+        if x < self.width && y < self.height {
+            self.pixels[y * self.width + x] = rgb;
+        }
+    }
+
+    /// Number of pixels that differ from `background` — a cheap coverage
+    /// metric for tests.
+    pub fn coverage(&self, background: [u8; 3]) -> usize {
+        self.pixels.iter().filter(|p| **p != background).count()
+    }
+
+    /// Encode as binary PPM (`P6`).
+    pub fn to_ppm(&self) -> Vec<u8> {
+        let mut out = format!("P6\n{} {}\n255\n", self.width, self.height).into_bytes();
+        out.reserve(self.pixels.len() * 3);
+        for p in &self.pixels {
+            out.extend_from_slice(p);
+        }
+        out
+    }
+
+    /// Write a binary PPM file.
+    pub fn save_ppm(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_ppm())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pixels_and_coverage() {
+        let bg = [0, 0, 0];
+        let mut img = Image::new(4, 3, bg);
+        assert_eq!(img.width(), 4);
+        assert_eq!(img.height(), 3);
+        assert_eq!(img.coverage(bg), 0);
+        img.set(1, 2, [255, 0, 0]);
+        img.set(99, 99, [1, 2, 3]); // silently ignored
+        assert_eq!(img.get(1, 2), [255, 0, 0]);
+        assert_eq!(img.coverage(bg), 1);
+    }
+
+    #[test]
+    fn ppm_header_and_size() {
+        let img = Image::new(2, 2, [10, 20, 30]);
+        let ppm = img.to_ppm();
+        assert!(ppm.starts_with(b"P6\n2 2\n255\n"));
+        assert_eq!(ppm.len(), 11 + 12);
+        assert_eq!(&ppm[11..14], &[10, 20, 30]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_image_panics() {
+        Image::new(0, 5, [0; 3]);
+    }
+}

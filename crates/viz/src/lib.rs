@@ -1,0 +1,15 @@
+//! # tripro-viz
+//!
+//! A tiny dependency-free software renderer for inspecting meshes and PPVP
+//! LOD ladders: orthographic projection, z-buffered rasterisation with flat
+//! Lambert shading, PPM (binary `P6`) output. Not a product renderer — a
+//! debugging and documentation aid, so the repository can visualise what
+//! the codec does to a polyhedron without external tooling.
+
+pub mod camera;
+pub mod image;
+pub mod render;
+
+pub use camera::Camera;
+pub use image::Image;
+pub use render::{render_mesh, render_triangles, RenderOptions};

@@ -1,0 +1,62 @@
+//! LOD-list tuning (paper §4.4 and §6.5): profile a sampled join, print the
+//! per-LOD evaluated/pruned counts (Fig 12's data), and derive the list of
+//! LODs worth refining at via the `pruned fraction > 1/r²` rule.
+//!
+//! ```sh
+//! cargo run --release --example lod_tuning
+//! ```
+
+use tripro::{choose_lods, Accel, Engine, ObjectStore, Paradigm, QueryConfig, QueryKind, StoreConfig};
+use tripro_synth::DatasetConfig;
+
+fn main() {
+    let block = tripro_synth::generate(&DatasetConfig {
+        nuclei_count: 120,
+        vessel_count: 0,
+        ..Default::default()
+    });
+    let cfg = StoreConfig::default();
+    let a = ObjectStore::build(&block.nuclei_a, &cfg).expect("encode A");
+    let b = ObjectStore::build(&block.nuclei_b, &cfg).expect("encode B");
+    let engine = Engine::new(&a, &b);
+
+    for kind in [
+        QueryKind::Intersection,
+        QueryKind::Within(1.0),
+        QueryKind::NearestNeighbour,
+    ] {
+        a.cache().clear();
+        b.cache().clear();
+        let choice = choose_lods(&engine, kind, 60, Accel::Brute);
+        println!("\n=== {} join ===", kind.label());
+        println!("measured r = {:.2}, break-even pruned fraction = {:.0}%",
+            choice.r, choice.threshold * 100.0);
+        println!("{:>4} {:>10} {:>10} {:>8}", "LOD", "evaluated", "pruned", "frac");
+        for act in &choice.activity {
+            println!(
+                "{:>4} {:>10} {:>10} {:>7.1}%{}",
+                act.lod,
+                act.evaluated,
+                act.pruned,
+                act.pruned_fraction * 100.0,
+                if choice.chosen.contains(&act.lod) { "  <- refine here" } else { "" }
+            );
+        }
+
+        // Verify the tuned list returns identical results, faster.
+        let full = QueryConfig::new(Paradigm::FilterProgressiveRefine, Accel::Brute);
+        let tuned = full.clone().with_lods(choice.chosen.clone());
+        a.cache().clear();
+        b.cache().clear();
+        let t0 = std::time::Instant::now();
+        let (r_full, _) = engine.nn_join(&full);
+        let t_full = t0.elapsed();
+        a.cache().clear();
+        b.cache().clear();
+        let t0 = std::time::Instant::now();
+        let (r_tuned, _) = engine.nn_join(&tuned);
+        let t_tuned = t0.elapsed();
+        assert_eq!(r_full, r_tuned, "tuning must not change results");
+        println!("all-LODs NN join: {t_full:?}; tuned {:?}: {t_tuned:?}", choice.chosen);
+    }
+}

@@ -1,0 +1,40 @@
+//! Render every LOD of a PPVP-compressed vessel to PPM images with the
+//! built-in software renderer — see with your own eyes what progressive
+//! protruding-vertex pruning does to a polyhedron.
+//!
+//! ```sh
+//! cargo run --release --example render_lods [out_dir]
+//! ```
+
+use rand::SeedableRng;
+use tripro_mesh::{encode, EncoderConfig};
+use tripro_synth::{vessel, VesselConfig};
+use tripro_viz::{render_triangles, Camera, RenderOptions};
+
+fn main() {
+    let out_dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| std::env::temp_dir().join("tripro_renders").display().to_string());
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+    let cfg = VesselConfig { levels: 3, grid: 40, ..Default::default() };
+    let v = vessel(&mut rng, &cfg, tripro_geom::Vec3::ZERO);
+    let cm = encode(&v.mesh, &EncoderConfig::default()).expect("encode");
+
+    // One fixed camera framing the FULL object, reused for every LOD, so
+    // the images are directly comparable.
+    let cam = Camera::isometric(&v.mesh.aabb());
+    let opts = RenderOptions { width: 640, height: 640, ..Default::default() };
+
+    let mut dec = cm.decoder().expect("decode");
+    for lod in 0..=cm.max_lod() {
+        dec.decode_to(lod).expect("decode");
+        let tris = dec.triangles();
+        let img = render_triangles(&tris, &cam, &opts);
+        let path = format!("{out_dir}/vessel_lod{lod}.ppm");
+        img.save_ppm(&path).expect("write ppm");
+        println!("LOD {lod}: {} faces -> {path}", tris.len());
+    }
+    println!("\nimages share one camera; watch the vessel grow back to full detail");
+}

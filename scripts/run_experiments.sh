@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Regenerate every table and figure of the paper's evaluation.
+# Outputs land in target/harness/*.txt (also printed to stdout).
+#
+# Usage:
+#   scripts/run_experiments.sh [tiny|small|medium]
+#
+# On slow machines the vessel-involving Table 1 / Fig 10 sections can be
+# split across invocations with TRIPRO_TESTS / TRIPRO_PARADIGMS, e.g.:
+#   TRIPRO_TESTS=NN-NV TRIPRO_PARADIGMS=FPR target/release/table1
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export TRIPRO_SCALE="${1:-small}"
+echo "== building (release) =="
+cargo build --release -p tripro-bench --bins
+
+run() {
+    echo
+    echo "== $1 =="
+    "target/release/$1"
+}
+
+run datasetstats   # §6.2 statistics
+run fig9           # compressed bytes per LOD
+run fig11          # faces vs decimation rounds
+run fig12          # pairs evaluated/pruned per LOD + LOD choice
+run table2         # decode cache on/off
+run fig13          # PostGIS-style baseline vs FR vs FPR
+run fig10          # time breakdown per test × accel × paradigm
+run table1         # the headline latency table
+
+echo
+echo "All harness outputs written to target/harness/"

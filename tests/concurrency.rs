@@ -1,0 +1,121 @@
+//! Concurrency stress: the decode cache and parallel join driver under
+//! simultaneous access from many threads. These tests verify freedom from
+//! deadlock, identical results regardless of interleaving, and cache
+//! invariants (capacity bound, decoder-state reuse) under contention.
+
+use std::sync::Arc;
+use tripro::{Accel, Engine, ExecStats, ObjectStore, Paradigm, QueryConfig, StoreConfig};
+use tripro_geom::vec3;
+use tripro_mesh::testutil::sphere;
+
+fn store(n: usize) -> Arc<ObjectStore> {
+    let meshes: Vec<_> = (0..n)
+        .map(|i| sphere(vec3((i % 8) as f64 * 6.0, (i / 8) as f64 * 6.0, 0.0), 2.0, 3))
+        .collect();
+    Arc::new(
+        ObjectStore::build(&meshes, &StoreConfig { build_threads: 2, ..Default::default() })
+            .unwrap(),
+    )
+}
+
+#[test]
+fn cache_hammering_from_many_threads() {
+    let s = store(16);
+    let stats = ExecStats::new();
+    std::thread::scope(|scope| {
+        for t in 0..8 {
+            let s = &s;
+            let stats = &stats;
+            scope.spawn(move || {
+                for round in 0..40 {
+                    let id = ((t * 7 + round * 3) % 16) as u32;
+                    let lod = (t + round) % (s.max_lod(id) + 1);
+                    let data = s.get(id, lod, stats);
+                    assert!(!data.triangles.is_empty());
+                    // Trees are built lazily under contention too.
+                    if round % 5 == 0 {
+                        assert_eq!(data.tree().len(), data.triangles.len());
+                    }
+                }
+            });
+        }
+    });
+    let snap = stats.snapshot();
+    assert_eq!(snap.cache_hits + snap.cache_misses, 8 * 40);
+    assert!(snap.cache_hits > 0, "reuse must happen under contention");
+}
+
+#[test]
+fn concurrent_decodes_agree_with_serial() {
+    let s = store(8);
+    let serial_stats = ExecStats::new();
+    // Serial truth: face counts per (id, lod).
+    let mut truth = std::collections::HashMap::new();
+    for id in 0..8u32 {
+        for lod in 0..=s.max_lod(id) {
+            truth.insert((id, lod), s.get(id, lod, &serial_stats).triangles.len());
+        }
+    }
+    s.cache().clear();
+    let stats = ExecStats::new();
+    std::thread::scope(|scope| {
+        for t in 0..6 {
+            let s = &s;
+            let stats = &stats;
+            let truth = &truth;
+            scope.spawn(move || {
+                for round in 0..30 {
+                    let id = ((t + round * 5) % 8) as u32;
+                    let lod = (t * 2 + round) % (s.max_lod(id) + 1);
+                    let got = s.get(id, lod, stats).triangles.len();
+                    assert_eq!(got, truth[&(id, lod)], "({id},{lod}) under contention");
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn tiny_cache_under_contention_stays_bounded() {
+    let s = store(12);
+    // Force constant eviction with a cache that fits ~2 decoded objects.
+    let one = {
+        let stats = ExecStats::new();
+        s.get(0, 2, &stats).bytes()
+    };
+    let small = tripro::DecodeCache::new(one * 2);
+    let stats = ExecStats::new();
+    std::thread::scope(|scope| {
+        for t in 0..6 {
+            let small = &small;
+            let s = &s;
+            let stats = &stats;
+            scope.spawn(move || {
+                for round in 0..30 {
+                    let id = ((t + round) % 12) as u32;
+                    let _ = small.get(id, 2, &s.object(id).compressed, stats);
+                }
+            });
+        }
+    });
+    assert!(small.used_bytes() <= one * 2, "capacity must hold after the storm");
+}
+
+#[test]
+fn join_results_stable_across_thread_counts() {
+    let t = store(12);
+    let s = store(12);
+    let engine = Engine::new(&t, &s);
+    let mut reference = None;
+    for threads in [1usize, 2, 4, 8] {
+        t.cache().clear();
+        s.cache().clear();
+        let cfg = QueryConfig::new(Paradigm::FilterProgressiveRefine, Accel::Aabb)
+            .with_threads(threads);
+        let (pairs, _) = engine.nn_join(&cfg);
+        match &reference {
+            None => reference = Some(pairs),
+            Some(r) => assert_eq!(&pairs, r, "threads={threads}"),
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Ground-truth checks: engine results are verified against independent
+//! brute-force reference computations on the *same quantised geometry*
+//! (removing the quantisation tolerance that the baseline comparison
+//! needs). Every query type, paradigm, and the kNN/point extensions.
+
+use tripro::{
+    Accel, Engine, ExecStats, ObjectStore, Paradigm, PointQuery, QueryConfig, StoreConfig,
+};
+use tripro_geom::{vec3, Triangle, Vec3};
+use tripro_index::AabbTree;
+use tripro_synth::{nucleus, NucleusConfig};
+
+/// Decode every object at full LOD via the store (the engine's own truth).
+fn full_geometry(store: &ObjectStore) -> Vec<Vec<Triangle>> {
+    let stats = ExecStats::new();
+    (0..store.len() as u32)
+        .map(|id| store.get(id, store.max_lod(id), &stats).triangles.as_ref().clone())
+        .collect()
+}
+
+fn dist(a: &[Triangle], b: &[Triangle]) -> f64 {
+    let ta = AabbTree::build(a.to_vec());
+    let tb = AabbTree::build(b.to_vec());
+    let mut n = 0;
+    ta.min_dist2_tree(&tb, f64::INFINITY, &mut n).sqrt()
+}
+
+fn stores() -> (ObjectStore, ObjectStore) {
+    use rand::SeedableRng;
+    let cfg = NucleusConfig::default();
+    let mk = |seed: u64, offset: Vec3, n: usize| -> Vec<tripro_mesh::TriMesh> {
+        (0..n)
+            .map(|i| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed + i as u64);
+                nucleus(
+                    &mut rng,
+                    &cfg,
+                    offset + vec3((i % 4) as f64 * 5.0, (i / 4) as f64 * 5.0, 0.0),
+                )
+            })
+            .collect()
+    };
+    let sc = StoreConfig { build_threads: 2, ..Default::default() };
+    (
+        ObjectStore::build(&mk(100, Vec3::ZERO, 12), &sc).unwrap(),
+        ObjectStore::build(&mk(200, vec3(2.0, 1.5, 2.5), 12), &sc).unwrap(),
+    )
+}
+
+#[test]
+fn within_matches_reference_distances() {
+    let (t, s) = stores();
+    let geo_t = full_geometry(&t);
+    let geo_s = full_geometry(&s);
+    let engine = Engine::new(&t, &s);
+    let d = 2.5;
+    for paradigm in [Paradigm::FilterRefine, Paradigm::FilterProgressiveRefine] {
+        let cfg = QueryConfig::new(paradigm, Accel::Aabb);
+        let (pairs, _) = engine.within_join(d, &cfg);
+        for (tid, matches) in &pairs {
+            for sid in 0..s.len() as u32 {
+                let true_d = dist(&geo_t[*tid as usize], &geo_s[sid as usize]);
+                let reported = matches.contains(&sid);
+                // Skip knife-edge cases within float noise of the threshold.
+                if (true_d - d).abs() < 1e-9 {
+                    continue;
+                }
+                assert_eq!(
+                    reported,
+                    true_d <= d,
+                    "{paradigm:?}: target {tid} source {sid}: dist {true_d} vs d={d}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn nn_matches_reference() {
+    let (t, s) = stores();
+    let geo_t = full_geometry(&t);
+    let geo_s = full_geometry(&s);
+    let engine = Engine::new(&t, &s);
+    let cfg = QueryConfig::new(Paradigm::FilterProgressiveRefine, Accel::Aabb);
+    let (pairs, _) = engine.nn_join(&cfg);
+    for (tid, nn) in &pairs {
+        let mut best = (f64::INFINITY, 0u32);
+        for sid in 0..s.len() as u32 {
+            let d = dist(&geo_t[*tid as usize], &geo_s[sid as usize]);
+            if d < best.0 {
+                best = (d, sid);
+            }
+        }
+        let got = nn.expect("source not empty");
+        let got_d = dist(&geo_t[*tid as usize], &geo_s[got as usize]);
+        assert!(
+            (got_d - best.0).abs() < 1e-9,
+            "target {tid}: engine NN {got} at {got_d}, reference {} at {}",
+            best.1,
+            best.0
+        );
+    }
+}
+
+#[test]
+fn knn_matches_reference_ordering() {
+    let (t, s) = stores();
+    let geo_t = full_geometry(&t);
+    let geo_s = full_geometry(&s);
+    let engine = Engine::new(&t, &s);
+    let cfg = QueryConfig::new(Paradigm::FilterProgressiveRefine, Accel::Aabb);
+    let stats = ExecStats::new();
+    let k = 3;
+    for tid in 0..t.len() as u32 {
+        let got = engine.knn_one(tid, k, &cfg, &stats);
+        assert_eq!(got.len(), k);
+        let mut scored: Vec<(f64, u32)> = (0..s.len() as u32)
+            .map(|sid| (dist(&geo_t[tid as usize], &geo_s[sid as usize]), sid))
+            .collect();
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0));
+        // Distances (not necessarily ids, ties permitting) must match.
+        for (i, sid) in got.iter().enumerate() {
+            let got_d = dist(&geo_t[tid as usize], &geo_s[*sid as usize]);
+            assert!(
+                (got_d - scored[i].0).abs() < 1e-9,
+                "target {tid} rank {i}: {got_d} vs reference {}",
+                scored[i].0
+            );
+        }
+    }
+}
+
+#[test]
+fn intersection_matches_reference() {
+    use rand::SeedableRng;
+    // Overlapping configuration: second set is shifted little.
+    let cfg = NucleusConfig::default();
+    let sc = StoreConfig { build_threads: 2, ..Default::default() };
+    let a: Vec<_> = (0..8)
+        .map(|i| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(300 + i as u64);
+            nucleus(&mut rng, &cfg, vec3(i as f64 * 4.0, 0.0, 0.0))
+        })
+        .collect();
+    let b: Vec<_> = (0..8)
+        .map(|i| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(400 + i as u64);
+            nucleus(&mut rng, &cfg, vec3(i as f64 * 4.0 + 0.8, 0.3, 0.0))
+        })
+        .collect();
+    let t = ObjectStore::build(&a, &sc).unwrap();
+    let s = ObjectStore::build(&b, &sc).unwrap();
+    let geo_t = full_geometry(&t);
+    let geo_s = full_geometry(&s);
+    let engine = Engine::new(&t, &s);
+    let cfg_q = QueryConfig::new(Paradigm::FilterProgressiveRefine, Accel::Aabb);
+    let (pairs, _) = engine.intersection_join(&cfg_q);
+    let mut found = 0;
+    for (tid, matches) in &pairs {
+        for sid in 0..s.len() as u32 {
+            let d = dist(&geo_t[*tid as usize], &geo_s[sid as usize]);
+            if d == 0.0 {
+                assert!(
+                    matches.contains(&sid),
+                    "target {tid} touches source {sid} but join missed it"
+                );
+                found += 1;
+            }
+        }
+    }
+    assert!(found > 0, "test data must contain intersections");
+}
+
+#[test]
+fn point_query_matches_reference() {
+    let (t, _) = stores();
+    let geo = full_geometry(&t);
+    let q = PointQuery::new(&t);
+    let cfg = QueryConfig::new(Paradigm::FilterProgressiveRefine, Accel::Brute);
+    let stats = ExecStats::new();
+    // Probe a grid of points across the store bounds.
+    let bb = t.rtree().bounds();
+    for i in 0..5 {
+        for j in 0..5 {
+            let p = bb.lo
+                + vec3(
+                    bb.extent().x * (i as f64 + 0.5) / 5.0,
+                    bb.extent().y * (j as f64 + 0.5) / 5.0,
+                    bb.extent().z * 0.5,
+                );
+            let got = q.containing(p, &cfg, &stats);
+            let want: Vec<u32> = (0..t.len() as u32)
+                .filter(|&id| tripro_geom::point_in_mesh(p, &geo[id as usize]))
+                .collect();
+            assert_eq!(got, want, "point {p}");
+        }
+    }
+}
