@@ -132,7 +132,7 @@ impl BaselineDb {
                 let d2 = tri_tri_dist2(x, y);
                 if d2 < best {
                     best = d2;
-                    if best == 0.0 {
+                    if tripro_geom::is_exactly_zero(best) {
                         return 0.0;
                     }
                 }
@@ -279,7 +279,10 @@ mod tests {
     #[test]
     fn resident_size_reflects_full_resolution() {
         let (t, _) = dbs();
-        assert_eq!(t.resident_bytes(), 2 * 128 * std::mem::size_of::<Triangle>());
+        assert_eq!(
+            t.resident_bytes(),
+            2 * 128 * std::mem::size_of::<Triangle>()
+        );
     }
 
     #[test]

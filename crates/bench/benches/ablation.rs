@@ -12,7 +12,11 @@ fn test_vessel() -> tripro_mesh::TriMesh {
     let mut rng = rand::rngs::StdRng::seed_from_u64(4);
     vessel(
         &mut rng,
-        &VesselConfig { levels: 2, grid: 28, ..Default::default() },
+        &VesselConfig {
+            levels: 2,
+            grid: 28,
+            ..Default::default()
+        },
         tripro_geom::Vec3::ZERO,
     )
     .mesh
@@ -23,7 +27,10 @@ fn bench_quant_bits(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_quant_bits");
     g.sample_size(10);
     for bits in [12u32, 14, 16, 20] {
-        let cfg = EncoderConfig { bits, ..Default::default() };
+        let cfg = EncoderConfig {
+            bits,
+            ..Default::default()
+        };
         // Report compressed size and base-LOD distortion alongside speed,
         // so the bits/size/error trade-off reads off the bench ids.
         let cm = encode(&tm, &cfg).unwrap();
@@ -46,7 +53,11 @@ fn bench_lod_ladder(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_lod_ladder");
     g.sample_size(10);
     for rounds_per_lod in [1usize, 2, 3] {
-        let cfg = EncoderConfig { rounds_per_lod, max_lod: 10 / rounds_per_lod, ..Default::default() };
+        let cfg = EncoderConfig {
+            rounds_per_lod,
+            max_lod: 10 / rounds_per_lod,
+            ..Default::default()
+        };
         g.bench_with_input(
             BenchmarkId::new("encode_rounds_per_lod", rounds_per_lod),
             &rounds_per_lod,
@@ -70,7 +81,11 @@ fn bench_cache_capacity(c: &mut Criterion) {
         .collect();
     let mut g = c.benchmark_group("ablation_cache");
     g.sample_size(10);
-    for (name, capacity) in [("disabled", 0usize), ("two_objects", 80_000), ("ample", 64 << 20)] {
+    for (name, capacity) in [
+        ("disabled", 0usize),
+        ("two_objects", 80_000),
+        ("ample", 64 << 20),
+    ] {
         g.bench_function(BenchmarkId::new("reuse_heavy_access", name), |b| {
             b.iter(|| {
                 let cache = DecodeCache::new(capacity);
@@ -79,7 +94,11 @@ fn bench_cache_capacity(c: &mut Criterion) {
                 let mut total = 0usize;
                 for _round in 0..5 {
                     for (id, cm) in objects.iter().enumerate() {
-                        total += cache.get(id as u32, 2, cm, &stats).triangles.len();
+                        total += cache
+                            .get(id as u32, 2, cm, &stats)
+                            .expect("decode")
+                            .triangles
+                            .len();
                     }
                 }
                 total
@@ -93,16 +112,23 @@ fn bench_ppvp_vs_ppmc(c: &mut Criterion) {
     let tm = test_vessel();
     let mut g = c.benchmark_group("ablation_prune_mode");
     g.sample_size(10);
-    for (name, mode) in [("ppvp", PruneMode::ProtrudingOnly), ("ppmc_like", PruneMode::Any)] {
-        let cfg = EncoderConfig { mode, ..Default::default() };
+    for (name, mode) in [
+        ("ppvp", PruneMode::ProtrudingOnly),
+        ("ppmc_like", PruneMode::Any),
+    ] {
+        let cfg = EncoderConfig {
+            mode,
+            ..Default::default()
+        };
         let cm = encode(&tm, &cfg).unwrap();
         let base_faces = {
             let dec = cm.decoder().unwrap();
             dec.mesh().face_count()
         };
-        g.bench_function(BenchmarkId::new(format!("encode_base{base_faces}f"), name), |b| {
-            b.iter(|| encode(&tm, &cfg).unwrap().payload_size())
-        });
+        g.bench_function(
+            BenchmarkId::new(format!("encode_base{base_faces}f"), name),
+            |b| b.iter(|| encode(&tm, &cfg).unwrap().payload_size()),
+        );
     }
     g.finish();
 }
@@ -111,9 +137,17 @@ fn bench_aabb_vs_obb(c: &mut Criterion) {
     use tripro_index::{AabbTree, ObbTree};
     let mut rng1 = rand::rngs::StdRng::seed_from_u64(41);
     let mut rng2 = rand::rngs::StdRng::seed_from_u64(42);
-    let cfg = VesselConfig { levels: 2, grid: 26, ..Default::default() };
-    let a = vessel(&mut rng1, &cfg, tripro_geom::Vec3::ZERO).mesh.triangles();
-    let b = vessel(&mut rng2, &cfg, tripro_geom::vec3(6.0, 2.0, 0.0)).mesh.triangles();
+    let cfg = VesselConfig {
+        levels: 2,
+        grid: 26,
+        ..Default::default()
+    };
+    let a = vessel(&mut rng1, &cfg, tripro_geom::Vec3::ZERO)
+        .mesh
+        .triangles();
+    let b = vessel(&mut rng2, &cfg, tripro_geom::vec3(6.0, 2.0, 0.0))
+        .mesh
+        .triangles();
     let ta = AabbTree::build(a.clone());
     let tb = AabbTree::build(b.clone());
     let oa = ObbTree::build(a.clone());
@@ -132,8 +166,12 @@ fn bench_aabb_vs_obb(c: &mut Criterion) {
             oa.min_dist2_tree(&ob, f64::INFINITY, &mut n)
         })
     });
-    g.bench_function("aabb_tree_build", |bench| bench.iter(|| AabbTree::build(a.clone()).len()));
-    g.bench_function("obb_tree_build", |bench| bench.iter(|| ObbTree::build(a.clone()).len()));
+    g.bench_function("aabb_tree_build", |bench| {
+        bench.iter(|| AabbTree::build(a.clone()).len())
+    });
+    g.bench_function("obb_tree_build", |bench| {
+        bench.iter(|| ObbTree::build(a.clone()).len())
+    });
     g.finish();
 }
 

@@ -8,17 +8,27 @@ use tripro_synth::{nucleus, vessel, NucleusConfig, VesselConfig};
 
 fn bench_encode(c: &mut Criterion) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-    let nuc = nucleus(&mut rng, &NucleusConfig::default(), tripro_geom::vec3(5.0, 5.0, 5.0));
+    let nuc = nucleus(
+        &mut rng,
+        &NucleusConfig::default(),
+        tripro_geom::vec3(5.0, 5.0, 5.0),
+    );
     let ves = vessel(
         &mut rng,
-        &VesselConfig { levels: 3, grid: 32, ..Default::default() },
+        &VesselConfig {
+            levels: 3,
+            grid: 32,
+            ..Default::default()
+        },
         tripro_geom::Vec3::ZERO,
     )
     .mesh;
     let cfg = EncoderConfig::default();
     let mut g = c.benchmark_group("ppvp_encode");
     g.sample_size(20);
-    g.bench_function("nucleus_320f", |b| b.iter(|| encode(black_box(&nuc), &cfg).unwrap()));
+    g.bench_function("nucleus_320f", |b| {
+        b.iter(|| encode(black_box(&nuc), &cfg).unwrap())
+    });
     g.bench_function(format!("vessel_{}f", ves.faces.len()), |b| {
         b.iter(|| encode(black_box(&ves), &cfg).unwrap())
     });
@@ -29,7 +39,11 @@ fn bench_progressive_decode(c: &mut Criterion) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
     let ves = vessel(
         &mut rng,
-        &VesselConfig { levels: 3, grid: 32, ..Default::default() },
+        &VesselConfig {
+            levels: 3,
+            grid: 32,
+            ..Default::default()
+        },
         tripro_geom::Vec3::ZERO,
     )
     .mesh;
@@ -78,12 +92,19 @@ fn bench_range_coder(c: &mut Criterion) {
     let mut g = c.benchmark_group("range_coder");
     g.sample_size(20);
     g.throughput(criterion::Throughput::Bytes(data.len() as u64));
-    g.bench_function("compress_64k", |b| b.iter(|| tripro_coder::compress(black_box(&data))));
+    g.bench_function("compress_64k", |b| {
+        b.iter(|| tripro_coder::compress(black_box(&data)))
+    });
     g.bench_function("decompress_64k", |b| {
         b.iter(|| tripro_coder::decompress(black_box(&compressed)).unwrap())
     });
     g.finish();
 }
 
-criterion_group!(codec, bench_encode, bench_progressive_decode, bench_range_coder);
+criterion_group!(
+    codec,
+    bench_encode,
+    bench_progressive_decode,
+    bench_range_coder
+);
 criterion_main!(codec);

@@ -28,15 +28,21 @@ fn bench_rtree(c: &mut Criterion) {
     let items = boxes(10_000);
     let mut g = c.benchmark_group("rtree");
     g.sample_size(20);
-    g.bench_function("bulk_load_10k", |b| b.iter(|| RTree::bulk_load(black_box(items.clone()))));
+    g.bench_function("bulk_load_10k", |b| {
+        b.iter(|| RTree::bulk_load(black_box(items.clone())))
+    });
     let tree = RTree::bulk_load(items.clone());
     let window = Aabb::from_corners(vec3(10.0, 10.0, 10.0), vec3(25.0, 25.0, 25.0));
     g.bench_function("window_query_10k", |b| {
         b.iter(|| tree.query_intersects(black_box(&window)))
     });
     let probe = Aabb::from_point(vec3(31.4, 15.9, 26.5));
-    g.bench_function("nn_candidates_10k", |b| b.iter(|| tree.nn_candidates(black_box(&probe))));
-    g.bench_function("within_10k", |b| b.iter(|| tree.within(black_box(&probe), 5.0)));
+    g.bench_function("nn_candidates_10k", |b| {
+        b.iter(|| tree.nn_candidates(black_box(&probe)))
+    });
+    g.bench_function("within_10k", |b| {
+        b.iter(|| tree.within(black_box(&probe), 5.0))
+    });
     g.bench_function("knn8_candidates_10k", |b| {
         b.iter(|| tree.knn_candidates(black_box(&probe), 8))
     });

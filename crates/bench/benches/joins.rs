@@ -19,7 +19,11 @@ fn fixture() -> Fixture {
     let block = tripro_synth::generate(&DatasetConfig {
         nuclei_count: 30,
         vessel_count: 1,
-        vessel: VesselConfig { levels: 2, grid: 24, ..Default::default() },
+        vessel: VesselConfig {
+            levels: 2,
+            grid: 24,
+            ..Default::default()
+        },
         seed: 0xBE7C,
         ..Default::default()
     });
@@ -45,21 +49,21 @@ fn bench_joins(c: &mut Criterion) {
             bch.iter(|| {
                 f.a.cache().clear();
                 f.b.cache().clear();
-                engine.intersection_join(&cfg).0.len()
+                engine.intersection_join(&cfg).expect("join").0.len()
             })
         });
         g.bench_function(format!("within/{}", paradigm.label()), |bch| {
             bch.iter(|| {
                 f.a.cache().clear();
                 f.b.cache().clear();
-                engine.within_join(2.0, &cfg).0.len()
+                engine.within_join(2.0, &cfg).expect("join").0.len()
             })
         });
         g.bench_function(format!("nn/{}", paradigm.label()), |bch| {
             bch.iter(|| {
                 f.a.cache().clear();
                 f.b.cache().clear();
-                engine.nn_join(&cfg).0.len()
+                engine.nn_join(&cfg).expect("join").0.len()
             })
         });
         let ev = Engine::new(&f.a, &f.vessels);
@@ -67,7 +71,7 @@ fn bench_joins(c: &mut Criterion) {
             bch.iter(|| {
                 f.a.cache().clear();
                 f.vessels.cache().clear();
-                ev.within_join(5.0, &cfg).0.len()
+                ev.within_join(5.0, &cfg).expect("join").0.len()
             })
         });
     }

@@ -10,15 +10,31 @@ use tripro_synth::{icosphere, nucleus, NucleusConfig};
 
 fn tri_pair_far() -> (Triangle, Triangle) {
     (
-        Triangle::new(vec3(0.0, 0.0, 0.0), vec3(1.0, 0.0, 0.0), vec3(0.0, 1.0, 0.0)),
-        Triangle::new(vec3(3.0, 1.0, 2.0), vec3(4.0, 1.5, 2.0), vec3(3.0, 2.0, 2.5)),
+        Triangle::new(
+            vec3(0.0, 0.0, 0.0),
+            vec3(1.0, 0.0, 0.0),
+            vec3(0.0, 1.0, 0.0),
+        ),
+        Triangle::new(
+            vec3(3.0, 1.0, 2.0),
+            vec3(4.0, 1.5, 2.0),
+            vec3(3.0, 2.0, 2.5),
+        ),
     )
 }
 
 fn tri_pair_crossing() -> (Triangle, Triangle) {
     (
-        Triangle::new(vec3(0.0, 0.0, 0.0), vec3(2.0, 0.0, 0.0), vec3(0.0, 2.0, 0.0)),
-        Triangle::new(vec3(0.5, 0.5, -1.0), vec3(0.5, 0.5, 1.0), vec3(1.5, 0.5, 0.0)),
+        Triangle::new(
+            vec3(0.0, 0.0, 0.0),
+            vec3(2.0, 0.0, 0.0),
+            vec3(0.0, 2.0, 0.0),
+        ),
+        Triangle::new(
+            vec3(0.5, 0.5, -1.0),
+            vec3(0.5, 0.5, 1.0),
+            vec3(1.5, 0.5, 0.0),
+        ),
     )
 }
 
@@ -38,7 +54,10 @@ fn bench_tri_tri(c: &mut Criterion) {
 
 fn bench_aabbtree(c: &mut Criterion) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-    let cfg = NucleusConfig { subdivs: 3, ..Default::default() }; // 1280 faces
+    let cfg = NucleusConfig {
+        subdivs: 3,
+        ..Default::default()
+    }; // 1280 faces
     let a = nucleus(&mut rng, &cfg, vec3(0.0, 0.0, 0.0)).triangles();
     let b = nucleus(&mut rng, &cfg, vec3(4.0, 0.0, 0.0)).triangles();
     c.bench_function("aabbtree/build_1280", |bch| {

@@ -10,7 +10,11 @@ fn sheet(n: usize, z: f64) -> Vec<Triangle> {
     for x in 0..n {
         for y in 0..n {
             let p = vec3(x as f64, y as f64, z);
-            tris.push(Triangle::new(p, p + vec3(1.0, 0.0, 0.0), p + vec3(0.0, 1.0, 0.0)));
+            tris.push(Triangle::new(
+                p,
+                p + vec3(1.0, 0.0, 0.0),
+                p + vec3(0.0, 1.0, 0.0),
+            ));
             tris.push(Triangle::new(
                 p + vec3(1.0, 0.0, 0.0),
                 p + vec3(1.0, 1.0, 0.0),
@@ -24,7 +28,9 @@ fn sheet(n: usize, z: f64) -> Vec<Triangle> {
 fn bench_resource_manager(c: &mut Criterion) {
     let a = sheet(16, 0.0);
     let b = sheet(16, 3.0);
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
     let mut g = c.benchmark_group("resource_manager");
     g.sample_size(10);
     g.bench_function("device_only", |bench| {

@@ -45,7 +45,10 @@ fn main() {
     out.line("protruding-vertex fraction (paper: ~99% nuclei, ~75% vessels, 92% all):");
     out.line(format!("  nuclei:  {:.1}%", f_nuc * 100.0));
     out.line(format!("  vessels: {:.1}%", f_ves * 100.0));
-    out.line(format!("  RBCs:    {:.1}%  (extension dataset)", f_rbc * 100.0));
+    out.line(format!(
+        "  RBCs:    {:.1}%  (extension dataset)",
+        f_rbc * 100.0
+    ));
 
     // ---- compression ratio and in-memory sizes ----
     let raw_total: usize = w
@@ -55,8 +58,9 @@ fn main() {
         .chain(&w.raw_vessels)
         .map(raw_size)
         .sum();
-    let compressed_total =
-        w.nuclei_a.compressed_bytes() + w.nuclei_b.compressed_bytes() + w.vessels.compressed_bytes();
+    let compressed_total = w.nuclei_a.compressed_bytes()
+        + w.nuclei_b.compressed_bytes()
+        + w.vessels.compressed_bytes();
     // In-memory decoded structures (the paper compares CGAL polyhedra, which
     // are far heavier than flat arrays; we report the editable-Mesh size:
     // slots + incidence lists ≈ 88 bytes/face measured).
@@ -66,9 +70,18 @@ fn main() {
         * 88;
     out.blank();
     out.line("sizes:");
-    out.line(format!("  serialized raw geometry:   {:>10} KiB", raw_total / 1024));
-    out.line(format!("  decoded in-memory (est.):  {:>10} KiB", decoded_estimate / 1024));
-    out.line(format!("  PPVP compressed:           {:>10} KiB", compressed_total / 1024));
+    out.line(format!(
+        "  serialized raw geometry:   {:>10} KiB",
+        raw_total / 1024
+    ));
+    out.line(format!(
+        "  decoded in-memory (est.):  {:>10} KiB",
+        decoded_estimate / 1024
+    ));
+    out.line(format!(
+        "  PPVP compressed:           {:>10} KiB",
+        compressed_total / 1024
+    ));
     out.line(format!(
         "  ratio vs raw: {:.1}x, vs in-memory: {:.1}x (paper: 1.15TB -> 18.4GB = 62x vs CGAL)",
         raw_total as f64 / compressed_total as f64,

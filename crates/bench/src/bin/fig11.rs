@@ -16,10 +16,18 @@ fn main() {
     out.line("Fig 11 — remaining faces vs decimation rounds (PPVP pruning)");
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(11);
-    let nuc = nucleus(&mut rng, &NucleusConfig::default(), tripro_geom::vec3(5.0, 5.0, 5.0));
+    let nuc = nucleus(
+        &mut rng,
+        &NucleusConfig::default(),
+        tripro_geom::vec3(5.0, 5.0, 5.0),
+    );
     let ves = vessel(
         &mut rng,
-        &VesselConfig { levels: 3, grid: 40, ..Default::default() },
+        &VesselConfig {
+            levels: 3,
+            grid: 40,
+            ..Default::default()
+        },
         tripro_geom::Vec3::ZERO,
     )
     .mesh;
@@ -29,7 +37,10 @@ fn main() {
         let profile = decimation_profile(&mesh, PruneMode::ProtrudingOnly, 14);
         out.blank();
         out.line(format!("{name} ({} faces):", tm.faces.len()));
-        out.line(format!("{:>6} {:>9} {:>18}", "round", "faces", "ratio to 2 rounds ago"));
+        out.line(format!(
+            "{:>6} {:>9} {:>18}",
+            "round", "faces", "ratio to 2 rounds ago"
+        ));
         for (round, faces) in profile.iter().enumerate() {
             let r2 = if round >= 2 {
                 format!("{:.2}", profile[round - 2] as f64 / *faces as f64)

@@ -26,7 +26,8 @@ fn main() {
             TestId::NnNN | TestId::NnNV => QueryKind::NearestNeighbour,
         };
         w.clear_caches();
-        let choice = choose_lods(&engine, kind, engine.target.len(), Accel::Brute);
+        let choice = choose_lods(&engine, kind, engine.target.len(), Accel::Brute)
+            .expect("profiling failed");
         out.blank();
         out.line(format!(
             "== {} ==  (r = {:.2}, refine when pruned fraction > {:.0}%)",
@@ -45,7 +46,11 @@ fn main() {
                 a.evaluated,
                 a.pruned,
                 a.pruned_fraction * 100.0,
-                if choice.chosen.contains(&a.lod) { "*" } else { "" }
+                if choice.chosen.contains(&a.lod) {
+                    "*"
+                } else {
+                    ""
+                }
             ));
         }
         out.line(format!("chosen LOD list: {:?}", choice.chosen));

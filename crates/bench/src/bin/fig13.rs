@@ -15,7 +15,9 @@ fn main() {
     let w = Workloads::generate(scale);
     let mut out = TableWriter::new();
     out.line("Fig 13 — latency (seconds): PostGIS-style baseline vs 3DPro FR vs FPR");
-    out.line(format!("scale={scale:?}, single thread, brute-force geometry"));
+    out.line(format!(
+        "scale={scale:?}, single thread, brute-force geometry"
+    ));
     out.line(format!(
         "{:<8} {:>14} {:>12} {:>12} {:>10} {:>10}",
         "Test", "baseline", "3DPro-FR", "3DPro-FPR", "FR boost", "FPR boost"
@@ -53,8 +55,9 @@ fn main() {
 
         // 3DPro, single-threaded brute force, FR then FPR.
         let mut tripro_s = [0.0f64; 2];
-        for (i, paradigm) in
-            [Paradigm::FilterRefine, Paradigm::FilterProgressiveRefine].into_iter().enumerate()
+        for (i, paradigm) in [Paradigm::FilterRefine, Paradigm::FilterProgressiveRefine]
+            .into_iter()
+            .enumerate()
         {
             std::env::set_var("TRIPRO_THREADS", "1");
             let engine = w.engine(test);

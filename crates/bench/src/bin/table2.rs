@@ -14,7 +14,9 @@ fn main() {
     let w = Workloads::generate(scale);
     let mut out = TableWriter::new();
 
-    out.line(format!("Table 2 — decode time (seconds) with/without cache; scale={scale:?}"));
+    out.line(format!(
+        "Table 2 — decode time (seconds) with/without cache; scale={scale:?}"
+    ));
     out.line(format!(
         "{:<8} {:>16} {:>16} {:>10}",
         "Test", "no cache", "with cache", "reduction"
@@ -62,9 +64,19 @@ fn run_cached(
     cfg: &QueryConfig,
 ) -> tripro::StatsSnapshot {
     let stats = match test {
-        TestId::WnNN => engine.within_join(w.wn_nn_distance, cfg).1,
-        TestId::WnNV => engine.within_join(w.wn_nv_distance, cfg).1,
-        _ => engine.nn_join(cfg).1,
+        TestId::WnNN => {
+            engine
+                .within_join(w.wn_nn_distance, cfg)
+                .expect("join failed")
+                .1
+        }
+        TestId::WnNV => {
+            engine
+                .within_join(w.wn_nv_distance, cfg)
+                .expect("join failed")
+                .1
+        }
+        _ => engine.nn_join(cfg).expect("join failed").1,
     };
     stats.snapshot()
 }

@@ -32,19 +32,31 @@ impl Scale {
             Scale::Tiny => DatasetConfig {
                 nuclei_count: 40,
                 vessel_count: 1,
-                vessel: VesselConfig { levels: 2, grid: 24, ..Default::default() },
+                vessel: VesselConfig {
+                    levels: 2,
+                    grid: 24,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
             Scale::Small => DatasetConfig {
                 nuclei_count: 150,
                 vessel_count: 2,
-                vessel: VesselConfig { levels: 3, grid: 30, ..Default::default() },
+                vessel: VesselConfig {
+                    levels: 3,
+                    grid: 30,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
             Scale::Medium => DatasetConfig {
                 nuclei_count: 600,
                 vessel_count: 4,
-                vessel: VesselConfig { levels: 4, grid: 44, ..Default::default() },
+                vessel: VesselConfig {
+                    levels: 4,
+                    grid: 44,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
         }
@@ -56,7 +68,11 @@ pub fn threads() -> usize {
     std::env::var("TRIPRO_THREADS")
         .ok()
         .and_then(|s| s.parse().ok())
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
 }
 
 /// The five experiment workloads of Table 1 / Fig 10.
@@ -75,8 +91,13 @@ pub enum TestId {
 }
 
 impl TestId {
-    pub const ALL: [TestId; 5] =
-        [TestId::IntNN, TestId::WnNN, TestId::WnNV, TestId::NnNN, TestId::NnNV];
+    pub const ALL: [TestId; 5] = [
+        TestId::IntNN,
+        TestId::WnNN,
+        TestId::WnNV,
+        TestId::NnNN,
+        TestId::NnNV,
+    ];
 
     /// The tests selected by `TRIPRO_TESTS` (comma-separated labels, e.g.
     /// `TRIPRO_TESTS=WN-NV,NN-NV`); all five when unset. Lets long harness
@@ -85,8 +106,10 @@ impl TestId {
         match std::env::var("TRIPRO_TESTS") {
             Err(_) => Self::ALL.to_vec(),
             Ok(list) => {
-                let wanted: Vec<String> =
-                    list.split(',').map(|s| s.trim().to_ascii_uppercase()).collect();
+                let wanted: Vec<String> = list
+                    .split(',')
+                    .map(|s| s.trim().to_ascii_uppercase())
+                    .collect();
                 Self::ALL
                     .into_iter()
                     .filter(|t| wanted.iter().any(|w| w == t.label()))
@@ -191,19 +214,23 @@ impl Workloads {
         let t0 = std::time::Instant::now();
         let (matches, stats) = match test {
             TestId::IntNN => {
-                let (pairs, stats) = engine.intersection_join(&cfg);
+                let (pairs, stats) = engine.intersection_join(&cfg).expect("join failed");
                 (pairs.iter().map(|(_, v)| v.len()).sum::<usize>(), stats)
             }
             TestId::WnNN => {
-                let (pairs, stats) = engine.within_join(self.wn_nn_distance, &cfg);
+                let (pairs, stats) = engine
+                    .within_join(self.wn_nn_distance, &cfg)
+                    .expect("join failed");
                 (pairs.iter().map(|(_, v)| v.len()).sum::<usize>(), stats)
             }
             TestId::WnNV => {
-                let (pairs, stats) = engine.within_join(self.wn_nv_distance, &cfg);
+                let (pairs, stats) = engine
+                    .within_join(self.wn_nv_distance, &cfg)
+                    .expect("join failed");
                 (pairs.iter().map(|(_, v)| v.len()).sum::<usize>(), stats)
             }
             TestId::NnNN | TestId::NnNV => {
-                let (pairs, stats) = engine.nn_join(&cfg);
+                let (pairs, stats) = engine.nn_join(&cfg).expect("join failed");
                 (pairs.iter().filter(|(_, n)| n.is_some()).count(), stats)
             }
         };
@@ -226,7 +253,7 @@ impl Workloads {
         let sample = (engine.target.len() / 10).clamp(10, 50);
         self.clear_caches();
         let choice = tripro::choose_lods(&engine, kind, sample, accel);
-        choice.chosen
+        choice.expect("profiling failed").chosen
     }
 }
 
@@ -296,7 +323,10 @@ mod tests {
         // from_env reads the live environment; exercise the mapping table
         // through the match arms directly instead.
         assert_eq!(Scale::Tiny.dataset_config().nuclei_count, 40);
-        assert!(Scale::Medium.dataset_config().nuclei_count > Scale::Small.dataset_config().nuclei_count);
+        assert!(
+            Scale::Medium.dataset_config().nuclei_count
+                > Scale::Small.dataset_config().nuclei_count
+        );
     }
 
     #[test]

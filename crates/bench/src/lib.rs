@@ -16,7 +16,11 @@ mod smoke {
     #[test]
     fn vessel_ppvp_end_to_end() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(77);
-        let cfg = VesselConfig { levels: 3, grid: 40, ..Default::default() };
+        let cfg = VesselConfig {
+            levels: 3,
+            grid: 40,
+            ..Default::default()
+        };
         let v = vessel(&mut rng, &cfg, tripro_geom::Vec3::ZERO);
         let cm = encode(&v.mesh, &EncoderConfig::default()).expect("encode");
         let mut dec = cm.decoder().unwrap();

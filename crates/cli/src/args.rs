@@ -42,13 +42,16 @@ impl Parsed {
     }
 
     pub fn require(&self, key: &str) -> Result<&str, String> {
-        self.get(key).ok_or_else(|| format!("missing required --{key}"))
+        self.get(key)
+            .ok_or_else(|| format!("missing required --{key}"))
     }
 
     pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(s) => s.parse().map_err(|_| format!("bad value for --{key}: {s:?}")),
+            Some(s) => s
+                .parse()
+                .map_err(|_| format!("bad value for --{key}: {s:?}")),
         }
     }
 }

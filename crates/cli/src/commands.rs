@@ -31,7 +31,10 @@ pub fn generate(a: &Parsed) -> Result<(), String> {
         },
         ..Default::default()
     };
-    eprintln!("generating {} nuclei (x2 segmentations) and {} vessels...", cfg.nuclei_count, cfg.vessel_count);
+    eprintln!(
+        "generating {} nuclei (x2 segmentations) and {} vessels...",
+        cfg.nuclei_count, cfg.vessel_count
+    );
     let block = tripro_synth::generate(&cfg);
     for (sub, meshes) in [
         ("nuclei_a", &block.nuclei_a),
@@ -57,7 +60,10 @@ fn collect_meshes(dir: &Path) -> Result<Vec<(PathBuf, TriMesh)>, String> {
             if p.is_dir() {
                 stack.push(p);
             } else if matches!(
-                p.extension().and_then(|x| x.to_str()).map(str::to_ascii_lowercase).as_deref(),
+                p.extension()
+                    .and_then(|x| x.to_str())
+                    .map(str::to_ascii_lowercase)
+                    .as_deref(),
                 Some("obj") | Some("off")
             ) {
                 files.push(p);
@@ -86,8 +92,8 @@ pub fn build(a: &Parsed) -> Result<(), String> {
         for (path, m) in &mut meshes {
             tripro_mesh::remove_duplicate_faces(m);
             m.weld(0.0);
-            flipped_total += tripro_mesh::fix_orientation(m)
-                .map_err(|e| format!("{}: {e}", path.display()))?;
+            flipped_total +=
+                tripro_mesh::fix_orientation(m).map_err(|e| format!("{}: {e}", path.display()))?;
         }
         eprintln!("repair: normalised winding ({flipped_total} faces flipped)");
     }
@@ -125,7 +131,11 @@ pub fn info(a: &Parsed) -> Result<(), String> {
     outln!("full-LOD faces:     {}", store.total_full_faces());
     outln!("max LOD:            {}", store.max_lod_overall());
     let bb = store.rtree().bounds();
-    outln!("bounds:             {:?} .. {:?}", bb.lo.to_array(), bb.hi.to_array());
+    outln!(
+        "bounds:             {:?} .. {:?}",
+        bb.lo.to_array(),
+        bb.hi.to_array()
+    );
     // LOD ladder histogram.
     let mut ladders = std::collections::BTreeMap::new();
     for id in 0..store.len() as u32 {
@@ -142,13 +152,16 @@ pub fn lods(a: &Parsed) -> Result<(), String> {
     let store = load_store(a.require("store")?)?;
     let id: u32 = a.get_parsed("id", 0u32)?;
     if id as usize >= store.len() {
-        return Err(format!("object {id} out of range (store has {})", store.len()));
+        return Err(format!(
+            "object {id} out of range (store has {})",
+            store.len()
+        ));
     }
     let out = PathBuf::from(a.require("out")?);
     std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
     let stats = ExecStats::new();
     for lod in 0..=store.max_lod(id) {
-        let data = store.get(id, lod, &stats);
+        let data = store.get(id, lod, &stats).map_err(|e| e.to_string())?;
         let tris = data.triangles.as_ref();
         let mut tm = TriMesh::default();
         for t in tris {
@@ -168,18 +181,29 @@ pub fn render(a: &Parsed) -> Result<(), String> {
     let store = load_store(a.require("store")?)?;
     let id: u32 = a.get_parsed("id", 0u32)?;
     if id as usize >= store.len() {
-        return Err(format!("object {id} out of range (store has {})", store.len()));
+        return Err(format!(
+            "object {id} out of range (store has {})",
+            store.len()
+        ));
     }
     let out = a.require("out")?;
     let size: usize = a.get_parsed("size", 640usize)?;
     let lod: usize = a.get_parsed("lod", store.max_lod(id))?;
     let stats = ExecStats::new();
-    let data = store.get(id, lod, &stats);
+    let data = store.get(id, lod, &stats).map_err(|e| e.to_string())?;
     let cam = tripro_viz::Camera::isometric(store.mbb(id));
-    let opts = tripro_viz::RenderOptions { width: size, height: size, ..Default::default() };
+    let opts = tripro_viz::RenderOptions {
+        width: size,
+        height: size,
+        ..Default::default()
+    };
     let img = tripro_viz::render_triangles(&data.triangles, &cam, &opts);
     img.save_ppm(out).map_err(|e| e.to_string())?;
-    eprintln!("rendered object {id} LOD {} ({} faces) to {out}", lod.min(store.max_lod(id)), data.triangles.len());
+    eprintln!(
+        "rendered object {id} LOD {} ({} faces) to {out}",
+        lod.min(store.max_lod(id)),
+        data.triangles.len()
+    );
     Ok(())
 }
 
@@ -208,13 +232,13 @@ pub fn query(kind: &str, a: &Parsed) -> Result<(), String> {
     } else {
         Paradigm::FilterProgressiveRefine
     };
-    let cfg = QueryConfig::new(paradigm, accel_of(a)?)
-        .with_threads(a.get_parsed("threads", 1usize)?);
+    let cfg =
+        QueryConfig::new(paradigm, accel_of(a)?).with_threads(a.get_parsed("threads", 1usize)?);
     let engine = Engine::new(&target, &source);
     let t0 = std::time::Instant::now();
     match kind {
         "intersect" => {
-            let (pairs, stats) = engine.intersection_join(&cfg);
+            let (pairs, stats) = engine.intersection_join(&cfg).map_err(|e| e.to_string())?;
             report(&pairs, t0.elapsed(), &stats);
         }
         "within" => {
@@ -222,19 +246,19 @@ pub fn query(kind: &str, a: &Parsed) -> Result<(), String> {
                 .require("distance")?
                 .parse()
                 .map_err(|_| "bad --distance".to_string())?;
-            let (pairs, stats) = engine.within_join(d, &cfg);
+            let (pairs, stats) = engine.within_join(d, &cfg).map_err(|e| e.to_string())?;
             report(&pairs, t0.elapsed(), &stats);
         }
         "nn" => {
             let k: usize = a.get_parsed("k", 1usize)?;
             if k == 1 {
-                let (pairs, stats) = engine.nn_join(&cfg);
+                let (pairs, stats) = engine.nn_join(&cfg).map_err(|e| e.to_string())?;
                 for (t, n) in &pairs {
                     outln!("{t}\t{}", n.map_or(-1i64, |v| v as i64));
                 }
                 summary(t0.elapsed(), &stats);
             } else {
-                let (pairs, stats) = engine.knn_join(k, &cfg);
+                let (pairs, stats) = engine.knn_join(k, &cfg).map_err(|e| e.to_string())?;
                 report(&pairs, t0.elapsed(), &stats);
             }
         }
@@ -247,7 +271,7 @@ pub fn query(kind: &str, a: &Parsed) -> Result<(), String> {
             );
             let q = tripro::PointQuery::new(&target);
             let stats = ExecStats::new();
-            let hits = q.containing(p, &cfg, &stats);
+            let hits = q.containing(p, &cfg, &stats).map_err(|e| e.to_string())?;
             for id in &hits {
                 outln!("{id}");
             }

@@ -32,7 +32,9 @@ fn run(argv: &[String]) -> Result<(), String> {
         Some("lods") => commands::lods(&args::Parsed::parse(&argv[1..])?),
         Some("render") => commands::render(&args::Parsed::parse(&argv[1..])?),
         Some("query") => {
-            let kind = argv.get(1).ok_or("query needs a subcommand: intersect|within|nn")?;
+            let kind = argv
+                .get(1)
+                .ok_or("query needs a subcommand: intersect|within|nn")?;
             commands::query(kind, &args::Parsed::parse(&argv[2..])?)
         }
         Some("help") | Some("--help") | Some("-h") | None => {

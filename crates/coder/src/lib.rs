@@ -13,6 +13,4 @@ pub mod varint;
 
 pub use quant::Quantizer;
 pub use range::{compress, decompress, ByteModel, RangeDecoder, RangeEncoder};
-pub use varint::{
-    unzigzag, write_f64, write_i64, write_u64, zigzag, ByteReader, DecodeError,
-};
+pub use varint::{unzigzag, write_f64, write_i64, write_u64, zigzag, ByteReader, DecodeError};

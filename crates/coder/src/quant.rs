@@ -25,7 +25,10 @@ impl Quantizer {
     /// identity on that axis. `bits` must be in `[1, 30]` so grid indices
     /// stay within the exact-predicate bound of `tripro-geom`.
     pub fn new(lo: [f64; 3], hi: [f64; 3], bits: u32) -> Self {
-        assert!((1..=30).contains(&bits), "bits must be in 1..=30, got {bits}");
+        assert!(
+            (1..=30).contains(&bits),
+            "bits must be in 1..=30, got {bits}"
+        );
         let cells = ((1u64 << bits) - 1) as f64;
         let mut step = [0.0; 3];
         for a in 0..3 {
@@ -131,7 +134,11 @@ mod tests {
         assert_eq!(q.quantize(p2), g);
         // And the error is bounded.
         let err = ((p[0] - p2[0]).powi(2) + (p[1] - p2[1]).powi(2) + (p[2] - p2[2]).powi(2)).sqrt();
-        assert!(err <= q.max_error() * (1.0 + 1e-9), "err={err} max={}", q.max_error());
+        assert!(
+            err <= q.max_error() * (1.0 + 1e-9),
+            "err={err} max={}",
+            q.max_error()
+        );
     }
 
     #[test]

@@ -29,7 +29,11 @@ impl Default for RangeEncoder {
 
 impl RangeEncoder {
     pub fn new() -> Self {
-        Self { low: 0, range: u32::MAX, out: Vec::new() }
+        Self {
+            low: 0,
+            range: u32::MAX,
+            out: Vec::new(),
+        }
     }
 
     /// Encode a symbol occupying `[start, start+size)` out of `total`
@@ -76,7 +80,13 @@ pub struct RangeDecoder<'a> {
 
 impl<'a> RangeDecoder<'a> {
     pub fn new(buf: &'a [u8]) -> Result<Self, DecodeError> {
-        let mut d = Self { low: 0, code: 0, range: u32::MAX, buf, pos: 0 };
+        let mut d = Self {
+            low: 0,
+            code: 0,
+            range: u32::MAX,
+            buf,
+            pos: 0,
+        };
         for _ in 0..4 {
             d.code = (d.code << 8) | d.next_byte() as u32;
         }
@@ -137,7 +147,10 @@ impl Default for ByteModel {
 
 impl ByteModel {
     pub fn new() -> Self {
-        Self { freq: [1; 256], total: 256 }
+        Self {
+            freq: [1; 256],
+            total: 256,
+        }
     }
 
     fn bump(&mut self, sym: u8) {
@@ -236,7 +249,11 @@ mod tests {
     fn repetitive_compresses_well() {
         let data = vec![7u8; 10_000];
         let c = compress(&data);
-        assert!(c.len() < data.len() / 20, "10k identical bytes -> {} bytes", c.len());
+        assert!(
+            c.len() < data.len() / 20,
+            "10k identical bytes -> {} bytes",
+            c.len()
+        );
         roundtrip(&data);
     }
 
@@ -245,7 +262,9 @@ mod tests {
         let mut data = Vec::new();
         let mut x: u64 = 12345;
         for _ in 0..20_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             // 90% zeros, 10% small values.
             let b = if x % 10 == 0 { (x >> 32) as u8 % 16 } else { 0 };
             data.push(b);
@@ -260,7 +279,9 @@ mod tests {
         let mut data = Vec::new();
         let mut x: u64 = 987654321;
         for _ in 0..8_192 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             data.push((x >> 33) as u8);
         }
         let c = compress(&data);
@@ -293,7 +314,11 @@ mod tests {
         data.extend(vec![b'b'; 5000]);
         let c = compress(&data);
         // ~0.5 bits/symbol once the model has adapted (vs 8 raw).
-        assert!(c.len() < 800, "expected strong compression, got {}", c.len());
+        assert!(
+            c.len() < 800,
+            "expected strong compression, got {}",
+            c.len()
+        );
         roundtrip(&data);
     }
 }

@@ -116,7 +116,8 @@ impl<'a> ByteReader<'a> {
     /// Read a little-endian f64 (used only in uncompressed headers).
     pub fn read_f64(&mut self) -> Result<f64, DecodeError> {
         let s = self.read_exact(8)?;
-        Ok(f64::from_le_bytes(s.try_into().unwrap()))
+        let bytes: [u8; 8] = s.try_into().map_err(|_| DecodeError)?;
+        Ok(f64::from_le_bytes(bytes))
     }
 }
 
@@ -179,7 +180,10 @@ mod tests {
     #[test]
     fn overlong_is_error() {
         // 11 continuation bytes: shift exceeds 64.
-        let buf = vec![0x80u8; 10].into_iter().chain([1u8]).collect::<Vec<_>>();
+        let buf = vec![0x80u8; 10]
+            .into_iter()
+            .chain([1u8])
+            .collect::<Vec<_>>();
         let mut r = ByteReader::new(&buf);
         assert_eq!(r.read_u64(), Err(DecodeError));
     }

@@ -30,7 +30,10 @@ impl Aabb {
     /// Smallest box containing both corner points, in any order.
     #[inline]
     pub fn from_corners(a: Vec3, b: Vec3) -> Self {
-        Self { lo: a.min(b), hi: a.max(b) }
+        Self {
+            lo: a.min(b),
+            hi: a.max(b),
+        }
     }
 
     /// Degenerate box containing a single point.
@@ -50,6 +53,7 @@ impl Aabb {
 
     /// `true` when the box contains no points.
     #[inline]
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.lo.x > self.hi.x || self.lo.y > self.hi.y || self.lo.z > self.hi.z
     }
@@ -74,12 +78,16 @@ impl Aabb {
     /// Smallest box containing both operands.
     #[inline]
     pub fn union(&self, rhs: &Aabb) -> Aabb {
-        Aabb { lo: self.lo.min(rhs.lo), hi: self.hi.max(rhs.hi) }
+        Aabb {
+            lo: self.lo.min(rhs.lo),
+            hi: self.hi.max(rhs.hi),
+        }
     }
 
     /// `true` when the boxes share at least one point (closed boxes:
     /// touching faces count as intersecting).
     #[inline]
+    #[must_use]
     pub fn intersects(&self, rhs: &Aabb) -> bool {
         self.lo.x <= rhs.hi.x
             && rhs.lo.x <= self.hi.x
@@ -91,6 +99,7 @@ impl Aabb {
 
     /// `true` when `rhs` is entirely inside `self` (closed containment).
     #[inline]
+    #[must_use]
     pub fn contains_box(&self, rhs: &Aabb) -> bool {
         !rhs.is_empty()
             && self.lo.x <= rhs.lo.x
@@ -103,6 +112,7 @@ impl Aabb {
 
     /// `true` when the point is inside or on the boundary.
     #[inline]
+    #[must_use]
     pub fn contains_point(&self, p: Vec3) -> bool {
         self.lo.x <= p.x
             && p.x <= self.hi.x
@@ -205,7 +215,9 @@ impl Aabb {
         }
         let mut d2 = 0.0;
         for axis in 0..3 {
-            let g = (p[axis] - self.lo[axis]).abs().max((p[axis] - self.hi[axis]).abs());
+            let g = (p[axis] - self.lo[axis])
+                .abs()
+                .max((p[axis] - self.hi[axis]).abs());
             d2 += g * g;
         }
         d2.sqrt()
@@ -214,7 +226,10 @@ impl Aabb {
     /// Distance range `[MINDIST, MAXDIST]` between two boxes (paper §4.2).
     #[inline]
     pub fn dist_range(&self, rhs: &Aabb) -> DistRange {
-        DistRange { min: self.min_dist(rhs), max: self.max_dist(rhs) }
+        DistRange {
+            min: self.min_dist(rhs),
+            max: self.max_dist(rhs),
+        }
     }
 
     /// The 8 corner points (non-empty boxes only).
@@ -251,6 +266,7 @@ impl DistRange {
     /// `true` when this range is certainly closer than `rhs`
     /// (its supremum is below `rhs`'s infimum).
     #[inline]
+    #[must_use]
     pub fn certainly_closer_than(&self, rhs: &DistRange) -> bool {
         self.max < rhs.min
     }

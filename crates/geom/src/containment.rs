@@ -25,7 +25,9 @@ fn direction(seed: u64) -> Vec3 {
         let w = (next() >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0;
         let d = vec3(u, v, w);
         if d.norm2() > 0.01 {
-            return d.normalized().unwrap();
+            if let Some(n) = d.normalized() {
+                return n;
+            }
         }
     }
 }
@@ -37,11 +39,14 @@ fn direction(seed: u64) -> Vec3 {
 /// new pseudo-random direction (up to 32 attempts, then falls back to the
 /// last parity, which for closed well-formed meshes is unreachable in
 /// practice).
+#[must_use]
 pub fn point_in_mesh(p: Vec3, faces: &[Triangle]) -> bool {
     let mut seed = 0xD3500D5EEDu64;
     for _attempt in 0..32 {
         let dir = direction(seed);
-        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let mut crossings = 0usize;
         let mut ambiguous = false;
         for f in faces {

@@ -7,6 +7,7 @@
 //! Closest-point formulations follow Ericson, *Real-Time Collision
 //! Detection* (2005), §5.1.
 
+use crate::eps::is_exactly_zero;
 use crate::intersect::tri_tri_intersect;
 use crate::tri::Triangle;
 use crate::vec3::Vec3;
@@ -15,7 +16,7 @@ use crate::vec3::Vec3;
 pub fn closest_point_on_segment(p: Vec3, a: Vec3, b: Vec3) -> Vec3 {
     let ab = b - a;
     let denom = ab.norm2();
-    if denom == 0.0 {
+    if is_exactly_zero(denom) {
         return a;
     }
     let t = ((p - a).dot(ab) / denom).clamp(0.0, 1.0);
@@ -52,7 +53,11 @@ pub fn closest_point_on_triangle(p: Vec3, t: &Triangle) -> Vec3 {
     let vc = d1 * d4 - d3 * d2;
     if vc <= 0.0 && d1 >= 0.0 && d3 <= 0.0 {
         let denom = d1 - d3;
-        let v = if denom != 0.0 { d1 / denom } else { 0.0 };
+        let v = if is_exactly_zero(denom) {
+            0.0
+        } else {
+            d1 / denom
+        };
         return a + ab * v; // edge region AB
     }
 
@@ -66,14 +71,22 @@ pub fn closest_point_on_triangle(p: Vec3, t: &Triangle) -> Vec3 {
     let vb = d5 * d2 - d1 * d6;
     if vb <= 0.0 && d2 >= 0.0 && d6 <= 0.0 {
         let denom = d2 - d6;
-        let w = if denom != 0.0 { d2 / denom } else { 0.0 };
+        let w = if is_exactly_zero(denom) {
+            0.0
+        } else {
+            d2 / denom
+        };
         return a + ac * w; // edge region AC
     }
 
     let va = d3 * d6 - d5 * d4;
     if va <= 0.0 && (d4 - d3) >= 0.0 && (d5 - d6) >= 0.0 {
         let denom = (d4 - d3) + (d5 - d6);
-        let w = if denom != 0.0 { (d4 - d3) / denom } else { 0.0 };
+        let w = if is_exactly_zero(denom) {
+            0.0
+        } else {
+            (d4 - d3) / denom
+        };
         return b + (c - b) * w; // edge region BC
     }
 
@@ -115,24 +128,24 @@ pub fn closest_points_segments(p1: Vec3, q1: Vec3, p2: Vec3, q2: Vec3) -> (Vec3,
     let f = d2.dot(r);
 
     let (s, t);
-    if a == 0.0 && e == 0.0 {
+    if is_exactly_zero(a) && is_exactly_zero(e) {
         return (p1, p2);
     }
-    if a == 0.0 {
+    if is_exactly_zero(a) {
         s = 0.0;
         t = (f / e).clamp(0.0, 1.0);
     } else {
         let c = d1.dot(r);
-        if e == 0.0 {
+        if is_exactly_zero(e) {
             t = 0.0;
             s = (-c / a).clamp(0.0, 1.0);
         } else {
             let b = d1.dot(d2);
             let denom = a * e - b * b;
-            let mut s_ = if denom != 0.0 {
-                ((b * f - c * e) / denom).clamp(0.0, 1.0)
-            } else {
+            let mut s_ = if is_exactly_zero(denom) {
                 0.0
+            } else {
+                ((b * f - c * e) / denom).clamp(0.0, 1.0)
             };
             let mut t_ = (b * s_ + f) / e;
             if t_ < 0.0 {
@@ -195,14 +208,21 @@ mod tests {
     use crate::vec3::vec3;
 
     fn xy_tri() -> Triangle {
-        Triangle::new(vec3(0.0, 0.0, 0.0), vec3(2.0, 0.0, 0.0), vec3(0.0, 2.0, 0.0))
+        Triangle::new(
+            vec3(0.0, 0.0, 0.0),
+            vec3(2.0, 0.0, 0.0),
+            vec3(0.0, 2.0, 0.0),
+        )
     }
 
     #[test]
     fn point_segment() {
         let a = vec3(0.0, 0.0, 0.0);
         let b = vec3(2.0, 0.0, 0.0);
-        assert_eq!(closest_point_on_segment(vec3(1.0, 1.0, 0.0), a, b), vec3(1.0, 0.0, 0.0));
+        assert_eq!(
+            closest_point_on_segment(vec3(1.0, 1.0, 0.0), a, b),
+            vec3(1.0, 0.0, 0.0)
+        );
         assert_eq!(closest_point_on_segment(vec3(-1.0, 1.0, 0.0), a, b), a);
         assert_eq!(closest_point_on_segment(vec3(9.0, 1.0, 0.0), a, b), b);
         assert_eq!(point_segment_dist2(vec3(1.0, 3.0, 4.0), a, b), 25.0);
@@ -214,14 +234,23 @@ mod tests {
     fn point_triangle_regions() {
         let t = xy_tri();
         // Interior projection.
-        assert_eq!(closest_point_on_triangle(vec3(0.5, 0.5, 3.0), &t), vec3(0.5, 0.5, 0.0));
+        assert_eq!(
+            closest_point_on_triangle(vec3(0.5, 0.5, 3.0), &t),
+            vec3(0.5, 0.5, 0.0)
+        );
         // Vertex regions.
         assert_eq!(closest_point_on_triangle(vec3(-1.0, -1.0, 0.0), &t), t.a);
         assert_eq!(closest_point_on_triangle(vec3(3.0, -1.0, 0.0), &t), t.b);
         assert_eq!(closest_point_on_triangle(vec3(-1.0, 3.0, 0.0), &t), t.c);
         // Edge regions.
-        assert_eq!(closest_point_on_triangle(vec3(1.0, -2.0, 0.0), &t), vec3(1.0, 0.0, 0.0));
-        assert_eq!(closest_point_on_triangle(vec3(-2.0, 1.0, 0.0), &t), vec3(0.0, 1.0, 0.0));
+        assert_eq!(
+            closest_point_on_triangle(vec3(1.0, -2.0, 0.0), &t),
+            vec3(1.0, 0.0, 0.0)
+        );
+        assert_eq!(
+            closest_point_on_triangle(vec3(-2.0, 1.0, 0.0), &t),
+            vec3(0.0, 1.0, 0.0)
+        );
         // Hypotenuse.
         let q = closest_point_on_triangle(vec3(2.0, 2.0, 0.0), &t);
         assert!((q - vec3(1.0, 1.0, 0.0)).norm() < 1e-12);
@@ -229,7 +258,11 @@ mod tests {
 
     #[test]
     fn point_degenerate_triangle() {
-        let t = Triangle::new(vec3(0.0, 0.0, 0.0), vec3(1.0, 0.0, 0.0), vec3(2.0, 0.0, 0.0));
+        let t = Triangle::new(
+            vec3(0.0, 0.0, 0.0),
+            vec3(1.0, 0.0, 0.0),
+            vec3(2.0, 0.0, 0.0),
+        );
         let q = closest_point_on_triangle(vec3(1.0, 1.0, 0.0), &t);
         assert!((q - vec3(1.0, 0.0, 0.0)).norm() < 1e-12);
     }
@@ -273,7 +306,11 @@ mod tests {
     #[test]
     fn tri_tri_parallel_planes() {
         let t1 = xy_tri();
-        let t2 = Triangle::new(vec3(0.0, 0.0, 2.0), vec3(2.0, 0.0, 2.0), vec3(0.0, 2.0, 2.0));
+        let t2 = Triangle::new(
+            vec3(0.0, 0.0, 2.0),
+            vec3(2.0, 0.0, 2.0),
+            vec3(0.0, 2.0, 2.0),
+        );
         assert!((tri_tri_dist(&t1, &t2) - 2.0).abs() < 1e-12);
     }
 
@@ -281,9 +318,13 @@ mod tests {
     fn tri_tri_edge_edge_closest() {
         let t1 = xy_tri();
         // A triangle whose closest feature to t1's hypotenuse is an edge.
-        let t2 = Triangle::new(vec3(2.0, 2.0, 1.0), vec3(3.0, 2.0, 1.0), vec3(2.0, 3.0, 1.0));
+        let t2 = Triangle::new(
+            vec3(2.0, 2.0, 1.0),
+            vec3(3.0, 2.0, 1.0),
+            vec3(2.0, 3.0, 1.0),
+        );
         let expect = (0.5f64 + 0.5 + 1.0).sqrt(); // (1,1,0) -> (2,2,1) minus hypotenuse geometry
-        // Closest pair: point (1,1,0) on hypotenuse and vertex (2,2,1): dist = sqrt(1+1+1)
+                                                  // Closest pair: point (1,1,0) on hypotenuse and vertex (2,2,1): dist = sqrt(1+1+1)
         let _ = expect;
         assert!((tri_tri_dist(&t1, &t2) - 3f64.sqrt()).abs() < 1e-9);
     }
@@ -302,7 +343,11 @@ mod tests {
     #[test]
     fn tri_tri_distance_symmetry() {
         let t1 = xy_tri();
-        let t2 = Triangle::new(vec3(5.0, 1.0, 2.0), vec3(6.0, 1.5, 2.5), vec3(5.0, 3.0, 4.0));
+        let t2 = Triangle::new(
+            vec3(5.0, 1.0, 2.0),
+            vec3(6.0, 1.5, 2.5),
+            vec3(5.0, 3.0, 4.0),
+        );
         assert!((tri_tri_dist(&t1, &t2) - tri_tri_dist(&t2, &t1)).abs() < 1e-12);
     }
 }

@@ -6,6 +6,7 @@
 //! two polyhedra intersect iff any face pair intersects or one contains the
 //! other (paper §4.1).
 
+use crate::eps::is_exactly_zero;
 use crate::tri::Triangle;
 use crate::vec3::Vec3;
 
@@ -41,7 +42,9 @@ pub fn ray_triangle(origin: Vec3, dir: Vec3, tri: &Triangle) -> RayHit {
         // plane this is a clean miss; otherwise ambiguous.
         let n = e1.cross(e2);
         let d = (origin - tri.a).dot(n);
-        if n.norm2() == 0.0 || d.abs() <= PLANE_EPS * n.norm() * (origin - tri.a).norm().max(1.0) {
+        if is_exactly_zero(n.norm2())
+            || d.abs() <= PLANE_EPS * n.norm() * (origin - tri.a).norm().max(1.0)
+        {
             return RayHit::Ambiguous;
         }
         return RayHit::Miss;
@@ -64,6 +67,7 @@ pub fn ray_triangle(origin: Vec3, dir: Vec3, tri: &Triangle) -> RayHit {
 }
 
 /// `true` when segment `[p, q]` intersects the (closed) triangle.
+#[must_use]
 pub fn segment_triangle(p: Vec3, q: Vec3, tri: &Triangle) -> bool {
     let dir = q - p;
     match ray_triangle(p, dir, tri) {
@@ -76,7 +80,7 @@ pub fn segment_triangle(p: Vec3, q: Vec3, tri: &Triangle) -> bool {
             // is ~0. Avoided here to keep the dependency direction clean —
             // instead test both endpoints and the plane crossing explicitly.
             let n = tri.scaled_normal();
-            if n.norm2() == 0.0 {
+            if is_exactly_zero(n.norm2()) {
                 return false;
             }
             let dp = (p - tri.a).dot(n);
@@ -85,7 +89,11 @@ pub fn segment_triangle(p: Vec3, q: Vec3, tri: &Triangle) -> bool {
                 return false;
             }
             // Crossing point (or either endpoint if coplanar).
-            let t = if (dp - dq).abs() > 0.0 { dp / (dp - dq) } else { 0.5 };
+            let t = if (dp - dq).abs() > 0.0 {
+                dp / (dp - dq)
+            } else {
+                0.5
+            };
             let x = p.lerp(q, t.clamp(0.0, 1.0));
             point_in_triangle_coplanar(x, tri, 1e-9)
         }
@@ -94,9 +102,10 @@ pub fn segment_triangle(p: Vec3, q: Vec3, tri: &Triangle) -> bool {
 
 /// `true` when point `x`, assumed (near-)coplanar with the triangle,
 /// falls inside it (inclusive of the boundary within `eps`).
+#[must_use]
 pub fn point_in_triangle_coplanar(x: Vec3, tri: &Triangle, eps: f64) -> bool {
     let n = tri.scaled_normal();
-    if n.norm2() == 0.0 {
+    if is_exactly_zero(n.norm2()) {
         return false;
     }
     for (s, e) in tri.edges() {
@@ -111,20 +120,24 @@ pub fn point_in_triangle_coplanar(x: Vec3, tri: &Triangle, eps: f64) -> bool {
 
 /// Triangle–triangle intersection test (Möller 1997 interval method, with a
 /// coplanar fallback). Closed test: touching counts as intersecting.
+#[must_use]
 pub fn tri_tri_intersect(t1: &Triangle, t2: &Triangle) -> bool {
     // Plane of t2.
     let n2 = t2.scaled_normal();
     let d2 = -n2.dot(t2.a);
     let scale2 = n2.norm().max(1e-300);
-    let du = [
-        n2.dot(t1.a) + d2,
-        n2.dot(t1.b) + d2,
-        n2.dot(t1.c) + d2,
-    ];
+    let du = [n2.dot(t1.a) + d2, n2.dot(t1.b) + d2, n2.dot(t1.c) + d2];
     let eps1 = PLANE_EPS
         * scale2
-        * t1.vertices().iter().map(|v| v.norm()).fold(1.0f64, f64::max);
-    let du = [clamp_small(du[0], eps1), clamp_small(du[1], eps1), clamp_small(du[2], eps1)];
+        * t1.vertices()
+            .iter()
+            .map(|v| v.norm())
+            .fold(1.0f64, f64::max);
+    let du = [
+        clamp_small(du[0], eps1),
+        clamp_small(du[1], eps1),
+        clamp_small(du[2], eps1),
+    ];
     if du[0] > 0.0 && du[1] > 0.0 && du[2] > 0.0 {
         return false;
     }
@@ -136,15 +149,18 @@ pub fn tri_tri_intersect(t1: &Triangle, t2: &Triangle) -> bool {
     let n1 = t1.scaled_normal();
     let d1 = -n1.dot(t1.a);
     let scale1 = n1.norm().max(1e-300);
-    let dv = [
-        n1.dot(t2.a) + d1,
-        n1.dot(t2.b) + d1,
-        n1.dot(t2.c) + d1,
-    ];
+    let dv = [n1.dot(t2.a) + d1, n1.dot(t2.b) + d1, n1.dot(t2.c) + d1];
     let eps2 = PLANE_EPS
         * scale1
-        * t2.vertices().iter().map(|v| v.norm()).fold(1.0f64, f64::max);
-    let dv = [clamp_small(dv[0], eps2), clamp_small(dv[1], eps2), clamp_small(dv[2], eps2)];
+        * t2.vertices()
+            .iter()
+            .map(|v| v.norm())
+            .fold(1.0f64, f64::max);
+    let dv = [
+        clamp_small(dv[0], eps2),
+        clamp_small(dv[1], eps2),
+        clamp_small(dv[2], eps2),
+    ];
     if dv[0] > 0.0 && dv[1] > 0.0 && dv[2] > 0.0 {
         return false;
     }
@@ -201,7 +217,7 @@ fn interval(p: [f64; 3], d: [f64; 3]) -> Option<(f64, f64)> {
     }
     // Vertices exactly on the plane contribute their own projection.
     for i in 0..3 {
-        if d[i] == 0.0 {
+        if is_exactly_zero(d[i]) {
             ts.push(p[i]);
         }
     }
@@ -250,7 +266,7 @@ fn seg_seg_2d(a: (f64, f64), b: (f64, f64), c: (f64, f64), d: (f64, f64)) -> boo
         return true;
     }
     let on = |o: f64, p: (f64, f64), q: (f64, f64), r: (f64, f64)| {
-        o == 0.0
+        is_exactly_zero(o)
             && r.0 >= p.0.min(q.0)
             && r.0 <= p.0.max(q.0)
             && r.1 >= p.1.min(q.1)
@@ -270,6 +286,7 @@ fn point_in_tri_2d(p: (f64, f64), t: &[(f64, f64)]) -> bool {
 
 /// AABB–triangle overlap via the separating-axis theorem
 /// (Akenine-Möller's 13-axis test). Closed test.
+#[must_use]
 pub fn aabb_triangle(bb: &crate::aabb::Aabb, tri: &Triangle) -> bool {
     if bb.is_empty() {
         return false;
@@ -330,7 +347,11 @@ mod tests {
     use crate::vec3::vec3;
 
     fn xy_tri() -> Triangle {
-        Triangle::new(vec3(0.0, 0.0, 0.0), vec3(2.0, 0.0, 0.0), vec3(0.0, 2.0, 0.0))
+        Triangle::new(
+            vec3(0.0, 0.0, 0.0),
+            vec3(2.0, 0.0, 0.0),
+            vec3(0.0, 2.0, 0.0),
+        )
     }
 
     #[test]
@@ -374,9 +395,21 @@ mod tests {
     #[test]
     fn segment_crossing() {
         let t = xy_tri();
-        assert!(segment_triangle(vec3(0.5, 0.5, -1.0), vec3(0.5, 0.5, 1.0), &t));
-        assert!(!segment_triangle(vec3(0.5, 0.5, 0.5), vec3(0.5, 0.5, 1.0), &t));
-        assert!(!segment_triangle(vec3(5.0, 5.0, -1.0), vec3(5.0, 5.0, 1.0), &t));
+        assert!(segment_triangle(
+            vec3(0.5, 0.5, -1.0),
+            vec3(0.5, 0.5, 1.0),
+            &t
+        ));
+        assert!(!segment_triangle(
+            vec3(0.5, 0.5, 0.5),
+            vec3(0.5, 0.5, 1.0),
+            &t
+        ));
+        assert!(!segment_triangle(
+            vec3(5.0, 5.0, -1.0),
+            vec3(5.0, 5.0, 1.0),
+            &t
+        ));
     }
 
     #[test]
@@ -457,7 +490,11 @@ mod tests {
         let bb = Aabb::from_corners(Vec3::ZERO, Vec3::ONE);
         assert!(aabb_triangle(&bb, &xy_tri()));
         // Far away.
-        let t = Triangle::new(vec3(5.0, 5.0, 5.0), vec3(6.0, 5.0, 5.0), vec3(5.0, 6.0, 5.0));
+        let t = Triangle::new(
+            vec3(5.0, 5.0, 5.0),
+            vec3(6.0, 5.0, 5.0),
+            vec3(5.0, 6.0, 5.0),
+        );
         assert!(!aabb_triangle(&bb, &t));
         // Large triangle slicing through the box without any vertex inside.
         let t = Triangle::new(

@@ -67,6 +67,7 @@ impl IVec3 {
 
     /// `true` when every axis is within the exact-predicate bound.
     #[inline]
+    #[must_use]
     pub fn within_exact_bounds(self) -> bool {
         self.x.abs() <= MAX_EXACT_COORD
             && self.y.abs() <= MAX_EXACT_COORD
@@ -132,6 +133,7 @@ pub fn orient3d(a: IVec3, b: IVec3, c: IVec3, d: IVec3) -> Orientation {
 
 /// `true` when triangle `abc` is degenerate (its vertices are collinear or
 /// coincident), evaluated exactly.
+#[must_use]
 pub fn is_degenerate_tri(a: IVec3, b: IVec3, c: IVec3) -> bool {
     let (nx, ny, nz) = (b - a).cross_wide(c - a);
     nx == 0 && ny == 0 && nz == 0
@@ -185,18 +187,30 @@ mod tests {
         let c = ivec3(m, m - 1, m);
         // ab=(-1,0,0), ac=(0,-1,0) ⇒ normal (0,0,1); d one step below the
         // plane z=m is on the negative side.
+        assert_eq!(orient3d(a, b, c, ivec3(m, m, m - 1)), Orientation::Negative);
         assert_eq!(
-            orient3d(a, b, c, ivec3(m, m, m - 1)),
-            Orientation::Negative
+            orient3d(a, b, c, ivec3(m - 5, m - 7, m)),
+            Orientation::Coplanar
         );
-        assert_eq!(orient3d(a, b, c, ivec3(m - 5, m - 7, m)), Orientation::Coplanar);
     }
 
     #[test]
     fn degenerate_detection() {
-        assert!(is_degenerate_tri(ivec3(0, 0, 0), ivec3(1, 1, 1), ivec3(2, 2, 2)));
-        assert!(is_degenerate_tri(ivec3(4, 4, 4), ivec3(4, 4, 4), ivec3(9, 0, 0)));
-        assert!(!is_degenerate_tri(ivec3(0, 0, 0), ivec3(1, 0, 0), ivec3(0, 1, 0)));
+        assert!(is_degenerate_tri(
+            ivec3(0, 0, 0),
+            ivec3(1, 1, 1),
+            ivec3(2, 2, 2)
+        ));
+        assert!(is_degenerate_tri(
+            ivec3(4, 4, 4),
+            ivec3(4, 4, 4),
+            ivec3(9, 0, 0)
+        ));
+        assert!(!is_degenerate_tri(
+            ivec3(0, 0, 0),
+            ivec3(1, 0, 0),
+            ivec3(0, 1, 0)
+        ));
     }
 
     #[test]

@@ -51,7 +51,10 @@ pub struct Kdop {
 
 impl Kdop {
     /// The empty k-DOP (identity for [`Kdop::union`]).
-    pub const EMPTY: Kdop = Kdop { lo: [f64::INFINITY; K], hi: [f64::NEG_INFINITY; K] };
+    pub const EMPTY: Kdop = Kdop {
+        lo: [f64::INFINITY; K],
+        hi: [f64::NEG_INFINITY; K],
+    };
 
     /// Tight k-DOP of a point set.
     pub fn from_points<I: IntoIterator<Item = Vec3>>(points: I) -> Kdop {
@@ -68,6 +71,7 @@ impl Kdop {
     }
 
     /// `true` when no point was ever added.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.lo[0] > self.hi[0]
     }
@@ -83,6 +87,7 @@ impl Kdop {
     }
 
     /// `true` when the point lies inside every slab.
+    #[must_use]
     pub fn contains_point(&self, p: Vec3) -> bool {
         let dirs = directions();
         for (i, d) in dirs.iter().enumerate() {
@@ -96,6 +101,7 @@ impl Kdop {
 
     /// Conservative intersection test: `false` guarantees the underlying
     /// objects are disjoint (§2.2 property 1); `true` is inconclusive.
+    #[must_use]
     pub fn intersects(&self, rhs: &Kdop) -> bool {
         for i in 0..K {
             if self.hi[i] < rhs.lo[i] || rhs.hi[i] < self.lo[i] {
@@ -145,7 +151,11 @@ mod tests {
 
     #[test]
     fn contains_its_points() {
-        let pts = vec![vec3(1.0, 2.0, 3.0), vec3(-1.0, 0.5, 2.0), vec3(0.0, 0.0, 0.0)];
+        let pts = vec![
+            vec3(1.0, 2.0, 3.0),
+            vec3(-1.0, 0.5, 2.0),
+            vec3(0.0, 0.0, 0.0),
+        ];
         let k = Kdop::from_points(pts.clone());
         for p in pts {
             assert!(k.contains_point(p));
@@ -156,7 +166,11 @@ mod tests {
     #[test]
     fn axis_separated_cubes() {
         let a = Kdop::from_points(cube_points(0.0, 1.0));
-        let b = Kdop::from_points(cube_points(3.0, 4.0).into_iter().map(|p| vec3(p.x, 0.5, 0.5)));
+        let b = Kdop::from_points(
+            cube_points(3.0, 4.0)
+                .into_iter()
+                .map(|p| vec3(p.x, 0.5, 0.5)),
+        );
         assert!(!a.intersects(&b));
         // Axis gap: 3.0 - 1.0 = 2.0.
         assert!((a.min_dist(&b) - 2.0).abs() < 1e-12);
@@ -183,15 +197,19 @@ mod tests {
         // never exceed the true closest-pair distance.
         let mut seed = 0xD0Du64;
         let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as f64 / (1u64 << 31) as f64
         };
         for trial in 0..20 {
-            let a: Vec<Vec3> =
-                (0..12).map(|_| vec3(next() * 2.0, next() * 2.0, next() * 2.0)).collect();
+            let a: Vec<Vec3> = (0..12)
+                .map(|_| vec3(next() * 2.0, next() * 2.0, next() * 2.0))
+                .collect();
             let off = vec3(3.0 + trial as f64 * 0.1, 1.0, -0.5);
-            let b: Vec<Vec3> =
-                (0..12).map(|_| vec3(next() * 2.0, next() * 2.0, next() * 2.0) + off).collect();
+            let b: Vec<Vec3> = (0..12)
+                .map(|_| vec3(next() * 2.0, next() * 2.0, next() * 2.0) + off)
+                .collect();
             let true_d = a
                 .iter()
                 .flat_map(|p| b.iter().map(move |q| p.dist(*q)))

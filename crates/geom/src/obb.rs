@@ -98,7 +98,7 @@ impl Sym3 {
         let mut pairs: Vec<(f64, Vec3)> = (0..3)
             .map(|i| (a[i][i], vec3(v[0][i], v[1][i], v[2][i])))
             .collect();
-        pairs.sort_by(|l, r| r.0.partial_cmp(&l.0).unwrap());
+        pairs.sort_by(|l, r| r.0.total_cmp(&l.0));
         [pairs[0].1, pairs[1].1, pairs[2].1]
     }
 }
@@ -134,7 +134,11 @@ impl Obb {
         }
         let mid = (lo + hi) * 0.5;
         let center = axes[0] * mid.x + axes[1] * mid.y + axes[2] * mid.z;
-        Obb { center, axes, half_extent: (hi - lo) * 0.5 }
+        Obb {
+            center,
+            axes,
+            half_extent: (hi - lo) * 0.5,
+        }
     }
 
     /// Volume of the box.
@@ -144,6 +148,7 @@ impl Obb {
     }
 
     /// `true` when the point lies inside or on the box.
+    #[must_use]
     pub fn contains_point(&self, p: Vec3) -> bool {
         let d = p - self.center;
         for i in 0..3 {
@@ -165,6 +170,7 @@ impl Obb {
 
     /// Exact separating-axis intersection test between two OBBs
     /// (15 candidate axes: 3 + 3 face normals and 9 edge cross products).
+    #[must_use]
     pub fn intersects(&self, rhs: &Obb) -> bool {
         self.separation_gap(rhs) <= 0.0
     }
@@ -181,7 +187,9 @@ impl Obb {
             for b in rhs.axes {
                 let c = a.cross(b);
                 if c.norm2() > 1e-12 {
-                    axes.push(c.normalized().unwrap());
+                    if let Some(n) = c.normalized() {
+                        axes.push(n);
+                    }
                 }
             }
         }
@@ -271,7 +279,10 @@ mod tests {
             .collect();
         let obb = Obb::fit(&pts);
         let aabb = Aabb::from_points(pts.iter().cloned());
-        assert!(obb.volume() < aabb.volume() * 0.5, "OBB should be much tighter");
+        assert!(
+            obb.volume() < aabb.volume() * 0.5,
+            "OBB should be much tighter"
+        );
         // Every point must be inside the OBB.
         for p in &pts {
             assert!(obb.contains_point(*p));
@@ -298,11 +309,17 @@ mod tests {
             half_extent: vec3(1.0, 1.0, 1.0),
         };
         // Overlapping axis-aligned boxes.
-        let b = Obb { center: vec3(1.5, 0.0, 0.0), ..a };
+        let b = Obb {
+            center: vec3(1.5, 0.0, 0.0),
+            ..a
+        };
         assert!(a.intersects(&b));
         assert_eq!(a.separation_gap(&b), 0.0);
         // Separated along x by 1.
-        let c = Obb { center: vec3(3.0, 0.0, 0.0), ..a };
+        let c = Obb {
+            center: vec3(3.0, 0.0, 0.0),
+            ..a
+        };
         assert!(!a.intersects(&c));
         assert!((a.separation_gap(&c) - 1.0).abs() < 1e-12);
     }
@@ -313,14 +330,25 @@ mod tests {
         // cross-product/diagonal axis separates tightly.
         let s = std::f64::consts::FRAC_1_SQRT_2;
         let rot = [vec3(s, s, 0.0), vec3(-s, s, 0.0), Vec3::Z];
-        let a = Obb { center: Vec3::ZERO, axes: rot, half_extent: vec3(1.0, 1.0, 1.0) };
-        let b = Obb { center: vec3(3.0, 0.0, 0.0), axes: rot, half_extent: vec3(1.0, 1.0, 1.0) };
+        let a = Obb {
+            center: Vec3::ZERO,
+            axes: rot,
+            half_extent: vec3(1.0, 1.0, 1.0),
+        };
+        let b = Obb {
+            center: vec3(3.0, 0.0, 0.0),
+            axes: rot,
+            half_extent: vec3(1.0, 1.0, 1.0),
+        };
         // Corners reach x = ±√2 from each centre: gap = 3 − 2√2 ≈ 0.17.
         assert!(!a.intersects(&b));
         let g = a.separation_gap(&b);
         assert!(g > 0.0 && g <= 3.0 - 2.0 * 2f64.sqrt() + 1e-9, "gap {g}");
         // Moving them together makes them intersect.
-        let c = Obb { center: vec3(2.0, 0.0, 0.0), ..b };
+        let c = Obb {
+            center: vec3(2.0, 0.0, 0.0),
+            ..b
+        };
         assert!(a.intersects(&c));
     }
 
@@ -334,20 +362,28 @@ mod tests {
             half_extent: vec3(1.0, 0.5, 0.25),
         };
         for (cx, cy) in [(4.0, 1.0), (3.0, 3.0), (0.0, 5.0)] {
-            let b = Obb { center: vec3(cx, cy, 0.5), ..a };
+            let b = Obb {
+                center: vec3(cx, cy, 0.5),
+                ..a
+            };
             let gap = a.separation_gap(&b);
             let min_corner = a
                 .corners()
                 .iter()
                 .flat_map(|p| b.corners().into_iter().map(move |q| p.dist(q)))
                 .fold(f64::INFINITY, f64::min);
-            assert!(gap <= min_corner + 1e-9, "gap {gap} vs corners {min_corner}");
+            assert!(
+                gap <= min_corner + 1e-9,
+                "gap {gap} vs corners {min_corner}"
+            );
         }
     }
 
     #[test]
     fn corners_inside_enclosing_aabb() {
-        let pts: Vec<Vec3> = (0..30).map(|i| vec3((i % 5) as f64, (i % 3) as f64, i as f64 * 0.1)).collect();
+        let pts: Vec<Vec3> = (0..30)
+            .map(|i| vec3((i % 5) as f64, (i % 3) as f64, i as f64 * 0.1))
+            .collect();
         let obb = Obb::fit(&pts);
         let bb = obb.to_aabb().inflate(1e-9);
         for c in obb.corners() {

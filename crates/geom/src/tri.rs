@@ -51,6 +51,7 @@ impl Triangle {
 
     /// `true` when the triangle has (near-)zero area.
     #[inline]
+    #[must_use]
     pub fn is_degenerate(&self) -> bool {
         let n2 = self.scaled_normal().norm2();
         // Compare against the scale of the edges to stay unit-independent.
@@ -83,7 +84,11 @@ mod tests {
     use crate::vec3::vec3;
 
     fn t() -> Triangle {
-        Triangle::new(vec3(0.0, 0.0, 0.0), vec3(2.0, 0.0, 0.0), vec3(0.0, 2.0, 0.0))
+        Triangle::new(
+            vec3(0.0, 0.0, 0.0),
+            vec3(2.0, 0.0, 0.0),
+            vec3(0.0, 2.0, 0.0),
+        )
     }
 
     #[test]
@@ -105,7 +110,11 @@ mod tests {
     #[test]
     fn degeneracy() {
         assert!(!t().is_degenerate());
-        let d = Triangle::new(vec3(0.0, 0.0, 0.0), vec3(1.0, 1.0, 1.0), vec3(2.0, 2.0, 2.0));
+        let d = Triangle::new(
+            vec3(0.0, 0.0, 0.0),
+            vec3(1.0, 1.0, 1.0),
+            vec3(2.0, 2.0, 2.0),
+        );
         assert!(d.is_degenerate());
         let p = Triangle::new(Vec3::ZERO, Vec3::ZERO, Vec3::ZERO);
         assert!(p.is_degenerate());

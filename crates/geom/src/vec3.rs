@@ -142,6 +142,7 @@ impl Vec3 {
 
     /// `true` when all components are finite.
     #[inline]
+    #[must_use]
     pub fn is_finite(self) -> bool {
         self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
     }
@@ -167,6 +168,7 @@ impl Index<usize> for Vec3 {
             0 => &self.x,
             1 => &self.y,
             2 => &self.z,
+            // tripro_lint::allow(no_panic): Index's contract is total; an out-of-range axis is a caller bug, not a runtime condition
             _ => panic!("Vec3 index out of range: {i}"),
         }
     }

@@ -33,12 +33,20 @@ pub struct AabbTree {
 impl AabbTree {
     /// Build by recursive median split on the longest centroid axis.
     pub fn build(tris: Vec<Triangle>) -> Self {
-        assert!(!tris.is_empty(), "cannot build an AABB-tree over zero faces");
+        assert!(
+            !tris.is_empty(),
+            "cannot build an AABB-tree over zero faces"
+        );
         let mut order: Vec<u32> = (0..tris.len() as u32).collect();
         let mut nodes = Vec::with_capacity(2 * tris.len() / LEAF_SIZE + 2);
         let centroids: Vec<_> = tris.iter().map(|t| t.centroid()).collect();
         let root = Self::build_rec(&tris, &centroids, &mut order, 0, tris.len(), &mut nodes);
-        Self { tris, order, nodes, root }
+        Self {
+            tris,
+            order,
+            nodes,
+            root,
+        }
     }
 
     fn build_rec(
@@ -54,7 +62,13 @@ impl AabbTree {
             bb = bb.union(&tris[i as usize].aabb());
         }
         if end - start <= LEAF_SIZE {
-            nodes.push(BvhNode { bb, kind: NodeKind::Leaf { start: start as u32, end: end as u32 } });
+            nodes.push(BvhNode {
+                bb,
+                kind: NodeKind::Leaf {
+                    start: start as u32,
+                    end: end as u32,
+                },
+            });
             return (nodes.len() - 1) as u32;
         }
         // Split on the longest axis of the centroid bounds.
@@ -64,13 +78,15 @@ impl AabbTree {
         }
         let axis = cb.extent().dominant_axis();
         let mid = (start + end) / 2;
-        order[start..end]
-            .select_nth_unstable_by(mid - start, |&a, &b| {
-                centroids[a as usize][axis].total_cmp(&centroids[b as usize][axis])
-            });
+        order[start..end].select_nth_unstable_by(mid - start, |&a, &b| {
+            centroids[a as usize][axis].total_cmp(&centroids[b as usize][axis])
+        });
         let left = Self::build_rec(tris, centroids, order, start, mid, nodes);
         let right = Self::build_rec(tris, centroids, order, mid, end, nodes);
-        nodes.push(BvhNode { bb, kind: NodeKind::Inner { left, right } });
+        nodes.push(BvhNode {
+            bb,
+            kind: NodeKind::Inner { left, right },
+        });
         (nodes.len() - 1) as u32
     }
 
@@ -194,11 +210,10 @@ impl AabbTree {
                     for &i in &self.order[*s1 as usize..*e1 as usize] {
                         for &j in &other.order[*s2 as usize..*e2 as usize] {
                             *tests += 1;
-                            let d2 =
-                                tri_tri_dist2(&self.tris[i as usize], &other.tris[j as usize]);
+                            let d2 = tri_tri_dist2(&self.tris[i as usize], &other.tris[j as usize]);
                             if d2 < best {
                                 best = d2;
-                                if best == 0.0 {
+                                if tripro_geom::is_exactly_zero(best) {
                                     return 0.0;
                                 }
                             }
@@ -245,7 +260,10 @@ impl AabbTree {
         }
         let mut best = f64::INFINITY;
         let mut heap = BinaryHeap::new();
-        heap.push((Reverse(Key(self.nodes[self.root as usize].bb.min_dist2_point(p))), self.root));
+        heap.push((
+            Reverse(Key(self.nodes[self.root as usize].bb.min_dist2_point(p))),
+            self.root,
+        ));
         while let Some((Reverse(Key(lb)), n)) = heap.pop() {
             if lb >= best {
                 break;
@@ -254,10 +272,8 @@ impl AabbTree {
             match &node.kind {
                 NodeKind::Leaf { start, end } => {
                     for &i in &self.order[*start as usize..*end as usize] {
-                        let d2 = tripro_geom::distance::point_triangle_dist2(
-                            p,
-                            &self.tris[i as usize],
-                        );
+                        let d2 =
+                            tripro_geom::distance::point_triangle_dist2(p, &self.tris[i as usize]);
                         best = best.min(d2);
                     }
                 }
@@ -286,7 +302,11 @@ mod tests {
         for x in 0..n {
             for y in 0..n {
                 let p = vec3(x as f64, y as f64, z);
-                tris.push(Triangle::new(p, p + vec3(1.0, 0.0, 0.0), p + vec3(0.0, 1.0, 0.0)));
+                tris.push(Triangle::new(
+                    p,
+                    p + vec3(1.0, 0.0, 0.0),
+                    p + vec3(0.0, 1.0, 0.0),
+                ));
                 tris.push(Triangle::new(
                     p + vec3(1.0, 0.0, 0.0),
                     p + vec3(1.0, 1.0, 0.0),
@@ -321,7 +341,11 @@ mod tests {
     fn intersecting_sheets() {
         let a = AabbTree::build(sheet(8, 0.0));
         // A vertical triangle poking through the middle of the sheet.
-        let poker = Triangle::new(vec3(4.2, 4.2, -1.0), vec3(4.3, 4.2, 1.0), vec3(4.2, 4.4, 1.0));
+        let poker = Triangle::new(
+            vec3(4.2, 4.2, -1.0),
+            vec3(4.3, 4.2, 1.0),
+            vec3(4.2, 4.4, 1.0),
+        );
         let b = AabbTree::build(vec![poker]);
         let mut tests = 0;
         assert!(a.intersects_tree(&b, &mut tests));
@@ -348,7 +372,13 @@ mod tests {
         }
         let b_tris: Vec<Triangle> = sheet(3, 2.0)
             .into_iter()
-            .map(|t| Triangle::new(t.a + vec3(1.3, 0.7, 0.0), t.b + vec3(1.3, 0.7, 0.0), t.c + vec3(1.3, 0.7, 0.1)))
+            .map(|t| {
+                Triangle::new(
+                    t.a + vec3(1.3, 0.7, 0.0),
+                    t.b + vec3(1.3, 0.7, 0.0),
+                    t.c + vec3(1.3, 0.7, 0.1),
+                )
+            })
             .collect();
         let brute = a_tris
             .iter()

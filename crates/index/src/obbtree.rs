@@ -40,7 +40,12 @@ impl ObbTree {
         let mut order: Vec<u32> = (0..tris.len() as u32).collect();
         let mut nodes = Vec::with_capacity(2 * tris.len() / LEAF_SIZE + 2);
         let root = Self::build_rec(&tris, &mut order, 0, tris.len(), &mut nodes);
-        Self { tris, order, nodes, root }
+        Self {
+            tris,
+            order,
+            nodes,
+            root,
+        }
     }
 
     fn fit(tris: &[Triangle], order: &[u32]) -> Obb {
@@ -60,7 +65,13 @@ impl ObbTree {
     ) -> u32 {
         let bb = Self::fit(tris, &order[start..end]);
         if end - start <= LEAF_SIZE {
-            nodes.push(ObbNode { bb, kind: NodeKind::Leaf { start: start as u32, end: end as u32 } });
+            nodes.push(ObbNode {
+                bb,
+                kind: NodeKind::Leaf {
+                    start: start as u32,
+                    end: end as u32,
+                },
+            });
             return (nodes.len() - 1) as u32;
         }
         // Split at the median centroid projection onto the box's major axis.
@@ -73,7 +84,10 @@ impl ObbTree {
         });
         let left = Self::build_rec(tris, order, start, mid, nodes);
         let right = Self::build_rec(tris, order, mid, end, nodes);
-        nodes.push(ObbNode { bb, kind: NodeKind::Inner { left, right } });
+        nodes.push(ObbNode {
+            bb,
+            kind: NodeKind::Inner { left, right },
+        });
         (nodes.len() - 1) as u32
     }
 
@@ -162,7 +176,7 @@ impl ObbTree {
                             let d2 = tri_tri_dist2(&self.tris[i as usize], &other.tris[j as usize]);
                             if d2 < best {
                                 best = d2;
-                                if best == 0.0 {
+                                if tripro_geom::is_exactly_zero(best) {
                                     return 0.0;
                                 }
                             }

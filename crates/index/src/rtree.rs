@@ -53,7 +53,13 @@ impl<T: Clone> Default for RTree<T> {
 impl<T: Clone> RTree<T> {
     /// An empty tree.
     pub fn new() -> Self {
-        Self { root: Node::Leaf { bb: Aabb::EMPTY, entries: Vec::new() }, len: 0 }
+        Self {
+            root: Node::Leaf {
+                bb: Aabb::EMPTY,
+                entries: Vec::new(),
+            },
+            len: 0,
+        }
     }
 
     /// Number of stored entries.
@@ -83,16 +89,19 @@ impl<T: Clone> RTree<T> {
         let leaf_count = len.div_ceil(MAX_ENTRIES);
         let s = (leaf_count as f64).powf(1.0 / 3.0).ceil() as usize; // slabs per axis
         let key = |bb: &Aabb, axis: usize| bb.center()[axis];
-        items.sort_by(|a, b| key(&a.0, 0).partial_cmp(&key(&b.0, 0)).unwrap());
+        items.sort_by(|a, b| key(&a.0, 0).total_cmp(&key(&b.0, 0)));
         let mut leaves: Vec<Node<T>> = Vec::with_capacity(leaf_count);
         let x_slab = len.div_ceil(s);
         for xs in items.chunks_mut(x_slab.max(1)) {
-            xs.sort_by(|a, b| key(&a.0, 1).partial_cmp(&key(&b.0, 1)).unwrap());
+            xs.sort_by(|a, b| key(&a.0, 1).total_cmp(&key(&b.0, 1)));
             let y_slab = xs.len().div_ceil(s);
             for ys in xs.chunks_mut(y_slab.max(1)) {
-                ys.sort_by(|a, b| key(&a.0, 2).partial_cmp(&key(&b.0, 2)).unwrap());
+                ys.sort_by(|a, b| key(&a.0, 2).total_cmp(&key(&b.0, 2)));
                 for zs in ys.chunks(MAX_ENTRIES) {
-                    let mut leaf = Node::Leaf { bb: Aabb::EMPTY, entries: zs.to_vec() };
+                    let mut leaf = Node::Leaf {
+                        bb: Aabb::EMPTY,
+                        entries: zs.to_vec(),
+                    };
                     leaf.recompute_bb();
                     leaves.push(leaf);
                 }
@@ -103,13 +112,19 @@ impl<T: Clone> RTree<T> {
         while level.len() > 1 {
             let mut next = Vec::with_capacity(level.len().div_ceil(MAX_ENTRIES));
             for group in level.chunks(MAX_ENTRIES) {
-                let mut inner = Node::Inner { bb: Aabb::EMPTY, children: group.to_vec() };
+                let mut inner = Node::Inner {
+                    bb: Aabb::EMPTY,
+                    children: group.to_vec(),
+                };
                 inner.recompute_bb();
                 next.push(inner);
             }
             level = next;
         }
-        Self { root: level.pop().unwrap(), len }
+        match level.pop() {
+            Some(root) => Self { root, len },
+            None => Self::new(),
+        }
     }
 
     /// Insert one entry (R-tree with quadratic split).
@@ -130,8 +145,14 @@ impl<T: Clone> RTree<T> {
                 *nbb = nbb.union(&bb);
                 if entries.len() > MAX_ENTRIES {
                     let (l, r) = quadratic_split(std::mem::take(entries), |e| e.0);
-                    let mut left = Node::Leaf { bb: Aabb::EMPTY, entries: l };
-                    let mut right = Node::Leaf { bb: Aabb::EMPTY, entries: r };
+                    let mut left = Node::Leaf {
+                        bb: Aabb::EMPTY,
+                        entries: l,
+                    };
+                    let mut right = Node::Leaf {
+                        bb: Aabb::EMPTY,
+                        entries: r,
+                    };
                     left.recompute_bb();
                     right.recompute_bb();
                     return Some((left, right));
@@ -147,7 +168,9 @@ impl<T: Clone> RTree<T> {
                     let grown = c.bb().union(&bb);
                     let cost = grown.volume() - c.bb().volume();
                     let tie = c.bb().volume();
-                    if cost < best_cost || (cost == best_cost && tie < children[best].bb().volume())
+                    if cost < best_cost
+                        || (tripro_geom::is_exactly(cost, best_cost)
+                            && tie < children[best].bb().volume())
                     {
                         best = i;
                         best_cost = cost;
@@ -160,8 +183,14 @@ impl<T: Clone> RTree<T> {
                     children.push(b);
                     if children.len() > MAX_ENTRIES {
                         let (l, r) = quadratic_split(std::mem::take(children), |c| *c.bb());
-                        let mut left = Node::Inner { bb: Aabb::EMPTY, children: l };
-                        let mut right = Node::Inner { bb: Aabb::EMPTY, children: r };
+                        let mut left = Node::Inner {
+                            bb: Aabb::EMPTY,
+                            children: l,
+                        };
+                        let mut right = Node::Inner {
+                            bb: Aabb::EMPTY,
+                            children: r,
+                        };
                         left.recompute_bb();
                         right.recompute_bb();
                         return Some((left, right));
@@ -206,7 +235,10 @@ impl<T: Clone> RTree<T> {
     /// (`MINDIST ≤ d < MAXDIST`, need refinement). Everything else is
     /// pruned by `MINDIST > d`, including whole subtrees.
     pub fn within(&self, target: &Aabb, d: f64) -> WithinResult<T> {
-        let mut res = WithinResult { definite: Vec::new(), candidates: Vec::new() };
+        let mut res = WithinResult {
+            definite: Vec::new(),
+            candidates: Vec::new(),
+        };
         let mut stack = vec![&self.root];
         while let Some(n) = stack.pop() {
             if n.bb().min_dist(target) > d {
@@ -282,7 +314,7 @@ impl<T: Clone> RTree<T> {
 
         while let Some((Reverse(Key(mind)), idx)) = heap.pop() {
             let threshold = if kth.len() >= k {
-                kth.peek().unwrap().0
+                kth.peek().map_or(f64::INFINITY, |t| t.0)
             } else {
                 f64::INFINITY
             };
@@ -294,7 +326,7 @@ impl<T: Clone> RTree<T> {
                     for (bb, v) in entries {
                         let r = bb.dist_range(target);
                         let threshold = if kth.len() >= k {
-                            kth.peek().unwrap().0
+                            kth.peek().map_or(f64::INFINITY, |t| t.0)
                         } else {
                             f64::INFINITY
                         };
@@ -312,7 +344,7 @@ impl<T: Clone> RTree<T> {
                     for c in children {
                         let d = c.bb().min_dist(target);
                         let threshold = if kth.len() >= k {
-                            kth.peek().unwrap().0
+                            kth.peek().map_or(f64::INFINITY, |t| t.0)
                         } else {
                             f64::INFINITY
                         };
@@ -327,7 +359,7 @@ impl<T: Clone> RTree<T> {
 
         // Final prune with the settled threshold.
         let threshold = if kth.len() >= k {
-            kth.peek().unwrap().0
+            kth.peek().map_or(f64::INFINITY, |t| t.0)
         } else {
             f64::INFINITY
         };
@@ -348,7 +380,10 @@ impl<T: Clone> RTree<T> {
 
     /// Structural statistics for tuning and diagnostics.
     pub fn stats(&self) -> TreeStats {
-        let mut s = TreeStats { height: self.height(), ..Default::default() };
+        let mut s = TreeStats {
+            height: self.height(),
+            ..Default::default()
+        };
         let mut stack = vec![&self.root];
         while let Some(n) = stack.pop() {
             match n {
@@ -369,8 +404,7 @@ impl<T: Clone> RTree<T> {
                             if a.intersects(b) {
                                 let lo = a.lo.max(b.lo);
                                 let hi = a.hi.min(b.hi);
-                                s.sibling_overlap_volume +=
-                                    Aabb::from_corners(lo, hi).volume();
+                                s.sibling_overlap_volume += Aabb::from_corners(lo, hi).volume();
                             }
                         }
                     }
@@ -587,9 +621,7 @@ mod tests {
         // Brute force: true nearest by MINDIST must be among candidates.
         let brute_nearest = boxes
             .iter()
-            .min_by(|a, b| {
-                a.0.min_dist(&target).total_cmp(&b.0.min_dist(&target))
-            })
+            .min_by(|a, b| a.0.min_dist(&target).total_cmp(&b.0.min_dist(&target)))
             .unwrap()
             .1;
         assert!(
@@ -597,7 +629,10 @@ mod tests {
             "true nearest {brute_nearest} missing from candidate set"
         );
         // All candidate ranges must overlap the minimal MAXDIST.
-        let minmax = cands.iter().map(|(_, r)| r.max).fold(f64::INFINITY, f64::min);
+        let minmax = cands
+            .iter()
+            .map(|(_, r)| r.max)
+            .fold(f64::INFINITY, f64::min);
         for (_, r) in &cands {
             assert!(r.min <= minmax);
         }
@@ -617,7 +652,7 @@ mod tests {
     #[test]
     fn bulk_load_height_is_logarithmic() {
         let t = RTree::bulk_load(grid_boxes(10)); // 1000 entries
-        // 1000/16 = 63 leaves, /16 = 4, /16 = 1 → height 4 (leaf + 3).
+                                                  // 1000/16 = 63 leaves, /16 = 4, /16 = 1 → height 4 (leaf + 3).
         assert!(t.height() <= 4, "height {}", t.height());
     }
 

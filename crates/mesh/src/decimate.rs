@@ -55,7 +55,7 @@ pub struct RemovalEvent {
 /// preserved, making the fan anchor deterministic.
 pub fn canonical_rotation(ring: &[VertId]) -> Vec<VertId> {
     let k = ring.len();
-    let anchor = (0..k).min_by_key(|&i| ring[i]).unwrap();
+    let anchor = (0..k).min_by_key(|&i| ring[i]).unwrap_or(0);
     (0..k).map(|i| ring[(anchor + i) % k]).collect()
 }
 
@@ -137,7 +137,11 @@ fn try_remove(mesh: &mut Mesh, v: VertId, mode: PruneMode) -> Option<RemovalEven
     for i in 1..ring.len() - 1 {
         mesh.add_face(ring[0], ring[i], ring[i + 1]);
     }
-    Some(RemovalEvent { removed: v, ring, pos })
+    Some(RemovalEvent {
+        removed: v,
+        ring,
+        pos,
+    })
 }
 
 /// Run one decimation round in deterministic ascending-id order.
@@ -171,6 +175,7 @@ pub fn decimate_round(mesh: &mut Mesh, mode: PruneMode) -> Vec<RemovalEvent> {
 /// use [`try_apply_insertion`].
 pub fn apply_insertion(mesh: &mut Mesh, ring: &[VertId], pos: IVec3, expected_id: VertId) {
     try_apply_insertion(mesh, ring, pos, expected_id)
+        // tripro_lint::allow(no_panic): documented panicking wrapper; untrusted input goes through try_apply_insertion
         .expect("fan face must exist during progressive decode");
 }
 
@@ -197,9 +202,11 @@ pub fn try_apply_insertion(
     // All fan faces must exist before any mutation.
     let mut fan = Vec::with_capacity(ring.len() - 2);
     for i in 1..ring.len() - 1 {
-        let f = mesh.find_face(ring[0], ring[i], ring[i + 1]).ok_or_else(|| {
-            crate::mesh::MeshError::NotClosedManifold("fan face missing during decode".into())
-        })?;
+        let f = mesh
+            .find_face(ring[0], ring[i], ring[i + 1])
+            .ok_or_else(|| {
+                crate::mesh::MeshError::NotClosedManifold("fan face missing during decode".into())
+            })?;
         fan.push(f);
     }
     let mut fan_sorted = fan.clone();
@@ -210,9 +217,7 @@ pub fn try_apply_insertion(
             "insertion fan repeats a face".into(),
         ));
     }
-    if expected_id as usize > mesh.vertex_id_bound() as usize
-        || mesh.is_vertex_alive(expected_id)
-    {
+    if expected_id as usize > mesh.vertex_id_bound() as usize || mesh.is_vertex_alive(expected_id) {
         return Err(crate::mesh::MeshError::BadVertexRef(expected_id));
     }
     for f in fan {
@@ -255,8 +260,8 @@ mod tests {
             ivec3(0, 8, 8),
             ivec3(-8, 0, 8),
             ivec3(0, -8, 8),
-            ivec3(0, 0, 32),  // protruding apex
-            ivec3(0, 0, 0),   // bottom apex
+            ivec3(0, 0, 32), // protruding apex
+            ivec3(0, 0, 0),  // bottom apex
         ];
         let f = [
             [0u32, 1, 4],
@@ -278,7 +283,7 @@ mod tests {
             ivec3(0, 8, 8),
             ivec3(-8, 0, 8),
             ivec3(0, -8, 8),
-            ivec3(0, 0, 4),   // dented apex (below the 0-1-2-3 plane)
+            ivec3(0, 0, 4), // dented apex (below the 0-1-2-3 plane)
             ivec3(0, 0, 0),
         ];
         let f = [
@@ -304,14 +309,20 @@ mod tests {
     fn spike_is_protruding() {
         let m = spiky_octahedron();
         let ring = canonical_rotation(&m.ordered_ring(4).unwrap());
-        assert_eq!(classify_against_fan(&m, 4, &ring), Some(VertexClass::Protruding));
+        assert_eq!(
+            classify_against_fan(&m, 4, &ring),
+            Some(VertexClass::Protruding)
+        );
     }
 
     #[test]
     fn dent_is_recessing() {
         let m = dented_octahedron();
         let ring = canonical_rotation(&m.ordered_ring(4).unwrap());
-        assert_eq!(classify_against_fan(&m, 4, &ring), Some(VertexClass::Recessing));
+        assert_eq!(
+            classify_against_fan(&m, 4, &ring),
+            Some(VertexClass::Recessing)
+        );
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! Runtime checkers for the PPVP structural invariants, compiled only under
+//! the `strict-invariants` feature.
+//!
+//! The query processor's correctness rests on the *subset property* of the
+//! LOD ladder (paper §3): every lower LOD's vertex set is a subset of the
+//! next LOD's, so
+//!
+//! * **P1** — objects intersecting at a low LOD intersect at every higher
+//!   LOD (intersection implication), and
+//! * **P2** — inter-object distances are non-increasing in LOD (distance
+//!   monotonicity).
+//!
+//! [`check_lod_ladder`] verifies the subset property *structurally* on a
+//! freshly encoded [`CompressedMesh`] by decoding every LOD and comparing
+//! quantised vertex sets — an exact integer comparison, no epsilons. It also
+//! re-validates manifoldness at every intermediate LOD, since the decimator
+//! guarantees (and the decoder assumes) each rung is itself a closed mesh.
+//!
+//! These checks are O(ladder × mesh) and run after every `encode()` when the
+//! feature is on; they are meant for tests and debugging builds, not
+//! production encoding.
+
+use crate::mesh::MeshError;
+use crate::ppvp::CompressedMesh;
+use std::collections::HashSet;
+
+/// Decode every LOD of `cm` and verify the ladder invariants.
+///
+/// Errors with [`MeshError::InvariantViolation`] describing the first rung
+/// that breaks (a) vertex-set inclusion, (b) monotone vertex/face growth, or
+/// (c) closed-manifoldness.
+pub fn check_lod_ladder(cm: &CompressedMesh) -> Result<(), MeshError> {
+    let violation = |why: String| MeshError::InvariantViolation(why);
+    let decode_failed =
+        |lod: usize| violation(format!("LOD {lod} failed to decode during invariant check"));
+
+    let mut pm = cm.decoder().map_err(|_| decode_failed(0))?;
+    let top = pm.max_lod();
+    let mut prev_verts: Option<HashSet<(i64, i64, i64)>> = None;
+    let mut prev_faces = 0usize;
+    for lod in 0..=top {
+        pm.decode_to(lod).map_err(|_| decode_failed(lod))?;
+        let mesh = pm.mesh();
+
+        mesh.validate_closed_manifold()
+            .map_err(|e| violation(format!("LOD {lod} is not a closed manifold: {e}")))?;
+
+        let verts: HashSet<(i64, i64, i64)> = mesh
+            .vertex_ids()
+            .map(|v| {
+                let p = mesh.position(v);
+                (p.x, p.y, p.z)
+            })
+            .collect();
+        let faces = mesh.face_count();
+
+        if let Some(prev) = &prev_verts {
+            if !prev.is_subset(&verts) {
+                let missing = prev.difference(&verts).count();
+                return Err(violation(format!(
+                    "subset property broken: {missing} vertices of LOD {} vanished at LOD {lod}",
+                    lod - 1
+                )));
+            }
+            if verts.len() < prev.len() {
+                return Err(violation(format!(
+                    "vertex count shrank from {} (LOD {}) to {} (LOD {lod})",
+                    prev.len(),
+                    lod - 1,
+                    verts.len()
+                )));
+            }
+            if faces < prev_faces {
+                return Err(violation(format!(
+                    "face count shrank from {prev_faces} (LOD {}) to {faces} (LOD {lod})",
+                    lod - 1
+                )));
+            }
+        }
+        prev_verts = Some(verts);
+        prev_faces = faces;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ppvp::{encode, EncoderConfig};
+    use crate::testutil::sphere;
+    use tripro_geom::vec3;
+
+    #[test]
+    fn ladder_of_a_sphere_passes() {
+        let tm = sphere(vec3(0.0, 0.0, 0.0), 2.0, 3);
+        let cm = encode(&tm, &EncoderConfig::default()).unwrap();
+        check_lod_ladder(&cm).unwrap();
+    }
+
+    #[test]
+    fn corrupted_payload_is_reported_not_panicked() {
+        let tm = sphere(vec3(0.0, 0.0, 0.0), 2.0, 2);
+        let cm = encode(&tm, &EncoderConfig::default()).unwrap();
+        let mut bytes = cm.to_bytes();
+        // Flip a byte in the middle of the payload; the checker must come
+        // back with an error rather than aborting the process.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        if let Ok(bad) = CompressedMesh::from_bytes(&bytes) {
+            let _ = check_lod_ladder(&bad);
+        }
+    }
+}

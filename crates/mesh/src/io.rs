@@ -47,9 +47,9 @@ pub fn parse_obj(reader: impl BufRead) -> Result<TriMesh, IoError> {
             Some("v") => {
                 let mut c = [0.0f64; 3];
                 for (i, v) in c.iter_mut().enumerate() {
-                    let tok = it
-                        .next()
-                        .ok_or_else(|| IoError::Parse(lineno, format!("vertex needs 3 coords, got {i}")))?;
+                    let tok = it.next().ok_or_else(|| {
+                        IoError::Parse(lineno, format!("vertex needs 3 coords, got {i}"))
+                    })?;
                     *v = tok
                         .parse()
                         .map_err(|_| IoError::Parse(lineno, format!("bad coordinate {tok:?}")))?;
@@ -69,7 +69,10 @@ pub fn parse_obj(reader: impl BufRead) -> Result<TriMesh, IoError> {
                     } else if i < 0 {
                         let n = vertices.len() as i64 + i;
                         if n < 0 {
-                            return Err(IoError::Parse(lineno, format!("relative index {i} out of range")));
+                            return Err(IoError::Parse(
+                                lineno,
+                                format!("relative index {i} out of range"),
+                            ));
                         }
                         n as usize
                     } else {
@@ -78,13 +81,20 @@ pub fn parse_obj(reader: impl BufRead) -> Result<TriMesh, IoError> {
                     if resolved >= vertices.len() {
                         return Err(IoError::Parse(
                             lineno,
-                            format!("face references vertex {} of {}", resolved + 1, vertices.len()),
+                            format!(
+                                "face references vertex {} of {}",
+                                resolved + 1,
+                                vertices.len()
+                            ),
                         ));
                     }
                     idx.push(resolved as u32);
                 }
                 if idx.len() < 3 {
-                    return Err(IoError::Parse(lineno, "face needs at least 3 corners".into()));
+                    return Err(IoError::Parse(
+                        lineno,
+                        "face needs at least 3 corners".into(),
+                    ));
                 }
                 for i in 1..idx.len() - 1 {
                     faces.push([idx[0], idx[i], idx[i + 1]]);
@@ -106,7 +116,12 @@ pub fn load_obj(path: impl AsRef<Path>) -> Result<TriMesh, IoError> {
 /// Write a `TriMesh` as OBJ.
 pub fn save_obj(path: impl AsRef<Path>, tm: &TriMesh) -> Result<(), IoError> {
     let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
-    writeln!(w, "# tripro export: {} vertices, {} faces", tm.vertices.len(), tm.faces.len())?;
+    writeln!(
+        w,
+        "# tripro export: {} vertices, {} faces",
+        tm.vertices.len(),
+        tm.faces.len()
+    )?;
     for v in &tm.vertices {
         writeln!(w, "v {} {} {}", v.x, v.y, v.z)?;
     }
@@ -129,22 +144,26 @@ pub fn parse_off(reader: impl BufRead) -> Result<TriMesh, IoError> {
     }
     let mut pos = 0usize;
     let mut next = |what: &str| -> Result<(usize, String), IoError> {
-        let t = tokens
-            .get(pos)
-            .cloned()
-            .ok_or_else(|| IoError::Parse(tokens.last().map_or(0, |t| t.0), format!("missing {what}")))?;
+        let t = tokens.get(pos).cloned().ok_or_else(|| {
+            IoError::Parse(tokens.last().map_or(0, |t| t.0), format!("missing {what}"))
+        })?;
         pos += 1;
         Ok(t)
     };
     let (l0, header) = next("OFF header")?;
     if header != "OFF" {
-        return Err(IoError::Parse(l0, format!("expected OFF header, got {header:?}")));
+        return Err(IoError::Parse(
+            l0,
+            format!("expected OFF header, got {header:?}"),
+        ));
     }
     let parse_usize = |(l, t): (usize, String)| -> Result<usize, IoError> {
-        t.parse().map_err(|_| IoError::Parse(l, format!("bad count {t:?}")))
+        t.parse()
+            .map_err(|_| IoError::Parse(l, format!("bad count {t:?}")))
     };
     let parse_f64 = |(l, t): (usize, String)| -> Result<f64, IoError> {
-        t.parse().map_err(|_| IoError::Parse(l, format!("bad number {t:?}")))
+        t.parse()
+            .map_err(|_| IoError::Parse(l, format!("bad number {t:?}")))
     };
     let nv = parse_usize(next("vertex count")?)?;
     let nf = parse_usize(next("face count")?)?;
@@ -165,9 +184,14 @@ pub fn parse_off(reader: impl BufRead) -> Result<TriMesh, IoError> {
         let mut idx = Vec::with_capacity(k);
         for _ in 0..k {
             let (l, t) = next("face index")?;
-            let i: usize = t.parse().map_err(|_| IoError::Parse(l, format!("bad index {t:?}")))?;
+            let i: usize = t
+                .parse()
+                .map_err(|_| IoError::Parse(l, format!("bad index {t:?}")))?;
             if i >= vertices.len() {
-                return Err(IoError::Parse(l, format!("face references vertex {i} of {nv}")));
+                return Err(IoError::Parse(
+                    l,
+                    format!("face references vertex {i} of {nv}"),
+                ));
             }
             idx.push(i as u32);
         }
@@ -201,10 +225,18 @@ pub fn save_off(path: impl AsRef<Path>, tm: &TriMesh) -> Result<(), IoError> {
 /// Load by extension (`.obj` or `.off`, case-insensitive).
 pub fn load_mesh(path: impl AsRef<Path>) -> Result<TriMesh, IoError> {
     let p = path.as_ref();
-    match p.extension().and_then(|e| e.to_str()).map(str::to_ascii_lowercase).as_deref() {
+    match p
+        .extension()
+        .and_then(|e| e.to_str())
+        .map(str::to_ascii_lowercase)
+        .as_deref()
+    {
         Some("obj") => load_obj(p),
         Some("off") => load_off(p),
-        other => Err(IoError::Parse(0, format!("unsupported mesh extension {other:?}"))),
+        other => Err(IoError::Parse(
+            0,
+            format!("unsupported mesh extension {other:?}"),
+        )),
     }
 }
 
@@ -264,10 +296,19 @@ f 1/1/1 2/2/1 3/3/1 4/4/1
     #[test]
     fn obj_errors() {
         assert!(parse_obj(Cursor::new("v 1 2\n")).is_err(), "short vertex");
-        assert!(parse_obj(Cursor::new("v 1 2 3\nf 1 2 9\n")).is_err(), "oob index");
-        assert!(parse_obj(Cursor::new("v 1 2 3\nf 0 1 1\n")).is_err(), "index zero");
+        assert!(
+            parse_obj(Cursor::new("v 1 2 3\nf 1 2 9\n")).is_err(),
+            "oob index"
+        );
+        assert!(
+            parse_obj(Cursor::new("v 1 2 3\nf 0 1 1\n")).is_err(),
+            "index zero"
+        );
         assert!(parse_obj(Cursor::new("v a b c\n")).is_err(), "bad number");
-        assert!(parse_obj(Cursor::new("v 1 2 3\nf 1 2\n")).is_err(), "short face");
+        assert!(
+            parse_obj(Cursor::new("v 1 2 3\nf 1 2\n")).is_err(),
+            "short face"
+        );
     }
 
     #[test]
@@ -289,7 +330,10 @@ OFF # header comment
     #[test]
     fn off_errors() {
         assert!(parse_off(Cursor::new("NOT_OFF\n")).is_err());
-        assert!(parse_off(Cursor::new("OFF\n1 0 0\n0 0\n")).is_err(), "truncated vertex");
+        assert!(
+            parse_off(Cursor::new("OFF\n1 0 0\n0 0\n")).is_err(),
+            "truncated vertex"
+        );
         assert!(parse_off(Cursor::new("OFF\n3 1 0\n0 0 0\n1 0 0\n0 1 0\n3 0 1 7\n")).is_err());
     }
 

@@ -7,6 +7,8 @@
 //! approximation* (geometric subset) of the higher LODs.
 
 pub mod decimate;
+#[cfg(feature = "strict-invariants")]
+pub mod invariant;
 pub mod io;
 pub mod mesh;
 pub mod ppvp;
@@ -17,13 +19,16 @@ pub mod testutil;
 pub mod trimesh;
 
 pub use decimate::{
-    try_apply_insertion,
-    classify_vertices, decimate_round, decimation_profile, PruneMode, RemovalEvent, VertexClass,
+    classify_vertices, decimate_round, decimation_profile, try_apply_insertion, PruneMode,
+    RemovalEvent, VertexClass,
 };
 pub use io::{load_mesh, load_obj, load_off, parse_obj, parse_off, save_obj, save_off, IoError};
 pub use mesh::{Mesh, MeshError};
 pub use ppvp::{encode, CompressedMesh, EncoderConfig, ProgressiveMesh};
 pub use quality::{distortion_profile, one_sided_hausdorff, DistortionProfile};
-pub use repair::{analyze, connected_components, fix_orientation, remove_duplicate_faces, MeshDiagnostics, RepairError};
+pub use repair::{
+    analyze, connected_components, fix_orientation, remove_duplicate_faces, MeshDiagnostics,
+    RepairError,
+};
 pub use stats::{lod_profile, protruding_fraction, protruding_fraction_of, raw_size, LodProfile};
 pub use trimesh::{quantize_mesh, to_trimesh, TriMesh};

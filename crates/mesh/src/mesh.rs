@@ -9,8 +9,8 @@
 //! Vertex and face ids are stable across edits (slots are tomb-stoned, never
 //! renumbered), which the progressive codec relies on.
 
-use tripro_geom::{ivec3, IVec3, Triangle};
 use tripro_coder::Quantizer;
+use tripro_geom::{ivec3, IVec3, Triangle};
 
 /// Stable vertex identifier.
 pub type VertId = u32;
@@ -38,6 +38,8 @@ pub enum MeshError {
     DegenerateFace,
     /// The mesh is not a closed orientable 2-manifold.
     NotClosedManifold(String),
+    /// A structural invariant failed under `strict-invariants` checking.
+    InvariantViolation(String),
 }
 
 impl std::fmt::Display for MeshError {
@@ -46,6 +48,7 @@ impl std::fmt::Display for MeshError {
             MeshError::BadVertexRef(v) => write!(f, "face references invalid vertex {v}"),
             MeshError::DegenerateFace => write!(f, "face repeats a vertex"),
             MeshError::NotClosedManifold(why) => write!(f, "not a closed manifold: {why}"),
+            MeshError::InvariantViolation(why) => write!(f, "invariant violation: {why}"),
         }
     }
 }
@@ -109,12 +112,14 @@ impl Mesh {
 
     /// `true` when the vertex id refers to a live vertex.
     #[inline]
+    #[must_use]
     pub fn is_vertex_alive(&self, v: VertId) -> bool {
         self.verts.get(v as usize).is_some_and(|s| s.alive)
     }
 
     /// `true` when the face id refers to a live face.
     #[inline]
+    #[must_use]
     pub fn is_face_alive(&self, f: FaceId) -> bool {
         self.faces.get(f as usize).is_some_and(|s| s.alive)
     }
@@ -198,7 +203,10 @@ impl Mesh {
 
     /// Add a face (callers must uphold validity).
     pub fn add_face(&mut self, a: VertId, b: VertId, c: VertId) -> FaceId {
-        let slot = FaceSlot { v: [a, b, c], alive: true };
+        let slot = FaceSlot {
+            v: [a, b, c],
+            alive: true,
+        };
         let id = if let Some(id) = self.free_faces.pop() {
             self.faces[id as usize] = slot;
             id
@@ -254,6 +262,7 @@ impl Mesh {
 
     /// `true` when some live face not incident to `exclude` uses the
     /// undirected edge `{a, b}`.
+    #[must_use]
     pub fn edge_used_outside(&self, a: VertId, b: VertId, exclude: VertId) -> bool {
         for &f in &self.vfaces[a as usize] {
             let v = self.faces[f as usize].v;
@@ -333,6 +342,27 @@ impl Mesh {
             .enumerate()
             .filter(|(_, s)| s.alive)
             .map(|(i, _)| i as FaceId)
+    }
+
+    /// Full structural validation, compiled only under `strict-invariants`.
+    ///
+    /// Checks referential integrity (every face corner names a live vertex,
+    /// no face repeats a vertex) before the closed-manifold test, so a
+    /// corrupted mesh fails with the most specific error available.
+    #[cfg(feature = "strict-invariants")]
+    pub fn validate(&self) -> Result<(), MeshError> {
+        for f in self.face_ids() {
+            let [a, b, c] = self.face(f);
+            for v in [a, b, c] {
+                if !self.is_vertex_alive(v) {
+                    return Err(MeshError::BadVertexRef(v));
+                }
+            }
+            if a == b || b == c || a == c {
+                return Err(MeshError::DegenerateFace);
+            }
+        }
+        self.validate_closed_manifold()
     }
 
     /// Validate that the mesh is a closed, consistently-oriented 2-manifold:
@@ -425,6 +455,7 @@ pub fn tetrahedron() -> Mesh {
         ivec3(0, 0, 4),
     ];
     let f = [[0u32, 2, 1], [0, 1, 3], [1, 2, 3], [0, 3, 2]];
+    // tripro_lint::allow(no_panic): constant, known-valid input
     Mesh::from_parts(p, &f).expect("tetrahedron is valid")
 }
 
@@ -462,7 +493,10 @@ mod tests {
         assert_eq!(m.face_count(), 4);
         m.validate_closed_manifold().unwrap();
         assert_eq!(m.euler_characteristic(), 2);
-        assert!(m.signed_volume6() > 0, "tetrahedron must be outward-oriented");
+        assert!(
+            m.signed_volume6() > 0,
+            "tetrahedron must be outward-oriented"
+        );
     }
 
     #[test]
@@ -481,8 +515,14 @@ mod tests {
     fn face_add_remove_and_find() {
         let mut m = octahedron();
         let f = m.find_face(0, 2, 4).expect("face exists");
-        assert!(m.find_face(2, 4, 0).is_some(), "rotation finds the same face");
-        assert!(m.find_face(0, 4, 2).is_none(), "reflection is a different face");
+        assert!(
+            m.find_face(2, 4, 0).is_some(),
+            "rotation finds the same face"
+        );
+        assert!(
+            m.find_face(0, 4, 2).is_none(),
+            "reflection is a different face"
+        );
         m.remove_face(f);
         assert_eq!(m.face_count(), 7);
         assert!(m.find_face(0, 2, 4).is_none());
@@ -537,7 +577,10 @@ mod tests {
     fn edge_used_outside_detection() {
         let m = octahedron();
         // Edge {0,2} is used by faces (0,2,4) and (2,0,5).
-        assert!(m.edge_used_outside(0, 2, 4), "face (2,0,5) uses it outside 4's star");
+        assert!(
+            m.edge_used_outside(0, 2, 4),
+            "face (2,0,5) uses it outside 4's star"
+        );
         // Excluding both apexes leaves nothing.
         let mut m2 = m.clone();
         let f = m2.find_face(2, 0, 5).unwrap();

@@ -38,7 +38,12 @@ pub struct EncoderConfig {
 
 impl Default for EncoderConfig {
     fn default() -> Self {
-        Self { bits: 16, rounds_per_lod: 2, max_lod: 5, mode: PruneMode::ProtrudingOnly }
+        Self {
+            bits: 16,
+            rounds_per_lod: 2,
+            max_lod: 5,
+            mode: PruneMode::ProtrudingOnly,
+        }
     }
 }
 
@@ -125,7 +130,10 @@ impl CompressedMesh {
         for len in lens {
             segments.push(r.read_exact(len)?.to_vec());
         }
-        Ok(Self { quantizer, segments })
+        Ok(Self {
+            quantizer,
+            segments,
+        })
     }
 
     /// Start a progressive decode at LOD 0.
@@ -193,8 +201,15 @@ pub fn encode(tm: &TriMesh, cfg: &EncoderConfig) -> Result<CompressedMesh, MeshE
         let mut prev_anchor: i64 = 0;
         for round in chunk {
             for ev in round.iter().rev() {
-                prev_anchor =
-                    serialize_event(&mut ks, &mut rings, &mut positions, &mesh, ev, &map, prev_anchor);
+                prev_anchor = serialize_event(
+                    &mut ks,
+                    &mut rings,
+                    &mut positions,
+                    &mesh,
+                    ev,
+                    &map,
+                    prev_anchor,
+                );
                 n_events += 1;
             }
         }
@@ -208,7 +223,15 @@ pub fn encode(tm: &TriMesh, cfg: &EncoderConfig) -> Result<CompressedMesh, MeshE
         segments.push(compress(&raw));
     }
 
-    Ok(CompressedMesh { quantizer, segments })
+    let cm = CompressedMesh {
+        quantizer,
+        segments,
+    };
+    // Under strict-invariants, prove the ladder we just wrote actually has
+    // the subset property the query processor relies on (P1/P2, §3).
+    #[cfg(feature = "strict-invariants")]
+    crate::invariant::check_lod_ladder(&cm)?;
+    Ok(cm)
 }
 
 fn serialize_base(mesh: &Mesh, base_ids: &[VertId], map: &[u32]) -> Vec<u8> {
@@ -227,7 +250,11 @@ fn serialize_base(mesh: &Mesh, base_ids: &[VertId], map: &[u32]) -> Vec<u8> {
     let mut prev_a: i64 = 0;
     for f in mesh.face_ids() {
         let [a, b, c] = mesh.face(f);
-        let (a, b, c) = (map[a as usize] as i64, map[b as usize] as i64, map[c as usize] as i64);
+        let (a, b, c) = (
+            map[a as usize] as i64,
+            map[b as usize] as i64,
+            map[c as usize] as i64,
+        );
         tripro_coder::write_i64(&mut raw, a - prev_a);
         tripro_coder::write_i64(&mut raw, b - a);
         tripro_coder::write_i64(&mut raw, c - a);
@@ -441,7 +468,10 @@ mod tests {
         // Identical geometry up to quantisation error.
         let v_orig = tm.volume();
         let v_dec = mesh_volume(&dec.triangles());
-        assert!((v_orig - v_dec).abs() / v_orig < 1e-3, "{v_orig} vs {v_dec}");
+        assert!(
+            (v_orig - v_dec).abs() / v_orig < 1e-3,
+            "{v_orig} vs {v_dec}"
+        );
     }
 
     #[test]
@@ -461,7 +491,10 @@ mod tests {
         // each LOD step should roughly double it (loose bounds).
         for w in counts.windows(2) {
             let ratio = w[1] as f64 / w[0] as f64;
-            assert!(ratio > 1.2 && ratio < 4.0, "ratio {ratio} out of range: {counts:?}");
+            assert!(
+                ratio > 1.2 && ratio < 4.0,
+                "ratio {ratio} out of range: {counts:?}"
+            );
         }
     }
 
@@ -549,7 +582,10 @@ mod tests {
     #[test]
     fn ppmc_like_mode_also_roundtrips() {
         let tm = sphere_mesh();
-        let cfg = EncoderConfig { mode: PruneMode::Any, ..Default::default() };
+        let cfg = EncoderConfig {
+            mode: PruneMode::Any,
+            ..Default::default()
+        };
         let cm = encode(&tm, &cfg).unwrap();
         let mut dec = cm.decoder().unwrap();
         dec.decode_to(dec.max_lod()).unwrap();

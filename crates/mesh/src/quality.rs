@@ -22,7 +22,7 @@ pub fn one_sided_hausdorff(from: &[Triangle], to: &[Triangle]) -> f64 {
                 let d2 = point_triangle_dist2(p, u);
                 if d2 < best2 {
                     best2 = d2;
-                    if best2 == 0.0 {
+                    if tripro_geom::is_exactly_zero(best2) {
                         break;
                     }
                 }
@@ -66,7 +66,11 @@ pub fn distortion_profile(cm: &CompressedMesh) -> Result<DistortionProfile, Deco
         dec.decode_to(lod)?;
         lods.push((lod, dec.triangles()));
     }
-    let (_, full) = lods.last().cloned().expect("ladder has at least the base");
+    let (_, full) = lods
+        .last()
+        .cloned()
+        // tripro_lint::allow(no_panic): the 0..=max_lod loop above always pushes the base rung
+        .expect("ladder has at least the base");
     let diag = cm.aabb().diagonal().max(f64::MIN_POSITIVE);
     let per_lod = lods
         .iter()

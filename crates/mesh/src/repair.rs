@@ -28,6 +28,7 @@ pub struct MeshDiagnostics {
 impl MeshDiagnostics {
     /// `true` when the mesh is a closed, consistently oriented manifold —
     /// ready for PPVP encoding.
+    #[must_use]
     pub fn is_encodable(&self) -> bool {
         self.boundary_edges == 0 && self.nonmanifold_edges == 0 && self.inconsistent_pairs == 0
     }
@@ -217,6 +218,7 @@ pub fn fix_orientation(tm: &mut TriMesh) -> Result<usize, RepairError> {
                         .iter()
                         .find(|(l, h, _)| (*l, *h) == (lo, hi))
                         .map(|(_, _, d)| *d)
+                        // tripro_lint::allow(no_panic): the edge map was built from these same faces one pass earlier
                         .unwrap();
                     // Consistent when the neighbours traverse oppositely.
                     flip[g] = gdir_raw == dir_f;
@@ -299,7 +301,10 @@ mod tests {
         assert!(flipped > 0);
         let d = analyze(&s);
         assert!(d.is_encodable(), "{d:?}");
-        assert!((s.volume() - truth_volume).abs() < 1e-9, "outward orientation restored");
+        assert!(
+            (s.volume() - truth_volume).abs() < 1e-9,
+            "outward orientation restored"
+        );
         // And it is now PPVP-encodable.
         crate::ppvp::encode(&s, &crate::ppvp::EncoderConfig::default()).unwrap();
     }
@@ -337,7 +342,8 @@ mod tests {
         // Merge into one soup.
         let off = a.vertices.len() as u32;
         a.vertices.extend(b.vertices.iter());
-        a.faces.extend(b.faces.iter().map(|f| [f[0] + off, f[1] + off, f[2] + off]));
+        a.faces
+            .extend(b.faces.iter().map(|f| [f[0] + off, f[1] + off, f[2] + off]));
         assert_eq!(analyze(&a).components, 2);
         let mut comps = connected_components(&a);
         comps.sort_by_key(|c| c.faces.len());

@@ -75,7 +75,7 @@ fn face_set(mesh: &Mesh) -> std::collections::HashSet<[u32; 3]> {
     mesh.face_ids()
         .map(|f| {
             let v = mesh.face(f);
-            let m = (0..3).min_by_key(|&i| v[i]).unwrap();
+            let m = (0..3).min_by_key(|&i| v[i]).unwrap_or(0);
             [v[m], v[(m + 1) % 3], v[(m + 2) % 3]]
         })
         .collect()

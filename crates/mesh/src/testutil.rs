@@ -36,7 +36,7 @@ pub fn sphere(center: Vec3, r: f64, subdivs: usize) -> TriMesh {
             let key = (a.min(b), a.max(b));
             *midpoints.entry(key).or_insert_with(|| {
                 let m = (vertices[a as usize] + vertices[b as usize]) * 0.5;
-                let m = m.normalized().unwrap();
+                let m = m.normalized().unwrap_or(m);
                 vertices.push(m);
                 (vertices.len() - 1) as u32
             })

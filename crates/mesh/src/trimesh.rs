@@ -46,7 +46,7 @@ impl TriMesh {
     pub fn weld(&mut self, eps: f64) -> usize {
         let n = self.vertices.len();
         let mut map: Vec<u32> = (0..n as u32).collect();
-        if eps == 0.0 {
+        if tripro_geom::is_exactly_zero(eps) {
             let mut seen: std::collections::HashMap<[u64; 3], u32> =
                 std::collections::HashMap::with_capacity(n);
             for (i, v) in self.vertices.iter().enumerate() {
@@ -165,7 +165,11 @@ pub fn quantize_mesh(tm: &TriMesh, bits: u32) -> Result<(Mesh, Quantizer), MeshE
     }
     let mut faces = Vec::with_capacity(tm.faces.len());
     for f in &tm.faces {
-        let g = [remap[f[0] as usize], remap[f[1] as usize], remap[f[2] as usize]];
+        let g = [
+            remap[f[0] as usize],
+            remap[f[1] as usize],
+            remap[f[2] as usize],
+        ];
         if g[0] == g[1] || g[1] == g[2] || g[0] == g[2] {
             return Err(MeshError::DegenerateFace);
         }
@@ -282,7 +286,10 @@ mod tests {
             ],
             vec![[2, 3, 0], [2, 1, 3]],
         );
-        assert!(matches!(quantize_mesh(&t, 1), Err(MeshError::DegenerateFace)));
+        assert!(matches!(
+            quantize_mesh(&t, 1),
+            Err(MeshError::DegenerateFace)
+        ));
     }
 
     #[test]

@@ -133,7 +133,12 @@ pub fn generate(cfg: &DatasetConfig) -> TissueBlock {
         extent = extent.union(&v.aabb());
     }
 
-    TissueBlock { nuclei_a, nuclei_b, vessels, extent }
+    TissueBlock {
+        nuclei_a,
+        nuclei_b,
+        vessels,
+        extent,
+    }
 }
 
 /// Check that no pair of meshes in `set` has intersecting AABBs — a cheap
@@ -159,7 +164,11 @@ mod tests {
         DatasetConfig {
             nuclei_count: 60,
             vessel_count: 2,
-            vessel: VesselConfig { levels: 2, grid: 24, ..Default::default() },
+            vessel: VesselConfig {
+                levels: 2,
+                grid: 24,
+                ..Default::default()
+            },
             ..Default::default()
         }
     }
@@ -175,7 +184,10 @@ mod tests {
     #[test]
     fn intra_dataset_objects_disjoint() {
         let block = generate(&small_cfg());
-        assert!(aabbs_disjoint(&block.nuclei_a), "nuclei A must not intersect");
+        assert!(
+            aabbs_disjoint(&block.nuclei_a),
+            "nuclei A must not intersect"
+        );
         assert!(aabbs_disjoint(&block.vessels), "vessels must not intersect");
     }
 

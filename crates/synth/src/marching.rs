@@ -49,7 +49,8 @@ impl GridSpec {
 
     #[inline]
     fn vertex_id(&self, x: usize, y: usize, z: usize) -> u64 {
-        (x as u64) + (y as u64) * (self.nx as u64 + 1)
+        (x as u64)
+            + (y as u64) * (self.nx as u64 + 1)
             + (z as u64) * (self.nx as u64 + 1) * (self.ny as u64 + 1)
     }
 }
@@ -233,9 +234,7 @@ mod tests {
     #[test]
     fn tets_positively_oriented_and_cover_cube() {
         // Volume of the 6 tets must sum to the cube volume, each positive.
-        let p = |c: usize| {
-            vec3((c & 1) as f64, ((c >> 1) & 1) as f64, ((c >> 2) & 1) as f64)
-        };
+        let p = |c: usize| vec3((c & 1) as f64, ((c >> 1) & 1) as f64, ((c >> 2) & 1) as f64);
         let mut total = 0.0;
         for t in &TETS {
             let (a, b, c, d) = (p(t[0]), p(t[1]), p(t[2]), p(t[3]));
@@ -248,7 +247,10 @@ mod tests {
 
     #[test]
     fn sphere_polygonizes_closed_and_oriented() {
-        let s = Sphere { center: vec3(0.0, 0.0, 0.0), radius: 1.0 };
+        let s = Sphere {
+            center: vec3(0.0, 0.0, 0.0),
+            radius: 1.0,
+        };
         let bb = Aabb::from_corners(vec3(-1.0, -1.0, -1.0), vec3(1.0, 1.0, 1.0));
         let spec = GridSpec::covering(&bb, 16);
         let tm = polygonize(&s, &spec);
@@ -265,7 +267,10 @@ mod tests {
 
     #[test]
     fn finer_grid_converges() {
-        let s = Sphere { center: vec3(0.0, 0.0, 0.0), radius: 1.0 };
+        let s = Sphere {
+            center: vec3(0.0, 0.0, 0.0),
+            radius: 1.0,
+        };
         let bb = Aabb::from_corners(vec3(-1.0, -1.0, -1.0), vec3(1.0, 1.0, 1.0));
         let coarse = polygonize(&s, &GridSpec::covering(&bb, 8)).volume();
         let fine = polygonize(&s, &GridSpec::covering(&bb, 24)).volume();
@@ -275,7 +280,11 @@ mod tests {
 
     #[test]
     fn capsule_polygonizes_manifold() {
-        let c = Capsule { a: vec3(-2.0, 0.0, 0.0), b: vec3(2.0, 0.0, 0.0), radius: 0.8 };
+        let c = Capsule {
+            a: vec3(-2.0, 0.0, 0.0),
+            b: vec3(2.0, 0.0, 0.0),
+            radius: 0.8,
+        };
         let bb = Aabb::from_corners(vec3(-2.8, -0.8, -0.8), vec3(2.8, 0.8, 0.8));
         let tm = polygonize(&c, &GridSpec::covering(&bb, 20));
         let (m, _) = quantize_mesh(&tm, 16).unwrap();
@@ -288,7 +297,10 @@ mod tests {
 
     #[test]
     fn empty_field_gives_empty_mesh() {
-        let s = Sphere { center: vec3(100.0, 0.0, 0.0), radius: 0.5 };
+        let s = Sphere {
+            center: vec3(100.0, 0.0, 0.0),
+            radius: 0.5,
+        };
         let bb = Aabb::from_corners(vec3(-1.0, -1.0, -1.0), vec3(1.0, 1.0, 1.0));
         let tm = polygonize(&s, &GridSpec::covering(&bb, 8));
         assert!(tm.faces.is_empty());
@@ -297,7 +309,10 @@ mod tests {
 
     #[test]
     fn face_count_scales_with_grid() {
-        let s = Sphere { center: vec3(0.0, 0.0, 0.0), radius: 1.0 };
+        let s = Sphere {
+            center: vec3(0.0, 0.0, 0.0),
+            radius: 1.0,
+        };
         let bb = Aabb::from_corners(vec3(-1.0, -1.0, -1.0), vec3(1.0, 1.0, 1.0));
         let f8 = polygonize(&s, &GridSpec::covering(&bb, 8)).faces.len();
         let f16 = polygonize(&s, &GridSpec::covering(&bb, 16)).faces.len();

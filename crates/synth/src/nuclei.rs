@@ -191,7 +191,11 @@ mod tests {
     fn nucleus_is_valid_and_nucleus_like() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         for i in 0..10 {
-            let n = nucleus(&mut rng, &NucleusConfig::default(), vec3(i as f64 * 5.0, 0.0, 0.0));
+            let n = nucleus(
+                &mut rng,
+                &NucleusConfig::default(),
+                vec3(i as f64 * 5.0, 0.0, 0.0),
+            );
             assert_eq!(n.faces.len(), 320);
             let (m, _) = quantize_mesh(&n, 16).unwrap();
             m.validate_closed_manifold().unwrap();
@@ -220,7 +224,10 @@ mod tests {
         let b = nucleus(&mut rng, &cfg, vec3(10.0, 0.0, 0.0));
         assert!(a.aabb().center().dist(Vec3::ZERO) < 0.5);
         assert!(b.aabb().center().dist(vec3(10.0, 0.0, 0.0)) < 0.5);
-        assert!((a.volume() - b.volume()).abs() > 1e-6, "shapes should differ");
+        assert!(
+            (a.volume() - b.volume()).abs() > 1e-6,
+            "shapes should differ"
+        );
     }
 
     #[test]

@@ -35,8 +35,14 @@ impl Sdf for BiconcaveDisc {
         // Dimples: spheres above and below the centre, smooth-subtracted.
         let dr = self.radius * 0.9;
         let dz = self.thickness * (2.0 - self.dimple);
-        let top = Sphere { center: self.center + Vec3::new(0.0, 0.0, dz + dr * 0.2), radius: dr };
-        let bot = Sphere { center: self.center - Vec3::new(0.0, 0.0, dz + dr * 0.2), radius: dr };
+        let top = Sphere {
+            center: self.center + Vec3::new(0.0, 0.0, dz + dr * 0.2),
+            radius: dr,
+        };
+        let bot = Sphere {
+            center: self.center - Vec3::new(0.0, 0.0, dz + dr * 0.2),
+            radius: dr,
+        };
         // Smooth subtraction: max(a, -b) via -smin(-a, b).
         let k = self.thickness * 0.3;
         let carved_top = -smooth_min(-body, top.eval(p), k);
@@ -57,7 +63,13 @@ pub struct RbcConfig {
 
 impl Default for RbcConfig {
     fn default() -> Self {
-        Self { radius: 1.0, thickness: 0.35, dimple: 0.75, radius_jitter: 0.15, grid: 28 }
+        Self {
+            radius: 1.0,
+            thickness: 0.35,
+            dimple: 0.75,
+            radius_jitter: 0.15,
+            grid: 28,
+        }
     }
 }
 
@@ -97,7 +109,11 @@ mod tests {
     fn rbc_is_closed_manifold() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(30);
         for i in 0..5 {
-            let cell = rbc(&mut rng, &RbcConfig::default(), vec3(i as f64 * 4.0, 0.0, 0.0));
+            let cell = rbc(
+                &mut rng,
+                &RbcConfig::default(),
+                vec3(i as f64 * 4.0, 0.0, 0.0),
+            );
             assert!(cell.faces.len() > 300, "faces: {}", cell.faces.len());
             let (m, _) = quantize_mesh(&cell, 16).unwrap();
             m.validate_closed_manifold().unwrap();
@@ -108,7 +124,10 @@ mod tests {
     #[test]
     fn rbc_is_flatter_than_a_ball_and_dimpled() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(31);
-        let cfg = RbcConfig { radius_jitter: 0.0, ..Default::default() };
+        let cfg = RbcConfig {
+            radius_jitter: 0.0,
+            ..Default::default()
+        };
         let field = BiconcaveDisc {
             center: Vec3::ZERO,
             radius: cfg.radius,

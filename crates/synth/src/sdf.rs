@@ -108,7 +108,10 @@ pub struct Union(pub Vec<Box<dyn Sdf + Send + Sync>>);
 
 impl Sdf for Union {
     fn eval(&self, p: Vec3) -> f64 {
-        self.0.iter().map(|s| s.eval(p)).fold(f64::INFINITY, f64::min)
+        self.0
+            .iter()
+            .map(|s| s.eval(p))
+            .fold(f64::INFINITY, f64::min)
     }
 }
 
@@ -119,7 +122,10 @@ mod tests {
 
     #[test]
     fn sphere_signs() {
-        let s = Sphere { center: vec3(1.0, 0.0, 0.0), radius: 2.0 };
+        let s = Sphere {
+            center: vec3(1.0, 0.0, 0.0),
+            radius: 2.0,
+        };
         assert!(s.eval(vec3(1.0, 0.0, 0.0)) < 0.0);
         assert_eq!(s.eval(vec3(3.0, 0.0, 0.0)), 0.0);
         assert!(s.eval(vec3(5.0, 0.0, 0.0)) > 0.0);
@@ -128,19 +134,32 @@ mod tests {
 
     #[test]
     fn capsule_signs() {
-        let c = Capsule { a: vec3(0.0, 0.0, 0.0), b: vec3(4.0, 0.0, 0.0), radius: 1.0 };
+        let c = Capsule {
+            a: vec3(0.0, 0.0, 0.0),
+            b: vec3(4.0, 0.0, 0.0),
+            radius: 1.0,
+        };
         assert!(c.eval(vec3(2.0, 0.0, 0.0)) < 0.0);
         assert!((c.eval(vec3(2.0, 3.0, 0.0)) - 2.0).abs() < 1e-12);
         // Beyond an endpoint the cap is spherical.
         assert!((c.eval(vec3(6.0, 0.0, 0.0)) - 1.0).abs() < 1e-12);
         // Degenerate capsule is a sphere.
-        let pt = Capsule { a: vec3(1.0, 1.0, 1.0), b: vec3(1.0, 1.0, 1.0), radius: 0.5 };
+        let pt = Capsule {
+            a: vec3(1.0, 1.0, 1.0),
+            b: vec3(1.0, 1.0, 1.0),
+            radius: 0.5,
+        };
         assert!((pt.eval(vec3(1.0, 1.0, 2.0)) - 0.5).abs() < 1e-12);
     }
 
     #[test]
     fn cone_tapers() {
-        let c = Cone { a: vec3(0.0, 0.0, 0.0), b: vec3(10.0, 0.0, 0.0), ra: 2.0, rb: 1.0 };
+        let c = Cone {
+            a: vec3(0.0, 0.0, 0.0),
+            b: vec3(10.0, 0.0, 0.0),
+            ra: 2.0,
+            rb: 1.0,
+        };
         assert!((c.eval(vec3(0.0, 5.0, 0.0)) - 3.0).abs() < 1e-12);
         assert!((c.eval(vec3(10.0, 5.0, 0.0)) - 4.0).abs() < 1e-12);
         assert!((c.eval(vec3(5.0, 5.0, 0.0)) - 3.5).abs() < 1e-12);
@@ -162,8 +181,14 @@ mod tests {
     fn smooth_union_blends() {
         let u = SmoothUnion {
             parts: vec![
-                Sphere { center: vec3(-1.0, 0.0, 0.0), radius: 1.0 },
-                Sphere { center: vec3(1.0, 0.0, 0.0), radius: 1.0 },
+                Sphere {
+                    center: vec3(-1.0, 0.0, 0.0),
+                    radius: 1.0,
+                },
+                Sphere {
+                    center: vec3(1.0, 0.0, 0.0),
+                    radius: 1.0,
+                },
             ],
             k: 0.5,
         };
@@ -177,8 +202,14 @@ mod tests {
     #[test]
     fn union_takes_min() {
         let u = Union(vec![
-            Box::new(Sphere { center: vec3(0.0, 0.0, 0.0), radius: 1.0 }),
-            Box::new(Sphere { center: vec3(10.0, 0.0, 0.0), radius: 2.0 }),
+            Box::new(Sphere {
+                center: vec3(0.0, 0.0, 0.0),
+                radius: 1.0,
+            }),
+            Box::new(Sphere {
+                center: vec3(10.0, 0.0, 0.0),
+                radius: 2.0,
+            }),
         ]);
         assert!((u.eval(vec3(5.0, 0.0, 0.0)) - 3.0).abs() < 1e-12);
     }

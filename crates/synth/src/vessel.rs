@@ -79,11 +79,16 @@ pub fn grow_skeleton(
         if level > cfg.levels {
             continue;
         }
-        let len = cfg.segment_len * cfg.radius_decay.powi(level as i32)
-            * (0.8 + 0.4 * rng.gen::<f64>());
+        let len =
+            cfg.segment_len * cfg.radius_decay.powi(level as i32) * (0.8 + 0.4 * rng.gen::<f64>());
         let end = start + dir * len;
         let r_end = radius * cfg.radius_decay;
-        segments.push(SkeletonSegment { a: start, b: end, ra: radius, rb: r_end });
+        segments.push(SkeletonSegment {
+            a: start,
+            b: end,
+            ra: radius,
+            rb: r_end,
+        });
         if level == cfg.levels {
             continue;
         }
@@ -126,7 +131,12 @@ pub fn vessel(rng: &mut impl Rng, cfg: &VesselConfig, root: Vec3) -> Vessel {
     let field = SmoothUnion {
         parts: skeleton
             .iter()
-            .map(|s| Cone { a: s.a, b: s.b, ra: s.ra, rb: s.rb })
+            .map(|s| Cone {
+                a: s.a,
+                b: s.b,
+                ra: s.ra,
+                rb: s.rb,
+            })
             .collect(),
         k: cfg.blend * cfg.root_radius,
     };
@@ -146,7 +156,12 @@ pub fn vessel_sdf(skeleton: &[SkeletonSegment], blend: f64, p: Vec3) -> f64 {
     let field = SmoothUnion {
         parts: skeleton
             .iter()
-            .map(|s| Cone { a: s.a, b: s.b, ra: s.ra, rb: s.rb })
+            .map(|s| Cone {
+                a: s.a,
+                b: s.b,
+                ra: s.ra,
+                rb: s.rb,
+            })
             .collect(),
         k: blend,
     };
@@ -161,7 +176,11 @@ mod tests {
     use tripro_mesh::{protruding_fraction_of, quantize_mesh};
 
     fn small_cfg() -> VesselConfig {
-        VesselConfig { levels: 3, grid: 32, ..Default::default() }
+        VesselConfig {
+            levels: 3,
+            grid: 32,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -201,8 +220,24 @@ mod tests {
     fn grid_controls_face_count() {
         let mut rng1 = rand::rngs::StdRng::seed_from_u64(9);
         let mut rng2 = rand::rngs::StdRng::seed_from_u64(9);
-        let coarse = vessel(&mut rng1, &VesselConfig { levels: 2, grid: 24, ..Default::default() }, Vec3::ZERO);
-        let fine = vessel(&mut rng2, &VesselConfig { levels: 2, grid: 48, ..Default::default() }, Vec3::ZERO);
+        let coarse = vessel(
+            &mut rng1,
+            &VesselConfig {
+                levels: 2,
+                grid: 24,
+                ..Default::default()
+            },
+            Vec3::ZERO,
+        );
+        let fine = vessel(
+            &mut rng2,
+            &VesselConfig {
+                levels: 2,
+                grid: 48,
+                ..Default::default()
+            },
+            Vec3::ZERO,
+        );
         assert!(fine.mesh.faces.len() > 2 * coarse.mesh.faces.len());
     }
 

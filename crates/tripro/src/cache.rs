@@ -7,8 +7,9 @@
 //! `k` to `k+1` replays only the missing segments — the progressive decode
 //! the paper's FPR paradigm depends on.
 
+use crate::error::{Error, Result};
 use crate::stats::ExecStats;
-use parking_lot::Mutex;
+use crate::sync::{lock, Mutex};
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, OnceLock};
@@ -60,9 +61,8 @@ impl LodData {
     /// Partition grouping against `skeleton`, built on first use. The
     /// skeleton is fixed per object, so the grouping is stable across calls.
     pub fn groups(&self, skeleton: &[tripro_geom::Vec3]) -> &Arc<crate::partition::GroupedFaces> {
-        self.groups.get_or_init(|| {
-            Arc::new(crate::partition::group_faces(&self.triangles, skeleton))
-        })
+        self.groups
+            .get_or_init(|| Arc::new(crate::partition::group_faces(&self.triangles, skeleton)))
     }
 }
 
@@ -90,7 +90,11 @@ pub struct DecodeCache {
 impl DecodeCache {
     pub fn new(capacity_bytes: usize) -> Self {
         Self {
-            inner: Mutex::new(CacheInner { map: HashMap::new(), used_bytes: 0, tick: 0 }),
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                used_bytes: 0,
+                tick: 0,
+            }),
             states: Mutex::new(HashMap::new()),
             locks: (0..64).map(|_| Mutex::new(())).collect(),
             capacity_bytes,
@@ -104,42 +108,43 @@ impl DecodeCache {
 
     /// Bytes currently held.
     pub fn used_bytes(&self) -> usize {
-        self.inner.lock().used_bytes
+        lock(&self.inner).used_bytes
     }
 
     /// Fetch `(id, lod)`, decoding from `compressed` on a miss. Decode time
-    /// and hit/miss counters are recorded into `stats`.
+    /// and hit/miss counters are recorded into `stats`. Fails only when the
+    /// stored payload is corrupt (see [`Error::Decode`]).
     pub fn get(
         &self,
         id: u32,
         lod: usize,
         compressed: &CompressedMesh,
         stats: &ExecStats,
-    ) -> Arc<LodData> {
+    ) -> Result<Arc<LodData>> {
         let key: Key = (id, lod as u8);
         if self.enabled() {
             if let Some(hit) = self.lookup(key) {
                 stats.cache_hits.fetch_add(1, Ordering::Relaxed);
-                return hit;
+                return Ok(hit);
             }
             // Serialise decodes of the same object.
-            let _guard = self.locks[id as usize % self.locks.len()].lock();
+            let _guard = lock(&self.locks[id as usize % self.locks.len()]);
             if let Some(hit) = self.lookup(key) {
                 stats.cache_hits.fetch_add(1, Ordering::Relaxed);
-                return hit;
+                return Ok(hit);
             }
             stats.cache_misses.fetch_add(1, Ordering::Relaxed);
-            let data = Arc::new(self.decode(id, lod, compressed, stats));
+            let data = Arc::new(self.decode(id, lod, compressed, stats)?);
             self.insert(key, data.clone());
-            data
+            Ok(data)
         } else {
             stats.cache_misses.fetch_add(1, Ordering::Relaxed);
-            Arc::new(self.decode_fresh(lod, compressed, stats))
+            Ok(Arc::new(self.decode_fresh(id, lod, compressed, stats)?))
         }
     }
 
     fn lookup(&self, key: Key) -> Option<Arc<LodData>> {
-        let mut inner = self.inner.lock();
+        let mut inner = lock(&self.inner);
         inner.tick += 1;
         let tick = inner.tick;
         if let Some((data, last)) = inner.map.get_mut(&key) {
@@ -150,23 +155,55 @@ impl DecodeCache {
     }
 
     fn insert(&self, key: Key, data: Arc<LodData>) {
-        let mut inner = self.inner.lock();
+        let mut inner = lock(&self.inner);
         inner.tick += 1;
         let tick = inner.tick;
         inner.used_bytes += data.bytes();
         inner.map.insert(key, (data, tick));
         // Evict least-recently-used entries until under capacity.
         while inner.used_bytes > self.capacity_bytes && inner.map.len() > 1 {
-            let victim = *inner
+            let Some(victim) = inner
                 .map
                 .iter()
                 .min_by_key(|(_, (_, t))| *t)
-                .map(|(k, _)| k)
-                .unwrap();
+                .map(|(k, _)| *k)
+            else {
+                break;
+            };
             if let Some((data, _)) = inner.map.remove(&victim) {
                 inner.used_bytes -= data.bytes();
             }
         }
+    }
+
+    /// Internal-consistency audit for the `strict-invariants` test feature:
+    /// recomputed byte usage must equal the running counter, and LRU ticks
+    /// must be unique (two entries sharing a tick would make eviction order
+    /// ill-defined).
+    #[cfg(feature = "strict-invariants")]
+    pub fn check_consistency(&self) -> std::result::Result<(), String> {
+        let inner = lock(&self.inner);
+        let recomputed: usize = inner.map.values().map(|(d, _)| d.bytes()).sum();
+        if recomputed != inner.used_bytes {
+            return Err(format!(
+                "cache byte accounting drifted: counter {} vs recomputed {}",
+                inner.used_bytes, recomputed
+            ));
+        }
+        let mut ticks: Vec<u64> = inner.map.values().map(|(_, t)| *t).collect();
+        ticks.sort_unstable();
+        if ticks.windows(2).any(|w| w[0] == w[1]) {
+            return Err("duplicate LRU ticks".to_string());
+        }
+        if let Some(&max_tick) = ticks.last() {
+            if max_tick > inner.tick {
+                return Err(format!(
+                    "entry tick {} exceeds clock {}",
+                    max_tick, inner.tick
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Decode with decoder-state reuse: resume the retained state when it is
@@ -177,44 +214,52 @@ impl DecodeCache {
         lod: usize,
         compressed: &CompressedMesh,
         stats: &ExecStats,
-    ) -> LodData {
+    ) -> Result<LodData> {
         let t0 = Instant::now();
         // Take the state out so the decode itself runs without the map lock.
         let state = {
-            let mut states = self.states.lock();
+            let mut states = lock(&self.states);
             states.remove(&id)
         };
+        let decode_err = |source| Error::Decode { object: id, source };
         let mut pm = match state {
             Some(pm) if pm.current_lod() <= lod => pm,
-            _ => compressed.decoder().expect("stored object must decode"),
+            _ => compressed.decoder().map_err(decode_err)?,
         };
-        pm.decode_to(lod).expect("stored object must decode");
+        pm.decode_to(lod).map_err(decode_err)?;
         let tris = pm.triangles();
         {
-            let mut states = self.states.lock();
+            let mut states = lock(&self.states);
             states.insert(id, pm);
         }
         stats.add_decode(t0.elapsed());
         stats.decodes.fetch_add(1, Ordering::Relaxed);
-        LodData::new(tris)
+        Ok(LodData::new(tris))
     }
 
-    fn decode_fresh(&self, lod: usize, compressed: &CompressedMesh, stats: &ExecStats) -> LodData {
+    fn decode_fresh(
+        &self,
+        id: u32,
+        lod: usize,
+        compressed: &CompressedMesh,
+        stats: &ExecStats,
+    ) -> Result<LodData> {
         let t0 = Instant::now();
-        let mut pm = compressed.decoder().expect("stored object must decode");
-        pm.decode_to(lod).expect("stored object must decode");
+        let decode_err = |source| Error::Decode { object: id, source };
+        let mut pm = compressed.decoder().map_err(decode_err)?;
+        pm.decode_to(lod).map_err(decode_err)?;
         let tris = pm.triangles();
         stats.add_decode(t0.elapsed());
         stats.decodes.fetch_add(1, Ordering::Relaxed);
-        LodData::new(tris)
+        Ok(LodData::new(tris))
     }
 
     /// Drop all cached data and decoder states.
     pub fn clear(&self) {
-        let mut inner = self.inner.lock();
+        let mut inner = lock(&self.inner);
         inner.map.clear();
         inner.used_bytes = 0;
-        self.states.lock().clear();
+        lock(&self.states).clear();
     }
 }
 
@@ -234,8 +279,8 @@ mod tests {
         let cm = compressed_sphere();
         let cache = DecodeCache::new(64 << 20);
         let stats = ExecStats::new();
-        let a = cache.get(0, 1, &cm, &stats);
-        let b = cache.get(0, 1, &cm, &stats);
+        let a = cache.get(0, 1, &cm, &stats).unwrap();
+        let b = cache.get(0, 1, &cm, &stats).unwrap();
         assert!(Arc::ptr_eq(&a, &b));
         let s = stats.snapshot();
         assert_eq!(s.cache_misses, 1);
@@ -250,12 +295,12 @@ mod tests {
         let stats = ExecStats::new();
         let max = cm.max_lod();
         for lod in 0..=max {
-            let d = cache.get(7, lod, &cm, &stats);
+            let d = cache.get(7, lod, &cm, &stats).unwrap();
             assert!(!d.triangles.is_empty());
         }
         // Face counts at successive LODs must strictly grow.
-        let c0 = cache.get(7, 0, &cm, &stats).triangles.len();
-        let cm_ = cache.get(7, max, &cm, &stats).triangles.len();
+        let c0 = cache.get(7, 0, &cm, &stats).unwrap().triangles.len();
+        let cm_ = cache.get(7, max, &cm, &stats).unwrap().triangles.len();
         assert!(cm_ > c0);
     }
 
@@ -264,8 +309,8 @@ mod tests {
         let cm = compressed_sphere();
         let cache = DecodeCache::new(0);
         let stats = ExecStats::new();
-        let _ = cache.get(0, 1, &cm, &stats);
-        let _ = cache.get(0, 1, &cm, &stats);
+        let _ = cache.get(0, 1, &cm, &stats).unwrap();
+        let _ = cache.get(0, 1, &cm, &stats).unwrap();
         let s = stats.snapshot();
         assert_eq!(s.cache_hits, 0);
         assert_eq!(s.decodes, 2);
@@ -279,21 +324,45 @@ mod tests {
         let one = {
             let cache = DecodeCache::new(usize::MAX);
             let stats = ExecStats::new();
-            cache.get(0, 2, &cm, &stats).bytes()
+            cache.get(0, 2, &cm, &stats).unwrap().bytes()
         };
         let cache = DecodeCache::new(one + one / 2);
         let stats = ExecStats::new();
         for id in 0..6 {
-            let _ = cache.get(id, 2, &cm, &stats);
+            let _ = cache.get(id, 2, &cm, &stats).unwrap();
         }
         assert!(cache.used_bytes() <= one + one / 2);
         // Recently used id=5 should still hit; id=0 should have been evicted.
         let before = stats.snapshot();
-        let _ = cache.get(5, 2, &cm, &stats);
+        let _ = cache.get(5, 2, &cm, &stats).unwrap();
         let after = stats.snapshot();
         assert_eq!(after.cache_hits, before.cache_hits + 1);
-        let _ = cache.get(0, 2, &cm, &stats);
+        let _ = cache.get(0, 2, &cm, &stats).unwrap();
         assert_eq!(stats.snapshot().cache_misses, after.cache_misses + 1);
+    }
+
+    /// Churn the cache through misses, hits and evictions, auditing the
+    /// byte accounting and LRU tick uniqueness after every step.
+    #[cfg(feature = "strict-invariants")]
+    #[test]
+    fn consistency_audit_survives_churn() {
+        let cm = compressed_sphere();
+        let one = {
+            let cache = DecodeCache::new(usize::MAX);
+            let stats = ExecStats::new();
+            cache.get(0, 2, &cm, &stats).unwrap().bytes()
+        };
+        let cache = DecodeCache::new(2 * one);
+        let stats = ExecStats::new();
+        for round in 0..3 {
+            for id in 0..8u32 {
+                let lod = (id as usize + round) % (cm.max_lod() + 1);
+                let _ = cache.get(id, lod, &cm, &stats).unwrap();
+                cache.check_consistency().unwrap();
+            }
+        }
+        cache.clear();
+        cache.check_consistency().unwrap();
     }
 
     #[test]
@@ -301,7 +370,7 @@ mod tests {
         let cm = compressed_sphere();
         let cache = DecodeCache::new(64 << 20);
         let stats = ExecStats::new();
-        let d = cache.get(0, 0, &cm, &stats);
+        let d = cache.get(0, 0, &cm, &stats).unwrap();
         let t1 = d.tree().clone();
         let t2 = d.tree().clone();
         assert!(Arc::ptr_eq(&t1, &t2));
@@ -313,7 +382,7 @@ mod tests {
         let cm = compressed_sphere();
         let cache = DecodeCache::new(64 << 20);
         let stats = ExecStats::new();
-        let _ = cache.get(0, 0, &cm, &stats);
+        let _ = cache.get(0, 0, &cm, &stats).unwrap();
         assert!(cache.used_bytes() > 0);
         cache.clear();
         assert_eq!(cache.used_bytes(), 0);

@@ -9,7 +9,7 @@ use std::time::Instant;
 use tripro_geom::{tri_tri_dist2, tri_tri_intersect, Vec3};
 
 /// Intra-geometry acceleration strategy (the columns of Table 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Accel {
     /// Evaluate every face pair directly.
     Brute,
@@ -29,8 +29,13 @@ pub enum Accel {
 
 impl Accel {
     /// All strategies, in Table 1 column order.
-    pub const ALL: [Accel; 5] =
-        [Accel::Brute, Accel::Partition, Accel::Aabb, Accel::Gpu, Accel::PartitionGpu];
+    pub const ALL: [Accel; 5] = [
+        Accel::Brute,
+        Accel::Partition,
+        Accel::Aabb,
+        Accel::Gpu,
+        Accel::PartitionGpu,
+    ];
 
     pub fn label(&self) -> &'static str {
         match self {
@@ -53,7 +58,10 @@ pub struct Computer {
 
 impl Computer {
     pub fn new(accel: Accel, threads: usize) -> Self {
-        Self { accel, executor: BatchExecutor::new(threads) }
+        Self {
+            accel,
+            executor: BatchExecutor::new(threads),
+        }
     }
 
     /// Do the two decoded geometries intersect (any face pair)?
@@ -146,7 +154,7 @@ fn brute_min_dist2(a: &LodData, b: &LodData, upper: f64) -> (f64, u64) {
             let d2 = tri_tri_dist2(x, y);
             if d2 < best {
                 best = d2;
-                if best == 0.0 {
+                if tripro_geom::is_exactly_zero(best) {
                     return (0.0, tests);
                 }
             }
@@ -183,10 +191,7 @@ fn partition_intersects(
                 for &fi in ga.group(i) {
                     for &fj in gb.group(j) {
                         tests += 1;
-                        if tri_tri_intersect(
-                            &a.triangles[fi as usize],
-                            &b.triangles[fj as usize],
-                        ) {
+                        if tri_tri_intersect(&a.triangles[fi as usize], &b.triangles[fj as usize]) {
                             return (true, tests);
                         }
                     }
@@ -248,7 +253,7 @@ fn partition_min_dist2(
                 let d2 = tri_tri_dist2(&a.triangles[fi as usize], &b.triangles[fj as usize]);
                 if d2 < best {
                     best = d2;
-                    if best == 0.0 {
+                    if tripro_geom::is_exactly_zero(best) {
                         return (0.0, tests);
                     }
                 }
@@ -269,7 +274,11 @@ mod tests {
         for x in 0..n {
             for y in 0..n {
                 let p = vec3(x as f64, y as f64, z);
-                tris.push(Triangle::new(p, p + vec3(1.0, 0.0, 0.0), p + vec3(0.0, 1.0, 0.0)));
+                tris.push(Triangle::new(
+                    p,
+                    p + vec3(1.0, 0.0, 0.0),
+                    p + vec3(0.0, 1.0, 0.0),
+                ));
                 tris.push(Triangle::new(
                     p + vec3(1.0, 0.0, 0.0),
                     p + vec3(1.0, 1.0, 0.0),
@@ -311,7 +320,11 @@ mod tests {
         let mut crossing = Vec::new();
         for x in 0..5 {
             let p = vec3(x as f64, 2.0, -1.0);
-            crossing.push(Triangle::new(p, p + vec3(1.0, 0.0, 0.0), p + vec3(0.0, 0.5, 2.0)));
+            crossing.push(Triangle::new(
+                p,
+                p + vec3(1.0, 0.0, 0.0),
+                p + vec3(0.0, 0.5, 2.0),
+            ));
         }
         let b = LodData::new(crossing);
         let far = sheet(5, 9.0);
@@ -321,8 +334,14 @@ mod tests {
         let stats = ExecStats::new();
         for accel in Accel::ALL {
             let c = Computer::new(accel, 4);
-            assert!(c.intersects(&a, &b, &sk_a, &sk_b, &stats), "{accel:?} missed hit");
-            assert!(!c.intersects(&a, &far, &sk_a, &sk_far, &stats), "{accel:?} false hit");
+            assert!(
+                c.intersects(&a, &b, &sk_a, &sk_b, &stats),
+                "{accel:?} missed hit"
+            );
+            assert!(
+                !c.intersects(&a, &far, &sk_a, &sk_far, &stats),
+                "{accel:?} false hit"
+            );
         }
     }
 
@@ -347,9 +366,17 @@ mod tests {
         let mut b_tris = Vec::new();
         for x in 0..40 {
             let p = vec3(x as f64, 0.0, 0.0);
-            a_tris.push(Triangle::new(p, p + vec3(1.0, 0.0, 0.0), p + vec3(0.0, 1.0, 0.0)));
+            a_tris.push(Triangle::new(
+                p,
+                p + vec3(1.0, 0.0, 0.0),
+                p + vec3(0.0, 1.0, 0.0),
+            ));
             let q = vec3(x as f64, 0.0, 3.0 + x as f64 * 0.5);
-            b_tris.push(Triangle::new(q, q + vec3(1.0, 0.0, 0.0), q + vec3(0.0, 1.0, 0.0)));
+            b_tris.push(Triangle::new(
+                q,
+                q + vec3(1.0, 0.0, 0.0),
+                q + vec3(0.0, 1.0, 0.0),
+            ));
         }
         let a = LodData::new(a_tris);
         let b = LodData::new(b_tris);
@@ -357,9 +384,16 @@ mod tests {
         let sk_b = skeleton_of(&b, 8);
         let s_brute = ExecStats::new();
         let s_part = ExecStats::new();
-        let brute = Computer::new(Accel::Brute, 1).min_dist2(&a, &b, &[], &[], f64::INFINITY, &s_brute);
-        let part =
-            Computer::new(Accel::Partition, 1).min_dist2(&a, &b, &sk_a, &sk_b, f64::INFINITY, &s_part);
+        let brute =
+            Computer::new(Accel::Brute, 1).min_dist2(&a, &b, &[], &[], f64::INFINITY, &s_brute);
+        let part = Computer::new(Accel::Partition, 1).min_dist2(
+            &a,
+            &b,
+            &sk_a,
+            &sk_b,
+            f64::INFINITY,
+            &s_part,
+        );
         assert!((brute - part).abs() < 1e-9);
         assert!(
             s_part.snapshot().face_pair_tests < s_brute.snapshot().face_pair_tests / 2,

@@ -26,7 +26,9 @@ pub struct BatchExecutor {
 impl Default for BatchExecutor {
     fn default() -> Self {
         Self {
-            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
             kernel_size: KERNEL_SIZE,
         }
     }
@@ -34,7 +36,10 @@ impl Default for BatchExecutor {
 
 impl BatchExecutor {
     pub fn new(threads: usize) -> Self {
-        Self { threads: threads.max(1), kernel_size: KERNEL_SIZE }
+        Self {
+            threads: threads.max(1),
+            kernel_size: KERNEL_SIZE,
+        }
     }
 
     /// `true` if any pair `(a[i], b[j])` over the full cross product
@@ -51,32 +56,33 @@ impl BatchExecutor {
         let workers = self.threads.min(kernels);
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| {
-                    loop {
-                        if found.load(Ordering::Relaxed) {
-                            return;
-                        }
-                        let k = next.fetch_add(1, Ordering::Relaxed);
-                        if k >= kernels {
-                            return;
-                        }
-                        let start = k * self.kernel_size;
-                        let end = (start + self.kernel_size).min(total);
-                        let mut local = 0u64;
-                        for idx in start..end {
-                            let (i, j) = (idx / b.len(), idx % b.len());
-                            local += 1;
-                            if tri_tri_intersect(&a[i], &b[j]) {
-                                found.store(true, Ordering::Relaxed);
-                                break;
-                            }
-                        }
-                        tested.fetch_add(local, Ordering::Relaxed);
+                scope.spawn(|| loop {
+                    if found.load(Ordering::Relaxed) {
+                        return;
                     }
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= kernels {
+                        return;
+                    }
+                    let start = k * self.kernel_size;
+                    let end = (start + self.kernel_size).min(total);
+                    let mut local = 0u64;
+                    for idx in start..end {
+                        let (i, j) = (idx / b.len(), idx % b.len());
+                        local += 1;
+                        if tri_tri_intersect(&a[i], &b[j]) {
+                            found.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                    tested.fetch_add(local, Ordering::Relaxed);
                 });
             }
         });
-        (found.load(Ordering::Relaxed), tested.load(Ordering::Relaxed))
+        (
+            found.load(Ordering::Relaxed),
+            tested.load(Ordering::Relaxed),
+        )
     }
 
     /// Minimum squared distance over the full cross product, clamped below
@@ -115,7 +121,7 @@ impl BatchExecutor {
                             let d2 = tri_tri_dist2(&a[i], &b[j]);
                             if d2 < local_best {
                                 local_best = d2;
-                                if d2 == 0.0 {
+                                if tripro_geom::is_exactly_zero(d2) {
                                     zero.store(true, Ordering::Relaxed);
                                     break;
                                 }
@@ -187,7 +193,7 @@ impl BatchExecutor {
                         let d2 = tri_tri_dist2(&a[i as usize], &b[j as usize]);
                         if d2 < local_best {
                             local_best = d2;
-                            if d2 == 0.0 {
+                            if tripro_geom::is_exactly_zero(d2) {
                                 zero.store(true, Ordering::Relaxed);
                                 break;
                             }
@@ -257,7 +263,10 @@ impl BatchExecutor {
                 });
             }
         });
-        (found.load(Ordering::Relaxed), tested.load(Ordering::Relaxed))
+        (
+            found.load(Ordering::Relaxed),
+            tested.load(Ordering::Relaxed),
+        )
     }
 }
 
@@ -271,7 +280,11 @@ mod tests {
         for x in 0..n {
             for y in 0..n {
                 let p = vec3(x as f64, y as f64, z);
-                tris.push(Triangle::new(p, p + vec3(1.0, 0.0, 0.0), p + vec3(0.0, 1.0, 0.0)));
+                tris.push(Triangle::new(
+                    p,
+                    p + vec3(1.0, 0.0, 0.0),
+                    p + vec3(0.0, 1.0, 0.0),
+                ));
                 tris.push(Triangle::new(
                     p + vec3(1.0, 0.0, 0.0),
                     p + vec3(1.0, 1.0, 0.0),

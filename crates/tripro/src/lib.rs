@@ -36,7 +36,7 @@
 //! let engine = Engine::new(&t, &s);
 //! let cfg = QueryConfig::new(Paradigm::FilterProgressiveRefine, Accel::Aabb)
 //!     .with_threads(8);
-//! let (pairs, stats) = engine.nn_join(&cfg);
+//! let (pairs, stats) = engine.nn_join(&cfg).unwrap();
 //! # let _ = (pairs, stats);
 //! ```
 //!
@@ -57,6 +57,7 @@
 
 pub mod cache;
 pub mod compute;
+pub mod error;
 pub mod gpu;
 pub mod partition;
 pub mod point;
@@ -65,9 +66,11 @@ pub mod query;
 pub mod resource;
 pub mod stats;
 pub mod store;
+pub mod sync;
 
 pub use cache::{DecodeCache, LodData};
 pub use compute::{Accel, Computer};
+pub use error::{Error, Result};
 pub use gpu::BatchExecutor;
 pub use point::PointQuery;
 pub use profiler::{choose_lods, measure_r, LodActivity, LodChoice, QueryKind};

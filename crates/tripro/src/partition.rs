@@ -24,17 +24,14 @@ pub fn sample_skeleton(points: &[Vec3], k: usize) -> Vec<Vec3> {
         .iter()
         .enumerate()
         .min_by(|a, b| a.1.dist2(centroid).total_cmp(&b.1.dist2(centroid)))
-        .map(|(i, _)| i)
-        .unwrap();
+        .map_or(0, |(i, _)| i);
     let mut chosen = vec![points[first]];
     // dist2 to nearest chosen point, updated incrementally.
     let mut best: Vec<f64> = points.iter().map(|p| p.dist2(points[first])).collect();
     while chosen.len() < k {
-        let (idx, _) = best
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .unwrap();
+        let Some((idx, _)) = best.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)) else {
+            break;
+        };
         let p = points[idx];
         chosen.push(p);
         for (b, q) in best.iter_mut().zip(points) {
@@ -117,7 +114,11 @@ pub fn group_faces(tris: &[Triangle], skeleton: &[Vec3]) -> GroupedFaces {
         cursor[g] += 1;
         boxes[g] = boxes[g].union(&tris[i].aabb());
     }
-    GroupedFaces { order, offsets, boxes }
+    GroupedFaces {
+        order,
+        offsets,
+        boxes,
+    }
 }
 
 #[cfg(test)]
@@ -150,7 +151,11 @@ mod tests {
         for cx in [0.0, 100.0] {
             for i in 0..10 {
                 let p = vec3(cx + i as f64 * 0.1, 0.0, 0.0);
-                out.push(Triangle::new(p, p + vec3(0.05, 0.0, 0.0), p + vec3(0.0, 0.05, 0.0)));
+                out.push(Triangle::new(
+                    p,
+                    p + vec3(0.05, 0.0, 0.0),
+                    p + vec3(0.0, 0.05, 0.0),
+                ));
             }
         }
         out
@@ -193,7 +198,11 @@ mod tests {
     fn non_empty_iterator_skips_empty_groups() {
         let tris = two_cluster_tris();
         // A skeleton point far from everything gets no faces.
-        let sk = vec![vec3(0.5, 0.0, 0.0), vec3(100.5, 0.0, 0.0), vec3(0.0, 1e6, 0.0)];
+        let sk = vec![
+            vec3(0.5, 0.0, 0.0),
+            vec3(100.5, 0.0, 0.0),
+            vec3(0.0, 1e6, 0.0),
+        ];
         let g = group_faces(&tris, &sk);
         let ids: Vec<usize> = g.non_empty().map(|(i, _)| i).collect();
         assert_eq!(ids, vec![0, 1]);

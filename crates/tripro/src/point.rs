@@ -6,6 +6,7 @@
 //! already proves *"inside at the highest LOD"* — only points outside all
 //! lower LODs need the full-resolution parity test.
 
+use crate::error::Result;
 use crate::query::{Paradigm, QueryConfig};
 use crate::stats::ExecStats;
 use crate::store::{ObjectId, ObjectStore};
@@ -28,7 +29,7 @@ impl<'a> PointQuery<'a> {
         p: Vec3,
         cfg: &QueryConfig,
         stats: &ExecStats,
-    ) -> Vec<ObjectId> {
+    ) -> Result<Vec<ObjectId>> {
         let t0 = Instant::now();
         let probe = Aabb::from_point(p);
         let candidates = self.store.rtree().query_intersects(&probe);
@@ -36,12 +37,12 @@ impl<'a> PointQuery<'a> {
 
         let mut out = Vec::new();
         for c in candidates {
-            if self.contains(c, p, cfg, stats) {
+            if self.contains(c, p, cfg, stats)? {
                 out.push(c);
             }
         }
         out.sort_unstable();
-        out
+        Ok(out)
     }
 
     /// Does object `id` contain point `p`?
@@ -51,9 +52,9 @@ impl<'a> PointQuery<'a> {
         p: Vec3,
         cfg: &QueryConfig,
         stats: &ExecStats,
-    ) -> bool {
+    ) -> Result<bool> {
         if !self.store.mbb(id).contains_point(p) {
-            return false;
+            return Ok(false);
         }
         let top = self.store.max_lod(id);
         let lods: Vec<usize> = match cfg.paradigm {
@@ -71,7 +72,7 @@ impl<'a> PointQuery<'a> {
             }
         };
         for &lod in &lods {
-            let geom = self.store.get(id, lod, stats);
+            let geom = self.store.get(id, lod, stats)?;
             stats.record_pair_evaluated(lod);
             let t1 = Instant::now();
             let inside = tripro_geom::point_in_mesh(p, &geom.triangles);
@@ -79,15 +80,15 @@ impl<'a> PointQuery<'a> {
             if inside {
                 // Subset property: inside a lower LOD ⇒ inside the object.
                 stats.record_pair_pruned(lod);
-                return true;
+                return Ok(true);
             }
             if lod == top {
                 // Outside at full resolution: definitive.
                 stats.record_pair_pruned(lod);
-                return false;
+                return Ok(false);
             }
         }
-        false
+        Ok(false)
     }
 }
 
@@ -104,8 +105,14 @@ mod tests {
             sphere(vec3(0.0, 0.0, 0.0), 2.0, 3),
             sphere(vec3(10.0, 0.0, 0.0), 2.0, 3),
         ];
-        ObjectStore::build(&meshes, &StoreConfig { build_threads: 1, ..Default::default() })
-            .unwrap()
+        ObjectStore::build(
+            &meshes,
+            &StoreConfig {
+                build_threads: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap()
     }
 
     #[test]
@@ -115,10 +122,22 @@ mod tests {
         let stats = ExecStats::new();
         for paradigm in [Paradigm::FilterRefine, Paradigm::FilterProgressiveRefine] {
             let cfg = QueryConfig::new(paradigm, Accel::Brute);
-            assert_eq!(q.containing(vec3(0.0, 0.0, 0.0), &cfg, &stats), vec![0]);
-            assert_eq!(q.containing(vec3(10.0, 0.5, 0.0), &cfg, &stats), vec![1]);
-            assert!(q.containing(vec3(5.0, 0.0, 0.0), &cfg, &stats).is_empty());
-            assert!(q.containing(vec3(0.0, 0.0, 50.0), &cfg, &stats).is_empty());
+            assert_eq!(
+                q.containing(vec3(0.0, 0.0, 0.0), &cfg, &stats).unwrap(),
+                vec![0]
+            );
+            assert_eq!(
+                q.containing(vec3(10.0, 0.5, 0.0), &cfg, &stats).unwrap(),
+                vec![1]
+            );
+            assert!(q
+                .containing(vec3(5.0, 0.0, 0.0), &cfg, &stats)
+                .unwrap()
+                .is_empty());
+            assert!(q
+                .containing(vec3(0.0, 0.0, 50.0), &cfg, &stats)
+                .unwrap()
+                .is_empty());
         }
     }
 
@@ -130,7 +149,7 @@ mod tests {
         let stats = ExecStats::new();
         // Deep inside: some lower LOD already contains it, so FPR resolves
         // before reaching full resolution.
-        assert!(q.contains(0, vec3(0.0, 0.0, 0.0), &cfg, &stats));
+        assert!(q.contains(0, vec3(0.0, 0.0, 0.0), &cfg, &stats).unwrap());
         let snap = stats.snapshot();
         let top = s.max_lod(0);
         let early: u64 = snap.pairs_pruned[..top].iter().sum();
@@ -148,12 +167,12 @@ mod tests {
         // it, so FPR walks up the ladder — and must agree with FR.
         let p = vec3(1.98, 0.0, 0.0);
         assert_eq!(
-            q.contains(0, p, &cfg, &stats),
-            q.contains(0, p, &fr, &stats)
+            q.contains(0, p, &cfg, &stats).unwrap(),
+            q.contains(0, p, &fr, &stats).unwrap()
         );
         // Just outside: both must reject.
         let p = vec3(2.01, 0.0, 0.0);
-        assert!(!q.contains(0, p, &cfg, &stats));
-        assert!(!q.contains(0, p, &fr, &stats));
+        assert!(!q.contains(0, p, &cfg, &stats).unwrap());
+        assert!(!q.contains(0, p, &fr, &stats).unwrap());
     }
 }

@@ -6,12 +6,13 @@
 //! the paper measures r = 2 for two decimation rounds per level).
 
 use crate::compute::Accel;
+use crate::error::Result;
 use crate::query::{Engine, Paradigm, QueryConfig};
 use crate::stats::ExecStats;
 use crate::store::ObjectId;
 
 /// Which join to profile.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum QueryKind {
     Intersection,
     Within(f64),
@@ -29,7 +30,7 @@ impl QueryKind {
 }
 
 /// Per-LOD refinement activity measured by a profiling run (Fig 12 rows).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LodActivity {
     pub lod: usize,
     pub evaluated: u64,
@@ -38,7 +39,7 @@ pub struct LodActivity {
 }
 
 /// Result of a profiling run.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LodChoice {
     /// Per-LOD evaluated/pruned counts (Fig 12).
     pub activity: Vec<LodActivity>,
@@ -52,20 +53,25 @@ pub struct LodChoice {
 }
 
 /// Profile `kind` on up to `sample` target objects and derive the LOD list.
-pub fn choose_lods(engine: &Engine<'_>, kind: QueryKind, sample: usize, accel: Accel) -> LodChoice {
+pub fn choose_lods(
+    engine: &Engine<'_>,
+    kind: QueryKind,
+    sample: usize,
+    accel: Accel,
+) -> Result<LodChoice> {
     let cfg = QueryConfig::new(Paradigm::FilterProgressiveRefine, accel);
     let stats = ExecStats::new();
     let n = engine.target.len().min(sample) as ObjectId;
     for t in 0..n {
         match kind {
             QueryKind::Intersection => {
-                let _ = engine.intersect_one(t, &cfg, &stats);
+                let _ = engine.intersect_one(t, &cfg, &stats)?;
             }
             QueryKind::Within(d) => {
-                let _ = engine.within_one(t, d, &cfg, &stats);
+                let _ = engine.within_one(t, d, &cfg, &stats)?;
             }
             QueryKind::NearestNeighbour => {
-                let _ = engine.nn_one(t, &cfg, &stats);
+                let _ = engine.nn_one(t, &cfg, &stats)?;
             }
         }
     }
@@ -92,7 +98,7 @@ pub fn choose_lods(engine: &Engine<'_>, kind: QueryKind, sample: usize, accel: A
         })
         .collect();
 
-    let r = measure_r(engine, sample);
+    let r = measure_r(engine, sample)?;
     let threshold = 1.0 / (r * r);
     let mut chosen: Vec<usize> = activity
         .iter()
@@ -102,31 +108,36 @@ pub fn choose_lods(engine: &Engine<'_>, kind: QueryKind, sample: usize, accel: A
     if chosen.last() != Some(&top) {
         chosen.push(top);
     }
-    LodChoice { activity, r, threshold, chosen }
+    Ok(LodChoice {
+        activity,
+        r,
+        threshold,
+        chosen,
+    })
 }
 
 /// Measure the average face-count growth ratio between adjacent LODs over a
 /// sample of source objects (the paper's Fig 11 measures ≈2 per level).
-pub fn measure_r(engine: &Engine<'_>, sample: usize) -> f64 {
+pub fn measure_r(engine: &Engine<'_>, sample: usize) -> Result<f64> {
     let stats = ExecStats::new();
     let n = engine.source.len().min(sample.max(1)) as ObjectId;
     let mut ratios = Vec::new();
     for id in 0..n {
         let top = engine.source.max_lod(id);
-        let mut prev = engine.source.get(id, 0, &stats).triangles.len();
+        let mut prev = engine.source.get(id, 0, &stats)?.triangles.len();
         for lod in 1..=top {
-            let cur = engine.source.get(id, lod, &stats).triangles.len();
+            let cur = engine.source.get(id, lod, &stats)?.triangles.len();
             if prev > 0 {
                 ratios.push(cur as f64 / prev as f64);
             }
             prev = cur;
         }
     }
-    if ratios.is_empty() {
+    Ok(if ratios.is_empty() {
         2.0
     } else {
         ratios.iter().sum::<f64>() / ratios.len() as f64
-    }
+    })
 }
 
 #[cfg(test)]
@@ -137,7 +148,10 @@ mod tests {
     use tripro_mesh::testutil::sphere;
 
     fn stores() -> (ObjectStore, ObjectStore) {
-        let cfg = StoreConfig { build_threads: 2, ..Default::default() };
+        let cfg = StoreConfig {
+            build_threads: 2,
+            ..Default::default()
+        };
         let targets: Vec<_> = (0..6)
             .map(|i| sphere(vec3(i as f64 * 8.0, 0.0, 0.0), 2.0, 3))
             .collect();
@@ -154,7 +168,7 @@ mod tests {
     fn r_is_about_two() {
         let (t, s) = stores();
         let engine = Engine::new(&t, &s);
-        let r = measure_r(&engine, 3);
+        let r = measure_r(&engine, 3).unwrap();
         assert!(r > 1.3 && r < 3.5, "r = {r}");
     }
 
@@ -162,7 +176,7 @@ mod tests {
     fn choice_ends_at_top_and_reports_activity() {
         let (t, s) = stores();
         let engine = Engine::new(&t, &s);
-        let choice = choose_lods(&engine, QueryKind::NearestNeighbour, 6, Accel::Brute);
+        let choice = choose_lods(&engine, QueryKind::NearestNeighbour, 6, Accel::Brute).unwrap();
         let top = t.max_lod_overall().max(s.max_lod_overall());
         assert_eq!(*choice.chosen.last().unwrap(), top);
         assert!(choice.threshold > 0.0 && choice.threshold < 1.0);
@@ -175,21 +189,25 @@ mod tests {
         let (t, s) = stores();
         let engine = Engine::new(&t, &s);
         // Generous distance: everything within → early accepts at low LODs.
-        let choice = choose_lods(&engine, QueryKind::Within(10.0), 6, Accel::Brute);
+        let choice = choose_lods(&engine, QueryKind::Within(10.0), 6, Accel::Brute).unwrap();
         let low: u64 = choice.activity[0].pruned;
-        assert!(low > 0, "low LODs should prune within-pairs: {:?}", choice.activity);
+        assert!(
+            low > 0,
+            "low LODs should prune within-pairs: {:?}",
+            choice.activity
+        );
     }
 
     #[test]
     fn chosen_list_usable_by_engine() {
         let (t, s) = stores();
         let engine = Engine::new(&t, &s);
-        let choice = choose_lods(&engine, QueryKind::NearestNeighbour, 6, Accel::Brute);
+        let choice = choose_lods(&engine, QueryKind::NearestNeighbour, 6, Accel::Brute).unwrap();
         let cfg = QueryConfig::new(Paradigm::FilterProgressiveRefine, Accel::Brute)
             .with_lods(choice.chosen.clone());
-        let (with_choice, _) = engine.nn_join(&cfg);
+        let (with_choice, _) = engine.nn_join(&cfg).unwrap();
         let all = QueryConfig::new(Paradigm::FilterProgressiveRefine, Accel::Brute);
-        let (with_all, _) = engine.nn_join(&all);
+        let (with_all, _) = engine.nn_join(&all).unwrap();
         assert_eq!(with_choice, with_all, "LOD choice must not change results");
     }
 }

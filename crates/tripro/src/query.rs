@@ -9,13 +9,15 @@
 //!   high-LOD decoding and geometry.
 
 use crate::compute::{Accel, Computer};
+use crate::error::Result;
 use crate::stats::ExecStats;
 use crate::store::{ObjectId, ObjectStore};
+use crate::sync::lock;
 use std::time::Instant;
 use tripro_geom::DistRange;
 
 /// Query processing paradigm.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Paradigm {
     /// Decode to the highest LOD immediately (classical Filter-Refine).
     FilterRefine,
@@ -101,7 +103,10 @@ impl<'a> Engine<'a> {
     /// The LOD ladder a query under `cfg` visits, ascending and ending at
     /// the ladder top.
     fn lods(&self, cfg: &QueryConfig) -> Vec<usize> {
-        let top = self.target.max_lod_overall().max(self.source.max_lod_overall());
+        let top = self
+            .target
+            .max_lod_overall()
+            .max(self.source.max_lod_overall());
         match cfg.paradigm {
             Paradigm::FilterRefine => vec![top],
             Paradigm::FilterProgressiveRefine => {
@@ -124,7 +129,12 @@ impl<'a> Engine<'a> {
     fn computer(&self, cfg: &QueryConfig) -> Computer {
         // The computer's executor parallelism is independent of the join
         // driver's thread count: it models the device.
-        Computer::new(cfg.accel, std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4))
+        Computer::new(
+            cfg.accel,
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        )
     }
 
     // -----------------------------------------------------------------
@@ -137,7 +147,7 @@ impl<'a> Engine<'a> {
         t: ObjectId,
         cfg: &QueryConfig,
         stats: &ExecStats,
-    ) -> Vec<ObjectId> {
+    ) -> Result<Vec<ObjectId>> {
         let computer = self.computer(cfg);
         let lods = self.lods(cfg);
 
@@ -146,7 +156,10 @@ impl<'a> Engine<'a> {
         let t0 = Instant::now();
         let mut candidates = match cfg.accel {
             Accel::Partition | Accel::PartitionGpu => {
-                let mut c = self.source.partition_rtree().query_intersects(self.target.mbb(t));
+                let mut c = self
+                    .source
+                    .partition_rtree()
+                    .query_intersects(self.target.mbb(t));
                 c.sort_unstable();
                 c.dedup();
                 c
@@ -165,40 +178,36 @@ impl<'a> Engine<'a> {
             if candidates.is_empty() {
                 break;
             }
-            let geom_t = self.target.get(t, lod, stats);
+            let geom_t = self.target.get(t, lod, stats)?;
             let sk_t = self.target.skeleton(t);
-            candidates.retain(|&c| {
-                let geom_c = self.source.get(c, lod, stats);
+            let mut remaining = Vec::with_capacity(candidates.len());
+            for c in candidates {
+                let geom_c = self.source.get(c, lod, stats)?;
                 stats.record_pair_evaluated(lod);
-                let hit = computer.intersects(
-                    &geom_t,
-                    &geom_c,
-                    sk_t,
-                    self.source.skeleton(c),
-                    stats,
-                );
+                let hit =
+                    computer.intersects(&geom_t, &geom_c, sk_t, self.source.skeleton(c), stats);
                 if hit {
                     // Early accept (P1: intersection at a lower LOD implies
                     // intersection at every higher LOD).
                     results.push(c);
                     stats.record_pair_pruned(lod);
-                    false
                 } else {
-                    true
+                    remaining.push(c);
                 }
-            });
+            }
+            candidates = remaining;
         }
 
         // Containment fallback at the highest LOD (Alg. 1 steps 8–12):
         // surfaces may be disjoint while one solid contains the other.
-        let top = *lods.last().unwrap();
+        let top = lods.last().copied().unwrap_or(0);
         for c in candidates {
             stats.record_pair_pruned(top);
             let c_in_t = self.target.mbb(t).contains_box(self.source.mbb(c));
             let t_in_c = self.source.mbb(c).contains_box(self.target.mbb(t));
             if c_in_t {
-                let geom_t = self.target.get(t, t_max, stats);
-                let geom_c = self.source.get(c, 0, stats);
+                let geom_t = self.target.get(t, t_max, stats)?;
+                let geom_c = self.source.get(c, 0, stats)?;
                 let v = geom_c.triangles[0].a;
                 let t1 = Instant::now();
                 let inside = tripro_geom::point_in_mesh(v, &geom_t.triangles);
@@ -209,8 +218,8 @@ impl<'a> Engine<'a> {
                 }
             }
             if t_in_c {
-                let geom_c = self.source.get(c, self.source.max_lod(c), stats);
-                let geom_t = self.target.get(t, 0, stats);
+                let geom_c = self.source.get(c, self.source.max_lod(c), stats)?;
+                let geom_t = self.target.get(t, 0, stats)?;
                 let v = geom_t.triangles[0].a;
                 let t1 = Instant::now();
                 let inside = tripro_geom::point_in_mesh(v, &geom_c.triangles);
@@ -221,14 +230,14 @@ impl<'a> Engine<'a> {
             }
         }
         results.sort_unstable();
-        results
+        Ok(results)
     }
 
     /// Intersection spatial join `D₁ ⋈ D₂` over all target objects.
-    pub fn intersection_join(&self, cfg: &QueryConfig) -> (JoinPairs, ExecStats) {
+    pub fn intersection_join(&self, cfg: &QueryConfig) -> Result<(JoinPairs, ExecStats)> {
         let stats = ExecStats::new();
-        let out = self.drive(cfg, &stats, |t, stats| self.intersect_one(t, cfg, stats));
-        (out, stats)
+        let out = self.drive(cfg, &stats, |t, stats| self.intersect_one(t, cfg, stats))?;
+        Ok((out, stats))
     }
 
     // -----------------------------------------------------------------
@@ -242,7 +251,7 @@ impl<'a> Engine<'a> {
         d: f64,
         cfg: &QueryConfig,
         stats: &ExecStats,
-    ) -> Vec<ObjectId> {
+    ) -> Result<Vec<ObjectId>> {
         let computer = self.computer(cfg);
         let lods = self.lods(cfg);
 
@@ -269,11 +278,17 @@ impl<'a> Engine<'a> {
                 if boxes.is_empty() {
                     return true;
                 }
-                let min = boxes.iter().map(|b| b.min_dist(tm)).fold(f64::INFINITY, f64::min);
+                let min = boxes
+                    .iter()
+                    .map(|b| b.min_dist(tm))
+                    .fold(f64::INFINITY, f64::min);
                 if min > d {
                     return false; // certainly too far
                 }
-                let max = boxes.iter().map(|b| b.max_dist(tm)).fold(f64::INFINITY, f64::min);
+                let max = boxes
+                    .iter()
+                    .map(|b| b.max_dist(tm))
+                    .fold(f64::INFINITY, f64::min);
                 if max <= d {
                     results.push(c); // certainly within
                     return false;
@@ -290,11 +305,12 @@ impl<'a> Engine<'a> {
             if candidates.is_empty() {
                 break;
             }
-            let geom_t = self.target.get(t, lod, stats);
+            let geom_t = self.target.get(t, lod, stats)?;
             let sk_t = self.target.skeleton(t);
-            candidates.retain(|&c| {
+            let mut remaining = Vec::with_capacity(candidates.len());
+            for c in candidates {
                 let exact = lod >= t_max && lod >= self.source.max_lod(c);
-                let geom_c = self.source.get(c, lod, stats);
+                let geom_c = self.source.get(c, lod, stats)?;
                 stats.record_pair_evaluated(lod);
                 let dist2 = computer.min_dist2(
                     &geom_t,
@@ -308,25 +324,24 @@ impl<'a> Engine<'a> {
                     // P2: the LOD distance upper-bounds the true distance.
                     results.push(c);
                     stats.record_pair_pruned(lod);
-                    false
                 } else if exact {
                     // The exact distance exceeds d: reject.
                     stats.record_pair_pruned(lod);
-                    false
                 } else {
-                    true
+                    remaining.push(c);
                 }
-            });
+            }
+            candidates = remaining;
         }
         results.sort_unstable();
-        results
+        Ok(results)
     }
 
     /// Within spatial join: all source objects within `d` of each target.
-    pub fn within_join(&self, d: f64, cfg: &QueryConfig) -> (JoinPairs, ExecStats) {
+    pub fn within_join(&self, d: f64, cfg: &QueryConfig) -> Result<(JoinPairs, ExecStats)> {
         let stats = ExecStats::new();
-        let out = self.drive(cfg, &stats, |t, stats| self.within_one(t, d, cfg, stats));
-        (out, stats)
+        let out = self.drive(cfg, &stats, |t, stats| self.within_one(t, d, cfg, stats))?;
+        Ok((out, stats))
     }
 
     // -----------------------------------------------------------------
@@ -339,7 +354,7 @@ impl<'a> Engine<'a> {
         t: ObjectId,
         cfg: &QueryConfig,
         stats: &ExecStats,
-    ) -> Option<ObjectId> {
+    ) -> Result<Option<ObjectId>> {
         let computer = self.computer(cfg);
         let lods = self.lods(cfg);
 
@@ -353,8 +368,14 @@ impl<'a> Engine<'a> {
                 let boxes = &self.source.object(*c).group_boxes;
                 if !boxes.is_empty() {
                     let tm = self.target.mbb(t);
-                    r.min = boxes.iter().map(|b| b.min_dist(tm)).fold(f64::INFINITY, f64::min);
-                    r.max = boxes.iter().map(|b| b.max_dist(tm)).fold(f64::INFINITY, f64::min);
+                    r.min = boxes
+                        .iter()
+                        .map(|b| b.min_dist(tm))
+                        .fold(f64::INFINITY, f64::min);
+                    r.max = boxes
+                        .iter()
+                        .map(|b| b.max_dist(tm))
+                        .fold(f64::INFINITY, f64::min);
                 }
             }
         }
@@ -366,7 +387,7 @@ impl<'a> Engine<'a> {
         }
         stats.add_filter(t0.elapsed());
         if candidates.is_empty() {
-            return None;
+            return Ok(None);
         }
 
         let mut minmax = candidates
@@ -379,7 +400,7 @@ impl<'a> Engine<'a> {
             if candidates.len() <= 1 {
                 break;
             }
-            let geom_t = self.target.get(t, lod, stats);
+            let geom_t = self.target.get(t, lod, stats)?;
             let sk_t = self.target.skeleton(t);
             let mut next = Vec::with_capacity(candidates.len());
             for (c, mut r) in candidates {
@@ -389,7 +410,7 @@ impl<'a> Engine<'a> {
                     continue;
                 }
                 let exact = lod >= t_max && lod >= self.source.max_lod(c);
-                let geom_c = self.source.get(c, lod, stats);
+                let geom_c = self.source.get(c, lod, stats)?;
                 stats.record_pair_evaluated(lod);
                 let seed = minmax * minmax * (1.0 + 1e-9) + f64::MIN_POSITIVE;
                 let dist2 = computer.min_dist2(
@@ -434,18 +455,18 @@ impl<'a> Engine<'a> {
                 .collect();
         }
 
-        candidates
+        Ok(candidates
             .into_iter()
             .min_by(|a, b| a.1.max.total_cmp(&b.1.max).then(a.0.cmp(&b.0)))
-            .map(|(c, _)| c)
+            .map(|(c, _)| c))
     }
 
     /// Nearest-neighbour join (ANN query): the nearest source object for
     /// every target object.
-    pub fn nn_join(&self, cfg: &QueryConfig) -> (NnPairs, ExecStats) {
+    pub fn nn_join(&self, cfg: &QueryConfig) -> Result<(NnPairs, ExecStats)> {
         let stats = ExecStats::new();
-        let out = self.drive(cfg, &stats, |t, stats| self.nn_one(t, cfg, stats));
-        (out, stats)
+        let out = self.drive(cfg, &stats, |t, stats| self.nn_one(t, cfg, stats))?;
+        Ok((out, stats))
     }
 
     /// The `k` nearest source objects to target `t`, closest first
@@ -457,9 +478,9 @@ impl<'a> Engine<'a> {
         k: usize,
         cfg: &QueryConfig,
         stats: &ExecStats,
-    ) -> Vec<ObjectId> {
+    ) -> Result<Vec<ObjectId>> {
         if k == 0 {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let computer = self.computer(cfg);
         let lods = self.lods(cfg);
@@ -469,7 +490,7 @@ impl<'a> Engine<'a> {
             self.source.rtree().knn_candidates(self.target.mbb(t), k);
         stats.add_filter(t0.elapsed());
         if candidates.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
 
         let t_max = self.target.max_lod(t);
@@ -488,7 +509,7 @@ impl<'a> Engine<'a> {
             if candidates.len() <= k {
                 break;
             }
-            let geom_t = self.target.get(t, lod, stats);
+            let geom_t = self.target.get(t, lod, stats)?;
             let sk_t = self.target.skeleton(t);
             let mut next = Vec::with_capacity(candidates.len());
             for (c, mut r) in candidates {
@@ -497,7 +518,7 @@ impl<'a> Engine<'a> {
                     continue;
                 }
                 let exact = lod >= t_max && lod >= self.source.max_lod(c);
-                let geom_c = self.source.get(c, lod, stats);
+                let geom_c = self.source.get(c, lod, stats)?;
                 stats.record_pair_evaluated(lod);
                 let seed = threshold * threshold * (1.0 + 1e-9) + f64::MIN_POSITIVE;
                 let dist2 = computer.min_dist2(
@@ -541,40 +562,40 @@ impl<'a> Engine<'a> {
 
         // Exact distances for whatever remains (bounded by the filter), then
         // take the k best.
-        let top = *lods.last().unwrap();
-        let geom_t = self.target.get(t, top, stats);
+        let top = lods.last().copied().unwrap_or(0);
+        let geom_t = self.target.get(t, top, stats)?;
         let sk_t = self.target.skeleton(t);
-        let mut scored: Vec<(f64, ObjectId)> = candidates
-            .into_iter()
-            .map(|(c, r)| {
-                if r.min == r.max {
-                    (r.max, c)
-                } else {
-                    let geom_c = self.source.get(c, top, stats);
-                    stats.record_pair_evaluated(top);
-                    let d2 = computer.min_dist2(
-                        &geom_t,
-                        &geom_c,
-                        sk_t,
-                        self.source.skeleton(c),
-                        f64::INFINITY,
-                        stats,
-                    );
-                    (d2.sqrt(), c)
-                }
-            })
-            .collect();
+        let mut scored: Vec<(f64, ObjectId)> = Vec::with_capacity(candidates.len());
+        for (c, r) in candidates {
+            // A collapsed range is an exact distance already in hand; compare
+            // bitwise (eps would falsely collapse nearly-settled ranges).
+            if tripro_geom::is_exactly(r.min, r.max) {
+                scored.push((r.max, c));
+            } else {
+                let geom_c = self.source.get(c, top, stats)?;
+                stats.record_pair_evaluated(top);
+                let d2 = computer.min_dist2(
+                    &geom_t,
+                    &geom_c,
+                    sk_t,
+                    self.source.skeleton(c),
+                    f64::INFINITY,
+                    stats,
+                );
+                scored.push((d2.sqrt(), c));
+            }
+        }
         scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         scored.truncate(k);
-        scored.into_iter().map(|(_, c)| c).collect()
+        Ok(scored.into_iter().map(|(_, c)| c).collect())
     }
 
     /// k-nearest-neighbour join: the `k` nearest source objects for every
     /// target object, closest first.
-    pub fn knn_join(&self, k: usize, cfg: &QueryConfig) -> (JoinPairs, ExecStats) {
+    pub fn knn_join(&self, k: usize, cfg: &QueryConfig) -> Result<(JoinPairs, ExecStats)> {
         let stats = ExecStats::new();
-        let out = self.drive(cfg, &stats, |t, stats| self.knn_one(t, k, cfg, stats));
-        (out, stats)
+        let out = self.drive(cfg, &stats, |t, stats| self.knn_one(t, k, cfg, stats))?;
+        Ok((out, stats))
     }
 
     // -----------------------------------------------------------------
@@ -586,8 +607,8 @@ impl<'a> Engine<'a> {
         &self,
         cfg: &QueryConfig,
         stats: &ExecStats,
-        per_object: impl Fn(ObjectId, &ExecStats) -> R + Sync,
-    ) -> Vec<(ObjectId, R)> {
+        per_object: impl Fn(ObjectId, &ExecStats) -> Result<R> + Sync,
+    ) -> Result<Vec<(ObjectId, R)>> {
         let cell = cfg.cuboid_cell.unwrap_or_else(|| {
             let e = self.target.rtree().bounds().extent();
             (e.max_component() / 4.0).max(1e-9)
@@ -607,13 +628,19 @@ impl<'a> Engine<'a> {
                     for &t in &cuboids[i] {
                         local.push((t, per_object(t, stats)));
                     }
-                    results.lock().unwrap().extend(local);
+                    lock(&results).extend(local);
                 });
             }
         });
-        let mut out = results.into_inner().unwrap();
+        let gathered = results
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut out = Vec::with_capacity(gathered.len());
+        for (t, r) in gathered {
+            out.push((t, r?));
+        }
         out.sort_by_key(|(t, _)| *t);
-        out
+        Ok(out)
     }
 }
 
@@ -626,8 +653,14 @@ mod tests {
     use tripro_mesh::TriMesh;
 
     fn store_of(meshes: Vec<TriMesh>) -> ObjectStore {
-        ObjectStore::build(&meshes, &StoreConfig { build_threads: 2, ..Default::default() })
-            .unwrap()
+        ObjectStore::build(
+            &meshes,
+            &StoreConfig {
+                build_threads: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap()
     }
 
     /// Targets: spheres along x at 0, 10, 20. Sources: spheres at 0.5
@@ -662,7 +695,7 @@ mod tests {
         let (t, s) = setup();
         let engine = Engine::new(&t, &s);
         for cfg in all_configs() {
-            let (pairs, _) = engine.intersection_join(&cfg);
+            let (pairs, _) = engine.intersection_join(&cfg).unwrap();
             assert_eq!(pairs.len(), 3);
             assert_eq!(pairs[0].1, vec![0], "{:?} {:?}", cfg.paradigm, cfg.accel);
             assert!(pairs[1].1.is_empty(), "{:?} {:?}", cfg.paradigm, cfg.accel);
@@ -678,7 +711,7 @@ mod tests {
         let engine = Engine::new(&t, &s);
         for cfg in all_configs() {
             let stats = ExecStats::new();
-            let hits = engine.intersect_one(0, &cfg, &stats);
+            let hits = engine.intersect_one(0, &cfg, &stats).unwrap();
             assert_eq!(hits, vec![0], "{:?} {:?}", cfg.paradigm, cfg.accel);
         }
     }
@@ -690,7 +723,7 @@ mod tests {
         // t1 (at x=10, r=2) to s1 (at x=13, r=1): surface gap = 0.
         // Actually: centres 3 apart, radii sum 3 ⇒ touching; use d = 0.5.
         for cfg in all_configs() {
-            let (pairs, _) = engine.within_join(0.5, &cfg);
+            let (pairs, _) = engine.within_join(0.5, &cfg).unwrap();
             assert_eq!(pairs[0].1, vec![0], "{:?} {:?}", cfg.paradigm, cfg.accel);
             assert_eq!(pairs[1].1, vec![1], "{:?} {:?}", cfg.paradigm, cfg.accel);
             assert!(pairs[2].1.is_empty(), "{:?} {:?}", cfg.paradigm, cfg.accel);
@@ -704,8 +737,8 @@ mod tests {
         let cfg = QueryConfig::new(Paradigm::FilterProgressiveRefine, Accel::Brute);
         let stats = ExecStats::new();
         // t2 at x=20 to s1 at x=13 (r=1): gap = 20-2 - 14 = 4.
-        assert!(engine.within_one(2, 3.9, &cfg, &stats).is_empty());
-        assert_eq!(engine.within_one(2, 4.2, &cfg, &stats), vec![1]);
+        assert!(engine.within_one(2, 3.9, &cfg, &stats).unwrap().is_empty());
+        assert_eq!(engine.within_one(2, 4.2, &cfg, &stats).unwrap(), vec![1]);
     }
 
     #[test]
@@ -713,7 +746,7 @@ mod tests {
         let (t, s) = setup();
         let engine = Engine::new(&t, &s);
         for cfg in all_configs() {
-            let (pairs, _) = engine.nn_join(&cfg);
+            let (pairs, _) = engine.nn_join(&cfg).unwrap();
             assert_eq!(pairs[0].1, Some(0), "{:?} {:?}", cfg.paradigm, cfg.accel);
             assert_eq!(pairs[1].1, Some(1), "{:?} {:?}", cfg.paradigm, cfg.accel);
             assert_eq!(pairs[2].1, Some(1), "{:?} {:?}", cfg.paradigm, cfg.accel);
@@ -726,10 +759,10 @@ mod tests {
         let engine = Engine::new(&t, &s);
         let fr = QueryConfig::new(Paradigm::FilterRefine, Accel::Brute);
         let fpr = QueryConfig::new(Paradigm::FilterProgressiveRefine, Accel::Brute);
-        let (_, st_fr) = engine.within_join(0.5, &fr);
+        let (_, st_fr) = engine.within_join(0.5, &fr).unwrap();
         t.cache().clear();
         s.cache().clear();
-        let (_, st_fpr) = engine.within_join(0.5, &fpr);
+        let (_, st_fpr) = engine.within_join(0.5, &fpr).unwrap();
         let fr_pairs = st_fr.snapshot().face_pair_tests;
         let fpr_pairs = st_fpr.snapshot().face_pair_tests;
         assert!(
@@ -744,8 +777,8 @@ mod tests {
         let engine = Engine::new(&t, &s);
         let serial = QueryConfig::new(Paradigm::FilterProgressiveRefine, Accel::Brute);
         let parallel = serial.clone().with_threads(4);
-        let (a, _) = engine.nn_join(&serial);
-        let (b, _) = engine.nn_join(&parallel);
+        let (a, _) = engine.nn_join(&serial).unwrap();
+        let (b, _) = engine.nn_join(&parallel).unwrap();
         assert_eq!(a, b);
     }
 
@@ -753,8 +786,8 @@ mod tests {
     fn lod_list_is_respected() {
         let (t, s) = setup();
         let engine = Engine::new(&t, &s);
-        let cfg = QueryConfig::new(Paradigm::FilterProgressiveRefine, Accel::Brute)
-            .with_lods(vec![1, 3]);
+        let cfg =
+            QueryConfig::new(Paradigm::FilterProgressiveRefine, Accel::Brute).with_lods(vec![1, 3]);
         let lods = engine.lods(&cfg);
         let top = t.max_lod_overall().max(s.max_lod_overall());
         assert_eq!(*lods.last().unwrap(), top);
@@ -772,16 +805,16 @@ mod tests {
             let plain = QueryConfig::new(Paradigm::FilterProgressiveRefine, accel);
             let dop = plain.clone().with_conservative_prefilter();
 
-            let (i1, _) = engine.intersection_join(&plain);
-            let (i2, _) = engine.intersection_join(&dop);
+            let (i1, _) = engine.intersection_join(&plain).unwrap();
+            let (i2, _) = engine.intersection_join(&dop).unwrap();
             assert_eq!(i1, i2, "{accel:?} intersection");
 
-            let (w1, _) = engine.within_join(0.5, &plain);
-            let (w2, _) = engine.within_join(0.5, &dop);
+            let (w1, _) = engine.within_join(0.5, &plain).unwrap();
+            let (w2, _) = engine.within_join(0.5, &dop).unwrap();
             assert_eq!(w1, w2, "{accel:?} within");
 
-            let (n1, _) = engine.nn_join(&plain);
-            let (n2, _) = engine.nn_join(&dop);
+            let (n1, _) = engine.nn_join(&plain).unwrap();
+            let (n2, _) = engine.nn_join(&dop).unwrap();
             assert_eq!(n1, n2, "{accel:?} nn");
         }
         // The DOP bound must never exceed the true distance: compare the
@@ -805,14 +838,14 @@ mod tests {
         for cfg in all_configs() {
             let stats = ExecStats::new();
             // Target 1 (x=10): nearest is s1 (x=13), then s0 (x=0.5), then s2.
-            let knn = engine.knn_one(1, 2, &cfg, &stats);
+            let knn = engine.knn_one(1, 2, &cfg, &stats).unwrap();
             assert_eq!(knn.len(), 2, "{:?} {:?}", cfg.paradigm, cfg.accel);
             assert_eq!(knn[0], 1, "{:?} {:?}", cfg.paradigm, cfg.accel);
             assert_eq!(knn[1], 0, "{:?} {:?}", cfg.paradigm, cfg.accel);
             // k=1 agrees with nn_one; k larger than the dataset returns all.
-            assert_eq!(engine.knn_one(1, 1, &cfg, &stats), vec![1]);
-            assert_eq!(engine.knn_one(1, 99, &cfg, &stats).len(), 3);
-            assert!(engine.knn_one(1, 0, &cfg, &stats).is_empty());
+            assert_eq!(engine.knn_one(1, 1, &cfg, &stats).unwrap(), vec![1]);
+            assert_eq!(engine.knn_one(1, 99, &cfg, &stats).unwrap().len(), 3);
+            assert!(engine.knn_one(1, 0, &cfg, &stats).unwrap().is_empty());
         }
     }
 
@@ -821,13 +854,13 @@ mod tests {
         let (t, s) = setup();
         let engine = Engine::new(&t, &s);
         let cfg = QueryConfig::new(Paradigm::FilterProgressiveRefine, Accel::Brute);
-        let (pairs, _) = engine.knn_join(2, &cfg);
+        let (pairs, _) = engine.knn_join(2, &cfg).unwrap();
         assert_eq!(pairs.len(), 3);
         for (tid, nns) in &pairs {
             assert_eq!(nns.len(), 2, "target {tid}");
             // First entry must equal the NN join's answer.
             let stats = ExecStats::new();
-            assert_eq!(Some(nns[0]), engine.nn_one(*tid, &cfg, &stats));
+            assert_eq!(Some(nns[0]), engine.nn_one(*tid, &cfg, &stats).unwrap());
         }
     }
 
@@ -838,9 +871,9 @@ mod tests {
         let engine = Engine::new(&t, &s);
         let cfg = QueryConfig::new(Paradigm::FilterProgressiveRefine, Accel::Brute);
         let stats = ExecStats::new();
-        assert!(engine.intersect_one(0, &cfg, &stats).is_empty());
-        assert!(engine.within_one(0, 5.0, &cfg, &stats).is_empty());
-        assert_eq!(engine.nn_one(0, &cfg, &stats), None);
+        assert!(engine.intersect_one(0, &cfg, &stats).unwrap().is_empty());
+        assert!(engine.within_one(0, 5.0, &cfg, &stats).unwrap().is_empty());
+        assert_eq!(engine.nn_one(0, &cfg, &stats).unwrap(), None);
     }
 
     #[test]
@@ -848,7 +881,7 @@ mod tests {
         let (t, s) = setup();
         let engine = Engine::new(&t, &s);
         let cfg = QueryConfig::new(Paradigm::FilterProgressiveRefine, Accel::Brute);
-        let (_, stats) = engine.nn_join(&cfg);
+        let (_, stats) = engine.nn_join(&cfg).unwrap();
         let snap = stats.snapshot();
         assert!(snap.pairs_evaluated.iter().sum::<u64>() > 0);
         assert!(snap.decode_ns > 0);

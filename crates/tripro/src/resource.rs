@@ -27,7 +27,9 @@ pub struct ResourceManager {
 
 impl Default for ResourceManager {
     fn default() -> Self {
-        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2);
         Self {
             cpu_workers: (cores / 2).max(1),
             device: BatchExecutor::new((cores / 2).max(1)),
@@ -48,12 +50,7 @@ impl ResourceManager {
     /// Minimum squared distance over the cross product `a × b`, evaluated
     /// cooperatively by CPU workers and the device. Returns
     /// `(min(upper, true minimum), pairs_tested, cpu_tasks, device_tasks)`.
-    pub fn min_dist2(
-        &self,
-        a: &[Triangle],
-        b: &[Triangle],
-        upper: f64,
-    ) -> (f64, u64, u64, u64) {
+    pub fn min_dist2(&self, a: &[Triangle], b: &[Triangle], upper: f64) -> (f64, u64, u64, u64) {
         let total = a.len() * b.len();
         if total == 0 {
             return (upper, 0, 0, 0);
@@ -75,7 +72,7 @@ impl ResourceManager {
                 let d2 = tri_tri_dist2(&a[i], &b[j]);
                 if d2 < local {
                     local = d2;
-                    if d2 == 0.0 {
+                    if tripro_geom::is_exactly_zero(d2) {
                         break;
                     }
                 }
@@ -96,7 +93,7 @@ impl ResourceManager {
                     Err(c) => cur = c,
                 }
             }
-            if local == 0.0 {
+            if tripro_geom::is_exactly_zero(local) {
                 zero.store(true, Ordering::Relaxed);
             }
         };
@@ -135,7 +132,7 @@ impl ResourceManager {
                     let mut local = f64::INFINITY;
                     for t in t0..t1 {
                         local = local.min(run_task(t));
-                        if local == 0.0 {
+                        if tripro_geom::is_exactly_zero(local) {
                             break;
                         }
                     }
@@ -195,7 +192,10 @@ impl ResourceManager {
                 });
             }
         });
-        (found.load(Ordering::Relaxed), tested.load(Ordering::Relaxed))
+        (
+            found.load(Ordering::Relaxed),
+            tested.load(Ordering::Relaxed),
+        )
     }
 }
 
@@ -209,7 +209,11 @@ mod tests {
         for x in 0..n {
             for y in 0..n {
                 let p = vec3(x as f64, y as f64, z);
-                tris.push(Triangle::new(p, p + vec3(1.0, 0.0, 0.0), p + vec3(0.0, 1.0, 0.0)));
+                tris.push(Triangle::new(
+                    p,
+                    p + vec3(1.0, 0.0, 0.0),
+                    p + vec3(0.0, 1.0, 0.0),
+                ));
             }
         }
         tris

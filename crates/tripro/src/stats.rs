@@ -37,17 +37,20 @@ impl ExecStats {
 
     #[inline]
     pub fn add_filter(&self, d: Duration) {
-        self.filter_ns.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        self.filter_ns
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
     }
 
     #[inline]
     pub fn add_decode(&self, d: Duration) {
-        self.decode_ns.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        self.decode_ns
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
     }
 
     #[inline]
     pub fn add_compute(&self, d: Duration) {
-        self.compute_ns.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        self.compute_ns
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
     }
 
     #[inline]
@@ -90,7 +93,7 @@ impl ExecStats {
 }
 
 /// Plain-data snapshot of [`ExecStats`].
-#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct StatsSnapshot {
     pub filter_ns: u64,
     pub decode_ns: u64,

@@ -6,8 +6,10 @@
 //! batched query execution.
 
 use crate::cache::{DecodeCache, LodData};
+use crate::error::{Error, Result};
 use crate::partition::{default_skeleton_size, group_faces, sample_skeleton};
 use crate::stats::ExecStats;
+use crate::sync::lock;
 use std::sync::Arc;
 use tripro_geom::{vec3, Aabb, Kdop, Vec3};
 use tripro_index::RTree;
@@ -48,7 +50,9 @@ impl Default for StoreConfig {
         Self {
             encoder: EncoderConfig::default(),
             cache_bytes: 256 << 20,
-            build_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            build_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
         }
     }
 }
@@ -63,9 +67,9 @@ pub struct ObjectStore {
 
 impl ObjectStore {
     /// Compress and index a set of meshes.
-    pub fn build(meshes: &[TriMesh], cfg: &StoreConfig) -> Result<Self, MeshError> {
+    pub fn build(meshes: &[TriMesh], cfg: &StoreConfig) -> Result<Self> {
         let n = meshes.len();
-        let mut slots: Vec<Option<Result<StoredObject, MeshError>>> =
+        let mut slots: Vec<Option<std::result::Result<StoredObject, MeshError>>> =
             (0..n).map(|_| None).collect();
         let next = std::sync::atomic::AtomicUsize::new(0);
         let slots_ref = std::sync::Mutex::new(&mut slots);
@@ -78,14 +82,17 @@ impl ObjectStore {
                         return;
                     }
                     let built = build_object(&meshes[i], &cfg.encoder);
-                    let mut guard = slots_ref.lock().unwrap();
+                    let mut guard = lock(&slots_ref);
                     guard[i] = Some(built);
                 });
             }
         });
         let mut objects = Vec::with_capacity(n);
-        for s in slots {
-            objects.push(s.expect("all slots filled")?);
+        for (index, s) in slots.into_iter().enumerate() {
+            match s {
+                Some(built) => objects.push(built?),
+                None => return Err(Error::BuildIncomplete { index }),
+            }
         }
         Ok(Self::from_objects(objects, cfg.cache_bytes))
     }
@@ -103,12 +110,15 @@ impl ObjectStore {
             objects
                 .iter()
                 .enumerate()
-                .flat_map(|(i, o)| {
-                    o.group_boxes.iter().map(move |bb| (*bb, i as ObjectId))
-                })
+                .flat_map(|(i, o)| o.group_boxes.iter().map(move |bb| (*bb, i as ObjectId)))
                 .collect(),
         );
-        Self { objects, rtree, partition_rtree, cache: DecodeCache::new(cache_bytes) }
+        Self {
+            objects,
+            rtree,
+            partition_rtree,
+            cache: DecodeCache::new(cache_bytes),
+        }
     }
 
     /// Number of objects.
@@ -147,7 +157,11 @@ impl ObjectStore {
 
     /// Highest LOD over the whole store (the ladder top used by queries).
     pub fn max_lod_overall(&self) -> usize {
-        self.objects.iter().map(|o| o.compressed.max_lod()).max().unwrap_or(0)
+        self.objects
+            .iter()
+            .map(|o| o.compressed.max_lod())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Global R-tree over object MBBs.
@@ -161,10 +175,12 @@ impl ObjectStore {
         &self.partition_rtree
     }
 
-    /// Decode an object to (at most) `lod`, via the cache.
-    pub fn get(&self, id: ObjectId, lod: usize, stats: &ExecStats) -> Arc<LodData> {
+    /// Decode an object to (at most) `lod`, via the cache. Fails only when
+    /// the stored payload is corrupt ([`Error::Decode`]).
+    pub fn get(&self, id: ObjectId, lod: usize, stats: &ExecStats) -> Result<Arc<LodData>> {
         let lod = lod.min(self.max_lod(id));
-        self.cache.get(id, lod, &self.objects[id as usize].compressed, stats)
+        self.cache
+            .get(id, lod, &self.objects[id as usize].compressed, stats)
     }
 
     /// The decode cache (for clearing / instrumentation).
@@ -174,7 +190,10 @@ impl ObjectStore {
 
     /// Total compressed payload bytes.
     pub fn compressed_bytes(&self) -> usize {
-        self.objects.iter().map(|o| o.compressed.payload_size()).sum()
+        self.objects
+            .iter()
+            .map(|o| o.compressed.payload_size())
+            .sum()
     }
 
     /// Sum of full-resolution face counts.
@@ -196,13 +215,13 @@ impl ObjectStore {
             );
             map.entry(key).or_default().push(i as ObjectId);
         }
-        let mut keys: Vec<_> = map.keys().cloned().collect();
-        keys.sort_unstable();
-        keys.into_iter().map(|k| map.remove(&k).unwrap()).collect()
+        let mut tiles: Vec<_> = map.into_iter().collect();
+        tiles.sort_unstable_by_key(|(k, _)| *k);
+        tiles.into_iter().map(|(_, ids)| ids).collect()
     }
 }
 
-fn build_object(tm: &TriMesh, enc: &EncoderConfig) -> Result<StoredObject, MeshError> {
+fn build_object(tm: &TriMesh, enc: &EncoderConfig) -> std::result::Result<StoredObject, MeshError> {
     let compressed = tripro_mesh::encode(tm, enc)?;
     let mbb = tm.aabb();
     // Skeleton from the full-resolution surface.
@@ -210,10 +229,7 @@ fn build_object(tm: &TriMesh, enc: &EncoderConfig) -> Result<StoredObject, MeshE
     let skeleton = sample_skeleton(&tm.vertices, k);
     let tris = tm.triangles();
     let groups = group_faces(&tris, &skeleton);
-    let group_boxes = groups
-        .non_empty()
-        .map(|(_, bb)| *bb)
-        .collect::<Vec<_>>();
+    let group_boxes = groups.non_empty().map(|(_, bb)| *bb).collect::<Vec<_>>();
     Ok(StoredObject {
         mbb,
         compressed,
@@ -277,8 +293,7 @@ impl ObjectStore {
             .filter(|p| p.extension().is_some_and(|x| x == "3dp"))
             .collect();
         paths.sort();
-        let bad =
-            |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+        let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
         let mut objects = Vec::new();
         for path in paths {
             let data = std::fs::read(&path)?;
@@ -290,8 +305,7 @@ impl ObjectStore {
             for _ in 0..count {
                 let len = r.read_usize().map_err(|_| bad("truncated"))?;
                 let blob = r.read_exact(len).map_err(|_| bad("truncated"))?;
-                let compressed =
-                    CompressedMesh::from_bytes(blob).map_err(|_| bad("bad object"))?;
+                let compressed = CompressedMesh::from_bytes(blob).map_err(|_| bad("bad object"))?;
                 let nsk = r.read_usize().map_err(|_| bad("truncated"))?;
                 let mut skeleton = Vec::with_capacity(nsk);
                 for _ in 0..nsk {
@@ -342,7 +356,10 @@ mod tests {
     }
 
     fn cfg() -> StoreConfig {
-        StoreConfig { build_threads: 2, ..Default::default() }
+        StoreConfig {
+            build_threads: 2,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -363,12 +380,12 @@ mod tests {
         let store = ObjectStore::build(&spheres(2), &cfg()).unwrap();
         let stats = ExecStats::new();
         let top = store.max_lod(0);
-        let full = store.get(0, top, &stats);
+        let full = store.get(0, top, &stats).unwrap();
         assert_eq!(full.triangles.len(), 128);
-        let base = store.get(0, 0, &stats);
+        let base = store.get(0, 0, &stats).unwrap();
         assert!(base.triangles.len() < full.triangles.len());
         // Requesting beyond the max clamps (and hits the cache).
-        let again = store.get(0, 99, &stats);
+        let again = store.get(0, 99, &stats).unwrap();
         assert!(Arc::ptr_eq(&full.triangles, &again.triangles) || again.triangles.len() == 128);
         assert!(stats.snapshot().cache_hits >= 1);
     }
@@ -382,7 +399,9 @@ mod tests {
         }
         // The partition R-tree must find object 1's groups near x=10.
         let probe = Aabb::from_point(vec3(10.0, 0.0, 2.0));
-        let mut hits = store.partition_rtree().query_intersects(&probe.inflate(0.5));
+        let mut hits = store
+            .partition_rtree()
+            .query_intersects(&probe.inflate(0.5));
         hits.dedup();
         assert!(hits.contains(&1));
     }
@@ -411,7 +430,7 @@ mod tests {
         let vols = |s: &ObjectStore| {
             let mut v: Vec<i64> = (0..s.len() as u32)
                 .map(|id| {
-                    let d = s.get(id, s.max_lod(id), &stats);
+                    let d = s.get(id, s.max_lod(id), &stats).unwrap();
                     tripro_geom::mesh_volume(&d.triangles) as i64
                 })
                 .collect();

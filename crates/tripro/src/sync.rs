@@ -1,0 +1,18 @@
+//! Small synchronisation helpers shared across the engine.
+
+pub use std::sync::Mutex;
+use std::sync::MutexGuard;
+
+/// Acquire a mutex, recovering from poisoning instead of panicking.
+///
+/// A poisoned mutex means another thread panicked while holding the guard.
+/// The data this crate protects with mutexes (cache maps, decoder states,
+/// result accumulators) is kept internally consistent at every await-free
+/// mutation step, so continuing with the inner value is sound — and the
+/// no-panic discipline of the query path (xtask lint L1) must not be
+/// undermined by the lock acquisition itself.
+pub fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}

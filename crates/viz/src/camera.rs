@@ -39,7 +39,13 @@ impl Camera {
             let d = c - center;
             half = half.max(d.dot(right).abs()).max(d.dot(up).abs());
         }
-        Self { towards, right, up, center, half_extent: half * 1.05 + 1e-12 }
+        Self {
+            towards,
+            right,
+            up,
+            center,
+            half_extent: half * 1.05 + 1e-12,
+        }
     }
 
     /// Standard three-quarter view of a box.
@@ -80,7 +86,11 @@ mod tests {
     #[test]
     fn all_corners_project_inside_unit_square() {
         let bb = Aabb::from_corners(vec3(5.0, -1.0, 2.0), vec3(9.0, 4.0, 3.0));
-        for dir in [vec3(1.0, 0.0, 0.0), vec3(0.3, -0.9, 0.4), vec3(1.0, 1.0, 1.0)] {
+        for dir in [
+            vec3(1.0, 0.0, 0.0),
+            vec3(0.3, -0.9, 0.4),
+            vec3(1.0, 1.0, 1.0),
+        ] {
             let cam = Camera::framing(&bb, dir, Vec3::Z);
             for c in bb.corners() {
                 let (x, y, _) = cam.project(c);

@@ -13,7 +13,11 @@ impl Image {
     /// A `width × height` image filled with `background`.
     pub fn new(width: usize, height: usize, background: [u8; 3]) -> Self {
         assert!(width > 0 && height > 0, "image must be non-empty");
-        Self { width, height, pixels: vec![background; width * height] }
+        Self {
+            width,
+            height,
+            pixels: vec![background; width * height],
+        }
     }
 
     pub fn width(&self) -> usize {

@@ -125,7 +125,11 @@ mod tests {
     use tripro_mesh::testutil::{cube, sphere};
 
     fn opts() -> RenderOptions {
-        RenderOptions { width: 96, height: 96, ..Default::default() }
+        RenderOptions {
+            width: 96,
+            height: 96,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -159,11 +163,23 @@ mod tests {
     fn depth_test_prefers_nearer_surface() {
         // Two parallel quads; camera looks along +z so the z=1 plane is
         // nearer (projected depth smaller). Disable culling: plain soup.
-        let near = Triangle::new(vec3(-1.0, -1.0, 1.0), vec3(1.0, -1.0, 1.0), vec3(0.0, 1.0, 1.0));
-        let far = Triangle::new(vec3(-1.0, -1.0, 0.0), vec3(1.0, -1.0, 0.0), vec3(0.0, 1.0, 0.0));
+        let near = Triangle::new(
+            vec3(-1.0, -1.0, 1.0),
+            vec3(1.0, -1.0, 1.0),
+            vec3(0.0, 1.0, 1.0),
+        );
+        let far = Triangle::new(
+            vec3(-1.0, -1.0, 0.0),
+            vec3(1.0, -1.0, 0.0),
+            vec3(0.0, 1.0, 0.0),
+        );
         let bb = Aabb::from_corners(vec3(-1.0, -1.0, 0.0), vec3(1.0, 1.0, 1.0));
         let cam = Camera::framing(&bb, vec3(0.0, 0.0, 1.0), vec3(0.0, 1.0, 0.0));
-        let o = RenderOptions { backface_cull: false, color: [255, 255, 255], ..opts() };
+        let o = RenderOptions {
+            backface_cull: false,
+            color: [255, 255, 255],
+            ..opts()
+        };
         // Render far-then-near and near-then-far: identical result.
         let a = render_triangles(&[far, near], &cam, &o);
         let b = render_triangles(&[near, far], &cam, &o);
@@ -174,7 +190,13 @@ mod tests {
     fn backface_culling_halves_work() {
         let s = sphere(vec3(0.0, 0.0, 0.0), 1.0, 2);
         let culled = render_mesh(&s, &opts());
-        let unculled = render_mesh(&s, &RenderOptions { backface_cull: false, ..opts() });
+        let unculled = render_mesh(
+            &s,
+            &RenderOptions {
+                backface_cull: false,
+                ..opts()
+            },
+        );
         // Same silhouette either way (closed surface).
         assert_eq!(
             culled.coverage(opts().background),

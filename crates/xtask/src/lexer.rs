@@ -1,0 +1,443 @@
+//! A minimal Rust lexer for the lint driver.
+//!
+//! `syn` is unavailable offline, and the lint rules (L1–L4) only need a
+//! faithful token stream — not a parse tree. The lexer understands every
+//! construct that could make a naive text scan lie: line and (nested)
+//! block comments, string/char/byte/raw-string literals, lifetimes versus
+//! char literals, and numeric literals with suffixes. Comments are kept in
+//! a side table (rules L4 and the allow-markers need them); the main
+//! token stream contains only code.
+
+/// Kind of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Lifetime (`'a`) — distinct from char literals.
+    Lifetime,
+    /// Integer literal.
+    Int,
+    /// Float literal (has a fractional part, exponent, or fN suffix).
+    Float,
+    /// String, raw string, byte string or char literal.
+    Literal,
+    /// Operator or punctuation (multi-char ops are single tokens).
+    Punct,
+}
+
+/// One token of code.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    /// The token text, owned so diagnostics can quote it.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+/// One comment, preserved for `// SAFETY:` and allow-marker checks.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    /// 1-based line of the comment's first character.
+    pub line: u32,
+    /// 1-based line of the comment's last character (block comments span).
+    pub end_line: u32,
+}
+
+/// Lexed file: code tokens plus the comment side table.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators recognised as single tokens, longest first.
+const MULTI_OPS: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "->", "=>", "::", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+/// Tokenise `src`. Never fails: unterminated constructs consume to EOF,
+/// which is good enough for linting (rustc reports the real error).
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    let count_lines = |s: &str| s.bytes().filter(|&b| b == b'\n').count() as u32;
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+
+        // Line comment (also doc comments).
+        if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            let end = src[i..].find('\n').map_or(bytes.len(), |n| i + n);
+            out.comments.push(Comment {
+                text: src[i..end].to_string(),
+                line,
+                end_line: line,
+            });
+            i = end;
+            continue;
+        }
+
+        // Block comment, possibly nested.
+        if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1;
+            i += 2;
+            while i < bytes.len() && depth > 0 {
+                if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            out.comments.push(Comment {
+                text: src[start..i].to_string(),
+                line: start_line,
+                end_line: line,
+            });
+            continue;
+        }
+
+        // Raw strings: r"...", r#"..."#, and byte variants br#"..."#.
+        let raw_start = if c == 'r' && matches!(bytes.get(i + 1), Some(b'"') | Some(b'#')) {
+            Some(i + 1)
+        } else if c == 'b'
+            && bytes.get(i + 1) == Some(&b'r')
+            && matches!(bytes.get(i + 2), Some(b'"') | Some(b'#'))
+        {
+            Some(i + 2)
+        } else {
+            None
+        };
+        if let Some(mut j) = raw_start {
+            let mut hashes = 0usize;
+            while bytes.get(j) == Some(&b'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if bytes.get(j) == Some(&b'"') {
+                let terminator: String = std::iter::once('"')
+                    .chain(std::iter::repeat('#').take(hashes))
+                    .collect();
+                let body_start = j + 1;
+                let end = src[body_start..]
+                    .find(&terminator)
+                    .map_or(bytes.len(), |n| body_start + n + terminator.len());
+                let text = &src[i..end];
+                out.tokens.push(Tok {
+                    kind: TokKind::Literal,
+                    text: text.to_string(),
+                    line,
+                });
+                line += count_lines(text);
+                i = end;
+                continue;
+            }
+        }
+
+        // Ordinary and byte strings.
+        if c == '"' || (c == 'b' && bytes.get(i + 1) == Some(&b'"')) {
+            let start = i;
+            i += if c == 'b' { 2 } else { 1 };
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'\\' => i += 2,
+                    b'"' => {
+                        i += 1;
+                        break;
+                    }
+                    b'\n' => {
+                        line += 1;
+                        i += 1;
+                    }
+                    _ => i += 1,
+                }
+            }
+            let text = &src[start..i.min(bytes.len())];
+            out.tokens.push(Tok {
+                kind: TokKind::Literal,
+                text: text.to_string(),
+                line: line - count_lines(text),
+            });
+            continue;
+        }
+
+        // Lifetime or char literal.
+        if c == '\'' {
+            let next = bytes.get(i + 1).copied();
+            let after = bytes.get(i + 2).copied();
+            let is_lifetime = matches!(next, Some(n) if (n as char).is_alphabetic() || n == b'_')
+                && after != Some(b'\'');
+            if is_lifetime {
+                let mut j = i + 1;
+                while j < bytes.len() && ((bytes[j] as char).is_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: src[i..j].to_string(),
+                    line,
+                });
+                i = j;
+                continue;
+            }
+            // Char literal: 'x', '\n', '\'', '\u{1F600}'.
+            let start = i;
+            i += 1;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'\\' => i += 2,
+                    b'\'' => {
+                        i += 1;
+                        break;
+                    }
+                    _ => i += 1,
+                }
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Literal,
+                text: src[start..i.min(bytes.len())].to_string(),
+                line,
+            });
+            continue;
+        }
+
+        // Numeric literal.
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut is_float = false;
+            // 0x / 0o / 0b prefixes are always integers.
+            if c == '0' && matches!(bytes.get(i + 1), Some(b'x' | b'o' | b'b' | b'X')) {
+                i += 2;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+            } else {
+                while i < bytes.len() && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                // Fractional part — but not `1..2` (range) or `1.method()`.
+                if bytes.get(i) == Some(&b'.')
+                    && bytes
+                        .get(i + 1)
+                        .is_some_and(|&b| (b as char).is_ascii_digit())
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len()
+                        && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'_')
+                    {
+                        i += 1;
+                    }
+                } else if bytes.get(i) == Some(&b'.')
+                    && !matches!(bytes.get(i + 1), Some(b'.'))
+                    && !bytes
+                        .get(i + 1)
+                        .is_some_and(|&b| (b as char).is_alphabetic() || b == b'_')
+                {
+                    // Trailing dot: `1.` is a float.
+                    is_float = true;
+                    i += 1;
+                }
+                // Exponent.
+                if matches!(bytes.get(i), Some(b'e' | b'E'))
+                    && bytes
+                        .get(i + 1)
+                        .is_some_and(|&b| (b as char).is_ascii_digit() || b == b'+' || b == b'-')
+                {
+                    is_float = true;
+                    i += 1;
+                    if matches!(bytes.get(i), Some(b'+' | b'-')) {
+                        i += 1;
+                    }
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                // Suffix: f32/f64 forces float; u8/i64/usize stay ints.
+                let suffix_start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                if src[suffix_start..i].starts_with('f') {
+                    is_float = true;
+                }
+            }
+            out.tokens.push(Tok {
+                kind: if is_float {
+                    TokKind::Float
+                } else {
+                    TokKind::Int
+                },
+                text: src[start..i].to_string(),
+                line,
+            });
+            continue;
+        }
+
+        // Identifier / keyword (including raw identifiers `r#match`).
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            if c == 'r' && bytes.get(i + 1) == Some(&b'#') {
+                i += 2;
+            }
+            while i < bytes.len() && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Ident,
+                text: src[start..i].to_string(),
+                line,
+            });
+            continue;
+        }
+
+        // Multi-char operators (maximal munch), then single punct.
+        let rest = &src[i..];
+        if let Some(op) = MULTI_OPS.iter().find(|op| rest.starts_with(**op)) {
+            out.tokens.push(Tok {
+                kind: TokKind::Punct,
+                text: (*op).to_string(),
+                line,
+            });
+            i += op.len();
+            continue;
+        }
+        out.tokens.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += c.len_utf8();
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_side_tabled() {
+        let l = lex("let x = 1; // trailing\n/* block\nspanning */ let y = 2;");
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].text, "// trailing");
+        assert_eq!(l.comments[0].line, 1);
+        assert_eq!(l.comments[1].line, 2);
+        assert_eq!(l.comments[1].end_line, 3);
+        // Tokens exclude comments; `y = 2` is on line 3.
+        let y = l.tokens.iter().find(|t| t.text == "y").expect("y token");
+        assert_eq!(y.line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* a /* nested */ still comment */ fn f() {}");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(l.tokens[0].text, "fn");
+    }
+
+    #[test]
+    fn strings_hide_operators() {
+        let l = lex(r#"let s = "a == b // not a comment"; s != t"#);
+        // The only `!=` token is the real one outside the string.
+        let neq: Vec<_> = l.tokens.iter().filter(|t| t.text == "!=").collect();
+        assert_eq!(neq.len(), 1);
+        assert!(l.comments.is_empty());
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let l = lex(r###"let s = r#"contains "quote" and == inside"#; x == y"###);
+        let eq: Vec<_> = l.tokens.iter().filter(|t| t.text == "==").collect();
+        assert_eq!(eq.len(), 1);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Lifetime && t == "'a"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Literal && t == "'x'"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Literal && t == "'\\n'"));
+    }
+
+    #[test]
+    fn float_vs_int_classification() {
+        let toks = kinds("1 1.5 1. 2e9 3E-4 1f64 0x1F 0b101 7u32 1..2 3.min(4.0)");
+        let get = |s: &str| toks.iter().find(|(_, t)| t == s).map(|(k, _)| *k);
+        assert_eq!(get("1"), Some(TokKind::Int));
+        assert_eq!(get("1.5"), Some(TokKind::Float));
+        assert_eq!(get("1."), Some(TokKind::Float));
+        assert_eq!(get("2e9"), Some(TokKind::Float));
+        assert_eq!(get("3E-4"), Some(TokKind::Float));
+        assert_eq!(get("1f64"), Some(TokKind::Float));
+        assert_eq!(get("0x1F"), Some(TokKind::Int));
+        assert_eq!(get("0b101"), Some(TokKind::Int));
+        assert_eq!(get("7u32"), Some(TokKind::Int));
+        // `1..2` lexes as Int, `..`, Int; `3.min` keeps 3 an Int.
+        assert!(toks.iter().any(|(_, t)| t == ".."));
+        assert_eq!(get("3"), Some(TokKind::Int));
+        assert_eq!(get("4.0"), Some(TokKind::Float));
+    }
+
+    #[test]
+    fn multi_char_ops_are_single_tokens() {
+        let toks = kinds("a == b != c -> d => e :: f ..= g");
+        for op in ["==", "!=", "->", "=>", "::", "..="] {
+            assert!(
+                toks.iter().any(|(k, t)| *k == TokKind::Punct && t == op),
+                "{op}"
+            );
+        }
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_strings() {
+        let l = lex("let a = \"line1\nline2\";\nlet b = 1;");
+        let b = l.tokens.iter().find(|t| t.text == "b").expect("b token");
+        assert_eq!(b.line, 3);
+    }
+}

@@ -1,0 +1,178 @@
+//! Workspace static analysis for the 3DPro reproduction.
+//!
+//! `cargo xtask lint` enforces four repo-specific correctness rules that
+//! rustc/clippy cannot express (see `docs/invariants.md`):
+//!
+//! * **L1 `no_panic`** — library crates on the query hot path must not
+//!   `unwrap()`/`expect()`/`panic!` outside test code.
+//! * **L2 `float_eq`** — no naked float `==`/`!=`; tolerance must go through
+//!   `geom::eps`.
+//! * **L3 `must_use`** — public predicates in `geom`/`mesh` returning
+//!   `bool`/`Ordering` must be `#[must_use]`.
+//! * **L4 `safety_comment`** — `unsafe` blocks/impls need a `// SAFETY:`
+//!   comment.
+//!
+//! The driver deliberately avoids external parser crates: a small lexer
+//! (`lexer`) tokenises each file, and the rules (`rules`) walk the token
+//! stream with a comment side-table. That keeps the tool dependency-free and
+//! fast enough to run on every CI push.
+
+pub mod lexer;
+pub mod rules;
+
+use rules::{lint_source, Diagnostic, Rule};
+use std::path::{Path, PathBuf};
+
+/// Crates whose non-test code must be panic-free (L1). These sit on the
+/// decode/refine hot path where an abort loses the whole query batch.
+const PANIC_FREE_CRATES: &[&str] = &["geom", "coder", "mesh", "index", "tripro"];
+
+/// Crates whose public predicates must be `#[must_use]` (L3).
+const MUST_USE_CRATES: &[&str] = &["geom", "mesh"];
+
+/// Which rules apply to the file at `path` (workspace-relative, `/`-separated).
+#[must_use]
+pub fn rules_for(path: &str) -> Vec<Rule> {
+    let mut rules = Vec::new();
+    fn crate_of(p: &str) -> Option<&str> {
+        p.strip_prefix("crates/").and_then(|r| r.split('/').next())
+    }
+    let in_src = path.contains("/src/");
+    if let Some(krate) = crate_of(path) {
+        if in_src && PANIC_FREE_CRATES.contains(&krate) {
+            rules.push(Rule::NoPanic);
+        }
+        if in_src && MUST_USE_CRATES.contains(&krate) {
+            rules.push(Rule::MustUse);
+        }
+    }
+    // Epsilon discipline applies everywhere except the module that defines
+    // the epsilon primitives (it must compare floats exactly) and tests,
+    // which are already excluded per-region by the rule itself.
+    if !path.ends_with("geom/src/eps.rs") {
+        rules.push(Rule::FloatEq);
+    }
+    rules.push(Rule::SafetyComment);
+    rules
+}
+
+/// Recursively collect `.rs` files under `dir`, skipping `target/`.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        if path.is_dir() {
+            if name != "target" && name != ".git" {
+                collect_rs(&path, out);
+            }
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Lint every workspace source file under `root`; returns all diagnostics.
+///
+/// Scans `crates/*/src`, `crates/*/tests`, `vendor/*/src`, plus the
+/// top-level `tests/` and `benches/` trees.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    for top in ["crates", "vendor", "tests", "benches"] {
+        collect_rs(&root.join(top), &mut files);
+    }
+    files.sort();
+    let mut diags = Vec::new();
+    for file in &files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(file)?;
+        diags.extend(lint_source(&rel, &src, &rules_for(&rel)));
+    }
+    Ok(diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VIOLATIONS: &str = include_str!("../fixtures/violations.rs.fixture");
+    const CLEAN: &str = include_str!("../fixtures/clean.rs.fixture");
+
+    const ALL: &[Rule] = &[
+        Rule::NoPanic,
+        Rule::FloatEq,
+        Rule::MustUse,
+        Rule::SafetyComment,
+    ];
+
+    fn count(diags: &[Diagnostic], rule: Rule) -> usize {
+        diags.iter().filter(|d| d.rule == rule).count()
+    }
+
+    #[test]
+    fn seeded_violations_all_fire() {
+        let diags = lint_source("crates/geom/src/fixture.rs", VIOLATIONS, ALL);
+        assert_eq!(count(&diags, Rule::NoPanic), 5, "{diags:#?}");
+        assert_eq!(count(&diags, Rule::FloatEq), 3, "{diags:#?}");
+        assert_eq!(count(&diags, Rule::MustUse), 2, "{diags:#?}");
+        assert_eq!(count(&diags, Rule::SafetyComment), 2, "{diags:#?}");
+    }
+
+    #[test]
+    fn clean_fixture_passes() {
+        let diags = lint_source("crates/geom/src/fixture.rs", CLEAN, ALL);
+        assert!(diags.is_empty(), "{diags:#?}");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { let x: Option<u8> = None; x.unwrap(); assert!(1.0 == 1.0); }\n}\n";
+        let diags = lint_source("crates/geom/src/x.rs", src, ALL);
+        assert!(diags.is_empty(), "{diags:#?}");
+    }
+
+    #[test]
+    fn allow_marker_suppresses() {
+        let src = "fn f(v: &[u8]) -> u8 {\n    // tripro_lint::allow(no_panic): caller guarantees non-empty\n    *v.first().expect(\"non-empty\")\n}\n";
+        let diags = lint_source("crates/geom/src/x.rs", src, &[Rule::NoPanic]);
+        assert!(diags.is_empty(), "{diags:#?}");
+        // Wrong rule name in the marker must NOT suppress.
+        let src_bad = src.replace("allow(no_panic)", "allow(float_eq)");
+        let diags = lint_source("crates/geom/src/x.rs", &src_bad, &[Rule::NoPanic]);
+        assert_eq!(diags.len(), 1);
+    }
+
+    #[test]
+    fn eps_module_is_exempt_from_float_eq() {
+        let rules = rules_for("crates/geom/src/eps.rs");
+        assert!(!rules.contains(&Rule::FloatEq));
+        assert!(rules.contains(&Rule::NoPanic));
+    }
+
+    #[test]
+    fn rule_scoping_by_crate() {
+        let bench = rules_for("crates/bench/src/main.rs");
+        assert!(!bench.contains(&Rule::NoPanic), "bench binaries may panic");
+        assert!(bench.contains(&Rule::FloatEq));
+        let tripro = rules_for("crates/tripro/src/query.rs");
+        assert!(tripro.contains(&Rule::NoPanic));
+        assert!(!tripro.contains(&Rule::MustUse));
+    }
+
+    #[test]
+    fn diagnostics_render_with_location() {
+        let diags = lint_source("crates/geom/src/fixture.rs", VIOLATIONS, &[Rule::NoPanic]);
+        let rendered = format!("{}", diags[0]);
+        assert!(
+            rendered.starts_with("crates/geom/src/fixture.rs:"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("[no_panic]"), "{rendered}");
+    }
+}

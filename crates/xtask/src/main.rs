@@ -1,0 +1,65 @@
+//! `cargo xtask <command>` — workspace automation.
+//!
+//! Commands:
+//! * `lint` — run the repo-specific static-analysis rules (L1–L4) over every
+//!   workspace source file; exits 1 if any diagnostic is produced.
+//! * `lint --list` — print the rule set and scoping, then exit 0.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR = <root>/crates/xtask at compile time; when run via
+    // `cargo xtask` the cwd is the workspace root, so fall back to ".".
+    option_env!("CARGO_MANIFEST_DIR")
+        .map(|d| PathBuf::from(d).join("../.."))
+        .filter(|p| p.join("Cargo.toml").exists())
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn print_rules() {
+    println!("rules enforced by `cargo xtask lint`:");
+    println!("  no_panic        no unwrap()/expect()/panic!/todo!/unimplemented! in");
+    println!("                  non-test code of geom, coder, mesh, index, tripro");
+    println!("  float_eq        no naked float ==/!= outside geom::eps and tests");
+    println!("  must_use        public bool/Ordering predicates in geom and mesh");
+    println!("                  must be #[must_use]");
+    println!("  safety_comment  unsafe blocks/impls need a // SAFETY: comment");
+    println!();
+    println!("suppress a finding with a comment on the same or previous line:");
+    println!("  // tripro_lint::allow(<rule>): <justification>");
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            if args.iter().any(|a| a == "--list") {
+                print_rules();
+                return ExitCode::SUCCESS;
+            }
+            let root = workspace_root();
+            match xtask::lint_workspace(&root) {
+                Ok(diags) if diags.is_empty() => {
+                    eprintln!("xtask lint: clean");
+                    ExitCode::SUCCESS
+                }
+                Ok(diags) => {
+                    for d in &diags {
+                        println!("{d}");
+                    }
+                    eprintln!("xtask lint: {} violation(s)", diags.len());
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("xtask lint: i/o error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => {
+            eprintln!("usage: cargo xtask lint [--list]");
+            ExitCode::FAILURE
+        }
+    }
+}

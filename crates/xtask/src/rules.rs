@@ -1,0 +1,439 @@
+//! The repo-specific lint rules (L1–L4); see `docs/invariants.md`.
+//!
+//! Rules operate on the token stream from [`crate::lexer`], so strings and
+//! comments can't produce false positives. Test code (`#[cfg(test)]` mods
+//! and `#[test]` fns) is exempt from L1–L3. A finding is suppressed by a
+//! marker comment on the same line or the line directly above:
+//!
+//! ```text
+//! // tripro_lint::allow(no_panic): the index is validated two lines up
+//! ```
+
+use crate::lexer::{lex, Lexed, Tok, TokKind};
+
+/// The lint rules the driver can enforce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// L1: no `unwrap()`/`expect()`/`panic!`/`todo!`/`unimplemented!` in
+    /// non-test library code.
+    NoPanic,
+    /// L2: no `==`/`!=` against float literals outside `geom::eps`.
+    FloatEq,
+    /// L3: public predicates returning `bool`/`Ordering` carry `#[must_use]`.
+    MustUse,
+    /// L4: every `unsafe` block/impl has a `// SAFETY:` comment.
+    SafetyComment,
+}
+
+impl Rule {
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NoPanic => "no_panic",
+            Rule::FloatEq => "float_eq",
+            Rule::MustUse => "must_use",
+            Rule::SafetyComment => "safety_comment",
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    pub rule: Rule,
+    pub file: String,
+    pub line: u32,
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+/// Lint one source file against `rules`.
+#[must_use]
+pub fn lint_source(path: &str, src: &str, rules: &[Rule]) -> Vec<Diagnostic> {
+    let lexed = lex(src);
+    let test_regions = test_regions(&lexed.tokens);
+    let mut out = Vec::new();
+    for &rule in rules {
+        let blessed = blessed_lines(&lexed, rule);
+        let in_scope = |line: u32| {
+            !blessed.contains(&line)
+                && !test_regions
+                    .iter()
+                    .any(|&(lo, hi)| (lo..=hi).contains(&line))
+        };
+        match rule {
+            Rule::NoPanic => check_no_panic(path, &lexed, &in_scope, &mut out),
+            Rule::FloatEq => check_float_eq(path, &lexed, &in_scope, &mut out),
+            Rule::MustUse => check_must_use(path, &lexed, &in_scope, &mut out),
+            Rule::SafetyComment => check_safety(path, &lexed, &blessed, &mut out),
+        }
+    }
+    out.sort_by_key(|d| d.line);
+    out
+}
+
+/// Lines blessed by `tripro_lint::allow(<rule>)` marker comments: the
+/// marker's own line and the line right after it (marker-above style).
+fn blessed_lines(lexed: &Lexed, rule: Rule) -> Vec<u32> {
+    let needle = format!("tripro_lint::allow({})", rule.name());
+    let mut lines = Vec::new();
+    for c in &lexed.comments {
+        if c.text.contains(&needle) {
+            lines.push(c.line);
+            lines.push(c.end_line + 1);
+        }
+    }
+    lines
+}
+
+/// Line ranges covered by `#[cfg(test)]` items and `#[test]` functions.
+///
+/// Heuristic, not a full parse: after a test attribute, the region extends
+/// from the attribute to the close of the next brace-balanced block. An
+/// attribute followed by `;` before any `{` (e.g. `#[cfg(test)] use x;`)
+/// covers just those lines.
+fn test_regions(tokens: &[Tok]) -> Vec<(u32, u32)> {
+    let mut regions: Vec<(u32, u32)> = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].text == "#" && tokens.get(i + 1).is_some_and(|t| t.text == "[") {
+            let (attr_end, is_test) = scan_attr(tokens, i + 1);
+            if is_test {
+                let start_line = tokens[i].line;
+                // Find the block opened by the annotated item.
+                let mut j = attr_end;
+                let mut end_line = tokens
+                    .get(attr_end.saturating_sub(1))
+                    .map_or(start_line, |t| t.line);
+                while j < tokens.len() {
+                    match tokens[j].text.as_str() {
+                        ";" => {
+                            end_line = tokens[j].line;
+                            break;
+                        }
+                        "{" => {
+                            let close = match_brace(tokens, j);
+                            end_line = tokens.get(close).map_or(tokens[j].line, |t| t.line);
+                            j = close;
+                            break;
+                        }
+                        _ => j += 1,
+                    }
+                }
+                regions.push((start_line, end_line));
+                i = j.max(attr_end);
+                continue;
+            }
+            i = attr_end;
+            continue;
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// Scan an attribute starting at the `[` token; returns (index past the
+/// closing `]`, whether it marks test code).
+fn scan_attr(tokens: &[Tok], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut body = Vec::new();
+    let mut i = open;
+    while i < tokens.len() {
+        match tokens[i].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => body.push(tokens[i].text.as_str()),
+        }
+        i += 1;
+    }
+    let is_test = body == ["test"]
+        || body.windows(4).any(|w| w == ["cfg", "(", "test", ")"])
+        || (body.first() == Some(&"cfg") && body.contains(&"test"));
+    (i + 1, is_test)
+}
+
+/// Index of the `}` matching the `{` at `open` (or the last token).
+fn match_brace(tokens: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < tokens.len() {
+        match tokens[i].text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    tokens.len().saturating_sub(1)
+}
+
+// ---------------------------------------------------------------------
+// L1 — panic freedom
+// ---------------------------------------------------------------------
+
+fn check_no_panic(
+    path: &str,
+    lexed: &Lexed,
+    in_scope: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Diagnostic>,
+) {
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !in_scope(t.line) {
+            continue;
+        }
+        let prev = i
+            .checked_sub(1)
+            .and_then(|p| toks.get(p))
+            .map(|t| t.text.as_str());
+        let next = toks.get(i + 1).map(|t| t.text.as_str());
+        let method_call = prev == Some(".") && next == Some("(");
+        let bang_macro = next == Some("!");
+        let hit = match t.text.as_str() {
+            "unwrap" | "expect" if method_call => true,
+            "panic" | "todo" | "unimplemented" if bang_macro => true,
+            _ => false,
+        };
+        if hit {
+            out.push(Diagnostic {
+                rule: Rule::NoPanic,
+                file: path.to_string(),
+                line: t.line,
+                message: format!(
+                    "`{}` can abort the process; propagate a Result/Option instead \
+                     (or justify with `// tripro_lint::allow(no_panic): ...`)",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// L2 — epsilon discipline
+// ---------------------------------------------------------------------
+
+fn check_float_eq(
+    path: &str,
+    lexed: &Lexed,
+    in_scope: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Diagnostic>,
+) {
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Punct || (t.text != "==" && t.text != "!=") || !in_scope(t.line) {
+            continue;
+        }
+        let lhs_float = i
+            .checked_sub(1)
+            .and_then(|p| toks.get(p))
+            .is_some_and(|t| t.kind == TokKind::Float);
+        // Skip a unary minus on the right-hand side.
+        let mut j = i + 1;
+        while toks.get(j).is_some_and(|t| t.text == "-") {
+            j += 1;
+        }
+        let rhs_float = toks.get(j).is_some_and(|t| t.kind == TokKind::Float);
+        if lhs_float || rhs_float {
+            out.push(Diagnostic {
+                rule: Rule::FloatEq,
+                file: path.to_string(),
+                line: t.line,
+                message: format!(
+                    "naked float `{}` comparison; use geom::eps (approx_eq / \
+                     is_exactly_zero) so the tolerance is explicit",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// L3 — #[must_use] on public predicates
+// ---------------------------------------------------------------------
+
+fn check_must_use(
+    path: &str,
+    lexed: &Lexed,
+    in_scope: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Diagnostic>,
+) {
+    let toks = &lexed.tokens;
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].text != "pub" || !in_scope(toks[i].line) {
+            i += 1;
+            continue;
+        }
+        let pub_idx = i;
+        let mut j = i + 1;
+        // `pub(crate)` & friends are not public API — skip the item.
+        if toks.get(j).is_some_and(|t| t.text == "(") {
+            i += 1;
+            continue;
+        }
+        // Qualifiers between `pub` and `fn`.
+        while toks
+            .get(j)
+            .is_some_and(|t| matches!(t.text.as_str(), "const" | "unsafe" | "async" | "extern"))
+            || toks.get(j).is_some_and(|t| t.kind == TokKind::Literal)
+        {
+            j += 1;
+        }
+        if !toks.get(j).is_some_and(|t| t.text == "fn") {
+            i += 1;
+            continue;
+        }
+        let name = toks.get(j + 1).map_or(String::new(), |t| t.text.clone());
+        let fn_line = toks[j].line;
+        // Skip generics, then the parameter list.
+        j += 2;
+        if toks.get(j).is_some_and(|t| t.text == "<") {
+            let mut depth = 0i32;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "<" => depth += 1,
+                    ">" => depth -= 1,
+                    ">>" => depth -= 2,
+                    _ => {}
+                }
+                j += 1;
+                if depth <= 0 {
+                    break;
+                }
+            }
+        }
+        if !toks.get(j).is_some_and(|t| t.text == "(") {
+            i = j;
+            continue;
+        }
+        let mut depth = 0i32;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "(" => depth += 1,
+                ")" => depth -= 1,
+                _ => {}
+            }
+            j += 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        // Return type.
+        if !toks.get(j).is_some_and(|t| t.text == "->") {
+            i = j;
+            continue;
+        }
+        j += 1;
+        let ret_start = j;
+        while j < toks.len() && !matches!(toks[j].text.as_str(), "{" | "where" | ";") {
+            j += 1;
+        }
+        let ret: Vec<&str> = toks[ret_start..j].iter().map(|t| t.text.as_str()).collect();
+        let is_predicate =
+            ret == ["bool"] || ret.last() == Some(&"Ordering") || ret.last() == Some(&"Order");
+        if is_predicate && !has_attr(toks, pub_idx, "must_use") {
+            out.push(Diagnostic {
+                rule: Rule::MustUse,
+                file: path.to_string(),
+                line: fn_line,
+                message: format!(
+                    "public predicate `{name}` returns `{}` but is not `#[must_use]`; \
+                     a dropped result silently skips a correctness check",
+                    ret.join("")
+                ),
+            });
+        }
+        i = j;
+    }
+}
+
+/// Does the item whose first token is at `idx` carry `#[<name>]` (possibly
+/// among several attributes)?
+fn has_attr(toks: &[Tok], idx: usize, name: &str) -> bool {
+    let mut end = idx;
+    // Walk backwards over stacked `#[...]` attribute groups.
+    while end >= 2 && toks.get(end - 1).is_some_and(|t| t.text == "]") {
+        let mut depth = 0i32;
+        let mut k = end - 1;
+        loop {
+            match toks[k].text.as_str() {
+                "]" => depth += 1,
+                "[" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            if k == 0 {
+                return false;
+            }
+            k -= 1;
+        }
+        if k == 0 || toks[k - 1].text != "#" {
+            return false;
+        }
+        if toks[k..end].iter().any(|t| t.text == name) {
+            return true;
+        }
+        end = k - 1;
+    }
+    false
+}
+
+// ---------------------------------------------------------------------
+// L4 — SAFETY comments on unsafe
+// ---------------------------------------------------------------------
+
+fn check_safety(path: &str, lexed: &Lexed, blessed: &[u32], out: &mut Vec<Diagnostic>) {
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "unsafe" || blessed.contains(&t.line) {
+            continue;
+        }
+        let next = toks.get(i + 1).map(|t| t.text.as_str());
+        // Blocks and unsafe trait impls need a justification at the site;
+        // `unsafe fn` documents its contract in rustdoc instead.
+        if !matches!(next, Some("{") | Some("impl")) {
+            continue;
+        }
+        let documented = lexed.comments.iter().any(|c| {
+            c.text.contains("SAFETY:") && c.end_line <= t.line && c.end_line + 3 >= t.line
+        });
+        if !documented {
+            out.push(Diagnostic {
+                rule: Rule::SafetyComment,
+                file: path.to_string(),
+                line: t.line,
+                message: "`unsafe` without a `// SAFETY:` comment in the 3 lines above \
+                          it; state the invariant that makes this sound"
+                    .to_string(),
+            });
+        }
+    }
+}

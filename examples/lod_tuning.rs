@@ -6,7 +6,9 @@
 //! cargo run --release --example lod_tuning
 //! ```
 
-use tripro::{choose_lods, Accel, Engine, ObjectStore, Paradigm, QueryConfig, QueryKind, StoreConfig};
+use tripro::{
+    choose_lods, Accel, Engine, ObjectStore, Paradigm, QueryConfig, QueryKind, StoreConfig,
+};
 use tripro_synth::DatasetConfig;
 
 fn main() {
@@ -27,11 +29,17 @@ fn main() {
     ] {
         a.cache().clear();
         b.cache().clear();
-        let choice = choose_lods(&engine, kind, 60, Accel::Brute);
+        let choice = choose_lods(&engine, kind, 60, Accel::Brute).expect("profiling failed");
         println!("\n=== {} join ===", kind.label());
-        println!("measured r = {:.2}, break-even pruned fraction = {:.0}%",
-            choice.r, choice.threshold * 100.0);
-        println!("{:>4} {:>10} {:>10} {:>8}", "LOD", "evaluated", "pruned", "frac");
+        println!(
+            "measured r = {:.2}, break-even pruned fraction = {:.0}%",
+            choice.r,
+            choice.threshold * 100.0
+        );
+        println!(
+            "{:>4} {:>10} {:>10} {:>8}",
+            "LOD", "evaluated", "pruned", "frac"
+        );
         for act in &choice.activity {
             println!(
                 "{:>4} {:>10} {:>10} {:>7.1}%{}",
@@ -39,7 +47,11 @@ fn main() {
                 act.evaluated,
                 act.pruned,
                 act.pruned_fraction * 100.0,
-                if choice.chosen.contains(&act.lod) { "  <- refine here" } else { "" }
+                if choice.chosen.contains(&act.lod) {
+                    "  <- refine here"
+                } else {
+                    ""
+                }
             );
         }
 
@@ -49,14 +61,17 @@ fn main() {
         a.cache().clear();
         b.cache().clear();
         let t0 = std::time::Instant::now();
-        let (r_full, _) = engine.nn_join(&full);
+        let (r_full, _) = engine.nn_join(&full).expect("join failed");
         let t_full = t0.elapsed();
         a.cache().clear();
         b.cache().clear();
         let t0 = std::time::Instant::now();
-        let (r_tuned, _) = engine.nn_join(&tuned);
+        let (r_tuned, _) = engine.nn_join(&tuned).expect("join failed");
         let t_tuned = t0.elapsed();
         assert_eq!(r_full, r_tuned, "tuning must not change results");
-        println!("all-LODs NN join: {t_full:?}; tuned {:?}: {t_tuned:?}", choice.chosen);
+        println!(
+            "all-LODs NN join: {t_full:?}; tuned {:?}: {t_tuned:?}",
+            choice.chosen
+        );
     }
 }

@@ -14,7 +14,11 @@ fn main() {
     let data_cfg = DatasetConfig {
         nuclei_count: 150,
         vessel_count: 2,
-        vessel: VesselConfig { levels: 3, grid: 36, ..Default::default() },
+        vessel: VesselConfig {
+            levels: 3,
+            grid: 36,
+            ..Default::default()
+        },
         ..Default::default()
     };
     println!("generating tissue block...");
@@ -35,7 +39,10 @@ fn main() {
     // "Which vessels lie within d of each nucleus?" — the WN-NV test.
     let d = 4.0;
     println!("\nwithin-join (d = {d}), all strategies, FR vs FPR:");
-    println!("{:<16} {:>12} {:>12} {:>14} {:>10}", "accel", "FR (ms)", "FPR (ms)", "face pairs FPR", "matches");
+    println!(
+        "{:<16} {:>12} {:>12} {:>14} {:>10}",
+        "accel", "FR (ms)", "FPR (ms)", "face pairs FPR", "matches"
+    );
     for accel in Accel::ALL {
         let mut row = (0.0, 0.0, 0, 0);
         for paradigm in [Paradigm::FilterRefine, Paradigm::FilterProgressiveRefine] {
@@ -43,7 +50,7 @@ fn main() {
             vessels.cache().clear();
             let cfg = QueryConfig::new(paradigm, accel).with_threads(4);
             let t0 = std::time::Instant::now();
-            let (pairs, stats) = engine.within_join(d, &cfg);
+            let (pairs, stats) = engine.within_join(d, &cfg).expect("join failed");
             let ms = t0.elapsed().as_secs_f64() * 1e3;
             let matches: usize = pairs.iter().map(|(_, v)| v.len()).sum();
             match paradigm {

@@ -13,16 +13,27 @@ use tripro_mesh::{encode, EncoderConfig};
 use tripro_synth::{vessel, VesselConfig};
 
 fn main() {
-    let out_dir = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| std::env::temp_dir().join("tripro_lods").display().to_string());
+    let out_dir = std::env::args().nth(1).unwrap_or_else(|| {
+        std::env::temp_dir()
+            .join("tripro_lods")
+            .display()
+            .to_string()
+    });
     std::fs::create_dir_all(&out_dir).expect("create output dir");
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(9);
-    let cfg = VesselConfig { levels: 4, grid: 44, ..Default::default() };
+    let cfg = VesselConfig {
+        levels: 4,
+        grid: 44,
+        ..Default::default()
+    };
     println!("generating a bifurcated vessel...");
     let v = vessel(&mut rng, &cfg, tripro_geom::Vec3::ZERO);
-    println!("  {} faces, {} bifurcation levels", v.mesh.faces.len(), cfg.levels);
+    println!(
+        "  {} faces, {} bifurcation levels",
+        v.mesh.faces.len(),
+        cfg.levels
+    );
 
     let cm = encode(&v.mesh, &EncoderConfig::default()).expect("encode");
     let raw = tripro_mesh::raw_size(&v.mesh);

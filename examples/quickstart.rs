@@ -32,7 +32,12 @@ fn main() {
         target_store.len(),
         source_store.len(),
         (target_store.compressed_bytes() + source_store.compressed_bytes()) / 1024,
-        (targets.iter().chain(&sources).map(tripro_mesh::raw_size).sum::<usize>()) / 1024,
+        (targets
+            .iter()
+            .chain(&sources)
+            .map(tripro_mesh::raw_size)
+            .sum::<usize>())
+            / 1024,
     );
 
     // 3. Run the same nearest-neighbour join under both paradigms.
@@ -42,7 +47,7 @@ fn main() {
         source_store.cache().clear();
         let cfg = QueryConfig::new(paradigm, Accel::Brute);
         let t0 = std::time::Instant::now();
-        let (pairs, stats) = engine.nn_join(&cfg);
+        let (pairs, stats) = engine.nn_join(&cfg).expect("join failed");
         let elapsed = t0.elapsed();
         let snap = stats.snapshot();
         println!(

@@ -12,20 +12,31 @@ use tripro_synth::{vessel, VesselConfig};
 use tripro_viz::{render_triangles, Camera, RenderOptions};
 
 fn main() {
-    let out_dir = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| std::env::temp_dir().join("tripro_renders").display().to_string());
+    let out_dir = std::env::args().nth(1).unwrap_or_else(|| {
+        std::env::temp_dir()
+            .join("tripro_renders")
+            .display()
+            .to_string()
+    });
     std::fs::create_dir_all(&out_dir).expect("create output dir");
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(21);
-    let cfg = VesselConfig { levels: 3, grid: 40, ..Default::default() };
+    let cfg = VesselConfig {
+        levels: 3,
+        grid: 40,
+        ..Default::default()
+    };
     let v = vessel(&mut rng, &cfg, tripro_geom::Vec3::ZERO);
     let cm = encode(&v.mesh, &EncoderConfig::default()).expect("encode");
 
     // One fixed camera framing the FULL object, reused for every LOD, so
     // the images are directly comparable.
     let cam = Camera::isometric(&v.mesh.aabb());
-    let opts = RenderOptions { width: 640, height: 640, ..Default::default() };
+    let opts = RenderOptions {
+        width: 640,
+        height: 640,
+        ..Default::default()
+    };
 
     let mut dec = cm.decoder().expect("decode");
     for lod in 0..=cm.max_lod() {

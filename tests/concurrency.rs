@@ -10,11 +10,23 @@ use tripro_mesh::testutil::sphere;
 
 fn store(n: usize) -> Arc<ObjectStore> {
     let meshes: Vec<_> = (0..n)
-        .map(|i| sphere(vec3((i % 8) as f64 * 6.0, (i / 8) as f64 * 6.0, 0.0), 2.0, 3))
+        .map(|i| {
+            sphere(
+                vec3((i % 8) as f64 * 6.0, (i / 8) as f64 * 6.0, 0.0),
+                2.0,
+                3,
+            )
+        })
         .collect();
     Arc::new(
-        ObjectStore::build(&meshes, &StoreConfig { build_threads: 2, ..Default::default() })
-            .unwrap(),
+        ObjectStore::build(
+            &meshes,
+            &StoreConfig {
+                build_threads: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap(),
     )
 }
 
@@ -30,7 +42,7 @@ fn cache_hammering_from_many_threads() {
                 for round in 0..40 {
                     let id = ((t * 7 + round * 3) % 16) as u32;
                     let lod = (t + round) % (s.max_lod(id) + 1);
-                    let data = s.get(id, lod, stats);
+                    let data = s.get(id, lod, stats).unwrap();
                     assert!(!data.triangles.is_empty());
                     // Trees are built lazily under contention too.
                     if round % 5 == 0 {
@@ -53,7 +65,10 @@ fn concurrent_decodes_agree_with_serial() {
     let mut truth = std::collections::HashMap::new();
     for id in 0..8u32 {
         for lod in 0..=s.max_lod(id) {
-            truth.insert((id, lod), s.get(id, lod, &serial_stats).triangles.len());
+            truth.insert(
+                (id, lod),
+                s.get(id, lod, &serial_stats).unwrap().triangles.len(),
+            );
         }
     }
     s.cache().clear();
@@ -67,7 +82,7 @@ fn concurrent_decodes_agree_with_serial() {
                 for round in 0..30 {
                     let id = ((t + round * 5) % 8) as u32;
                     let lod = (t * 2 + round) % (s.max_lod(id) + 1);
-                    let got = s.get(id, lod, stats).triangles.len();
+                    let got = s.get(id, lod, stats).unwrap().triangles.len();
                     assert_eq!(got, truth[&(id, lod)], "({id},{lod}) under contention");
                 }
             });
@@ -81,7 +96,7 @@ fn tiny_cache_under_contention_stays_bounded() {
     // Force constant eviction with a cache that fits ~2 decoded objects.
     let one = {
         let stats = ExecStats::new();
-        s.get(0, 2, &stats).bytes()
+        s.get(0, 2, &stats).unwrap().bytes()
     };
     let small = tripro::DecodeCache::new(one * 2);
     let stats = ExecStats::new();
@@ -93,12 +108,15 @@ fn tiny_cache_under_contention_stays_bounded() {
             scope.spawn(move || {
                 for round in 0..30 {
                     let id = ((t + round) % 12) as u32;
-                    let _ = small.get(id, 2, &s.object(id).compressed, stats);
+                    let _ = small.get(id, 2, &s.object(id).compressed, stats).unwrap();
                 }
             });
         }
     });
-    assert!(small.used_bytes() <= one * 2, "capacity must hold after the storm");
+    assert!(
+        small.used_bytes() <= one * 2,
+        "capacity must hold after the storm"
+    );
 }
 
 #[test]
@@ -110,9 +128,9 @@ fn join_results_stable_across_thread_counts() {
     for threads in [1usize, 2, 4, 8] {
         t.cache().clear();
         s.cache().clear();
-        let cfg = QueryConfig::new(Paradigm::FilterProgressiveRefine, Accel::Aabb)
-            .with_threads(threads);
-        let (pairs, _) = engine.nn_join(&cfg);
+        let cfg =
+            QueryConfig::new(Paradigm::FilterProgressiveRefine, Accel::Aabb).with_threads(threads);
+        let (pairs, _) = engine.nn_join(&cfg).unwrap();
         match &reference {
             None => reference = Some(pairs),
             Some(r) => assert_eq!(&pairs, r, "threads={threads}"),

@@ -10,7 +10,11 @@ fn block() -> TissueBlock {
     tripro_synth::generate(&DatasetConfig {
         nuclei_count: 40,
         vessel_count: 2,
-        vessel: VesselConfig { levels: 2, grid: 24, ..Default::default() },
+        vessel: VesselConfig {
+            levels: 2,
+            grid: 24,
+            ..Default::default()
+        },
         seed: 0xE2E,
         ..Default::default()
     })
@@ -44,7 +48,7 @@ fn intersection_join_consistent_across_strategies_and_baseline() {
     for cfg in configs() {
         a_store.cache().clear();
         b_store.cache().clear();
-        let (pairs, _) = engine.intersection_join(&cfg);
+        let (pairs, _) = engine.intersection_join(&cfg).unwrap();
         // Compressed stores quantise geometry, so borderline (near-touching)
         // pairs may differ from the unquantised baseline; demand agreement
         // on all but a tiny fraction.
@@ -72,7 +76,7 @@ fn within_join_consistent_across_strategies_and_baseline() {
     for cfg in configs() {
         nuclei.cache().clear();
         vessels.cache().clear();
-        let (pairs, _) = engine.within_join(d, &cfg);
+        let (pairs, _) = engine.within_join(d, &cfg).unwrap();
         let diff = count_diff(&pairs, &reference);
         assert!(
             diff * 50 <= ref_matches.max(50),
@@ -98,7 +102,7 @@ fn nn_join_consistent_across_strategies_and_baseline() {
     for cfg in configs() {
         nuclei.cache().clear();
         others.cache().clear();
-        let (pairs, _) = engine.nn_join(&cfg);
+        let (pairs, _) = engine.nn_join(&cfg).unwrap();
         assert_eq!(pairs.len(), reference.len());
         let mut diff = 0;
         for ((t1, n1), (t2, n2)) in pairs.iter().zip(&reference) {
@@ -130,19 +134,19 @@ fn fr_and_fpr_agree_exactly_on_compressed_geometry() {
     let fr = QueryConfig::new(Paradigm::FilterRefine, Accel::Brute);
     let fpr = QueryConfig::new(Paradigm::FilterProgressiveRefine, Accel::Brute);
 
-    let (w1, _) = engine.within_join(5.0, &fr);
-    let (w2, _) = engine.within_join(5.0, &fpr);
+    let (w1, _) = engine.within_join(5.0, &fr).unwrap();
+    let (w2, _) = engine.within_join(5.0, &fpr).unwrap();
     assert_eq!(w1, w2);
 
-    let (n1, _) = engine.nn_join(&fr);
-    let (n2, _) = engine.nn_join(&fpr);
+    let (n1, _) = engine.nn_join(&fr).unwrap();
+    let (n2, _) = engine.nn_join(&fpr).unwrap();
     assert_eq!(n1, n2);
 
     let a_store = store(&b.nuclei_a);
     let b_store = store(&b.nuclei_b);
     let e2 = Engine::new(&a_store, &b_store);
-    let (i1, _) = e2.intersection_join(&fr);
-    let (i2, _) = e2.intersection_join(&fpr);
+    let (i1, _) = e2.intersection_join(&fr).unwrap();
+    let (i2, _) = e2.intersection_join(&fpr).unwrap();
     assert_eq!(i1, i2);
 }
 
@@ -162,8 +166,12 @@ fn persistence_preserves_query_results() {
     let others2 = ObjectStore::load_dir(&dir_s, 64 << 20).unwrap();
 
     let cfg = QueryConfig::new(Paradigm::FilterProgressiveRefine, Accel::Brute);
-    let (before, _) = Engine::new(&nuclei, &others).intersection_join(&cfg);
-    let (after, _) = Engine::new(&nuclei2, &others2).intersection_join(&cfg);
+    let (before, _) = Engine::new(&nuclei, &others)
+        .intersection_join(&cfg)
+        .unwrap();
+    let (after, _) = Engine::new(&nuclei2, &others2)
+        .intersection_join(&cfg)
+        .unwrap();
     assert_eq!(before, after);
     for d in [&dir_t, &dir_s] {
         let _ = std::fs::remove_dir_all(d);

@@ -1,0 +1,124 @@
+//! Property tests for the two monotonicity guarantees the query processor
+//! exploits (paper §3):
+//!
+//! * **P1 — intersection implication**: objects that intersect at a low LOD
+//!   intersect at every higher LOD.
+//! * **P2 — distance monotonicity**: inter-object distance never grows as
+//!   LOD rises.
+//!
+//! Both follow from the PPVP subset property; here they are checked
+//! end-to-end on the decoded triangle sets using the same geometry computer
+//! the engine runs, across every adjacent LOD pair of randomly generated
+//! organelle meshes. A feature-gated test additionally drives the
+//! `strict-invariants` runtime checkers.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use tripro::{Accel, Computer, ExecStats, LodData};
+use tripro_geom::vec3;
+use tripro_mesh::{encode, EncoderConfig, TriMesh};
+use tripro_synth::{nucleus, NucleusConfig};
+
+/// Decode every LOD of `tm` into engine-ready geometry.
+fn ladder(tm: &TriMesh) -> Vec<LodData> {
+    let cm = encode(tm, &EncoderConfig::default()).unwrap();
+    let mut dec = cm.decoder().unwrap();
+    let mut out = vec![LodData::new(dec.triangles())];
+    for lod in 1..=cm.max_lod() {
+        dec.decode_to(lod).unwrap();
+        out.push(LodData::new(dec.triangles()));
+    }
+    out
+}
+
+fn blob(seed: u64, radius: f64, centre_x: f64) -> TriMesh {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let cfg = NucleusConfig {
+        radius,
+        ..Default::default()
+    };
+    nucleus(&mut rng, &cfg, vec3(centre_x, 0.0, 0.0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// P1: walk both ladders bottom-up; once any rung pair intersects,
+    /// every higher rung pair must intersect too.
+    #[test]
+    fn p1_intersection_implies_at_higher_lods(
+        seed in any::<u64>(),
+        ra in 0.8f64..1.6,
+        rb in 0.8f64..1.6,
+    ) {
+        // Deep overlap so the chain is actually exercised from some rung on.
+        let gap = 0.3 * (ra + rb);
+        let a = ladder(&blob(seed, ra, 0.0));
+        let b = ladder(&blob(seed.wrapping_add(1), rb, gap));
+        let computer = Computer::new(Accel::Brute, 1);
+        let stats = ExecStats::new();
+        let top = a.len().min(b.len());
+        let mut seen_hit = false;
+        for l in 0..top {
+            let hit = computer.intersects(&a[l], &b[l], &[], &[], &stats);
+            prop_assert!(
+                hit || !seen_hit,
+                "P1 violated: intersecting at LOD {} but disjoint at LOD {l}",
+                l - 1
+            );
+            seen_hit = seen_hit || hit;
+        }
+        // With this much overlap the full-resolution pair must intersect.
+        prop_assert!(seen_hit, "expected an intersection somewhere on the ladder");
+    }
+
+    /// P2: for well-separated objects the pairwise distance is
+    /// non-increasing in LOD, and every rung's distance upper-bounds the
+    /// full-resolution distance.
+    #[test]
+    fn p2_distance_never_grows_with_lod(
+        seed in any::<u64>(),
+        ra in 0.8f64..1.6,
+        rb in 0.8f64..1.6,
+        sep in 2.0f64..3.5,
+    ) {
+        let gap = sep * (ra + rb);
+        let a = ladder(&blob(seed, ra, 0.0));
+        let b = ladder(&blob(seed.wrapping_add(1), rb, gap));
+        let computer = Computer::new(Accel::Brute, 1);
+        let stats = ExecStats::new();
+        let top = a.len().min(b.len());
+        let mut prev = f64::INFINITY;
+        for l in 0..top {
+            let d2 = computer.min_dist2(&a[l], &b[l], &[], &[], f64::INFINITY, &stats);
+            prop_assert!(d2.is_finite() && d2 > 0.0, "separated blobs must be disjoint");
+            prop_assert!(
+                d2 <= prev + 1e-9,
+                "P2 violated: distance² grew from {prev} to {d2} at LOD {l}"
+            );
+            prev = d2;
+        }
+        // Cross-rung form: any low LOD against the full object still
+        // upper-bounds the full-vs-full distance.
+        let full = computer.min_dist2(
+            &a[top - 1], &b[top - 1], &[], &[], f64::INFINITY, &stats,
+        );
+        for (l, al) in a.iter().take(top).enumerate() {
+            let d2 = computer.min_dist2(al, &b[top - 1], &[], &[], f64::INFINITY, &stats);
+            prop_assert!(
+                full <= d2 + 1e-9,
+                "P2 violated across rungs: LOD ({l}, top) gave {d2} < full {full}"
+            );
+        }
+    }
+}
+
+/// Drive the feature-gated runtime checkers end-to-end: `encode` re-audits
+/// the ladder it wrote, and the explicit checker accepts it too.
+#[cfg(feature = "strict-invariants")]
+#[test]
+fn strict_invariants_accept_a_fresh_ladder() {
+    let tm = blob(7, 1.2, 0.0);
+    let cm = encode(&tm, &EncoderConfig::default()).unwrap();
+    tripro_mesh::invariant::check_lod_ladder(&cm).unwrap();
+}

@@ -12,7 +12,10 @@ use tripro_synth::{nucleus, NucleusConfig};
 fn arb_nucleus() -> impl Strategy<Value = TriMesh> {
     (any::<u64>(), 0.5f64..3.0).prop_map(|(seed, radius)| {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let cfg = NucleusConfig { radius, ..Default::default() };
+        let cfg = NucleusConfig {
+            radius,
+            ..Default::default()
+        };
         nucleus(&mut rng, &cfg, vec3(10.0, 10.0, 10.0))
     })
 }
@@ -227,7 +230,10 @@ fn ppmc_mode_violates_subset_property() {
     let mut any = Mesh::from_parts(p.clone(), &f).unwrap();
     let before = any.signed_volume6();
     let events = decimate_round(&mut any, PruneMode::Any);
-    assert!(events.iter().any(|e| e.removed == 0), "dent should be removable");
+    assert!(
+        events.iter().any(|e| e.removed == 0),
+        "dent should be removable"
+    );
     assert!(
         any.signed_volume6() > before,
         "removing a recessing vertex must grow the solid"

@@ -14,7 +14,14 @@ use tripro_synth::{nucleus, NucleusConfig};
 fn full_geometry(store: &ObjectStore) -> Vec<Vec<Triangle>> {
     let stats = ExecStats::new();
     (0..store.len() as u32)
-        .map(|id| store.get(id, store.max_lod(id), &stats).triangles.as_ref().clone())
+        .map(|id| {
+            store
+                .get(id, store.max_lod(id), &stats)
+                .unwrap()
+                .triangles
+                .as_ref()
+                .clone()
+        })
         .collect()
 }
 
@@ -40,7 +47,10 @@ fn stores() -> (ObjectStore, ObjectStore) {
             })
             .collect()
     };
-    let sc = StoreConfig { build_threads: 2, ..Default::default() };
+    let sc = StoreConfig {
+        build_threads: 2,
+        ..Default::default()
+    };
     (
         ObjectStore::build(&mk(100, Vec3::ZERO, 12), &sc).unwrap(),
         ObjectStore::build(&mk(200, vec3(2.0, 1.5, 2.5), 12), &sc).unwrap(),
@@ -56,7 +66,7 @@ fn within_matches_reference_distances() {
     let d = 2.5;
     for paradigm in [Paradigm::FilterRefine, Paradigm::FilterProgressiveRefine] {
         let cfg = QueryConfig::new(paradigm, Accel::Aabb);
-        let (pairs, _) = engine.within_join(d, &cfg);
+        let (pairs, _) = engine.within_join(d, &cfg).unwrap();
         for (tid, matches) in &pairs {
             for sid in 0..s.len() as u32 {
                 let true_d = dist(&geo_t[*tid as usize], &geo_s[sid as usize]);
@@ -82,7 +92,7 @@ fn nn_matches_reference() {
     let geo_s = full_geometry(&s);
     let engine = Engine::new(&t, &s);
     let cfg = QueryConfig::new(Paradigm::FilterProgressiveRefine, Accel::Aabb);
-    let (pairs, _) = engine.nn_join(&cfg);
+    let (pairs, _) = engine.nn_join(&cfg).unwrap();
     for (tid, nn) in &pairs {
         let mut best = (f64::INFINITY, 0u32);
         for sid in 0..s.len() as u32 {
@@ -112,7 +122,7 @@ fn knn_matches_reference_ordering() {
     let stats = ExecStats::new();
     let k = 3;
     for tid in 0..t.len() as u32 {
-        let got = engine.knn_one(tid, k, &cfg, &stats);
+        let got = engine.knn_one(tid, k, &cfg, &stats).unwrap();
         assert_eq!(got.len(), k);
         let mut scored: Vec<(f64, u32)> = (0..s.len() as u32)
             .map(|sid| (dist(&geo_t[tid as usize], &geo_s[sid as usize]), sid))
@@ -135,7 +145,10 @@ fn intersection_matches_reference() {
     use rand::SeedableRng;
     // Overlapping configuration: second set is shifted little.
     let cfg = NucleusConfig::default();
-    let sc = StoreConfig { build_threads: 2, ..Default::default() };
+    let sc = StoreConfig {
+        build_threads: 2,
+        ..Default::default()
+    };
     let a: Vec<_> = (0..8)
         .map(|i| {
             let mut rng = rand::rngs::StdRng::seed_from_u64(300 + i as u64);
@@ -154,7 +167,7 @@ fn intersection_matches_reference() {
     let geo_s = full_geometry(&s);
     let engine = Engine::new(&t, &s);
     let cfg_q = QueryConfig::new(Paradigm::FilterProgressiveRefine, Accel::Aabb);
-    let (pairs, _) = engine.intersection_join(&cfg_q);
+    let (pairs, _) = engine.intersection_join(&cfg_q).unwrap();
     let mut found = 0;
     for (tid, matches) in &pairs {
         for sid in 0..s.len() as u32 {
@@ -188,7 +201,7 @@ fn point_query_matches_reference() {
                     bb.extent().y * (j as f64 + 0.5) / 5.0,
                     bb.extent().z * 0.5,
                 );
-            let got = q.containing(p, &cfg, &stats);
+            let got = q.containing(p, &cfg, &stats).unwrap();
             let want: Vec<u32> = (0..t.len() as u32)
                 .filter(|&id| tripro_geom::point_in_mesh(p, &geo[id as usize]))
                 .collect();

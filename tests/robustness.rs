@@ -10,7 +10,11 @@ use tripro_synth::{nucleus, NucleusConfig};
 
 fn valid_blob() -> Vec<u8> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(123);
-    let tm = nucleus(&mut rng, &NucleusConfig::default(), tripro_geom::vec3(5.0, 5.0, 5.0));
+    let tm = nucleus(
+        &mut rng,
+        &NucleusConfig::default(),
+        tripro_geom::vec3(5.0, 5.0, 5.0),
+    );
     encode(&tm, &EncoderConfig::default()).unwrap().to_bytes()
 }
 
@@ -91,14 +95,22 @@ fn store_file_corruption_is_io_error() {
     use tripro_mesh::testutil::sphere;
     let store = ObjectStore::build(
         &[sphere(tripro_geom::vec3(0.0, 0.0, 0.0), 1.0, 2)],
-        &StoreConfig { build_threads: 1, ..Default::default() },
+        &StoreConfig {
+            build_threads: 1,
+            ..Default::default()
+        },
     )
     .unwrap();
     let dir = std::env::temp_dir().join(format!("tripro_robust_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     store.save_dir(&dir, 100.0).unwrap();
     // Corrupt the file header.
-    let path = std::fs::read_dir(&dir).unwrap().next().unwrap().unwrap().path();
+    let path = std::fs::read_dir(&dir)
+        .unwrap()
+        .next()
+        .unwrap()
+        .unwrap()
+        .path();
     let mut data = std::fs::read(&path).unwrap();
     data[0] ^= 0xFF;
     std::fs::write(&path, &data).unwrap();
