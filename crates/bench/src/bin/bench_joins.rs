@@ -1,0 +1,115 @@
+//! Join benchmark snapshot: wall time, face-pair tests and decode-cache
+//! hit rate per paradigm × acceleration strategy, plus threads=1 vs N
+//! scaling rows, emitted as machine-readable JSON for the CI artifact.
+//!
+//! ```sh
+//! TRIPRO_SCALE=tiny cargo run --release -p tripro-bench --bin bench_joins
+//! # -> target/harness/BENCH_joins.json
+//! ```
+//!
+//! The JSON is hand-rolled (every value is a number or a fixed label, no
+//! escaping needed) to keep the workspace dependency-free.
+
+use tripro::{Accel, Paradigm};
+use tripro_bench::harness::{threads, Scale, TestId, Workloads};
+
+fn cell_json(
+    test: TestId,
+    paradigm: Paradigm,
+    accel: Accel,
+    cell: &tripro_bench::harness::CellResult,
+) -> String {
+    format!(
+        concat!(
+            "{{\"test\":\"{}\",\"paradigm\":\"{}\",\"accel\":\"{}\",",
+            "\"seconds\":{:.6},\"face_pair_tests\":{},",
+            "\"cache_hit_rate\":{:.4},\"decodes\":{},\"matches\":{}}}"
+        ),
+        test.label(),
+        paradigm.label(),
+        accel.label(),
+        cell.seconds,
+        cell.stats.face_pair_tests,
+        cell.stats.hit_rate(),
+        cell.stats.decodes,
+        cell.matches
+    )
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let n_threads = threads();
+    let w = Workloads::generate(scale);
+
+    // Per-paradigm / per-accel wall time at the configured thread count.
+    let mut cells = Vec::new();
+    for test in TestId::selected() {
+        let mut accels = vec![Accel::Brute, Accel::Partition, Accel::Aabb, Accel::Gpu];
+        if test.has_partition_gpu_column() {
+            accels.push(Accel::PartitionGpu);
+        }
+        for paradigm in [Paradigm::FilterRefine, Paradigm::FilterProgressiveRefine] {
+            for accel in &accels {
+                let lods = (paradigm == Paradigm::FilterProgressiveRefine)
+                    .then(|| w.profile_lods(test, *accel));
+                let cell = w.run_with_threads(test, paradigm, *accel, lods, n_threads);
+                eprintln!(
+                    "[bench_joins] {} {} {:<14} {:.3}s  hit_rate={:.2}  pairs={}",
+                    test.label(),
+                    paradigm.label(),
+                    accel.label(),
+                    cell.seconds,
+                    cell.stats.hit_rate(),
+                    cell.stats.face_pair_tests
+                );
+                cells.push(cell_json(test, paradigm, *accel, &cell));
+            }
+        }
+    }
+
+    // Thread scaling on the representative FPR+AABB cell of each test.
+    let mut scaling = Vec::new();
+    for test in TestId::selected() {
+        let lods = w.profile_lods(test, Accel::Aabb);
+        let p = Paradigm::FilterProgressiveRefine;
+        let one = w.run_with_threads(test, p, Accel::Aabb, Some(lods.clone()), 1);
+        let many = w.run_with_threads(test, p, Accel::Aabb, Some(lods), n_threads);
+        let speedup = if many.seconds > 0.0 {
+            one.seconds / many.seconds
+        } else {
+            1.0
+        };
+        eprintln!(
+            "[bench_joins] {} scaling: 1t={:.3}s {}t={:.3}s speedup={:.2}x",
+            test.label(),
+            one.seconds,
+            n_threads,
+            many.seconds,
+            speedup
+        );
+        scaling.push(format!(
+            concat!(
+                "{{\"test\":\"{}\",\"paradigm\":\"FPR\",\"accel\":\"AABB\",",
+                "\"seconds_1\":{:.6},\"seconds_n\":{:.6},\"threads_n\":{},",
+                "\"speedup\":{:.4}}}"
+            ),
+            test.label(),
+            one.seconds,
+            many.seconds,
+            n_threads,
+            speedup
+        ));
+    }
+
+    let json = format!(
+        "{{\"scale\":\"{scale:?}\",\"threads\":{n_threads},\"cells\":[{}],\"thread_scaling\":[{}]}}\n",
+        cells.join(","),
+        scaling.join(",")
+    );
+    let dir = std::path::Path::new("target/harness");
+    std::fs::create_dir_all(dir).expect("create target/harness");
+    let path = dir.join("BENCH_joins.json");
+    std::fs::write(&path, &json).expect("write BENCH_joins.json");
+    eprintln!("[bench_joins] wrote {}", path.display());
+    println!("{json}");
+}

@@ -204,8 +204,21 @@ impl Workloads {
         accel: Accel,
         lods: Option<Vec<usize>>,
     ) -> CellResult {
+        self.run_with_threads(test, paradigm, accel, lods, threads())
+    }
+
+    /// [`run`](Workloads::run) with an explicit driver thread count
+    /// (used by the thread-scaling rows of the bench snapshot).
+    pub fn run_with_threads(
+        &self,
+        test: TestId,
+        paradigm: Paradigm,
+        accel: Accel,
+        lods: Option<Vec<usize>>,
+        driver_threads: usize,
+    ) -> CellResult {
         let engine = self.engine(test);
-        let mut cfg = QueryConfig::new(paradigm, accel).with_threads(threads());
+        let mut cfg = QueryConfig::new(paradigm, accel).with_threads(driver_threads);
         if paradigm == Paradigm::FilterProgressiveRefine {
             let lods = lods.unwrap_or_else(|| self.profile_lods(test, accel));
             cfg = cfg.with_lods(lods);

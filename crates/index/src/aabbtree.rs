@@ -3,6 +3,7 @@
 //! evaluation from `O(N·N')` to roughly `O(N·log N')` for both intersection
 //! detection and distance calculation.
 
+use std::sync::Arc;
 use tripro_geom::{tri_tri_dist2, tri_tri_intersect, Aabb, Triangle};
 
 const LEAF_SIZE: usize = 4;
@@ -21,9 +22,14 @@ enum NodeKind {
 }
 
 /// A static bounding-volume hierarchy over a triangle list.
+///
+/// The triangle buffer is held behind an [`Arc`] and the tree itself is
+/// index-based (leaves store ranges into a permutation array), so building
+/// over an already-shared buffer — the decode cache's per-LOD faces — is
+/// zero-copy: see [`AabbTree::build_shared`].
 #[derive(Debug, Clone)]
 pub struct AabbTree {
-    tris: Vec<Triangle>,
+    tris: Arc<Vec<Triangle>>,
     /// Permutation of triangle indices grouped by leaf.
     order: Vec<u32>,
     nodes: Vec<BvhNode>,
@@ -33,6 +39,13 @@ pub struct AabbTree {
 impl AabbTree {
     /// Build by recursive median split on the longest centroid axis.
     pub fn build(tris: Vec<Triangle>) -> Self {
+        Self::build_shared(Arc::new(tris))
+    }
+
+    /// Build over a shared triangle buffer without copying it. The nodes
+    /// reference faces by index, so the only per-tree allocations are the
+    /// permutation array and the node list.
+    pub fn build_shared(tris: Arc<Vec<Triangle>>) -> Self {
         assert!(
             !tris.is_empty(),
             "cannot build an AABB-tree over zero faces"
@@ -107,6 +120,12 @@ impl AabbTree {
 
     /// The stored triangles (in input order).
     pub fn triangles(&self) -> &[Triangle] {
+        &self.tris
+    }
+
+    /// The shared triangle buffer (the same allocation passed to
+    /// [`AabbTree::build_shared`]).
+    pub fn shared_triangles(&self) -> &Arc<Vec<Triangle>> {
         &self.tris
     }
 
@@ -428,5 +447,20 @@ mod tests {
     #[should_panic]
     fn empty_build_panics() {
         let _ = AabbTree::build(vec![]);
+    }
+
+    #[test]
+    fn build_shared_is_zero_copy() {
+        let buf = Arc::new(sheet(6, 0.0));
+        let t = AabbTree::build_shared(Arc::clone(&buf));
+        assert!(Arc::ptr_eq(t.shared_triangles(), &buf));
+        // Sharing must not change any answer: compare with an owned build.
+        let owned = AabbTree::build(sheet(6, 0.0));
+        let other = AabbTree::build(sheet(6, 2.5));
+        let (mut n1, mut n2) = (0, 0);
+        let d_shared = t.min_dist2_tree(&other, f64::INFINITY, &mut n1);
+        let d_owned = owned.min_dist2_tree(&other, f64::INFINITY, &mut n2);
+        assert_eq!(d_shared, d_owned);
+        assert_eq!(n1, n2);
     }
 }

@@ -7,6 +7,7 @@
 //! than axis-aligned ones, pruning more node pairs per traversal at the
 //! price of a costlier overlap test (15-axis SAT vs 6 comparisons).
 
+use std::sync::Arc;
 use tripro_geom::{tri_tri_dist2, tri_tri_intersect, Obb, Triangle};
 
 const LEAF_SIZE: usize = 4;
@@ -23,10 +24,12 @@ enum NodeKind {
     Inner { left: u32, right: u32 },
 }
 
-/// A static OBB hierarchy over a triangle list.
+/// A static OBB hierarchy over a triangle list. Like [`crate::AabbTree`],
+/// the triangle buffer is shared behind an [`Arc`] and nodes are
+/// index-based, so [`ObbTree::build_shared`] is zero-copy.
 #[derive(Debug, Clone)]
 pub struct ObbTree {
-    tris: Vec<Triangle>,
+    tris: Arc<Vec<Triangle>>,
     order: Vec<u32>,
     nodes: Vec<ObbNode>,
     root: u32,
@@ -36,6 +39,11 @@ impl ObbTree {
     /// Build by recursive splitting along the dominant covariance axis of
     /// the contained triangle vertices (the classical OBB-tree recipe).
     pub fn build(tris: Vec<Triangle>) -> Self {
+        Self::build_shared(Arc::new(tris))
+    }
+
+    /// Build over a shared triangle buffer without copying it.
+    pub fn build_shared(tris: Arc<Vec<Triangle>>) -> Self {
         assert!(!tris.is_empty(), "cannot build an OBB-tree over zero faces");
         let mut order: Vec<u32> = (0..tris.len() as u32).collect();
         let mut nodes = Vec::with_capacity(2 * tris.len() / LEAF_SIZE + 2);
@@ -46,6 +54,11 @@ impl ObbTree {
             nodes,
             root,
         }
+    }
+
+    /// The shared triangle buffer.
+    pub fn shared_triangles(&self) -> &Arc<Vec<Triangle>> {
+        &self.tris
     }
 
     fn fit(tris: &[Triangle], order: &[u32]) -> Obb {
@@ -301,5 +314,19 @@ mod tests {
     #[should_panic]
     fn empty_build_panics() {
         let _ = ObbTree::build(vec![]);
+    }
+
+    #[test]
+    fn build_shared_is_zero_copy() {
+        let buf = Arc::new(strip(10, vec3(0.0, 0.0, 0.0)));
+        let t = ObbTree::build_shared(Arc::clone(&buf));
+        assert!(Arc::ptr_eq(t.shared_triangles(), &buf));
+        let other = ObbTree::build(strip(10, vec3(0.0, 0.0, 2.0)));
+        let owned = ObbTree::build(buf.as_ref().clone());
+        let (mut n1, mut n2) = (0, 0);
+        let d_shared = t.min_dist2_tree(&other, f64::INFINITY, &mut n1);
+        let d_owned = owned.min_dist2_tree(&other, f64::INFINITY, &mut n2);
+        assert_eq!(d_shared, d_owned);
+        assert_eq!(n1, n2);
     }
 }

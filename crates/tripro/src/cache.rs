@@ -6,12 +6,29 @@
 //! Decoder *states* are also retained so that refining an object from LOD
 //! `k` to `k+1` replays only the missing segments — the progressive decode
 //! the paper's FPR paradigm depends on.
+//!
+//! ## Sharding
+//!
+//! The cache is split into [`SHARD_COUNT`] independently locked shards,
+//! each holding its own hash map and an intrusive doubly-linked LRU list
+//! (O(1) touch on hit, O(1) unlink on evict). A hit therefore contends
+//! only with other accesses that hash to the same shard — the seed's
+//! single global mutex serialised *every* lookup of the multi-threaded
+//! join driver on the path that is supposed to be nearly free.
+//!
+//! Recency is a global atomic tick stamped on each touch, and byte usage
+//! is tracked per shard (summing to an atomic global counter), so the
+//! capacity budget stays a *global* bound: eviction walks the shard tails
+//! — each tail is its shard's least-recent entry, so the globally oldest
+//! entry is always one of them — and removes the oldest until the budget
+//! holds. Eviction only runs on the miss path, which just paid for a
+//! decode anyway.
 
 use crate::error::{Error, Result};
 use crate::stats::ExecStats;
 use crate::sync::{lock, Mutex};
 use std::collections::HashMap;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 use tripro_geom::Triangle;
@@ -41,21 +58,25 @@ impl LodData {
         }
     }
 
-    /// Approximate memory footprint in bytes (triangles dominate).
+    /// Approximate memory footprint in bytes. The acceleration structures
+    /// share the triangle buffer (index-based nodes over the same `Arc`),
+    /// so the faces dominate.
     pub fn bytes(&self) -> usize {
         self.triangles.len() * std::mem::size_of::<Triangle>() + 64
     }
 
-    /// The AABB-tree over this LOD's faces, built on first use.
+    /// The AABB-tree over this LOD's faces, built on first use directly
+    /// over the shared triangle buffer (no copy).
     pub fn tree(&self) -> &Arc<AabbTree> {
         self.tree
-            .get_or_init(|| Arc::new(AabbTree::build(self.triangles.as_ref().clone())))
+            .get_or_init(|| Arc::new(AabbTree::build_shared(Arc::clone(&self.triangles))))
     }
 
-    /// The OBB-tree over this LOD's faces, built on first use.
+    /// The OBB-tree over this LOD's faces, built on first use directly
+    /// over the shared triangle buffer (no copy).
     pub fn obb_tree(&self) -> &Arc<ObbTree> {
         self.obb_tree
-            .get_or_init(|| Arc::new(ObbTree::build(self.triangles.as_ref().clone())))
+            .get_or_init(|| Arc::new(ObbTree::build_shared(Arc::clone(&self.triangles))))
     }
 
     /// Partition grouping against `skeleton`, built on first use. The
@@ -68,34 +89,209 @@ impl LodData {
 
 type Key = (u32, u8);
 
-struct CacheInner {
-    map: HashMap<Key, (Arc<LodData>, u64)>,
-    used_bytes: usize,
+/// Number of independently locked cache shards (power of two).
+pub const SHARD_COUNT: usize = 16;
+
+/// Sentinel for "no slot" in the intrusive list.
+const NIL: u32 = u32::MAX;
+
+/// One cached entry, a node of its shard's intrusive LRU list.
+struct Slot {
+    key: Key,
+    data: Arc<LodData>,
+    bytes: usize,
+    /// Global recency stamp (larger = more recent).
     tick: u64,
+    prev: u32,
+    next: u32,
 }
 
-/// Thread-safe LRU cache of decoded LODs with progressive decoder-state
-/// reuse. A `capacity_bytes` of 0 disables caching entirely (every request
-/// decodes from scratch) — the paper's Table 2 baseline.
+/// One cache shard: hash map + intrusive LRU list over a slot arena.
+#[derive(Default)]
+struct Shard {
+    map: HashMap<Key, u32>,
+    slots: Vec<Option<Slot>>,
+    free: Vec<u32>,
+    /// Most-recently-used slot.
+    head: Option<u32>,
+    /// Least-recently-used slot.
+    tail: Option<u32>,
+    used_bytes: usize,
+}
+
+impl Shard {
+    fn slot(&self, i: u32) -> Option<&Slot> {
+        self.slots.get(i as usize).and_then(Option::as_ref)
+    }
+
+    fn slot_mut(&mut self, i: u32) -> Option<&mut Slot> {
+        self.slots.get_mut(i as usize).and_then(Option::as_mut)
+    }
+
+    /// Detach slot `i` from the LRU list (O(1)).
+    fn unlink(&mut self, i: u32) {
+        let (prev, next) = match self.slot(i) {
+            Some(s) => (s.prev, s.next),
+            None => return,
+        };
+        match prev {
+            NIL => self.head = (next != NIL).then_some(next),
+            p => {
+                if let Some(s) = self.slot_mut(p) {
+                    s.next = next;
+                }
+                if self.head == Some(i) {
+                    self.head = Some(p);
+                }
+            }
+        }
+        match next {
+            NIL => self.tail = (prev != NIL).then_some(prev),
+            n => {
+                if let Some(s) = self.slot_mut(n) {
+                    s.prev = prev;
+                }
+            }
+        }
+        if let Some(s) = self.slot_mut(i) {
+            s.prev = NIL;
+            s.next = NIL;
+        }
+    }
+
+    /// Make slot `i` the most-recent entry (O(1)).
+    fn push_front(&mut self, i: u32) {
+        let old_head = self.head;
+        if let Some(s) = self.slot_mut(i) {
+            s.prev = NIL;
+            s.next = old_head.unwrap_or(NIL);
+        }
+        if let Some(h) = old_head {
+            if let Some(s) = self.slot_mut(h) {
+                s.prev = i;
+            }
+        }
+        self.head = Some(i);
+        if self.tail.is_none() {
+            self.tail = Some(i);
+        }
+    }
+
+    /// Hit path: refresh recency and return the data.
+    fn touch(&mut self, key: Key, tick: u64) -> Option<Arc<LodData>> {
+        let i = *self.map.get(&key)?;
+        self.unlink(i);
+        self.push_front(i);
+        let s = self.slot_mut(i)?;
+        s.tick = tick;
+        Some(Arc::clone(&s.data))
+    }
+
+    /// Insert (or replace) `key`; returns the net byte delta for the
+    /// global counter.
+    fn insert(&mut self, key: Key, data: Arc<LodData>, tick: u64) -> isize {
+        let mut delta = 0isize;
+        if let Some(&old) = self.map.get(&key) {
+            delta -= self.remove_slot(old) as isize;
+        }
+        let bytes = data.bytes();
+        let slot = Slot {
+            key,
+            data,
+            bytes,
+            tick,
+            prev: NIL,
+            next: NIL,
+        };
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize] = Some(slot);
+                i
+            }
+            None => {
+                self.slots.push(Some(slot));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.map.insert(key, i);
+        self.push_front(i);
+        self.used_bytes += bytes;
+        delta += bytes as isize;
+        delta
+    }
+
+    /// Remove slot `i` entirely; returns its byte size.
+    fn remove_slot(&mut self, i: u32) -> usize {
+        self.unlink(i);
+        let Some(slot) = self.slots.get_mut(i as usize).and_then(Option::take) else {
+            return 0;
+        };
+        self.map.remove(&slot.key);
+        self.free.push(i);
+        self.used_bytes -= slot.bytes;
+        slot.bytes
+    }
+
+    /// Recency stamp of the least-recent entry.
+    fn tail_tick(&self) -> Option<u64> {
+        self.tail.and_then(|t| self.slot(t)).map(|s| s.tick)
+    }
+
+    /// Evict the least-recent entry; returns the bytes freed.
+    fn evict_tail(&mut self) -> usize {
+        match self.tail {
+            Some(t) => self.remove_slot(t),
+            None => 0,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.head = None;
+        self.tail = None;
+        self.used_bytes = 0;
+    }
+}
+
+/// Thread-safe sharded LRU cache of decoded LODs with progressive
+/// decoder-state reuse. A `capacity_bytes` of 0 disables caching entirely
+/// (every request decodes from scratch) — the paper's Table 2 baseline.
 pub struct DecodeCache {
-    inner: Mutex<CacheInner>,
-    /// Retained decoder states for incremental refinement.
-    states: Mutex<HashMap<u32, ProgressiveMesh>>,
+    shards: Vec<Mutex<Shard>>,
+    /// Bytes currently held, summed over all shards.
+    used: AtomicUsize,
+    /// Global recency clock; `fetch_add` gives every touch a unique stamp.
+    clock: AtomicU64,
+    /// Retained decoder states for incremental refinement, sharded by id.
+    states: Vec<Mutex<HashMap<u32, ProgressiveMesh>>>,
     /// Per-object decode locks (sharded) so two threads don't decode the
     /// same object twice; mirrors the paper's cuboid-level locks.
     locks: Vec<Mutex<()>>,
     capacity_bytes: usize,
 }
 
+/// Cheap deterministic shard hash (Fibonacci multiply on the object id,
+/// xor-folded with the LOD) — `DefaultHasher` would dominate the hit path.
+fn shard_of(key: Key) -> usize {
+    let mixed = (u64::from(key.0))
+        .wrapping_add(u64::from(key.1) << 32)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ((mixed >> 48) as usize) & (SHARD_COUNT - 1)
+}
+
 impl DecodeCache {
     pub fn new(capacity_bytes: usize) -> Self {
         Self {
-            inner: Mutex::new(CacheInner {
-                map: HashMap::new(),
-                used_bytes: 0,
-                tick: 0,
-            }),
-            states: Mutex::new(HashMap::new()),
+            shards: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
+            used: AtomicUsize::new(0),
+            clock: AtomicU64::new(0),
+            states: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
             locks: (0..64).map(|_| Mutex::new(())).collect(),
             capacity_bytes,
         }
@@ -108,7 +304,7 @@ impl DecodeCache {
 
     /// Bytes currently held.
     pub fn used_bytes(&self) -> usize {
-        lock(&self.inner).used_bytes
+        self.used.load(Ordering::Relaxed)
     }
 
     /// Fetch `(id, lod)`, decoding from `compressed` on a miss. Decode time
@@ -135,7 +331,7 @@ impl DecodeCache {
             }
             stats.cache_misses.fetch_add(1, Ordering::Relaxed);
             let data = Arc::new(self.decode(id, lod, compressed, stats)?);
-            self.insert(key, data.clone());
+            self.insert(key, Arc::clone(&data));
             Ok(data)
         } else {
             stats.cache_misses.fetch_add(1, Ordering::Relaxed);
@@ -144,64 +340,118 @@ impl DecodeCache {
     }
 
     fn lookup(&self, key: Key) -> Option<Arc<LodData>> {
-        let mut inner = lock(&self.inner);
-        inner.tick += 1;
-        let tick = inner.tick;
-        if let Some((data, last)) = inner.map.get_mut(&key) {
-            *last = tick;
-            return Some(data.clone());
-        }
-        None
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed);
+        lock(&self.shards[shard_of(key)]).touch(key, tick)
     }
 
     fn insert(&self, key: Key, data: Arc<LodData>) {
-        let mut inner = lock(&self.inner);
-        inner.tick += 1;
-        let tick = inner.tick;
-        inner.used_bytes += data.bytes();
-        inner.map.insert(key, (data, tick));
-        // Evict least-recently-used entries until under capacity.
-        while inner.used_bytes > self.capacity_bytes && inner.map.len() > 1 {
-            let Some(victim) = inner
-                .map
-                .iter()
-                .min_by_key(|(_, (_, t))| *t)
-                .map(|(k, _)| *k)
-            else {
-                break;
-            };
-            if let Some((data, _)) = inner.map.remove(&victim) {
-                inner.used_bytes -= data.bytes();
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed);
+        let delta = lock(&self.shards[shard_of(key)]).insert(key, data, tick);
+        if delta >= 0 {
+            self.used.fetch_add(delta as usize, Ordering::Relaxed);
+        } else {
+            self.used.fetch_sub(delta.unsigned_abs(), Ordering::Relaxed);
+        }
+        self.enforce_capacity();
+    }
+
+    /// Evict globally-least-recent entries until the byte budget holds
+    /// (keeping at least one entry overall, so a single object larger than
+    /// the whole budget still caches). Locks one shard at a time — shard
+    /// tails are per-shard LRU minima, so the globally oldest entry is
+    /// always one of the tails.
+    fn enforce_capacity(&self) {
+        while self.used.load(Ordering::Relaxed) > self.capacity_bytes {
+            let mut victim: Option<(usize, u64)> = None;
+            let mut entries = 0usize;
+            for (i, shard) in self.shards.iter().enumerate() {
+                let guard = lock(shard);
+                entries += guard.map.len();
+                if let Some(t) = guard.tail_tick() {
+                    if victim.map_or(true, |(_, best)| t < best) {
+                        victim = Some((i, t));
+                    }
+                }
             }
+            if entries <= 1 {
+                break;
+            }
+            let Some((vi, _)) = victim else { break };
+            let freed = lock(&self.shards[vi]).evict_tail();
+            if freed == 0 {
+                // The shard emptied under us (concurrent clear); rescan.
+                continue;
+            }
+            self.used.fetch_sub(freed, Ordering::Relaxed);
         }
     }
 
-    /// Internal-consistency audit for the `strict-invariants` test feature:
-    /// recomputed byte usage must equal the running counter, and LRU ticks
-    /// must be unique (two entries sharing a tick would make eviction order
-    /// ill-defined).
+    /// Internal-consistency audit for the `strict-invariants` test feature.
+    /// Per shard: the LRU list must be a well-formed chain covering exactly
+    /// the mapped slots with strictly decreasing recency stamps, and the
+    /// recomputed byte sum must equal the shard counter. Globally: shard
+    /// counters must sum to the atomic total and no stamp may exceed the
+    /// clock. Intended for quiescent moments (between operations or after
+    /// worker threads join).
     #[cfg(feature = "strict-invariants")]
     pub fn check_consistency(&self) -> std::result::Result<(), String> {
-        let inner = lock(&self.inner);
-        let recomputed: usize = inner.map.values().map(|(d, _)| d.bytes()).sum();
-        if recomputed != inner.used_bytes {
-            return Err(format!(
-                "cache byte accounting drifted: counter {} vs recomputed {}",
-                inner.used_bytes, recomputed
-            ));
-        }
-        let mut ticks: Vec<u64> = inner.map.values().map(|(_, t)| *t).collect();
-        ticks.sort_unstable();
-        if ticks.windows(2).any(|w| w[0] == w[1]) {
-            return Err("duplicate LRU ticks".to_string());
-        }
-        if let Some(&max_tick) = ticks.last() {
-            if max_tick > inner.tick {
+        let mut total = 0usize;
+        for (si, shard) in self.shards.iter().enumerate() {
+            let guard = lock(shard);
+            let mut bytes = 0usize;
+            let mut seen = 0usize;
+            let mut cursor = guard.head;
+            let mut last_tick = u64::MAX;
+            let mut prev = NIL;
+            while let Some(i) = cursor {
+                let Some(slot) = guard.slot(i) else {
+                    return Err(format!("shard {si}: list points at empty slot {i}"));
+                };
+                if guard.map.get(&slot.key) != Some(&i) {
+                    return Err(format!("shard {si}: slot {i} not mapped to its key"));
+                }
+                if slot.prev != prev {
+                    return Err(format!("shard {si}: slot {i} has a broken prev link"));
+                }
+                if slot.tick >= last_tick {
+                    return Err(format!(
+                        "shard {si}: recency not strictly decreasing at slot {i}"
+                    ));
+                }
+                last_tick = slot.tick;
+                bytes += slot.bytes;
+                seen += 1;
+                if seen > guard.map.len() {
+                    return Err(format!("shard {si}: LRU list longer than map (cycle?)"));
+                }
+                prev = i;
+                cursor = (slot.next != NIL).then_some(slot.next);
+            }
+            if seen != guard.map.len() {
                 return Err(format!(
-                    "entry tick {} exceeds clock {}",
-                    max_tick, inner.tick
+                    "shard {si}: list covers {seen} of {} mapped entries",
+                    guard.map.len()
                 ));
             }
+            if guard.tail != ((prev != NIL).then_some(prev)) {
+                return Err(format!("shard {si}: tail does not terminate the list"));
+            }
+            if bytes != guard.used_bytes {
+                return Err(format!(
+                    "shard {si}: byte accounting drifted: counter {} vs recomputed {bytes}",
+                    guard.used_bytes
+                ));
+            }
+            if last_tick != u64::MAX && last_tick > self.clock.load(Ordering::Relaxed) {
+                return Err(format!("shard {si}: entry tick exceeds the clock"));
+            }
+            total += guard.used_bytes;
+        }
+        let counter = self.used.load(Ordering::Relaxed);
+        if total != counter {
+            return Err(format!(
+                "global byte counter drifted: {counter} vs shard sum {total}"
+            ));
         }
         Ok(())
     }
@@ -216,11 +466,9 @@ impl DecodeCache {
         stats: &ExecStats,
     ) -> Result<LodData> {
         let t0 = Instant::now();
+        let state_shard = &self.states[id as usize % self.states.len()];
         // Take the state out so the decode itself runs without the map lock.
-        let state = {
-            let mut states = lock(&self.states);
-            states.remove(&id)
-        };
+        let state = lock(state_shard).remove(&id);
         let decode_err = |source| Error::Decode { object: id, source };
         let mut pm = match state {
             Some(pm) if pm.current_lod() <= lod => pm,
@@ -228,10 +476,7 @@ impl DecodeCache {
         };
         pm.decode_to(lod).map_err(decode_err)?;
         let tris = pm.triangles();
-        {
-            let mut states = lock(&self.states);
-            states.insert(id, pm);
-        }
+        lock(state_shard).insert(id, pm);
         stats.add_decode(t0.elapsed());
         stats.decodes.fetch_add(1, Ordering::Relaxed);
         Ok(LodData::new(tris))
@@ -256,10 +501,15 @@ impl DecodeCache {
 
     /// Drop all cached data and decoder states.
     pub fn clear(&self) {
-        let mut inner = lock(&self.inner);
-        inner.map.clear();
-        inner.used_bytes = 0;
-        lock(&self.states).clear();
+        for shard in &self.shards {
+            let mut guard = lock(shard);
+            let freed = guard.used_bytes;
+            guard.clear();
+            self.used.fetch_sub(freed, Ordering::Relaxed);
+        }
+        for states in &self.states {
+            lock(states).clear();
+        }
     }
 }
 
@@ -341,8 +591,42 @@ mod tests {
         assert_eq!(stats.snapshot().cache_misses, after.cache_misses + 1);
     }
 
+    #[test]
+    fn eviction_is_globally_lru_across_shards() {
+        let cm = compressed_sphere();
+        let one = {
+            let cache = DecodeCache::new(usize::MAX);
+            let stats = ExecStats::new();
+            cache.get(0, 2, &cm, &stats).unwrap().bytes()
+        };
+        // Room for three entries. Insert four across (almost surely)
+        // different shards, touching id=0 in between: id=1 must be the
+        // victim even though shard occupancies differ.
+        let cache = DecodeCache::new(3 * one + one / 2);
+        let stats = ExecStats::new();
+        for id in 0..3 {
+            let _ = cache.get(id, 2, &cm, &stats).unwrap();
+        }
+        let _ = cache.get(0, 2, &cm, &stats).unwrap(); // refresh id=0
+        let _ = cache.get(3, 2, &cm, &stats).unwrap(); // forces one eviction
+        let before = stats.snapshot();
+        let _ = cache.get(0, 2, &cm, &stats).unwrap();
+        assert_eq!(
+            stats.snapshot().cache_hits,
+            before.cache_hits + 1,
+            "id=0 refreshed"
+        );
+        let mid = stats.snapshot();
+        let _ = cache.get(1, 2, &cm, &stats).unwrap();
+        assert_eq!(
+            stats.snapshot().cache_misses,
+            mid.cache_misses + 1,
+            "id=1 evicted"
+        );
+    }
+
     /// Churn the cache through misses, hits and evictions, auditing the
-    /// byte accounting and LRU tick uniqueness after every step.
+    /// byte accounting and list structure after every step.
     #[cfg(feature = "strict-invariants")]
     #[test]
     fn consistency_audit_survives_churn() {
@@ -366,7 +650,7 @@ mod tests {
     }
 
     #[test]
-    fn tree_is_memoized() {
+    fn tree_is_memoized_and_zero_copy() {
         let cm = compressed_sphere();
         let cache = DecodeCache::new(64 << 20);
         let stats = ExecStats::new();
@@ -375,6 +659,9 @@ mod tests {
         let t2 = d.tree().clone();
         assert!(Arc::ptr_eq(&t1, &t2));
         assert_eq!(t1.len(), d.triangles.len());
+        // The tree references the cached buffer, not a copy.
+        assert!(Arc::ptr_eq(t1.shared_triangles(), &d.triangles));
+        assert!(Arc::ptr_eq(d.obb_tree().shared_triangles(), &d.triangles));
     }
 
     #[test]
@@ -386,5 +673,19 @@ mod tests {
         assert!(cache.used_bytes() > 0);
         cache.clear();
         assert_eq!(cache.used_bytes(), 0);
+    }
+
+    #[test]
+    fn shard_hash_is_spread_and_stable() {
+        let mut hit = [false; SHARD_COUNT];
+        for id in 0..256u32 {
+            for lod in 0..4u8 {
+                let s = shard_of((id, lod));
+                assert!(s < SHARD_COUNT);
+                assert_eq!(s, shard_of((id, lod)), "deterministic");
+                hit[s] = true;
+            }
+        }
+        assert!(hit.iter().all(|&h| h), "all shards reachable");
     }
 }

@@ -173,6 +173,10 @@ fn partition_intersects(
     let ga = a.groups(sk_a).clone();
     let gb = b.groups(sk_b).clone();
     let mut tests = 0u64;
+    // GPU path: pack surviving group pairs, flushing every `kernel_size`
+    // entries so the pack buffer stays bounded regardless of how many
+    // group pairs survive the box filter — and an early hit in a flushed
+    // batch skips packing the rest entirely.
     let mut pairs: Vec<(u32, u32)> = Vec::new();
     for (i, bi) in ga.non_empty() {
         for (j, bj) in gb.non_empty() {
@@ -180,13 +184,19 @@ fn partition_intersects(
                 continue;
             }
             if let Some(ex) = executor {
-                // Pack the surviving group pair into the GPU buffer.
                 for &fi in ga.group(i) {
                     for &fj in gb.group(j) {
                         pairs.push((fi, fj));
                     }
                 }
-                let _ = ex;
+                if pairs.len() >= ex.kernel_size {
+                    let (hit, n) = ex.any_intersect_pairs(&a.triangles, &b.triangles, &pairs);
+                    tests += n;
+                    if hit {
+                        return (true, tests);
+                    }
+                    pairs.clear();
+                }
             } else {
                 for &fi in ga.group(i) {
                     for &fj in gb.group(j) {
@@ -227,8 +237,10 @@ fn partition_min_dist2(
     let mut best = upper;
     let mut tests = 0u64;
     if let Some(ex) = executor {
-        // Two-phase: decide the surviving group pairs with the box bound,
-        // then evaluate them as one packed batch.
+        // Pack surviving group pairs (by the box bound) and evaluate in
+        // `kernel_size` batches. Flushing between batches both bounds the
+        // pack buffer and tightens `best`, so later group pairs — sorted by
+        // ascending box distance — are pruned by results already computed.
         let mut pairs: Vec<(u32, u32)> = Vec::new();
         for &(lb, i, j) in &group_pairs {
             if lb >= best {
@@ -239,9 +251,18 @@ fn partition_min_dist2(
                     pairs.push((fi, fj));
                 }
             }
+            if pairs.len() >= ex.kernel_size {
+                let (d2, n) = ex.min_dist2_pairs(&a.triangles, &b.triangles, &pairs, best);
+                tests += n;
+                best = best.min(d2);
+                pairs.clear();
+                if tripro_geom::is_exactly_zero(best) {
+                    return (0.0, tests);
+                }
+            }
         }
         let (d2, n) = ex.min_dist2_pairs(&a.triangles, &b.triangles, &pairs, best);
-        return (d2, tests + n);
+        return (best.min(d2), tests + n);
     }
     for &(lb, i, j) in &group_pairs {
         if lb >= best {
@@ -356,6 +377,34 @@ mod tests {
             let d2 = c.min_dist2(&a, &b, &[], &[], 9.0, &stats);
             assert_eq!(d2, 9.0, "{accel:?}");
         }
+    }
+
+    #[test]
+    fn partition_gpu_chunked_flush_matches_unchunked() {
+        // A kernel size far below the surviving pair count forces many
+        // flushes; results must not change, and the inter-flush bound
+        // tightening can only reduce the pairs actually evaluated.
+        let a = sheet(6, 0.0);
+        let b = sheet(6, 4.0);
+        let sk_a = skeleton_of(&a, 4);
+        let sk_b = skeleton_of(&b, 4);
+        let mut tiny = Computer::new(Accel::PartitionGpu, 2);
+        tiny.executor.kernel_size = 16;
+        let big = Computer::new(Accel::PartitionGpu, 2);
+        let s_tiny = ExecStats::new();
+        let s_big = ExecStats::new();
+        let d_tiny = tiny.min_dist2(&a, &b, &sk_a, &sk_b, f64::INFINITY, &s_tiny);
+        let d_big = big.min_dist2(&a, &b, &sk_a, &sk_b, f64::INFINITY, &s_big);
+        assert!((d_tiny - d_big).abs() < 1e-12);
+        assert!((d_tiny - 16.0).abs() < 1e-9);
+        assert!(
+            s_tiny.snapshot().face_pair_tests <= s_big.snapshot().face_pair_tests,
+            "chunked flush must not test more pairs"
+        );
+        // Intersection variant under the same forced chunking.
+        assert!(!tiny.intersects(&a, &b, &sk_a, &sk_b, &s_tiny));
+        let touching = sheet(6, 0.0);
+        assert!(tiny.intersects(&a, &touching, &sk_a, &sk_a, &s_tiny));
     }
 
     #[test]

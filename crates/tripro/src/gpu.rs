@@ -7,6 +7,10 @@
 //! each launch is executed by a worker over contiguous memory with no
 //! per-pair dispatch overhead. Early exit happens only at launch
 //! granularity, exactly like polling a device-side flag between kernels.
+//!
+//! Workers come from the process-wide [`crate::pool`] — launching a batch
+//! wakes parked threads instead of spawning fresh ones, so the per-call
+//! cost is a condvar signal rather than thread creation.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use tripro_geom::{tri_tri_dist2, tri_tri_intersect, Triangle};
@@ -54,30 +58,26 @@ impl BatchExecutor {
         let next = AtomicUsize::new(0);
         let kernels = total.div_ceil(self.kernel_size);
         let workers = self.threads.min(kernels);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    if found.load(Ordering::Relaxed) {
-                        return;
-                    }
-                    let k = next.fetch_add(1, Ordering::Relaxed);
-                    if k >= kernels {
-                        return;
-                    }
-                    let start = k * self.kernel_size;
-                    let end = (start + self.kernel_size).min(total);
-                    let mut local = 0u64;
-                    for idx in start..end {
-                        let (i, j) = (idx / b.len(), idx % b.len());
-                        local += 1;
-                        if tri_tri_intersect(&a[i], &b[j]) {
-                            found.store(true, Ordering::Relaxed);
-                            break;
-                        }
-                    }
-                    tested.fetch_add(local, Ordering::Relaxed);
-                });
+        crate::pool::global().run_with(workers - 1, |_| loop {
+            if found.load(Ordering::Relaxed) {
+                return;
             }
+            let k = next.fetch_add(1, Ordering::Relaxed);
+            if k >= kernels {
+                return;
+            }
+            let start = k * self.kernel_size;
+            let end = (start + self.kernel_size).min(total);
+            let mut local = 0u64;
+            for idx in start..end {
+                let (i, j) = (idx / b.len(), idx % b.len());
+                local += 1;
+                if tri_tri_intersect(&a[i], &b[j]) {
+                    found.store(true, Ordering::Relaxed);
+                    break;
+                }
+            }
+            tested.fetch_add(local, Ordering::Relaxed);
         });
         (
             found.load(Ordering::Relaxed),
@@ -100,50 +100,44 @@ impl BatchExecutor {
         let kernels = total.div_ceil(self.kernel_size);
         let workers = self.threads.min(kernels);
         let best_bits = AtomicU64::new(upper.to_bits());
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
-                    loop {
-                        if zero.load(Ordering::Relaxed) {
-                            return;
-                        }
-                        let k = next.fetch_add(1, Ordering::Relaxed);
-                        if k >= kernels {
-                            return;
-                        }
-                        let start = k * self.kernel_size;
-                        let end = (start + self.kernel_size).min(total);
-                        let mut local_best = f64::INFINITY;
-                        let mut local = 0u64;
-                        for idx in start..end {
-                            let (i, j) = (idx / b.len(), idx % b.len());
-                            local += 1;
-                            let d2 = tri_tri_dist2(&a[i], &b[j]);
-                            if d2 < local_best {
-                                local_best = d2;
-                                if tripro_geom::is_exactly_zero(d2) {
-                                    zero.store(true, Ordering::Relaxed);
-                                    break;
-                                }
-                            }
-                        }
-                        tested.fetch_add(local, Ordering::Relaxed);
-                        // Lock-free running minimum (f64 bits are monotone
-                        // for non-negative values).
-                        let mut cur = best_bits.load(Ordering::Relaxed);
-                        while f64::from_bits(cur) > local_best {
-                            match best_bits.compare_exchange_weak(
-                                cur,
-                                local_best.to_bits(),
-                                Ordering::Relaxed,
-                                Ordering::Relaxed,
-                            ) {
-                                Ok(_) => break,
-                                Err(c) => cur = c,
-                            }
-                        }
+        crate::pool::global().run_with(workers - 1, |_| loop {
+            if zero.load(Ordering::Relaxed) {
+                return;
+            }
+            let k = next.fetch_add(1, Ordering::Relaxed);
+            if k >= kernels {
+                return;
+            }
+            let start = k * self.kernel_size;
+            let end = (start + self.kernel_size).min(total);
+            let mut local_best = f64::INFINITY;
+            let mut local = 0u64;
+            for idx in start..end {
+                let (i, j) = (idx / b.len(), idx % b.len());
+                local += 1;
+                let d2 = tri_tri_dist2(&a[i], &b[j]);
+                if d2 < local_best {
+                    local_best = d2;
+                    if tripro_geom::is_exactly_zero(d2) {
+                        zero.store(true, Ordering::Relaxed);
+                        break;
                     }
-                });
+                }
+            }
+            tested.fetch_add(local, Ordering::Relaxed);
+            // Lock-free running minimum (f64 bits are monotone
+            // for non-negative values).
+            let mut cur = best_bits.load(Ordering::Relaxed);
+            while f64::from_bits(cur) > local_best {
+                match best_bits.compare_exchange_weak(
+                    cur,
+                    local_best.to_bits(),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(c) => cur = c,
+                }
             }
         });
         if zero.load(Ordering::Relaxed) {
@@ -174,45 +168,41 @@ impl BatchExecutor {
         let workers = self.threads.min(kernels);
         let best_bits = AtomicU64::new(upper.to_bits());
         let zero = AtomicBool::new(false);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    if zero.load(Ordering::Relaxed) {
-                        return;
+        crate::pool::global().run_with(workers - 1, |_| loop {
+            if zero.load(Ordering::Relaxed) {
+                return;
+            }
+            let k = next.fetch_add(1, Ordering::Relaxed);
+            if k >= kernels {
+                return;
+            }
+            let start = k * self.kernel_size;
+            let end = (start + self.kernel_size).min(pairs.len());
+            let mut local_best = f64::INFINITY;
+            let mut local = 0u64;
+            for &(i, j) in &pairs[start..end] {
+                local += 1;
+                let d2 = tri_tri_dist2(&a[i as usize], &b[j as usize]);
+                if d2 < local_best {
+                    local_best = d2;
+                    if tripro_geom::is_exactly_zero(d2) {
+                        zero.store(true, Ordering::Relaxed);
+                        break;
                     }
-                    let k = next.fetch_add(1, Ordering::Relaxed);
-                    if k >= kernels {
-                        return;
-                    }
-                    let start = k * self.kernel_size;
-                    let end = (start + self.kernel_size).min(pairs.len());
-                    let mut local_best = f64::INFINITY;
-                    let mut local = 0u64;
-                    for &(i, j) in &pairs[start..end] {
-                        local += 1;
-                        let d2 = tri_tri_dist2(&a[i as usize], &b[j as usize]);
-                        if d2 < local_best {
-                            local_best = d2;
-                            if tripro_geom::is_exactly_zero(d2) {
-                                zero.store(true, Ordering::Relaxed);
-                                break;
-                            }
-                        }
-                    }
-                    tested.fetch_add(local, Ordering::Relaxed);
-                    let mut cur = best_bits.load(Ordering::Relaxed);
-                    while f64::from_bits(cur) > local_best {
-                        match best_bits.compare_exchange_weak(
-                            cur,
-                            local_best.to_bits(),
-                            Ordering::Relaxed,
-                            Ordering::Relaxed,
-                        ) {
-                            Ok(_) => break,
-                            Err(c) => cur = c,
-                        }
-                    }
-                });
+                }
+            }
+            tested.fetch_add(local, Ordering::Relaxed);
+            let mut cur = best_bits.load(Ordering::Relaxed);
+            while f64::from_bits(cur) > local_best {
+                match best_bits.compare_exchange_weak(
+                    cur,
+                    local_best.to_bits(),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(c) => cur = c,
+                }
             }
         });
         if zero.load(Ordering::Relaxed) {
@@ -239,29 +229,25 @@ impl BatchExecutor {
         let next = AtomicUsize::new(0);
         let kernels = pairs.len().div_ceil(self.kernel_size);
         let workers = self.threads.min(kernels);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    if found.load(Ordering::Relaxed) {
-                        return;
-                    }
-                    let k = next.fetch_add(1, Ordering::Relaxed);
-                    if k >= kernels {
-                        return;
-                    }
-                    let start = k * self.kernel_size;
-                    let end = (start + self.kernel_size).min(pairs.len());
-                    let mut local = 0u64;
-                    for &(i, j) in &pairs[start..end] {
-                        local += 1;
-                        if tri_tri_intersect(&a[i as usize], &b[j as usize]) {
-                            found.store(true, Ordering::Relaxed);
-                            break;
-                        }
-                    }
-                    tested.fetch_add(local, Ordering::Relaxed);
-                });
+        crate::pool::global().run_with(workers - 1, |_| loop {
+            if found.load(Ordering::Relaxed) {
+                return;
             }
+            let k = next.fetch_add(1, Ordering::Relaxed);
+            if k >= kernels {
+                return;
+            }
+            let start = k * self.kernel_size;
+            let end = (start + self.kernel_size).min(pairs.len());
+            let mut local = 0u64;
+            for &(i, j) in &pairs[start..end] {
+                local += 1;
+                if tri_tri_intersect(&a[i as usize], &b[j as usize]) {
+                    found.store(true, Ordering::Relaxed);
+                    break;
+                }
+            }
+            tested.fetch_add(local, Ordering::Relaxed);
         });
         (
             found.load(Ordering::Relaxed),

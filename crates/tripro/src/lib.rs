@@ -49,6 +49,7 @@
 //! | [`query`] | the query processor: FR & FPR intersection / within / NN / kNN joins (§4) |
 //! | [`compute`] | the geometry computer and its acceleration strategies (§5.1) |
 //! | [`gpu`] | the batched data-parallel executor standing in for GPU kernels (§5.1) |
+//! | [`pool`] | persistent worker pool shared by the executor, driver and resource manager |
 //! | [`partition`] | skeleton-based object partitioning (§5.1) |
 //! | [`resource`] | shared task queue drained by CPU pool + device (§5.2) |
 //! | [`profiler`] | LOD-list selection by pruned-fraction profiling (§4.4, §6.5) |
@@ -61,6 +62,7 @@ pub mod error;
 pub mod gpu;
 pub mod partition;
 pub mod point;
+pub mod pool;
 pub mod profiler;
 pub mod query;
 pub mod resource;
@@ -73,6 +75,7 @@ pub use compute::{Accel, Computer};
 pub use error::{Error, Result};
 pub use gpu::BatchExecutor;
 pub use point::PointQuery;
+pub use pool::WorkerPool;
 pub use profiler::{choose_lods, measure_r, LodActivity, LodChoice, QueryKind};
 pub use query::{Engine, JoinPairs, NnPairs, Paradigm, QueryConfig};
 pub use resource::ResourceManager;

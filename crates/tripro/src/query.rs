@@ -13,8 +13,72 @@ use crate::error::Result;
 use crate::stats::ExecStats;
 use crate::store::{ObjectId, ObjectStore};
 use crate::sync::lock;
+use std::collections::BinaryHeap;
 use std::time::Instant;
 use tripro_geom::DistRange;
+
+/// Total-order f64 wrapper so a [`BinaryHeap`] can hold distances.
+#[derive(PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Bounded max-heap over the `k` smallest values pushed so far: `kth()` is
+/// the k-th smallest in O(1), each `push` is O(log k). Replaces re-sorting
+/// the whole candidate list per evaluated pair in the kNN inner loop.
+struct KthSmallest {
+    k: usize,
+    heap: BinaryHeap<OrdF64>,
+}
+
+impl KthSmallest {
+    fn new(k: usize) -> Self {
+        Self {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    fn push(&mut self, v: f64) {
+        if self.heap.len() < self.k {
+            self.heap.push(OrdF64(v));
+        } else if self.heap.peek().is_some_and(|top| v < top.0) {
+            self.heap.pop();
+            self.heap.push(OrdF64(v));
+        }
+    }
+
+    /// The k-th smallest value pushed so far; ∞ until `k` values are seen
+    /// (matching the "cannot tighten before k candidates settle" rule).
+    fn kth(&self) -> f64 {
+        if self.heap.len() < self.k {
+            f64::INFINITY
+        } else {
+            self.heap.peek().map_or(f64::INFINITY, |top| top.0)
+        }
+    }
+}
+
+/// Per-join context built **once** and shared by every target evaluation:
+/// the geometry computer (with its batch executor) and the LOD ladder.
+/// The seed rebuilt both per target object, which put allocation and
+/// `available_parallelism` queries on the per-candidate hot path.
+struct JoinCtx {
+    computer: Computer,
+    lods: Vec<usize>,
+}
 
 /// Query processing paradigm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -137,6 +201,13 @@ impl<'a> Engine<'a> {
         )
     }
 
+    fn join_ctx(&self, cfg: &QueryConfig) -> JoinCtx {
+        JoinCtx {
+            computer: self.computer(cfg),
+            lods: self.lods(cfg),
+        }
+    }
+
     // -----------------------------------------------------------------
     // Intersection join (paper §4.1, Alg. 1)
     // -----------------------------------------------------------------
@@ -148,8 +219,18 @@ impl<'a> Engine<'a> {
         cfg: &QueryConfig,
         stats: &ExecStats,
     ) -> Result<Vec<ObjectId>> {
-        let computer = self.computer(cfg);
-        let lods = self.lods(cfg);
+        self.intersect_one_in(&self.join_ctx(cfg), t, cfg, stats)
+    }
+
+    fn intersect_one_in(
+        &self,
+        ctx: &JoinCtx,
+        t: ObjectId,
+        cfg: &QueryConfig,
+        stats: &ExecStats,
+    ) -> Result<Vec<ObjectId>> {
+        let computer = &ctx.computer;
+        let lods = &ctx.lods;
 
         // Filter: MBB intersection against the global index. With the
         // partition strategies the finer sub-object boxes filter instead.
@@ -174,7 +255,7 @@ impl<'a> Engine<'a> {
 
         let mut results = Vec::new();
         let t_max = self.target.max_lod(t);
-        for &lod in &lods {
+        for &lod in lods {
             if candidates.is_empty() {
                 break;
             }
@@ -236,7 +317,10 @@ impl<'a> Engine<'a> {
     /// Intersection spatial join `D₁ ⋈ D₂` over all target objects.
     pub fn intersection_join(&self, cfg: &QueryConfig) -> Result<(JoinPairs, ExecStats)> {
         let stats = ExecStats::new();
-        let out = self.drive(cfg, &stats, |t, stats| self.intersect_one(t, cfg, stats))?;
+        let ctx = self.join_ctx(cfg);
+        let out = self.drive(cfg, &stats, |t, stats| {
+            self.intersect_one_in(&ctx, t, cfg, stats)
+        })?;
         Ok((out, stats))
     }
 
@@ -252,8 +336,19 @@ impl<'a> Engine<'a> {
         cfg: &QueryConfig,
         stats: &ExecStats,
     ) -> Result<Vec<ObjectId>> {
-        let computer = self.computer(cfg);
-        let lods = self.lods(cfg);
+        self.within_one_in(&self.join_ctx(cfg), t, d, cfg, stats)
+    }
+
+    fn within_one_in(
+        &self,
+        ctx: &JoinCtx,
+        t: ObjectId,
+        d: f64,
+        cfg: &QueryConfig,
+        stats: &ExecStats,
+    ) -> Result<Vec<ObjectId>> {
+        let computer = &ctx.computer;
+        let lods = &ctx.lods;
 
         let t0 = Instant::now();
         let filtered = self.source.rtree().within(self.target.mbb(t), d);
@@ -301,7 +396,7 @@ impl<'a> Engine<'a> {
         let seed = d2 * (1.0 + 1e-9) + f64::MIN_POSITIVE;
 
         let t_max = self.target.max_lod(t);
-        for &lod in &lods {
+        for &lod in lods {
             if candidates.is_empty() {
                 break;
             }
@@ -340,7 +435,10 @@ impl<'a> Engine<'a> {
     /// Within spatial join: all source objects within `d` of each target.
     pub fn within_join(&self, d: f64, cfg: &QueryConfig) -> Result<(JoinPairs, ExecStats)> {
         let stats = ExecStats::new();
-        let out = self.drive(cfg, &stats, |t, stats| self.within_one(t, d, cfg, stats))?;
+        let ctx = self.join_ctx(cfg);
+        let out = self.drive(cfg, &stats, |t, stats| {
+            self.within_one_in(&ctx, t, d, cfg, stats)
+        })?;
         Ok((out, stats))
     }
 
@@ -355,8 +453,18 @@ impl<'a> Engine<'a> {
         cfg: &QueryConfig,
         stats: &ExecStats,
     ) -> Result<Option<ObjectId>> {
-        let computer = self.computer(cfg);
-        let lods = self.lods(cfg);
+        self.nn_one_in(&self.join_ctx(cfg), t, cfg, stats)
+    }
+
+    fn nn_one_in(
+        &self,
+        ctx: &JoinCtx,
+        t: ObjectId,
+        cfg: &QueryConfig,
+        stats: &ExecStats,
+    ) -> Result<Option<ObjectId>> {
+        let computer = &ctx.computer;
+        let lods = &ctx.lods;
 
         let t0 = Instant::now();
         let mut candidates: Vec<(ObjectId, DistRange)> =
@@ -396,7 +504,7 @@ impl<'a> Engine<'a> {
             .fold(f64::INFINITY, f64::min);
         let t_max = self.target.max_lod(t);
 
-        for &lod in &lods {
+        for &lod in lods {
             if candidates.len() <= 1 {
                 break;
             }
@@ -465,7 +573,8 @@ impl<'a> Engine<'a> {
     /// every target object.
     pub fn nn_join(&self, cfg: &QueryConfig) -> Result<(NnPairs, ExecStats)> {
         let stats = ExecStats::new();
-        let out = self.drive(cfg, &stats, |t, stats| self.nn_one(t, cfg, stats))?;
+        let ctx = self.join_ctx(cfg);
+        let out = self.drive(cfg, &stats, |t, stats| self.nn_one_in(&ctx, t, cfg, stats))?;
         Ok((out, stats))
     }
 
@@ -479,11 +588,21 @@ impl<'a> Engine<'a> {
         cfg: &QueryConfig,
         stats: &ExecStats,
     ) -> Result<Vec<ObjectId>> {
+        self.knn_one_in(&self.join_ctx(cfg), t, k, stats)
+    }
+
+    fn knn_one_in(
+        &self,
+        ctx: &JoinCtx,
+        t: ObjectId,
+        k: usize,
+        stats: &ExecStats,
+    ) -> Result<Vec<ObjectId>> {
         if k == 0 {
             return Ok(Vec::new());
         }
-        let computer = self.computer(cfg);
-        let lods = self.lods(cfg);
+        let computer = &ctx.computer;
+        let lods = &ctx.lods;
 
         let t0 = Instant::now();
         let mut candidates: Vec<(ObjectId, DistRange)> =
@@ -494,24 +613,26 @@ impl<'a> Engine<'a> {
         }
 
         let t_max = self.target.max_lod(t);
-        // The pruning threshold is the k-th smallest MAXDIST.
-        let kth_max = |cands: &[(ObjectId, DistRange)]| -> f64 {
-            if cands.len() < k {
-                return f64::INFINITY;
+        // The pruning threshold is the k-th smallest MAXDIST, maintained
+        // with a bounded max-heap over the surviving candidates instead of
+        // re-sorting the whole list for every evaluated pair (the seed's
+        // inner loop was O(n·k log n) per LOD; this is O(n log k)).
+        let mut threshold = {
+            let mut kth = KthSmallest::new(k);
+            for (_, r) in &candidates {
+                kth.push(r.max);
             }
-            let mut maxs: Vec<f64> = cands.iter().map(|(_, r)| r.max).collect();
-            maxs.sort_by(f64::total_cmp);
-            maxs[k - 1]
+            kth.kth()
         };
-        let mut threshold = kth_max(&candidates);
 
-        for &lod in &lods {
+        for &lod in lods {
             if candidates.len() <= k {
                 break;
             }
             let geom_t = self.target.get(t, lod, stats)?;
             let sk_t = self.target.skeleton(t);
             let mut next = Vec::with_capacity(candidates.len());
+            let mut kth = KthSmallest::new(k);
             for (c, mut r) in candidates {
                 if r.min > threshold {
                     stats.record_pair_pruned(lod);
@@ -535,19 +656,19 @@ impl<'a> Engine<'a> {
                     if exact {
                         r.min = dist;
                     }
+                    kth.push(r.max);
                     next.push((c, r));
                 } else if exact {
                     stats.record_pair_pruned(lod);
                 } else {
+                    kth.push(r.max);
                     next.push((c, r));
                 }
-                threshold = threshold.min(kth_max(&next).max(
-                    // Until k candidates are settled the threshold cannot
-                    // tighten below the k-th best seen.
-                    0.0,
-                ));
+                // Until k candidates are settled the threshold cannot
+                // tighten below the k-th best seen (kth() is ∞ until then).
+                threshold = threshold.min(kth.kth().max(0.0));
             }
-            threshold = kth_max(&next);
+            threshold = kth.kth();
             candidates = next
                 .into_iter()
                 .filter(|(_, r)| {
@@ -594,7 +715,8 @@ impl<'a> Engine<'a> {
     /// target object, closest first.
     pub fn knn_join(&self, k: usize, cfg: &QueryConfig) -> Result<(JoinPairs, ExecStats)> {
         let stats = ExecStats::new();
-        let out = self.drive(cfg, &stats, |t, stats| self.knn_one(t, k, cfg, stats))?;
+        let ctx = self.join_ctx(cfg);
+        let out = self.drive(cfg, &stats, |t, stats| self.knn_one_in(&ctx, t, k, stats))?;
         Ok((out, stats))
     }
 
@@ -617,20 +739,19 @@ impl<'a> Engine<'a> {
         let next = std::sync::atomic::AtomicUsize::new(0);
         let results = std::sync::Mutex::new(Vec::with_capacity(self.target.len()));
         let workers = cfg.threads.max(1).min(cuboids.len().max(1));
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= cuboids.len() {
-                        return;
-                    }
-                    let mut local = Vec::with_capacity(cuboids[i].len());
-                    for &t in &cuboids[i] {
-                        local.push((t, per_object(t, stats)));
-                    }
-                    lock(&results).extend(local);
-                });
+        // Workers come from the persistent process-wide pool (the caller is
+        // one of them); each claims whole cuboids so decode-cache locality
+        // is preserved (§5.3).
+        crate::pool::global().run_with(workers - 1, |_| loop {
+            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if i >= cuboids.len() {
+                return;
             }
+            let mut local = Vec::with_capacity(cuboids[i].len());
+            for &t in &cuboids[i] {
+                local.push((t, per_object(t, stats)));
+            }
+            lock(&results).extend(local);
         });
         let gathered = results
             .into_inner()
@@ -846,6 +967,71 @@ mod tests {
             assert_eq!(engine.knn_one(1, 1, &cfg, &stats).unwrap(), vec![1]);
             assert_eq!(engine.knn_one(1, 99, &cfg, &stats).unwrap().len(), 3);
             assert!(engine.knn_one(1, 0, &cfg, &stats).unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn kth_smallest_matches_sort_reference() {
+        // Deterministic LCG stream, checked against a full sort after
+        // every push.
+        let mut x = 7u64;
+        let mut vals: Vec<f64> = Vec::new();
+        let mut kth = KthSmallest::new(4);
+        for _ in 0..100 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = (x >> 11) as f64 / (1u64 << 53) as f64 * 100.0;
+            vals.push(v);
+            kth.push(v);
+            let mut sorted = vals.clone();
+            sorted.sort_by(f64::total_cmp);
+            let expect = if sorted.len() < 4 {
+                f64::INFINITY
+            } else {
+                sorted[3]
+            };
+            assert_eq!(
+                kth.kth().total_cmp(&expect),
+                std::cmp::Ordering::Equal,
+                "after {} pushes",
+                vals.len()
+            );
+        }
+    }
+
+    #[test]
+    fn knn_heap_threshold_matches_exhaustive_reference() {
+        // Enough sources that the bounded heap actually churns, pinned
+        // against exact top-LOD distances computed independently.
+        let targets = store_of(vec![sphere(vec3(0.0, 0.0, 0.0), 2.0, 3)]);
+        let mut srcs = Vec::new();
+        for i in 0..10 {
+            srcs.push(sphere(
+                vec3(3.0 + 2.5 * i as f64, (i % 3) as f64, 0.0),
+                1.0,
+                2,
+            ));
+        }
+        let sources = store_of(srcs);
+        let engine = Engine::new(&targets, &sources);
+        let cfg = QueryConfig::new(Paradigm::FilterProgressiveRefine, Accel::Brute);
+        let stats = ExecStats::new();
+        let computer = engine.computer(&cfg);
+        let top = targets.max_lod_overall().max(sources.max_lod_overall());
+        let geom_t = targets.get(0, top, &stats).unwrap();
+        let mut reference: Vec<(f64, ObjectId)> = (0..sources.len() as u32)
+            .map(|c| {
+                let geom_c = sources.get(c, top, &stats).unwrap();
+                let d2 = computer.min_dist2(&geom_t, &geom_c, &[], &[], f64::INFINITY, &stats);
+                (d2.sqrt(), c)
+            })
+            .collect();
+        reference.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        for k in [1usize, 3, 5, 9, 10, 12] {
+            let got = engine.knn_one(0, k, &cfg, &stats).unwrap();
+            let want: Vec<ObjectId> = reference.iter().take(k).map(|&(_, c)| c).collect();
+            assert_eq!(got, want, "k={k}");
         }
     }
 

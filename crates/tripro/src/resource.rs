@@ -98,12 +98,16 @@ impl ResourceManager {
             }
         };
 
-        std::thread::scope(|scope| {
-            let (zero, next, cpu_tasks, dev_tasks) = (&zero, &next, &cpu_tasks, &dev_tasks);
-            let (run_task, fold) = (&run_task, &fold);
-            // CPU consumers: one task at a time.
-            for _ in 0..self.cpu_workers {
-                scope.spawn(move || loop {
+        // One pool region, two consumer roles decided by participant index:
+        // the first `cpu_workers` participants (including the caller) drain
+        // one task per claim; the rest act as the device, grabbing a
+        // *kernel* worth of tasks per claim to model batch submission
+        // latency amortisation.
+        let per_launch = (self.device.kernel_size / self.task_size).max(1);
+        let participants = self.cpu_workers + self.device.threads;
+        crate::pool::global().run_with(participants - 1, |w| {
+            if w < self.cpu_workers {
+                loop {
                     if zero.load(Ordering::Relaxed) {
                         return;
                     }
@@ -113,31 +117,26 @@ impl ResourceManager {
                     }
                     cpu_tasks.fetch_add(1, Ordering::Relaxed);
                     fold(run_task(t));
-                });
+                }
             }
-            // Device consumers: grab a *kernel* worth of tasks per claim,
-            // modelling batch submission latency amortisation.
-            let per_launch = (self.device.kernel_size / self.task_size).max(1);
-            for _ in 0..self.device.threads {
-                scope.spawn(move || loop {
-                    if zero.load(Ordering::Relaxed) {
-                        return;
+            loop {
+                if zero.load(Ordering::Relaxed) {
+                    return;
+                }
+                let t0 = next.fetch_add(per_launch, Ordering::Relaxed);
+                if t0 >= tasks {
+                    return;
+                }
+                let t1 = (t0 + per_launch).min(tasks);
+                dev_tasks.fetch_add((t1 - t0) as u64, Ordering::Relaxed);
+                let mut local = f64::INFINITY;
+                for t in t0..t1 {
+                    local = local.min(run_task(t));
+                    if tripro_geom::is_exactly_zero(local) {
+                        break;
                     }
-                    let t0 = next.fetch_add(per_launch, Ordering::Relaxed);
-                    if t0 >= tasks {
-                        return;
-                    }
-                    let t1 = (t0 + per_launch).min(tasks);
-                    dev_tasks.fetch_add((t1 - t0) as u64, Ordering::Relaxed);
-                    let mut local = f64::INFINITY;
-                    for t in t0..t1 {
-                        local = local.min(run_task(t));
-                        if tripro_geom::is_exactly_zero(local) {
-                            break;
-                        }
-                    }
-                    fold(local);
-                });
+                }
+                fold(local);
             }
         });
 
@@ -178,19 +177,15 @@ impl ResourceManager {
             }
             tested.fetch_add(n, Ordering::Relaxed);
         };
-        std::thread::scope(|scope| {
-            for _ in 0..(self.cpu_workers + self.device.threads) {
-                scope.spawn(|| loop {
-                    if found.load(Ordering::Relaxed) {
-                        return;
-                    }
-                    let t = next.fetch_add(1, Ordering::Relaxed);
-                    if t >= tasks {
-                        return;
-                    }
-                    run_task(t);
-                });
+        crate::pool::global().run_with(self.cpu_workers + self.device.threads - 1, |_| loop {
+            if found.load(Ordering::Relaxed) {
+                return;
             }
+            let t = next.fetch_add(1, Ordering::Relaxed);
+            if t >= tasks {
+                return;
+            }
+            run_task(t);
         });
         (
             found.load(Ordering::Relaxed),

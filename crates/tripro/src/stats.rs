@@ -122,6 +122,16 @@ impl StatsSnapshot {
         self.compute_ns as f64 / 1e9
     }
 
+    /// Decode-cache hit rate in `[0, 1]`; 0.0 when nothing was requested.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
     /// Fraction of object pairs pruned at each LOD that saw evaluations —
     /// the quantity §4.4 compares against `1/r²` to pick refinement LODs.
     pub fn pruned_fractions(&self) -> Vec<(usize, f64)> {

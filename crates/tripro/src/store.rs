@@ -74,18 +74,15 @@ impl ObjectStore {
         let next = std::sync::atomic::AtomicUsize::new(0);
         let slots_ref = std::sync::Mutex::new(&mut slots);
         let threads = cfg.build_threads.max(1).min(n.max(1));
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= n {
-                        return;
-                    }
-                    let built = build_object(&meshes[i], &cfg.encoder);
-                    let mut guard = lock(&slots_ref);
-                    guard[i] = Some(built);
-                });
+        // Encode on the persistent pool (the caller participates too).
+        crate::pool::global().run_with(threads.saturating_sub(1), |_| loop {
+            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if i >= n {
+                return;
             }
+            let built = build_object(&meshes[i], &cfg.encoder);
+            let mut guard = lock(&slots_ref);
+            guard[i] = Some(built);
         });
         let mut objects = Vec::with_capacity(n);
         for (index, s) in slots.into_iter().enumerate() {

@@ -1,7 +1,7 @@
 //! Small synchronisation helpers shared across the engine.
 
-pub use std::sync::Mutex;
 use std::sync::MutexGuard;
+pub use std::sync::{Condvar, Mutex};
 
 /// Acquire a mutex, recovering from poisoning instead of panicking.
 ///
@@ -14,5 +14,11 @@ use std::sync::MutexGuard;
 pub fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex
         .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Block on a condition variable, recovering from poisoning like [`lock`].
+pub fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard)
         .unwrap_or_else(std::sync::PoisonError::into_inner)
 }

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Join-benchmark snapshot for CI: runs the bench_joins harness at tiny
+# scale and leaves target/harness/BENCH_joins.json for artifact upload.
+#
+# Usage: scripts/bench_snapshot.sh [scale]
+#   scale: tiny (default) | small | medium
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-${TRIPRO_SCALE:-tiny}}"
+export TRIPRO_SCALE="$SCALE"
+
+echo "[bench_snapshot] scale=$TRIPRO_SCALE threads=${TRIPRO_THREADS:-auto}"
+cargo run --release -p tripro-bench --bin bench_joins
+
+test -s target/harness/BENCH_joins.json
+echo "[bench_snapshot] ok: target/harness/BENCH_joins.json"
