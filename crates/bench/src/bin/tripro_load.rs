@@ -1,0 +1,368 @@
+//! `tripro-load` — load generator for a running `tripro serve` instance.
+//!
+//! ```sh
+//! tripro serve --target A --source B --addr 127.0.0.1:3750 &
+//! tripro-load --addr 127.0.0.1:3750 --clients 8 --requests 200
+//! # -> target/harness/BENCH_serve.json
+//! ```
+//!
+//! Two driving modes:
+//!
+//! * **closed-loop** (default): each of `--clients` connections issues its
+//!   next request as soon as the previous one completes — measures service
+//!   capacity under full concurrency.
+//! * **open-loop** (`--rate RPS`): requests are scheduled on a fixed global
+//!   arrival clock split across clients, regardless of completions — the
+//!   arrival process the admission controller is designed for. Under an
+//!   offered rate beyond capacity the server must shed (`Overloaded`), not
+//!   collapse.
+//!
+//! `Overloaded` and `DeadlineExceeded` replies are expected outcomes and
+//! counted separately; transport or protocol failures make the run exit
+//! nonzero. The JSON summary (hand-rolled, the workspace is
+//! dependency-free) lands in `target/harness/BENCH_serve.json`.
+
+use std::time::{Duration, Instant};
+use tripro_serve::{Client, ErrorCode, QueryReply, Request};
+
+/// Request kinds the generator can mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpKind {
+    Contains,
+    Intersect,
+    Within,
+    Nn,
+    Knn,
+}
+
+impl OpKind {
+    fn parse(s: &str) -> Option<OpKind> {
+        Some(match s {
+            "contains" => OpKind::Contains,
+            "intersect" => OpKind::Intersect,
+            "within" => OpKind::Within,
+            "nn" => OpKind::Nn,
+            "knn" => OpKind::Knn,
+            _ => return None,
+        })
+    }
+}
+
+/// Per-thread outcome tally.
+#[derive(Default)]
+struct Tally {
+    ok: u64,
+    overloaded: u64,
+    deadline_expired: u64,
+    errors: u64,
+    /// Latencies of all answered requests (any outcome), seconds.
+    latencies: Vec<f64>,
+}
+
+struct Args {
+    addr: String,
+    clients: usize,
+    requests: usize,
+    rate: f64,
+    deadline_ms: u32,
+    within_d: f64,
+    knn_k: u32,
+    mix: Vec<OpKind>,
+    shutdown: bool,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut a = Args {
+        addr: "127.0.0.1:3750".to_string(),
+        clients: 4,
+        requests: 100,
+        rate: 0.0,
+        deadline_ms: u32::MAX,
+        within_d: 1.0,
+        knn_k: 3,
+        mix: vec![
+            OpKind::Intersect,
+            OpKind::Within,
+            OpKind::Nn,
+            OpKind::Knn,
+            OpKind::Contains,
+        ],
+        shutdown: false,
+        out: "target/harness/BENCH_serve.json".to_string(),
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let val = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            argv.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag {
+            "--addr" => a.addr = val(&mut i)?,
+            "--clients" => a.clients = val(&mut i)?.parse().map_err(|_| "bad --clients")?,
+            "--requests" => a.requests = val(&mut i)?.parse().map_err(|_| "bad --requests")?,
+            "--rate" => a.rate = val(&mut i)?.parse().map_err(|_| "bad --rate")?,
+            "--deadline-ms" => {
+                a.deadline_ms = val(&mut i)?.parse().map_err(|_| "bad --deadline-ms")?;
+            }
+            "--within-d" => a.within_d = val(&mut i)?.parse().map_err(|_| "bad --within-d")?,
+            "--k" => a.knn_k = val(&mut i)?.parse().map_err(|_| "bad --k")?,
+            "--mix" => {
+                let spec = val(&mut i)?;
+                a.mix = spec
+                    .split(',')
+                    .map(|s| OpKind::parse(s.trim()).ok_or_else(|| format!("bad op {s:?}")))
+                    .collect::<Result<_, _>>()?;
+                if a.mix.is_empty() {
+                    return Err("--mix needs at least one op".to_string());
+                }
+            }
+            "--shutdown" => a.shutdown = true,
+            "--out" => a.out = val(&mut i)?,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: tripro-load --addr HOST:PORT [--clients N] [--requests R] \
+                     [--rate RPS] [--deadline-ms MS] [--mix a,b,...] [--within-d D] \
+                     [--k K] [--shutdown] [--out FILE]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+        i += 1;
+    }
+    if a.clients == 0 || a.requests == 0 {
+        return Err("--clients and --requests must be positive".to_string());
+    }
+    Ok(a)
+}
+
+/// Deterministic request stream: splitmix64 over (client, seq).
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn request_for(a: &Args, n_targets: u64, client: usize, seq: usize) -> Request {
+    let r = mix64(((client as u64) << 32) ^ seq as u64);
+    let kind = a.mix[seq % a.mix.len()];
+    let target = (r % n_targets.max(1)) as u32;
+    let deadline_ms = a.deadline_ms;
+    match kind {
+        OpKind::Intersect => Request::Intersect {
+            target,
+            deadline_ms,
+        },
+        OpKind::Within => Request::Within {
+            target,
+            d: a.within_d,
+            deadline_ms,
+        },
+        OpKind::Nn => Request::Nn {
+            target,
+            deadline_ms,
+        },
+        OpKind::Knn => Request::Knn {
+            target,
+            k: a.knn_k,
+            deadline_ms,
+        },
+        OpKind::Contains => {
+            // A pseudo-random probe point in a unit-ish cube; misses are as
+            // informative as hits for service latency.
+            let f = |v: u64| (v & 0xFFFF) as f64 / 65536.0 * 4.0 - 2.0;
+            Request::Contains {
+                p: [f(r), f(r >> 16), f(r >> 32)],
+                deadline_ms,
+            }
+        }
+    }
+}
+
+fn drive_client(a: &Args, n_targets: u64, client: usize, start: Instant) -> Result<Tally, String> {
+    let mut c = Client::connect(&a.addr).map_err(|e| format!("connect: {e}"))?;
+    let mut t = Tally::default();
+    // Open-loop: this client owns every a.clients-th slot of the global
+    // arrival clock.
+    let interval = (a.rate > 0.0).then(|| Duration::from_secs_f64(a.clients as f64 / a.rate));
+    for seq in 0..a.requests {
+        if let Some(iv) = interval {
+            let due = start + iv.mul_f64(seq as f64) + iv.mul_f64(client as f64 / a.clients as f64);
+            let now = Instant::now();
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+        }
+        let req = request_for(a, n_targets, client, seq);
+        let t0 = Instant::now();
+        match c.query(&req) {
+            Ok(QueryReply::Ids(_)) => t.ok += 1,
+            Ok(QueryReply::Error { code, .. }) => match code {
+                ErrorCode::Overloaded => t.overloaded += 1,
+                ErrorCode::DeadlineExceeded => t.deadline_expired += 1,
+                _ => {
+                    t.errors += 1;
+                    eprintln!("[tripro-load] server error: {code:?}");
+                }
+            },
+            Err(e) => return Err(format!("client {client} seq {seq}: {e}")),
+        }
+        t.latencies.push(t0.elapsed().as_secs_f64());
+    }
+    Ok(t)
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let a = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("tripro-load: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    // Learn the store size (for valid target ids) and prove liveness.
+    let n_targets = {
+        let mut probe = match Client::connect(&a.addr) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("tripro-load: cannot connect to {}: {e}", a.addr);
+                std::process::exit(1);
+            }
+        };
+        match probe.stats() {
+            Ok(s) => s.target_objects,
+            Err(e) => {
+                eprintln!("tripro-load: stats probe failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+
+    let start = Instant::now();
+    let mut tallies: Vec<Result<Tally, String>> = Vec::new();
+    let args = &a;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.clients)
+            .map(|client| scope.spawn(move || drive_client(args, n_targets, client, start)))
+            .collect();
+        for h in handles {
+            tallies.push(h.join().unwrap_or_else(|_| Err("client panicked".into())));
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let mut total = Tally::default();
+    let mut transport_failures = 0u64;
+    for t in tallies {
+        match t {
+            Ok(t) => {
+                total.ok += t.ok;
+                total.overloaded += t.overloaded;
+                total.deadline_expired += t.deadline_expired;
+                total.errors += t.errors;
+                total.latencies.extend(t.latencies);
+            }
+            Err(e) => {
+                transport_failures += 1;
+                eprintln!("[tripro-load] {e}");
+            }
+        }
+    }
+    total
+        .latencies
+        .sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+    let answered = total.latencies.len() as u64;
+    let lat_ms = |q: f64| percentile(&total.latencies, q) * 1e3;
+    let max_ms = total.latencies.last().copied().unwrap_or(0.0) * 1e3;
+    let mode = if a.rate > 0.0 { "open" } else { "closed" };
+
+    eprintln!(
+        "[tripro-load] {} mode, {} clients x {} requests in {elapsed:.3}s \
+         ({:.1} rps answered)",
+        mode,
+        a.clients,
+        a.requests,
+        answered as f64 / elapsed.max(1e-9)
+    );
+    eprintln!(
+        "[tripro-load] ok={} overloaded={} deadline_expired={} errors={} \
+         p50={:.2}ms p90={:.2}ms p99={:.2}ms max={:.2}ms",
+        total.ok,
+        total.overloaded,
+        total.deadline_expired,
+        total.errors,
+        lat_ms(0.50),
+        lat_ms(0.90),
+        lat_ms(0.99),
+        max_ms
+    );
+
+    if a.shutdown {
+        match Client::connect(&a.addr).and_then(|mut c| c.shutdown_server()) {
+            Ok(()) => eprintln!("[tripro-load] server shutdown acknowledged"),
+            Err(e) => {
+                eprintln!("[tripro-load] shutdown failed: {e}");
+                transport_failures += 1;
+            }
+        }
+    }
+
+    // -1 encodes "no per-request deadline" in the artifact.
+    let deadline_field: i64 = if a.deadline_ms == u32::MAX {
+        -1
+    } else {
+        i64::from(a.deadline_ms)
+    };
+    let json = format!(
+        concat!(
+            "{{\"addr\":\"{}\",\"mode\":\"{}\",\"clients\":{},\"requests_per_client\":{},",
+            "\"offered_rate\":{:.3},\"deadline_ms\":{},\"seconds\":{:.6},",
+            "\"answered\":{},\"ok\":{},\"overloaded\":{},\"deadline_expired\":{},",
+            "\"errors\":{},\"transport_failures\":{},\"throughput_rps\":{:.3},",
+            "\"p50_ms\":{:.4},\"p90_ms\":{:.4},\"p99_ms\":{:.4},\"max_ms\":{:.4}}}\n"
+        ),
+        a.addr,
+        mode,
+        a.clients,
+        a.requests,
+        a.rate,
+        deadline_field,
+        elapsed,
+        answered,
+        total.ok,
+        total.overloaded,
+        total.deadline_expired,
+        total.errors,
+        transport_failures,
+        answered as f64 / elapsed.max(1e-9),
+        lat_ms(0.50),
+        lat_ms(0.90),
+        lat_ms(0.99),
+        max_ms
+    );
+    if let Some(dir) = std::path::Path::new(&a.out).parent() {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
+    std::fs::write(&a.out, &json).expect("write BENCH_serve.json");
+    eprintln!("[tripro-load] wrote {}", a.out);
+    println!("{json}");
+
+    if total.errors > 0 || transport_failures > 0 {
+        std::process::exit(1);
+    }
+}

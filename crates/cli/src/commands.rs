@@ -1,6 +1,7 @@
 //! CLI subcommand implementations.
 
 use crate::args::Parsed;
+use crate::error::CliError;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
@@ -18,7 +19,7 @@ use tripro_mesh::{load_mesh, save_obj, EncoderConfig, TriMesh};
 use tripro_synth::{DatasetConfig, VesselConfig};
 
 /// `tripro generate` — synthesize a tissue block as OBJ directories.
-pub fn generate(a: &Parsed) -> Result<(), String> {
+pub fn generate(a: &Parsed) -> Result<(), CliError> {
     let out = PathBuf::from(a.require("out")?);
     let cfg = DatasetConfig {
         nuclei_count: a.get_parsed("nuclei", 200usize)?,
@@ -42,21 +43,24 @@ pub fn generate(a: &Parsed) -> Result<(), String> {
         ("vessels", &block.vessels),
     ] {
         let dir = out.join(sub);
-        std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+        std::fs::create_dir_all(&dir)?;
         for (i, m) in meshes.iter().enumerate() {
-            save_obj(dir.join(format!("{sub}_{i:06}.obj")), m).map_err(|e| e.to_string())?;
+            save_obj(dir.join(format!("{sub}_{i:06}.obj")), m)
+                .map_err(|e| CliError::msg(e.to_string()))?;
         }
         eprintln!("  wrote {} meshes to {}", meshes.len(), dir.display());
     }
     Ok(())
 }
 
-fn collect_meshes(dir: &Path) -> Result<Vec<(PathBuf, TriMesh)>, String> {
+fn collect_meshes(dir: &Path) -> Result<Vec<(PathBuf, TriMesh)>, CliError> {
     let mut files = Vec::new();
     let mut stack = vec![dir.to_path_buf()];
     while let Some(d) = stack.pop() {
-        for e in std::fs::read_dir(&d).map_err(|e| format!("{}: {e}", d.display()))? {
-            let p = e.map_err(|e| e.to_string())?.path();
+        for e in
+            std::fs::read_dir(&d).map_err(|e| CliError::msg(format!("{}: {e}", d.display())))?
+        {
+            let p = e?.path();
             if p.is_dir() {
                 stack.push(p);
             } else if matches!(
@@ -73,27 +77,30 @@ fn collect_meshes(dir: &Path) -> Result<Vec<(PathBuf, TriMesh)>, String> {
     files.sort();
     let mut out = Vec::with_capacity(files.len());
     for p in files {
-        let m = load_mesh(&p).map_err(|e| format!("{}: {e}", p.display()))?;
+        let m = load_mesh(&p).map_err(|e| CliError::msg(format!("{}: {e}", p.display())))?;
         out.push((p, m));
     }
     Ok(out)
 }
 
 /// `tripro build` — compress a directory of meshes into a store.
-pub fn build(a: &Parsed) -> Result<(), String> {
+pub fn build(a: &Parsed) -> Result<(), CliError> {
     let input = PathBuf::from(a.require("in")?);
     let out = PathBuf::from(a.require("out")?);
     let mut meshes = collect_meshes(&input)?;
     if meshes.is_empty() {
-        return Err(format!("no .obj/.off meshes under {}", input.display()));
+        return Err(CliError::msg(format!(
+            "no .obj/.off meshes under {}",
+            input.display()
+        )));
     }
     if a.has("repair") {
         let mut flipped_total = 0usize;
         for (path, m) in &mut meshes {
             tripro_mesh::remove_duplicate_faces(m);
             m.weld(0.0);
-            flipped_total +=
-                tripro_mesh::fix_orientation(m).map_err(|e| format!("{}: {e}", path.display()))?;
+            flipped_total += tripro_mesh::fix_orientation(m)
+                .map_err(|e| CliError::msg(format!("{}: {e}", path.display())))?;
         }
         eprintln!("repair: normalised winding ({flipped_total} faces flipped)");
     }
@@ -109,10 +116,12 @@ pub fn build(a: &Parsed) -> Result<(), String> {
     let only: Vec<TriMesh> = meshes.iter().map(|(_, m)| m.clone()).collect();
     let t0 = std::time::Instant::now();
     let store = ObjectStore::build(&only, &cfg).map_err(|e| {
-        format!("encoding failed (meshes must be closed orientable manifolds): {e}")
+        CliError::msg(format!(
+            "encoding failed (meshes must be closed orientable manifolds): {e}"
+        ))
     })?;
     let cell: f64 = a.get_parsed("cuboid", 1e18f64)?;
-    store.save_dir(&out, cell).map_err(|e| e.to_string())?;
+    store.save_dir(&out, cell)?;
     eprintln!(
         "built store: {} objects, {} KiB compressed, {:?}; saved to {}",
         store.len(),
@@ -124,7 +133,7 @@ pub fn build(a: &Parsed) -> Result<(), String> {
 }
 
 /// `tripro info` — summarize a store.
-pub fn info(a: &Parsed) -> Result<(), String> {
+pub fn info(a: &Parsed) -> Result<(), CliError> {
     let store = load_store(a.require("store")?)?;
     outln!("objects:            {}", store.len());
     outln!("compressed bytes:   {}", store.compressed_bytes());
@@ -148,20 +157,20 @@ pub fn info(a: &Parsed) -> Result<(), String> {
 }
 
 /// `tripro lods` — export every LOD of one object.
-pub fn lods(a: &Parsed) -> Result<(), String> {
+pub fn lods(a: &Parsed) -> Result<(), CliError> {
     let store = load_store(a.require("store")?)?;
     let id: u32 = a.get_parsed("id", 0u32)?;
     if id as usize >= store.len() {
-        return Err(format!(
+        return Err(CliError::msg(format!(
             "object {id} out of range (store has {})",
             store.len()
-        ));
+        )));
     }
     let out = PathBuf::from(a.require("out")?);
-    std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
+    std::fs::create_dir_all(&out)?;
     let stats = ExecStats::new();
     for lod in 0..=store.max_lod(id) {
-        let data = store.get(id, lod, &stats).map_err(|e| e.to_string())?;
+        let data = store.get(id, lod, &stats)?;
         let tris = data.triangles.as_ref();
         let mut tm = TriMesh::default();
         for t in tris {
@@ -170,27 +179,27 @@ pub fn lods(a: &Parsed) -> Result<(), String> {
             tm.faces.push([base, base + 1, base + 2]);
         }
         let path = out.join(format!("object{id}_lod{lod}.obj"));
-        save_obj(&path, &tm).map_err(|e| e.to_string())?;
+        save_obj(&path, &tm).map_err(|e| CliError::msg(e.to_string()))?;
         outln!("LOD {lod}: {} faces -> {}", tris.len(), path.display());
     }
     Ok(())
 }
 
 /// `tripro render` — rasterise one object to a PPM image.
-pub fn render(a: &Parsed) -> Result<(), String> {
+pub fn render(a: &Parsed) -> Result<(), CliError> {
     let store = load_store(a.require("store")?)?;
     let id: u32 = a.get_parsed("id", 0u32)?;
     if id as usize >= store.len() {
-        return Err(format!(
+        return Err(CliError::msg(format!(
             "object {id} out of range (store has {})",
             store.len()
-        ));
+        )));
     }
     let out = a.require("out")?;
     let size: usize = a.get_parsed("size", 640usize)?;
     let lod: usize = a.get_parsed("lod", store.max_lod(id))?;
     let stats = ExecStats::new();
-    let data = store.get(id, lod, &stats).map_err(|e| e.to_string())?;
+    let data = store.get(id, lod, &stats)?;
     let cam = tripro_viz::Camera::isometric(store.mbb(id));
     let opts = tripro_viz::RenderOptions {
         width: size,
@@ -198,7 +207,7 @@ pub fn render(a: &Parsed) -> Result<(), String> {
         ..Default::default()
     };
     let img = tripro_viz::render_triangles(&data.triangles, &cam, &opts);
-    img.save_ppm(out).map_err(|e| e.to_string())?;
+    img.save_ppm(out)?;
     eprintln!(
         "rendered object {id} LOD {} ({} faces) to {out}",
         lod.min(store.max_lod(id)),
@@ -207,11 +216,12 @@ pub fn render(a: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
-fn load_store(dir: &str) -> Result<ObjectStore, String> {
-    ObjectStore::load_dir(Path::new(dir), 256 << 20).map_err(|e| format!("{dir}: {e}"))
+fn load_store(dir: &str) -> Result<ObjectStore, CliError> {
+    ObjectStore::load_dir(Path::new(dir), 256 << 20)
+        .map_err(|e| CliError::msg(format!("{dir}: {e}")))
 }
 
-fn accel_of(a: &Parsed) -> Result<Accel, String> {
+fn accel_of(a: &Parsed) -> Result<Accel, CliError> {
     Ok(match a.get("accel").unwrap_or("aabb") {
         "brute" => Accel::Brute,
         "partition" => Accel::Partition,
@@ -219,12 +229,12 @@ fn accel_of(a: &Parsed) -> Result<Accel, String> {
         "gpu" => Accel::Gpu,
         "partition-gpu" => Accel::PartitionGpu,
         "obb" => Accel::ObbTree,
-        other => return Err(format!("unknown --accel {other:?}")),
+        other => return Err(CliError::msg(format!("unknown --accel {other:?}"))),
     })
 }
 
 /// `tripro query <kind>` — run a join between two stores.
-pub fn query(kind: &str, a: &Parsed) -> Result<(), String> {
+pub fn query(kind: &str, a: &Parsed) -> Result<(), CliError> {
     let target = load_store(a.require("target")?)?;
     let source = load_store(a.require("source")?)?;
     let paradigm = if a.has("fr") {
@@ -238,51 +248,111 @@ pub fn query(kind: &str, a: &Parsed) -> Result<(), String> {
     let t0 = std::time::Instant::now();
     match kind {
         "intersect" => {
-            let (pairs, stats) = engine.intersection_join(&cfg).map_err(|e| e.to_string())?;
+            let (pairs, stats) = engine.intersection_join(&cfg)?;
             report(&pairs, t0.elapsed(), &stats);
         }
         "within" => {
             let d: f64 = a
                 .require("distance")?
                 .parse()
-                .map_err(|_| "bad --distance".to_string())?;
-            let (pairs, stats) = engine.within_join(d, &cfg).map_err(|e| e.to_string())?;
+                .map_err(|_| CliError::msg("bad --distance"))?;
+            let (pairs, stats) = engine.within_join(d, &cfg)?;
             report(&pairs, t0.elapsed(), &stats);
         }
         "nn" => {
             let k: usize = a.get_parsed("k", 1usize)?;
             if k == 1 {
-                let (pairs, stats) = engine.nn_join(&cfg).map_err(|e| e.to_string())?;
+                let (pairs, stats) = engine.nn_join(&cfg)?;
                 for (t, n) in &pairs {
                     outln!("{t}\t{}", n.map_or(-1i64, |v| v as i64));
                 }
                 summary(t0.elapsed(), &stats);
             } else {
-                let (pairs, stats) = engine.knn_join(k, &cfg).map_err(|e| e.to_string())?;
+                let (pairs, stats) = engine.knn_join(k, &cfg)?;
                 report(&pairs, t0.elapsed(), &stats);
             }
         }
         "contains" => {
             // Point containment against the *target* store only.
             let p = tripro_geom::vec3(
-                a.require("x")?.parse().map_err(|_| "bad --x".to_string())?,
-                a.require("y")?.parse().map_err(|_| "bad --y".to_string())?,
-                a.require("z")?.parse().map_err(|_| "bad --z".to_string())?,
+                a.require("x")?
+                    .parse()
+                    .map_err(|_| CliError::msg("bad --x"))?,
+                a.require("y")?
+                    .parse()
+                    .map_err(|_| CliError::msg("bad --y"))?,
+                a.require("z")?
+                    .parse()
+                    .map_err(|_| CliError::msg("bad --z"))?,
             );
             let q = tripro::PointQuery::new(&target);
             let stats = ExecStats::new();
-            let hits = q.containing(p, &cfg, &stats).map_err(|e| e.to_string())?;
+            let hits = q.containing(p, &cfg, &stats)?;
             for id in &hits {
                 outln!("{id}");
             }
             summary(t0.elapsed(), &stats);
         }
         other => {
-            return Err(format!(
+            return Err(CliError::msg(format!(
                 "unknown query kind {other:?}; use intersect|within|nn|contains"
-            ))
+            )))
         }
     }
+    Ok(())
+}
+
+/// `tripro serve` — expose two stores over the wire protocol.
+pub fn serve(a: &Parsed) -> Result<(), CliError> {
+    use std::sync::Arc;
+    use std::time::Duration;
+    use tripro_serve::{ServeConfig, Server};
+
+    let target = Arc::new(load_store(a.require("target")?)?);
+    let source = Arc::new(load_store(a.require("source")?)?);
+
+    let defaults = ServeConfig::default();
+    let mut cfg = ServeConfig {
+        addr: a.get("addr").unwrap_or("127.0.0.1:3750").to_string(),
+        paradigm: if a.has("fr") {
+            Paradigm::FilterRefine
+        } else {
+            Paradigm::FilterProgressiveRefine
+        },
+        accel: accel_of(a)?,
+        max_inflight: a.get_parsed("max-inflight", defaults.max_inflight)?,
+        queue_depth: a.get_parsed("queue-depth", defaults.queue_depth)?,
+        max_connections: a.get_parsed("max-connections", defaults.max_connections)?,
+        ..defaults
+    };
+    let cap_ms: u64 = a.get_parsed("deadline-cap-ms", 0u64)?;
+    if cap_ms > 0 {
+        cfg.deadline_cap = Some(Duration::from_millis(cap_ms));
+    }
+    let inject_ms: u64 = a.get_parsed("inject-latency-ms", 0u64)?;
+    if inject_ms > 0 {
+        cfg.inject_latency = Some(Duration::from_millis(inject_ms));
+    }
+
+    let (n_target, n_source) = (target.len(), source.len());
+    let server = Server::start(target, source, cfg)?;
+    eprintln!(
+        "serving on {} ({n_target} target / {n_source} source objects); \
+         send a Shutdown frame to stop",
+        server.addr()
+    );
+    let duration_s: u64 = a.get_parsed("duration", 0u64)?;
+    if duration_s > 0 {
+        std::thread::sleep(Duration::from_secs(duration_s));
+    } else {
+        server.wait();
+    }
+    let s = server.stats();
+    eprintln!(
+        "served: {} admitted, {} completed, {} shed, {} deadline-expired, {} protocol errors",
+        s.admitted, s.completed, s.shed, s.deadline_expired, s.protocol_errors
+    );
+    server.shutdown();
     Ok(())
 }
 

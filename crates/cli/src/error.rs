@@ -1,0 +1,104 @@
+//! Typed CLI errors.
+//!
+//! Subcommands return [`CliError`] instead of bare strings so engine and
+//! transport failures keep their structure (and `source()` chain) all the
+//! way to `main`, where one `Display` line is printed. Flag-parsing errors
+//! from [`crate::args`] arrive as `String`s and fold into
+//! [`CliError::Msg`] via `From`.
+
+use tripro_serve::ServeError;
+
+/// Any failure a `tripro` subcommand can surface.
+#[derive(Debug)]
+pub enum CliError {
+    /// Usage or context message (flag parsing, file naming...).
+    Msg(String),
+    /// Engine failure (decode, build, query...).
+    Tripro(tripro::Error),
+    /// Filesystem / socket failure.
+    Io(std::io::Error),
+    /// Serving failure (bind, wire protocol...).
+    Serve(ServeError),
+}
+
+impl CliError {
+    /// A contextual message error (for sites that annotate a cause).
+    pub fn msg(m: impl Into<String>) -> Self {
+        CliError::Msg(m.into())
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Msg(m) => f.write_str(m),
+            CliError::Tripro(e) => write!(f, "{e}"),
+            CliError::Io(e) => write!(f, "{e}"),
+            CliError::Serve(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Msg(_) => None,
+            CliError::Tripro(e) => Some(e),
+            CliError::Io(e) => Some(e),
+            CliError::Serve(e) => Some(e),
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(m: String) -> Self {
+        CliError::Msg(m)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(m: &str) -> Self {
+        CliError::Msg(m.to_string())
+    }
+}
+
+impl From<tripro::Error> for CliError {
+    fn from(e: tripro::Error) -> Self {
+        CliError::Tripro(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<ServeError> for CliError {
+    fn from(e: ServeError) -> Self {
+        CliError::Serve(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CliError = "missing required --out".into();
+        assert_eq!(e.to_string(), "missing required --out");
+        assert!(e.source().is_none());
+
+        let e: CliError = tripro::Error::DeadlineExceeded.into();
+        assert!(matches!(e, CliError::Tripro(_)));
+        assert!(e.source().is_some());
+
+        let e: CliError = std::io::Error::other("boom").into();
+        assert_eq!(e.to_string(), "boom");
+
+        let e: CliError = ServeError::Unexpected("odd frame").into();
+        assert!(e.to_string().contains("odd frame"));
+    }
+}

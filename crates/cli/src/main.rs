@@ -8,10 +8,12 @@
 //! tripro query intersect --target DIR --source DIR [--fr] [--accel A]
 //! tripro query within    --target DIR --source DIR --distance D [...]
 //! tripro query nn        --target DIR --source DIR [--k K] [...]
+//! tripro serve           --target DIR --source DIR [--addr A] [...]
 //! ```
 
 mod args;
 mod commands;
+mod error;
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -24,13 +26,14 @@ fn main() {
     }
 }
 
-fn run(argv: &[String]) -> Result<(), String> {
+fn run(argv: &[String]) -> Result<(), error::CliError> {
     match argv.first().map(String::as_str) {
         Some("generate") => commands::generate(&args::Parsed::parse(&argv[1..])?),
         Some("build") => commands::build(&args::Parsed::parse(&argv[1..])?),
         Some("info") => commands::info(&args::Parsed::parse(&argv[1..])?),
         Some("lods") => commands::lods(&args::Parsed::parse(&argv[1..])?),
         Some("render") => commands::render(&args::Parsed::parse(&argv[1..])?),
+        Some("serve") => commands::serve(&args::Parsed::parse(&argv[1..])?),
         Some("query") => {
             let kind = argv
                 .get(1)
@@ -41,7 +44,9 @@ fn run(argv: &[String]) -> Result<(), String> {
             print!("{}", HELP);
             Ok(())
         }
-        Some(other) => Err(format!("unknown command {other:?}; try `tripro help`")),
+        Some(other) => Err(error::CliError::msg(format!(
+            "unknown command {other:?}; try `tripro help`"
+        ))),
     }
 }
 
@@ -74,4 +79,13 @@ USAGE:
       target store). Default paradigm is FPR (progressive); --fr selects
       classical Filter-Refine.
       A = brute | partition | aabb | gpu | partition-gpu | obb (default: aabb)
+
+  tripro serve --target DIR --source DIR [--addr HOST:PORT] [--fr] [--accel A]
+               [--max-inflight N] [--queue-depth Q] [--max-connections C]
+               [--deadline-cap-ms MS] [--duration SECS]
+      Serve both stores over the tripro-serve wire protocol
+      (docs/protocol.md): admission-controlled, per-cuboid batched,
+      deadline-aware. Default --addr 127.0.0.1:3750. With --duration the
+      server exits after SECS; otherwise it runs until a Shutdown frame
+      (e.g. `tripro-load --shutdown`).
 ";

@@ -1,0 +1,155 @@
+//! A blocking client for the tripro-serve wire protocol.
+//!
+//! One [`Client`] owns one TCP connection and issues one request at a time
+//! (the protocol itself allows pipelining — request ids disambiguate — but
+//! the blocking client keeps the common case simple). Query responses
+//! arrive as one or more `Page` frames; [`Client::query`] reassembles them
+//! into a [`QueryReply`].
+
+use crate::protocol::{
+    encode_request, read_response, write_frame, ErrorCode, Request, Response, StatsPayload, VERSION,
+};
+use crate::ServeError;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Outcome of a query request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryReply {
+    /// The query completed; result ids reassembled across pages, in the
+    /// order the server produced them.
+    Ids(Vec<u32>),
+    /// The server answered with a protocol-level error (overload, expired
+    /// deadline, bad request...).
+    Error { code: ErrorCode, message: String },
+}
+
+impl QueryReply {
+    /// The result ids, if the query completed.
+    pub fn ids(&self) -> Option<&[u32]> {
+        match self {
+            QueryReply::Ids(ids) => Some(ids),
+            QueryReply::Error { .. } => None,
+        }
+    }
+
+    /// The error code, if the server refused or failed the query.
+    pub fn error_code(&self) -> Option<ErrorCode> {
+        match self {
+            QueryReply::Ids(_) => None,
+            QueryReply::Error { code, .. } => Some(*code),
+        }
+    }
+}
+
+/// A blocking protocol client over one TCP connection.
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connect and complete version negotiation (`Hello`).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut c = Client { stream, next_id: 1 };
+        match c.roundtrip(&Request::Hello {
+            min_version: VERSION,
+            max_version: VERSION,
+        })? {
+            Response::HelloOk { version: _ } => Ok(c),
+            Response::Error { code, message } => {
+                let _ = (code, message);
+                Err(ServeError::Unexpected("server refused version"))
+            }
+            _ => Err(ServeError::Unexpected("non-hello reply to hello")),
+        }
+    }
+
+    /// Optional socket read timeout for all subsequent requests.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ServeError> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    fn send(&mut self, req: &Request) -> Result<u64, ServeError> {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1).max(1);
+        write_frame(&mut self.stream, &encode_request(id, req))?;
+        Ok(id)
+    }
+
+    /// Read the next response frame addressed to `id`.
+    fn recv_for(&mut self, id: u64) -> Result<Response, ServeError> {
+        loop {
+            let (rid, resp) = read_response(&mut self.stream)?;
+            // A strictly serial client only ever has one request in
+            // flight; frames for other ids would be a server bug.
+            if rid == id {
+                return Ok(resp);
+            }
+        }
+    }
+
+    fn roundtrip(&mut self, req: &Request) -> Result<Response, ServeError> {
+        let id = self.send(req)?;
+        self.recv_for(id)
+    }
+
+    /// Liveness probe; answered inline even when the server is overloaded.
+    pub fn health(&mut self) -> Result<(), ServeError> {
+        match self.roundtrip(&Request::Health)? {
+            Response::HealthOk => Ok(()),
+            _ => Err(ServeError::Unexpected("non-health reply to health")),
+        }
+    }
+
+    /// Service counters.
+    pub fn stats(&mut self) -> Result<StatsPayload, ServeError> {
+        match self.roundtrip(&Request::Stats)? {
+            Response::StatsOk(s) => Ok(s),
+            _ => Err(ServeError::Unexpected("non-stats reply to stats")),
+        }
+    }
+
+    /// Ask the server to drain and exit. The server acknowledges before it
+    /// begins draining.
+    pub fn shutdown_server(&mut self) -> Result<(), ServeError> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Response::ShutdownOk => Ok(()),
+            _ => Err(ServeError::Unexpected("non-shutdown reply to shutdown")),
+        }
+    }
+
+    /// Issue a query request and reassemble its paged response.
+    ///
+    /// Accepts only query kinds (`Contains`/`Intersect`/`Within`/`Nn`/
+    /// `Knn`); probe kinds have dedicated methods above.
+    pub fn query(&mut self, req: &Request) -> Result<QueryReply, ServeError> {
+        match req {
+            Request::Contains { .. }
+            | Request::Intersect { .. }
+            | Request::Within { .. }
+            | Request::Nn { .. }
+            | Request::Knn { .. } => {}
+            _ => return Err(ServeError::Unexpected("query() needs a query request")),
+        }
+        let id = self.send(req)?;
+        let mut out: Vec<u32> = Vec::new();
+        loop {
+            match self.recv_for(id)? {
+                Response::Page { last, ids } => {
+                    out.extend_from_slice(&ids);
+                    if last {
+                        return Ok(QueryReply::Ids(out));
+                    }
+                }
+                Response::Error { code, message } => {
+                    return Ok(QueryReply::Error { code, message });
+                }
+                _ => return Err(ServeError::Unexpected("non-page reply to query")),
+            }
+        }
+    }
+}

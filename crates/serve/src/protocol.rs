@@ -1,0 +1,826 @@
+//! The `tripro-serve` wire protocol: length-prefixed binary frames over a
+//! byte stream (see `docs/protocol.md` for the normative description).
+//!
+//! Every frame is a fixed 16-byte header followed by a payload:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     payload length (u32 LE, excludes the header)
+//! 4       2     magic 0x3D50 ("=P")
+//! 6       1     protocol version (currently 1)
+//! 7       1     frame kind
+//! 8       8     request id (u64 LE, echoed verbatim in responses)
+//! ```
+//!
+//! All integers are little-endian; `f64` travels as its IEEE-754 bit
+//! pattern. Payloads are capped at [`MAX_PAYLOAD`]; responses stream large
+//! result sets as a sequence of [`Response::Page`] frames instead of one
+//! giant frame, so the cap bounds per-frame memory on both sides.
+
+use std::io::{Read, Write};
+
+/// Frame magic ("=P" little-endian): rejects non-protocol peers early.
+pub const MAGIC: u16 = 0x3D50;
+
+/// The protocol version this build speaks.
+pub const VERSION: u8 = 1;
+
+/// Hard cap on payload size; larger length prefixes are a protocol error
+/// (they would otherwise let a hostile peer demand unbounded allocation).
+pub const MAX_PAYLOAD: u32 = 1 << 20;
+
+/// Maximum object ids per result page; larger results span several pages.
+pub const PAGE_MAX_IDS: usize = 512;
+
+/// Sentinel for "no deadline" in request `deadline_ms` fields. `0` means
+/// "already expired" (the request is admitted, then immediately sheds its
+/// refinement work — useful for load-shedding tests).
+pub const NO_DEADLINE_MS: u32 = u32::MAX;
+
+// Frame kinds. Requests have the high bit clear, responses set.
+const K_HELLO: u8 = 0x01;
+const K_HEALTH: u8 = 0x02;
+const K_STATS: u8 = 0x03;
+const K_SHUTDOWN: u8 = 0x04;
+const K_CONTAINS: u8 = 0x10;
+const K_INTERSECT: u8 = 0x11;
+const K_WITHIN: u8 = 0x12;
+const K_NN: u8 = 0x13;
+const K_KNN: u8 = 0x14;
+const K_HELLO_OK: u8 = 0x81;
+const K_HEALTH_OK: u8 = 0x82;
+const K_STATS_OK: u8 = 0x83;
+const K_SHUTDOWN_OK: u8 = 0x84;
+const K_PAGE: u8 = 0x90;
+const K_ERROR: u8 = 0xFF;
+
+/// Errors produced while encoding, decoding or transporting frames.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying transport failed.
+    Io(std::io::Error),
+    /// The peer closed the connection at a frame boundary.
+    Closed,
+    /// A structurally invalid frame (bad magic, short payload, trailing
+    /// bytes, unknown kind...). The message names the violation.
+    Malformed(&'static str),
+    /// The peer speaks a protocol version this build does not.
+    UnsupportedVersion(u8),
+    /// The length prefix exceeds [`MAX_PAYLOAD`].
+    Oversized(u32),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "transport error: {e}"),
+            WireError::Closed => write!(f, "connection closed"),
+            WireError::Malformed(what) => write!(f, "malformed frame: {what}"),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::Oversized(n) => {
+                write!(f, "oversized frame: {n} bytes (max {MAX_PAYLOAD})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::Closed
+        } else {
+            WireError::Io(e)
+        }
+    }
+}
+
+/// Response error codes (the `code` byte of an [`Response::Error`] frame).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// Admission control refused the request; retry with backoff.
+    Overloaded = 1,
+    /// The request's deadline expired before refinement completed.
+    DeadlineExceeded = 2,
+    /// The request was structurally valid but semantically wrong
+    /// (e.g. target id out of range).
+    BadRequest = 3,
+    /// Header version outside the server's supported range.
+    UnsupportedVersion = 4,
+    /// The engine failed internally (decode error, I/O...).
+    Internal = 5,
+}
+
+impl ErrorCode {
+    /// Decode a wire byte.
+    pub fn from_u8(b: u8) -> Result<Self, WireError> {
+        Ok(match b {
+            1 => ErrorCode::Overloaded,
+            2 => ErrorCode::DeadlineExceeded,
+            3 => ErrorCode::BadRequest,
+            4 => ErrorCode::UnsupportedVersion,
+            5 => ErrorCode::Internal,
+            _ => return Err(WireError::Malformed("unknown error code")),
+        })
+    }
+}
+
+/// Counters reported by a [`Response::StatsOk`] frame.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsPayload {
+    pub admitted: u64,
+    pub shed: u64,
+    pub deadline_expired: u64,
+    pub completed: u64,
+    pub protocol_errors: u64,
+    /// Objects in the loaded target store.
+    pub target_objects: u64,
+    /// Objects in the loaded source store.
+    pub source_objects: u64,
+}
+
+/// Client → server frames.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Version negotiation: the client's supported range, inclusive.
+    Hello { min_version: u8, max_version: u8 },
+    /// Liveness probe; answered inline even under overload.
+    Health,
+    /// Service counters; answered inline even under overload.
+    Stats,
+    /// Ask the server to drain in-flight work and exit.
+    Shutdown,
+    /// Ids of target-store objects containing the point.
+    Contains { p: [f64; 3], deadline_ms: u32 },
+    /// Source objects intersecting target object `target`.
+    Intersect { target: u32, deadline_ms: u32 },
+    /// Source objects within `d` of target object `target`.
+    Within {
+        target: u32,
+        d: f64,
+        deadline_ms: u32,
+    },
+    /// The nearest source object to target object `target`.
+    Nn { target: u32, deadline_ms: u32 },
+    /// The `k` nearest source objects, closest first.
+    Knn {
+        target: u32,
+        k: u32,
+        deadline_ms: u32,
+    },
+}
+
+/// Server → client frames.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Version negotiation result: the version the server will speak.
+    HelloOk {
+        version: u8,
+    },
+    HealthOk,
+    StatsOk(StatsPayload),
+    ShutdownOk,
+    /// One page of result ids; `last` marks the final page of a request.
+    Page {
+        last: bool,
+        ids: Vec<u32>,
+    },
+    /// Terminal failure for a request.
+    Error {
+        code: ErrorCode,
+        message: String,
+    },
+}
+
+// ---------------------------------------------------------------------
+// Little-endian cursor primitives
+// ---------------------------------------------------------------------
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(WireError::Malformed("length overflow"))?;
+        if end > self.buf.len() {
+            return Err(WireError::Malformed("payload too short"));
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Every payload must be fully consumed; trailing bytes are a protocol
+    /// violation (they hide versioning mistakes).
+    fn finish(self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed("trailing bytes in payload"))
+        }
+    }
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+// ---------------------------------------------------------------------
+// Header
+// ---------------------------------------------------------------------
+
+/// Size of the fixed frame header in bytes.
+pub const HEADER_LEN: usize = 16;
+
+/// A decoded frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    pub payload_len: u32,
+    pub version: u8,
+    pub kind: u8,
+    pub request_id: u64,
+}
+
+/// Decode and validate a frame header. Magic and size limits are enforced
+/// here; the version byte is surfaced so the caller can decide whether to
+/// answer `UnsupportedVersion` (server) or bail (client).
+pub fn decode_header(bytes: &[u8; HEADER_LEN]) -> Result<Header, WireError> {
+    let mut c = Cursor::new(bytes);
+    let payload_len = c.u32()?;
+    let magic = c.u16()?;
+    let version = c.u8()?;
+    let kind = c.u8()?;
+    let request_id = c.u64()?;
+    if magic != MAGIC {
+        return Err(WireError::Malformed("bad magic"));
+    }
+    if payload_len > MAX_PAYLOAD {
+        return Err(WireError::Oversized(payload_len));
+    }
+    Ok(Header {
+        payload_len,
+        version,
+        kind,
+        request_id,
+    })
+}
+
+fn encode_frame(kind: u8, request_id: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    put_u32(&mut out, payload.len() as u32);
+    put_u16(&mut out, MAGIC);
+    out.push(VERSION);
+    out.push(kind);
+    put_u64(&mut out, request_id);
+    out.extend_from_slice(payload);
+    out
+}
+
+// ---------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------
+
+/// Encode a request into a complete frame (header + payload).
+pub fn encode_request(request_id: u64, req: &Request) -> Vec<u8> {
+    let mut p = Vec::new();
+    let kind = match req {
+        Request::Hello {
+            min_version,
+            max_version,
+        } => {
+            p.push(*min_version);
+            p.push(*max_version);
+            K_HELLO
+        }
+        Request::Health => K_HEALTH,
+        Request::Stats => K_STATS,
+        Request::Shutdown => K_SHUTDOWN,
+        Request::Contains {
+            p: point,
+            deadline_ms,
+        } => {
+            put_f64(&mut p, point[0]);
+            put_f64(&mut p, point[1]);
+            put_f64(&mut p, point[2]);
+            put_u32(&mut p, *deadline_ms);
+            K_CONTAINS
+        }
+        Request::Intersect {
+            target,
+            deadline_ms,
+        } => {
+            put_u32(&mut p, *target);
+            put_u32(&mut p, *deadline_ms);
+            K_INTERSECT
+        }
+        Request::Within {
+            target,
+            d,
+            deadline_ms,
+        } => {
+            put_u32(&mut p, *target);
+            put_f64(&mut p, *d);
+            put_u32(&mut p, *deadline_ms);
+            K_WITHIN
+        }
+        Request::Nn {
+            target,
+            deadline_ms,
+        } => {
+            put_u32(&mut p, *target);
+            put_u32(&mut p, *deadline_ms);
+            K_NN
+        }
+        Request::Knn {
+            target,
+            k,
+            deadline_ms,
+        } => {
+            put_u32(&mut p, *target);
+            put_u32(&mut p, *k);
+            put_u32(&mut p, *deadline_ms);
+            K_KNN
+        }
+    };
+    encode_frame(kind, request_id, &p)
+}
+
+/// Decode a request payload given its header `kind`.
+pub fn decode_request_body(kind: u8, payload: &[u8]) -> Result<Request, WireError> {
+    let mut c = Cursor::new(payload);
+    let req = match kind {
+        K_HELLO => Request::Hello {
+            min_version: c.u8()?,
+            max_version: c.u8()?,
+        },
+        K_HEALTH => Request::Health,
+        K_STATS => Request::Stats,
+        K_SHUTDOWN => Request::Shutdown,
+        K_CONTAINS => Request::Contains {
+            p: [c.f64()?, c.f64()?, c.f64()?],
+            deadline_ms: c.u32()?,
+        },
+        K_INTERSECT => Request::Intersect {
+            target: c.u32()?,
+            deadline_ms: c.u32()?,
+        },
+        K_WITHIN => Request::Within {
+            target: c.u32()?,
+            d: c.f64()?,
+            deadline_ms: c.u32()?,
+        },
+        K_NN => Request::Nn {
+            target: c.u32()?,
+            deadline_ms: c.u32()?,
+        },
+        K_KNN => Request::Knn {
+            target: c.u32()?,
+            k: c.u32()?,
+            deadline_ms: c.u32()?,
+        },
+        _ => return Err(WireError::Malformed("unknown request kind")),
+    };
+    c.finish()?;
+    Ok(req)
+}
+
+// ---------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------
+
+/// Encode a response into a complete frame (header + payload).
+pub fn encode_response(request_id: u64, resp: &Response) -> Vec<u8> {
+    let mut p = Vec::new();
+    let kind = match resp {
+        Response::HelloOk { version } => {
+            p.push(*version);
+            K_HELLO_OK
+        }
+        Response::HealthOk => K_HEALTH_OK,
+        Response::StatsOk(s) => {
+            put_u64(&mut p, s.admitted);
+            put_u64(&mut p, s.shed);
+            put_u64(&mut p, s.deadline_expired);
+            put_u64(&mut p, s.completed);
+            put_u64(&mut p, s.protocol_errors);
+            put_u64(&mut p, s.target_objects);
+            put_u64(&mut p, s.source_objects);
+            K_STATS_OK
+        }
+        Response::ShutdownOk => K_SHUTDOWN_OK,
+        Response::Page { last, ids } => {
+            p.push(u8::from(*last));
+            put_u32(&mut p, ids.len() as u32);
+            for id in ids {
+                put_u32(&mut p, *id);
+            }
+            K_PAGE
+        }
+        Response::Error { code, message } => {
+            p.push(*code as u8);
+            let msg = message.as_bytes();
+            let n = msg.len().min(u16::MAX as usize);
+            put_u16(&mut p, n as u16);
+            p.extend_from_slice(&msg[..n]);
+            K_ERROR
+        }
+    };
+    encode_frame(kind, request_id, &p)
+}
+
+/// Decode a response payload given its header `kind`.
+pub fn decode_response_body(kind: u8, payload: &[u8]) -> Result<Response, WireError> {
+    let mut c = Cursor::new(payload);
+    let resp = match kind {
+        K_HELLO_OK => Response::HelloOk { version: c.u8()? },
+        K_HEALTH_OK => Response::HealthOk,
+        K_STATS_OK => Response::StatsOk(StatsPayload {
+            admitted: c.u64()?,
+            shed: c.u64()?,
+            deadline_expired: c.u64()?,
+            completed: c.u64()?,
+            protocol_errors: c.u64()?,
+            target_objects: c.u64()?,
+            source_objects: c.u64()?,
+        }),
+        K_SHUTDOWN_OK => Response::ShutdownOk,
+        K_PAGE => {
+            let last = c.u8()? != 0;
+            let count = c.u32()? as usize;
+            if count > PAGE_MAX_IDS {
+                return Err(WireError::Malformed("page exceeds PAGE_MAX_IDS"));
+            }
+            let mut ids = Vec::with_capacity(count);
+            for _ in 0..count {
+                ids.push(c.u32()?);
+            }
+            Response::Page { last, ids }
+        }
+        K_ERROR => {
+            let code = ErrorCode::from_u8(c.u8()?)?;
+            let n = c.u16()? as usize;
+            let bytes = c.take(n)?;
+            Response::Error {
+                code,
+                message: String::from_utf8_lossy(bytes).into_owned(),
+            }
+        }
+        _ => return Err(WireError::Malformed("unknown response kind")),
+    };
+    c.finish()?;
+    Ok(resp)
+}
+
+// ---------------------------------------------------------------------
+// Blocking stream helpers (client side and tests; the server uses its own
+// shutdown-aware reader)
+// ---------------------------------------------------------------------
+
+fn read_payload<R: Read>(r: &mut R, header: &Header) -> Result<Vec<u8>, WireError> {
+    let mut payload = vec![0u8; header.payload_len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// Read one request frame (blocking).
+pub fn read_request<R: Read>(r: &mut R) -> Result<(u64, Request), WireError> {
+    let mut hb = [0u8; HEADER_LEN];
+    r.read_exact(&mut hb)?;
+    let header = decode_header(&hb)?;
+    if header.version != VERSION {
+        return Err(WireError::UnsupportedVersion(header.version));
+    }
+    let payload = read_payload(r, &header)?;
+    Ok((
+        header.request_id,
+        decode_request_body(header.kind, &payload)?,
+    ))
+}
+
+/// Read one response frame (blocking).
+pub fn read_response<R: Read>(r: &mut R) -> Result<(u64, Response), WireError> {
+    let mut hb = [0u8; HEADER_LEN];
+    r.read_exact(&mut hb)?;
+    let header = decode_header(&hb)?;
+    if header.version != VERSION {
+        return Err(WireError::UnsupportedVersion(header.version));
+    }
+    let payload = read_payload(r, &header)?;
+    Ok((
+        header.request_id,
+        decode_response_body(header.kind, &payload)?,
+    ))
+}
+
+/// Write a pre-encoded frame and flush it.
+pub fn write_frame<W: Write>(w: &mut W, frame: &[u8]) -> Result<(), WireError> {
+    w.write_all(frame)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Split result ids into wire pages (at least one page, the last flagged).
+pub fn pages_of(ids: &[u32]) -> Vec<Response> {
+    if ids.is_empty() {
+        return vec![Response::Page {
+            last: true,
+            ids: Vec::new(),
+        }];
+    }
+    let chunks: Vec<&[u32]> = ids.chunks(PAGE_MAX_IDS).collect();
+    let n = chunks.len();
+    chunks
+        .into_iter()
+        .enumerate()
+        .map(|(i, chunk)| Response::Page {
+            last: i + 1 == n,
+            ids: chunk.to_vec(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let frame = encode_request(42, &req);
+        let mut r = frame.as_slice();
+        let (id, got) = read_request(&mut r).unwrap();
+        assert_eq!(id, 42);
+        assert_eq!(got, req);
+        assert!(r.is_empty(), "whole frame consumed");
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let frame = encode_response(7, &resp);
+        let mut r = frame.as_slice();
+        let (id, got) = read_response(&mut r).unwrap();
+        assert_eq!(id, 7);
+        assert_eq!(got, resp);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn every_request_kind_roundtrips() {
+        roundtrip_request(Request::Hello {
+            min_version: 1,
+            max_version: 3,
+        });
+        roundtrip_request(Request::Health);
+        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Shutdown);
+        roundtrip_request(Request::Contains {
+            p: [1.5, -2.25, 1e300],
+            deadline_ms: 250,
+        });
+        roundtrip_request(Request::Intersect {
+            target: 9,
+            deadline_ms: NO_DEADLINE_MS,
+        });
+        roundtrip_request(Request::Within {
+            target: 3,
+            d: 0.125,
+            deadline_ms: 0,
+        });
+        roundtrip_request(Request::Nn {
+            target: u32::MAX,
+            deadline_ms: 1,
+        });
+        roundtrip_request(Request::Knn {
+            target: 0,
+            k: 17,
+            deadline_ms: 99,
+        });
+    }
+
+    #[test]
+    fn every_response_kind_roundtrips() {
+        roundtrip_response(Response::HelloOk { version: 1 });
+        roundtrip_response(Response::HealthOk);
+        roundtrip_response(Response::StatsOk(StatsPayload {
+            admitted: 1,
+            shed: 2,
+            deadline_expired: 3,
+            completed: 4,
+            protocol_errors: 5,
+            target_objects: 6,
+            source_objects: 7,
+        }));
+        roundtrip_response(Response::ShutdownOk);
+        roundtrip_response(Response::Page {
+            last: false,
+            ids: vec![1, 2, 3],
+        });
+        roundtrip_response(Response::Page {
+            last: true,
+            ids: Vec::new(),
+        });
+        roundtrip_response(Response::Error {
+            code: ErrorCode::Overloaded,
+            message: "busy".to_string(),
+        });
+        for code in [
+            ErrorCode::Overloaded,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::BadRequest,
+            ErrorCode::UnsupportedVersion,
+            ErrorCode::Internal,
+        ] {
+            roundtrip_response(Response::Error {
+                code,
+                message: String::new(),
+            });
+        }
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected() {
+        let frame = encode_request(
+            1,
+            &Request::Within {
+                target: 3,
+                d: 0.5,
+                deadline_ms: 7,
+            },
+        );
+        // Every strict prefix must fail with Closed (EOF), never panic or
+        // succeed.
+        for cut in 0..frame.len() {
+            let mut r = &frame[..cut];
+            let err = read_request(&mut r).unwrap_err();
+            assert!(
+                matches!(err, WireError::Closed | WireError::Malformed(_)),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut frame = encode_request(1, &Request::Health);
+        frame[4] ^= 0xFF;
+        let mut r = frame.as_slice();
+        assert!(matches!(
+            read_request(&mut r).unwrap_err(),
+            WireError::Malformed("bad magic")
+        ));
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocation() {
+        let mut frame = encode_request(1, &Request::Health);
+        frame[..4].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        let mut r = frame.as_slice();
+        assert!(matches!(
+            read_request(&mut r).unwrap_err(),
+            WireError::Oversized(_)
+        ));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut frame = encode_request(1, &Request::Health);
+        frame[6] = VERSION + 1;
+        let mut r = frame.as_slice();
+        assert!(matches!(
+            read_request(&mut r).unwrap_err(),
+            WireError::UnsupportedVersion(v) if v == VERSION + 1
+        ));
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected() {
+        let mut frame = encode_request(1, &Request::Health);
+        frame[7] = 0x7E;
+        let mut r = frame.as_slice();
+        assert!(matches!(
+            read_request(&mut r).unwrap_err(),
+            WireError::Malformed("unknown request kind")
+        ));
+    }
+
+    #[test]
+    fn trailing_payload_bytes_are_rejected() {
+        // Hand-build a Health frame with one stray payload byte.
+        let mut frame = encode_request(1, &Request::Health);
+        frame[..4].copy_from_slice(&1u32.to_le_bytes());
+        frame.push(0xAB);
+        let mut r = frame.as_slice();
+        assert!(matches!(
+            read_request(&mut r).unwrap_err(),
+            WireError::Malformed("trailing bytes in payload")
+        ));
+    }
+
+    #[test]
+    fn short_payload_is_rejected() {
+        // A Within frame whose payload claims fewer bytes than the body
+        // needs: decoder must fail cleanly.
+        let full = encode_request(
+            1,
+            &Request::Within {
+                target: 3,
+                d: 0.5,
+                deadline_ms: 7,
+            },
+        );
+        let mut frame = full.clone();
+        frame[..4].copy_from_slice(&4u32.to_le_bytes());
+        frame.truncate(HEADER_LEN + 4);
+        let mut r = frame.as_slice();
+        assert!(matches!(
+            read_request(&mut r).unwrap_err(),
+            WireError::Malformed("payload too short")
+        ));
+    }
+
+    #[test]
+    fn pages_split_and_flag_last() {
+        assert_eq!(
+            pages_of(&[]),
+            vec![Response::Page {
+                last: true,
+                ids: vec![]
+            }]
+        );
+        let ids: Vec<u32> = (0..PAGE_MAX_IDS as u32 + 3).collect();
+        let pages = pages_of(&ids);
+        assert_eq!(pages.len(), 2);
+        let mut seen = Vec::new();
+        for (i, p) in pages.iter().enumerate() {
+            let Response::Page { last, ids } = p else {
+                panic!("not a page")
+            };
+            assert_eq!(*last, i == 1);
+            seen.extend_from_slice(ids);
+        }
+        assert_eq!(seen, ids);
+    }
+
+    #[test]
+    fn error_message_truncates_at_u16() {
+        let long = "x".repeat(70_000);
+        let frame = encode_response(
+            1,
+            &Response::Error {
+                code: ErrorCode::Internal,
+                message: long,
+            },
+        );
+        let mut r = frame.as_slice();
+        let (_, got) = read_response(&mut r).unwrap();
+        let Response::Error { message, .. } = got else {
+            panic!("not an error")
+        };
+        assert_eq!(message.len(), u16::MAX as usize);
+    }
+}

@@ -1,0 +1,760 @@
+//! The query server: accept loop, per-connection framing threads, admission
+//! control, the per-cuboid batch dispatcher, and graceful shutdown.
+//!
+//! ## Request lifecycle
+//!
+//! ```text
+//! accept ──► connection thread ──► admission ──► bounded queue ──► batcher
+//!             (frame parsing,       (cap hit ⇒                     (groups by
+//!              inline probes)        Overloaded)                    cuboid, runs
+//!                                                                   on tripro::pool)
+//! ```
+//!
+//! Connection threads only parse frames and answer cheap probes
+//! (`Hello`/`Health`/`Stats`) inline; every query op goes through admission
+//! into the dispatcher's bounded queue. The batcher drains up to
+//! `max_inflight` requests per round, sorts them by the cuboid of their
+//! target object (point probes bucket by a grid cell of the same pitch) and
+//! fans the groups out on the process-wide worker pool — so concurrent
+//! requests against the same region share decode-cache residency exactly
+//! like the offline join driver's cuboid batches (paper §5.3).
+//!
+//! ## Overload and deadlines
+//!
+//! Admission is a hard cap: `queued + executing < max_inflight +
+//! queue_depth`, else the request is answered `Overloaded` immediately and
+//! counted in [`ServiceStats::shed`]. Admitted requests carry a
+//! [`Deadline`] token into the engine; expiry between LOD refinement rounds
+//! surfaces as a `DeadlineExceeded` response without paying for further
+//! decode.
+//!
+//! ## Shutdown
+//!
+//! [`Server::shutdown`] (or a `Shutdown` frame) stops the accept loop,
+//! closes admission, lets the batcher drain everything already admitted,
+//! answers it, then joins all threads. Connection readers poll the shutdown
+//! flag on a short read timeout, so no thread blocks past a drain.
+
+use crate::protocol::{
+    self, decode_header, decode_request_body, encode_response, ErrorCode, Header, Request,
+    Response, StatsPayload, HEADER_LEN, NO_DEADLINE_MS, VERSION,
+};
+use crate::ServeError;
+use std::collections::VecDeque;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use tripro::sync::{lock, wait, Condvar, Mutex};
+use tripro::{
+    Accel, Deadline, Engine, Error, ExecStats, ObjectStore, Paradigm, PointQuery, QueryConfig,
+    ServiceSnapshot, ServiceStats,
+};
+
+/// Server configuration. `Default` is tuned for tests: loopback, ephemeral
+/// port, parallelism matching the host.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port (see [`Server::addr`]).
+    pub addr: String,
+    /// Maximum requests executing concurrently (the admission semaphore).
+    pub max_inflight: usize,
+    /// Maximum requests waiting behind the executing set; admission refuses
+    /// (`Overloaded`) beyond `max_inflight + queue_depth` outstanding.
+    pub queue_depth: usize,
+    /// Pool helper threads the batcher may recruit per round.
+    pub batch_helpers: usize,
+    /// Maximum simultaneously open client connections; excess connections
+    /// are answered `Overloaded` and closed (bounded accept).
+    pub max_connections: usize,
+    /// Server-side cap on per-request deadlines: a client asking for more
+    /// (or for no deadline) is clamped down to this budget. `None` = no cap.
+    pub deadline_cap: Option<Duration>,
+    /// Query paradigm for all requests (FPR unless benchmarking FR).
+    pub paradigm: Paradigm,
+    /// Acceleration strategy for all requests.
+    pub accel: Accel,
+    /// LOD ladder override (empty = every LOD).
+    pub lod_list: Vec<usize>,
+    /// Cuboid edge for batching; `None` derives one from the target extent
+    /// (same rule as the offline join driver).
+    pub cuboid_cell: Option<f64>,
+    /// Artificial per-batch service time, injected while the executing slot
+    /// is held. A load-testing knob: it makes overload and drain behaviour
+    /// deterministic in tests and lets `tripro-load` probe admission
+    /// control without a large dataset. `None` in production.
+    pub inject_latency: Option<Duration>,
+    /// Read-timeout granularity at which blocked connection readers poll
+    /// the shutdown flag.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let par = std::thread::available_parallelism().map_or(4, |n| n.get());
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            max_inflight: par.max(1),
+            queue_depth: 64,
+            batch_helpers: par.max(1),
+            max_connections: 256,
+            deadline_cap: None,
+            paradigm: Paradigm::FilterProgressiveRefine,
+            accel: Accel::Aabb,
+            lod_list: Vec::new(),
+            cuboid_cell: None,
+            inject_latency: None,
+            poll_interval: Duration::from_millis(25),
+        }
+    }
+}
+
+/// A query operation extracted from a request frame.
+enum Op {
+    Contains([f64; 3]),
+    Intersect(u32),
+    Within(u32, f64),
+    Nn(u32),
+    Knn(u32, u32),
+}
+
+/// An admitted request parked in the dispatcher queue.
+struct Pending {
+    writer: Arc<ConnWriter>,
+    request_id: u64,
+    op: Op,
+    deadline: Deadline,
+    /// Batching key: cuboid index of the target object (or point bucket).
+    group: u64,
+}
+
+#[derive(Default)]
+struct DispatchState {
+    queue: VecDeque<Pending>,
+    executing: usize,
+}
+
+/// Write half of a connection, shared between the connection thread (inline
+/// probe replies) and batch workers (query replies). Send failures mean the
+/// client went away; the request's work is simply dropped.
+struct ConnWriter {
+    stream: Mutex<TcpStream>,
+}
+
+impl ConnWriter {
+    fn send(&self, frame: &[u8]) {
+        let mut s = lock(&self.stream);
+        let _ = std::io::Write::write_all(&mut *s, frame);
+        let _ = std::io::Write::flush(&mut *s);
+    }
+
+    fn send_response(&self, request_id: u64, resp: &Response) {
+        self.send(&encode_response(request_id, resp));
+    }
+}
+
+/// State shared by the accept loop, connection threads and the batcher.
+struct Core {
+    target: Arc<ObjectStore>,
+    source: Arc<ObjectStore>,
+    cfg: ServeConfig,
+    /// Target object id → cuboid group index (batching locality key).
+    cuboid_of: Vec<u64>,
+    /// Cuboid pitch used for bucketing point probes.
+    cell: f64,
+    stats: ServiceStats,
+    exec_stats: ExecStats,
+    shutdown: AtomicBool,
+    dispatch: Mutex<DispatchState>,
+    /// Wakes the batcher when work arrives (or shutdown starts).
+    work_cv: Condvar,
+    /// Wakes `Server::wait`/shutdown when the dispatcher drains.
+    drain_cv: Condvar,
+    /// Open connections (bounded accept) and their join handles.
+    conns: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Core {
+    fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        // Wake the batcher (to notice the flag) and any waiters.
+        let st = lock(&self.dispatch);
+        drop(st);
+        self.work_cv.notify_all();
+        self.drain_cv.notify_all();
+    }
+
+    fn stats_payload(&self) -> StatsPayload {
+        let s = self.stats.snapshot();
+        StatsPayload {
+            admitted: s.admitted,
+            shed: s.shed,
+            deadline_expired: s.deadline_expired,
+            completed: s.completed,
+            protocol_errors: s.protocol_errors,
+            target_objects: self.target.len() as u64,
+            source_objects: self.source.len() as u64,
+        }
+    }
+
+    /// Deadline for a request: the client's ask clamped by the server cap.
+    fn deadline_for(&self, deadline_ms: u32) -> Deadline {
+        let client =
+            (deadline_ms != NO_DEADLINE_MS).then(|| Duration::from_millis(u64::from(deadline_ms)));
+        match (client, self.cfg.deadline_cap) {
+            (Some(c), Some(cap)) => Deadline::within(c.min(cap)),
+            (Some(c), None) => Deadline::within(c),
+            (None, Some(cap)) => Deadline::within(cap),
+            (None, None) => Deadline::none(),
+        }
+    }
+
+    /// Batching group for a query op: joins key on the target object's
+    /// cuboid; point probes bucket into a grid of the same pitch (high bit
+    /// set so the two key spaces never collide).
+    fn group_of(&self, op: &Op) -> u64 {
+        match op {
+            Op::Intersect(t) | Op::Within(t, _) | Op::Nn(t) | Op::Knn(t, _) => {
+                self.cuboid_of.get(*t as usize).copied().unwrap_or(0)
+            }
+            Op::Contains(p) => {
+                let b = self.target.rtree().bounds();
+                let cell = self.cell.max(1e-9);
+                let gx = ((p[0] - b.lo.x) / cell).floor() as i64 & 0xFFFF;
+                let gy = ((p[1] - b.lo.y) / cell).floor() as i64 & 0xFFFF;
+                let gz = ((p[2] - b.lo.z) / cell).floor() as i64 & 0xFFFF;
+                (1 << 63) | ((gx as u64) << 32) | ((gy as u64) << 16) | (gz as u64)
+            }
+        }
+    }
+
+    fn query_config(&self, deadline: Deadline) -> QueryConfig {
+        let mut qc = QueryConfig::new(self.cfg.paradigm, self.cfg.accel)
+            .with_lods(self.cfg.lod_list.clone())
+            .with_deadline(deadline);
+        qc.cuboid_cell = self.cfg.cuboid_cell;
+        qc
+    }
+}
+
+/// A running query server. Dropping the handle shuts it down gracefully.
+pub struct Server {
+    core: Arc<Core>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    batcher: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, spawn the accept loop and the batch dispatcher, and return.
+    pub fn start(
+        target: Arc<ObjectStore>,
+        source: Arc<ObjectStore>,
+        cfg: ServeConfig,
+    ) -> Result<Server, ServeError> {
+        let listener = TcpListener::bind(
+            cfg.addr
+                .to_socket_addrs()?
+                .next()
+                .ok_or_else(|| std::io::Error::other("unresolvable bind address"))?,
+        )?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        // Precompute the object → cuboid map once; it is the batching key
+        // for every join request.
+        let cell = cfg.cuboid_cell.unwrap_or_else(|| {
+            let e = target.rtree().bounds().extent();
+            (e.max_component() / 4.0).max(1e-9)
+        });
+        let mut cuboid_of = vec![0u64; target.len()];
+        for (gi, group) in target.cuboids(cell).iter().enumerate() {
+            for &id in group {
+                if let Some(slot) = cuboid_of.get_mut(id as usize) {
+                    *slot = gi as u64;
+                }
+            }
+        }
+
+        let core = Arc::new(Core {
+            target,
+            source,
+            cfg,
+            cuboid_of,
+            cell,
+            stats: ServiceStats::new(),
+            exec_stats: ExecStats::new(),
+            shutdown: AtomicBool::new(false),
+            dispatch: Mutex::new(DispatchState::default()),
+            work_cv: Condvar::new(),
+            drain_cv: Condvar::new(),
+            conns: Mutex::new(Vec::new()),
+        });
+
+        let accept = {
+            let core = Arc::clone(&core);
+            std::thread::Builder::new()
+                .name("tripro-serve-accept".into())
+                .spawn(move || accept_loop(&core, &listener))?
+        };
+        let batcher = {
+            let core = Arc::clone(&core);
+            std::thread::Builder::new()
+                .name("tripro-serve-batch".into())
+                .spawn(move || batch_loop(&core))?
+        };
+
+        Ok(Server {
+            core,
+            addr,
+            accept: Some(accept),
+            batcher: Some(batcher),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current request-lifecycle counters.
+    pub fn stats(&self) -> ServiceSnapshot {
+        self.core.stats.snapshot()
+    }
+
+    /// Aggregate engine execution stats across all served requests.
+    pub fn exec_stats(&self) -> tripro::StatsSnapshot {
+        self.core.exec_stats.snapshot()
+    }
+
+    /// Block until a shutdown is requested (e.g. by a remote `Shutdown`
+    /// frame) and all admitted work has drained.
+    pub fn wait(&self) {
+        let mut st = lock(&self.core.dispatch);
+        while !(self.core.is_shutdown() && st.queue.is_empty() && st.executing == 0) {
+            st = wait(&self.core.drain_cv, st);
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, drain admitted work, join all
+    /// threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.core.begin_shutdown();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.batcher.take() {
+            let _ = h.join();
+        }
+        let handles = std::mem::take(&mut *lock(&self.core.conns));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Accept loop
+// ---------------------------------------------------------------------
+
+fn accept_loop(core: &Arc<Core>, listener: &TcpListener) {
+    while !core.is_shutdown() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nonblocking(false);
+                let mut conns = lock(&core.conns);
+                // Reap finished connection threads so the bound tracks
+                // *live* connections, not historical ones.
+                conns.retain(|h| !h.is_finished());
+                if conns.len() >= core.cfg.max_connections {
+                    drop(conns);
+                    core.stats.record_shed();
+                    let writer = ConnWriter {
+                        stream: Mutex::new(stream),
+                    };
+                    writer.send_response(
+                        0,
+                        &Response::Error {
+                            code: ErrorCode::Overloaded,
+                            message: "connection limit reached".to_string(),
+                        },
+                    );
+                    continue;
+                }
+                let core2 = Arc::clone(core);
+                let spawned = std::thread::Builder::new()
+                    .name("tripro-serve-conn".into())
+                    .spawn(move || conn_loop(&core2, stream));
+                match spawned {
+                    Ok(h) => conns.push(h),
+                    Err(_) => core.stats.record_shed(),
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(core.cfg.poll_interval.min(Duration::from_millis(10)));
+            }
+            Err(_) => {
+                // Transient accept failure (EMFILE etc.); back off briefly.
+                std::thread::sleep(core.cfg.poll_interval);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Connection threads
+// ---------------------------------------------------------------------
+
+/// Outcome of a shutdown-aware exact read.
+enum ReadFull {
+    Full,
+    /// Clean stop: EOF at a frame boundary, or shutdown observed.
+    Stop,
+    /// Transport failure or truncation mid-frame.
+    Failed,
+}
+
+/// Read exactly `buf.len()` bytes, polling the shutdown flag on every read
+/// timeout. `at_boundary` means EOF here is a clean close, not truncation.
+fn read_full(core: &Core, reader: &mut TcpStream, buf: &mut [u8], at_boundary: bool) -> ReadFull {
+    let mut n = 0;
+    while n < buf.len() {
+        if core.is_shutdown() {
+            return ReadFull::Stop;
+        }
+        match reader.read(&mut buf[n..]) {
+            Ok(0) => {
+                return if n == 0 && at_boundary {
+                    ReadFull::Stop
+                } else {
+                    ReadFull::Failed
+                };
+            }
+            Ok(m) => n += m,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) => {}
+            Err(_) => return ReadFull::Failed,
+        }
+    }
+    ReadFull::Full
+}
+
+fn conn_loop(core: &Arc<Core>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(core.cfg.poll_interval));
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(ConnWriter {
+            stream: Mutex::new(w),
+        }),
+        Err(_) => return,
+    };
+    let mut reader = stream;
+
+    loop {
+        let mut hb = [0u8; HEADER_LEN];
+        match read_full(core, &mut reader, &mut hb, true) {
+            ReadFull::Full => {}
+            ReadFull::Stop => return,
+            ReadFull::Failed => {
+                core.stats.record_protocol_error();
+                return;
+            }
+        }
+        let header = match decode_header(&hb) {
+            Ok(h) => h,
+            Err(e) => {
+                // Unframeable input: answer once (the id field may be
+                // garbage, use 0) and drop the connection — resynchronising
+                // an unframed byte stream is not possible.
+                core.stats.record_protocol_error();
+                writer.send_response(
+                    0,
+                    &Response::Error {
+                        code: ErrorCode::BadRequest,
+                        message: e.to_string(),
+                    },
+                );
+                return;
+            }
+        };
+        if header.version != VERSION {
+            core.stats.record_protocol_error();
+            writer.send_response(
+                header.request_id,
+                &Response::Error {
+                    code: ErrorCode::UnsupportedVersion,
+                    message: format!("server speaks version {VERSION}"),
+                },
+            );
+            return;
+        }
+        let mut payload = vec![0u8; header.payload_len as usize];
+        match read_full(core, &mut reader, &mut payload, false) {
+            ReadFull::Full => {}
+            ReadFull::Stop => return,
+            ReadFull::Failed => {
+                core.stats.record_protocol_error();
+                return;
+            }
+        }
+        if !handle_frame(core, &writer, &header, &payload) {
+            return;
+        }
+    }
+}
+
+/// Handle one framed request; returns `false` when the connection should
+/// close (protocol error or shutdown).
+fn handle_frame(
+    core: &Arc<Core>,
+    writer: &Arc<ConnWriter>,
+    header: &Header,
+    payload: &[u8],
+) -> bool {
+    let request = match decode_request_body(header.kind, payload) {
+        Ok(r) => r,
+        Err(e) => {
+            core.stats.record_protocol_error();
+            writer.send_response(
+                header.request_id,
+                &Response::Error {
+                    code: ErrorCode::BadRequest,
+                    message: e.to_string(),
+                },
+            );
+            return false;
+        }
+    };
+    let id = header.request_id;
+    let (op, deadline_ms) = match request {
+        Request::Hello {
+            min_version,
+            max_version,
+        } => {
+            if (min_version..=max_version).contains(&VERSION) {
+                writer.send_response(id, &Response::HelloOk { version: VERSION });
+            } else {
+                core.stats.record_protocol_error();
+                writer.send_response(
+                    id,
+                    &Response::Error {
+                        code: ErrorCode::UnsupportedVersion,
+                        message: format!("server speaks version {VERSION}"),
+                    },
+                );
+            }
+            return true;
+        }
+        Request::Health => {
+            writer.send_response(id, &Response::HealthOk);
+            return true;
+        }
+        Request::Stats => {
+            writer.send_response(id, &Response::StatsOk(core.stats_payload()));
+            return true;
+        }
+        Request::Shutdown => {
+            writer.send_response(id, &Response::ShutdownOk);
+            core.begin_shutdown();
+            return false;
+        }
+        Request::Contains { p, deadline_ms } => (Op::Contains(p), deadline_ms),
+        Request::Intersect {
+            target,
+            deadline_ms,
+        } => (Op::Intersect(target), deadline_ms),
+        Request::Within {
+            target,
+            d,
+            deadline_ms,
+        } => (Op::Within(target, d), deadline_ms),
+        Request::Nn {
+            target,
+            deadline_ms,
+        } => (Op::Nn(target), deadline_ms),
+        Request::Knn {
+            target,
+            k,
+            deadline_ms,
+        } => (Op::Knn(target, k), deadline_ms),
+    };
+
+    // Validate before admission so a bad id never occupies a slot.
+    if let Op::Intersect(t) | Op::Within(t, _) | Op::Nn(t) | Op::Knn(t, _) = op {
+        if t as usize >= core.target.len() {
+            writer.send_response(
+                id,
+                &Response::Error {
+                    code: ErrorCode::BadRequest,
+                    message: format!("target {t} out of range (store has {})", core.target.len()),
+                },
+            );
+            return true;
+        }
+    }
+
+    let group = core.group_of(&op);
+    let pending = Pending {
+        writer: Arc::clone(writer),
+        request_id: id,
+        op,
+        deadline: core.deadline_for(deadline_ms),
+        group,
+    };
+
+    // Admission control: bounded outstanding work, shed beyond.
+    let admitted = {
+        let mut st = lock(&core.dispatch);
+        if core.is_shutdown()
+            || st.queue.len() + st.executing >= core.cfg.max_inflight + core.cfg.queue_depth
+        {
+            false
+        } else {
+            st.queue.push_back(pending);
+            true
+        }
+    };
+    if admitted {
+        core.stats.record_admitted();
+        core.work_cv.notify_all();
+    } else {
+        core.stats.record_shed();
+        writer.send_response(
+            id,
+            &Response::Error {
+                code: ErrorCode::Overloaded,
+                message: "admission queue full".to_string(),
+            },
+        );
+    }
+    true
+}
+
+// ---------------------------------------------------------------------
+// Batch dispatcher
+// ---------------------------------------------------------------------
+
+fn batch_loop(core: &Arc<Core>) {
+    loop {
+        let batch = {
+            let mut st = lock(&core.dispatch);
+            while st.queue.is_empty() && !core.is_shutdown() {
+                st = wait(&core.work_cv, st);
+            }
+            if st.queue.is_empty() {
+                // Shutdown with a drained queue: notify waiters and exit.
+                drop(st);
+                core.drain_cv.notify_all();
+                return;
+            }
+            let n = st.queue.len().min(core.cfg.max_inflight.max(1));
+            let batch: Vec<Pending> = st.queue.drain(..n).collect();
+            st.executing += batch.len();
+            batch
+        };
+
+        // Load-testing knob: hold the executing slots for a fixed service
+        // time so overload behaviour is observable at small scale.
+        if let Some(hold) = core.cfg.inject_latency {
+            std::thread::sleep(hold);
+        }
+
+        let n = batch.len();
+        execute_batch(core, batch);
+
+        let mut st = lock(&core.dispatch);
+        st.executing = st.executing.saturating_sub(n);
+        drop(st);
+        core.drain_cv.notify_all();
+    }
+}
+
+/// Execute one admitted batch: group by cuboid, fan groups out on the
+/// process-wide pool, one group per worker claim (decode-cache locality).
+fn execute_batch(core: &Arc<Core>, mut batch: Vec<Pending>) {
+    batch.sort_by_key(|p| p.group);
+    let mut groups: Vec<Vec<Pending>> = Vec::new();
+    for p in batch {
+        match groups.last_mut() {
+            Some(g) if g.first().is_some_and(|f| f.group == p.group) => g.push(p),
+            _ => groups.push(vec![p]),
+        }
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let helpers = core.cfg.batch_helpers.min(groups.len()).saturating_sub(1);
+    tripro::pool::global().run_with(helpers, |_| loop {
+        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let Some(group) = groups.get(i) else { return };
+        for p in group {
+            serve_one(core, p);
+        }
+    });
+}
+
+/// Execute a single admitted request and stream its response.
+fn serve_one(core: &Core, p: &Pending) {
+    let qc = core.query_config(p.deadline.clone());
+    let stats = &core.exec_stats;
+    let engine = Engine::new(&core.target, &core.source);
+    let result: Result<Vec<u32>, Error> = match p.op {
+        Op::Contains(pt) => PointQuery::new(&core.target).containing(
+            tripro_geom::vec3(pt[0], pt[1], pt[2]),
+            &qc,
+            stats,
+        ),
+        Op::Intersect(t) => engine.intersect_one(t, &qc, stats),
+        Op::Within(t, d) => engine.within_one(t, d, &qc, stats),
+        Op::Nn(t) => engine
+            .nn_one(t, &qc, stats)
+            .map(|nn| nn.into_iter().collect()),
+        Op::Knn(t, k) => engine.knn_one(t, k as usize, &qc, stats),
+    };
+    match result {
+        Ok(ids) => {
+            for page in protocol::pages_of(&ids) {
+                p.writer.send_response(p.request_id, &page);
+            }
+            core.stats.record_completed();
+        }
+        Err(Error::DeadlineExceeded) => {
+            core.stats.record_deadline_expired();
+            p.writer.send_response(
+                p.request_id,
+                &Response::Error {
+                    code: ErrorCode::DeadlineExceeded,
+                    message: "deadline expired during refinement".to_string(),
+                },
+            );
+        }
+        Err(e) => {
+            p.writer.send_response(
+                p.request_id,
+                &Response::Error {
+                    code: ErrorCode::Internal,
+                    message: e.to_string(),
+                },
+            );
+        }
+    }
+}

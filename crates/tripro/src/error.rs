@@ -18,6 +18,10 @@ pub enum Error {
     Io(std::io::Error),
     /// A parallel build worker died before filling its slot.
     BuildIncomplete { index: usize },
+    /// A query's [`Deadline`](crate::Deadline) expired (or its cancel flag
+    /// was raised) before refinement completed. The partial answer is
+    /// discarded rather than returned as if it were exact.
+    DeadlineExceeded,
 }
 
 /// Crate-wide result alias.
@@ -34,6 +38,9 @@ impl std::fmt::Display for Error {
             Error::BuildIncomplete { index } => {
                 write!(f, "store build incomplete: object {index} was never built")
             }
+            Error::DeadlineExceeded => {
+                write!(f, "deadline exceeded before refinement completed")
+            }
         }
     }
 }
@@ -44,7 +51,7 @@ impl std::error::Error for Error {
             Error::Decode { source, .. } => Some(source),
             Error::Mesh(source) => Some(source),
             Error::Io(e) => Some(e),
-            Error::BuildIncomplete { .. } => None,
+            Error::BuildIncomplete { .. } | Error::DeadlineExceeded => None,
         }
     }
 }
@@ -80,5 +87,8 @@ mod tests {
         assert!(Error::BuildIncomplete { index: 3 }
             .to_string()
             .contains("3"));
+        let e = Error::DeadlineExceeded;
+        assert!(e.to_string().contains("deadline"));
+        assert!(std::error::Error::source(&e).is_none());
     }
 }

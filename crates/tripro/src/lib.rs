@@ -54,10 +54,12 @@
 //! | [`resource`] | shared task queue drained by CPU pool + device (§5.2) |
 //! | [`profiler`] | LOD-list selection by pruned-fraction profiling (§4.4, §6.5) |
 //! | [`point`] | progressive point-containment queries |
+//! | [`deadline`] | cooperative deadline/cancel tokens polled between refinement rounds |
 //! | [`stats`] | filter/decode/compute breakdowns and per-LOD pair counters (§6) |
 
 pub mod cache;
 pub mod compute;
+pub mod deadline;
 pub mod error;
 pub mod gpu;
 pub mod partition;
@@ -72,6 +74,7 @@ pub mod sync;
 
 pub use cache::{DecodeCache, LodData};
 pub use compute::{Accel, Computer};
+pub use deadline::Deadline;
 pub use error::{Error, Result};
 pub use gpu::BatchExecutor;
 pub use point::PointQuery;
@@ -79,5 +82,5 @@ pub use pool::WorkerPool;
 pub use profiler::{choose_lods, measure_r, LodActivity, LodChoice, QueryKind};
 pub use query::{Engine, JoinPairs, NnPairs, Paradigm, QueryConfig};
 pub use resource::ResourceManager;
-pub use stats::{ExecStats, StatsSnapshot};
+pub use stats::{ExecStats, ServiceSnapshot, ServiceStats, StatsSnapshot};
 pub use store::{ObjectId, ObjectStore, StoreConfig, StoredObject};

@@ -30,6 +30,7 @@ impl<'a> PointQuery<'a> {
         cfg: &QueryConfig,
         stats: &ExecStats,
     ) -> Result<Vec<ObjectId>> {
+        cfg.deadline.check()?;
         let t0 = Instant::now();
         let probe = Aabb::from_point(p);
         let candidates = self.store.rtree().query_intersects(&probe);
@@ -72,6 +73,7 @@ impl<'a> PointQuery<'a> {
             }
         };
         for &lod in &lods {
+            cfg.deadline.check()?;
             let geom = self.store.get(id, lod, stats)?;
             stats.record_pair_evaluated(lod);
             let t1 = Instant::now();

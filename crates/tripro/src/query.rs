@@ -9,6 +9,7 @@
 //!   high-LOD decoding and geometry.
 
 use crate::compute::{Accel, Computer};
+use crate::deadline::Deadline;
 use crate::error::Result;
 use crate::stats::ExecStats;
 use crate::store::{ObjectId, ObjectStore};
@@ -78,6 +79,8 @@ impl KthSmallest {
 struct JoinCtx {
     computer: Computer,
     lods: Vec<usize>,
+    /// Cooperative deadline/cancel token, polled between refinement rounds.
+    deadline: Deadline,
 }
 
 /// Query processing paradigm.
@@ -117,6 +120,12 @@ pub struct QueryConfig {
     /// distance lower bounds with DOP gaps. Off by default so the paper's
     /// comparisons stay faithful.
     pub conservative_prefilter: bool,
+    /// Cooperative deadline/cancellation token. The refinement loops poll
+    /// it between LOD rounds and bail with
+    /// [`Error::DeadlineExceeded`](crate::Error::DeadlineExceeded), so an
+    /// expiring request stops paying for higher-LOD decode (the service
+    /// path's P1/P2 early-out). Defaults to unbounded.
+    pub deadline: Deadline,
 }
 
 impl QueryConfig {
@@ -128,6 +137,7 @@ impl QueryConfig {
             lod_list: Vec::new(),
             cuboid_cell: None,
             conservative_prefilter: false,
+            deadline: Deadline::none(),
         }
     }
 
@@ -143,6 +153,11 @@ impl QueryConfig {
 
     pub fn with_lods(mut self, lods: Vec<usize>) -> Self {
         self.lod_list = lods;
+        self
+    }
+
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = deadline;
         self
     }
 }
@@ -205,6 +220,7 @@ impl<'a> Engine<'a> {
         JoinCtx {
             computer: self.computer(cfg),
             lods: self.lods(cfg),
+            deadline: cfg.deadline.clone(),
         }
     }
 
@@ -229,6 +245,9 @@ impl<'a> Engine<'a> {
         cfg: &QueryConfig,
         stats: &ExecStats,
     ) -> Result<Vec<ObjectId>> {
+        // An already-expired request does no work at all, even when the
+        // filter alone could answer it — uniform service semantics.
+        ctx.deadline.check()?;
         let computer = &ctx.computer;
         let lods = &ctx.lods;
 
@@ -259,6 +278,7 @@ impl<'a> Engine<'a> {
             if candidates.is_empty() {
                 break;
             }
+            ctx.deadline.check()?;
             let geom_t = self.target.get(t, lod, stats)?;
             let sk_t = self.target.skeleton(t);
             let mut remaining = Vec::with_capacity(candidates.len());
@@ -281,6 +301,7 @@ impl<'a> Engine<'a> {
 
         // Containment fallback at the highest LOD (Alg. 1 steps 8–12):
         // surfaces may be disjoint while one solid contains the other.
+        ctx.deadline.check()?;
         let top = lods.last().copied().unwrap_or(0);
         for c in candidates {
             stats.record_pair_pruned(top);
@@ -347,6 +368,7 @@ impl<'a> Engine<'a> {
         cfg: &QueryConfig,
         stats: &ExecStats,
     ) -> Result<Vec<ObjectId>> {
+        ctx.deadline.check()?;
         let computer = &ctx.computer;
         let lods = &ctx.lods;
 
@@ -400,6 +422,7 @@ impl<'a> Engine<'a> {
             if candidates.is_empty() {
                 break;
             }
+            ctx.deadline.check()?;
             let geom_t = self.target.get(t, lod, stats)?;
             let sk_t = self.target.skeleton(t);
             let mut remaining = Vec::with_capacity(candidates.len());
@@ -463,6 +486,7 @@ impl<'a> Engine<'a> {
         cfg: &QueryConfig,
         stats: &ExecStats,
     ) -> Result<Option<ObjectId>> {
+        ctx.deadline.check()?;
         let computer = &ctx.computer;
         let lods = &ctx.lods;
 
@@ -508,6 +532,7 @@ impl<'a> Engine<'a> {
             if candidates.len() <= 1 {
                 break;
             }
+            ctx.deadline.check()?;
             let geom_t = self.target.get(t, lod, stats)?;
             let sk_t = self.target.skeleton(t);
             let mut next = Vec::with_capacity(candidates.len());
@@ -601,6 +626,7 @@ impl<'a> Engine<'a> {
         if k == 0 {
             return Ok(Vec::new());
         }
+        ctx.deadline.check()?;
         let computer = &ctx.computer;
         let lods = &ctx.lods;
 
@@ -629,6 +655,7 @@ impl<'a> Engine<'a> {
             if candidates.len() <= k {
                 break;
             }
+            ctx.deadline.check()?;
             let geom_t = self.target.get(t, lod, stats)?;
             let sk_t = self.target.skeleton(t);
             let mut next = Vec::with_capacity(candidates.len());
@@ -683,6 +710,7 @@ impl<'a> Engine<'a> {
 
         // Exact distances for whatever remains (bounded by the filter), then
         // take the k best.
+        ctx.deadline.check()?;
         let top = lods.last().copied().unwrap_or(0);
         let geom_t = self.target.get(t, top, stats)?;
         let sk_t = self.target.skeleton(t);
@@ -1048,6 +1076,63 @@ mod tests {
             let stats = ExecStats::new();
             assert_eq!(Some(nns[0]), engine.nn_one(*tid, &cfg, &stats).unwrap());
         }
+    }
+
+    #[test]
+    fn expired_deadline_returns_typed_error() {
+        let (t, s) = setup();
+        let engine = Engine::new(&t, &s);
+        let expired = QueryConfig::new(Paradigm::FilterProgressiveRefine, Accel::Brute)
+            .with_deadline(Deadline::within(std::time::Duration::ZERO));
+        let stats = ExecStats::new();
+        assert!(matches!(
+            engine.intersect_one(0, &expired, &stats),
+            Err(crate::Error::DeadlineExceeded)
+        ));
+        assert!(matches!(
+            engine.within_one(0, 1.0, &expired, &stats),
+            Err(crate::Error::DeadlineExceeded)
+        ));
+        assert!(matches!(
+            engine.nn_one(0, &expired, &stats),
+            Err(crate::Error::DeadlineExceeded)
+        ));
+        assert!(matches!(
+            engine.knn_one(0, 2, &expired, &stats),
+            Err(crate::Error::DeadlineExceeded)
+        ));
+        // An expired deadline must abort before any full-LOD decode: the
+        // only decodes on record happened during the filter-free early
+        // bail, i.e. none at all.
+        assert_eq!(stats.snapshot().decodes, 0, "no decode after expiry");
+        // The whole-join drivers propagate the same error.
+        assert!(matches!(
+            engine.intersection_join(&expired),
+            Err(crate::Error::DeadlineExceeded)
+        ));
+        // A generous deadline changes nothing.
+        let live = QueryConfig::new(Paradigm::FilterProgressiveRefine, Accel::Brute)
+            .with_deadline(Deadline::within(std::time::Duration::from_secs(3600)));
+        let plain = QueryConfig::new(Paradigm::FilterProgressiveRefine, Accel::Brute);
+        let st = ExecStats::new();
+        assert_eq!(
+            engine.intersect_one(0, &live, &st).unwrap(),
+            engine.intersect_one(0, &plain, &st).unwrap()
+        );
+    }
+
+    #[test]
+    fn cancel_flag_aborts_mid_join() {
+        let (t, s) = setup();
+        let engine = Engine::new(&t, &s);
+        let flag = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let cfg = QueryConfig::new(Paradigm::FilterProgressiveRefine, Accel::Brute)
+            .with_deadline(Deadline::none().with_cancel(flag));
+        let stats = ExecStats::new();
+        assert!(matches!(
+            engine.within_one(0, 1.0, &cfg, &stats),
+            Err(crate::Error::DeadlineExceeded)
+        ));
     }
 
     #[test]

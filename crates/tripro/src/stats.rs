@@ -145,6 +145,77 @@ impl StatsSnapshot {
     }
 }
 
+/// Request-lifecycle counters for a long-lived query service: how many
+/// requests were admitted, shed at admission control, expired against their
+/// deadline, completed, or rejected as protocol errors. Lives here (rather
+/// than in the server crate) so the engine, CLI and any future front end
+/// report overload behaviour through one vocabulary.
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    /// Requests accepted past admission control.
+    pub admitted: AtomicU64,
+    /// Requests refused with an `Overloaded` response.
+    pub shed: AtomicU64,
+    /// Admitted requests whose deadline expired before refinement finished.
+    pub deadline_expired: AtomicU64,
+    /// Admitted requests answered successfully.
+    pub completed: AtomicU64,
+    /// Frames rejected as malformed/oversized/unsupported.
+    pub protocol_errors: AtomicU64,
+}
+
+impl ServiceStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn record_admitted(&self) {
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn record_deadline_expired(&self) {
+        self.deadline_expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn record_completed(&self) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn record_protocol_error(&self) {
+        self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot into a plain, serialisable struct.
+    pub fn snapshot(&self) -> ServiceSnapshot {
+        ServiceSnapshot {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data snapshot of [`ServiceStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceSnapshot {
+    pub admitted: u64,
+    pub shed: u64,
+    pub deadline_expired: u64,
+    pub completed: u64,
+    pub protocol_errors: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,6 +249,23 @@ mod tests {
         s.record_pair_evaluated(3);
         let f = s.snapshot().pruned_fractions();
         assert_eq!(f, vec![(1, 0.5), (3, 0.0)]);
+    }
+
+    #[test]
+    fn service_stats_roundtrip() {
+        let s = ServiceStats::new();
+        s.record_admitted();
+        s.record_admitted();
+        s.record_shed();
+        s.record_deadline_expired();
+        s.record_completed();
+        s.record_protocol_error();
+        let snap = s.snapshot();
+        assert_eq!(snap.admitted, 2);
+        assert_eq!(snap.shed, 1);
+        assert_eq!(snap.deadline_expired, 1);
+        assert_eq!(snap.completed, 1);
+        assert_eq!(snap.protocol_errors, 1);
     }
 
     #[test]

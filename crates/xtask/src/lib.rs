@@ -25,7 +25,7 @@ use std::path::{Path, PathBuf};
 
 /// Crates whose non-test code must be panic-free (L1). These sit on the
 /// decode/refine hot path where an abort loses the whole query batch.
-const PANIC_FREE_CRATES: &[&str] = &["geom", "coder", "mesh", "index", "tripro"];
+const PANIC_FREE_CRATES: &[&str] = &["geom", "coder", "mesh", "index", "tripro", "serve"];
 
 /// Crates whose public predicates must be `#[must_use]` (L3).
 const MUST_USE_CRATES: &[&str] = &["geom", "mesh"];

@@ -20,7 +20,7 @@ fn workspace_root() -> PathBuf {
 fn print_rules() {
     println!("rules enforced by `cargo xtask lint`:");
     println!("  no_panic        no unwrap()/expect()/panic!/todo!/unimplemented! in");
-    println!("                  non-test code of geom, coder, mesh, index, tripro");
+    println!("                  non-test code of geom, coder, mesh, index, tripro, serve");
     println!("  float_eq        no naked float ==/!= outside geom::eps and tests");
     println!("  must_use        public bool/Ordering predicates in geom and mesh");
     println!("                  must be #[must_use]");

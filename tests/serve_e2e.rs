@@ -1,0 +1,265 @@
+//! Loopback end-to-end tests for the tripro-serve query service: concurrent
+//! TCP clients must get byte-identical results to direct `Engine` calls;
+//! forced overload must shed with `Overloaded` while the server stays
+//! responsive; a zero deadline must return `DeadlineExceeded`; shutdown
+//! must drain gracefully.
+
+use std::sync::Arc;
+use std::time::Duration;
+use tripro::{Engine, ExecStats, ObjectStore, Paradigm, PointQuery, QueryConfig, StoreConfig};
+use tripro_serve::{Client, ErrorCode, QueryReply, Request, ServeConfig, Server};
+use tripro_synth::{DatasetConfig, VesselConfig};
+
+fn stores() -> (Arc<ObjectStore>, Arc<ObjectStore>) {
+    let block = tripro_synth::generate(&DatasetConfig {
+        nuclei_count: 24,
+        vessel_count: 1,
+        vessel: VesselConfig {
+            levels: 2,
+            grid: 16,
+            ..Default::default()
+        },
+        seed: 0x5E27E,
+        ..Default::default()
+    });
+    let target = ObjectStore::build(&block.nuclei_a, &StoreConfig::default()).expect("encode a");
+    let source = ObjectStore::build(&block.nuclei_b, &StoreConfig::default()).expect("encode b");
+    (Arc::new(target), Arc::new(source))
+}
+
+fn start(cfg: ServeConfig) -> (Server, Arc<ObjectStore>, Arc<ObjectStore>) {
+    let (target, source) = stores();
+    let server = Server::start(Arc::clone(&target), Arc::clone(&source), cfg).expect("start");
+    (server, target, source)
+}
+
+fn ids_of(reply: QueryReply) -> Vec<u32> {
+    match reply {
+        QueryReply::Ids(ids) => ids,
+        QueryReply::Error { code, message } => panic!("unexpected error {code:?}: {message}"),
+    }
+}
+
+#[test]
+fn concurrent_clients_match_direct_engine() {
+    let (server, target, source) = start(ServeConfig::default());
+    let addr = server.addr();
+
+    // Direct (in-process) reference results for every op kind.
+    let cfg = QueryConfig::new(Paradigm::FilterProgressiveRefine, tripro::Accel::Aabb);
+    let stats = ExecStats::new();
+    let engine = Engine::new(&target, &source);
+    let n = target.len() as u32;
+
+    let expected: Vec<(Request, Vec<u32>)> = (0..n)
+        .flat_map(|t| {
+            let c = target.rtree().bounds().center();
+            vec![
+                (
+                    Request::Intersect {
+                        target: t,
+                        deadline_ms: u32::MAX,
+                    },
+                    engine.intersect_one(t, &cfg, &stats).unwrap(),
+                ),
+                (
+                    Request::Within {
+                        target: t,
+                        d: 2.0,
+                        deadline_ms: u32::MAX,
+                    },
+                    engine.within_one(t, 2.0, &cfg, &stats).unwrap(),
+                ),
+                (
+                    Request::Nn {
+                        target: t,
+                        deadline_ms: u32::MAX,
+                    },
+                    engine
+                        .nn_one(t, &cfg, &stats)
+                        .unwrap()
+                        .into_iter()
+                        .collect(),
+                ),
+                (
+                    Request::Knn {
+                        target: t,
+                        k: 3,
+                        deadline_ms: u32::MAX,
+                    },
+                    engine.knn_one(t, 3, &cfg, &stats).unwrap(),
+                ),
+                (
+                    Request::Contains {
+                        p: [c.x, c.y, c.z],
+                        deadline_ms: u32::MAX,
+                    },
+                    PointQuery::new(&target)
+                        .containing(c, &cfg, &stats)
+                        .unwrap(),
+                ),
+            ]
+        })
+        .collect();
+
+    // Drive the same requests over the wire from several threads at once.
+    let n_clients = 4;
+    std::thread::scope(|scope| {
+        for shard in 0..n_clients {
+            let expected = &expected;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for (req, want) in expected.iter().skip(shard).step_by(n_clients) {
+                    let got = ids_of(client.query(req).expect("query"));
+                    assert_eq!(&got, want, "wire result diverged for {req:?}");
+                }
+            });
+        }
+    });
+
+    let s = server.stats();
+    assert!(s.admitted >= expected.len() as u64);
+    assert_eq!(s.shed, 0);
+    assert_eq!(s.protocol_errors, 0);
+    server.shutdown();
+}
+
+#[test]
+fn overload_sheds_but_server_stays_responsive() {
+    let (server, _t, _s) = start(ServeConfig {
+        max_inflight: 1,
+        queue_depth: 0,
+        inject_latency: Some(Duration::from_millis(150)),
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+
+    // More concurrent clients than the admission limit: some must be shed
+    // with an explicit Overloaded reply.
+    let n_clients = 6;
+    let outcomes: Vec<QueryReply> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_clients)
+            .map(|i| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    client
+                        .query(&Request::Intersect {
+                            target: i as u32,
+                            deadline_ms: u32::MAX,
+                        })
+                        .expect("query transport")
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("join"))
+            .collect()
+    });
+
+    let shed = outcomes
+        .iter()
+        .filter(|r| {
+            matches!(
+                r,
+                QueryReply::Error {
+                    code: ErrorCode::Overloaded,
+                    ..
+                }
+            )
+        })
+        .count();
+    let served = outcomes.iter().filter(|r| r.ids().is_some()).count();
+    assert!(shed > 0, "expected overload shedding, got {outcomes:?}");
+    assert!(served > 0, "at least one request must be admitted");
+    assert_eq!(shed + served, n_clients, "unexpected outcome: {outcomes:?}");
+
+    // Health and stats probes are answered inline even while the single
+    // execution slot is busy.
+    let mut probe = Client::connect(addr).expect("connect probe");
+    probe.health().expect("health under load");
+    let stats = probe.stats().expect("stats under load");
+    assert!(stats.shed >= shed as u64);
+    server.shutdown();
+}
+
+#[test]
+fn zero_deadline_returns_deadline_exceeded() {
+    let (server, target, _s) = start(ServeConfig::default());
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    let reply = client
+        .query(&Request::Intersect {
+            target: 0,
+            deadline_ms: 0,
+        })
+        .expect("query");
+    assert_eq!(reply.error_code(), Some(ErrorCode::DeadlineExceeded));
+
+    // The same query with no deadline completes fine afterwards: the
+    // expiry neither wedged the connection nor the dispatcher.
+    let ok = client
+        .query(&Request::Intersect {
+            target: 0,
+            deadline_ms: u32::MAX,
+        })
+        .expect("query");
+    assert!(ok.ids().is_some());
+    drop(target);
+
+    let s = server.stats();
+    assert!(s.deadline_expired >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn bad_requests_and_malformed_frames_are_rejected() {
+    let (server, target, _s) = start(ServeConfig::default());
+    let addr = server.addr();
+
+    // Semantically invalid: target id out of range.
+    let mut client = Client::connect(addr).expect("connect");
+    let reply = client
+        .query(&Request::Intersect {
+            target: target.len() as u32 + 7,
+            deadline_ms: u32::MAX,
+        })
+        .expect("query");
+    assert_eq!(reply.error_code(), Some(ErrorCode::BadRequest));
+
+    // Structurally invalid: garbage bytes are answered with BadRequest and
+    // the connection is dropped — without disturbing other clients.
+    {
+        use std::io::{Read, Write};
+        let mut raw = std::net::TcpStream::connect(addr).expect("raw connect");
+        raw.write_all(&[0xDE; 32]).expect("write garbage");
+        let mut buf = Vec::new();
+        let _ = raw.read_to_end(&mut buf); // server replies then closes
+        assert!(!buf.is_empty(), "expected an error frame before close");
+    }
+    client.health().expect("existing client still healthy");
+
+    let s = server.stats();
+    assert!(s.protocol_errors >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn remote_shutdown_drains_and_unblocks_wait() {
+    let (server, _t, _s) = start(ServeConfig::default());
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // Queue a little work, then ask the server to exit.
+    for t in 0..3u32 {
+        let reply = client
+            .query(&Request::Nn {
+                target: t,
+                deadline_ms: u32::MAX,
+            })
+            .expect("query");
+        assert!(reply.ids().is_some());
+    }
+    client.shutdown_server().expect("shutdown ack");
+    server.wait(); // must return now that the server is draining
+    server.shutdown();
+}
