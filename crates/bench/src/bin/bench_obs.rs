@@ -1,0 +1,110 @@
+//! Observability overhead guard: the same join workload with span tracing
+//! disabled vs enabled, interleaved, emitted as `BENCH_obs.json`.
+//!
+//! ```sh
+//! TRIPRO_SCALE=tiny cargo run --release -p tripro-bench --bin bench_obs
+//! # -> target/harness/BENCH_obs.json
+//! ```
+//!
+//! Registry metrics are always on (they are part of both baselines); what
+//! this guard bounds is the *marginal* cost of span tracing — the budget in
+//! `docs/observability.md` is under 2% on the join workload. Runs are
+//! interleaved off/on so thermal or cache drift hits both sides equally,
+//! and the median over several repetitions is compared (medians shrug off
+//! a single noisy run where means do not).
+
+use std::time::Duration;
+use tripro::obs;
+use tripro::{Accel, Paradigm, TraceConfig};
+use tripro_bench::harness::{threads, Scale, TestId, Workloads};
+
+/// Overhead budget for enabled span tracing, in percent.
+const BUDGET_PCT: f64 = 2.0;
+/// Interleaved repetitions per side.
+const REPS: usize = 5;
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    xs.get(xs.len() / 2).copied().unwrap_or(0.0)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let n_threads = threads();
+    let w = Workloads::generate(scale);
+    let test = TestId::IntNN;
+    let paradigm = Paradigm::FilterProgressiveRefine;
+    let accel = Accel::Aabb;
+    let lods = w.profile_lods(test, accel);
+
+    // A high slow threshold keeps the slow log empty (its sort is off the
+    // hot path anyway, but the guard measures steady-state tracing, not
+    // log churn).
+    obs::tracer().configure(&TraceConfig {
+        enabled: false,
+        slow_threshold: Duration::from_secs(3600),
+        ..TraceConfig::default()
+    });
+
+    let run = |enabled: bool| -> f64 {
+        obs::tracer().set_enabled(enabled);
+        w.clear_caches();
+        let cell = w.run_with_threads(test, paradigm, accel, Some(lods.clone()), n_threads);
+        obs::tracer().set_enabled(false);
+        cell.seconds
+    };
+
+    // Warm both paths (allocators, decode cache shape, lazily-bound
+    // metric handles) before timing.
+    let _ = run(false);
+    let _ = run(true);
+
+    let mut off = Vec::with_capacity(REPS);
+    let mut on = Vec::with_capacity(REPS);
+    for rep in 0..REPS {
+        let a = run(false);
+        let b = run(true);
+        eprintln!("[bench_obs] rep {rep}: disabled {a:.4}s, enabled {b:.4}s");
+        off.push(a);
+        on.push(b);
+    }
+
+    let med_off = median(&mut off);
+    let med_on = median(&mut on);
+    let overhead_pct = if med_off > 0.0 {
+        (med_on - med_off) / med_off * 100.0
+    } else {
+        0.0
+    };
+    let pass = overhead_pct < BUDGET_PCT;
+    eprintln!(
+        "[bench_obs] tracing overhead: {overhead_pct:+.2}% \
+         (disabled {med_off:.4}s, enabled {med_on:.4}s, budget {BUDGET_PCT}%) \
+         -> {}",
+        if pass { "PASS" } else { "OVER BUDGET" }
+    );
+
+    let json = format!(
+        concat!(
+            "{{\"scale\":\"{:?}\",\"threads\":{},\"test\":\"{}\",",
+            "\"paradigm\":\"FPR\",\"accel\":\"AABB\",\"reps\":{},",
+            "\"seconds_disabled\":{:.6},\"seconds_enabled\":{:.6},",
+            "\"overhead_pct\":{:.4},\"budget_pct\":{:.1},\"pass\":{}}}\n"
+        ),
+        scale,
+        n_threads,
+        test.label(),
+        REPS,
+        med_off,
+        med_on,
+        overhead_pct,
+        BUDGET_PCT,
+        pass
+    );
+    let dir = std::path::Path::new("target/harness");
+    std::fs::create_dir_all(dir).expect("create target/harness");
+    let path = dir.join("BENCH_obs.json");
+    std::fs::write(&path, &json).expect("write BENCH_obs.json");
+    eprintln!("[bench_obs] wrote {}", path.display());
+    println!("{json}");
+}

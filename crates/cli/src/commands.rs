@@ -333,6 +333,14 @@ pub fn serve(a: &Parsed) -> Result<(), CliError> {
     if inject_ms > 0 {
         cfg.inject_latency = Some(Duration::from_millis(inject_ms));
     }
+    let trace_slow_ms: u64 = a.get_parsed("trace-slow-ms", 0u64)?;
+    if trace_slow_ms > 0 {
+        cfg.trace = tripro::TraceConfig {
+            enabled: true,
+            slow_threshold: Duration::from_millis(trace_slow_ms),
+            ..Default::default()
+        };
+    }
 
     let (n_target, n_source) = (target.len(), source.len());
     let server = Server::start(target, source, cfg)?;
@@ -353,6 +361,95 @@ pub fn serve(a: &Parsed) -> Result<(), CliError> {
         s.admitted, s.completed, s.shed, s.deadline_expired, s.protocol_errors
     );
     server.shutdown();
+    Ok(())
+}
+
+/// `tripro metrics` — scrape a running server's Metrics frame and print
+/// the Prometheus text exposition.
+pub fn metrics(a: &Parsed) -> Result<(), CliError> {
+    let addr = a.get("addr").unwrap_or("127.0.0.1:3750");
+    let mut client =
+        tripro_serve::Client::connect(addr).map_err(|e| CliError::msg(format!("{addr}: {e}")))?;
+    let text = client
+        .metrics()
+        .map_err(|e| CliError::msg(format!("metrics request failed: {e}")))?;
+    if a.has("check") {
+        tripro::obs::validate_exposition(&text)
+            .map_err(|e| CliError::msg(format!("malformed exposition: {e}")))?;
+        eprintln!("exposition OK ({} bytes)", text.len());
+    }
+    outln!("{}", text.trim_end());
+    Ok(())
+}
+
+/// `tripro trace` — run queries between two stores with span tracing
+/// enabled and print the slow-query log: the worst request traces as
+/// indented span trees.
+pub fn trace(a: &Parsed) -> Result<(), CliError> {
+    use tripro::obs;
+
+    let target = load_store(a.require("target")?)?;
+    let source = load_store(a.require("source")?)?;
+    let slow_ms: u64 = a.get_parsed("slow", 0u64)?;
+    let keep: usize = a.get_parsed("keep", 8usize)?;
+    obs::tracer().configure(&tripro::TraceConfig {
+        enabled: true,
+        slow_threshold: std::time::Duration::from_millis(slow_ms),
+        keep,
+        ..Default::default()
+    });
+    obs::tracer().clear_slow_log();
+
+    let paradigm = if a.has("fr") {
+        Paradigm::FilterRefine
+    } else {
+        Paradigm::FilterProgressiveRefine
+    };
+    let cfg = QueryConfig::new(paradigm, accel_of(a)?);
+    let engine = Engine::new(&target, &source);
+    let stats = ExecStats::new();
+    let kind = a.get("kind").unwrap_or("nn");
+    let t0 = std::time::Instant::now();
+    for t in 0..target.len() as u32 {
+        // One root span per query, keyed by target id (ids are 1-based on
+        // the trace so id 0 never collides with "no trace").
+        let _req = obs::tracer().request(u64::from(t) + 1);
+        match kind {
+            "intersect" => {
+                engine.intersect_one(t, &cfg, &stats)?;
+            }
+            "within" => {
+                let d: f64 = a.get_parsed("distance", 1.0f64)?;
+                engine.within_one(t, d, &cfg, &stats)?;
+            }
+            "nn" => {
+                engine.nn_one(t, &cfg, &stats)?;
+            }
+            "knn" => {
+                let k: usize = a.get_parsed("k", 3usize)?;
+                engine.knn_one(t, k, &cfg, &stats)?;
+            }
+            other => {
+                return Err(CliError::msg(format!(
+                    "unknown --kind {other:?}; use intersect|within|nn|knn"
+                )))
+            }
+        }
+    }
+    obs::tracer().set_enabled(false);
+
+    let slow = obs::tracer().slow_log();
+    eprintln!(
+        "{} {kind} queries in {:?}; {} traces at or over the {slow_ms}ms threshold \
+         (showing up to {keep} worst)",
+        target.len(),
+        t0.elapsed(),
+        slow.len(),
+    );
+    for rec in &slow {
+        outln!("{}", rec.render().trim_end());
+    }
+    summary(t0.elapsed(), &stats);
     Ok(())
 }
 

@@ -9,6 +9,8 @@
 //! tripro query within    --target DIR --source DIR --distance D [...]
 //! tripro query nn        --target DIR --source DIR [--k K] [...]
 //! tripro serve           --target DIR --source DIR [--addr A] [...]
+//! tripro metrics         [--addr A] [--check]
+//! tripro trace           --target DIR --source DIR --slow MS [--kind K]
 //! ```
 
 mod args;
@@ -34,6 +36,8 @@ fn run(argv: &[String]) -> Result<(), error::CliError> {
         Some("lods") => commands::lods(&args::Parsed::parse(&argv[1..])?),
         Some("render") => commands::render(&args::Parsed::parse(&argv[1..])?),
         Some("serve") => commands::serve(&args::Parsed::parse(&argv[1..])?),
+        Some("metrics") => commands::metrics(&args::Parsed::parse(&argv[1..])?),
+        Some("trace") => commands::trace(&args::Parsed::parse(&argv[1..])?),
         Some("query") => {
             let kind = argv
                 .get(1)
@@ -82,10 +86,23 @@ USAGE:
 
   tripro serve --target DIR --source DIR [--addr HOST:PORT] [--fr] [--accel A]
                [--max-inflight N] [--queue-depth Q] [--max-connections C]
-               [--deadline-cap-ms MS] [--duration SECS]
+               [--deadline-cap-ms MS] [--duration SECS] [--trace-slow-ms MS]
       Serve both stores over the tripro-serve wire protocol
       (docs/protocol.md): admission-controlled, per-cuboid batched,
       deadline-aware. Default --addr 127.0.0.1:3750. With --duration the
       server exits after SECS; otherwise it runs until a Shutdown frame
       (e.g. `tripro-load --shutdown`).
+
+  tripro metrics [--addr HOST:PORT] [--check]
+      Fetch a running server's metrics registry (a v2 Metrics frame) and
+      print the Prometheus text exposition. --check validates the
+      exposition format and fails on malformed output. Default --addr
+      127.0.0.1:3750. See docs/observability.md for the metric inventory.
+
+  tripro trace --target DIR --source DIR [--slow MS] [--kind intersect|within|nn|knn]
+               [--keep N] [--fr] [--accel A] [--k K] [--distance D]
+      Run one query per target object with span tracing enabled and print
+      the slow-query log: the N worst (default 8) request traces at or
+      over the MS threshold (default 0 = trace everything), rendered as
+      indented span trees (filter, refine rounds, decodes, pool tasks).
 ";

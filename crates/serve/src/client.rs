@@ -7,7 +7,8 @@
 //! into a [`QueryReply`].
 
 use crate::protocol::{
-    encode_request, read_response, write_frame, ErrorCode, Request, Response, StatsPayload, VERSION,
+    encode_request, read_response, write_frame, ErrorCode, Request, Response, StatsPayload,
+    MIN_VERSION, VERSION,
 };
 use crate::ServeError;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -55,7 +56,7 @@ impl Client {
         stream.set_nodelay(true)?;
         let mut c = Client { stream, next_id: 1 };
         match c.roundtrip(&Request::Hello {
-            min_version: VERSION,
+            min_version: MIN_VERSION,
             max_version: VERSION,
         })? {
             Response::HelloOk { version: _ } => Ok(c),
@@ -110,6 +111,15 @@ impl Client {
         match self.roundtrip(&Request::Stats)? {
             Response::StatsOk(s) => Ok(s),
             _ => Err(ServeError::Unexpected("non-stats reply to stats")),
+        }
+    }
+
+    /// The server's metrics registry as Prometheus text exposition;
+    /// answered inline even when the server is overloaded (v2+).
+    pub fn metrics(&mut self) -> Result<String, ServeError> {
+        match self.roundtrip(&Request::Metrics)? {
+            Response::MetricsOk { text } => Ok(text),
+            _ => Err(ServeError::Unexpected("non-metrics reply to metrics")),
         }
     }
 

@@ -7,7 +7,7 @@
 //! offset  size  field
 //! 0       4     payload length (u32 LE, excludes the header)
 //! 4       2     magic 0x3D50 ("=P")
-//! 6       1     protocol version (currently 1)
+//! 6       1     protocol version (currently 2; v1 still accepted)
 //! 7       1     frame kind
 //! 8       8     request id (u64 LE, echoed verbatim in responses)
 //! ```
@@ -22,8 +22,13 @@ use std::io::{Read, Write};
 /// Frame magic ("=P" little-endian): rejects non-protocol peers early.
 pub const MAGIC: u16 = 0x3D50;
 
-/// The protocol version this build speaks.
-pub const VERSION: u8 = 1;
+/// The protocol version this build speaks. Version 2 adds the
+/// `Metrics`/`MetricsOk` frame pair; every v1 frame is unchanged, so both
+/// ends accept the whole [`MIN_VERSION`]`..=`[`VERSION`] range.
+pub const VERSION: u8 = 2;
+
+/// Oldest protocol version this build still accepts.
+pub const MIN_VERSION: u8 = 1;
 
 /// Hard cap on payload size; larger length prefixes are a protocol error
 /// (they would otherwise let a hostile peer demand unbounded allocation).
@@ -42,6 +47,7 @@ const K_HELLO: u8 = 0x01;
 const K_HEALTH: u8 = 0x02;
 const K_STATS: u8 = 0x03;
 const K_SHUTDOWN: u8 = 0x04;
+const K_METRICS: u8 = 0x05; // v2+
 const K_CONTAINS: u8 = 0x10;
 const K_INTERSECT: u8 = 0x11;
 const K_WITHIN: u8 = 0x12;
@@ -51,6 +57,7 @@ const K_HELLO_OK: u8 = 0x81;
 const K_HEALTH_OK: u8 = 0x82;
 const K_STATS_OK: u8 = 0x83;
 const K_SHUTDOWN_OK: u8 = 0x84;
+const K_METRICS_OK: u8 = 0x85; // v2+
 const K_PAGE: u8 = 0x90;
 const K_ERROR: u8 = 0xFF;
 
@@ -152,6 +159,9 @@ pub enum Request {
     Stats,
     /// Ask the server to drain in-flight work and exit.
     Shutdown,
+    /// Prometheus text exposition of the server's metrics registry;
+    /// answered inline even under overload (v2+).
+    Metrics,
     /// Ids of target-store objects containing the point.
     Contains { p: [f64; 3], deadline_ms: u32 },
     /// Source objects intersecting target object `target`.
@@ -182,6 +192,11 @@ pub enum Response {
     HealthOk,
     StatsOk(StatsPayload),
     ShutdownOk,
+    /// Prometheus text exposition (v2+). Truncated server-side at a UTF-8
+    /// boundary if it would overflow [`MAX_PAYLOAD`].
+    MetricsOk {
+        text: String,
+    },
     /// One page of result ids; `last` marks the final page of a request.
     Page {
         last: bool,
@@ -343,6 +358,7 @@ pub fn encode_request(request_id: u64, req: &Request) -> Vec<u8> {
         Request::Health => K_HEALTH,
         Request::Stats => K_STATS,
         Request::Shutdown => K_SHUTDOWN,
+        Request::Metrics => K_METRICS,
         Request::Contains {
             p: point,
             deadline_ms,
@@ -404,6 +420,7 @@ pub fn decode_request_body(kind: u8, payload: &[u8]) -> Result<Request, WireErro
         K_HEALTH => Request::Health,
         K_STATS => Request::Stats,
         K_SHUTDOWN => Request::Shutdown,
+        K_METRICS => Request::Metrics,
         K_CONTAINS => Request::Contains {
             p: [c.f64()?, c.f64()?, c.f64()?],
             deadline_ms: c.u32()?,
@@ -436,6 +453,25 @@ pub fn decode_request_body(kind: u8, payload: &[u8]) -> Result<Request, WireErro
 // Responses
 // ---------------------------------------------------------------------
 
+/// Largest metrics text that fits a `MetricsOk` payload (u32 length prefix
+/// plus the bytes, under [`MAX_PAYLOAD`]).
+const METRICS_TEXT_MAX: usize = MAX_PAYLOAD as usize - 4;
+
+/// Clip metrics text to [`METRICS_TEXT_MAX`] bytes at a line boundary so a
+/// truncated exposition is still a sequence of well-formed lines (the last
+/// partial line is dropped, never half-sent).
+fn truncate_metrics_text(text: &str) -> &[u8] {
+    let bytes = text.as_bytes();
+    if bytes.len() <= METRICS_TEXT_MAX {
+        return bytes;
+    }
+    let cut = bytes[..METRICS_TEXT_MAX]
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map_or(0, |i| i + 1);
+    &bytes[..cut]
+}
+
 /// Encode a response into a complete frame (header + payload).
 pub fn encode_response(request_id: u64, resp: &Response) -> Vec<u8> {
     let mut p = Vec::new();
@@ -456,6 +492,12 @@ pub fn encode_response(request_id: u64, resp: &Response) -> Vec<u8> {
             K_STATS_OK
         }
         Response::ShutdownOk => K_SHUTDOWN_OK,
+        Response::MetricsOk { text } => {
+            let bytes = truncate_metrics_text(text);
+            put_u32(&mut p, bytes.len() as u32);
+            p.extend_from_slice(bytes);
+            K_METRICS_OK
+        }
         Response::Page { last, ids } => {
             p.push(u8::from(*last));
             put_u32(&mut p, ids.len() as u32);
@@ -492,6 +534,13 @@ pub fn decode_response_body(kind: u8, payload: &[u8]) -> Result<Response, WireEr
             source_objects: c.u64()?,
         }),
         K_SHUTDOWN_OK => Response::ShutdownOk,
+        K_METRICS_OK => {
+            let n = c.u32()? as usize;
+            let bytes = c.take(n)?;
+            Response::MetricsOk {
+                text: String::from_utf8_lossy(bytes).into_owned(),
+            }
+        }
         K_PAGE => {
             let last = c.u8()? != 0;
             let count = c.u32()? as usize;
@@ -535,7 +584,7 @@ pub fn read_request<R: Read>(r: &mut R) -> Result<(u64, Request), WireError> {
     let mut hb = [0u8; HEADER_LEN];
     r.read_exact(&mut hb)?;
     let header = decode_header(&hb)?;
-    if header.version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&header.version) {
         return Err(WireError::UnsupportedVersion(header.version));
     }
     let payload = read_payload(r, &header)?;
@@ -550,7 +599,7 @@ pub fn read_response<R: Read>(r: &mut R) -> Result<(u64, Response), WireError> {
     let mut hb = [0u8; HEADER_LEN];
     r.read_exact(&mut hb)?;
     let header = decode_header(&hb)?;
-    if header.version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&header.version) {
         return Err(WireError::UnsupportedVersion(header.version));
     }
     let payload = read_payload(r, &header)?;
@@ -618,6 +667,7 @@ mod tests {
         roundtrip_request(Request::Health);
         roundtrip_request(Request::Stats);
         roundtrip_request(Request::Shutdown);
+        roundtrip_request(Request::Metrics);
         roundtrip_request(Request::Contains {
             p: [1.5, -2.25, 1e300],
             deadline_ms: 250,
@@ -656,6 +706,12 @@ mod tests {
             source_objects: 7,
         }));
         roundtrip_response(Response::ShutdownOk);
+        roundtrip_response(Response::MetricsOk {
+            text: String::new(),
+        });
+        roundtrip_response(Response::MetricsOk {
+            text: "# TYPE t counter\nt 1\n".to_string(),
+        });
         roundtrip_response(Response::Page {
             last: false,
             ids: vec![1, 2, 3],
@@ -728,13 +784,74 @@ mod tests {
 
     #[test]
     fn wrong_version_is_rejected() {
-        let mut frame = encode_request(1, &Request::Health);
-        frame[6] = VERSION + 1;
+        for bad in [0, VERSION + 1, u8::MAX] {
+            let mut frame = encode_request(1, &Request::Health);
+            frame[6] = bad;
+            let mut r = frame.as_slice();
+            assert!(matches!(
+                read_request(&mut r).unwrap_err(),
+                WireError::UnsupportedVersion(v) if v == bad
+            ));
+        }
+    }
+
+    #[test]
+    fn v1_frames_still_decode() {
+        // A v2 build must keep accepting frames stamped with every older
+        // version in the supported range — wire compatibility is the whole
+        // point of MIN_VERSION.
+        for old in MIN_VERSION..VERSION {
+            let mut frame = encode_request(
+                5,
+                &Request::Within {
+                    target: 3,
+                    d: 0.5,
+                    deadline_ms: 7,
+                },
+            );
+            frame[6] = old;
+            let mut r = frame.as_slice();
+            let (id, req) = read_request(&mut r).unwrap();
+            assert_eq!(id, 5);
+            assert!(matches!(req, Request::Within { target: 3, .. }));
+
+            let mut resp = encode_response(5, &Response::HealthOk);
+            resp[6] = old;
+            let mut r = resp.as_slice();
+            assert_eq!(read_response(&mut r).unwrap(), (5, Response::HealthOk));
+        }
+    }
+
+    #[test]
+    fn hand_built_v1_frame_decodes() {
+        // Byte-for-byte v1 Stats frame (header only, empty payload), built
+        // without the encoder so this test pins the v1 layout itself.
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&0u32.to_le_bytes()); // payload length
+        frame.extend_from_slice(&MAGIC.to_le_bytes());
+        frame.push(1); // version 1
+        frame.push(0x03); // K_STATS
+        frame.extend_from_slice(&9u64.to_le_bytes());
         let mut r = frame.as_slice();
-        assert!(matches!(
-            read_request(&mut r).unwrap_err(),
-            WireError::UnsupportedVersion(v) if v == VERSION + 1
-        ));
+        assert_eq!(read_request(&mut r).unwrap(), (9, Request::Stats));
+    }
+
+    #[test]
+    fn oversized_metrics_text_truncates_at_line_boundary() {
+        let line = "tripro_x_total 1\n";
+        let n = METRICS_TEXT_MAX / line.len() + 2;
+        let text = line.repeat(n);
+        assert!(text.len() > METRICS_TEXT_MAX);
+        let frame = encode_response(1, &Response::MetricsOk { text });
+        assert!(frame.len() <= HEADER_LEN + MAX_PAYLOAD as usize);
+        let mut r = frame.as_slice();
+        let (_, got) = read_response(&mut r).unwrap();
+        let Response::MetricsOk { text } = got else {
+            panic!("not MetricsOk")
+        };
+        assert!(text.len() <= METRICS_TEXT_MAX);
+        assert!(text.ends_with('\n'), "no half-sent line");
+        assert!(text.len() >= METRICS_TEXT_MAX - line.len());
     }
 
     #[test]

@@ -37,20 +37,21 @@
 
 use crate::protocol::{
     self, decode_header, decode_request_body, encode_response, ErrorCode, Header, Request,
-    Response, StatsPayload, HEADER_LEN, NO_DEADLINE_MS, VERSION,
+    Response, StatsPayload, HEADER_LEN, MIN_VERSION, NO_DEADLINE_MS, VERSION,
 };
 use crate::ServeError;
 use std::collections::VecDeque;
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+use tripro::obs;
 use tripro::sync::{lock, wait, Condvar, Mutex};
 use tripro::{
     Accel, Deadline, Engine, Error, ExecStats, ObjectStore, Paradigm, PointQuery, QueryConfig,
-    ServiceSnapshot, ServiceStats,
+    ServiceSnapshot, ServiceStats, TraceConfig,
 };
 
 /// Server configuration. `Default` is tuned for tests: loopback, ephemeral
@@ -89,6 +90,11 @@ pub struct ServeConfig {
     /// Read-timeout granularity at which blocked connection readers poll
     /// the shutdown flag.
     pub poll_interval: Duration,
+    /// Span-tracing configuration applied to the process-wide tracer at
+    /// startup. Disabled by default: registry metrics (and the `Metrics`
+    /// frame) work regardless; this only gates per-request span capture
+    /// and the slow-query log.
+    pub trace: TraceConfig,
 }
 
 impl Default for ServeConfig {
@@ -107,8 +113,38 @@ impl Default for ServeConfig {
             cuboid_cell: None,
             inject_latency: None,
             poll_interval: Duration::from_millis(25),
+            trace: TraceConfig::default(),
         }
     }
+}
+
+/// Pre-bound registry handles for the per-outcome request counters, so the
+/// hot path pays one relaxed `fetch_add` instead of a registry lookup.
+struct Outcomes {
+    admitted: Arc<AtomicU64>,
+    shed: Arc<AtomicU64>,
+    completed: Arc<AtomicU64>,
+    deadline_expired: Arc<AtomicU64>,
+    failed: Arc<AtomicU64>,
+    protocol_error: Arc<AtomicU64>,
+}
+
+impl Outcomes {
+    fn bind() -> Self {
+        Self {
+            admitted: obs::request_outcome_counter("admitted"),
+            shed: obs::request_outcome_counter("shed"),
+            completed: obs::request_outcome_counter("completed"),
+            deadline_expired: obs::request_outcome_counter("deadline_expired"),
+            failed: obs::request_outcome_counter("failed"),
+            protocol_error: obs::request_outcome_counter("protocol_error"),
+        }
+    }
+}
+
+#[inline]
+fn bump(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
 }
 
 /// A query operation extracted from a request frame.
@@ -166,6 +202,7 @@ struct Core {
     cell: f64,
     stats: ServiceStats,
     exec_stats: ExecStats,
+    outcomes: Outcomes,
     shutdown: AtomicBool,
     dispatch: Mutex<DispatchState>,
     /// Wakes the batcher when work arrives (or shutdown starts).
@@ -266,6 +303,7 @@ impl Server {
         )?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+        obs::tracer().configure(&cfg.trace);
 
         // Precompute the object → cuboid map once; it is the batching key
         // for every join request.
@@ -290,6 +328,7 @@ impl Server {
             cell,
             stats: ServiceStats::new(),
             exec_stats: ExecStats::new(),
+            outcomes: Outcomes::bind(),
             shutdown: AtomicBool::new(false),
             dispatch: Mutex::new(DispatchState::default()),
             work_cv: Condvar::new(),
@@ -324,7 +363,39 @@ impl Server {
     }
 
     /// Current request-lifecycle counters.
+    ///
+    /// Under `strict-invariants` this also checks the admission ledger at
+    /// snapshot time: every admitted request must be queued, executing, or
+    /// accounted (completed / deadline-expired / failed) — a counter that
+    /// drifts from that identity means a response path forgot to record
+    /// its outcome.
     pub fn stats(&self) -> ServiceSnapshot {
+        #[cfg(feature = "strict-invariants")]
+        {
+            // Hold the dispatch lock so `executing` cannot decrement under
+            // us; outcome counters may still tick concurrently (a request
+            // can be accounted while its batch is draining), so the check
+            // is a pair of inequalities rather than a strict equality.
+            let st = lock(&self.core.dispatch);
+            let snap = self.core.stats.snapshot();
+            let outstanding = st.queue.len() as u64 + st.executing as u64;
+            assert!(
+                snap.accounted() <= snap.admitted,
+                "accounted {} > admitted {}: an outcome was recorded twice \
+                 or for an unadmitted request ({snap:?})",
+                snap.accounted(),
+                snap.admitted,
+            );
+            assert!(
+                snap.admitted <= snap.accounted() + outstanding,
+                "admission ledger leak: admitted {} > accounted {} + \
+                 outstanding {outstanding} ({snap:?})",
+                snap.admitted,
+                snap.accounted(),
+            );
+            return snap;
+        }
+        #[cfg(not(feature = "strict-invariants"))]
         self.core.stats.snapshot()
     }
 
@@ -385,6 +456,7 @@ fn accept_loop(core: &Arc<Core>, listener: &TcpListener) {
                 if conns.len() >= core.cfg.max_connections {
                     drop(conns);
                     core.stats.record_shed();
+                    bump(&core.outcomes.shed);
                     let writer = ConnWriter {
                         stream: Mutex::new(stream),
                     };
@@ -403,7 +475,10 @@ fn accept_loop(core: &Arc<Core>, listener: &TcpListener) {
                     .spawn(move || conn_loop(&core2, stream));
                 match spawned {
                     Ok(h) => conns.push(h),
-                    Err(_) => core.stats.record_shed(),
+                    Err(_) => {
+                        core.stats.record_shed();
+                        bump(&core.outcomes.shed);
+                    }
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -478,6 +553,7 @@ fn conn_loop(core: &Arc<Core>, stream: TcpStream) {
             ReadFull::Stop => return,
             ReadFull::Failed => {
                 core.stats.record_protocol_error();
+                bump(&core.outcomes.protocol_error);
                 return;
             }
         }
@@ -488,6 +564,7 @@ fn conn_loop(core: &Arc<Core>, stream: TcpStream) {
                 // garbage, use 0) and drop the connection — resynchronising
                 // an unframed byte stream is not possible.
                 core.stats.record_protocol_error();
+                bump(&core.outcomes.protocol_error);
                 writer.send_response(
                     0,
                     &Response::Error {
@@ -498,13 +575,14 @@ fn conn_loop(core: &Arc<Core>, stream: TcpStream) {
                 return;
             }
         };
-        if header.version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&header.version) {
             core.stats.record_protocol_error();
+            bump(&core.outcomes.protocol_error);
             writer.send_response(
                 header.request_id,
                 &Response::Error {
                     code: ErrorCode::UnsupportedVersion,
-                    message: format!("server speaks version {VERSION}"),
+                    message: format!("server speaks versions {MIN_VERSION}..={VERSION}"),
                 },
             );
             return;
@@ -515,6 +593,7 @@ fn conn_loop(core: &Arc<Core>, stream: TcpStream) {
             ReadFull::Stop => return,
             ReadFull::Failed => {
                 core.stats.record_protocol_error();
+                bump(&core.outcomes.protocol_error);
                 return;
             }
         }
@@ -536,6 +615,7 @@ fn handle_frame(
         Ok(r) => r,
         Err(e) => {
             core.stats.record_protocol_error();
+            bump(&core.outcomes.protocol_error);
             writer.send_response(
                 header.request_id,
                 &Response::Error {
@@ -552,17 +632,25 @@ fn handle_frame(
             min_version,
             max_version,
         } => {
-            if (min_version..=max_version).contains(&VERSION) {
-                writer.send_response(id, &Response::HelloOk { version: VERSION });
-            } else {
-                core.stats.record_protocol_error();
-                writer.send_response(
-                    id,
-                    &Response::Error {
-                        code: ErrorCode::UnsupportedVersion,
-                        message: format!("server speaks version {VERSION}"),
-                    },
-                );
+            // Speak the newest version both sides understand.
+            let spoken = (MIN_VERSION..=VERSION)
+                .rev()
+                .find(|v| (min_version..=max_version).contains(v));
+            match spoken {
+                Some(version) => {
+                    writer.send_response(id, &Response::HelloOk { version });
+                }
+                None => {
+                    core.stats.record_protocol_error();
+                    bump(&core.outcomes.protocol_error);
+                    writer.send_response(
+                        id,
+                        &Response::Error {
+                            code: ErrorCode::UnsupportedVersion,
+                            message: format!("server speaks versions {MIN_VERSION}..={VERSION}"),
+                        },
+                    );
+                }
             }
             return true;
         }
@@ -572,6 +660,15 @@ fn handle_frame(
         }
         Request::Stats => {
             writer.send_response(id, &Response::StatsOk(core.stats_payload()));
+            return true;
+        }
+        Request::Metrics => {
+            writer.send_response(
+                id,
+                &Response::MetricsOk {
+                    text: obs::render_global(),
+                },
+            );
             return true;
         }
         Request::Shutdown => {
@@ -631,15 +728,20 @@ fn handle_frame(
         {
             false
         } else {
+            // Count admission before the request becomes claimable, so the
+            // ledger invariant (`accounted ≤ admitted`) cannot be violated
+            // by a request completing before its admission is recorded.
+            core.stats.record_admitted();
+            bump(&core.outcomes.admitted);
             st.queue.push_back(pending);
             true
         }
     };
     if admitted {
-        core.stats.record_admitted();
         core.work_cv.notify_all();
     } else {
         core.stats.record_shed();
+        bump(&core.outcomes.shed);
         writer.send_response(
             id,
             &Response::Error {
@@ -714,6 +816,10 @@ fn execute_batch(core: &Arc<Core>, mut batch: Vec<Pending>) {
 
 /// Execute a single admitted request and stream its response.
 fn serve_one(core: &Core, p: &Pending) {
+    // Root span for the whole request, keyed by the wire request id. The
+    // engine's filter/refine/decode spans nest under it; if the request
+    // exceeds the slow threshold the full tree lands in the slow log.
+    let _req = obs::tracer().request(p.request_id);
     let qc = core.query_config(p.deadline.clone());
     let stats = &core.exec_stats;
     let engine = Engine::new(&core.target, &core.source);
@@ -736,9 +842,11 @@ fn serve_one(core: &Core, p: &Pending) {
                 p.writer.send_response(p.request_id, &page);
             }
             core.stats.record_completed();
+            bump(&core.outcomes.completed);
         }
         Err(Error::DeadlineExceeded) => {
             core.stats.record_deadline_expired();
+            bump(&core.outcomes.deadline_expired);
             p.writer.send_response(
                 p.request_id,
                 &Response::Error {
@@ -748,6 +856,10 @@ fn serve_one(core: &Core, p: &Pending) {
             );
         }
         Err(e) => {
+            // Internal failures must still be accounted, or admitted
+            // requests leak from the ledger (admitted ≠ accounted).
+            core.stats.record_failed();
+            bump(&core.outcomes.failed);
             p.writer.send_response(
                 p.request_id,
                 &Response::Error {

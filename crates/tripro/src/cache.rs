@@ -25,6 +25,8 @@
 //! decode anyway.
 
 use crate::error::{Error, Result};
+use crate::obs;
+use crate::obs::SpanKind;
 use crate::stats::ExecStats;
 use crate::sync::{lock, Mutex};
 use std::collections::HashMap;
@@ -318,23 +320,31 @@ impl DecodeCache {
         stats: &ExecStats,
     ) -> Result<Arc<LodData>> {
         let key: Key = (id, lod as u8);
+        let shard = shard_of(key);
         if self.enabled() {
             if let Some(hit) = self.lookup(key) {
                 stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                obs::cache_hit_counter(shard).fetch_add(1, Ordering::Relaxed);
                 return Ok(hit);
             }
+            // Miss path only: the hit path above stays span-free so the
+            // nearly-free case (PR 2's de-contention story) is untouched.
+            let _touch = obs::span_at(SpanKind::CacheTouch, id, lod as u32);
             // Serialise decodes of the same object.
             let _guard = lock(&self.locks[id as usize % self.locks.len()]);
             if let Some(hit) = self.lookup(key) {
                 stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                obs::cache_hit_counter(shard).fetch_add(1, Ordering::Relaxed);
                 return Ok(hit);
             }
             stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+            obs::cache_miss_counter(shard).fetch_add(1, Ordering::Relaxed);
             let data = Arc::new(self.decode(id, lod, compressed, stats)?);
             self.insert(key, Arc::clone(&data));
             Ok(data)
         } else {
             stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+            obs::cache_miss_counter(shard).fetch_add(1, Ordering::Relaxed);
             Ok(Arc::new(self.decode_fresh(id, lod, compressed, stats)?))
         }
     }
@@ -382,6 +392,7 @@ impl DecodeCache {
                 // The shard emptied under us (concurrent clear); rescan.
                 continue;
             }
+            obs::cache_evict_counter(vi).fetch_add(1, Ordering::Relaxed);
             self.used.fetch_sub(freed, Ordering::Relaxed);
         }
     }
@@ -465,6 +476,7 @@ impl DecodeCache {
         compressed: &CompressedMesh,
         stats: &ExecStats,
     ) -> Result<LodData> {
+        let _span = obs::span_at(SpanKind::Decode, id, lod as u32);
         let t0 = Instant::now();
         let state_shard = &self.states[id as usize % self.states.len()];
         // Take the state out so the decode itself runs without the map lock.
@@ -477,8 +489,10 @@ impl DecodeCache {
         pm.decode_to(lod).map_err(decode_err)?;
         let tris = pm.triangles();
         lock(state_shard).insert(id, pm);
-        stats.add_decode(t0.elapsed());
+        let took = t0.elapsed();
+        stats.add_decode(took);
         stats.decodes.fetch_add(1, Ordering::Relaxed);
+        obs::decode_histogram(lod).record_duration(took);
         Ok(LodData::new(tris))
     }
 
@@ -489,13 +503,16 @@ impl DecodeCache {
         compressed: &CompressedMesh,
         stats: &ExecStats,
     ) -> Result<LodData> {
+        let _span = obs::span_at(SpanKind::Decode, id, lod as u32);
         let t0 = Instant::now();
         let decode_err = |source| Error::Decode { object: id, source };
         let mut pm = compressed.decoder().map_err(decode_err)?;
         pm.decode_to(lod).map_err(decode_err)?;
         let tris = pm.triangles();
-        stats.add_decode(t0.elapsed());
+        let took = t0.elapsed();
+        stats.add_decode(took);
         stats.decodes.fetch_add(1, Ordering::Relaxed);
+        obs::decode_histogram(lod).record_duration(took);
         Ok(LodData::new(tris))
     }
 

@@ -56,12 +56,14 @@
 //! | [`point`] | progressive point-containment queries |
 //! | [`deadline`] | cooperative deadline/cancel tokens polled between refinement rounds |
 //! | [`stats`] | filter/decode/compute breakdowns and per-LOD pair counters (§6) |
+//! | [`obs`] | span tracing, latency histograms, metrics registry + Prometheus exposition |
 
 pub mod cache;
 pub mod compute;
 pub mod deadline;
 pub mod error;
 pub mod gpu;
+pub mod obs;
 pub mod partition;
 pub mod point;
 pub mod pool;
@@ -77,6 +79,7 @@ pub use compute::{Accel, Computer};
 pub use deadline::Deadline;
 pub use error::{Error, Result};
 pub use gpu::BatchExecutor;
+pub use obs::{Histogram, MetricsRegistry, TraceConfig};
 pub use point::PointQuery;
 pub use pool::WorkerPool;
 pub use profiler::{choose_lods, measure_r, LodActivity, LodChoice, QueryKind};

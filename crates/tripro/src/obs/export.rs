@@ -1,0 +1,293 @@
+//! Prometheus text-format exposition (and a validator for it).
+//!
+//! Histograms are stored internally in nanoseconds but exported in
+//! **seconds** against a fixed canonical `le` ladder (1µs … 10s, +Inf),
+//! per Prometheus base-unit conventions. Cumulative bucket counts come
+//! from the fine log-linear buckets ([`Histogram::count_le`]), so the
+//! exported ladder is a lossless coarsening — `_sum`/`_count` are exact.
+
+use super::histogram::Histogram;
+use super::registry::{Metric, MetricsRegistry};
+use std::fmt::Write as _;
+use std::sync::atomic::Ordering;
+
+/// Canonical latency ladder in nanoseconds: 1µs .. 10s, decade steps with
+/// 2.5×/5× intermediates. `+Inf` is appended by the renderer.
+pub const LE_LADDER_NS: &[u64] = &[
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    2_500_000,
+    5_000_000,
+    10_000_000,
+    25_000_000,
+    50_000_000,
+    100_000_000,
+    250_000_000,
+    500_000_000,
+    1_000_000_000,
+    2_500_000_000,
+    5_000_000_000,
+    10_000_000_000,
+];
+
+fn seconds(ns: u64) -> f64 {
+    ns as f64 / 1e9
+}
+
+fn sample_name(name: &str, suffix: &str, labels: &str, extra: Option<(&str, &str)>) -> String {
+    let mut out = String::new();
+    out.push_str(name);
+    out.push_str(suffix);
+    let extra_s = extra.map(|(k, v)| format!("{k}=\"{v}\""));
+    match (labels.is_empty(), extra_s) {
+        (true, None) => {}
+        (true, Some(e)) => {
+            let _ = write!(out, "{{{e}}}");
+        }
+        (false, None) => {
+            let _ = write!(out, "{{{labels}}}");
+        }
+        (false, Some(e)) => {
+            let _ = write!(out, "{{{labels},{e}}}");
+        }
+    }
+    out
+}
+
+fn render_histogram(out: &mut String, name: &str, labels: &str, h: &Histogram) {
+    for &bound in LE_LADDER_NS {
+        let le = format!("{}", seconds(bound));
+        let _ = writeln!(
+            out,
+            "{} {}",
+            sample_name(name, "_bucket", labels, Some(("le", &le))),
+            h.count_le(bound)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{} {}",
+        sample_name(name, "_bucket", labels, Some(("le", "+Inf"))),
+        h.count()
+    );
+    let _ = writeln!(
+        out,
+        "{} {}",
+        sample_name(name, "_sum", labels, None),
+        seconds(h.sum())
+    );
+    let _ = writeln!(
+        out,
+        "{} {}",
+        sample_name(name, "_count", labels, None),
+        h.count()
+    );
+}
+
+/// Render every metric in `reg` as Prometheus text exposition
+/// (`text/plain; version=0.0.4`). Output is deterministic: families and
+/// series appear in sorted name/label order.
+#[must_use]
+pub fn render_prometheus(reg: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    for fam in reg.families() {
+        let kind = fam
+            .samples
+            .first()
+            .map_or("counter", |(_, m)| m.type_name());
+        let _ = writeln!(out, "# HELP {} {}", fam.name, fam.help);
+        let _ = writeln!(out, "# TYPE {} {}", fam.name, kind);
+        for (labels, metric) in &fam.samples {
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(
+                        out,
+                        "{} {}",
+                        sample_name(fam.name, "", labels, None),
+                        c.load(Ordering::Relaxed)
+                    );
+                }
+                Metric::Histogram(h) => render_histogram(&mut out, fam.name, labels, h),
+            }
+        }
+    }
+    out
+}
+
+fn valid_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn base_name(sample: &str) -> &str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(b) = sample.strip_suffix(suffix) {
+            return b;
+        }
+    }
+    sample
+}
+
+/// Structurally validate Prometheus text exposition: every sample line
+/// must parse as `name[{labels}] value`, the value must be a finite
+/// number (or `+Inf` bucket bounds), and every sample must belong to a
+/// family declared by a preceding `# TYPE` line. Returns the first
+/// problem found, with its 1-based line number.
+pub fn validate_exposition(text: &str) -> Result<(), String> {
+    use std::collections::BTreeSet;
+    let mut declared: BTreeSet<String> = BTreeSet::new();
+    let mut samples = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let n = i + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if let Some(decl) = rest.strip_prefix("TYPE ") {
+                let mut it = decl.split_whitespace();
+                let (Some(name), Some(kind)) = (it.next(), it.next()) else {
+                    return Err(format!("line {n}: malformed TYPE declaration"));
+                };
+                if !valid_name(name) {
+                    return Err(format!("line {n}: invalid metric name {name:?}"));
+                }
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(format!("line {n}: unknown metric type {kind:?}"));
+                }
+                declared.insert(name.to_string());
+            } else if !rest.starts_with("HELP ") && !rest.is_empty() {
+                // Plain comments are legal; nothing to check.
+            }
+            continue;
+        }
+        // Sample line: name[{labels}] value
+        let (name_part, value_part) = match line.find('}') {
+            Some(close) => {
+                let (head, tail) = line.split_at(close + 1);
+                let Some(open) = head.find('{') else {
+                    return Err(format!("line {n}: '}}' without '{{'"));
+                };
+                let labels = &head[open + 1..close];
+                if labels.matches('"').count() % 2 != 0 {
+                    return Err(format!("line {n}: unbalanced quotes in labels"));
+                }
+                (&head[..open], tail.trim())
+            }
+            None => {
+                let mut it = line.splitn(2, ' ');
+                let name = it.next().unwrap_or("");
+                (name, it.next().unwrap_or("").trim())
+            }
+        };
+        if !valid_name(name_part) {
+            return Err(format!("line {n}: invalid sample name {name_part:?}"));
+        }
+        let value = value_part.split_whitespace().next().unwrap_or("");
+        let numeric_ok = value.parse::<f64>().map(f64::is_finite).unwrap_or(false)
+            || matches!(value, "+Inf" | "-Inf" | "NaN");
+        if !numeric_ok {
+            return Err(format!("line {n}: unparseable sample value {value:?}"));
+        }
+        if !declared.contains(base_name(name_part)) && !declared.contains(name_part) {
+            return Err(format!(
+                "line {n}: sample {name_part:?} has no preceding # TYPE declaration"
+            ));
+        }
+        samples += 1;
+    }
+    if samples == 0 {
+        return Err("no samples in exposition".to_string());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::registry::MetricsRegistry;
+
+    fn populated() -> MetricsRegistry {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter(
+            "tripro_cache_hits_total",
+            "Decode cache hits.",
+            &[("shard", "0")],
+        );
+        c.fetch_add(41, Ordering::Relaxed);
+        let h = reg.histogram(
+            "tripro_query_latency_seconds",
+            "Query latency.",
+            &[("kind", "intersect"), ("paradigm", "FPR")],
+        );
+        h.record(3_000_000); // 3ms
+        h.record(700_000_000); // 700ms
+        reg
+    }
+
+    #[test]
+    fn rendered_output_validates() {
+        let text = render_prometheus(&populated());
+        assert!(text.contains("# TYPE tripro_cache_hits_total counter"));
+        assert!(text.contains("tripro_cache_hits_total{shard=\"0\"} 41"));
+        assert!(text.contains("# TYPE tripro_query_latency_seconds histogram"));
+        assert!(text.contains("le=\"+Inf\"} 2"));
+        assert!(text.contains("tripro_query_latency_seconds_count"));
+        validate_exposition(&text).expect("self-rendered exposition validates");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_in_seconds() {
+        let text = render_prometheus(&populated());
+        // 3ms lands under le=0.005; 700ms only under le=1 and above.
+        let line = text
+            .lines()
+            .find(|l| l.contains("le=\"0.005\""))
+            .expect("0.005 bucket");
+        assert!(line.ends_with(" 1"), "one sample <= 5ms: {line}");
+        let line = text
+            .lines()
+            .find(|l| l.contains("le=\"1\""))
+            .expect("1s bucket");
+        assert!(line.ends_with(" 2"), "both samples <= 1s: {line}");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        assert!(validate_exposition("").is_err(), "empty exposition");
+        assert!(
+            validate_exposition("tripro_x_total 1\n").is_err(),
+            "sample without TYPE"
+        );
+        assert!(
+            validate_exposition("# TYPE tripro_x_total counter\ntripro_x_total abc\n").is_err(),
+            "non-numeric value"
+        );
+        assert!(
+            validate_exposition("# TYPE tripro_x_total wibble\ntripro_x_total 1\n").is_err(),
+            "unknown type"
+        );
+        assert!(
+            validate_exposition("# TYPE tripro_x_total counter\ntripro_x_total{a=\"1} 1\n")
+                .is_err(),
+            "unbalanced label quotes"
+        );
+        assert!(validate_exposition("# TYPE t counter\nt{a=\"1\"} 2.5\n").is_ok());
+    }
+
+    #[test]
+    fn bucket_and_sum_suffixes_resolve_to_declared_family() {
+        let text = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 0.5\nh_count 1\n";
+        validate_exposition(text).expect("suffix resolution");
+    }
+}

@@ -1,0 +1,353 @@
+//! Log-linear (HDR-style) latency histograms.
+//!
+//! A [`Histogram`] buckets non-negative integer samples (nanoseconds by
+//! convention) into *octaves* of 16 linear sub-buckets each: values below
+//! 16 get one bucket per value, and every power-of-two range above that is
+//! split 16 ways, bounding the relative quantile error at 1/16 ≈ 6.25%.
+//! All state is atomic, so recording is wait-free and concurrent readers
+//! see a merely-consistent (never torn per-bucket) view — exactly the
+//! guarantee a metrics scrape needs.
+//!
+//! Unlike sampled quantile sketches, bucket counts **merge exactly**: the
+//! sum of two histograms' buckets is the histogram of the combined stream,
+//! so per-shard or per-thread instances can be aggregated without losing
+//! tail fidelity ([`Histogram::merge_from`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// log2 of the number of linear sub-buckets per octave.
+const SUB_BITS: u32 = 4;
+/// Linear sub-buckets per octave (16).
+const SUB: usize = 1 << SUB_BITS;
+/// Total bucket count: one linear region of `SUB` values plus
+/// `(64 - SUB_BITS)` octaves of `SUB` sub-buckets — covers all of `u64`.
+pub const BUCKETS: usize = (64 - SUB_BITS as usize + 1) << SUB_BITS;
+
+/// Index of the bucket holding `v`. Total order preserving: for
+/// `a <= b`, `bucket_of(a) <= bucket_of(b)`.
+#[inline]
+#[must_use]
+pub fn bucket_of(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let shift = msb - SUB_BITS;
+    let octave = (msb - SUB_BITS + 1) as usize;
+    (octave << SUB_BITS) + ((v >> shift) as usize - SUB)
+}
+
+/// Inclusive upper bound of bucket `i` (the largest value it can hold).
+#[must_use]
+pub fn bucket_upper(i: usize) -> u64 {
+    if i < SUB {
+        return i as u64;
+    }
+    let octave = (i >> SUB_BITS) as u32;
+    let sub = (i & (SUB - 1)) as u64;
+    let upper = ((sub + SUB as u64 + 1) as u128) << (octave - 1);
+    (upper - 1).min(u64::MAX as u128) as u64
+}
+
+/// A fixed-shape log-linear histogram with atomic buckets.
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample (wait-free; relaxed atomics — per-sample ordering
+    /// does not matter for aggregate statistics).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if let Some(b) = self.buckets.get(bucket_of(v)) {
+            b.fetch_add(1, Ordering::Relaxed);
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Record a [`std::time::Duration`] as nanoseconds (saturating at
+    /// `u64::MAX` ≈ 584 years).
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples (wrapping on overflow).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest recorded sample, or 0 if empty.
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count() == 0 {
+            0
+        } else {
+            self.min.load(Ordering::Relaxed)
+        }
+    }
+
+    /// Largest recorded sample, or 0 if empty.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Fold another histogram into this one. Bucket-count addition is an
+    /// *exact* merge: quantiles of the result equal quantiles of the
+    /// concatenated sample streams (up to the shared bucket resolution).
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n != 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the upper bound of the bucket
+    /// containing the sample of rank `ceil(q * count)`, clamped to the
+    /// recorded max. Returns 0 for an empty histogram.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // ceil without float equality: rank in [1, total].
+        let mut rank = (q * total as f64).ceil() as u64;
+        rank = rank.clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(b.load(Ordering::Relaxed));
+            if seen >= rank {
+                return bucket_upper(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Median (p50).
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    #[must_use]
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile.
+    #[must_use]
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// Number of samples `<= bound` (resolved at bucket granularity: a
+    /// bucket counts iff its whole range fits under `bound`, so the result
+    /// is a lower bound within one sub-bucket of the true count). Used for
+    /// Prometheus cumulative `le` buckets.
+    #[must_use]
+    pub fn count_le(&self, bound: u64) -> u64 {
+        let mut acc = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            if bucket_upper(i) > bound {
+                break;
+            }
+            acc = acc.saturating_add(b.load(Ordering::Relaxed));
+        }
+        acc
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .field("min", &self.min())
+            .field("max", &self.max())
+            .field("p50", &self.p50())
+            .field("p99", &self.p99())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_continuous() {
+        // Exhaustive over the low range, spot-checked above.
+        let mut prev = bucket_of(0);
+        for v in 1u64..100_000 {
+            let b = bucket_of(v);
+            assert!(b >= prev, "bucket_of not monotone at {v}");
+            assert!(b - prev <= 1, "bucket_of skipped an index at {v}");
+            prev = b;
+        }
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(15), 15);
+        assert_eq!(bucket_of(16), 16);
+        assert_eq!(bucket_of(31), 31);
+        assert_eq!(bucket_of(32), 32);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_upper_inverts_bucket_of() {
+        for i in 0..BUCKETS {
+            let hi = bucket_upper(i);
+            assert_eq!(bucket_of(hi), i, "upper bound of bucket {i} maps back");
+            if hi < u64::MAX {
+                assert_eq!(bucket_of(hi + 1), i + 1, "bucket {i} boundary");
+            }
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        let h = Histogram::new();
+        for v in [1u64, 100, 10_000, 1_000_000, 123_456_789] {
+            let b = bucket_upper(bucket_of(v));
+            let err = (b - v) as f64 / v as f64;
+            assert!(err <= 1.0 / 16.0 + 1e-9, "relative error {err} at {v}");
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 123_456_789);
+    }
+
+    #[test]
+    fn quantiles_of_uniform_stream() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 1000); // 1µs .. 1ms in µs steps
+        }
+        let p50 = h.p50();
+        let p99 = h.p99();
+        assert!(
+            (470_000..=531_250).contains(&p50),
+            "p50 {p50} out of tolerance"
+        );
+        assert!(
+            (985_000..=1_047_000).contains(&p99),
+            "p99 {p99} out of tolerance"
+        );
+        assert!(h.p999() >= p99);
+        assert_eq!(h.quantile(0.0), h.quantile(0.001));
+        assert_eq!(h.quantile(1.0), h.max());
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.count_le(u64::MAX), 0);
+    }
+
+    #[test]
+    fn merge_is_exact_on_buckets() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let c = Histogram::new();
+        for v in 0..500u64 {
+            a.record(v * 7 + 3);
+            c.record(v * 7 + 3);
+        }
+        for v in 0..500u64 {
+            b.record(v * 13 + 1);
+            c.record(v * 13 + 1);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.count(), c.count());
+        assert_eq!(a.sum(), c.sum());
+        assert_eq!(a.min(), c.min());
+        assert_eq!(a.max(), c.max());
+        for q in [0.1, 0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(a.quantile(q), c.quantile(q), "merged quantile {q}");
+        }
+    }
+
+    #[test]
+    fn count_le_matches_cumulative_walk() {
+        let h = Histogram::new();
+        for v in [10u64, 20, 30, 1000, 2000, 100_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count_le(0), 0);
+        assert_eq!(h.count_le(10), 1);
+        assert_eq!(h.count_le(35), 3);
+        assert_eq!(h.count_le(u64::MAX), 6);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(Histogram::new());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = std::sync::Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(i + t * 13);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 40_000);
+    }
+}

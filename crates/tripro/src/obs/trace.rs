@@ -1,0 +1,620 @@
+//! Span-based structured tracing with a lock-free ring-buffer sink and a
+//! slow-query log.
+//!
+//! ## Model
+//!
+//! A *request* ([`Tracer::request`]) establishes a thread-local trace
+//! context carrying a trace id (the wire `request_id` in the serve layer).
+//! Within it, [`span`]/[`span_at`] guards time individual stages — filter,
+//! per-object×LOD decode, per-LOD refine round, cache touch, pool task —
+//! and stamp each [`SpanRecord`] with the propagated trace id and its
+//! nesting depth. When the request guard drops, the accumulated span tree
+//! is flushed to a global [`SpanRing`] and, if the request exceeded the
+//! slow threshold, retained whole in the [`Tracer`]'s slow log (the N
+//! worst requests, with full span trees).
+//!
+//! Spans recorded outside any request context (e.g. from pool helper
+//! threads) go straight to the ring, carrying whatever trace id was
+//! propagated to them explicitly (see `pool.rs`) or 0 for none.
+//!
+//! ## Cost discipline
+//!
+//! Tracing is **off by default**: every entry point first does one relaxed
+//! atomic load ([`enabled`], `#[inline]`) and returns an inert guard, so a
+//! disabled tracer adds a branch, not a syscall, to the hot path. The ring
+//! claims slots wait-free with a `fetch_add` cursor; only the slot write
+//! itself takes a tiny per-slot mutex to order wrap-around writers.
+
+use crate::sync::{lock, Mutex};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// Sentinel for "no object id" on a span.
+pub const NO_OBJECT: u32 = u32::MAX;
+/// Sentinel for "no LOD" on a span.
+pub const NO_LOD: u32 = u32::MAX;
+
+/// What a span measures. Labels are stable identifiers used by the CLI
+/// renderer and docs (`docs/observability.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// A whole serve/CLI request (root of a trace).
+    Request,
+    /// R-tree / MBB filter step of a query.
+    Filter,
+    /// Progressive decode of one object to one LOD.
+    Decode,
+    /// One LOD round of the refinement ladder.
+    RefineRound,
+    /// Decode-cache miss handling (lookup + insert bookkeeping).
+    CacheTouch,
+    /// One worker-pool task execution (broadcast job claim).
+    PoolTask,
+}
+
+impl SpanKind {
+    /// Stable lowercase label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::Request => "request",
+            SpanKind::Filter => "filter",
+            SpanKind::Decode => "decode",
+            SpanKind::RefineRound => "refine_round",
+            SpanKind::CacheTouch => "cache_touch",
+            SpanKind::PoolTask => "pool_task",
+        }
+    }
+}
+
+/// One completed span.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Propagated request/trace id (0 = none).
+    pub trace_id: u64,
+    /// Stage this span measured.
+    pub kind: SpanKind,
+    /// Nesting depth below the request root (root = 0).
+    pub depth: u16,
+    /// Object id, or [`NO_OBJECT`].
+    pub object: u32,
+    /// LOD, or [`NO_LOD`].
+    pub lod: u32,
+    /// Start offset from the enclosing request start (ns); for spans
+    /// without a request context, offset from tracer creation.
+    pub start_ns: u64,
+    /// Duration (ns).
+    pub dur_ns: u64,
+}
+
+impl SpanRecord {
+    /// Render one line of a span tree, indented by depth.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut line = String::new();
+        for _ in 0..self.depth {
+            line.push_str("  ");
+        }
+        line.push_str(self.kind.label());
+        if self.object != NO_OBJECT {
+            line.push_str(&format!(" obj={}", self.object));
+        }
+        if self.lod != NO_LOD {
+            line.push_str(&format!(" lod={}", self.lod));
+        }
+        line.push_str(&format!(
+            " +{:.3}ms {:.3}ms",
+            self.start_ns as f64 / 1e6,
+            self.dur_ns as f64 / 1e6
+        ));
+        line
+    }
+}
+
+/// A retained slow request: its id, total latency and full span tree in
+/// start order.
+#[derive(Debug, Clone)]
+pub struct TraceRecord {
+    /// Request/trace id.
+    pub trace_id: u64,
+    /// End-to-end request latency (ns).
+    pub total_ns: u64,
+    /// All spans of the request (root first, then by start offset).
+    pub spans: Vec<SpanRecord>,
+}
+
+impl TraceRecord {
+    /// Render the whole span tree, one span per line.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "trace {:#x} total {:.3}ms ({} spans)\n",
+            self.trace_id,
+            self.total_ns as f64 / 1e6,
+            self.spans.len()
+        );
+        for s in &self.spans {
+            out.push_str(&s.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Tracing configuration. `Default` is disabled with a 4096-span ring, a
+/// 50ms slow threshold and the 8 worst requests retained.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Master switch; when false every span entry point is a no-op stub.
+    pub enabled: bool,
+    /// Ring-buffer capacity (rounded up to a power of two, min 64).
+    pub ring_capacity: usize,
+    /// Requests at or above this total latency enter the slow log.
+    pub slow_threshold: Duration,
+    /// How many worst requests the slow log retains.
+    pub keep: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            ring_capacity: 4096,
+            slow_threshold: Duration::from_millis(50),
+            keep: 8,
+        }
+    }
+}
+
+/// Lock-free-claim span ring: a `fetch_add` cursor hands out slots
+/// wait-free; each slot is a small mutex so lapped writers stay ordered.
+pub struct SpanRing {
+    slots: Box<[Mutex<Option<SpanRecord>>]>,
+    cursor: AtomicUsize,
+}
+
+impl SpanRing {
+    fn new(capacity: usize) -> Self {
+        let cap = capacity.max(64).next_power_of_two();
+        Self {
+            slots: (0..cap).map(|_| Mutex::new(None)).collect(),
+            cursor: AtomicUsize::new(0),
+        }
+    }
+
+    fn push(&self, record: SpanRecord) {
+        let i = self.cursor.fetch_add(1, Ordering::Relaxed) & (self.slots.len() - 1);
+        if let Some(slot) = self.slots.get(i) {
+            *lock(slot) = Some(record);
+        }
+    }
+
+    /// Snapshot the ring contents, oldest first (best effort under
+    /// concurrent writers).
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        let cursor = self.cursor.load(Ordering::Relaxed);
+        let cap = self.slots.len();
+        let mut out = Vec::new();
+        for off in 0..cap {
+            let i = (cursor + off) & (cap - 1);
+            if let Some(slot) = self.slots.get(i) {
+                if let Some(r) = lock(slot).clone() {
+                    out.push(r);
+                }
+            }
+        }
+        out
+    }
+}
+
+struct SlowLog {
+    keep: usize,
+    worst: Vec<TraceRecord>,
+}
+
+impl SlowLog {
+    fn offer(&mut self, record: TraceRecord) {
+        self.worst.push(record);
+        self.worst.sort_by_key(|r| std::cmp::Reverse(r.total_ns));
+        self.worst.truncate(self.keep);
+    }
+}
+
+/// The global tracer: enable/disable switch, span ring and slow log.
+pub struct Tracer {
+    enabled: AtomicBool,
+    slow_threshold_ns: AtomicU64,
+    epoch: Instant,
+    ring: SpanRing,
+    slow: Mutex<SlowLog>,
+}
+
+impl Tracer {
+    fn new(cfg: &TraceConfig) -> Self {
+        Self {
+            enabled: AtomicBool::new(cfg.enabled),
+            slow_threshold_ns: AtomicU64::new(
+                u64::try_from(cfg.slow_threshold.as_nanos()).unwrap_or(u64::MAX),
+            ),
+            epoch: Instant::now(),
+            ring: SpanRing::new(cfg.ring_capacity),
+            slow: Mutex::new(SlowLog {
+                keep: cfg.keep.max(1),
+                worst: Vec::new(),
+            }),
+        }
+    }
+
+    /// Apply `cfg`'s switch, threshold and retention. The ring capacity is
+    /// fixed at first use (the default 4096) — documented limitation that
+    /// keeps the ring allocation-free after startup.
+    pub fn configure(&self, cfg: &TraceConfig) {
+        self.slow_threshold_ns.store(
+            u64::try_from(cfg.slow_threshold.as_nanos()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
+        lock(&self.slow).keep = cfg.keep.max(1);
+        self.enabled.store(cfg.enabled, Ordering::Relaxed);
+    }
+
+    /// Master switch (used by tests and the overhead-guard bench).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Is tracing on?
+    #[inline]
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Open a request-root trace context on this thread. All spans created
+    /// on this thread until the guard drops join the trace. Inert when
+    /// tracing is disabled.
+    #[must_use]
+    pub fn request(&'static self, trace_id: u64) -> RequestGuard {
+        if !self.is_enabled() {
+            return RequestGuard { active: false };
+        }
+        CTX.with(|ctx| {
+            let mut ctx = ctx.borrow_mut();
+            // Nested request guards (e.g. CLI driving the engine in-process
+            // under an outer request) keep the outer context.
+            if ctx.is_some() {
+                return RequestGuard { active: false };
+            }
+            *ctx = Some(ThreadCtx {
+                trace_id,
+                depth: 0,
+                start: Instant::now(),
+                spans: Vec::with_capacity(16),
+            });
+            RequestGuard { active: true }
+        })
+    }
+
+    /// Snapshot the ring (all recently completed spans).
+    #[must_use]
+    pub fn ring_snapshot(&self) -> Vec<SpanRecord> {
+        self.ring.snapshot()
+    }
+
+    /// The current slow log, worst request first.
+    #[must_use]
+    pub fn slow_log(&self) -> Vec<TraceRecord> {
+        lock(&self.slow).worst.clone()
+    }
+
+    /// Drop all retained slow traces (used between CLI runs).
+    pub fn clear_slow_log(&self) {
+        lock(&self.slow).worst.clear();
+    }
+}
+
+struct ThreadCtx {
+    trace_id: u64,
+    depth: u16,
+    start: Instant,
+    spans: Vec<SpanRecord>,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<ThreadCtx>> = const { RefCell::new(None) };
+}
+
+/// The global tracer (created disabled; see [`Tracer::configure`]).
+#[must_use]
+pub fn tracer() -> &'static Tracer {
+    static TRACER: OnceLock<Tracer> = OnceLock::new();
+    TRACER.get_or_init(|| Tracer::new(&TraceConfig::default()))
+}
+
+/// Fast global "is tracing on" check — one relaxed load.
+#[inline]
+#[must_use]
+pub fn enabled() -> bool {
+    tracer().is_enabled()
+}
+
+/// The trace id of the request context on this thread, or 0. Used to
+/// propagate ids across the pool boundary.
+#[must_use]
+pub fn current_trace_id() -> u64 {
+    if !enabled() {
+        return 0;
+    }
+    CTX.with(|ctx| ctx.borrow().as_ref().map_or(0, |c| c.trace_id))
+}
+
+/// Guard for a request-root trace context (see [`Tracer::request`]).
+pub struct RequestGuard {
+    active: bool,
+}
+
+impl Drop for RequestGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let Some(ctx) = CTX.with(|ctx| ctx.borrow_mut().take()) else {
+            return;
+        };
+        let total = ctx.start.elapsed();
+        let total_ns = u64::try_from(total.as_nanos()).unwrap_or(u64::MAX);
+        let t = tracer();
+        let mut spans = ctx.spans;
+        spans.push(SpanRecord {
+            trace_id: ctx.trace_id,
+            kind: SpanKind::Request,
+            depth: 0,
+            object: NO_OBJECT,
+            lod: NO_LOD,
+            start_ns: 0,
+            dur_ns: total_ns,
+        });
+        spans.sort_by(|a, b| a.start_ns.cmp(&b.start_ns).then(a.depth.cmp(&b.depth)));
+        for s in &spans {
+            t.ring.push(s.clone());
+        }
+        if total_ns >= t.slow_threshold_ns.load(Ordering::Relaxed) {
+            lock(&t.slow).offer(TraceRecord {
+                trace_id: ctx.trace_id,
+                total_ns,
+                spans,
+            });
+        }
+    }
+}
+
+/// Guard timing one span. Created by [`span`]/[`span_at`]; records on drop.
+pub struct SpanGuard {
+    state: Option<SpanState>,
+}
+
+struct SpanState {
+    kind: SpanKind,
+    object: u32,
+    lod: u32,
+    /// Explicitly propagated trace id (for spans on threads without a
+    /// request context, e.g. pool helpers); 0 = use the thread context.
+    trace_id: u64,
+    start: Instant,
+    depth: u16,
+}
+
+/// Time a stage with no object/LOD attribution. `#[inline]` no-op stub
+/// when tracing is disabled: one relaxed load, no clock read.
+#[inline]
+#[must_use]
+pub fn span(kind: SpanKind) -> SpanGuard {
+    span_at(kind, NO_OBJECT, NO_LOD)
+}
+
+/// Time a stage attributed to `object` at `lod` (either may be the
+/// [`NO_OBJECT`]/[`NO_LOD`] sentinel).
+#[inline]
+#[must_use]
+pub fn span_at(kind: SpanKind, object: u32, lod: u32) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { state: None };
+    }
+    SpanGuard::open(kind, object, lod, 0)
+}
+
+/// Time a span on behalf of an explicitly propagated trace id — used by
+/// pool helper threads, which run outside the requesting thread's context.
+#[inline]
+#[must_use]
+pub fn span_for(trace_id: u64, kind: SpanKind) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { state: None };
+    }
+    SpanGuard::open(kind, NO_OBJECT, NO_LOD, trace_id)
+}
+
+impl SpanGuard {
+    fn open(kind: SpanKind, object: u32, lod: u32, trace_id: u64) -> SpanGuard {
+        let depth = CTX.with(|ctx| {
+            let mut ctx = ctx.borrow_mut();
+            match ctx.as_mut() {
+                Some(c) => {
+                    c.depth = c.depth.saturating_add(1);
+                    c.depth
+                }
+                None => 1,
+            }
+        });
+        SpanGuard {
+            state: Some(SpanState {
+                kind,
+                object,
+                lod,
+                trace_id,
+                start: Instant::now(),
+                depth,
+            }),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(s) = self.state.take() else {
+            return;
+        };
+        let dur_ns = u64::try_from(s.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let recorded_in_ctx = CTX.with(|ctx| {
+            let mut ctx = ctx.borrow_mut();
+            match ctx.as_mut() {
+                Some(c) => {
+                    let start_ns =
+                        u64::try_from(s.start.duration_since(c.start).as_nanos()).unwrap_or(0);
+                    c.spans.push(SpanRecord {
+                        trace_id: c.trace_id,
+                        kind: s.kind,
+                        depth: s.depth,
+                        object: s.object,
+                        lod: s.lod,
+                        start_ns,
+                        dur_ns,
+                    });
+                    c.depth = c.depth.saturating_sub(1);
+                    true
+                }
+                None => false,
+            }
+        });
+        if !recorded_in_ctx {
+            let t = tracer();
+            let start_ns =
+                u64::try_from(s.start.duration_since(t.epoch).as_nanos()).unwrap_or(u64::MAX);
+            t.ring.push(SpanRecord {
+                trace_id: s.trace_id,
+                kind: s.kind,
+                depth: s.depth,
+                object: s.object,
+                lod: s.lod,
+                start_ns,
+                dur_ns,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The tracer is process-global state shared with other tests in this
+    // crate; serialise the tests that touch it.
+    static GATE: Mutex<()> = Mutex::new(());
+
+    fn with_tracing<R>(f: impl FnOnce() -> R) -> R {
+        let _g = lock(&GATE);
+        tracer().configure(&TraceConfig {
+            enabled: true,
+            slow_threshold: Duration::ZERO,
+            keep: 4,
+            ..TraceConfig::default()
+        });
+        tracer().clear_slow_log();
+        let r = f();
+        tracer().set_enabled(false);
+        r
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _g = lock(&GATE);
+        tracer().set_enabled(false);
+        let before = tracer().ring_snapshot().len();
+        {
+            let _g = span(SpanKind::Filter);
+            let _h = span_at(SpanKind::Decode, 3, 1);
+        }
+        assert_eq!(tracer().ring_snapshot().len(), before);
+        assert_eq!(current_trace_id(), 0);
+    }
+
+    #[test]
+    fn request_collects_nested_span_tree() {
+        with_tracing(|| {
+            {
+                let _req = tracer().request(0xABCD);
+                assert_eq!(current_trace_id(), 0xABCD);
+                let _f = span(SpanKind::Filter);
+                drop(_f);
+                {
+                    let _r = span_at(SpanKind::RefineRound, NO_OBJECT, 2);
+                    let _d = span_at(SpanKind::Decode, 7, 2);
+                }
+            }
+            let slow = tracer().slow_log();
+            assert!(!slow.is_empty(), "zero threshold retains every request");
+            let t = &slow[0];
+            assert_eq!(t.trace_id, 0xABCD);
+            let kinds: Vec<_> = t.spans.iter().map(|s| s.kind).collect();
+            assert!(kinds.contains(&SpanKind::Request));
+            assert!(kinds.contains(&SpanKind::Filter));
+            assert!(kinds.contains(&SpanKind::Decode));
+            // Root is depth 0 and first after sorting by start.
+            assert_eq!(t.spans[0].kind, SpanKind::Request);
+            assert_eq!(t.spans[0].depth, 0);
+            // The decode nested under the refine round is deeper.
+            let refine = t.spans.iter().find(|s| s.kind == SpanKind::RefineRound);
+            let decode = t.spans.iter().find(|s| s.kind == SpanKind::Decode);
+            match (refine, decode) {
+                (Some(r), Some(d)) => assert!(d.depth > r.depth),
+                _ => panic!("missing refine/decode spans"),
+            }
+            let rendered = t.render();
+            assert!(rendered.contains("filter"));
+            assert!(rendered.contains("obj=7"));
+        });
+    }
+
+    #[test]
+    fn slow_log_keeps_worst_n() {
+        with_tracing(|| {
+            for i in 0..10u64 {
+                let _req = tracer().request(i);
+                std::hint::black_box(i);
+            }
+            let slow = tracer().slow_log();
+            assert!(slow.len() <= 4, "keep=4 bounds the slow log");
+            // Worst-first ordering.
+            for w in slow.windows(2) {
+                assert!(w[0].total_ns >= w[1].total_ns);
+            }
+        });
+    }
+
+    #[test]
+    fn spans_without_context_go_to_ring_with_propagated_id() {
+        with_tracing(|| {
+            {
+                let _g = span_for(0x51, SpanKind::PoolTask);
+            }
+            let ring = tracer().ring_snapshot();
+            assert!(ring
+                .iter()
+                .any(|s| s.kind == SpanKind::PoolTask && s.trace_id == 0x51));
+        });
+    }
+
+    #[test]
+    fn ring_wraps_without_loss_of_recent_spans() {
+        with_tracing(|| {
+            for _ in 0..(4096 + 64) {
+                let _g = span(SpanKind::CacheTouch);
+            }
+            let ring = tracer().ring_snapshot();
+            assert!(!ring.is_empty());
+            assert!(ring.len() <= 4096);
+        });
+    }
+}

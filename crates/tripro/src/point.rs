@@ -7,6 +7,7 @@
 //! lower LODs need the full-resolution parity test.
 
 use crate::error::Result;
+use crate::obs::{self, QueryOp, SpanKind};
 use crate::query::{Paradigm, QueryConfig};
 use crate::stats::ExecStats;
 use crate::store::{ObjectId, ObjectStore};
@@ -31,9 +32,13 @@ impl<'a> PointQuery<'a> {
         stats: &ExecStats,
     ) -> Result<Vec<ObjectId>> {
         cfg.deadline.check()?;
+        let fpr = matches!(cfg.paradigm, Paradigm::FilterProgressiveRefine);
+        let _lat = obs::time(obs::query_latency_histogram(QueryOp::Contains, fpr));
         let t0 = Instant::now();
+        let filter_span = obs::span(SpanKind::Filter);
         let probe = Aabb::from_point(p);
         let candidates = self.store.rtree().query_intersects(&probe);
+        drop(filter_span);
         stats.add_filter(t0.elapsed());
 
         let mut out = Vec::new();
@@ -74,6 +79,7 @@ impl<'a> PointQuery<'a> {
         };
         for &lod in &lods {
             cfg.deadline.check()?;
+            let _round = obs::span_at(SpanKind::RefineRound, id, lod as u32);
             let geom = self.store.get(id, lod, stats)?;
             stats.record_pair_evaluated(lod);
             let t1 = Instant::now();

@@ -22,10 +22,12 @@
 //! * a nested `run_with` that finds the broadcast slot occupied simply runs
 //!   inline — it never waits for workers that may transitively wait on it.
 
+use crate::obs;
 use crate::sync::{lock, wait, Condvar, Mutex};
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 /// Erased pointer to the region closure. Only ever dereferenced through
 /// [`Job::call`] while the owning [`WorkerPool::run_with`] frame is alive.
@@ -55,6 +57,12 @@ struct Job {
     active: usize,
     /// First panic payload observed in a helper, re-raised by the caller.
     panic: Option<Box<dyn Any + Send>>,
+    /// When the region was posted — each helper claim records the post→claim
+    /// gap into the pool queue-wait histogram.
+    posted: Instant,
+    /// Trace id of the posting request (0 = none), propagated so helper
+    /// task spans attribute to the request they serve.
+    trace_id: u64,
 }
 
 #[derive(Default)]
@@ -167,6 +175,8 @@ impl WorkerPool {
                 limit: helpers + 1,
                 active: 0,
                 panic: None,
+                posted: Instant::now(),
+                trace_id: obs::current_trace_id(),
             });
             self.shared.work_cv.notify_all();
             epoch
@@ -222,13 +232,19 @@ fn worker_loop(shared: &Shared) {
                 let idx = job.next_idx;
                 job.next_idx += 1;
                 job.active += 1;
-                Some((job.ptr, job.call, job.epoch, idx))
+                // Queue wait (post → claim) and occupancy (workers active
+                // on the job at this claim, caller included) — §5.2
+                // pipelining telemetry, recorded once per claim.
+                obs::pool_wait_histogram().record_duration(job.posted.elapsed());
+                obs::pool_occupancy_histogram().record(job.active as u64 + 1);
+                Some((job.ptr, job.call, job.epoch, idx, job.trace_id))
             }
             _ => None,
         };
         match claim {
-            Some((ptr, call, epoch, idx)) => {
+            Some((ptr, call, epoch, idx, trace_id)) => {
                 drop(st);
+                let _task = obs::span_for(trace_id, obs::SpanKind::PoolTask);
                 // The claim above incremented `active` under the lock, so
                 // the `run_with` frame owning `ptr` cannot return (and the
                 // closure cannot be dropped) until the decrement below.

@@ -100,6 +100,25 @@ pub fn choose_lods(
 
     let r = measure_r(engine, sample)?;
     let threshold = 1.0 / (r * r);
+    let chosen = select_lods(&activity, threshold, top);
+    Ok(LodChoice {
+        activity,
+        r,
+        threshold,
+        chosen,
+    })
+}
+
+/// Apply the `1/r²` break-even rule (§4.4) to measured per-LOD activity:
+/// keep every LOD whose pruned fraction strictly beats `threshold` (LODs
+/// that saw no evaluations carry no evidence and are skipped), and always
+/// end with `top` so the refinement ladder stays exact.
+///
+/// Pure function over the measured activity — separated from
+/// [`choose_lods`] so the selection rule is testable without running a
+/// profiling join.
+#[must_use]
+pub fn select_lods(activity: &[LodActivity], threshold: f64, top: usize) -> Vec<usize> {
     let mut chosen: Vec<usize> = activity
         .iter()
         .filter(|a| a.evaluated > 0 && a.pruned_fraction > threshold)
@@ -108,12 +127,7 @@ pub fn choose_lods(
     if chosen.last() != Some(&top) {
         chosen.push(top);
     }
-    Ok(LodChoice {
-        activity,
-        r,
-        threshold,
-        chosen,
-    })
+    chosen
 }
 
 /// Measure the average face-count growth ratio between adjacent LODs over a
@@ -196,6 +210,81 @@ mod tests {
             "low LODs should prune within-pairs: {:?}",
             choice.activity
         );
+    }
+
+    fn activity(rows: &[(usize, u64, u64)]) -> Vec<LodActivity> {
+        rows.iter()
+            .map(|&(lod, evaluated, pruned)| LodActivity {
+                lod,
+                evaluated,
+                pruned,
+                pruned_fraction: if evaluated > 0 {
+                    pruned as f64 / evaluated as f64
+                } else {
+                    0.0
+                },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn break_even_rule_picks_known_subset() {
+        // r = 2 ⇒ threshold 1/r² = 0.25 (§6.5). LODs 0 and 2 beat it,
+        // LOD 1 sits below, LOD 3 is exactly at break-even (strict
+        // comparison excludes it), LOD 4 is the exact top.
+        let act = activity(&[
+            (0, 100, 90), // 0.90 → chosen
+            (1, 100, 10), // 0.10 → dropped
+            (2, 100, 30), // 0.30 → chosen
+            (3, 100, 25), // 0.25 → dropped (strictly-greater rule)
+            (4, 100, 0),  // top → always appended
+        ]);
+        assert_eq!(select_lods(&act, 0.25, 4), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn break_even_rule_skips_unobserved_lods_and_keeps_top() {
+        // An LOD with a high fraction but zero evaluations carries no
+        // evidence; an empty ladder still ends at the top.
+        let act = activity(&[(0, 0, 0), (1, 50, 50), (2, 0, 0)]);
+        assert_eq!(select_lods(&act, 0.25, 2), vec![1, 2]);
+        assert_eq!(select_lods(&[], 0.25, 3), vec![3]);
+        // Top already chosen on its own merits: not duplicated.
+        let act = activity(&[(0, 10, 9), (1, 10, 9)]);
+        assert_eq!(select_lods(&act, 0.25, 1), vec![0, 1]);
+    }
+
+    mod prop {
+        use crate::stats::ExecStats;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            #[test]
+            fn pruned_fractions_stay_in_unit_interval(
+                rows in proptest::collection::vec(
+                    (0usize..24, 0u32..20, 0u32..40),
+                    0..12,
+                )
+            ) {
+                let s = ExecStats::new();
+                for &(lod, evaluated, pruned) in &rows {
+                    for _ in 0..evaluated {
+                        s.record_pair_evaluated(lod);
+                    }
+                    for _ in 0..pruned {
+                        s.record_pair_pruned(lod);
+                    }
+                }
+                for (lod, f) in s.snapshot().pruned_fractions() {
+                    prop_assert!(
+                        (0.0..=1.0).contains(&f),
+                        "LOD {lod} fraction {f} out of [0, 1]"
+                    );
+                    prop_assert!(f.is_finite());
+                }
+            }
+        }
     }
 
     #[test]

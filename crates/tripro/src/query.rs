@@ -11,6 +11,7 @@
 use crate::compute::{Accel, Computer};
 use crate::deadline::Deadline;
 use crate::error::Result;
+use crate::obs::{self, QueryOp, SpanKind};
 use crate::stats::ExecStats;
 use crate::store::{ObjectId, ObjectStore};
 use crate::sync::lock;
@@ -81,6 +82,8 @@ struct JoinCtx {
     lods: Vec<usize>,
     /// Cooperative deadline/cancel token, polled between refinement rounds.
     deadline: Deadline,
+    /// Paradigm flag for the pre-bound latency histograms (`true` = FPR).
+    fpr: bool,
 }
 
 /// Query processing paradigm.
@@ -221,6 +224,7 @@ impl<'a> Engine<'a> {
             computer: self.computer(cfg),
             lods: self.lods(cfg),
             deadline: cfg.deadline.clone(),
+            fpr: matches!(cfg.paradigm, Paradigm::FilterProgressiveRefine),
         }
     }
 
@@ -245,6 +249,7 @@ impl<'a> Engine<'a> {
         cfg: &QueryConfig,
         stats: &ExecStats,
     ) -> Result<Vec<ObjectId>> {
+        let _lat = obs::time(obs::query_latency_histogram(QueryOp::Intersect, ctx.fpr));
         // An already-expired request does no work at all, even when the
         // filter alone could answer it — uniform service semantics.
         ctx.deadline.check()?;
@@ -253,6 +258,7 @@ impl<'a> Engine<'a> {
 
         // Filter: MBB intersection against the global index. With the
         // partition strategies the finer sub-object boxes filter instead.
+        let filter_span = obs::span(SpanKind::Filter);
         let t0 = Instant::now();
         let mut candidates = match cfg.accel {
             Accel::Partition | Accel::PartitionGpu => {
@@ -271,6 +277,7 @@ impl<'a> Engine<'a> {
             candidates.retain(|&c| kt.intersects(&self.source.object(c).kdop));
         }
         stats.add_filter(t0.elapsed());
+        drop(filter_span);
 
         let mut results = Vec::new();
         let t_max = self.target.max_lod(t);
@@ -279,6 +286,7 @@ impl<'a> Engine<'a> {
                 break;
             }
             ctx.deadline.check()?;
+            let _round = obs::span_at(SpanKind::RefineRound, obs::trace::NO_OBJECT, lod as u32);
             let geom_t = self.target.get(t, lod, stats)?;
             let sk_t = self.target.skeleton(t);
             let mut remaining = Vec::with_capacity(candidates.len());
@@ -368,10 +376,12 @@ impl<'a> Engine<'a> {
         cfg: &QueryConfig,
         stats: &ExecStats,
     ) -> Result<Vec<ObjectId>> {
+        let _lat = obs::time(obs::query_latency_histogram(QueryOp::Within, ctx.fpr));
         ctx.deadline.check()?;
         let computer = &ctx.computer;
         let lods = &ctx.lods;
 
+        let filter_span = obs::span(SpanKind::Filter);
         let t0 = Instant::now();
         let filtered = self.source.rtree().within(self.target.mbb(t), d);
 
@@ -414,6 +424,7 @@ impl<'a> Engine<'a> {
             });
         }
         stats.add_filter(t0.elapsed());
+        drop(filter_span);
         let d2 = d * d;
         let seed = d2 * (1.0 + 1e-9) + f64::MIN_POSITIVE;
 
@@ -423,6 +434,7 @@ impl<'a> Engine<'a> {
                 break;
             }
             ctx.deadline.check()?;
+            let _round = obs::span_at(SpanKind::RefineRound, obs::trace::NO_OBJECT, lod as u32);
             let geom_t = self.target.get(t, lod, stats)?;
             let sk_t = self.target.skeleton(t);
             let mut remaining = Vec::with_capacity(candidates.len());
@@ -486,10 +498,12 @@ impl<'a> Engine<'a> {
         cfg: &QueryConfig,
         stats: &ExecStats,
     ) -> Result<Option<ObjectId>> {
+        let _lat = obs::time(obs::query_latency_histogram(QueryOp::Nn, ctx.fpr));
         ctx.deadline.check()?;
         let computer = &ctx.computer;
         let lods = &ctx.lods;
 
+        let filter_span = obs::span(SpanKind::Filter);
         let t0 = Instant::now();
         let mut candidates: Vec<(ObjectId, DistRange)> =
             self.source.rtree().nn_candidates(self.target.mbb(t));
@@ -518,6 +532,7 @@ impl<'a> Engine<'a> {
             }
         }
         stats.add_filter(t0.elapsed());
+        drop(filter_span);
         if candidates.is_empty() {
             return Ok(None);
         }
@@ -533,6 +548,7 @@ impl<'a> Engine<'a> {
                 break;
             }
             ctx.deadline.check()?;
+            let _round = obs::span_at(SpanKind::RefineRound, obs::trace::NO_OBJECT, lod as u32);
             let geom_t = self.target.get(t, lod, stats)?;
             let sk_t = self.target.skeleton(t);
             let mut next = Vec::with_capacity(candidates.len());
@@ -626,14 +642,17 @@ impl<'a> Engine<'a> {
         if k == 0 {
             return Ok(Vec::new());
         }
+        let _lat = obs::time(obs::query_latency_histogram(QueryOp::Knn, ctx.fpr));
         ctx.deadline.check()?;
         let computer = &ctx.computer;
         let lods = &ctx.lods;
 
+        let filter_span = obs::span(SpanKind::Filter);
         let t0 = Instant::now();
         let mut candidates: Vec<(ObjectId, DistRange)> =
             self.source.rtree().knn_candidates(self.target.mbb(t), k);
         stats.add_filter(t0.elapsed());
+        drop(filter_span);
         if candidates.is_empty() {
             return Ok(Vec::new());
         }
@@ -656,6 +675,7 @@ impl<'a> Engine<'a> {
                 break;
             }
             ctx.deadline.check()?;
+            let _round = obs::span_at(SpanKind::RefineRound, obs::trace::NO_OBJECT, lod as u32);
             let geom_t = self.target.get(t, lod, stats)?;
             let sk_t = self.target.skeleton(t);
             let mut next = Vec::with_capacity(candidates.len());

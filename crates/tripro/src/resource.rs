@@ -9,6 +9,7 @@
 //! heterogeneous consumers, results merged lock-free.
 
 use crate::gpu::BatchExecutor;
+use crate::obs;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use tripro_geom::{tri_tri_dist2, tri_tri_intersect, Triangle};
 
@@ -145,12 +146,14 @@ impl ResourceManager {
         } else {
             f64::from_bits(best_bits.load(Ordering::Relaxed))
         };
-        (
-            best,
-            tested.load(Ordering::Relaxed),
+        let (cpu, dev) = (
             cpu_tasks.load(Ordering::Relaxed),
             dev_tasks.load(Ordering::Relaxed),
-        )
+        );
+        // One registry resolution per call, not per task.
+        obs::resource_task_counter("cpu").fetch_add(cpu, Ordering::Relaxed);
+        obs::resource_task_counter("accel").fetch_add(dev, Ordering::Relaxed);
+        (best, tested.load(Ordering::Relaxed), cpu, dev)
     }
 
     /// Cooperative any-intersection over the cross product.

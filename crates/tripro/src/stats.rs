@@ -28,6 +28,10 @@ pub struct ExecStats {
     pub cache_misses: AtomicU64,
     /// Number of object decodes performed (cache misses materialised).
     pub decodes: AtomicU64,
+    /// Pair records whose LOD exceeded [`MAX_TRACKED_LOD`] and were merged
+    /// into the top bucket. Silent clamping would make the Fig 12 per-LOD
+    /// breakdown lie for deep ladders; this counter is the signal.
+    pub lod_overflow: AtomicU64,
 }
 
 impl ExecStats {
@@ -60,11 +64,17 @@ impl ExecStats {
 
     #[inline]
     pub fn record_pair_evaluated(&self, lod: usize) {
+        if lod > MAX_TRACKED_LOD {
+            self.lod_overflow.fetch_add(1, Ordering::Relaxed);
+        }
         self.pairs_evaluated[lod.min(MAX_TRACKED_LOD)].fetch_add(1, Ordering::Relaxed);
     }
 
     #[inline]
     pub fn record_pair_pruned(&self, lod: usize) {
+        if lod > MAX_TRACKED_LOD {
+            self.lod_overflow.fetch_add(1, Ordering::Relaxed);
+        }
         self.pairs_pruned[lod.min(MAX_TRACKED_LOD)].fetch_add(1, Ordering::Relaxed);
     }
 
@@ -88,6 +98,7 @@ impl ExecStats {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             decodes: self.decodes.load(Ordering::Relaxed),
+            lod_overflow: self.lod_overflow.load(Ordering::Relaxed),
         }
     }
 }
@@ -104,6 +115,10 @@ pub struct StatsSnapshot {
     pub cache_hits: u64,
     pub cache_misses: u64,
     pub decodes: u64,
+    /// Pair records clamped into the top LOD bucket (see
+    /// [`ExecStats::lod_overflow`]); nonzero means `pairs_evaluated[15]` /
+    /// `pairs_pruned[15]` aggregate more than one real LOD.
+    pub lod_overflow: u64,
 }
 
 impl StatsSnapshot {
@@ -134,13 +149,20 @@ impl StatsSnapshot {
 
     /// Fraction of object pairs pruned at each LOD that saw evaluations —
     /// the quantity §4.4 compares against `1/r²` to pick refinement LODs.
+    ///
+    /// Clamped to `[0, 1]`: some resolution paths (NN/kNN threshold prunes,
+    /// the containment fallback at top LOD) record a prune without a
+    /// matching evaluation at that LOD, so the raw ratio can exceed 1.
+    /// The profiler's break-even thresholds are always `< 1`, so clamping
+    /// never changes an LOD choice — it only keeps the reported fraction a
+    /// fraction.
     pub fn pruned_fractions(&self) -> Vec<(usize, f64)> {
         self.pairs_evaluated
             .iter()
             .zip(&self.pairs_pruned)
             .enumerate()
             .filter(|(_, (&e, _))| e > 0)
-            .map(|(lod, (&e, &p))| (lod, p as f64 / e as f64))
+            .map(|(lod, (&e, &p))| (lod, (p as f64 / e as f64).min(1.0)))
             .collect()
     }
 }
@@ -160,6 +182,11 @@ pub struct ServiceStats {
     pub deadline_expired: AtomicU64,
     /// Admitted requests answered successfully.
     pub completed: AtomicU64,
+    /// Admitted requests that failed in execution (answered with an
+    /// internal error). Without this bucket, `admitted` could not be
+    /// reconciled against terminal outcomes — see
+    /// [`ServiceSnapshot::accounted`].
+    pub failed: AtomicU64,
     /// Frames rejected as malformed/oversized/unsupported.
     pub protocol_errors: AtomicU64,
 }
@@ -190,6 +217,11 @@ impl ServiceStats {
     }
 
     #[inline]
+    pub fn record_failed(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
     pub fn record_protocol_error(&self) {
         self.protocol_errors.fetch_add(1, Ordering::Relaxed);
     }
@@ -201,6 +233,7 @@ impl ServiceStats {
             shed: self.shed.load(Ordering::Relaxed),
             deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
         }
     }
@@ -213,7 +246,20 @@ pub struct ServiceSnapshot {
     pub shed: u64,
     pub deadline_expired: u64,
     pub completed: u64,
+    pub failed: u64,
     pub protocol_errors: u64,
+}
+
+impl ServiceSnapshot {
+    /// Admitted requests that reached a terminal outcome. At any quiescent
+    /// point (no request queued or executing) this must equal `admitted`;
+    /// mid-flight, `admitted - accounted()` is the in-flight count. The
+    /// serve layer asserts this identity at snapshot time under
+    /// `strict-invariants`.
+    #[must_use]
+    pub fn accounted(&self) -> u64 {
+        self.completed + self.deadline_expired + self.failed
+    }
 }
 
 #[cfg(test)]
@@ -256,22 +302,44 @@ mod tests {
         let s = ServiceStats::new();
         s.record_admitted();
         s.record_admitted();
+        s.record_admitted();
         s.record_shed();
         s.record_deadline_expired();
         s.record_completed();
+        s.record_failed();
         s.record_protocol_error();
         let snap = s.snapshot();
-        assert_eq!(snap.admitted, 2);
+        assert_eq!(snap.admitted, 3);
         assert_eq!(snap.shed, 1);
         assert_eq!(snap.deadline_expired, 1);
         assert_eq!(snap.completed, 1);
+        assert_eq!(snap.failed, 1);
         assert_eq!(snap.protocol_errors, 1);
+        // Every admitted request reached a terminal outcome.
+        assert_eq!(snap.accounted(), snap.admitted);
     }
 
     #[test]
-    fn lod_overflow_clamps() {
+    fn lod_overflow_clamps_and_counts() {
         let s = ExecStats::new();
         s.record_pair_evaluated(999);
-        assert_eq!(s.snapshot().pairs_evaluated[MAX_TRACKED_LOD], 1);
+        s.record_pair_pruned(16);
+        s.record_pair_evaluated(MAX_TRACKED_LOD); // boundary: not an overflow
+        let snap = s.snapshot();
+        assert_eq!(snap.pairs_evaluated[MAX_TRACKED_LOD], 2);
+        assert_eq!(snap.pairs_pruned[MAX_TRACKED_LOD], 1);
+        assert_eq!(snap.lod_overflow, 2, "overflowing records are signalled");
+    }
+
+    #[test]
+    fn pruned_fractions_are_clamped_to_unit_interval() {
+        let s = ExecStats::new();
+        // NN-style pattern: more prunes than evaluations at one LOD.
+        s.record_pair_evaluated(2);
+        s.record_pair_pruned(2);
+        s.record_pair_pruned(2);
+        s.record_pair_pruned(2);
+        let f = s.snapshot().pruned_fractions();
+        assert_eq!(f, vec![(2, 1.0)]);
     }
 }

@@ -166,6 +166,24 @@ mod tests {
     }
 
     #[test]
+    fn observability_modules_are_panic_free_lint_targets() {
+        // Regression guard: obs/ sits under crates/tripro/src/, so the
+        // tracing and histogram hot paths must stay in the no-panic set
+        // alongside the rest of the engine.
+        for file in [
+            "crates/tripro/src/obs/mod.rs",
+            "crates/tripro/src/obs/histogram.rs",
+            "crates/tripro/src/obs/trace.rs",
+            "crates/tripro/src/obs/registry.rs",
+            "crates/tripro/src/obs/export.rs",
+        ] {
+            let rules = rules_for(file);
+            assert!(rules.contains(&Rule::NoPanic), "{file} must be no-panic");
+            assert!(rules.contains(&Rule::FloatEq), "{file} must ban float ==");
+        }
+    }
+
+    #[test]
     fn diagnostics_render_with_location() {
         let diags = lint_source("crates/geom/src/fixture.rs", VIOLATIONS, &[Rule::NoPanic]);
         let rendered = format!("{}", diags[0]);

@@ -15,3 +15,9 @@ cargo run --release -p tripro-bench --bin bench_joins
 
 test -s target/harness/BENCH_joins.json
 echo "[bench_snapshot] ok: target/harness/BENCH_joins.json"
+
+echo "[bench_snapshot] observability overhead guard"
+cargo run --release -p tripro-bench --bin bench_obs
+
+test -s target/harness/BENCH_obs.json
+echo "[bench_snapshot] ok: target/harness/BENCH_obs.json"

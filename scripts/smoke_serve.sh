@@ -43,6 +43,15 @@ done
 echo "[smoke_serve] closed-loop mixed workload"
 "$BIN/tripro-load" --addr "$ADDR" --clients 4 --requests 50
 
+echo "[smoke_serve] scraping the Metrics frame (v2) and validating the exposition"
+METRICS="$WORK/metrics.txt"
+# --check validates the Prometheus text format server-side output and
+# exits nonzero on malformed exposition, failing the smoke test.
+"$BIN/tripro" metrics --addr "$ADDR" --check > "$METRICS"
+test -s "$METRICS"
+grep -q '^# TYPE tripro_query_latency_seconds histogram$' "$METRICS"
+grep -q 'tripro_requests_total{outcome="admitted"}' "$METRICS"
+
 echo "[smoke_serve] open-loop workload with per-request deadlines, then shutdown"
 "$BIN/tripro-load" --addr "$ADDR" --clients 2 --requests 25 --rate 200 \
     --deadline-ms 2000 --shutdown

@@ -245,6 +245,74 @@ fn bad_requests_and_malformed_frames_are_rejected() {
 }
 
 #[test]
+fn metrics_frame_returns_valid_exposition() {
+    let (server, _t, _s) = start(ServeConfig::default());
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // Generate some traffic so the query/decode series exist.
+    for t in 0..3u32 {
+        let reply = client
+            .query(&Request::Intersect {
+                target: t,
+                deadline_ms: u32::MAX,
+            })
+            .expect("query");
+        assert!(reply.ids().is_some());
+    }
+
+    let text = client.metrics().expect("metrics frame");
+    tripro::obs::validate_exposition(&text).expect("well-formed Prometheus exposition");
+    assert!(
+        text.contains("tripro_requests_total{outcome=\"admitted\"}"),
+        "outcome counters missing:\n{text}"
+    );
+    assert!(
+        text.contains("# TYPE tripro_query_latency_seconds histogram"),
+        "query latency histogram missing:\n{text}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn admission_ledger_balances_after_drain() {
+    // Regression test for the accounting gap: every admitted request must
+    // eventually be accounted as completed, deadline-expired, or failed.
+    // Mixes successes with zero-deadline expiries so more than one outcome
+    // path contributes.
+    let (server, target, _s) = start(ServeConfig::default());
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    for t in 0..target.len() as u32 {
+        let _ = client
+            .query(&Request::Nn {
+                target: t,
+                deadline_ms: if t % 3 == 0 { 0 } else { u32::MAX },
+            })
+            .expect("query");
+    }
+
+    // Responses are sent before the outcome counter ticks, so poll briefly
+    // for the ledger to balance instead of racing it.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let s = server.stats();
+        let accounted = s.completed + s.deadline_expired + s.failed;
+        if s.admitted == accounted {
+            assert!(s.admitted >= target.len() as u64);
+            assert!(s.completed > 0 && s.deadline_expired > 0);
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "ledger never balanced: admitted {} vs accounted {accounted} ({s:?})",
+            s.admitted
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    server.shutdown();
+}
+
+#[test]
 fn remote_shutdown_drains_and_unblocks_wait() {
     let (server, _t, _s) = start(ServeConfig::default());
     let mut client = Client::connect(server.addr()).expect("connect");
