@@ -353,6 +353,9 @@ pub fn serve(a: &Parsed) -> Result<(), CliError> {
     if duration_s > 0 {
         std::thread::sleep(Duration::from_secs(duration_s));
     } else {
+        // tripro_lint::allow(condvar_wait_loop): Server::wait is a blocking
+        // join API (it owns its predicate loop internally), not a raw
+        // Condvar wait.
         server.wait();
     }
     let s = server.stats();

@@ -176,13 +176,21 @@ struct DispatchState {
 /// probe replies) and batch workers (query replies). Send failures mean the
 /// client went away; the request's work is simply dropped.
 struct ConnWriter {
+    // LOCK-RANK(30): per-connection write half; taken with no other lock
+    // held (repliers drop the dispatch guard before sending).
     stream: Mutex<TcpStream>,
 }
 
 impl ConnWriter {
     fn send(&self, frame: &[u8]) {
         let mut s = lock(&self.stream);
+        // tripro_lint::allow(condvar_wait_loop): the guard IS the frame
+        // serializer — interleaved partial writes would corrupt the wire
+        // protocol. Only this connection's repliers contend here, and a
+        // stuck client stalls its own replies, nothing else.
         let _ = std::io::Write::write_all(&mut *s, frame);
+        // tripro_lint::allow(condvar_wait_loop): same justification — the
+        // flush must stay under the same guard as the write.
         let _ = std::io::Write::flush(&mut *s);
     }
 
@@ -204,22 +212,34 @@ struct Core {
     exec_stats: ExecStats,
     outcomes: Outcomes,
     shutdown: AtomicBool,
+    // LOCK-RANK(20): admission queue + executing ledger; taken after
+    // `conns` (10) on shutdown paths, before ConnWriter `stream` (30) and
+    // the pool lock (40) — both reached only after this guard drops.
     dispatch: Mutex<DispatchState>,
     /// Wakes the batcher when work arrives (or shutdown starts).
     work_cv: Condvar,
     /// Wakes `Server::wait`/shutdown when the dispatcher drains.
     drain_cv: Condvar,
     /// Open connections (bounded accept) and their join handles.
+    // LOCK-RANK(10): connection-handle list; outermost serve lock, held
+    // only to push/take handles (joins happen after the guard drops).
     conns: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl Core {
     fn is_shutdown(&self) -> bool {
-        self.shutdown.load(Ordering::Relaxed)
+        // ORDERING: Acquire pairs with the Release store in
+        // `begin_shutdown`, so a reader that observes the flag also
+        // observes every write the shutting-down thread made before
+        // raising it (final stats, queue state).
+        self.shutdown.load(Ordering::Acquire)
     }
 
     fn begin_shutdown(&self) {
-        self.shutdown.store(true, Ordering::Relaxed);
+        // ORDERING: Release publishes everything written before shutdown
+        // to the threads that observe the flag via the Acquire load in
+        // `is_shutdown`.
+        self.shutdown.store(true, Ordering::Release);
         // Wake the batcher (to notice the flag) and any waiters.
         let st = lock(&self.dispatch);
         drop(st);

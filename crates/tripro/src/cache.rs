@@ -261,15 +261,20 @@ impl Shard {
 /// decoder-state reuse. A `capacity_bytes` of 0 disables caching entirely
 /// (every request decodes from scratch) — the paper's Table 2 baseline.
 pub struct DecodeCache {
+    // LOCK-RANK(60): entry shards; after a per-object decode lock (50),
+    // never while a decoder-state shard (70) is held.
     shards: Vec<Mutex<Shard>>,
     /// Bytes currently held, summed over all shards.
     used: AtomicUsize,
     /// Global recency clock; `fetch_add` gives every touch a unique stamp.
     clock: AtomicU64,
     /// Retained decoder states for incremental refinement, sharded by id.
+    // LOCK-RANK(70): decoder-state shards; the innermost cache lock.
     states: Vec<Mutex<HashMap<u32, ProgressiveMesh>>>,
     /// Per-object decode locks (sharded) so two threads don't decode the
     /// same object twice; mirrors the paper's cuboid-level locks.
+    // LOCK-RANK(50): per-object decode locks; held (cross-function, via
+    // `get`) around lookup/decode/insert, so ranked below both shard tiers.
     locks: Vec<Mutex<()>>,
     capacity_bytes: usize,
 }
@@ -371,6 +376,10 @@ impl DecodeCache {
     /// tails are per-shard LRU minima, so the globally oldest entry is
     /// always one of the tails.
     fn enforce_capacity(&self) {
+        // ORDERING: Relaxed is enough for the budget check — `used` is
+        // only advisory here; the authoritative per-entry accounting sits
+        // behind the shard locks, and an overshoot observed late is
+        // corrected on the next pass around this loop.
         while self.used.load(Ordering::Relaxed) > self.capacity_bytes {
             let mut victim: Option<(usize, u64)> = None;
             let mut entries = 0usize;
@@ -453,6 +462,10 @@ impl DecodeCache {
                     guard.used_bytes
                 ));
             }
+            // ORDERING: Relaxed — ticks were written under this shard's
+            // lock, which we hold; the clock only moves forward, so a
+            // stale read can only make this check more permissive, never
+            // produce a false failure.
             if last_tick != u64::MAX && last_tick > self.clock.load(Ordering::Relaxed) {
                 return Err(format!("shard {si}: entry tick exceeds the clock"));
             }

@@ -67,6 +67,10 @@ impl Deadline {
     #[must_use]
     pub fn is_over(&self) -> bool {
         if let Some(flag) = &self.cancel {
+            // ORDERING: Relaxed — cancellation is level-triggered and
+            // re-polled at every refinement step; no data is transferred
+            // under the flag, so a stale read only delays the stop by one
+            // poll interval.
             if flag.load(Ordering::Relaxed) {
                 return true;
             }

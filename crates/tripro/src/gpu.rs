@@ -48,6 +48,10 @@ impl BatchExecutor {
 
     /// `true` if any pair `(a[i], b[j])` over the full cross product
     /// intersects. Returns `(result, pairs_tested)`.
+    // ORDERING: every atomic in this kernel is Relaxed on purpose — `found`
+    // and the claim counter are advisory early-exit/work-claiming hints
+    // with no data published under them; the pool's `run_with` join is the
+    // happens-before edge that makes all results visible to the caller.
     pub fn any_intersect(&self, a: &[Triangle], b: &[Triangle]) -> (bool, u64) {
         let total = a.len() * b.len();
         if total == 0 {
@@ -89,6 +93,10 @@ impl BatchExecutor {
     /// by nothing (exact). `upper` seeds the running bound so kernels can
     /// skip pairs whose result cannot improve it. Returns
     /// `(min(upper, true minimum), pairs_tested)`.
+    // ORDERING: Relaxed throughout — `zero` is an advisory early-exit hint,
+    // `best_bits` is a monotone minimum maintained by a CAS loop that
+    // re-validates against the current value, and the pool's `run_with`
+    // join publishes the final values to the caller.
     pub fn min_dist2(&self, a: &[Triangle], b: &[Triangle], upper: f64) -> (f64, u64) {
         let total = a.len() * b.len();
         if total == 0 {
@@ -152,6 +160,8 @@ impl BatchExecutor {
     /// Minimum squared distance over an explicit packed pair buffer
     /// (used by the partition+GPU combination where only surviving group
     /// pairs are packed).
+    // ORDERING: same Relaxed discipline as `min_dist2` — advisory hints
+    // plus a monotone CAS minimum; `run_with`'s join is the sync point.
     pub fn min_dist2_pairs(
         &self,
         a: &[Triangle],
@@ -215,6 +225,8 @@ impl BatchExecutor {
     }
 
     /// `true` if any pair in the packed buffer intersects.
+    // ORDERING: same Relaxed discipline as `any_intersect` — advisory
+    // early-exit flag only; `run_with`'s join is the sync point.
     pub fn any_intersect_pairs(
         &self,
         a: &[Triangle],

@@ -55,6 +55,9 @@ pub struct MetricFamily {
 /// Registry of named metrics. See the module docs for the access pattern.
 #[derive(Default)]
 pub struct MetricsRegistry {
+    // LOCK-RANK(95): registration/scrape map; leaf lock of the obs plane,
+    // taken with nothing else held (hot-path updates go through the
+    // pre-registered atomic handles, never this mutex).
     entries: Mutex<BTreeMap<(&'static str, String), Entry>>,
 }
 

@@ -171,6 +171,8 @@ impl Default for TraceConfig {
 /// Lock-free-claim span ring: a `fetch_add` cursor hands out slots
 /// wait-free; each slot is a small mutex so lapped writers stay ordered.
 pub struct SpanRing {
+    // LOCK-RANK(90): per-slot span mutexes; leaf locks of the obs plane,
+    // held only for a single record swap.
     slots: Box<[Mutex<Option<SpanRecord>>]>,
     cursor: AtomicUsize,
 }
@@ -229,6 +231,8 @@ pub struct Tracer {
     slow_threshold_ns: AtomicU64,
     epoch: Instant,
     ring: SpanRing,
+    // LOCK-RANK(91): slow-trace retention list; taken after ring slot
+    // mutexes (90) on the span-finish path, never before them.
     slow: Mutex<SlowLog>,
 }
 
@@ -251,6 +255,10 @@ impl Tracer {
     /// Apply `cfg`'s switch, threshold and retention. The ring capacity is
     /// fixed at first use (the default 4096) — documented limitation that
     /// keeps the ring allocation-free after startup.
+    // ORDERING: Relaxed — the switch and threshold are advisory runtime
+    // tuning; readers tolerate observing them out of order, and the span
+    // payloads themselves are published by the slot mutexes, not by these
+    // flags.
     pub fn configure(&self, cfg: &TraceConfig) {
         self.slow_threshold_ns.store(
             u64::try_from(cfg.slow_threshold.as_nanos()).unwrap_or(u64::MAX),
@@ -261,6 +269,8 @@ impl Tracer {
     }
 
     /// Master switch (used by tests and the overhead-guard bench).
+    // ORDERING: Relaxed — see `configure`; the disabled path must cost one
+    // relaxed load and nothing more.
     pub fn set_enabled(&self, on: bool) {
         self.enabled.store(on, Ordering::Relaxed);
     }
@@ -380,6 +390,8 @@ impl Drop for RequestGuard {
         for s in &spans {
             t.ring.push(s.clone());
         }
+        // ORDERING: Relaxed — the threshold is advisory tuning; a stale
+        // read misclassifies at most the traces racing a reconfigure.
         if total_ns >= t.slow_threshold_ns.load(Ordering::Relaxed) {
             lock(&t.slow).offer(TraceRecord {
                 trace_id: ctx.trace_id,

@@ -74,6 +74,9 @@ struct State {
 }
 
 struct Shared {
+    // LOCK-RANK(40): the pool's single job/worker mutex; above the serve
+    // tier's locks (10–30) because workers are dispatched from there, and
+    // below the cache locks (50–70) that job closures may take.
     state: Mutex<State>,
     /// Workers park here between regions.
     work_cv: Condvar,

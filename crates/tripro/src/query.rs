@@ -785,7 +785,11 @@ impl<'a> Engine<'a> {
         });
         let cuboids = self.target.cuboids(cell);
         let next = std::sync::atomic::AtomicUsize::new(0);
-        let results = std::sync::Mutex::new(Vec::with_capacity(self.target.len()));
+        // LOCK-RANK(80): per-drive result accumulator — a leaf below the
+        // cache locks (50–70); workers take it briefly after finishing a
+        // cuboid, never while holding any other lock.
+        let results: std::sync::Mutex<Vec<(ObjectId, Result<R>)>> =
+            std::sync::Mutex::new(Vec::with_capacity(self.target.len()));
         let workers = cfg.threads.max(1).min(cuboids.len().max(1));
         // Workers come from the persistent process-wide pool (the caller is
         // one of them); each claims whole cuboids so decode-cache locality

@@ -51,6 +51,9 @@ impl ResourceManager {
     /// Minimum squared distance over the cross product `a × b`, evaluated
     /// cooperatively by CPU workers and the device. Returns
     /// `(min(upper, true minimum), pairs_tested, cpu_tasks, device_tasks)`.
+    // ORDERING: Relaxed throughout — `zero` is an advisory early-exit
+    // hint, `best_bits` is a monotone CAS minimum re-validated on every
+    // exchange, and the pool's `run_with` join publishes all results.
     pub fn min_dist2(&self, a: &[Triangle], b: &[Triangle], upper: f64) -> (f64, u64, u64, u64) {
         let total = a.len() * b.len();
         if total == 0 {
@@ -157,6 +160,8 @@ impl ResourceManager {
     }
 
     /// Cooperative any-intersection over the cross product.
+    // ORDERING: Relaxed — `found` is an advisory early-exit flag with no
+    // data published under it; `run_with`'s join is the sync point.
     pub fn any_intersect(&self, a: &[Triangle], b: &[Triangle]) -> (bool, u64) {
         let total = a.len() * b.len();
         if total == 0 {

@@ -72,7 +72,11 @@ impl ObjectStore {
         let mut slots: Vec<Option<std::result::Result<StoredObject, MeshError>>> =
             (0..n).map(|_| None).collect();
         let next = std::sync::atomic::AtomicUsize::new(0);
-        let slots_ref = std::sync::Mutex::new(&mut slots);
+        // LOCK-RANK(80): build-time slot accumulator — a leaf lock; the
+        // encode workers hold nothing else when they store a result.
+        let slots_ref: std::sync::Mutex<
+            &mut Vec<Option<std::result::Result<StoredObject, MeshError>>>,
+        > = std::sync::Mutex::new(&mut slots);
         let threads = cfg.build_threads.max(1).min(n.max(1));
         // Encode on the persistent pool (the caller participates too).
         crate::pool::global().run_with(threads.saturating_sub(1), |_| loop {

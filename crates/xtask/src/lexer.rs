@@ -65,6 +65,9 @@ pub fn lex(src: &str) -> Lexed {
     let mut out = Lexed::default();
     let mut i = 0usize;
     let mut line: u32 = 1;
+    // Whether the most recent comment was a full-line `//` comment (and so
+    // may be extended by the next contiguous full-line `//` comment).
+    let mut last_comment_full_line = false;
 
     let count_lines = |s: &str| s.bytes().filter(|&b| b == b'\n').count() as u32;
 
@@ -81,14 +84,31 @@ pub fn lex(src: &str) -> Lexed {
             continue;
         }
 
-        // Line comment (also doc comments).
+        // Line comment (also doc comments). Contiguous full-line `//` runs
+        // are merged into one block so a marker (`LOCK-RANK`, `ORDERING:`,
+        // `tripro_lint::allow`) anywhere in a multi-line justification
+        // comment annotates the code right below the whole block. Trailing
+        // comments (code earlier on the same line) never join a merge.
         if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
             let end = src[i..].find('\n').map_or(bytes.len(), |n| i + n);
-            out.comments.push(Comment {
-                text: src[i..end].to_string(),
-                line,
-                end_line: line,
-            });
+            let full_line = out.tokens.last().map_or(true, |t| t.line != line);
+            let continues_run = full_line
+                && last_comment_full_line
+                && out.comments.last().is_some_and(|p| p.end_line + 1 == line);
+            if continues_run {
+                if let Some(p) = out.comments.last_mut() {
+                    p.text.push('\n');
+                    p.text.push_str(&src[i..end]);
+                    p.end_line = line;
+                }
+            } else {
+                out.comments.push(Comment {
+                    text: src[i..end].to_string(),
+                    line,
+                    end_line: line,
+                });
+                last_comment_full_line = full_line;
+            }
             i = end;
             continue;
         }
@@ -118,6 +138,7 @@ pub fn lex(src: &str) -> Lexed {
                 line: start_line,
                 end_line: line,
             });
+            last_comment_full_line = false;
             continue;
         }
 
@@ -365,6 +386,23 @@ mod tests {
         // Tokens exclude comments; `y = 2` is on line 3.
         let y = l.tokens.iter().find(|t| t.text == "y").expect("y token");
         assert_eq!(y.line, 3);
+    }
+
+    #[test]
+    fn contiguous_line_comments_merge() {
+        let l = lex("// LOCK-RANK(40): first line\n// continuation line\nlet x = 1;\n// separate\nlet y = 2;");
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].line, 1);
+        assert_eq!(l.comments[0].end_line, 2);
+        assert!(l.comments[0].text.contains("LOCK-RANK"));
+        assert!(l.comments[0].text.contains("continuation"));
+        assert_eq!(l.comments[1].line, 4);
+        assert_eq!(l.comments[1].end_line, 4);
+        // A trailing comment does not join the run below it.
+        let l = lex("let a = 1; // trailing\n// full line\nlet b = 2;");
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].end_line, 1);
+        assert_eq!(l.comments[1].line, 2);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Workspace static analysis for the 3DPro reproduction.
 //!
-//! `cargo xtask lint` enforces four repo-specific correctness rules that
-//! rustc/clippy cannot express (see `docs/invariants.md`):
+//! `cargo xtask lint` enforces seven repo-specific correctness rules that
+//! rustc/clippy cannot express (see `docs/invariants.md` and
+//! `docs/concurrency.md`):
 //!
 //! * **L1 `no_panic`** — library crates on the query hot path must not
 //!   `unwrap()`/`expect()`/`panic!` outside test code.
@@ -11,12 +12,20 @@
 //!   `bool`/`Ordering` must be `#[must_use]`.
 //! * **L4 `safety_comment`** — `unsafe` blocks/impls need a `// SAFETY:`
 //!   comment.
+//! * **L5 `lock_order`** — every `Mutex`/`RwLock` carries a
+//!   `// LOCK-RANK(n):` annotation and locks are acquired in strictly
+//!   ascending rank.
+//! * **L6 `atomic_ordering`** — `Ordering::Relaxed` with publication risk
+//!   and any `SeqCst` need an `// ORDERING:` justification.
+//! * **L7 `condvar_wait_loop`** — condvar waits sit in predicate loops; no
+//!   guard is held across pool dispatch or blocking I/O.
 //!
 //! The driver deliberately avoids external parser crates: a small lexer
-//! (`lexer`) tokenises each file, and the rules (`rules`) walk the token
-//! stream with a comment side-table. That keeps the tool dependency-free and
-//! fast enough to run on every CI push.
+//! (`lexer`) tokenises each file, and the rules (`rules`, `conc`) walk the
+//! token stream with a comment side-table. That keeps the tool
+//! dependency-free and fast enough to run on every CI push.
 
+pub mod conc;
 pub mod lexer;
 pub mod rules;
 
@@ -53,6 +62,17 @@ pub fn rules_for(path: &str) -> Vec<Rule> {
         rules.push(Rule::FloatEq);
     }
     rules.push(Rule::SafetyComment);
+    // Concurrency rules (L5–L7) cover first-party crate sources. The lock
+    // abstraction layer itself (tripro/src/sync.rs: the poison-recovering
+    // helpers and the model explorer) is exempt from L5 — its `&Mutex<T>`
+    // parameters are the helpers every other module is ranked against.
+    if crate_of(path).is_some() && in_src && !path.starts_with("vendor/") {
+        if !path.ends_with("tripro/src/sync.rs") {
+            rules.push(Rule::LockOrder);
+        }
+        rules.push(Rule::AtomicOrdering);
+        rules.push(Rule::CondvarWaitLoop);
+    }
     rules
 }
 
@@ -180,6 +200,73 @@ mod tests {
             let rules = rules_for(file);
             assert!(rules.contains(&Rule::NoPanic), "{file} must be no-panic");
             assert!(rules.contains(&Rule::FloatEq), "{file} must ban float ==");
+        }
+    }
+
+    const CONC_VIOLATIONS: &str = include_str!("../fixtures/conc_violations.rs.fixture");
+    const CONC_CLEAN: &str = include_str!("../fixtures/conc_clean.rs.fixture");
+
+    const CONC: &[Rule] = &[Rule::LockOrder, Rule::AtomicOrdering, Rule::CondvarWaitLoop];
+
+    #[test]
+    fn conc_seeded_violations_all_fire() {
+        let diags = lint_source("crates/tripro/src/fixture.rs", CONC_VIOLATIONS, CONC);
+        assert_eq!(count(&diags, Rule::LockOrder), 6, "{diags:#?}");
+        assert_eq!(count(&diags, Rule::AtomicOrdering), 5, "{diags:#?}");
+        assert_eq!(count(&diags, Rule::CondvarWaitLoop), 3, "{diags:#?}");
+    }
+
+    #[test]
+    fn conc_clean_fixture_passes() {
+        let diags = lint_source("crates/tripro/src/fixture.rs", CONC_CLEAN, CONC);
+        assert!(diags.is_empty(), "{diags:#?}");
+    }
+
+    #[test]
+    fn conc_allow_markers_suppress() {
+        // lock_order: a descending acquisition blessed by its marker.
+        let src = "struct S {\n    // LOCK-RANK(20):\n    a: Mutex<u32>,\n    // LOCK-RANK(10):\n    b: Mutex<u32>,\n}\nfn f(s: &S) {\n    let g = lock(&s.a);\n    // tripro_lint::allow(lock_order): justified\n    let h = lock(&s.b);\n    drop(h);\n    drop(g);\n}\n";
+        let diags = lint_source("crates/tripro/src/x.rs", src, &[Rule::LockOrder]);
+        assert!(diags.is_empty(), "{diags:#?}");
+
+        // atomic_ordering: SeqCst blessed by its marker.
+        let src = "fn f(a: &std::sync::atomic::AtomicU64) -> u64 {\n    // tripro_lint::allow(atomic_ordering): justified\n    a.load(Ordering::SeqCst)\n}\n";
+        let diags = lint_source("crates/tripro/src/x.rs", src, &[Rule::AtomicOrdering]);
+        assert!(diags.is_empty(), "{diags:#?}");
+
+        // condvar_wait_loop: blocking under a guard blessed by its marker.
+        let src = "fn f(m: &M, w: &mut W) {\n    let g = lock(&m.inner);\n    // tripro_lint::allow(condvar_wait_loop): justified\n    let _ = w.flush();\n    drop(g);\n}\n";
+        let diags = lint_source("crates/tripro/src/x.rs", src, &[Rule::CondvarWaitLoop]);
+        assert!(diags.is_empty(), "{diags:#?}");
+    }
+
+    #[test]
+    fn conc_rules_scoped_to_first_party_src() {
+        let tripro = rules_for("crates/tripro/src/cache.rs");
+        for r in CONC {
+            assert!(tripro.contains(r), "{r:?} must cover tripro src");
+        }
+        // The lock abstraction layer is exempt from L5 only.
+        let sync = rules_for("crates/tripro/src/sync.rs");
+        assert!(!sync.contains(&Rule::LockOrder));
+        assert!(sync.contains(&Rule::AtomicOrdering));
+        // Vendored stubs and integration tests are out of scope.
+        for path in ["vendor/rand/src/lib.rs", "tests/concurrency.rs"] {
+            let rules = rules_for(path);
+            for r in CONC {
+                assert!(!rules.contains(r), "{r:?} must not cover {path}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_rule_has_an_explanation() {
+        for r in rules::ALL_RULES {
+            assert!(
+                r.explain().contains(r.name()),
+                "explain() for {r:?} must name the rule"
+            );
+            assert!(Rule::from_name(r.name()) == Some(*r));
         }
     }
 

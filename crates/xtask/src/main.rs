@@ -1,12 +1,14 @@
 //! `cargo xtask <command>` — workspace automation.
 //!
 //! Commands:
-//! * `lint` — run the repo-specific static-analysis rules (L1–L4) over every
+//! * `lint` — run the repo-specific static-analysis rules (L1–L7) over every
 //!   workspace source file; exits 1 if any diagnostic is produced.
 //! * `lint --list` — print the rule set and scoping, then exit 0.
+//! * `lint --explain <rule>` — print one rule's rationale, then exit 0.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use xtask::rules::{Rule, ALL_RULES};
 
 fn workspace_root() -> PathBuf {
     // CARGO_MANIFEST_DIR = <root>/crates/xtask at compile time; when run via
@@ -19,15 +21,39 @@ fn workspace_root() -> PathBuf {
 
 fn print_rules() {
     println!("rules enforced by `cargo xtask lint`:");
-    println!("  no_panic        no unwrap()/expect()/panic!/todo!/unimplemented! in");
-    println!("                  non-test code of geom, coder, mesh, index, tripro, serve");
-    println!("  float_eq        no naked float ==/!= outside geom::eps and tests");
-    println!("  must_use        public bool/Ordering predicates in geom and mesh");
-    println!("                  must be #[must_use]");
-    println!("  safety_comment  unsafe blocks/impls need a // SAFETY: comment");
+    println!("  no_panic           no unwrap()/expect()/panic!/todo!/unimplemented! in");
+    println!("                     non-test code of geom, coder, mesh, index, tripro, serve");
+    println!("  float_eq           no naked float ==/!= outside geom::eps and tests");
+    println!("  must_use           public bool/Ordering predicates in geom and mesh");
+    println!("                     must be #[must_use]");
+    println!("  safety_comment     unsafe blocks/impls need a // SAFETY: comment");
+    println!("  lock_order         every Mutex/RwLock carries // LOCK-RANK(n): and locks");
+    println!("                     are acquired in strictly ascending rank");
+    println!("  atomic_ordering    Relaxed stores/guard-loads and any SeqCst need an");
+    println!("                     // ORDERING: justification");
+    println!("  condvar_wait_loop  condvar waits sit in predicate loops; no guard held");
+    println!("                     across pool dispatch or blocking I/O");
     println!();
     println!("suppress a finding with a comment on the same or previous line:");
     println!("  // tripro_lint::allow(<rule>): <justification>");
+    println!();
+    println!("`cargo xtask lint --explain <rule>` prints a rule's full rationale.");
+}
+
+fn explain(name: &str) -> ExitCode {
+    match Rule::from_name(name) {
+        Some(rule) => {
+            println!("{}", rule.explain());
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("xtask lint: unknown rule `{name}`; known rules:");
+            for r in ALL_RULES {
+                eprintln!("  {}", r.name());
+            }
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -37,6 +63,13 @@ fn main() -> ExitCode {
             if args.iter().any(|a| a == "--list") {
                 print_rules();
                 return ExitCode::SUCCESS;
+            }
+            if let Some(pos) = args.iter().position(|a| a == "--explain") {
+                let Some(name) = args.get(pos + 1) else {
+                    eprintln!("usage: cargo xtask lint --explain <rule>");
+                    return ExitCode::FAILURE;
+                };
+                return explain(name);
             }
             let root = workspace_root();
             match xtask::lint_workspace(&root) {
@@ -58,7 +91,7 @@ fn main() -> ExitCode {
             }
         }
         _ => {
-            eprintln!("usage: cargo xtask lint [--list]");
+            eprintln!("usage: cargo xtask lint [--list | --explain <rule>]");
             ExitCode::FAILURE
         }
     }

@@ -1,4 +1,5 @@
-//! The repo-specific lint rules (L1–L4); see `docs/invariants.md`.
+//! The repo-specific lint rules (L1–L7); see `docs/invariants.md` and
+//! `docs/concurrency.md`.
 //!
 //! Rules operate on the token stream from [`crate::lexer`], so strings and
 //! comments can't produce false positives. Test code (`#[cfg(test)]` mods
@@ -23,7 +24,27 @@ pub enum Rule {
     MustUse,
     /// L4: every `unsafe` block/impl has a `// SAFETY:` comment.
     SafetyComment,
+    /// L5: every `Mutex`/`RwLock` carries `// LOCK-RANK(n):` and locks are
+    /// acquired in strictly ascending rank (no cycles, no re-entry).
+    LockOrder,
+    /// L6: `Ordering::Relaxed` on publishing stores / guard loads and any
+    /// `SeqCst` need an `// ORDERING:` justification.
+    AtomicOrdering,
+    /// L7: `Condvar::wait` sits in a predicate loop; no guard is held
+    /// across pool dispatch or blocking I/O.
+    CondvarWaitLoop,
 }
+
+/// All rules, in L-number order (for `--list`/`--explain`).
+pub const ALL_RULES: &[Rule] = &[
+    Rule::NoPanic,
+    Rule::FloatEq,
+    Rule::MustUse,
+    Rule::SafetyComment,
+    Rule::LockOrder,
+    Rule::AtomicOrdering,
+    Rule::CondvarWaitLoop,
+];
 
 impl Rule {
     #[must_use]
@@ -33,6 +54,92 @@ impl Rule {
             Rule::FloatEq => "float_eq",
             Rule::MustUse => "must_use",
             Rule::SafetyComment => "safety_comment",
+            Rule::LockOrder => "lock_order",
+            Rule::AtomicOrdering => "atomic_ordering",
+            Rule::CondvarWaitLoop => "condvar_wait_loop",
+        }
+    }
+
+    /// Parse a rule from its `name()` form.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Rule> {
+        ALL_RULES.iter().copied().find(|r| r.name() == name)
+    }
+
+    /// The rationale printed by `cargo xtask lint --explain <rule>`.
+    #[must_use]
+    pub fn explain(self) -> &'static str {
+        match self {
+            Rule::NoPanic => {
+                "L1 no_panic\n\
+                 Library crates on the decode/refine hot path must not call\n\
+                 `unwrap()`/`expect()` or invoke `panic!`/`todo!`/`unimplemented!`\n\
+                 outside test code. A panic aborts the worker that hit it and loses\n\
+                 the whole query batch; corrupt input streams are an expected event\n\
+                 (tests/robustness.rs), so fallibility must travel through\n\
+                 Result/Option. Suppress a justified site with\n\
+                 `// tripro_lint::allow(no_panic): <why>`."
+            }
+            Rule::FloatEq => {
+                "L2 float_eq\n\
+                 No naked `==`/`!=` against float literals. Exact float comparison\n\
+                 hides the tolerance decision that the correctness argument in\n\
+                 docs/CORRECTNESS.md depends on; route comparisons through\n\
+                 `geom::eps` (approx_eq / is_exactly_zero) so every tolerance is\n\
+                 explicit and auditable. The eps module itself is exempt — it is\n\
+                 where exact comparison is the point."
+            }
+            Rule::MustUse => {
+                "L3 must_use\n\
+                 Public predicates in geom/mesh returning `bool` or an ordering\n\
+                 must carry `#[must_use]`. These functions are correctness checks\n\
+                 (containment, orientation, intersection); a silently dropped\n\
+                 result means a check that never happened."
+            }
+            Rule::SafetyComment => {
+                "L4 safety_comment\n\
+                 Every `unsafe` block or unsafe trait impl carries a `// SAFETY:`\n\
+                 comment within the three lines above it stating the invariant\n\
+                 that makes the code sound. The comment is the reviewable artifact\n\
+                 — absent it, the soundness argument lives in someone's head."
+            }
+            Rule::LockOrder => {
+                "L5 lock_order\n\
+                 Every `Mutex`/`RwLock` declaration carries a `// LOCK-RANK(n):`\n\
+                 annotation placing it in the global lock hierarchy\n\
+                 (docs/concurrency.md), and within a function locks may only be\n\
+                 acquired in strictly ascending rank while another guard is live.\n\
+                 Ascending-only acquisition makes wait-for cycles — and therefore\n\
+                 deadlocks — impossible by construction. The check is lexical\n\
+                 (per function body); cross-function nesting is governed by the\n\
+                 documented hierarchy. Re-acquiring a lock already held is always\n\
+                 an error: std mutexes are not reentrant. Suppress with\n\
+                 `// tripro_lint::allow(lock_order): <why>`."
+            }
+            Rule::AtomicOrdering => {
+                "L6 atomic_ordering\n\
+                 `Ordering::Relaxed` is flagged on operations with publication\n\
+                 risk — `store`/`swap`/`compare_exchange`/`fetch_update`, and\n\
+                 loads (or RMWs) used as `if`/`while` guards — because Relaxed\n\
+                 provides no happens-before edge: a reader can observe the flag\n\
+                 before the data it guards. `SeqCst` is flagged everywhere as\n\
+                 over-synchronization that usually means the real acquire/release\n\
+                 edge was never identified. Both are allowed when justified by an\n\
+                 `// ORDERING:` comment (same line, up to three lines above, or\n\
+                 above the enclosing `fn` to bless a whole kernel). Pure counters\n\
+                 (`fetch_add` on statistics) are exempt."
+            }
+            Rule::CondvarWaitLoop => {
+                "L7 condvar_wait_loop\n\
+                 Two checks. (1) `wait`/`wait_timeout` must sit inside a `while`\n\
+                 or `loop` body that re-checks the predicate: condvar wakeups are\n\
+                 spurious-prone, and a single-shot wait misses a notification\n\
+                 that fires between unlock and park. (2) No lock guard may be\n\
+                 lexically live across a blocking call (pool `run_with`, socket\n\
+                 write_all/flush/read, `sleep`, `join`): blocking under a lock\n\
+                 stalls every contender for the full latency of the operation.\n\
+                 Suppress with `// tripro_lint::allow(condvar_wait_loop): <why>`."
+            }
         }
     }
 }
@@ -78,6 +185,13 @@ pub fn lint_source(path: &str, src: &str, rules: &[Rule]) -> Vec<Diagnostic> {
             Rule::FloatEq => check_float_eq(path, &lexed, &in_scope, &mut out),
             Rule::MustUse => check_must_use(path, &lexed, &in_scope, &mut out),
             Rule::SafetyComment => check_safety(path, &lexed, &blessed, &mut out),
+            Rule::LockOrder => crate::conc::check_lock_order(path, &lexed, &in_scope, &mut out),
+            Rule::AtomicOrdering => {
+                crate::conc::check_atomic_ordering(path, &lexed, &in_scope, &mut out);
+            }
+            Rule::CondvarWaitLoop => {
+                crate::conc::check_condvar_wait_loop(path, &lexed, &in_scope, &mut out);
+            }
         }
     }
     out.sort_by_key(|d| d.line);
