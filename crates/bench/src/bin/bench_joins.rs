@@ -10,8 +10,13 @@
 //! The JSON is hand-rolled (every value is a number or a fixed label, no
 //! escaping needed) to keep the workspace dependency-free.
 
-use tripro::{Accel, Paradigm};
+use tripro::{Accel, ExecMode, Paradigm};
 use tripro_bench::harness::{threads, Scale, TestId, Workloads};
+
+fn u64s(v: &[u64]) -> String {
+    let items: Vec<String> = v.iter().map(u64::to_string).collect();
+    format!("[{}]", items.join(","))
+}
 
 fn cell_json(
     test: TestId,
@@ -101,10 +106,80 @@ fn main() {
         ));
     }
 
+    // Pipelined vs phase-sequential driver on the representative FPR+AABB
+    // cell: the overlap win plus the per-stage occupancy evidence
+    // (stage_ns summing past wall-clock = stages genuinely ran
+    // concurrently; overlap_factor is that ratio).
+    let mut overlap = Vec::new();
+    for test in TestId::selected() {
+        let lods = w.profile_lods(test, Accel::Aabb);
+        let p = Paradigm::FilterProgressiveRefine;
+        let phased = w.run_with_exec(
+            test,
+            p,
+            Accel::Aabb,
+            Some(lods.clone()),
+            n_threads,
+            ExecMode::Phased,
+        );
+        let piped = w.run_with_exec(
+            test,
+            p,
+            Accel::Aabb,
+            Some(lods),
+            n_threads,
+            ExecMode::Pipelined,
+        );
+        let speedup = if piped.seconds > 0.0 {
+            phased.seconds / piped.seconds
+        } else {
+            1.0
+        };
+        let overlap_factor = piped
+            .stats
+            .overlap_factor(std::time::Duration::from_secs_f64(piped.seconds));
+        eprintln!(
+            "[bench_joins] {} exec: phased={:.3}s pipelined={:.3}s speedup={:.2}x overlap={:.2}",
+            test.label(),
+            phased.seconds,
+            piped.seconds,
+            speedup,
+            overlap_factor
+        );
+        assert_eq!(
+            phased.matches,
+            piped.matches,
+            "{}: drivers disagree on match count",
+            test.label()
+        );
+        overlap.push(format!(
+            concat!(
+                "{{\"test\":\"{}\",\"paradigm\":\"FPR\",\"accel\":\"AABB\",",
+                "\"seconds_phased\":{:.6},\"seconds_pipelined\":{:.6},",
+                "\"speedup\":{:.4},\"overlap_factor\":{:.4},",
+                "\"stage_ns\":{},\"stage_items\":{},\"queue_stalls\":{}}}"
+            ),
+            test.label(),
+            phased.seconds,
+            piped.seconds,
+            speedup,
+            overlap_factor,
+            u64s(&piped.stats.stage_ns),
+            u64s(&piped.stats.stage_items),
+            u64s(&piped.stats.queue_stalls)
+        ));
+    }
+
     let json = format!(
-        "{{\"scale\":\"{scale:?}\",\"threads\":{n_threads},\"cells\":[{}],\"thread_scaling\":[{}]}}\n",
-        cells.join(","),
-        scaling.join(",")
+        concat!(
+            "{{\"scale\":\"{scale:?}\",\"threads\":{n_threads},\"cells\":[{cells}],",
+            "\"thread_scaling\":[{scaling}],\"exec_overlap\":[{overlap}]}}\n"
+        ),
+        scale = scale,
+        n_threads = n_threads,
+        cells = cells.join(","),
+        scaling = scaling.join(","),
+        overlap = overlap.join(",")
     );
     let dir = std::path::Path::new("target/harness");
     std::fs::create_dir_all(dir).expect("create target/harness");

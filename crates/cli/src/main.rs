@@ -9,7 +9,7 @@
 //! tripro query within    --target DIR --source DIR --distance D [...]
 //! tripro query nn        --target DIR --source DIR [--k K] [...]
 //! tripro serve           --target DIR --source DIR [--addr A] [...]
-//! tripro metrics         [--addr A] [--check]
+//! tripro metrics         [--addr A] [--check] [--stages]
 //! tripro trace           --target DIR --source DIR --slow MS [--kind K]
 //! ```
 
@@ -93,11 +93,14 @@ USAGE:
       server exits after SECS; otherwise it runs until a Shutdown frame
       (e.g. `tripro-load --shutdown`).
 
-  tripro metrics [--addr HOST:PORT] [--check]
+  tripro metrics [--addr HOST:PORT] [--check] [--stages]
       Fetch a running server's metrics registry (a v2 Metrics frame) and
       print the Prometheus text exposition. --check validates the
-      exposition format and fails on malformed output. Default --addr
-      127.0.0.1:3750. See docs/observability.md for the metric inventory.
+      exposition format and fails on malformed output. --stages instead
+      issues a v3 StatsEx frame and prints the pipelined executor's
+      per-stage wall time, item counts and queue-full stalls. Default
+      --addr 127.0.0.1:3750. See docs/observability.md for the metric
+      inventory.
 
   tripro trace --target DIR --source DIR [--slow MS] [--kind intersect|within|nn|knn]
                [--keep N] [--fr] [--accel A] [--k K] [--distance D]

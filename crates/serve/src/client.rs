@@ -7,8 +7,8 @@
 //! into a [`QueryReply`].
 
 use crate::protocol::{
-    encode_request, read_response, write_frame, ErrorCode, Request, Response, StatsPayload,
-    MIN_VERSION, VERSION,
+    encode_request, read_response, write_frame, ErrorCode, Request, Response, StatsExPayload,
+    StatsPayload, MIN_VERSION, VERSION,
 };
 use crate::ServeError;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -111,6 +111,15 @@ impl Client {
         match self.roundtrip(&Request::Stats)? {
             Response::StatsOk(s) => Ok(s),
             _ => Err(ServeError::Unexpected("non-stats reply to stats")),
+        }
+    }
+
+    /// Extended stats: service counters plus the engine's per-stage
+    /// pipeline breakdown (v3+); answered inline even under overload.
+    pub fn stats_ex(&mut self) -> Result<StatsExPayload, ServeError> {
+        match self.roundtrip(&Request::StatsEx)? {
+            Response::StatsExOk(s) => Ok(s),
+            _ => Err(ServeError::Unexpected("non-stats reply to stats-ex")),
         }
     }
 

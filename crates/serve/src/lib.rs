@@ -29,7 +29,7 @@ pub mod protocol;
 pub mod server;
 
 pub use client::{Client, QueryReply};
-pub use protocol::{ErrorCode, Request, Response, StatsPayload, WireError};
+pub use protocol::{ErrorCode, Request, Response, StatsExPayload, StatsPayload, WireError};
 pub use server::{ServeConfig, Server};
 
 /// Errors surfaced by the server runtime and the blocking client.

@@ -22,10 +22,12 @@ use std::io::{Read, Write};
 /// Frame magic ("=P" little-endian): rejects non-protocol peers early.
 pub const MAGIC: u16 = 0x3D50;
 
-/// The protocol version this build speaks. Version 2 adds the
-/// `Metrics`/`MetricsOk` frame pair; every v1 frame is unchanged, so both
-/// ends accept the whole [`MIN_VERSION`]`..=`[`VERSION`] range.
-pub const VERSION: u8 = 2;
+/// The protocol version this build speaks. Version 2 added the
+/// `Metrics`/`MetricsOk` frame pair; version 3 adds `StatsEx`/`StatsExOk`
+/// (extended stats: failure counts plus the engine's per-stage pipeline
+/// breakdown). Every older frame is unchanged, so both ends accept the
+/// whole [`MIN_VERSION`]`..=`[`VERSION`] range.
+pub const VERSION: u8 = 3;
 
 /// Oldest protocol version this build still accepts.
 pub const MIN_VERSION: u8 = 1;
@@ -48,6 +50,7 @@ const K_HEALTH: u8 = 0x02;
 const K_STATS: u8 = 0x03;
 const K_SHUTDOWN: u8 = 0x04;
 const K_METRICS: u8 = 0x05; // v2+
+const K_STATS_EX: u8 = 0x06; // v3+
 const K_CONTAINS: u8 = 0x10;
 const K_INTERSECT: u8 = 0x11;
 const K_WITHIN: u8 = 0x12;
@@ -58,6 +61,7 @@ const K_HEALTH_OK: u8 = 0x82;
 const K_STATS_OK: u8 = 0x83;
 const K_SHUTDOWN_OK: u8 = 0x84;
 const K_METRICS_OK: u8 = 0x85; // v2+
+const K_STATS_EX_OK: u8 = 0x86; // v3+
 const K_PAGE: u8 = 0x90;
 const K_ERROR: u8 = 0xFF;
 
@@ -148,6 +152,40 @@ pub struct StatsPayload {
     pub source_objects: u64,
 }
 
+/// Extended counters reported by a [`Response::StatsExOk`] frame (v3+):
+/// the v1 `StatsPayload` fields plus execution failures and the engine's
+/// cumulative time breakdown, including the pipelined executor's
+/// per-stage wall time and queue-stall counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsExPayload {
+    // Service lifecycle (StatsPayload superset).
+    pub admitted: u64,
+    pub shed: u64,
+    pub deadline_expired: u64,
+    pub completed: u64,
+    /// Admitted requests that failed in execution — absent from the v1
+    /// frame, which could not reconcile `admitted` against outcomes.
+    pub failed: u64,
+    pub protocol_errors: u64,
+    pub target_objects: u64,
+    pub source_objects: u64,
+    // Engine cumulative execution breakdown.
+    pub filter_ns: u64,
+    pub decode_ns: u64,
+    pub compute_ns: u64,
+    pub face_pair_tests: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub decodes: u64,
+    /// Busy nanoseconds per pipeline stage (generate/decode/build/eval).
+    pub stage_ns: [u64; 4],
+    /// Items processed per pipeline stage.
+    pub stage_items: [u64; 4],
+    /// Backpressure stalls per inter-stage queue
+    /// (gen→decode, decode→build, build→eval).
+    pub queue_stalls: [u64; 3],
+}
+
 /// Client → server frames.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -162,6 +200,10 @@ pub enum Request {
     /// Prometheus text exposition of the server's metrics registry;
     /// answered inline even under overload (v2+).
     Metrics,
+    /// Extended stats (v3+): service counters plus the engine's
+    /// cumulative per-stage pipeline breakdown; answered inline even
+    /// under overload.
+    StatsEx,
     /// Ids of target-store objects containing the point.
     Contains { p: [f64; 3], deadline_ms: u32 },
     /// Source objects intersecting target object `target`.
@@ -197,6 +239,8 @@ pub enum Response {
     MetricsOk {
         text: String,
     },
+    /// Extended stats (v3+).
+    StatsExOk(StatsExPayload),
     /// One page of result ids; `last` marks the final page of a request.
     Page {
         last: bool,
@@ -359,6 +403,7 @@ pub fn encode_request(request_id: u64, req: &Request) -> Vec<u8> {
         Request::Stats => K_STATS,
         Request::Shutdown => K_SHUTDOWN,
         Request::Metrics => K_METRICS,
+        Request::StatsEx => K_STATS_EX,
         Request::Contains {
             p: point,
             deadline_ms,
@@ -421,6 +466,7 @@ pub fn decode_request_body(kind: u8, payload: &[u8]) -> Result<Request, WireErro
         K_STATS => Request::Stats,
         K_SHUTDOWN => Request::Shutdown,
         K_METRICS => Request::Metrics,
+        K_STATS_EX => Request::StatsEx,
         K_CONTAINS => Request::Contains {
             p: [c.f64()?, c.f64()?, c.f64()?],
             deadline_ms: c.u32()?,
@@ -498,6 +544,33 @@ pub fn encode_response(request_id: u64, resp: &Response) -> Vec<u8> {
             p.extend_from_slice(bytes);
             K_METRICS_OK
         }
+        Response::StatsExOk(s) => {
+            put_u64(&mut p, s.admitted);
+            put_u64(&mut p, s.shed);
+            put_u64(&mut p, s.deadline_expired);
+            put_u64(&mut p, s.completed);
+            put_u64(&mut p, s.failed);
+            put_u64(&mut p, s.protocol_errors);
+            put_u64(&mut p, s.target_objects);
+            put_u64(&mut p, s.source_objects);
+            put_u64(&mut p, s.filter_ns);
+            put_u64(&mut p, s.decode_ns);
+            put_u64(&mut p, s.compute_ns);
+            put_u64(&mut p, s.face_pair_tests);
+            put_u64(&mut p, s.cache_hits);
+            put_u64(&mut p, s.cache_misses);
+            put_u64(&mut p, s.decodes);
+            for v in s.stage_ns {
+                put_u64(&mut p, v);
+            }
+            for v in s.stage_items {
+                put_u64(&mut p, v);
+            }
+            for v in s.queue_stalls {
+                put_u64(&mut p, v);
+            }
+            K_STATS_EX_OK
+        }
         Response::Page { last, ids } => {
             p.push(u8::from(*last));
             put_u32(&mut p, ids.len() as u32);
@@ -541,6 +614,26 @@ pub fn decode_response_body(kind: u8, payload: &[u8]) -> Result<Response, WireEr
                 text: String::from_utf8_lossy(bytes).into_owned(),
             }
         }
+        K_STATS_EX_OK => Response::StatsExOk(StatsExPayload {
+            admitted: c.u64()?,
+            shed: c.u64()?,
+            deadline_expired: c.u64()?,
+            completed: c.u64()?,
+            failed: c.u64()?,
+            protocol_errors: c.u64()?,
+            target_objects: c.u64()?,
+            source_objects: c.u64()?,
+            filter_ns: c.u64()?,
+            decode_ns: c.u64()?,
+            compute_ns: c.u64()?,
+            face_pair_tests: c.u64()?,
+            cache_hits: c.u64()?,
+            cache_misses: c.u64()?,
+            decodes: c.u64()?,
+            stage_ns: [c.u64()?, c.u64()?, c.u64()?, c.u64()?],
+            stage_items: [c.u64()?, c.u64()?, c.u64()?, c.u64()?],
+            queue_stalls: [c.u64()?, c.u64()?, c.u64()?],
+        }),
         K_PAGE => {
             let last = c.u8()? != 0;
             let count = c.u32()? as usize;
@@ -668,6 +761,7 @@ mod tests {
         roundtrip_request(Request::Stats);
         roundtrip_request(Request::Shutdown);
         roundtrip_request(Request::Metrics);
+        roundtrip_request(Request::StatsEx);
         roundtrip_request(Request::Contains {
             p: [1.5, -2.25, 1e300],
             deadline_ms: 250,
@@ -712,6 +806,27 @@ mod tests {
         roundtrip_response(Response::MetricsOk {
             text: "# TYPE t counter\nt 1\n".to_string(),
         });
+        roundtrip_response(Response::StatsExOk(StatsExPayload::default()));
+        roundtrip_response(Response::StatsExOk(StatsExPayload {
+            admitted: 1,
+            shed: 2,
+            deadline_expired: 3,
+            completed: 4,
+            failed: 5,
+            protocol_errors: 6,
+            target_objects: 7,
+            source_objects: 8,
+            filter_ns: 9,
+            decode_ns: 10,
+            compute_ns: 11,
+            face_pair_tests: 12,
+            cache_hits: 13,
+            cache_misses: 14,
+            decodes: 15,
+            stage_ns: [16, 17, 18, 19],
+            stage_items: [20, 21, 22, 23],
+            queue_stalls: [24, 25, 26],
+        }));
         roundtrip_response(Response::Page {
             last: false,
             ids: vec![1, 2, 3],

@@ -37,7 +37,7 @@
 
 use crate::protocol::{
     self, decode_header, decode_request_body, encode_response, ErrorCode, Header, Request,
-    Response, StatsPayload, HEADER_LEN, MIN_VERSION, NO_DEADLINE_MS, VERSION,
+    Response, StatsExPayload, StatsPayload, HEADER_LEN, MIN_VERSION, NO_DEADLINE_MS, VERSION,
 };
 use crate::ServeError;
 use std::collections::VecDeque;
@@ -257,6 +257,42 @@ impl Core {
             protocol_errors: s.protocol_errors,
             target_objects: self.target.len() as u64,
             source_objects: self.source.len() as u64,
+        }
+    }
+
+    fn stats_ex_payload(&self) -> StatsExPayload {
+        let s = self.stats.snapshot();
+        let e = self.exec_stats.snapshot();
+        let arr4 = |v: &[u64]| {
+            let mut a = [0u64; 4];
+            for (dst, src) in a.iter_mut().zip(v) {
+                *dst = *src;
+            }
+            a
+        };
+        let mut queue_stalls = [0u64; 3];
+        for (dst, src) in queue_stalls.iter_mut().zip(&e.queue_stalls) {
+            *dst = *src;
+        }
+        StatsExPayload {
+            admitted: s.admitted,
+            shed: s.shed,
+            deadline_expired: s.deadline_expired,
+            completed: s.completed,
+            failed: s.failed,
+            protocol_errors: s.protocol_errors,
+            target_objects: self.target.len() as u64,
+            source_objects: self.source.len() as u64,
+            filter_ns: e.filter_ns,
+            decode_ns: e.decode_ns,
+            compute_ns: e.compute_ns,
+            face_pair_tests: e.face_pair_tests,
+            cache_hits: e.cache_hits,
+            cache_misses: e.cache_misses,
+            decodes: e.decodes,
+            stage_ns: arr4(&e.stage_ns),
+            stage_items: arr4(&e.stage_items),
+            queue_stalls,
         }
     }
 
@@ -689,6 +725,10 @@ fn handle_frame(
                     text: obs::render_global(),
                 },
             );
+            return true;
+        }
+        Request::StatsEx => {
+            writer.send_response(id, &Response::StatsExOk(core.stats_ex_payload()));
             return true;
         }
         Request::Shutdown => {

@@ -1,0 +1,704 @@
+//! Streaming pipeline plumbing for the join executor: bounded MPMC
+//! channels plus a work-conserving stage scheduler on [`crate::pool`].
+//!
+//! The phase-sequential driver runs candidate generation, PPVP decode,
+//! accelerator build and kernel evaluation as strict barriers per batch,
+//! so decode stalls geometry work and vice versa. This module connects
+//! the four stages with bounded queues so batch N's kernel evaluation
+//! overlaps batch N+1's decode (the 3DPipe observation — see
+//! docs/performance.md §7 for the stage diagram and tuning knobs):
+//!
+//! ```text
+//!   generate ──qa──▶ decode ──qb──▶ build ──qc──▶ eval
+//!   (cuboid     (batched LOD     (AABB/OBB      (face-pair kernels,
+//!    order)      cache fill)      tree touch)    GPU-chunk flushing)
+//! ```
+//!
+//! ## Execution model
+//!
+//! There are no dedicated per-stage threads. Every pool participant runs
+//! the same loop: drain the *latest* stage with work available (sink
+//! first, so finished work retires before new work is admitted), else
+//! claim the next generator input, else park on the hub condvar. This
+//! keeps the pipeline work-conserving — a single participant completes
+//! the whole pipeline alone, which the help-first pool requires (helpers
+//! may never wake).
+//!
+//! ## Backpressure
+//!
+//! Queues are bounded. A producer that finds its downstream queue full
+//! does not block and does not drop: it runs the downstream stage
+//! *inline* on the item it holds (recorded as a stall in
+//! [`ExecStats::queue_stalls`]). A slow kernel stage therefore throttles
+//! decode to its own pace instead of ballooning decoded geometry in
+//! memory — and inline fallback cannot deadlock because it never waits.
+//!
+//! ## Cancellation
+//!
+//! The shared [`Deadline`] token is polled at every stage boundary and
+//! while parked. On expiry one worker flips the hub abort flag, closes
+//! every queue and wakes all parkers; in-flight items are dropped, every
+//! participant returns promptly, and [`run_pipeline`] surfaces the typed
+//! [`Error::DeadlineExceeded`].
+
+use crate::deadline::Deadline;
+use crate::error::{Error, Result};
+use crate::obs;
+use crate::stats::ExecStats;
+use crate::sync::{lock, wait_timeout, Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Default bound for each inter-stage queue, in items. Deep enough to
+/// absorb stage-latency jitter, shallow enough that backpressure engages
+/// before decoded geometry balloons (each item is a cuboid batch or a
+/// single evaluation target).
+pub const DEFAULT_QUEUE_CAP: usize = 8;
+
+/// How long a parked worker sleeps before re-polling the shared
+/// [`Deadline`]; bounds cancellation latency while parked.
+const PARK_POLL: Duration = Duration::from_millis(1);
+
+/// Outcome of a non-blocking push; `Full`/`Closed` hand the item back so
+/// the producer can run the downstream stage inline or drop it.
+pub enum PushOutcome<T> {
+    /// Enqueued; carries the queue depth after the push.
+    Pushed(usize),
+    /// Queue at capacity — backpressure the producer.
+    Full(T),
+    /// Queue closed (pipeline aborting) — drop the item.
+    Closed(T),
+}
+
+/// Outcome of a non-blocking pop.
+pub enum PopOutcome<T> {
+    /// An item.
+    Item(T),
+    /// Nothing queued right now.
+    Empty,
+    /// Closed and drained: no item will ever arrive.
+    Closed,
+}
+
+struct ChanState<T> {
+    q: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer queue connecting two pipeline
+/// stages. Non-blocking by design: waiting is centralised on the
+/// pipeline hub condvar, so the channel itself needs no condition
+/// variables and its mutex is only ever held for O(1) queue operations.
+pub struct Channel<T> {
+    // LOCK-RANK(45): inter-stage queue lock; above the pipeline hub (44)
+    // because the hub's park predicate inspects queue depths while
+    // holding the hub mutex, and below the cache locks (50+) because no
+    // decode work ever runs under a channel guard.
+    chan: Mutex<ChanState<T>>,
+    cap: usize,
+}
+
+impl<T> Channel<T> {
+    /// A channel bounded at `cap` items (minimum 1).
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        Self {
+            chan: Mutex::new(ChanState {
+                q: VecDeque::with_capacity(cap.max(1)),
+                closed: false,
+            }),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Try to enqueue without blocking.
+    pub fn try_push(&self, item: T) -> PushOutcome<T> {
+        let mut st = lock(&self.chan);
+        if st.closed {
+            return PushOutcome::Closed(item);
+        }
+        if st.q.len() >= self.cap {
+            return PushOutcome::Full(item);
+        }
+        st.q.push_back(item);
+        PushOutcome::Pushed(st.q.len())
+    }
+
+    /// Try to dequeue without blocking.
+    pub fn try_pop(&self) -> PopOutcome<T> {
+        let mut st = lock(&self.chan);
+        match st.q.pop_front() {
+            Some(item) => PopOutcome::Item(item),
+            None if st.closed => PopOutcome::Closed,
+            None => PopOutcome::Empty,
+        }
+    }
+
+    /// Close the channel: future pushes are refused, queued items remain
+    /// poppable until drained (consumers distinguish `Empty` from
+    /// `Closed`, so a close never strands work).
+    pub fn close(&self) {
+        lock(&self.chan).closed = true;
+    }
+
+    /// Current queue depth.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        lock(&self.chan).q.len()
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        lock(&self.chan).q.is_empty()
+    }
+
+    /// Whether the channel has been closed.
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        lock(&self.chan).closed
+    }
+}
+
+/// Pipeline stage indices, used for stats/metrics attribution.
+const STAGE_GEN: usize = 0;
+const STAGE_DECODE: usize = 1;
+const STAGE_BUILD: usize = 2;
+const STAGE_EVAL: usize = 3;
+
+struct HubState {
+    /// Next generator input to hand out.
+    next_input: usize,
+    /// Items in flight anywhere in the pipeline (claimed inputs that have
+    /// not yet retired through eval). `next_input == n_inputs` and
+    /// `outstanding == 0` together mean the pipeline is drained.
+    outstanding: usize,
+    /// Deadline expired or cancelled: every participant exits promptly.
+    abort: bool,
+}
+
+struct Hub {
+    // LOCK-RANK(44): pipeline completion/claim hub; below the channel
+    // locks (45) so the park predicate may read queue depths under it,
+    // and above the pool's own state lock (40) which is never held while
+    // pipeline code runs.
+    hub: Mutex<HubState>,
+    /// Parked workers wait here; producers notify under the hub mutex so
+    /// a park-predicate check can never miss a wakeup.
+    cv: Condvar,
+}
+
+/// The shared state of one pipelined join execution. `G` produces an
+/// input batch, `D` decodes it, `K` expands a decoded batch into
+/// evaluation items, `E` evaluates one item.
+struct Pipe<'a, A, B, C, G, D, K, E> {
+    qa: Channel<A>,
+    qb: Channel<B>,
+    qc: Channel<C>,
+    hub: Hub,
+    n_inputs: usize,
+    deadline: &'a Deadline,
+    stats: &'a ExecStats,
+    gen: G,
+    decode: D,
+    build: K,
+    eval: E,
+    /// Workers currently busy per stage, for the concurrent-stage
+    /// occupancy histogram (the direct overlap witness).
+    busy: [AtomicU64; 4],
+}
+
+impl<A, B, C, G, D, K, E> Pipe<'_, A, B, C, G, D, K, E>
+where
+    A: Send,
+    B: Send,
+    C: Send,
+    G: Fn(usize) -> Option<A> + Sync,
+    D: Fn(A) -> B + Sync,
+    K: Fn(B) -> Vec<C> + Sync,
+    E: Fn(C) + Sync,
+{
+    /// Enter stage `stage`: bump its busy count and sample how many
+    /// distinct stages are busy right now (≥2 proves overlap).
+    fn enter_stage(&self, stage: usize) -> Instant {
+        // ORDERING: Relaxed — the busy counters feed a telemetry
+        // histogram only; a momentarily stale count skews one sample,
+        // never correctness.
+        self.busy[stage.min(3)].fetch_add(1, Ordering::Relaxed);
+        let distinct = self
+            .busy
+            .iter()
+            .filter(|b| b.load(Ordering::Relaxed) > 0)
+            .count();
+        obs::pipeline_concurrency_histogram().record(distinct as u64);
+        Instant::now()
+    }
+
+    /// Leave stage `stage`: record busy time into stats and obs.
+    fn leave_stage(&self, stage: usize, started: Instant) {
+        let d = started.elapsed();
+        // ORDERING: Relaxed — telemetry decrement paired with
+        // `enter_stage`; see above.
+        self.busy[stage.min(3)].fetch_sub(1, Ordering::Relaxed);
+        self.stats.add_stage(stage, d);
+        obs::pipeline_stage_histogram(stage).record_duration(d);
+    }
+
+    /// Flip the abort flag, close every queue and wake all parkers.
+    fn abort_all(&self) {
+        let mut h = lock(&self.hub.hub);
+        if !h.abort {
+            h.abort = true;
+            self.qa.close();
+            self.qb.close();
+            self.qc.close();
+        }
+        self.hub.cv.notify_all();
+    }
+
+    fn aborted(&self) -> bool {
+        lock(&self.hub.hub).abort
+    }
+
+    /// Retire `n` in-flight tokens; wakes everyone when the pipeline
+    /// drains so parked participants can exit.
+    fn retire(&self, n: usize) {
+        let mut h = lock(&self.hub.hub);
+        h.outstanding = h.outstanding.saturating_sub(n);
+        if h.outstanding == 0 && h.next_input >= self.n_inputs {
+            self.hub.cv.notify_all();
+        }
+    }
+
+    /// Notify parked workers that new queue work exists. Taking the hub
+    /// mutex orders this against any in-progress park-predicate check,
+    /// which is what makes the handoff lost-wakeup-free.
+    fn wake(&self) {
+        let _h = lock(&self.hub.hub);
+        self.hub.cv.notify_all();
+    }
+
+    /// Stage 4: evaluate one item and retire its token.
+    fn run_eval(&self, item: C) {
+        let t0 = self.enter_stage(STAGE_EVAL);
+        (self.eval)(item);
+        self.leave_stage(STAGE_EVAL, t0);
+        self.retire(1);
+    }
+
+    /// Stage 3: expand a decoded batch into evaluation items. The token
+    /// count goes from 1 (the batch) to `items.len()`, so the hub is
+    /// adjusted before any item can retire.
+    fn run_build(&self, batch: B) {
+        let t0 = self.enter_stage(STAGE_BUILD);
+        let items = (self.build)(batch);
+        self.leave_stage(STAGE_BUILD, t0);
+        if items.is_empty() {
+            self.retire(1);
+            return;
+        }
+        {
+            let mut h = lock(&self.hub.hub);
+            h.outstanding += items.len() - 1;
+        }
+        let mut pushed = false;
+        for item in items {
+            match self.qc.try_push(item) {
+                PushOutcome::Pushed(depth) => {
+                    obs::pipeline_queue_depth_histogram(2).record(depth as u64);
+                    pushed = true;
+                }
+                PushOutcome::Full(item) => {
+                    self.stats.record_stall(2);
+                    // ORDERING: Relaxed — monotonic telemetry counter.
+                    obs::pipeline_stall_counter(2).fetch_add(1, Ordering::Relaxed);
+                    self.run_eval(item);
+                }
+                PushOutcome::Closed(item) => {
+                    drop(item);
+                    self.retire(1);
+                }
+            }
+        }
+        if pushed {
+            self.wake();
+        }
+    }
+
+    /// Stage 2: decode one batch and hand it to build.
+    fn run_decode(&self, batch: A) {
+        let t0 = self.enter_stage(STAGE_DECODE);
+        let decoded = (self.decode)(batch);
+        self.leave_stage(STAGE_DECODE, t0);
+        match self.qb.try_push(decoded) {
+            PushOutcome::Pushed(depth) => {
+                obs::pipeline_queue_depth_histogram(1).record(depth as u64);
+                self.wake();
+            }
+            PushOutcome::Full(decoded) => {
+                self.stats.record_stall(1);
+                // ORDERING: Relaxed — monotonic telemetry counter.
+                obs::pipeline_stall_counter(1).fetch_add(1, Ordering::Relaxed);
+                self.run_build(decoded);
+            }
+            PushOutcome::Closed(decoded) => {
+                drop(decoded);
+                self.retire(1);
+            }
+        }
+    }
+
+    /// Stage 1: materialise generator input `i` and hand it to decode.
+    /// The claim already counted one outstanding token; an empty input
+    /// retires it immediately.
+    fn run_gen(&self, i: usize) {
+        let t0 = self.enter_stage(STAGE_GEN);
+        let item = (self.gen)(i);
+        self.leave_stage(STAGE_GEN, t0);
+        let Some(item) = item else {
+            self.retire(1);
+            return;
+        };
+        match self.qa.try_push(item) {
+            PushOutcome::Pushed(depth) => {
+                obs::pipeline_queue_depth_histogram(0).record(depth as u64);
+                self.wake();
+            }
+            PushOutcome::Full(item) => {
+                self.stats.record_stall(0);
+                // ORDERING: Relaxed — monotonic telemetry counter.
+                obs::pipeline_stall_counter(0).fetch_add(1, Ordering::Relaxed);
+                self.run_decode(item);
+            }
+            PushOutcome::Closed(item) => {
+                drop(item);
+                self.retire(1);
+            }
+        }
+    }
+
+    /// Claim the next generator input, if any remain.
+    fn claim_input(&self) -> Option<usize> {
+        let mut h = lock(&self.hub.hub);
+        if h.abort || h.next_input >= self.n_inputs {
+            return None;
+        }
+        let i = h.next_input;
+        h.next_input += 1;
+        h.outstanding += 1;
+        Some(i)
+    }
+
+    /// Park until queue work appears, inputs remain, the pipeline drains,
+    /// or the deadline expires. Returns `true` if the caller should keep
+    /// looping, `false` if it should exit.
+    fn park(&self) -> bool {
+        let mut h = lock(&self.hub.hub);
+        loop {
+            if h.abort || (h.next_input >= self.n_inputs && h.outstanding == 0) {
+                return false;
+            }
+            // Reading queue depths acquires the channel locks (rank 45)
+            // under the hub (rank 44) — ascending, and the only place the
+            // two ranks nest.
+            if h.next_input < self.n_inputs
+                || !self.qa.is_empty()
+                || !self.qb.is_empty()
+                || !self.qc.is_empty()
+            {
+                return true;
+            }
+            let (guard, timed_out) = wait_timeout(&self.hub.cv, h, PARK_POLL);
+            h = guard;
+            if timed_out && self.deadline.is_over() {
+                h.abort = true;
+                self.qa.close();
+                self.qb.close();
+                self.qc.close();
+                self.hub.cv.notify_all();
+                return false;
+            }
+        }
+    }
+
+    /// The loop every pool participant runs: drain the latest non-empty
+    /// stage first (retire before admit), else start new work, else park.
+    fn worker(&self) {
+        loop {
+            if self.deadline.is_over() {
+                self.abort_all();
+                return;
+            }
+            if self.aborted() {
+                return;
+            }
+            if let PopOutcome::Item(c) = self.qc.try_pop() {
+                self.run_eval(c);
+                continue;
+            }
+            if let PopOutcome::Item(b) = self.qb.try_pop() {
+                self.run_build(b);
+                continue;
+            }
+            if let PopOutcome::Item(a) = self.qa.try_pop() {
+                self.run_decode(a);
+                continue;
+            }
+            if let Some(i) = self.claim_input() {
+                self.run_gen(i);
+                continue;
+            }
+            if !self.park() {
+                return;
+            }
+        }
+    }
+}
+
+/// Run a four-stage streaming pipeline over `n_inputs` generator inputs
+/// on the global worker pool.
+///
+/// * `gen(i)` materialises input `i` (cuboid-ordered candidate batches in
+///   the join driver); `None` skips the input.
+/// * `decode` performs the batched LOD decode for one input.
+/// * `build` turns a decoded batch into independent evaluation items
+///   (accelerator build / per-target expansion).
+/// * `eval` evaluates one item (face-pair kernels; results flow out
+///   through the closure's own accumulator).
+///
+/// `workers` is the total participant count (the caller plus pool
+/// helpers); `queue_cap` bounds every inter-stage queue. Returns
+/// [`Error::DeadlineExceeded`] if the deadline expired or the token was
+/// cancelled before the pipeline drained — in-flight items are dropped,
+/// not evaluated, and every participant has returned by then (the pool's
+/// broadcast region does not complete before its workers do).
+pub fn run_pipeline<A, B, C>(
+    n_inputs: usize,
+    workers: usize,
+    queue_cap: usize,
+    deadline: &Deadline,
+    stats: &ExecStats,
+    gen: impl Fn(usize) -> Option<A> + Sync,
+    decode: impl Fn(A) -> B + Sync,
+    build: impl Fn(B) -> Vec<C> + Sync,
+    eval: impl Fn(C) + Sync,
+) -> Result<()>
+where
+    A: Send,
+    B: Send,
+    C: Send,
+{
+    deadline.check()?;
+    let pipe = Pipe {
+        qa: Channel::new(queue_cap),
+        qb: Channel::new(queue_cap),
+        qc: Channel::new(queue_cap),
+        hub: Hub {
+            hub: Mutex::new(HubState {
+                next_input: 0,
+                outstanding: 0,
+                abort: false,
+            }),
+            cv: Condvar::new(),
+        },
+        n_inputs,
+        deadline,
+        stats,
+        gen,
+        decode,
+        build,
+        eval,
+        busy: std::array::from_fn(|_| AtomicU64::new(0)),
+    };
+    let helpers = workers.max(1) - 1;
+    crate::pool::global().run_with(helpers, |_| pipe.worker());
+    if pipe.aborted() {
+        return Err(Error::DeadlineExceeded);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Mutex as StdMutex;
+
+    #[test]
+    fn channel_bounds_and_closes() {
+        let ch: Channel<u32> = Channel::new(2);
+        assert!(matches!(ch.try_push(1), PushOutcome::Pushed(1)));
+        assert!(matches!(ch.try_push(2), PushOutcome::Pushed(2)));
+        assert!(matches!(ch.try_push(3), PushOutcome::Full(3)));
+        assert_eq!(ch.len(), 2);
+        ch.close();
+        assert!(matches!(ch.try_push(4), PushOutcome::Closed(4)));
+        // Closed channels drain their backlog before reporting Closed.
+        assert!(matches!(ch.try_pop(), PopOutcome::Item(1)));
+        assert!(matches!(ch.try_pop(), PopOutcome::Item(2)));
+        assert!(matches!(ch.try_pop(), PopOutcome::Closed));
+    }
+
+    #[test]
+    fn empty_channel_distinguishes_empty_from_closed() {
+        let ch: Channel<u32> = Channel::new(1);
+        assert!(matches!(ch.try_pop(), PopOutcome::Empty));
+        assert!(!ch.is_closed());
+        ch.close();
+        assert!(ch.is_closed());
+        assert!(matches!(ch.try_pop(), PopOutcome::Closed));
+    }
+
+    #[test]
+    fn pipeline_processes_every_item_exactly_once() {
+        for workers in [1, 4] {
+            let stats = ExecStats::new();
+            let seen = StdMutex::new(Vec::new());
+            let r = run_pipeline(
+                10,
+                workers,
+                2,
+                &Deadline::none(),
+                &stats,
+                |i| Some(i),
+                |i| i * 10,
+                |i| vec![i, i + 1, i + 2],
+                |v| seen.lock().unwrap().push(v),
+            );
+            assert!(r.is_ok());
+            let mut got = seen.into_inner().unwrap();
+            got.sort_unstable();
+            let mut want: Vec<usize> = (0..10)
+                .flat_map(|i| [i * 10, i * 10 + 1, i * 10 + 2])
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "workers={workers}");
+            let snap = stats.snapshot();
+            assert_eq!(snap.stage_items, vec![10, 10, 10, 30]);
+        }
+    }
+
+    #[test]
+    fn empty_generator_inputs_are_skipped() {
+        let stats = ExecStats::new();
+        let count = AtomicUsize::new(0);
+        let r = run_pipeline(
+            8,
+            2,
+            1,
+            &Deadline::none(),
+            &stats,
+            |i| if i % 2 == 0 { Some(i) } else { None },
+            |i| i,
+            |i| if i == 0 { Vec::new() } else { vec![i] },
+            |_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert!(r.is_ok());
+        // Inputs 2, 4, 6 each yield one item; 0 expands to nothing.
+        assert_eq!(count.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn zero_inputs_complete_immediately() {
+        let stats = ExecStats::new();
+        let r = run_pipeline(
+            0,
+            3,
+            4,
+            &Deadline::none(),
+            &stats,
+            |_| Some(0usize),
+            |i| i,
+            |i| vec![i],
+            |_| {},
+        );
+        assert!(r.is_ok());
+        assert_eq!(stats.snapshot().stage_items, vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn expired_deadline_aborts_before_any_stage_runs() {
+        let stats = ExecStats::new();
+        let ran = AtomicUsize::new(0);
+        let r = run_pipeline(
+            100,
+            4,
+            2,
+            &Deadline::within(Duration::ZERO),
+            &stats,
+            |i| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                Some(i)
+            },
+            |i| i,
+            |i| vec![i],
+            |_| {},
+        );
+        assert!(matches!(r, Err(Error::DeadlineExceeded)));
+        assert_eq!(ran.load(Ordering::Relaxed), 0, "no stage work after expiry");
+    }
+
+    #[test]
+    fn cancel_mid_pipeline_returns_typed_error_and_drains() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let flag = Arc::new(AtomicBool::new(false));
+        let deadline = Deadline::none().with_cancel(Arc::clone(&flag));
+        let stats = ExecStats::new();
+        let evaluated = AtomicUsize::new(0);
+        let r = run_pipeline(
+            1000,
+            4,
+            2,
+            &deadline,
+            &stats,
+            |i| Some(i),
+            |i| i,
+            |i| {
+                if i == 5 {
+                    flag.store(true, Ordering::Relaxed);
+                }
+                vec![i]
+            },
+            |_| {
+                evaluated.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert!(matches!(r, Err(Error::DeadlineExceeded)));
+        // The pipeline stopped early: nowhere near all 1000 items retired.
+        assert!(evaluated.load(Ordering::Relaxed) < 1000);
+        // The pool remains usable after the abort (no leaked workers
+        // holding pipeline state).
+        let n = AtomicUsize::new(0);
+        crate::pool::global().run_with(2, |_| {
+            n.fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(n.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn backpressure_engages_on_tiny_queues() {
+        let stats = ExecStats::new();
+        let total = AtomicUsize::new(0);
+        // Single worker + capacity-1 queues: the generator must hit full
+        // queues and fall through inline; everything still completes.
+        let r = run_pipeline(
+            50,
+            1,
+            1,
+            &Deadline::none(),
+            &stats,
+            |i| Some(i),
+            |i| i,
+            |i| vec![i, i],
+            |_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert!(r.is_ok());
+        assert_eq!(total.load(Ordering::Relaxed), 100);
+    }
+}

@@ -104,6 +104,47 @@ impl Paradigm {
     }
 }
 
+/// How the whole-join driver schedules its four execution stages
+/// (candidate generation, LOD decode, accelerator build, kernel
+/// evaluation) across workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Pick per query: the streaming pipeline when more than one worker
+    /// is configured, the phase-sequential driver otherwise (a single
+    /// worker gains nothing from stage overlap).
+    #[default]
+    Auto,
+    /// Phase-sequential: workers claim whole cuboids and run every stage
+    /// of a cuboid to completion before the next (the pre-pipeline
+    /// driver; kept as the equivalence and bench baseline).
+    Phased,
+    /// Streaming pipeline on bounded inter-stage queues: batch N's
+    /// kernel evaluation overlaps batch N+1's decode (see
+    /// [`crate::pipeline`]).
+    Pipelined,
+}
+
+impl ExecMode {
+    /// Stable lowercase label for metrics and bench output.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecMode::Auto => "auto",
+            ExecMode::Phased => "phased",
+            ExecMode::Pipelined => "pipelined",
+        }
+    }
+
+    /// Resolve `Auto` against the configured worker count.
+    fn is_pipelined(self, threads: usize) -> bool {
+        match self {
+            ExecMode::Phased => false,
+            ExecMode::Pipelined => true,
+            ExecMode::Auto => threads >= 2,
+        }
+    }
+}
+
 /// Query configuration.
 #[derive(Debug, Clone)]
 pub struct QueryConfig {
@@ -129,6 +170,11 @@ pub struct QueryConfig {
     /// expiring request stops paying for higher-LOD decode (the service
     /// path's P1/P2 early-out). Defaults to unbounded.
     pub deadline: Deadline,
+    /// Stage scheduling for whole-join drivers (see [`ExecMode`]).
+    pub exec: ExecMode,
+    /// Bound for each inter-stage queue of the pipelined executor, in
+    /// items; backpressure engages when a queue fills.
+    pub queue_cap: usize,
 }
 
 impl QueryConfig {
@@ -141,7 +187,21 @@ impl QueryConfig {
             cuboid_cell: None,
             conservative_prefilter: false,
             deadline: Deadline::none(),
+            exec: ExecMode::Auto,
+            queue_cap: crate::pipeline::DEFAULT_QUEUE_CAP,
         }
+    }
+
+    /// Select the whole-join stage scheduler (see [`ExecMode`]).
+    pub fn with_exec(mut self, exec: ExecMode) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Bound each pipelined inter-stage queue at `cap` items (minimum 1).
+    pub fn with_queue_cap(mut self, cap: usize) -> Self {
+        self.queue_cap = cap.max(1);
+        self
     }
 
     pub fn with_conservative_prefilter(mut self) -> Self {
@@ -347,9 +407,12 @@ impl<'a> Engine<'a> {
     pub fn intersection_join(&self, cfg: &QueryConfig) -> Result<(JoinPairs, ExecStats)> {
         let stats = ExecStats::new();
         let ctx = self.join_ctx(cfg);
-        let out = self.drive(cfg, &stats, |t, stats| {
-            self.intersect_one_in(&ctx, t, cfg, stats)
-        })?;
+        let out = self.drive(
+            cfg,
+            &stats,
+            |t| self.intersect_hints(t, cfg),
+            |t, stats| self.intersect_one_in(&ctx, t, cfg, stats),
+        )?;
         Ok((out, stats))
     }
 
@@ -471,9 +534,12 @@ impl<'a> Engine<'a> {
     pub fn within_join(&self, d: f64, cfg: &QueryConfig) -> Result<(JoinPairs, ExecStats)> {
         let stats = ExecStats::new();
         let ctx = self.join_ctx(cfg);
-        let out = self.drive(cfg, &stats, |t, stats| {
-            self.within_one_in(&ctx, t, d, cfg, stats)
-        })?;
+        let out = self.drive(
+            cfg,
+            &stats,
+            |t| self.within_hints(t, d),
+            |t, stats| self.within_one_in(&ctx, t, d, cfg, stats),
+        )?;
         Ok((out, stats))
     }
 
@@ -615,7 +681,12 @@ impl<'a> Engine<'a> {
     pub fn nn_join(&self, cfg: &QueryConfig) -> Result<(NnPairs, ExecStats)> {
         let stats = ExecStats::new();
         let ctx = self.join_ctx(cfg);
-        let out = self.drive(cfg, &stats, |t, stats| self.nn_one_in(&ctx, t, cfg, stats))?;
+        let out = self.drive(
+            cfg,
+            &stats,
+            |t| self.nn_hints(t),
+            |t, stats| self.nn_one_in(&ctx, t, cfg, stats),
+        )?;
         Ok((out, stats))
     }
 
@@ -764,19 +835,72 @@ impl<'a> Engine<'a> {
     pub fn knn_join(&self, k: usize, cfg: &QueryConfig) -> Result<(JoinPairs, ExecStats)> {
         let stats = ExecStats::new();
         let ctx = self.join_ctx(cfg);
-        let out = self.drive(cfg, &stats, |t, stats| self.knn_one_in(&ctx, t, k, stats))?;
+        let out = self.drive(
+            cfg,
+            &stats,
+            |t| self.nn_hints(t),
+            |t, stats| self.knn_one_in(&ctx, t, k, stats),
+        )?;
         Ok((out, stats))
     }
 
     // -----------------------------------------------------------------
     // Parallel join driver: batch target objects by cuboid (§5.3) and let
-    // workers claim cuboids, preserving decode-cache locality.
+    // workers claim cuboids, preserving decode-cache locality. Under
+    // `ExecMode::Pipelined` the cuboid batches instead stream through the
+    // four-stage pipeline in `crate::pipeline`.
     // -----------------------------------------------------------------
+
+    /// Cap on prefetch hints per target: bounds the decode stage's
+    /// speculative work for pathologically wide candidate sets (the eval
+    /// stage decodes anything the hint missed, so this only shifts work
+    /// between stages, never changes results).
+    const HINT_CAP: usize = 64;
+
+    /// Candidate source ids the filter will probe for target `t`, reused
+    /// by the pipelined decode stage to warm the cache ahead of
+    /// evaluation. Best effort: over- or under-approximation is safe.
+    fn intersect_hints(&self, t: ObjectId, cfg: &QueryConfig) -> Vec<ObjectId> {
+        let mut c = match cfg.accel {
+            Accel::Partition | Accel::PartitionGpu => {
+                let mut c = self
+                    .source
+                    .partition_rtree()
+                    .query_intersects(self.target.mbb(t));
+                c.sort_unstable();
+                c.dedup();
+                c
+            }
+            _ => self.source.rtree().query_intersects(self.target.mbb(t)),
+        };
+        c.truncate(Self::HINT_CAP);
+        c
+    }
+
+    /// Prefetch hints for a within-join: the filter's indefinite
+    /// candidates (definite hits never touch geometry).
+    fn within_hints(&self, t: ObjectId, d: f64) -> Vec<ObjectId> {
+        let mut c = self.source.rtree().within(self.target.mbb(t), d).candidates;
+        c.truncate(Self::HINT_CAP);
+        c
+    }
+
+    /// Prefetch hints for the bounds-first join kinds (NN/kNN): none.
+    /// Their evaluation resolves most pairs from MBB MINDIST/MAXDIST
+    /// separation without ever touching geometry, so speculative lod-0
+    /// decode of the candidate ring is a net loss (measured two orders of
+    /// magnitude on well-separated stores, where the phased driver decodes
+    /// nothing at all). Decode happens lazily inside eval exactly when the
+    /// bounds fail to separate.
+    fn nn_hints(&self, _t: ObjectId) -> Vec<ObjectId> {
+        Vec::new()
+    }
 
     fn drive<R: Send>(
         &self,
         cfg: &QueryConfig,
         stats: &ExecStats,
+        hints: impl Fn(ObjectId) -> Vec<ObjectId> + Sync,
         per_object: impl Fn(ObjectId, &ExecStats) -> Result<R> + Sync,
     ) -> Result<Vec<(ObjectId, R)>> {
         let cell = cfg.cuboid_cell.unwrap_or_else(|| {
@@ -784,6 +908,9 @@ impl<'a> Engine<'a> {
             (e.max_component() / 4.0).max(1e-9)
         });
         let cuboids = self.target.cuboids(cell);
+        if cfg.exec.is_pipelined(cfg.threads) {
+            return self.drive_pipelined(cfg, &cuboids, stats, &hints, &per_object);
+        }
         let next = std::sync::atomic::AtomicUsize::new(0);
         // LOCK-RANK(80): per-drive result accumulator — a leaf below the
         // cache locks (50–70); workers take it briefly after finishing a
@@ -805,6 +932,128 @@ impl<'a> Engine<'a> {
             }
             lock(&results).extend(local);
         });
+        let gathered = results
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut out = Vec::with_capacity(gathered.len());
+        for (t, r) in gathered {
+            out.push((t, r?));
+        }
+        out.sort_by_key(|(t, _)| *t);
+        Ok(out)
+    }
+
+    /// Streaming drive: cuboid batches flow through the four-stage
+    /// pipeline (generate → decode → build → eval) on bounded queues, so
+    /// one batch's kernel evaluation overlaps the next batch's decode.
+    ///
+    /// Evaluation items are *per target object* rather than per cuboid,
+    /// so parallelism is no longer capped by the cuboid count — the
+    /// wall-clock win on coarse cuboid grids. Results are byte-identical
+    /// to the phased driver: the eval stage runs the same `per_object`
+    /// closure, and the gather/sort tail is shared.
+    fn drive_pipelined<R: Send>(
+        &self,
+        cfg: &QueryConfig,
+        cuboids: &[Vec<ObjectId>],
+        stats: &ExecStats,
+        hints: &(impl Fn(ObjectId) -> Vec<ObjectId> + Sync),
+        per_object: &(impl Fn(ObjectId, &ExecStats) -> Result<R> + Sync),
+    ) -> Result<Vec<(ObjectId, R)>> {
+        use std::sync::Arc;
+        /// Decoded geometry pinned between the decode and eval stages so
+        /// cache eviction cannot undo the prefetch: (is_target, id, data).
+        type Pins = Vec<(bool, ObjectId, Arc<crate::cache::LodData>)>;
+
+        let lods = self.lods(cfg);
+        let lod0 = lods.first().copied().unwrap_or(0);
+        // LOCK-RANK(80): per-drive result accumulator — a leaf below the
+        // cache locks (50–70); the eval stage takes it briefly per item,
+        // never while holding any other lock.
+        let results: std::sync::Mutex<Vec<(ObjectId, Result<R>)>> =
+            std::sync::Mutex::new(Vec::with_capacity(self.target.len()));
+
+        crate::pipeline::run_pipeline(
+            cuboids.len(),
+            cfg.threads.max(1),
+            cfg.queue_cap.max(1),
+            &cfg.deadline,
+            stats,
+            // Stage 1 — generate: one cuboid becomes one batch of
+            // (target, prefetch hints), in cuboid order (§5.3 locality).
+            |i| {
+                let cuboid = cuboids.get(i)?;
+                if cuboid.is_empty() {
+                    return None;
+                }
+                Some(
+                    cuboid
+                        .iter()
+                        .map(|&t| (t, hints(t)))
+                        .collect::<Vec<(ObjectId, Vec<ObjectId>)>>(),
+                )
+            },
+            // Stage 2 — batched LOD decode through the sharded cache:
+            // warm the first ladder rung for the whole batch so eval's
+            // gets are hits. Best effort — a failed or missing prefetch
+            // simply resurfaces as a decode inside eval.
+            |batch| {
+                let mut pins: Pins = Vec::new();
+                for (t, cands) in &batch {
+                    // No candidates = the filter answers this target
+                    // without geometry; decoding it would be pure waste.
+                    if cands.is_empty() {
+                        continue;
+                    }
+                    if let Ok(g) = self.target.get(*t, lod0, stats) {
+                        pins.push((true, *t, g));
+                    }
+                    for &c in cands {
+                        if let Ok(g) = self.source.get(c, lod0, stats) {
+                            pins.push((false, c, g));
+                        }
+                    }
+                }
+                (batch, pins)
+            },
+            // Stage 3 — accelerator build: materialise the lazy structure
+            // the configured strategy evaluates with (AABB/OBB tree or
+            // skeleton groups). The structures live in the cache-shared
+            // `LodData`, so eval reuses them without rebuild.
+            |(batch, pins): (Vec<(ObjectId, Vec<ObjectId>)>, Pins)| {
+                for (is_target, id, g) in &pins {
+                    match cfg.accel {
+                        Accel::Aabb => {
+                            let _ = g.tree();
+                        }
+                        Accel::ObbTree => {
+                            let _ = g.obb_tree();
+                        }
+                        Accel::Partition | Accel::PartitionGpu => {
+                            let sk = if *is_target {
+                                self.target.skeleton(*id)
+                            } else {
+                                self.source.skeleton(*id)
+                            };
+                            let _ = g.groups(sk);
+                        }
+                        _ => {}
+                    }
+                }
+                let pins = Arc::new(pins);
+                batch
+                    .into_iter()
+                    .map(|(t, _)| (t, Arc::clone(&pins)))
+                    .collect()
+            },
+            // Stage 4 — kernel evaluation, one item per target object
+            // (GPU-chunk flushing happens inside the computer).
+            |(t, _pins): (ObjectId, Arc<Pins>)| {
+                let r = per_object(t, stats);
+                lock(&results).push((t, r));
+            },
+        )?;
+
         let gathered = results
             .into_inner()
             .unwrap_or_else(std::sync::PoisonError::into_inner);

@@ -203,6 +203,32 @@ mod tests {
         }
     }
 
+    #[test]
+    fn pipeline_modules_are_fully_linted() {
+        // The streaming join executor is hot-path engine code AND lock
+        // infrastructure: it must stay in the no-panic set and under the
+        // full concurrency rule battery (lock ranks on its hub/channel
+        // mutexes, ordering notes on the occupancy atomics, predicate
+        // loops around its condvar waits).
+        for file in [
+            "crates/tripro/src/pipeline.rs",
+            "crates/tripro/src/query.rs",
+        ] {
+            let rules = rules_for(file);
+            assert!(rules.contains(&Rule::NoPanic), "{file} must be no-panic");
+            for rule in [Rule::LockOrder, Rule::AtomicOrdering, Rule::CondvarWaitLoop] {
+                assert!(rules.contains(&rule), "{file} must be under {rule:?}");
+            }
+        }
+        // The sync layer hosts the wait helpers themselves: exempt from
+        // L5 (its `&Mutex<T>` parameters carry no rank) but still under
+        // the wait-loop and ordering rules.
+        let sync_rules = rules_for("crates/tripro/src/sync.rs");
+        assert!(sync_rules.contains(&Rule::NoPanic));
+        assert!(!sync_rules.contains(&Rule::LockOrder));
+        assert!(sync_rules.contains(&Rule::CondvarWaitLoop));
+    }
+
     const CONC_VIOLATIONS: &str = include_str!("../fixtures/conc_violations.rs.fixture");
     const CONC_CLEAN: &str = include_str!("../fixtures/conc_clean.rs.fixture");
 

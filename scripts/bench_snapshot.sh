@@ -14,7 +14,11 @@ echo "[bench_snapshot] scale=$TRIPRO_SCALE threads=${TRIPRO_THREADS:-auto}"
 cargo run --release -p tripro-bench --bin bench_joins
 
 test -s target/harness/BENCH_joins.json
-echo "[bench_snapshot] ok: target/harness/BENCH_joins.json"
+# The snapshot must carry the pipelined-vs-phased comparison (wall time,
+# overlap factor, per-stage occupancy) alongside the paradigm/accel cells.
+grep -q '"exec_overlap"' target/harness/BENCH_joins.json
+grep -q '"overlap_factor"' target/harness/BENCH_joins.json
+echo "[bench_snapshot] ok: target/harness/BENCH_joins.json (with exec_overlap columns)"
 
 echo "[bench_snapshot] observability overhead guard"
 cargo run --release -p tripro-bench --bin bench_obs

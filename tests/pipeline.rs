@@ -1,0 +1,189 @@
+//! Pipelined-vs-phased equivalence: the streaming join executor
+//! (crates/tripro/src/pipeline.rs) must be a pure scheduling change. For
+//! every join kind and acceleration structure the pipelined driver has to
+//! produce byte-identical results to the phase-sequential driver, under
+//! default and pathologically tiny queue bounds, and a deadline that
+//! expires mid-pipeline has to surface as the typed error while leaving
+//! the shared worker pool fully reusable.
+
+use std::time::{Duration, Instant};
+use tripro::{Accel, Deadline, Engine, ExecMode, ObjectStore, Paradigm, QueryConfig, StoreConfig};
+use tripro_synth::{DatasetConfig, TissueBlock, VesselConfig};
+
+fn block() -> TissueBlock {
+    tripro_synth::generate(&DatasetConfig {
+        nuclei_count: 40,
+        vessel_count: 2,
+        vessel: VesselConfig {
+            levels: 2,
+            grid: 24,
+            ..Default::default()
+        },
+        seed: 0x91BE,
+        ..Default::default()
+    })
+}
+
+fn store(meshes: &[tripro_mesh::TriMesh]) -> ObjectStore {
+    ObjectStore::build(meshes, &StoreConfig::default()).expect("encode")
+}
+
+fn cfg(accel: Accel, exec: ExecMode) -> QueryConfig {
+    QueryConfig::new(Paradigm::FilterProgressiveRefine, accel)
+        .with_threads(4)
+        .with_exec(exec)
+}
+
+/// Run one join kind under both drivers and demand identical output.
+fn assert_equivalent(
+    engine: &Engine,
+    target: &ObjectStore,
+    source: &ObjectStore,
+    accel: Accel,
+    kind: &str,
+) {
+    match kind {
+        "intersect" => {
+            target.cache().clear();
+            source.cache().clear();
+            let (phased, ps) = engine
+                .intersection_join(&cfg(accel, ExecMode::Phased))
+                .unwrap();
+            target.cache().clear();
+            source.cache().clear();
+            let (piped, xs) = engine
+                .intersection_join(&cfg(accel, ExecMode::Pipelined))
+                .unwrap();
+            assert_eq!(phased, piped, "{accel:?} intersect diverged");
+            // The drivers differ only in scheduling: stage counters tick
+            // exclusively under the pipeline.
+            assert_eq!(ps.snapshot().stage_items.iter().sum::<u64>(), 0);
+            assert!(xs.snapshot().stage_items.iter().sum::<u64>() > 0);
+        }
+        "within" => {
+            let (phased, _) = engine
+                .within_join(5.0, &cfg(accel, ExecMode::Phased))
+                .unwrap();
+            let (piped, _) = engine
+                .within_join(5.0, &cfg(accel, ExecMode::Pipelined))
+                .unwrap();
+            assert_eq!(phased, piped, "{accel:?} within diverged");
+        }
+        "nn" => {
+            let (phased, _) = engine.nn_join(&cfg(accel, ExecMode::Phased)).unwrap();
+            let (piped, _) = engine.nn_join(&cfg(accel, ExecMode::Pipelined)).unwrap();
+            assert_eq!(phased, piped, "{accel:?} nn diverged");
+        }
+        "knn" => {
+            let (phased, _) = engine.knn_join(3, &cfg(accel, ExecMode::Phased)).unwrap();
+            let (piped, _) = engine
+                .knn_join(3, &cfg(accel, ExecMode::Pipelined))
+                .unwrap();
+            assert_eq!(phased, piped, "{accel:?} knn diverged");
+        }
+        other => panic!("unknown kind {other}"),
+    }
+}
+
+#[test]
+fn pipelined_matches_phased_on_all_join_kinds() {
+    let b = block();
+    let a_store = store(&b.nuclei_a);
+    let b_store = store(&b.nuclei_b);
+    let vessels = store(&b.vessels);
+
+    let nn_engine = Engine::new(&a_store, &b_store);
+    for accel in Accel::ALL {
+        assert_equivalent(&nn_engine, &a_store, &b_store, accel, "intersect");
+    }
+    // Distance kinds against the vessel store (the paper's FPR showcase);
+    // one tree and one decomposition accel keep the matrix affordable.
+    let v_engine = Engine::new(&a_store, &vessels);
+    for accel in [Accel::Aabb, Accel::Partition] {
+        assert_equivalent(&v_engine, &a_store, &vessels, accel, "within");
+        assert_equivalent(&v_engine, &a_store, &vessels, accel, "nn");
+        assert_equivalent(&v_engine, &a_store, &vessels, accel, "knn");
+    }
+}
+
+#[test]
+fn tiny_queue_caps_only_change_scheduling() {
+    // queue_cap=1 maximises backpressure (every stage handoff can stall
+    // into the inline-downstream fallback); results must not move.
+    let b = block();
+    let a_store = store(&b.nuclei_a);
+    let b_store = store(&b.nuclei_b);
+    let engine = Engine::new(&a_store, &b_store);
+
+    let (phased, _) = engine
+        .intersection_join(&cfg(Accel::Aabb, ExecMode::Phased))
+        .unwrap();
+    let (piped, _) = engine
+        .intersection_join(&cfg(Accel::Aabb, ExecMode::Pipelined).with_queue_cap(1))
+        .unwrap();
+    assert_eq!(phased, piped);
+}
+
+#[test]
+fn auto_mode_agrees_with_both_explicit_modes() {
+    let b = block();
+    let a_store = store(&b.nuclei_a);
+    let b_store = store(&b.nuclei_b);
+    let engine = Engine::new(&a_store, &b_store);
+
+    let (auto_multi, s_multi) = engine
+        .intersection_join(&cfg(Accel::Aabb, ExecMode::Auto))
+        .unwrap();
+    // Auto resolves to pipelined at >= 2 threads...
+    assert!(s_multi.snapshot().stage_items.iter().sum::<u64>() > 0);
+    // ...and to phased on a single thread, where overlap buys nothing.
+    let (auto_single, s_single) = engine
+        .intersection_join(
+            &QueryConfig::new(Paradigm::FilterProgressiveRefine, Accel::Aabb)
+                .with_threads(1)
+                .with_exec(ExecMode::Auto),
+        )
+        .unwrap();
+    assert_eq!(s_single.snapshot().stage_items.iter().sum::<u64>(), 0);
+    assert_eq!(auto_multi, auto_single);
+}
+
+#[test]
+fn deadline_expiry_mid_pipeline_is_typed_and_leaks_no_workers() {
+    let b = block();
+    let a_store = store(&b.nuclei_a);
+    let vessels = store(&b.vessels);
+    let engine = Engine::new(&a_store, &vessels);
+
+    // Deterministic: a deadline already in the past must refuse before any
+    // stage runs.
+    let expired = cfg(Accel::Aabb, ExecMode::Pipelined)
+        .with_deadline(Deadline::at(Instant::now() - Duration::from_millis(1)));
+    match engine.within_join(5.0, &expired) {
+        Err(tripro::Error::DeadlineExceeded) => {}
+        Err(e) => panic!("expired deadline surfaced as {e:?}"),
+        Ok(_) => panic!("expired deadline returned Ok"),
+    }
+
+    // Mid-flight: a tiny budget on the expensive vessel join. On a slow
+    // enough machine the join may still finish inside the budget, so only
+    // the error *type* is pinned, never the outcome.
+    for budget_us in [50, 200, 1000] {
+        let tight = cfg(Accel::Aabb, ExecMode::Pipelined)
+            .with_deadline(Deadline::within(Duration::from_micros(budget_us)));
+        match engine.within_join(5.0, &tight) {
+            Err(tripro::Error::DeadlineExceeded) | Ok(_) => {}
+            Err(e) => panic!("mid-pipeline expiry surfaced as {e:?}"),
+        }
+    }
+
+    // No leaked workers: the shared pool must run the same pipelined join
+    // to completion afterwards, agreeing with the phased driver.
+    let (piped, _) = engine
+        .within_join(5.0, &cfg(Accel::Aabb, ExecMode::Pipelined))
+        .unwrap();
+    let (phased, _) = engine
+        .within_join(5.0, &cfg(Accel::Aabb, ExecMode::Phased))
+        .unwrap();
+    assert_eq!(piped, phased);
+}
