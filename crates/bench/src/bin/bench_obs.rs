@@ -12,8 +12,16 @@
 //! interleaved off/on so thermal or cache drift hits both sides equally,
 //! and the median over several repetitions is compared (medians shrug off
 //! a single noisy run where means do not).
+//!
+//! The same guard also bounds the fault-injection gate ([`tripro::fault`]):
+//! one leg runs with a failpoint armed on an *unused* site, which forces
+//! every instrumented hot-path site down its registry-lookup slow path
+//! (the worst case short of actually injecting faults). Both the fully
+//! disarmed gate (baseline) and the armed-on-miss case must stay inside
+//! the same <2% budget.
 
 use std::time::Duration;
+use tripro::fault::{self, FaultAction, Trigger};
 use tripro::obs;
 use tripro::{Accel, Paradigm, TraceConfig};
 use tripro_bench::harness::{threads, Scale, TestId, Workloads};
@@ -53,34 +61,55 @@ fn main() {
         obs::tracer().set_enabled(false);
         cell.seconds
     };
+    // Arm a failpoint on a site no production code evaluates: `armed()`
+    // flips true and every real site pays the registry-miss slow path.
+    let run_fault_armed = || -> f64 {
+        fault::set("bench.unused", FaultAction::Err, Trigger::Always);
+        w.clear_caches();
+        let cell = w.run_with_threads(test, paradigm, accel, Some(lods.clone()), n_threads);
+        fault::clear();
+        cell.seconds
+    };
 
-    // Warm both paths (allocators, decode cache shape, lazily-bound
+    // Warm all paths (allocators, decode cache shape, lazily-bound
     // metric handles) before timing.
     let _ = run(false);
     let _ = run(true);
+    let _ = run_fault_armed();
 
     let mut off = Vec::with_capacity(REPS);
     let mut on = Vec::with_capacity(REPS);
+    let mut fault_armed = Vec::with_capacity(REPS);
     for rep in 0..REPS {
         let a = run(false);
         let b = run(true);
-        eprintln!("[bench_obs] rep {rep}: disabled {a:.4}s, enabled {b:.4}s");
+        let c = run_fault_armed();
+        eprintln!("[bench_obs] rep {rep}: disabled {a:.4}s, enabled {b:.4}s, fault-armed {c:.4}s");
         off.push(a);
         on.push(b);
+        fault_armed.push(c);
     }
 
     let med_off = median(&mut off);
     let med_on = median(&mut on);
-    let overhead_pct = if med_off > 0.0 {
-        (med_on - med_off) / med_off * 100.0
-    } else {
-        0.0
+    let med_fault = median(&mut fault_armed);
+    let pct_of = |v: f64| {
+        if med_off > 0.0 {
+            (v - med_off) / med_off * 100.0
+        } else {
+            0.0
+        }
     };
-    let pass = overhead_pct < BUDGET_PCT;
+    let overhead_pct = pct_of(med_on);
+    let fault_overhead_pct = pct_of(med_fault);
+    let pass = overhead_pct < BUDGET_PCT && fault_overhead_pct < BUDGET_PCT;
     eprintln!(
         "[bench_obs] tracing overhead: {overhead_pct:+.2}% \
-         (disabled {med_off:.4}s, enabled {med_on:.4}s, budget {BUDGET_PCT}%) \
-         -> {}",
+         (disabled {med_off:.4}s, enabled {med_on:.4}s, budget {BUDGET_PCT}%)"
+    );
+    eprintln!(
+        "[bench_obs] fault-gate overhead (armed, registry miss): \
+         {fault_overhead_pct:+.2}% ({med_fault:.4}s, budget {BUDGET_PCT}%) -> {}",
         if pass { "PASS" } else { "OVER BUDGET" }
     );
 
@@ -89,7 +118,9 @@ fn main() {
             "{{\"scale\":\"{:?}\",\"threads\":{},\"test\":\"{}\",",
             "\"paradigm\":\"FPR\",\"accel\":\"AABB\",\"reps\":{},",
             "\"seconds_disabled\":{:.6},\"seconds_enabled\":{:.6},",
-            "\"overhead_pct\":{:.4},\"budget_pct\":{:.1},\"pass\":{}}}\n"
+            "\"seconds_faults_armed\":{:.6},",
+            "\"overhead_pct\":{:.4},\"fault_overhead_pct\":{:.4},",
+            "\"budget_pct\":{:.1},\"pass\":{}}}\n"
         ),
         scale,
         n_threads,
@@ -97,7 +128,9 @@ fn main() {
         REPS,
         med_off,
         med_on,
+        med_fault,
         overhead_pct,
+        fault_overhead_pct,
         BUDGET_PCT,
         pass
     );

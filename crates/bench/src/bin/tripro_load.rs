@@ -23,7 +23,7 @@
 //! dependency-free) lands in `target/harness/BENCH_serve.json`.
 
 use std::time::{Duration, Instant};
-use tripro_serve::{Client, ErrorCode, QueryReply, Request};
+use tripro_serve::{Client, ErrorCode, QueryReply, Request, RetryPolicy, RetryingClient};
 
 /// Request kinds the generator can mix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,8 +55,19 @@ struct Tally {
     overloaded: u64,
     deadline_expired: u64,
     errors: u64,
-    /// Latencies of all answered requests (any outcome), seconds.
+    /// Retries spent across all requests (transient failures re-attempted).
+    retries: u64,
+    /// Reconnects after transport-level resets.
+    reconnects: u64,
+    /// Requests still `Overloaded` after their whole retry budget.
+    gave_up: u64,
+    /// Total backoff slept across all retries, seconds.
+    retry_backoff_s: f64,
+    /// First-attempt latencies (requests answered without a retry),
+    /// seconds — comparable across runs regardless of retry policy.
     latencies: Vec<f64>,
+    /// Wall-clock per request including retries and backoff, seconds.
+    all_latencies: Vec<f64>,
 }
 
 struct Args {
@@ -68,6 +79,10 @@ struct Args {
     within_d: f64,
     knn_k: u32,
     mix: Vec<OpKind>,
+    retries: u32,
+    retry_base_ms: u64,
+    retry_max_ms: u64,
+    seed: u64,
     shutdown: bool,
     out: String,
 }
@@ -89,6 +104,10 @@ fn parse_args() -> Result<Args, String> {
             OpKind::Knn,
             OpKind::Contains,
         ],
+        retries: 4,
+        retry_base_ms: 10,
+        retry_max_ms: 2_000,
+        seed: 0x3D50,
         shutdown: false,
         out: "target/harness/BENCH_serve.json".to_string(),
     };
@@ -121,13 +140,22 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--mix needs at least one op".to_string());
                 }
             }
+            "--retries" => a.retries = val(&mut i)?.parse().map_err(|_| "bad --retries")?,
+            "--retry-base-ms" => {
+                a.retry_base_ms = val(&mut i)?.parse().map_err(|_| "bad --retry-base-ms")?;
+            }
+            "--retry-max-ms" => {
+                a.retry_max_ms = val(&mut i)?.parse().map_err(|_| "bad --retry-max-ms")?;
+            }
+            "--seed" => a.seed = val(&mut i)?.parse().map_err(|_| "bad --seed")?,
             "--shutdown" => a.shutdown = true,
             "--out" => a.out = val(&mut i)?,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: tripro-load --addr HOST:PORT [--clients N] [--requests R] \
                      [--rate RPS] [--deadline-ms MS] [--mix a,b,...] [--within-d D] \
-                     [--k K] [--shutdown] [--out FILE]"
+                     [--k K] [--retries N] [--retry-base-ms MS] [--retry-max-ms MS] \
+                     [--seed S] [--shutdown] [--out FILE]"
                 );
                 std::process::exit(0);
             }
@@ -186,7 +214,14 @@ fn request_for(a: &Args, n_targets: u64, client: usize, seq: usize) -> Request {
 }
 
 fn drive_client(a: &Args, n_targets: u64, client: usize, start: Instant) -> Result<Tally, String> {
-    let mut c = Client::connect(&a.addr).map_err(|e| format!("connect: {e}"))?;
+    let policy = RetryPolicy {
+        max_retries: a.retries,
+        base_backoff: Duration::from_millis(a.retry_base_ms),
+        max_backoff: Duration::from_millis(a.retry_max_ms),
+        // Per-client jitter streams stay disjoint but seed-deterministic.
+        seed: a.seed ^ ((client as u64) << 17),
+    };
+    let mut c = RetryingClient::connect(&a.addr, policy).map_err(|e| format!("connect: {e}"))?;
     let mut t = Tally::default();
     // Open-loop: this client owns every a.clients-th slot of the global
     // arrival clock.
@@ -202,18 +237,34 @@ fn drive_client(a: &Args, n_targets: u64, client: usize, start: Instant) -> Resu
         let req = request_for(a, n_targets, client, seq);
         let t0 = Instant::now();
         match c.query(&req) {
-            Ok(QueryReply::Ids(_)) => t.ok += 1,
-            Ok(QueryReply::Error { code, .. }) => match code {
-                ErrorCode::Overloaded => t.overloaded += 1,
-                ErrorCode::DeadlineExceeded => t.deadline_expired += 1,
-                _ => {
-                    t.errors += 1;
-                    eprintln!("[tripro-load] server error: {code:?}");
+            Ok((reply, oc)) => {
+                t.retries += u64::from(oc.retries);
+                t.reconnects += u64::from(oc.reconnects);
+                t.retry_backoff_s += oc.backoff.as_secs_f64();
+                let elapsed = t0.elapsed().as_secs_f64();
+                t.all_latencies.push(elapsed);
+                if oc.attempts == 1 {
+                    t.latencies.push(elapsed);
                 }
-            },
+                match reply {
+                    QueryReply::Ids(_) => t.ok += 1,
+                    QueryReply::Error { code, .. } => match code {
+                        ErrorCode::Overloaded => {
+                            t.overloaded += 1;
+                            if oc.retries > 0 {
+                                t.gave_up += 1;
+                            }
+                        }
+                        ErrorCode::DeadlineExceeded => t.deadline_expired += 1,
+                        _ => {
+                            t.errors += 1;
+                            eprintln!("[tripro-load] server error: {code:?}");
+                        }
+                    },
+                }
+            }
             Err(e) => return Err(format!("client {client} seq {seq}: {e}")),
         }
-        t.latencies.push(t0.elapsed().as_secs_f64());
     }
     Ok(t)
 }
@@ -275,7 +326,12 @@ fn main() {
                 total.overloaded += t.overloaded;
                 total.deadline_expired += t.deadline_expired;
                 total.errors += t.errors;
+                total.retries += t.retries;
+                total.reconnects += t.reconnects;
+                total.gave_up += t.gave_up;
+                total.retry_backoff_s += t.retry_backoff_s;
                 total.latencies.extend(t.latencies);
+                total.all_latencies.extend(t.all_latencies);
             }
             Err(e) => {
                 transport_failures += 1;
@@ -286,9 +342,16 @@ fn main() {
     total
         .latencies
         .sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
-    let answered = total.latencies.len() as u64;
+    total
+        .all_latencies
+        .sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+    let answered = total.all_latencies.len() as u64;
+    // Percentiles over first-attempt latencies stay comparable across
+    // runs regardless of retry policy; p99_with_retries is the client-felt
+    // tail including re-attempts and backoff sleeps.
     let lat_ms = |q: f64| percentile(&total.latencies, q) * 1e3;
-    let max_ms = total.latencies.last().copied().unwrap_or(0.0) * 1e3;
+    let p99_with_retries_ms = percentile(&total.all_latencies, 0.99) * 1e3;
+    let max_ms = total.all_latencies.last().copied().unwrap_or(0.0) * 1e3;
     let mode = if a.rate > 0.0 { "open" } else { "closed" };
 
     eprintln!(
@@ -310,6 +373,11 @@ fn main() {
         lat_ms(0.90),
         lat_ms(0.99),
         max_ms
+    );
+    eprintln!(
+        "[tripro-load] retries={} reconnects={} gave_up={} \
+         backoff={:.3}s p99_with_retries={:.2}ms",
+        total.retries, total.reconnects, total.gave_up, total.retry_backoff_s, p99_with_retries_ms
     );
 
     if a.shutdown {
@@ -333,8 +401,10 @@ fn main() {
             "{{\"addr\":\"{}\",\"mode\":\"{}\",\"clients\":{},\"requests_per_client\":{},",
             "\"offered_rate\":{:.3},\"deadline_ms\":{},\"seconds\":{:.6},",
             "\"answered\":{},\"ok\":{},\"overloaded\":{},\"deadline_expired\":{},",
-            "\"errors\":{},\"transport_failures\":{},\"throughput_rps\":{:.3},",
-            "\"p50_ms\":{:.4},\"p90_ms\":{:.4},\"p99_ms\":{:.4},\"max_ms\":{:.4}}}\n"
+            "\"errors\":{},\"transport_failures\":{},\"retries\":{},\"reconnects\":{},",
+            "\"gave_up\":{},\"retry_budget\":{},\"retry_backoff_s\":{:.6},",
+            "\"throughput_rps\":{:.3},\"p50_ms\":{:.4},\"p90_ms\":{:.4},\"p99_ms\":{:.4},",
+            "\"p99_with_retries_ms\":{:.4},\"max_ms\":{:.4}}}\n"
         ),
         a.addr,
         mode,
@@ -349,10 +419,16 @@ fn main() {
         total.deadline_expired,
         total.errors,
         transport_failures,
+        total.retries,
+        total.reconnects,
+        total.gave_up,
+        a.retries,
+        total.retry_backoff_s,
         answered as f64 / elapsed.max(1e-9),
         lat_ms(0.50),
         lat_ms(0.90),
         lat_ms(0.99),
+        p99_with_retries_ms,
         max_ms
     );
     if let Some(dir) = std::path::Path::new(&a.out).parent() {

@@ -308,6 +308,15 @@ pub fn serve(a: &Parsed) -> Result<(), CliError> {
     use std::time::Duration;
     use tripro_serve::{ServeConfig, Server};
 
+    // Arm fault-injection failpoints from TRIPRO_FAILPOINTS before any
+    // request can hit an instrumented site (chaos/soak testing knob; a
+    // malformed spec aborts startup rather than silently running clean).
+    let armed_sites = tripro::fault::init_from_env()
+        .map_err(|e| CliError::msg(format!("TRIPRO_FAILPOINTS: {e}")))?;
+    if armed_sites > 0 {
+        eprintln!("fault injection: {armed_sites} failpoint(s) armed from TRIPRO_FAILPOINTS");
+    }
+
     let target = Arc::new(load_store(a.require("target")?)?);
     let source = Arc::new(load_store(a.require("source")?)?);
 
@@ -360,8 +369,9 @@ pub fn serve(a: &Parsed) -> Result<(), CliError> {
     }
     let s = server.stats();
     eprintln!(
-        "served: {} admitted, {} completed, {} shed, {} deadline-expired, {} protocol errors",
-        s.admitted, s.completed, s.shed, s.deadline_expired, s.protocol_errors
+        "served: {} admitted, {} completed, {} failed ({} from contained panics), \
+         {} shed, {} deadline-expired, {} protocol errors",
+        s.admitted, s.completed, s.failed, s.panics, s.shed, s.deadline_expired, s.protocol_errors
     );
     server.shutdown();
     Ok(())

@@ -6,13 +6,20 @@
 //! arrive as one or more `Page` frames; [`Client::query`] reassembles them
 //! into a [`QueryReply`].
 
+//! For unreliable transports (or servers shedding load), [`RetryingClient`]
+//! wraps [`Client`] with transient-error classification, capped exponential
+//! backoff with seeded jitter (honouring the server's `retry_after_ms`
+//! hint), reconnect-on-reset and a per-request retry budget.
+
 use crate::protocol::{
     encode_request, read_response, write_frame, ErrorCode, Request, Response, StatsExPayload,
-    StatsPayload, MIN_VERSION, VERSION,
+    StatsPayload, WireError, MIN_VERSION, VERSION,
 };
 use crate::ServeError;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
+use tripro::fault::mix64;
+use tripro::obs;
 
 /// Outcome of a query request.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,7 +29,12 @@ pub enum QueryReply {
     Ids(Vec<u32>),
     /// The server answered with a protocol-level error (overload, expired
     /// deadline, bad request...).
-    Error { code: ErrorCode, message: String },
+    Error {
+        code: ErrorCode,
+        message: String,
+        /// Server backoff hint in milliseconds (v4+; 0 = no hint).
+        retry_after_ms: u32,
+    },
 }
 
 impl QueryReply {
@@ -60,10 +72,7 @@ impl Client {
             max_version: VERSION,
         })? {
             Response::HelloOk { version: _ } => Ok(c),
-            Response::Error { code, message } => {
-                let _ = (code, message);
-                Err(ServeError::Unexpected("server refused version"))
-            }
+            Response::Error { .. } => Err(ServeError::Unexpected("server refused version")),
             _ => Err(ServeError::Unexpected("non-hello reply to hello")),
         }
     }
@@ -164,11 +173,202 @@ impl Client {
                         return Ok(QueryReply::Ids(out));
                     }
                 }
-                Response::Error { code, message } => {
-                    return Ok(QueryReply::Error { code, message });
+                Response::Error {
+                    code,
+                    message,
+                    retry_after_ms,
+                } => {
+                    return Ok(QueryReply::Error {
+                        code,
+                        message,
+                        retry_after_ms,
+                    });
                 }
                 _ => return Err(ServeError::Unexpected("non-page reply to query")),
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Retrying client
+// ---------------------------------------------------------------------
+
+/// Retry/backoff policy for [`RetryingClient`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries allowed per request beyond the first attempt (the
+    /// per-request retry budget). 0 disables retrying entirely.
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub base_backoff: Duration,
+    /// Cap on any single backoff sleep (also caps the server hint).
+    pub max_backoff: Duration,
+    /// Jitter seed: two clients with the same seed sleep identical
+    /// schedules, which keeps chaos tests deterministic.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 4,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(2),
+            seed: 0x3D50,
+        }
+    }
+}
+
+/// What one [`RetryingClient::query`] call spent getting its answer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryOutcome {
+    /// Attempts made (1 = no retries).
+    pub attempts: u32,
+    /// Retries after transient failures (`attempts - 1`).
+    pub retries: u32,
+    /// Reconnects performed after transport-level failures.
+    pub reconnects: u32,
+    /// Total backoff slept across all retries.
+    pub backoff: Duration,
+}
+
+/// Whether an error is worth retrying: the request may succeed on a fresh
+/// attempt (overload passes, connections re-establish). Protocol-level
+/// rejections (`BadRequest`, `UnsupportedVersion`), server-side failures
+/// (`Internal`) and expired deadlines are terminal — retrying them repeats
+/// the same answer, only later.
+fn is_transient_transport(e: &ServeError) -> bool {
+    matches!(
+        e,
+        ServeError::Io(_) | ServeError::Wire(WireError::Closed | WireError::Io(_))
+    )
+}
+
+/// A [`Client`] wrapper that classifies failures, retries transient ones
+/// with capped exponential backoff plus seeded jitter, reconnects after
+/// transport resets, and honours the server's `retry_after_ms` hint.
+///
+/// Terminal failures (and budget exhaustion) surface exactly like the
+/// plain client's: the last `QueryReply::Error` or transport error.
+pub struct RetryingClient {
+    addr: SocketAddr,
+    policy: RetryPolicy,
+    conn: Option<Client>,
+    /// splitmix64 jitter state, advanced once per backoff.
+    rng: u64,
+}
+
+impl RetryingClient {
+    /// Resolve `addr` once (reconnects reuse the resolved address) and
+    /// establish the initial connection.
+    pub fn connect<A: ToSocketAddrs>(addr: A, policy: RetryPolicy) -> Result<Self, ServeError> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::other("unresolvable address"))?;
+        let rng = mix64(policy.seed ^ 0x5e7e_c0de);
+        let mut c = Self {
+            addr,
+            policy,
+            conn: None,
+            rng,
+        };
+        c.ensure_conn()?;
+        Ok(c)
+    }
+
+    /// The policy this client retries under.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    fn ensure_conn(&mut self) -> Result<&mut Client, ServeError> {
+        if self.conn.is_none() {
+            self.conn = Some(Client::connect(self.addr)?);
+        }
+        match self.conn.as_mut() {
+            Some(c) => Ok(c),
+            None => Err(ServeError::Unexpected("connection vanished")),
+        }
+    }
+
+    /// Backoff before retry number `retry` (0-based): exponential from
+    /// `base_backoff`, floored by the server hint, capped at
+    /// `max_backoff`, then jittered into `[d/2, d]` so synchronized
+    /// clients do not stampede in lockstep.
+    fn backoff_before_retry(&mut self, retry: u32, hint_ms: u32) -> Duration {
+        let base = self.policy.base_backoff.max(Duration::from_micros(100));
+        let mut d = base.saturating_mul(1u32 << retry.min(16));
+        let hint = Duration::from_millis(u64::from(hint_ms));
+        if hint > d {
+            d = hint;
+        }
+        d = d.min(self.policy.max_backoff);
+        self.rng = mix64(self.rng);
+        let frac = (self.rng >> 11) as f64 / (1u64 << 53) as f64;
+        d.mul_f64(0.5 + 0.5 * frac)
+    }
+
+    fn sleep_backoff(&mut self, retry: u32, hint_ms: u32, outcome: &mut RetryOutcome) {
+        let d = self.backoff_before_retry(retry, hint_ms);
+        outcome.backoff += d;
+        std::thread::sleep(d);
+    }
+
+    /// Issue a query, retrying transient failures until it resolves or the
+    /// retry budget is spent. Returns the final reply plus what getting it
+    /// cost ([`RetryOutcome`]).
+    ///
+    /// * `Overloaded` replies are retried after the server's
+    ///   `retry_after_ms` hint (floored into the exponential schedule).
+    /// * Transport failures (reset, EOF, I/O error) drop the connection
+    ///   and reconnect on the next attempt.
+    /// * Everything else — including `Internal` and `DeadlineExceeded`
+    ///   replies — is returned as-is, immediately.
+    pub fn query(&mut self, req: &Request) -> Result<(QueryReply, RetryOutcome), ServeError> {
+        let mut outcome = RetryOutcome::default();
+        loop {
+            outcome.attempts += 1;
+            let retry = outcome.retries; // 0-based index of the *next* retry
+            let result = match self.ensure_conn() {
+                Ok(conn) => conn.query(req),
+                Err(e) => Err(e),
+            };
+            match result {
+                Ok(QueryReply::Error {
+                    code: ErrorCode::Overloaded,
+                    retry_after_ms,
+                    ..
+                }) if retry < self.policy.max_retries => {
+                    outcome.retries += 1;
+                    self.sleep_backoff(retry, retry_after_ms, &mut outcome);
+                }
+                Ok(reply) => {
+                    self.observe(&outcome);
+                    return Ok((reply, outcome));
+                }
+                Err(e) if is_transient_transport(&e) && retry < self.policy.max_retries => {
+                    // The connection is in an unknown state (possibly a
+                    // half-read frame): drop it and reconnect next attempt.
+                    self.conn = None;
+                    outcome.retries += 1;
+                    outcome.reconnects += 1;
+                    self.sleep_backoff(retry, 0, &mut outcome);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn observe(&self, outcome: &RetryOutcome) {
+        obs::request_retries_histogram().record(u64::from(outcome.retries));
+        obs::retry_backoff_histogram().record_duration(outcome.backoff);
+    }
+
+    /// Access the underlying connection for probe calls (`stats`,
+    /// `metrics`, `shutdown_server`...), reconnecting first if needed.
+    pub fn raw(&mut self) -> Result<&mut Client, ServeError> {
+        self.ensure_conn()
     }
 }

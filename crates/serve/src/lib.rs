@@ -28,7 +28,7 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, QueryReply};
+pub use client::{Client, QueryReply, RetryOutcome, RetryPolicy, RetryingClient};
 pub use protocol::{ErrorCode, Request, Response, StatsExPayload, StatsPayload, WireError};
 pub use server::{ServeConfig, Server};
 

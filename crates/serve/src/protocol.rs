@@ -7,7 +7,7 @@
 //! offset  size  field
 //! 0       4     payload length (u32 LE, excludes the header)
 //! 4       2     magic 0x3D50 ("=P")
-//! 6       1     protocol version (currently 2; v1 still accepted)
+//! 6       1     protocol version (currently 4; v1 still accepted)
 //! 7       1     frame kind
 //! 8       8     request id (u64 LE, echoed verbatim in responses)
 //! ```
@@ -25,9 +25,11 @@ pub const MAGIC: u16 = 0x3D50;
 /// The protocol version this build speaks. Version 2 added the
 /// `Metrics`/`MetricsOk` frame pair; version 3 adds `StatsEx`/`StatsExOk`
 /// (extended stats: failure counts plus the engine's per-stage pipeline
-/// breakdown). Every older frame is unchanged, so both ends accept the
+/// breakdown); version 4 appends a `retry_after_ms` backoff hint to the
+/// `Error` frame (optional-trailing on decode, so v1–v3 error frames
+/// still parse). Every older frame is unchanged, so both ends accept the
 /// whole [`MIN_VERSION`]`..=`[`VERSION`] range.
-pub const VERSION: u8 = 3;
+pub const VERSION: u8 = 4;
 
 /// Oldest protocol version this build still accepts.
 pub const MIN_VERSION: u8 = 1;
@@ -250,6 +252,11 @@ pub enum Response {
     Error {
         code: ErrorCode,
         message: String,
+        /// Backoff hint (v4+): how long the client should wait before
+        /// retrying, derived from live queue depth for `Overloaded`
+        /// rejections. `0` means "no hint" (and is what decoding a
+        /// v1–v3 error frame yields).
+        retry_after_ms: u32,
     },
 }
 
@@ -579,12 +586,17 @@ pub fn encode_response(request_id: u64, resp: &Response) -> Vec<u8> {
             }
             K_PAGE
         }
-        Response::Error { code, message } => {
+        Response::Error {
+            code,
+            message,
+            retry_after_ms,
+        } => {
             p.push(*code as u8);
             let msg = message.as_bytes();
             let n = msg.len().min(u16::MAX as usize);
             put_u16(&mut p, n as u16);
             p.extend_from_slice(&msg[..n]);
+            put_u32(&mut p, *retry_after_ms);
             K_ERROR
         }
     };
@@ -650,9 +662,19 @@ pub fn decode_response_body(kind: u8, payload: &[u8]) -> Result<Response, WireEr
             let code = ErrorCode::from_u8(c.u8()?)?;
             let n = c.u16()? as usize;
             let bytes = c.take(n)?;
+            let message = String::from_utf8_lossy(bytes).into_owned();
+            // v4 appended a retry-after hint after the message; v1-v3
+            // error frames end at the message, so the field is
+            // optional-trailing: absent decodes as "no hint".
+            let retry_after_ms = if payload.len() - c.pos == 4 {
+                c.u32()?
+            } else {
+                0
+            };
             Response::Error {
                 code,
-                message: String::from_utf8_lossy(bytes).into_owned(),
+                message,
+                retry_after_ms,
             }
         }
         _ => return Err(WireError::Malformed("unknown response kind")),
@@ -838,6 +860,7 @@ mod tests {
         roundtrip_response(Response::Error {
             code: ErrorCode::Overloaded,
             message: "busy".to_string(),
+            retry_after_ms: 250,
         });
         for code in [
             ErrorCode::Overloaded,
@@ -849,8 +872,29 @@ mod tests {
             roundtrip_response(Response::Error {
                 code,
                 message: String::new(),
+                retry_after_ms: 0,
             });
         }
+    }
+
+    #[test]
+    fn v3_error_frame_decodes_without_retry_hint() {
+        // Hand-build a pre-v4 error payload: code + msg_len + msg, no
+        // trailing retry_after_ms. Decoding must yield hint 0, not a
+        // trailing-bytes or too-short error.
+        let mut payload = vec![ErrorCode::Overloaded as u8];
+        let msg = b"busy";
+        payload.extend_from_slice(&(msg.len() as u16).to_le_bytes());
+        payload.extend_from_slice(msg);
+        let got = decode_response_body(K_ERROR, &payload).unwrap();
+        assert_eq!(
+            got,
+            Response::Error {
+                code: ErrorCode::Overloaded,
+                message: "busy".to_string(),
+                retry_after_ms: 0,
+            }
+        );
     }
 
     #[test]
@@ -1046,6 +1090,7 @@ mod tests {
             &Response::Error {
                 code: ErrorCode::Internal,
                 message: long,
+                retry_after_ms: 0,
             },
         );
         let mut r = frame.as_slice();

@@ -42,11 +42,13 @@ use crate::protocol::{
 use crate::ServeError;
 use std::collections::VecDeque;
 use std::io::Read;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+use tripro::fault::{self, FaultAction};
 use tripro::obs;
 use tripro::sync::{lock, wait, Condvar, Mutex};
 use tripro::{
@@ -179,19 +181,90 @@ struct ConnWriter {
     // LOCK-RANK(30): per-connection write half; taken with no other lock
     // held (repliers drop the dispatch guard before sending).
     stream: Mutex<TcpStream>,
+    /// Latched once the transport is known dead (write failure or injected
+    /// disconnect); later sends become no-ops instead of repeating the
+    /// syscall error frame after frame.
+    dead: AtomicBool,
 }
 
 impl ConnWriter {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream: Mutex::new(stream),
+            dead: AtomicBool::new(false),
+        }
+    }
+
+    fn is_dead(&self) -> bool {
+        // ORDERING: Relaxed — advisory fast-path flag; the stream mutex
+        // serializes the writes themselves.
+        self.dead.load(Ordering::Relaxed)
+    }
+
+    /// Mark the transport dead and shut both directions down so the
+    /// connection thread blocked in `read` unblocks promptly.
+    fn kill(&self) {
+        let s = lock(&self.stream);
+        self.mark_dead(&s);
+    }
+
+    fn mark_dead(&self, s: &TcpStream) {
+        // ORDERING: Relaxed — see `is_dead`.
+        self.dead.store(true, Ordering::Relaxed);
+        let _ = s.shutdown(Shutdown::Both);
+    }
+
     fn send(&self, frame: &[u8]) {
+        if self.is_dead() {
+            return;
+        }
+        // Serve-side write failpoint: exercises partial writes, stalls and
+        // injected disconnects without needing a misbehaving client. A
+        // response path must never panic (it would corrupt the admission
+        // ledger), so erroring actions all degrade to dropping the
+        // connection.
+        let mut cap = usize::MAX;
+        match fault::hit(fault::SERVE_WRITE) {
+            None => {}
+            Some(FaultAction::Delay(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+            Some(FaultAction::Partial(n)) => cap = n.max(1),
+            Some(FaultAction::Err | FaultAction::Panic | FaultAction::Disconnect) => {
+                self.kill();
+                return;
+            }
+        }
         let mut s = lock(&self.stream);
-        // tripro_lint::allow(condvar_wait_loop): the guard IS the frame
-        // serializer — interleaved partial writes would corrupt the wire
-        // protocol. Only this connection's repliers contend here, and a
-        // stuck client stalls its own replies, nothing else.
-        let _ = std::io::Write::write_all(&mut *s, frame);
-        // tripro_lint::allow(condvar_wait_loop): same justification — the
-        // flush must stay under the same guard as the write.
-        let _ = std::io::Write::flush(&mut *s);
+        // The guard IS the frame serializer — interleaved partial writes
+        // would corrupt the wire protocol. Only this connection's repliers
+        // contend here, and a stuck client stalls its own replies, nothing
+        // else. A short `write` is NOT failure: loop until the frame is
+        // fully flushed or the transport errors.
+        let mut off = 0;
+        let mut ok = true;
+        while off < frame.len() {
+            let end = frame.len().min(off.saturating_add(cap));
+            cap = usize::MAX; // only the first chunk is truncated by Partial
+            match std::io::Write::write(&mut *s, &frame[off..end]) {
+                Ok(0) => {
+                    ok = false;
+                    break;
+                }
+                Ok(n) => off += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            // tripro_lint::allow(condvar_wait_loop): the flush must stay
+            // under the same guard as the write (frame serialization).
+            ok = std::io::Write::flush(&mut *s).is_ok();
+        }
+        if !ok {
+            self.mark_dead(&s);
+        }
     }
 
     fn send_response(&self, request_id: u64, resp: &Response) {
@@ -325,6 +398,27 @@ impl Core {
                 (1 << 63) | ((gx as u64) << 32) | ((gy as u64) << 16) | (gz as u64)
             }
         }
+    }
+
+    /// Backoff hint for an `Overloaded` rejection, derived from the live
+    /// backlog: roughly how long `outstanding` requests need to drain at
+    /// the configured batch rate. Clamped to 1ms..=30s so a hint is always
+    /// present and never absurd.
+    fn retry_after_ms(&self, outstanding: usize) -> u32 {
+        let per_round = self.cfg.inject_latency.unwrap_or(Duration::from_millis(2));
+        let rounds = outstanding / self.cfg.max_inflight.max(1) + 1;
+        let ms = per_round.as_millis().saturating_mul(rounds as u128);
+        ms.clamp(1, 30_000) as u32
+    }
+
+    /// [`Core::retry_after_ms`] against the current queue depth, for shed
+    /// sites that do not already hold the dispatch guard.
+    fn retry_after_hint(&self) -> u32 {
+        let outstanding = {
+            let st = lock(&self.dispatch);
+            st.queue.len() + st.executing
+        };
+        self.retry_after_ms(outstanding)
     }
 
     fn query_config(&self, deadline: Deadline) -> QueryConfig {
@@ -513,14 +607,13 @@ fn accept_loop(core: &Arc<Core>, listener: &TcpListener) {
                     drop(conns);
                     core.stats.record_shed();
                     bump(&core.outcomes.shed);
-                    let writer = ConnWriter {
-                        stream: Mutex::new(stream),
-                    };
+                    let writer = ConnWriter::new(stream);
                     writer.send_response(
                         0,
                         &Response::Error {
                             code: ErrorCode::Overloaded,
                             message: "connection limit reached".to_string(),
+                            retry_after_ms: core.retry_after_hint(),
                         },
                     );
                     continue;
@@ -528,7 +621,15 @@ fn accept_loop(core: &Arc<Core>, listener: &TcpListener) {
                 let core2 = Arc::clone(core);
                 let spawned = std::thread::Builder::new()
                     .name("tripro-serve-conn".into())
-                    .spawn(move || conn_loop(&core2, stream));
+                    .spawn(move || {
+                        // A panicking connection handler must take down its
+                        // own connection only, never the process: contain
+                        // it, count it, and let the thread exit (dropping
+                        // the stream closes the socket).
+                        if catch_unwind(AssertUnwindSafe(|| conn_loop(&core2, stream))).is_err() {
+                            obs::panic_counter("serve_conn").fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
                 match spawned {
                     Ok(h) => conns.push(h),
                     Err(_) => {
@@ -564,6 +665,14 @@ enum ReadFull {
 /// Read exactly `buf.len()` bytes, polling the shutdown flag on every read
 /// timeout. `at_boundary` means EOF here is a clean close, not truncation.
 fn read_full(core: &Core, reader: &mut TcpStream, buf: &mut [u8], at_boundary: bool) -> ReadFull {
+    // Serve-side read failpoint: erroring actions surface as a transport
+    // failure (connection drops, protocol_error counted) — a read path
+    // must never panic, so Panic degrades to Failed here too.
+    match fault::hit(fault::SERVE_READ) {
+        None => {}
+        Some(FaultAction::Delay(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+        Some(_) => return ReadFull::Failed,
+    }
     let mut n = 0;
     while n < buf.len() {
         if core.is_shutdown() {
@@ -595,9 +704,7 @@ fn conn_loop(core: &Arc<Core>, stream: TcpStream) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(core.cfg.poll_interval));
     let writer = match stream.try_clone() {
-        Ok(w) => Arc::new(ConnWriter {
-            stream: Mutex::new(w),
-        }),
+        Ok(w) => Arc::new(ConnWriter::new(w)),
         Err(_) => return,
     };
     let mut reader = stream;
@@ -626,6 +733,7 @@ fn conn_loop(core: &Arc<Core>, stream: TcpStream) {
                     &Response::Error {
                         code: ErrorCode::BadRequest,
                         message: e.to_string(),
+                        retry_after_ms: 0,
                     },
                 );
                 return;
@@ -639,6 +747,7 @@ fn conn_loop(core: &Arc<Core>, stream: TcpStream) {
                 &Response::Error {
                     code: ErrorCode::UnsupportedVersion,
                     message: format!("server speaks versions {MIN_VERSION}..={VERSION}"),
+                    retry_after_ms: 0,
                 },
             );
             return;
@@ -677,6 +786,7 @@ fn handle_frame(
                 &Response::Error {
                     code: ErrorCode::BadRequest,
                     message: e.to_string(),
+                    retry_after_ms: 0,
                 },
             );
             return false;
@@ -704,6 +814,7 @@ fn handle_frame(
                         &Response::Error {
                             code: ErrorCode::UnsupportedVersion,
                             message: format!("server speaks versions {MIN_VERSION}..={VERSION}"),
+                            retry_after_ms: 0,
                         },
                     );
                 }
@@ -765,6 +876,7 @@ fn handle_frame(
                 &Response::Error {
                     code: ErrorCode::BadRequest,
                     message: format!("target {t} out of range (store has {})", core.target.len()),
+                    retry_after_ms: 0,
                 },
             );
             return true;
@@ -781,12 +893,11 @@ fn handle_frame(
     };
 
     // Admission control: bounded outstanding work, shed beyond.
-    let admitted = {
+    let (admitted, outstanding) = {
         let mut st = lock(&core.dispatch);
-        if core.is_shutdown()
-            || st.queue.len() + st.executing >= core.cfg.max_inflight + core.cfg.queue_depth
-        {
-            false
+        let outstanding = st.queue.len() + st.executing;
+        if core.is_shutdown() || outstanding >= core.cfg.max_inflight + core.cfg.queue_depth {
+            (false, outstanding)
         } else {
             // Count admission before the request becomes claimable, so the
             // ledger invariant (`accounted ≤ admitted`) cannot be violated
@@ -794,7 +905,7 @@ fn handle_frame(
             core.stats.record_admitted();
             bump(&core.outcomes.admitted);
             st.queue.push_back(pending);
-            true
+            (true, outstanding)
         }
     };
     if admitted {
@@ -807,6 +918,7 @@ fn handle_frame(
             &Response::Error {
                 code: ErrorCode::Overloaded,
                 message: "admission queue full".to_string(),
+                retry_after_ms: core.retry_after_ms(outstanding),
             },
         );
     }
@@ -865,11 +977,20 @@ fn execute_batch(core: &Arc<Core>, mut batch: Vec<Pending>) {
     }
     let next = std::sync::atomic::AtomicUsize::new(0);
     let helpers = core.cfg.batch_helpers.min(groups.len()).saturating_sub(1);
-    tripro::pool::global().run_with(helpers, |_| loop {
-        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let Some(group) = groups.get(i) else { return };
-        for p in group {
-            serve_one(core, p);
+    tripro::pool::global().run_with(helpers, |_| {
+        // `serve_one` contains engine panics itself; this is the backstop
+        // for anything that escapes it on the *caller* participant, which
+        // would otherwise unwind into (and kill) the batch loop. Pool
+        // helpers are already contained by the pool's worker loop.
+        let contained = catch_unwind(AssertUnwindSafe(|| loop {
+            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let Some(group) = groups.get(i) else { return };
+            for p in group {
+                serve_one(core, p);
+            }
+        }));
+        if contained.is_err() {
+            obs::panic_counter("serve_batch").fetch_add(1, Ordering::Relaxed);
         }
     });
 }
@@ -883,18 +1004,36 @@ fn serve_one(core: &Core, p: &Pending) {
     let qc = core.query_config(p.deadline.clone());
     let stats = &core.exec_stats;
     let engine = Engine::new(&core.target, &core.source);
-    let result: Result<Vec<u32>, Error> = match p.op {
-        Op::Contains(pt) => PointQuery::new(&core.target).containing(
-            tripro_geom::vec3(pt[0], pt[1], pt[2]),
-            &qc,
-            stats,
-        ),
-        Op::Intersect(t) => engine.intersect_one(t, &qc, stats),
-        Op::Within(t, d) => engine.within_one(t, d, &qc, stats),
-        Op::Nn(t) => engine
-            .nn_one(t, &qc, stats)
-            .map(|nn| nn.into_iter().collect()),
-        Op::Knn(t, k) => engine.knn_one(t, k as usize, &qc, stats),
+    // Panic containment: a panicking query (engine bug or injected via the
+    // `serve.exec` failpoint) converts to a typed `Error::Internal` so it
+    // flows through the ordinary failure path — accounted in the ledger,
+    // answered over the wire, and the server keeps serving.
+    let exec = catch_unwind(AssertUnwindSafe(|| -> Result<Vec<u32>, Error> {
+        fault::failpoint(fault::SERVE_EXEC)?;
+        match p.op {
+            Op::Contains(pt) => PointQuery::new(&core.target).containing(
+                tripro_geom::vec3(pt[0], pt[1], pt[2]),
+                &qc,
+                stats,
+            ),
+            Op::Intersect(t) => engine.intersect_one(t, &qc, stats),
+            Op::Within(t, d) => engine.within_one(t, d, &qc, stats),
+            Op::Nn(t) => engine
+                .nn_one(t, &qc, stats)
+                .map(|nn| nn.into_iter().collect()),
+            Op::Knn(t, k) => engine.knn_one(t, k as usize, &qc, stats),
+        }
+    }));
+    let result: Result<Vec<u32>, Error> = match exec {
+        Ok(r) => r,
+        Err(payload) => {
+            core.stats.record_panic();
+            obs::panic_counter("serve_request").fetch_add(1, Ordering::Relaxed);
+            Err(Error::Internal {
+                context: "serve.request",
+                message: fault::panic_message(payload.as_ref()),
+            })
+        }
     };
     match result {
         Ok(ids) => {
@@ -912,6 +1051,7 @@ fn serve_one(core: &Core, p: &Pending) {
                 &Response::Error {
                     code: ErrorCode::DeadlineExceeded,
                     message: "deadline expired during refinement".to_string(),
+                    retry_after_ms: 0,
                 },
             );
         }
@@ -925,6 +1065,7 @@ fn serve_one(core: &Core, p: &Pending) {
                 &Response::Error {
                     code: ErrorCode::Internal,
                     message: e.to_string(),
+                    retry_after_ms: 0,
                 },
             );
         }

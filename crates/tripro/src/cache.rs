@@ -25,6 +25,7 @@
 //! decode anyway.
 
 use crate::error::{Error, Result};
+use crate::fault;
 use crate::obs;
 use crate::obs::SpanKind;
 use crate::stats::ExecStats;
@@ -360,6 +361,13 @@ impl DecodeCache {
     }
 
     fn insert(&self, key: Key, data: Arc<LodData>) {
+        // An injected insert fault degrades the cache (the entry is
+        // simply not retained) without affecting query correctness —
+        // chaos schedules use this to prove results don't depend on
+        // cache residency.
+        if fault::failpoint(fault::CACHE_INSERT).is_err() {
+            return;
+        }
         let tick = self.clock.fetch_add(1, Ordering::Relaxed);
         let delta = lock(&self.shards[shard_of(key)]).insert(key, data, tick);
         if delta >= 0 {
@@ -490,6 +498,7 @@ impl DecodeCache {
         stats: &ExecStats,
     ) -> Result<LodData> {
         let _span = obs::span_at(SpanKind::Decode, id, lod as u32);
+        fault::failpoint(fault::DECODE_LOD)?;
         let t0 = Instant::now();
         let state_shard = &self.states[id as usize % self.states.len()];
         // Take the state out so the decode itself runs without the map lock.
@@ -517,6 +526,7 @@ impl DecodeCache {
         stats: &ExecStats,
     ) -> Result<LodData> {
         let _span = obs::span_at(SpanKind::Decode, id, lod as u32);
+        fault::failpoint(fault::DECODE_LOD)?;
         let t0 = Instant::now();
         let decode_err = |source| Error::Decode { object: id, source };
         let mut pm = compressed.decoder().map_err(decode_err)?;

@@ -22,6 +22,17 @@ pub enum Error {
     /// was raised) before refinement completed. The partial answer is
     /// discarded rather than returned as if it were exact.
     DeadlineExceeded,
+    /// An internal invariant failed: a contained panic inside a worker or
+    /// pipeline stage, or a fault injected through a
+    /// [`fault`](crate::fault) failpoint. `context` names the containment
+    /// site (`"pipeline"`, failpoint site, ...), `message` carries the
+    /// panic payload or injected-fault description.
+    Internal {
+        /// Containment site or failpoint name.
+        context: &'static str,
+        /// Panic payload / fault description.
+        message: String,
+    },
 }
 
 /// Crate-wide result alias.
@@ -41,6 +52,9 @@ impl std::fmt::Display for Error {
             Error::DeadlineExceeded => {
                 write!(f, "deadline exceeded before refinement completed")
             }
+            Error::Internal { context, message } => {
+                write!(f, "internal error in {context}: {message}")
+            }
         }
     }
 }
@@ -51,7 +65,9 @@ impl std::error::Error for Error {
             Error::Decode { source, .. } => Some(source),
             Error::Mesh(source) => Some(source),
             Error::Io(e) => Some(e),
-            Error::BuildIncomplete { .. } | Error::DeadlineExceeded => None,
+            Error::BuildIncomplete { .. } | Error::DeadlineExceeded | Error::Internal { .. } => {
+                None
+            }
         }
     }
 }
@@ -89,6 +105,13 @@ mod tests {
             .contains("3"));
         let e = Error::DeadlineExceeded;
         assert!(e.to_string().contains("deadline"));
+        assert!(std::error::Error::source(&e).is_none());
+        let e = Error::Internal {
+            context: "pipeline",
+            message: "stage panicked".into(),
+        };
+        assert!(e.to_string().contains("pipeline"));
+        assert!(e.to_string().contains("stage panicked"));
         assert!(std::error::Error::source(&e).is_none());
     }
 }

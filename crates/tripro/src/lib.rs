@@ -56,6 +56,7 @@
 //! | [`profiler`] | LOD-list selection by pruned-fraction profiling (§4.4, §6.5) |
 //! | [`point`] | progressive point-containment queries |
 //! | [`deadline`] | cooperative deadline/cancel tokens polled between refinement rounds |
+//! | [`fault`] | deterministic fault-injection failpoints for chaos testing |
 //! | [`stats`] | filter/decode/compute breakdowns and per-LOD pair counters (§6) |
 //! | [`obs`] | span tracing, latency histograms, metrics registry + Prometheus exposition |
 
@@ -63,6 +64,7 @@ pub mod cache;
 pub mod compute;
 pub mod deadline;
 pub mod error;
+pub mod fault;
 pub mod gpu;
 pub mod obs;
 pub mod partition;
@@ -80,6 +82,7 @@ pub use cache::{DecodeCache, LodData};
 pub use compute::{Accel, Computer};
 pub use deadline::Deadline;
 pub use error::{Error, Result};
+pub use fault::{FaultAction, Trigger};
 pub use gpu::BatchExecutor;
 pub use obs::{Histogram, MetricsRegistry, TraceConfig};
 pub use pipeline::{run_pipeline, Channel};

@@ -331,6 +331,61 @@ pub fn pipeline_stall_counter(queue: usize) -> &'static AtomicU64 {
     &handles[queue.min(2)]
 }
 
+/// Panics caught by a containment boundary (pool worker, pipeline stage,
+/// serve request/connection handler). Contained panics convert to
+/// [`Error::Internal`](crate::Error::Internal) instead of unwinding the
+/// process; this counter is the audit trail that containment fired.
+#[must_use]
+pub fn panic_counter(context: &'static str) -> Arc<AtomicU64> {
+    registry().counter(
+        "tripro_panics_total",
+        "Panics caught and contained, by containment boundary.",
+        &[("context", context)],
+    )
+}
+
+/// Failpoint actions fired, by site (see [`crate::fault`]). Incremented
+/// only when an armed failpoint actually triggers, so a zero series means
+/// the schedule never fired — chaos tests assert on exactly that.
+#[must_use]
+pub fn fault_injection_counter(site: &str) -> Arc<AtomicU64> {
+    registry().counter(
+        "tripro_fault_injections_total",
+        "Fault-injection failpoint actions fired, by site.",
+        &[("site", site)],
+    )
+}
+
+/// Retries-per-request distribution observed by the resilient serve
+/// client (0 = first attempt succeeded). `_sum/_count` is the mean retry
+/// rate; the p99 shows whether the retry budget is actually being spent.
+#[inline]
+#[must_use]
+pub fn request_retries_histogram() -> &'static Histogram {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| {
+        registry().histogram(
+            "tripro_request_retries",
+            "Retries per request observed by the retrying serve client.",
+            &[],
+        )
+    })
+}
+
+/// Total backoff slept per request by the retrying serve client.
+#[inline]
+#[must_use]
+pub fn retry_backoff_histogram() -> &'static Histogram {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| {
+        registry().histogram(
+            "tripro_retry_backoff_seconds",
+            "Backoff slept per request by the retrying serve client.",
+            &[],
+        )
+    })
+}
+
 /// Resource-manager task counter by executor role.
 #[must_use]
 pub fn resource_task_counter(device: &str) -> Arc<AtomicU64> {

@@ -40,13 +40,26 @@
 //! every queue and wakes all parkers; in-flight items are dropped, every
 //! participant returns promptly, and [`run_pipeline`] surfaces the typed
 //! [`Error::DeadlineExceeded`].
+//!
+//! ## Panic containment
+//!
+//! Every unit of stage work runs inside `catch_unwind`. Without it, a
+//! panicking stage closure would leak its hub token (`outstanding` never
+//! drains) and park every other participant forever. A contained panic
+//! aborts the pipeline exactly like a deadline expiry — tokens stop
+//! mattering once the exit condition is "aborted" — and [`run_pipeline`]
+//! returns [`Error::Internal`] carrying the first panic's message
+//! (counted in `tripro_panics_total{context="pipeline"}`).
 
 use crate::deadline::Deadline;
 use crate::error::{Error, Result};
+use crate::fault;
+use crate::fault::FaultAction;
 use crate::obs;
 use crate::stats::ExecStats;
 use crate::sync::{lock, wait_timeout, Condvar, Mutex};
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -114,6 +127,22 @@ impl<T> Channel<T> {
 
     /// Try to enqueue without blocking.
     pub fn try_push(&self, item: T) -> PushOutcome<T> {
+        // Injected push faults (evaluated before the queue lock): Delay
+        // models a slow consumer; every erroring action maps to `Full`,
+        // which forces the inline-downstream backpressure path — the item
+        // is never lost, only rerouted; Panic exercises the stage
+        // containment boundary in `run_pipeline`'s workers.
+        match fault::hit(fault::PIPELINE_PUSH) {
+            None => {}
+            Some(FaultAction::Delay(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+            Some(FaultAction::Panic) => {
+                // tripro_lint::allow(no_panic): deliberate injected panic —
+                // chaos schedules fire this inside the pipeline's
+                // catch_unwind containment, which is what's under test.
+                panic!("injected panic at failpoint pipeline.chan.push")
+            }
+            Some(_) => return PushOutcome::Full(item),
+        }
         let mut st = lock(&self.chan);
         if st.closed {
             return PushOutcome::Closed(item);
@@ -207,6 +236,11 @@ struct Pipe<'a, A, B, C, G, D, K, E> {
     /// Workers currently busy per stage, for the concurrent-stage
     /// occupancy histogram (the direct overlap witness).
     busy: [AtomicU64; 4],
+    /// First contained stage panic, surfaced as [`Error::Internal`].
+    // LOCK-RANK(46): panic note; a leaf lock touched only on the (cold)
+    // contained-panic path and once at pipeline exit, with no other
+    // pipeline lock held.
+    panic_note: Mutex<Option<String>>,
 }
 
 impl<A, B, C, G, D, K, E> Pipe<'_, A, B, C, G, D, K, E>
@@ -422,6 +456,25 @@ where
         }
     }
 
+    /// Run one unit of stage work, containing any panic. A panic inside a
+    /// stage closure would otherwise unwind the participant with its hub
+    /// token still outstanding — `outstanding` would never drain and every
+    /// other participant would park forever. Containment records the first
+    /// payload and aborts the pipeline, which switches every participant's
+    /// exit condition from "drained" to "aborted"; the leaked token is
+    /// then moot and [`run_pipeline`] surfaces a typed
+    /// [`Error::Internal`] instead of a hang or an unwind.
+    fn contain(&self, work: impl FnOnce()) {
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(work)) {
+            obs::panic_counter("pipeline").fetch_add(1, Ordering::Relaxed);
+            let msg = fault::panic_message(payload.as_ref());
+            let mut note = lock(&self.panic_note);
+            note.get_or_insert(msg);
+            drop(note);
+            self.abort_all();
+        }
+    }
+
     /// The loop every pool participant runs: drain the latest non-empty
     /// stage first (retire before admit), else start new work, else park.
     fn worker(&self) {
@@ -434,19 +487,19 @@ where
                 return;
             }
             if let PopOutcome::Item(c) = self.qc.try_pop() {
-                self.run_eval(c);
+                self.contain(|| self.run_eval(c));
                 continue;
             }
             if let PopOutcome::Item(b) = self.qb.try_pop() {
-                self.run_build(b);
+                self.contain(|| self.run_build(b));
                 continue;
             }
             if let PopOutcome::Item(a) = self.qa.try_pop() {
-                self.run_decode(a);
+                self.contain(|| self.run_decode(a));
                 continue;
             }
             if let Some(i) = self.claim_input() {
-                self.run_gen(i);
+                self.contain(|| self.run_gen(i));
                 continue;
             }
             if !self.park() {
@@ -472,7 +525,11 @@ where
 /// [`Error::DeadlineExceeded`] if the deadline expired or the token was
 /// cancelled before the pipeline drained — in-flight items are dropped,
 /// not evaluated, and every participant has returned by then (the pool's
-/// broadcast region does not complete before its workers do).
+/// broadcast region does not complete before its workers do). Returns
+/// [`Error::Internal`] if a stage closure panicked: the panic is
+/// contained, the pipeline aborts, and the first payload's message is
+/// carried in the error (see the module docs on panic containment).
+#[allow(clippy::too_many_arguments)] // one closure per stage is the whole point
 pub fn run_pipeline<A, B, C>(
     n_inputs: usize,
     workers: usize,
@@ -510,9 +567,16 @@ where
         build,
         eval,
         busy: std::array::from_fn(|_| AtomicU64::new(0)),
+        panic_note: Mutex::new(None),
     };
     let helpers = workers.max(1) - 1;
     crate::pool::global().run_with(helpers, |_| pipe.worker());
+    if let Some(message) = lock(&pipe.panic_note).take() {
+        return Err(Error::Internal {
+            context: "pipeline",
+            message,
+        });
+    }
     if pipe.aborted() {
         return Err(Error::DeadlineExceeded);
     }
@@ -561,7 +625,7 @@ mod tests {
                 2,
                 &Deadline::none(),
                 &stats,
-                |i| Some(i),
+                Some,
                 |i| i * 10,
                 |i| vec![i, i + 1, i + 2],
                 |v| seen.lock().unwrap().push(v),
@@ -655,7 +719,7 @@ mod tests {
             2,
             &deadline,
             &stats,
-            |i| Some(i),
+            Some,
             |i| i,
             |i| {
                 if i == 5 {
@@ -680,6 +744,56 @@ mod tests {
     }
 
     #[test]
+    fn stage_panic_is_contained_and_typed() {
+        let stats = ExecStats::new();
+        let evaluated = AtomicUsize::new(0);
+        let r = run_pipeline(
+            50,
+            4,
+            2,
+            &Deadline::none(),
+            &stats,
+            Some,
+            |i| i,
+            |i| {
+                if i == 7 {
+                    panic!("poisoned batch 7");
+                }
+                vec![i]
+            },
+            |_| {
+                evaluated.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        match r {
+            Err(Error::Internal { context, message }) => {
+                assert_eq!(context, "pipeline");
+                assert!(message.contains("poisoned batch 7"), "message: {message}");
+            }
+            other => panic!("expected Error::Internal, got {other:?}"),
+        }
+        // Neither the pool nor the pipeline machinery leaked: a fresh
+        // pipeline on the same global pool completes fully.
+        let stats = ExecStats::new();
+        let total = AtomicUsize::new(0);
+        let r = run_pipeline(
+            10,
+            4,
+            2,
+            &Deadline::none(),
+            &stats,
+            Some,
+            |i| i,
+            |i| vec![i],
+            |_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert!(r.is_ok());
+        assert_eq!(total.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
     fn backpressure_engages_on_tiny_queues() {
         let stats = ExecStats::new();
         let total = AtomicUsize::new(0);
@@ -691,7 +805,7 @@ mod tests {
             1,
             &Deadline::none(),
             &stats,
-            |i| Some(i),
+            Some,
             |i| i,
             |i| vec![i, i],
             |_| {

@@ -22,10 +22,12 @@
 //! * a nested `run_with` that finds the broadcast slot occupied simply runs
 //!   inline — it never waits for workers that may transitively wait on it.
 
+use crate::fault;
 use crate::obs;
 use crate::sync::{lock, wait, Condvar, Mutex};
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
@@ -251,9 +253,24 @@ fn worker_loop(shared: &Shared) {
                 // The claim above incremented `active` under the lock, so
                 // the `run_with` frame owning `ptr` cannot return (and the
                 // closure cannot be dropped) until the decrement below.
-                // SAFETY: `ptr` outlives this call per the above, and the
-                // closure is `Sync` so concurrent worker calls are allowed.
-                let result = catch_unwind(AssertUnwindSafe(|| unsafe { call(ptr, idx) }));
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    // An Err-armed dispatch failpoint makes this helper
+                    // decline the claim (the caller participant still
+                    // completes the region); Delay models queue latency
+                    // and Panic a worker dying mid-job, contained here.
+                    if fault::failpoint(fault::POOL_DISPATCH).is_ok() {
+                        // SAFETY: `ptr` outlives this call per the above,
+                        // and the closure is `Sync` so concurrent worker
+                        // calls are allowed.
+                        unsafe { call(ptr, idx) }
+                    }
+                }));
+                if result.is_err() {
+                    // The worker thread survives the panic (contained by
+                    // the catch above); the payload is re-raised in the
+                    // region's caller, never lost.
+                    obs::panic_counter("pool").fetch_add(1, Ordering::Relaxed);
+                }
                 st = lock(&shared.state);
                 if let Some(job) = st.job.as_mut() {
                     if job.epoch == epoch {

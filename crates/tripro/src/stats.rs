@@ -263,6 +263,12 @@ pub struct ServiceStats {
     pub failed: AtomicU64,
     /// Frames rejected as malformed/oversized/unsupported.
     pub protocol_errors: AtomicU64,
+    /// Panics caught by the serve containment boundary while executing a
+    /// request. A subset of `failed` (every contained panic is also
+    /// recorded as failed, so the accounting identity is unchanged);
+    /// tracked separately because a panic is a bug signal, not a
+    /// data-dependent failure.
+    pub panics: AtomicU64,
 }
 
 impl ServiceStats {
@@ -300,6 +306,11 @@ impl ServiceStats {
         self.protocol_errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    #[inline]
+    pub fn record_panic(&self) {
+        self.panics.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Snapshot into a plain, serialisable struct.
     pub fn snapshot(&self) -> ServiceSnapshot {
         ServiceSnapshot {
@@ -309,6 +320,7 @@ impl ServiceStats {
             completed: self.completed.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
         }
     }
 }
@@ -322,6 +334,8 @@ pub struct ServiceSnapshot {
     pub completed: u64,
     pub failed: u64,
     pub protocol_errors: u64,
+    /// Contained request panics (a subset of `failed`).
+    pub panics: u64,
 }
 
 impl ServiceSnapshot {

@@ -229,6 +229,26 @@ mod tests {
         assert!(sync_rules.contains(&Rule::CondvarWaitLoop));
     }
 
+    #[test]
+    fn fault_and_panic_path_modules_are_fully_linted() {
+        // The failpoint registry and the serve fault/retry paths are the
+        // code that runs *during* injected failures — precisely when a
+        // stray unwrap or mis-ranked lock would turn an injected fault
+        // into a real outage. Pin them into the no-panic set and the full
+        // concurrency battery so they cannot silently drop out.
+        for file in [
+            "crates/tripro/src/fault.rs",
+            "crates/serve/src/server.rs",
+            "crates/serve/src/client.rs",
+        ] {
+            let rules = rules_for(file);
+            assert!(rules.contains(&Rule::NoPanic), "{file} must be no-panic");
+            for rule in [Rule::LockOrder, Rule::AtomicOrdering, Rule::CondvarWaitLoop] {
+                assert!(rules.contains(&rule), "{file} must be under {rule:?}");
+            }
+        }
+    }
+
     const CONC_VIOLATIONS: &str = include_str!("../fixtures/conc_violations.rs.fixture");
     const CONC_CLEAN: &str = include_str!("../fixtures/conc_clean.rs.fixture");
 

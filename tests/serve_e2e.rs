@@ -36,7 +36,7 @@ fn start(cfg: ServeConfig) -> (Server, Arc<ObjectStore>, Arc<ObjectStore>) {
 fn ids_of(reply: QueryReply) -> Vec<u32> {
     match reply {
         QueryReply::Ids(ids) => ids,
-        QueryReply::Error { code, message } => panic!("unexpected error {code:?}: {message}"),
+        QueryReply::Error { code, message, .. } => panic!("unexpected error {code:?}: {message}"),
     }
 }
 
@@ -241,6 +241,63 @@ fn bad_requests_and_malformed_frames_are_rejected() {
 
     let s = server.stats();
     assert!(s.protocol_errors >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn mid_frame_disconnects_do_not_stall_dispatch() {
+    // A client may die at any byte offset of a frame. The server must
+    // treat each case as a clean (counted) transport failure on that one
+    // connection — never stall the accept loop or dispatcher, never wedge
+    // other clients.
+    let (server, _t, _s) = start(ServeConfig::default());
+    let addr = server.addr();
+
+    let frame = tripro_serve::protocol::encode_request(
+        7,
+        &Request::Intersect {
+            target: 0,
+            deadline_ms: u32::MAX,
+        },
+    );
+    let header_len = tripro_serve::protocol::HEADER_LEN;
+    assert!(frame.len() > header_len, "query frame must carry a payload");
+
+    // Cut points: mid-header after the length prefix, one byte short of a
+    // full header, and mid-payload after a complete header.
+    for cut in [4, header_len - 1, header_len + 1] {
+        use std::io::Write;
+        let mut raw = std::net::TcpStream::connect(addr).expect("raw connect");
+        raw.write_all(&frame[..cut]).expect("write prefix");
+        drop(raw); // disconnect mid-frame
+
+        // The server must keep serving new connections and queries.
+        let mut client = Client::connect(addr).expect("connect after cut");
+        let reply = client
+            .query(&Request::Intersect {
+                target: 0,
+                deadline_ms: u32::MAX,
+            })
+            .expect("query after cut");
+        assert!(reply.ids().is_some(), "cut at {cut} wedged the server");
+    }
+
+    // Every truncated frame is a counted protocol error, and none of them
+    // may leak an admission (the cut frames never reached dispatch).
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let s = server.stats();
+        // (completed lags admitted briefly: outcomes tick after the reply
+        // is sent, so poll for both.)
+        if s.protocol_errors >= 3 && s.admitted == s.completed {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "truncated frames never surfaced as protocol errors ({s:?})"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
     server.shutdown();
 }
 
