@@ -52,6 +52,9 @@ impl OpKind {
 #[derive(Default)]
 struct Tally {
     ok: u64,
+    /// Successful replies flagged partial (a shard failed under a
+    /// coordinator's `--allow-partial` kNN).
+    partial: u64,
     overloaded: u64,
     deadline_expired: u64,
     errors: u64,
@@ -61,6 +64,10 @@ struct Tally {
     reconnects: u64,
     /// Requests still `Overloaded` after their whole retry budget.
     gave_up: u64,
+    /// Replies compared against the `--verify` reference endpoint.
+    verified: u64,
+    /// Compared replies that diverged from the reference (fails the run).
+    mismatches: u64,
     /// Total backoff slept across all retries, seconds.
     retry_backoff_s: f64,
     /// First-attempt latencies (requests answered without a retry),
@@ -71,7 +78,9 @@ struct Tally {
 }
 
 struct Args {
-    addr: String,
+    /// Endpoints to drive; clients round-robin across them. One entry for
+    /// a single engine or coordinator, several to spread load over shards.
+    addrs: Vec<String>,
     clients: usize,
     requests: usize,
     rate: f64,
@@ -84,13 +93,18 @@ struct Args {
     retry_max_ms: u64,
     seed: u64,
     shutdown: bool,
+    /// Reference endpoint: every successful reply from the driven
+    /// endpoint is compared against this one's answer for the same
+    /// request; any divergence fails the run. The byte-identity gate for
+    /// a coordinator fronting shards vs a single engine.
+    verify: Option<String>,
     out: String,
 }
 
 fn parse_args() -> Result<Args, String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut a = Args {
-        addr: "127.0.0.1:3750".to_string(),
+        addrs: vec!["127.0.0.1:3750".to_string()],
         clients: 4,
         requests: 100,
         rate: 0.0,
@@ -109,6 +123,7 @@ fn parse_args() -> Result<Args, String> {
         retry_max_ms: 2_000,
         seed: 0x3D50,
         shutdown: false,
+        verify: None,
         out: "target/harness/BENCH_serve.json".to_string(),
     };
     let mut i = 0;
@@ -121,7 +136,16 @@ fn parse_args() -> Result<Args, String> {
                 .ok_or_else(|| format!("{flag} needs a value"))
         };
         match flag {
-            "--addr" => a.addr = val(&mut i)?,
+            "--addr" => {
+                a.addrs = val(&mut i)?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                if a.addrs.is_empty() {
+                    return Err("--addr needs at least one host:port".to_string());
+                }
+            }
             "--clients" => a.clients = val(&mut i)?.parse().map_err(|_| "bad --clients")?,
             "--requests" => a.requests = val(&mut i)?.parse().map_err(|_| "bad --requests")?,
             "--rate" => a.rate = val(&mut i)?.parse().map_err(|_| "bad --rate")?,
@@ -149,13 +173,14 @@ fn parse_args() -> Result<Args, String> {
             }
             "--seed" => a.seed = val(&mut i)?.parse().map_err(|_| "bad --seed")?,
             "--shutdown" => a.shutdown = true,
+            "--verify" => a.verify = Some(val(&mut i)?),
             "--out" => a.out = val(&mut i)?,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: tripro-load --addr HOST:PORT [--clients N] [--requests R] \
+                    "usage: tripro-load --addr HOST:PORT[,HOST:PORT...] [--clients N] [--requests R] \
                      [--rate RPS] [--deadline-ms MS] [--mix a,b,...] [--within-d D] \
                      [--k K] [--retries N] [--retry-base-ms MS] [--retry-max-ms MS] \
-                     [--seed S] [--shutdown] [--out FILE]"
+                     [--seed S] [--shutdown] [--verify HOST:PORT] [--out FILE]"
                 );
                 std::process::exit(0);
             }
@@ -221,7 +246,16 @@ fn drive_client(a: &Args, n_targets: u64, client: usize, start: Instant) -> Resu
         // Per-client jitter streams stay disjoint but seed-deterministic.
         seed: a.seed ^ ((client as u64) << 17),
     };
-    let mut c = RetryingClient::connect(&a.addr, policy).map_err(|e| format!("connect: {e}"))?;
+    // Round-robin endpoint assignment: client i drives endpoint i mod N.
+    let addr = &a.addrs[client % a.addrs.len()];
+    let mut c =
+        RetryingClient::connect(addr, policy.clone()).map_err(|e| format!("connect: {e}"))?;
+    let mut verify = match &a.verify {
+        Some(v) => {
+            Some(RetryingClient::connect(v, policy).map_err(|e| format!("verify connect: {e}"))?)
+        }
+        None => None,
+    };
     let mut t = Tally::default();
     // Open-loop: this client owns every a.clients-th slot of the global
     // arrival clock.
@@ -246,8 +280,32 @@ fn drive_client(a: &Args, n_targets: u64, client: usize, start: Instant) -> Resu
                 if oc.attempts == 1 {
                     t.latencies.push(elapsed);
                 }
+                // Byte-identity gate: a complete (non-partial) answer must
+                // match the reference endpoint's answer exactly.
+                if let (Some(v), Some(ids)) = (verify.as_mut(), reply.ids()) {
+                    if !matches!(reply, QueryReply::PartialIds(_)) {
+                        match v.query(&req) {
+                            Ok((vreply, _)) => {
+                                t.verified += 1;
+                                if vreply.ids() != Some(ids) {
+                                    t.mismatches += 1;
+                                    eprintln!(
+                                        "[tripro-load] MISMATCH on {req:?}: {:?} vs reference \
+                                         {:?}",
+                                        reply, vreply
+                                    );
+                                }
+                            }
+                            Err(e) => return Err(format!("verify endpoint died: {e}")),
+                        }
+                    }
+                }
                 match reply {
-                    QueryReply::Ids(_) => t.ok += 1,
+                    QueryReply::Ids(_) | QueryReply::Scored { partial: false, .. } => t.ok += 1,
+                    QueryReply::PartialIds(_) | QueryReply::Scored { partial: true, .. } => {
+                        t.ok += 1;
+                        t.partial += 1;
+                    }
                     QueryReply::Error { code, .. } => match code {
                         ErrorCode::Overloaded => {
                             t.overloaded += 1;
@@ -269,6 +327,29 @@ fn drive_client(a: &Args, n_targets: u64, client: usize, start: Instant) -> Resu
     Ok(t)
 }
 
+/// Sum every sample of one metric family (any label set) in a Prometheus
+/// text exposition; `None` when the family never appears.
+fn scrape_sum(text: &str, family: &str) -> Option<f64> {
+    let mut sum = 0.0;
+    let mut seen = false;
+    for line in text.lines() {
+        if line.starts_with('#') {
+            continue;
+        }
+        let Some((sample, value)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        let name = sample.split_once('{').map_or(sample, |(n, _)| n);
+        if name == family {
+            if let Ok(v) = value.trim().parse::<f64>() {
+                sum += v;
+                seen = true;
+            }
+        }
+    }
+    seen.then_some(sum)
+}
+
 fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
@@ -286,22 +367,27 @@ fn main() {
         }
     };
 
-    // Learn the store size (for valid target ids) and prove liveness.
+    // Learn the store size (for valid target ids) and prove liveness of
+    // every endpoint before spending any load.
     let n_targets = {
-        let mut probe = match Client::connect(&a.addr) {
-            Ok(c) => c,
-            Err(e) => {
-                eprintln!("tripro-load: cannot connect to {}: {e}", a.addr);
-                std::process::exit(1);
-            }
-        };
-        match probe.stats() {
-            Ok(s) => s.target_objects,
-            Err(e) => {
-                eprintln!("tripro-load: stats probe failed: {e}");
-                std::process::exit(1);
+        let mut n = 0u64;
+        for addr in &a.addrs {
+            let mut probe = match Client::connect(addr) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("tripro-load: cannot connect to {addr}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            match probe.stats() {
+                Ok(s) => n = s.target_objects,
+                Err(e) => {
+                    eprintln!("tripro-load: stats probe failed for {addr}: {e}");
+                    std::process::exit(1);
+                }
             }
         }
+        n
     };
 
     let start = Instant::now();
@@ -323,12 +409,15 @@ fn main() {
         match t {
             Ok(t) => {
                 total.ok += t.ok;
+                total.partial += t.partial;
                 total.overloaded += t.overloaded;
                 total.deadline_expired += t.deadline_expired;
                 total.errors += t.errors;
                 total.retries += t.retries;
                 total.reconnects += t.reconnects;
                 total.gave_up += t.gave_up;
+                total.verified += t.verified;
+                total.mismatches += t.mismatches;
                 total.retry_backoff_s += t.retry_backoff_s;
                 total.latencies.extend(t.latencies);
                 total.all_latencies.extend(t.all_latencies);
@@ -380,12 +469,51 @@ fn main() {
         total.retries, total.reconnects, total.gave_up, total.retry_backoff_s, p99_with_retries_ms
     );
 
+    // Scatter-gather columns: scrape the first endpoint (the coordinator
+    // when one fronts the cluster) for fan-out, merge-latency and
+    // per-shard error metrics. A plain engine reports all zeros.
+    let (fanout_avg, fanout_queries, merge_ms_avg, shard_errors) = {
+        let text = Client::connect(&a.addrs[0])
+            .and_then(|mut c| c.metrics())
+            .unwrap_or_default();
+        let fo_sum = scrape_sum(&text, "tripro_shard_fanout_sum").unwrap_or(0.0);
+        let fo_count = scrape_sum(&text, "tripro_shard_fanout_count").unwrap_or(0.0);
+        let mg_sum = scrape_sum(&text, "tripro_merge_seconds_sum").unwrap_or(0.0);
+        let mg_count = scrape_sum(&text, "tripro_merge_seconds_count").unwrap_or(0.0);
+        let errs = scrape_sum(&text, "tripro_shard_errors_total").unwrap_or(0.0);
+        (
+            // Integer histograms expose `_sum` through the same
+            // nanosecond-scaled ladder as durations; undo the 1e-9.
+            if fo_count > 0.0 {
+                fo_sum * 1e9 / fo_count
+            } else {
+                0.0
+            },
+            fo_count as u64,
+            if mg_count > 0.0 {
+                mg_sum / mg_count * 1e3
+            } else {
+                0.0
+            },
+            errs as u64,
+        )
+    };
+    if fanout_queries > 0 {
+        eprintln!(
+            "[tripro-load] coordinator: {} fanned-out queries, avg fanout {:.2}, \
+             avg merge {:.3}ms, {} shard errors, {} partial replies",
+            fanout_queries, fanout_avg, merge_ms_avg, shard_errors, total.partial
+        );
+    }
+
     if a.shutdown {
-        match Client::connect(&a.addr).and_then(|mut c| c.shutdown_server()) {
-            Ok(()) => eprintln!("[tripro-load] server shutdown acknowledged"),
-            Err(e) => {
-                eprintln!("[tripro-load] shutdown failed: {e}");
-                transport_failures += 1;
+        for addr in &a.addrs {
+            match Client::connect(addr).and_then(|mut c| c.shutdown_server()) {
+                Ok(()) => eprintln!("[tripro-load] {addr}: shutdown acknowledged"),
+                Err(e) => {
+                    eprintln!("[tripro-load] {addr}: shutdown failed: {e}");
+                    transport_failures += 1;
+                }
             }
         }
     }
@@ -398,15 +526,19 @@ fn main() {
     };
     let json = format!(
         concat!(
-            "{{\"addr\":\"{}\",\"mode\":\"{}\",\"clients\":{},\"requests_per_client\":{},",
+            "{{\"addr\":\"{}\",\"endpoints\":{},\"mode\":\"{}\",\"clients\":{},",
+            "\"requests_per_client\":{},",
             "\"offered_rate\":{:.3},\"deadline_ms\":{},\"seconds\":{:.6},",
-            "\"answered\":{},\"ok\":{},\"overloaded\":{},\"deadline_expired\":{},",
+            "\"answered\":{},\"ok\":{},\"partial\":{},\"overloaded\":{},\"deadline_expired\":{},",
             "\"errors\":{},\"transport_failures\":{},\"retries\":{},\"reconnects\":{},",
             "\"gave_up\":{},\"retry_budget\":{},\"retry_backoff_s\":{:.6},",
             "\"throughput_rps\":{:.3},\"p50_ms\":{:.4},\"p90_ms\":{:.4},\"p99_ms\":{:.4},",
-            "\"p99_with_retries_ms\":{:.4},\"max_ms\":{:.4}}}\n"
+            "\"p99_with_retries_ms\":{:.4},\"max_ms\":{:.4},",
+            "\"fanout_queries\":{},\"fanout_avg\":{:.4},\"merge_ms_avg\":{:.4},",
+            "\"shard_errors\":{},\"verified\":{},\"mismatches\":{}}}\n"
         ),
-        a.addr,
+        a.addrs.join(","),
+        a.addrs.len(),
         mode,
         a.clients,
         a.requests,
@@ -415,6 +547,7 @@ fn main() {
         elapsed,
         answered,
         total.ok,
+        total.partial,
         total.overloaded,
         total.deadline_expired,
         total.errors,
@@ -429,7 +562,13 @@ fn main() {
         lat_ms(0.90),
         lat_ms(0.99),
         p99_with_retries_ms,
-        max_ms
+        max_ms,
+        fanout_queries,
+        fanout_avg,
+        merge_ms_avg,
+        shard_errors,
+        total.verified,
+        total.mismatches
     );
     if let Some(dir) = std::path::Path::new(&a.out).parent() {
         std::fs::create_dir_all(dir).expect("create output dir");
@@ -438,7 +577,13 @@ fn main() {
     eprintln!("[tripro-load] wrote {}", a.out);
     println!("{json}");
 
-    if total.errors > 0 || transport_failures > 0 {
+    if a.verify.is_some() {
+        eprintln!(
+            "[tripro-load] verify: {} replies compared, {} mismatches",
+            total.verified, total.mismatches
+        );
+    }
+    if total.errors > 0 || transport_failures > 0 || total.mismatches > 0 {
         std::process::exit(1);
     }
 }

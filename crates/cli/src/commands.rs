@@ -302,7 +302,9 @@ pub fn query(kind: &str, a: &Parsed) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `tripro serve` — expose two stores over the wire protocol.
+/// `tripro serve` — expose two stores over the wire protocol, either as
+/// a standalone engine, one shard of a cluster (`--shard-index` /
+/// `--shard-count`), or the coordinator fronting one (`--coordinator`).
 pub fn serve(a: &Parsed) -> Result<(), CliError> {
     use std::sync::Arc;
     use std::time::Duration;
@@ -317,8 +319,48 @@ pub fn serve(a: &Parsed) -> Result<(), CliError> {
         eprintln!("fault injection: {armed_sites} failpoint(s) armed from TRIPRO_FAILPOINTS");
     }
 
+    if a.has("coordinator") {
+        return serve_coordinator(a);
+    }
+
     let target = Arc::new(load_store(a.require("target")?)?);
-    let source = Arc::new(load_store(a.require("source")?)?);
+    let source = load_store(a.require("source")?)?;
+
+    // Shard mode: cut the source store down to this shard's replica set
+    // under the shared (epoch, cell, count) map before serving.
+    let shard_count: u32 = a.get_parsed("shard-count", 1u32)?;
+    let (source, shard, source_ids) = if shard_count > 1 {
+        let index: u32 = a.get_parsed("shard-index", 0u32)?;
+        if index >= shard_count {
+            return Err(CliError::msg(format!(
+                "--shard-index {index} out of range for --shard-count {shard_count}"
+            )));
+        }
+        let epoch: u64 = a.get_parsed("epoch", 1u64)?;
+        let map = tripro_serve::ShardMap::new(
+            epoch,
+            tripro_serve::ShardMap::cell_for(&target),
+            shard_count,
+        );
+        let source_total = source.len() as u64;
+        let (local, ids) = tripro_serve::partition_source(source, &map, index, 256 << 20);
+        eprintln!(
+            "shard {index}/{shard_count} (epoch {epoch}): holds {} of {source_total} \
+             source objects after boundary replication",
+            local.len()
+        );
+        (
+            Arc::new(local),
+            Some(tripro_serve::ShardView {
+                map,
+                index,
+                source_total,
+            }),
+            Some(ids),
+        )
+    } else {
+        (Arc::new(source), None, None)
+    };
 
     let defaults = ServeConfig::default();
     let mut cfg = ServeConfig {
@@ -332,6 +374,8 @@ pub fn serve(a: &Parsed) -> Result<(), CliError> {
         max_inflight: a.get_parsed("max-inflight", defaults.max_inflight)?,
         queue_depth: a.get_parsed("queue-depth", defaults.queue_depth)?,
         max_connections: a.get_parsed("max-connections", defaults.max_connections)?,
+        shard,
+        source_ids,
         ..defaults
     };
     let cap_ms: u64 = a.get_parsed("deadline-cap-ms", 0u64)?;
@@ -374,6 +418,77 @@ pub fn serve(a: &Parsed) -> Result<(), CliError> {
         s.admitted, s.completed, s.failed, s.panics, s.shed, s.deadline_expired, s.protocol_errors
     );
     server.shutdown();
+    Ok(())
+}
+
+/// `tripro serve --coordinator` — front a set of shard engines with a
+/// scatter-gather coordinator. Loads the target store only (routing needs
+/// MBBs, never geometry); backends are validated over `ShardInfo` before
+/// the listener opens.
+fn serve_coordinator(a: &Parsed) -> Result<(), CliError> {
+    use std::sync::Arc;
+    use std::time::Duration;
+    use tripro_serve::{Coordinator, CoordinatorConfig};
+
+    let target = Arc::new(load_store(a.require("target")?)?);
+    let shards: Vec<String> = a
+        .require("shards")?
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if shards.is_empty() {
+        return Err(CliError::msg("--shards needs at least one host:port"));
+    }
+
+    let defaults = CoordinatorConfig::default();
+    let mut cfg = CoordinatorConfig {
+        addr: a.get("addr").unwrap_or("127.0.0.1:3750").to_string(),
+        shards,
+        epoch: a.get_parsed("epoch", 1u64)?,
+        max_inflight: a.get_parsed("max-inflight", defaults.max_inflight)?,
+        per_shard_budget: a.get_parsed("per-shard-budget", defaults.per_shard_budget)?,
+        max_connections: a.get_parsed("max-connections", defaults.max_connections)?,
+        allow_partial: a.has("allow-partial"),
+        ..defaults
+    };
+    let cap_ms: u64 = a.get_parsed("deadline-cap-ms", 0u64)?;
+    if cap_ms > 0 {
+        cfg.deadline_cap = Some(Duration::from_millis(cap_ms));
+    }
+    let trace_slow_ms: u64 = a.get_parsed("trace-slow-ms", 0u64)?;
+    if trace_slow_ms > 0 {
+        cfg.trace = tripro::TraceConfig {
+            enabled: true,
+            slow_threshold: Duration::from_millis(trace_slow_ms),
+            ..Default::default()
+        };
+    }
+
+    let n_shards = cfg.shards.len();
+    let coord = Coordinator::start(target, cfg).map_err(|e| CliError::msg(e.to_string()))?;
+    eprintln!(
+        "coordinating {n_shards} shard(s) on {} (epoch {}); \
+         send a Shutdown frame to stop",
+        coord.addr(),
+        coord.shard_map().epoch
+    );
+    let duration_s: u64 = a.get_parsed("duration", 0u64)?;
+    if duration_s > 0 {
+        std::thread::sleep(Duration::from_secs(duration_s));
+    } else {
+        // tripro_lint::allow(condvar_wait_loop): Coordinator::wait is a
+        // blocking join API (it owns its predicate loop internally), not a
+        // raw Condvar wait.
+        coord.wait();
+    }
+    let s = coord.stats();
+    eprintln!(
+        "coordinated: {} admitted, {} completed, {} failed ({} from contained panics), \
+         {} shed, {} deadline-expired, {} protocol errors",
+        s.admitted, s.completed, s.failed, s.panics, s.shed, s.deadline_expired, s.protocol_errors
+    );
+    coord.shutdown();
     Ok(())
 }
 

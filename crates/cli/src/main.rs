@@ -87,11 +87,26 @@ USAGE:
   tripro serve --target DIR --source DIR [--addr HOST:PORT] [--fr] [--accel A]
                [--max-inflight N] [--queue-depth Q] [--max-connections C]
                [--deadline-cap-ms MS] [--duration SECS] [--trace-slow-ms MS]
+               [--shard-index I --shard-count N [--epoch E]]
       Serve both stores over the tripro-serve wire protocol
       (docs/protocol.md): admission-controlled, per-cuboid batched,
       deadline-aware. Default --addr 127.0.0.1:3750. With --duration the
       server exits after SECS; otherwise it runs until a Shutdown frame
-      (e.g. `tripro-load --shutdown`).
+      (e.g. `tripro-load --shutdown`). With --shard-index/--shard-count
+      the process serves one shard of a cluster: the source store is cut
+      to this shard's boundary-replicated subset under the (epoch, cell,
+      count) shard map shared with the coordinator (docs/sharding.md).
+
+  tripro serve --coordinator --target DIR --shards HOST:PORT,HOST:PORT,...
+               [--addr HOST:PORT] [--epoch E] [--max-inflight N]
+               [--per-shard-budget B] [--allow-partial]
+               [--deadline-cap-ms MS] [--duration SECS]
+      Front a set of shard engines with a scatter-gather coordinator:
+      single-object queries route to owning shards, joins fan out and
+      merge byte-identically to a single engine. Backends are validated
+      (epoch, shard map, dataset fingerprints) before serving.
+      --allow-partial lets kNN answer with a partial-flagged result when
+      a shard fails instead of a typed error.
 
   tripro metrics [--addr HOST:PORT] [--check] [--stages]
       Fetch a running server's metrics registry (a v2 Metrics frame) and

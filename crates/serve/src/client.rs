@@ -12,8 +12,8 @@
 //! hint), reconnect-on-reset and a per-request retry budget.
 
 use crate::protocol::{
-    encode_request, read_response, write_frame, ErrorCode, Request, Response, StatsExPayload,
-    StatsPayload, WireError, MIN_VERSION, VERSION,
+    encode_request, read_response, write_frame, ErrorCode, NodeRole, Request, Response,
+    ShardInfoPayload, StatsExPayload, StatsPayload, WireError, MIN_VERSION, VERSION,
 };
 use crate::ServeError;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -27,6 +27,15 @@ pub enum QueryReply {
     /// The query completed; result ids reassembled across pages, in the
     /// order the server produced them.
     Ids(Vec<u32>),
+    /// The query completed but the result is known-incomplete (v5+: a
+    /// coordinator answered a kNN with one or more shards missing).
+    PartialIds(Vec<u32>),
+    /// Scored results (v5+ `NnEx`/`KnnEx`): ids with exact distances,
+    /// for cross-shard merging.
+    Scored {
+        items: Vec<(u32, f64)>,
+        partial: bool,
+    },
     /// The server answered with a protocol-level error (overload, expired
     /// deadline, bad request...).
     Error {
@@ -38,19 +47,27 @@ pub enum QueryReply {
 }
 
 impl QueryReply {
-    /// The result ids, if the query completed.
+    /// The result ids, if the query completed (possibly partially).
     pub fn ids(&self) -> Option<&[u32]> {
         match self {
-            QueryReply::Ids(ids) => Some(ids),
-            QueryReply::Error { .. } => None,
+            QueryReply::Ids(ids) | QueryReply::PartialIds(ids) => Some(ids),
+            QueryReply::Scored { .. } | QueryReply::Error { .. } => None,
+        }
+    }
+
+    /// The scored items, if the query returned distances.
+    pub fn scored(&self) -> Option<&[(u32, f64)]> {
+        match self {
+            QueryReply::Scored { items, .. } => Some(items),
+            _ => None,
         }
     }
 
     /// The error code, if the server refused or failed the query.
     pub fn error_code(&self) -> Option<ErrorCode> {
         match self {
-            QueryReply::Ids(_) => None,
             QueryReply::Error { code, .. } => Some(*code),
+            _ => None,
         }
     }
 }
@@ -59,22 +76,44 @@ impl QueryReply {
 pub struct Client {
     stream: TcpStream,
     next_id: u64,
+    server_role: NodeRole,
 }
 
 impl Client {
     /// Connect and complete version negotiation (`Hello`).
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ServeError> {
+        Self::connect_as(addr, NodeRole::Client)
+    }
+
+    /// Connect, announcing `role` in the `Hello` (v5+; a coordinator
+    /// identifies itself to its backends this way). Servers speaking
+    /// v1–v4 simply ignore the role byte.
+    pub fn connect_as<A: ToSocketAddrs>(addr: A, role: NodeRole) -> Result<Client, ServeError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        let mut c = Client { stream, next_id: 1 };
+        let mut c = Client {
+            stream,
+            next_id: 1,
+            server_role: NodeRole::Engine,
+        };
         match c.roundtrip(&Request::Hello {
             min_version: MIN_VERSION,
             max_version: VERSION,
+            role,
         })? {
-            Response::HelloOk { version: _ } => Ok(c),
+            Response::HelloOk { version: _, role } => {
+                c.server_role = role;
+                Ok(c)
+            }
             Response::Error { .. } => Err(ServeError::Unexpected("server refused version")),
             _ => Err(ServeError::Unexpected("non-hello reply to hello")),
         }
+    }
+
+    /// The role the server announced in its `HelloOk` (v1–v4 servers
+    /// default to [`NodeRole::Engine`]).
+    pub fn server_role(&self) -> NodeRole {
+        self.server_role
     }
 
     /// Optional socket read timeout for all subsequent requests.
@@ -123,6 +162,16 @@ impl Client {
         }
     }
 
+    /// Shard identity of the server (v5+): map epoch/index/count, grid
+    /// pitch and store sizes. A coordinator validates every backend with
+    /// this before routing to it.
+    pub fn shard_info(&mut self) -> Result<ShardInfoPayload, ServeError> {
+        match self.roundtrip(&Request::ShardInfo)? {
+            Response::ShardInfoOk(p) => Ok(p),
+            _ => Err(ServeError::Unexpected("non-shard-info reply to shard-info")),
+        }
+    }
+
     /// Extended stats: service counters plus the engine's per-stage
     /// pipeline breakdown (v3+); answered inline even under overload.
     pub fn stats_ex(&mut self) -> Result<StatsExPayload, ServeError> {
@@ -160,17 +209,40 @@ impl Client {
             | Request::Intersect { .. }
             | Request::Within { .. }
             | Request::Nn { .. }
-            | Request::Knn { .. } => {}
+            | Request::Knn { .. }
+            | Request::NnEx { .. }
+            | Request::KnnEx { .. } => {}
             _ => return Err(ServeError::Unexpected("query() needs a query request")),
         }
         let id = self.send(req)?;
         let mut out: Vec<u32> = Vec::new();
+        let mut scored: Vec<(u32, f64)> = Vec::new();
+        let mut any_partial = false;
         loop {
             match self.recv_for(id)? {
-                Response::Page { last, ids } => {
+                Response::Page { last, ids, partial } => {
                     out.extend_from_slice(&ids);
+                    any_partial |= partial;
                     if last {
-                        return Ok(QueryReply::Ids(out));
+                        return Ok(if any_partial {
+                            QueryReply::PartialIds(out)
+                        } else {
+                            QueryReply::Ids(out)
+                        });
+                    }
+                }
+                Response::PageD {
+                    last,
+                    partial,
+                    items,
+                } => {
+                    scored.extend_from_slice(&items);
+                    any_partial |= partial;
+                    if last {
+                        return Ok(QueryReply::Scored {
+                            items: scored,
+                            partial: any_partial,
+                        });
                     }
                 }
                 Response::Error {
@@ -254,6 +326,7 @@ fn is_transient_transport(e: &ServeError) -> bool {
 pub struct RetryingClient {
     addr: SocketAddr,
     policy: RetryPolicy,
+    role: NodeRole,
     conn: Option<Client>,
     /// splitmix64 jitter state, advanced once per backoff.
     rng: u64,
@@ -263,6 +336,16 @@ impl RetryingClient {
     /// Resolve `addr` once (reconnects reuse the resolved address) and
     /// establish the initial connection.
     pub fn connect<A: ToSocketAddrs>(addr: A, policy: RetryPolicy) -> Result<Self, ServeError> {
+        Self::connect_as(addr, NodeRole::Client, policy)
+    }
+
+    /// [`RetryingClient::connect`], announcing `role` on every
+    /// (re)connect — the coordinator's per-backend connections use this.
+    pub fn connect_as<A: ToSocketAddrs>(
+        addr: A,
+        role: NodeRole,
+        policy: RetryPolicy,
+    ) -> Result<Self, ServeError> {
         let addr = addr
             .to_socket_addrs()?
             .next()
@@ -271,6 +354,7 @@ impl RetryingClient {
         let mut c = Self {
             addr,
             policy,
+            role,
             conn: None,
             rng,
         };
@@ -285,7 +369,7 @@ impl RetryingClient {
 
     fn ensure_conn(&mut self) -> Result<&mut Client, ServeError> {
         if self.conn.is_none() {
-            self.conn = Some(Client::connect(self.addr)?);
+            self.conn = Some(Client::connect_as(self.addr, self.role)?);
         }
         match self.conn.as_mut() {
             Some(c) => Ok(c),

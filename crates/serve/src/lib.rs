@@ -25,12 +25,19 @@
 //!   work, answers it, and only then tears connections down.
 
 pub mod client;
+pub mod coordinator;
 pub mod protocol;
 pub mod server;
+pub mod shard;
 
 pub use client::{Client, QueryReply, RetryOutcome, RetryPolicy, RetryingClient};
-pub use protocol::{ErrorCode, Request, Response, StatsExPayload, StatsPayload, WireError};
+pub use coordinator::{Coordinator, CoordinatorConfig};
+pub use protocol::{
+    ErrorCode, NodeRole, Request, Response, ShardInfoPayload, StatsExPayload, StatsPayload,
+    WireError,
+};
 pub use server::{ServeConfig, Server};
+pub use shard::{partition_source, ShardMap, ShardView};
 
 /// Errors surfaced by the server runtime and the blocking client.
 #[derive(Debug)]

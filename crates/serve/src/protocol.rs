@@ -27,9 +27,15 @@ pub const MAGIC: u16 = 0x3D50;
 /// (extended stats: failure counts plus the engine's per-stage pipeline
 /// breakdown); version 4 appends a `retry_after_ms` backoff hint to the
 /// `Error` frame (optional-trailing on decode, so v1–v3 error frames
-/// still parse). Every older frame is unchanged, so both ends accept the
-/// whole [`MIN_VERSION`]`..=`[`VERSION`] range.
-pub const VERSION: u8 = 4;
+/// still parse). Version 5 adds the sharded-tier machinery: a node-role
+/// byte on `Hello`/`HelloOk` (optional-trailing — v1–v4 frames decode to
+/// the role defaults), the `ShardInfo`/`ShardInfoOk` probe, the scored
+/// sub-query pair `NnEx`/`KnnEx` with `PageD` result pages, and an
+/// optional-trailing `partial` flag on `Page` (emitted only when set, so
+/// a complete v5 page is byte-identical to its v4 encoding). Every older
+/// frame is unchanged, so both ends accept the whole
+/// [`MIN_VERSION`]`..=`[`VERSION`] range.
+pub const VERSION: u8 = 5;
 
 /// Oldest protocol version this build still accepts.
 pub const MIN_VERSION: u8 = 1;
@@ -53,18 +59,23 @@ const K_STATS: u8 = 0x03;
 const K_SHUTDOWN: u8 = 0x04;
 const K_METRICS: u8 = 0x05; // v2+
 const K_STATS_EX: u8 = 0x06; // v3+
+const K_SHARD_INFO: u8 = 0x07; // v5+
 const K_CONTAINS: u8 = 0x10;
 const K_INTERSECT: u8 = 0x11;
 const K_WITHIN: u8 = 0x12;
 const K_NN: u8 = 0x13;
 const K_KNN: u8 = 0x14;
+const K_NN_EX: u8 = 0x15; // v5+
+const K_KNN_EX: u8 = 0x16; // v5+
 const K_HELLO_OK: u8 = 0x81;
 const K_HEALTH_OK: u8 = 0x82;
 const K_STATS_OK: u8 = 0x83;
 const K_SHUTDOWN_OK: u8 = 0x84;
 const K_METRICS_OK: u8 = 0x85; // v2+
 const K_STATS_EX_OK: u8 = 0x86; // v3+
+const K_SHARD_INFO_OK: u8 = 0x87; // v5+
 const K_PAGE: u8 = 0x90;
+const K_PAGE_D: u8 = 0x91; // v5+
 const K_ERROR: u8 = 0xFF;
 
 /// Errors produced while encoding, decoding or transporting frames.
@@ -140,6 +151,60 @@ impl ErrorCode {
     }
 }
 
+/// What kind of node sits at each end of a connection (v5+). Carried as
+/// an optional-trailing byte on `Hello` (the connecting node's role) and
+/// `HelloOk` (the serving node's role): a v1–v4 `Hello` decodes as
+/// [`NodeRole::Client`], a v1–v4 `HelloOk` as [`NodeRole::Engine`] —
+/// exactly what those peers were.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum NodeRole {
+    /// An ordinary query client.
+    Client = 0,
+    /// A query engine serving (a shard of) the stores directly.
+    Engine = 1,
+    /// A coordinator fronting a set of engine shards.
+    Coordinator = 2,
+}
+
+impl NodeRole {
+    /// Decode a wire byte.
+    pub fn from_u8(b: u8) -> Result<Self, WireError> {
+        Ok(match b {
+            0 => NodeRole::Client,
+            1 => NodeRole::Engine,
+            2 => NodeRole::Coordinator,
+            _ => return Err(WireError::Malformed("unknown node role")),
+        })
+    }
+}
+
+/// Shard-placement description reported by a [`Response::ShardInfoOk`]
+/// frame (v5+). A plain engine reports `index 0 / count 1 / epoch 0`; a
+/// coordinator validates every backend's view against its own shard map
+/// at startup, so a mis-deployed cluster fails fast instead of silently
+/// returning partial answers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardInfoPayload {
+    /// What the answering node is.
+    pub role: NodeRole,
+    /// Shard-map epoch this node was started with.
+    pub epoch: u64,
+    /// This node's shard index in `0..count`.
+    pub index: u32,
+    /// Total shards in the map.
+    pub count: u32,
+    /// Grid cell edge the shard map hashes cuboids with.
+    pub cell: f64,
+    /// Objects in the (always full) target store.
+    pub target_objects: u64,
+    /// Source objects resident on this node (the boundary-replicated
+    /// subset on a shard; the full store on an unsharded engine).
+    pub source_objects: u64,
+    /// Objects in the full, unpartitioned source store.
+    pub source_total: u64,
+}
+
 /// Counters reported by a [`Response::StatsOk`] frame.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StatsPayload {
@@ -191,8 +256,13 @@ pub struct StatsExPayload {
 /// Client → server frames.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
-    /// Version negotiation: the client's supported range, inclusive.
-    Hello { min_version: u8, max_version: u8 },
+    /// Version negotiation: the client's supported range, inclusive, plus
+    /// what the connecting node is (v5+; optional-trailing on decode).
+    Hello {
+        min_version: u8,
+        max_version: u8,
+        role: NodeRole,
+    },
     /// Liveness probe; answered inline even under overload.
     Health,
     /// Service counters; answered inline even under overload.
@@ -206,6 +276,9 @@ pub enum Request {
     /// cumulative per-stage pipeline breakdown; answered inline even
     /// under overload.
     StatsEx,
+    /// Shard-placement probe (v5+): role, shard map position, store
+    /// sizes; answered inline even under overload.
+    ShardInfo,
     /// Ids of target-store objects containing the point.
     Contains { p: [f64; 3], deadline_ms: u32 },
     /// Source objects intersecting target object `target`.
@@ -224,14 +297,27 @@ pub enum Request {
         k: u32,
         deadline_ms: u32,
     },
+    /// Scored nearest-neighbour sub-query (v5+): like `Nn`, but the
+    /// response is a [`Response::PageD`] carrying the exact distance —
+    /// what a coordinator needs to merge per-shard winners exactly.
+    NnEx { target: u32, deadline_ms: u32 },
+    /// Scored kNN sub-query (v5+): the `k` nearest with exact distances.
+    KnnEx {
+        target: u32,
+        k: u32,
+        deadline_ms: u32,
+    },
 }
 
 /// Server → client frames.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
-    /// Version negotiation result: the version the server will speak.
+    /// Version negotiation result: the version the server will speak,
+    /// plus what the serving node is (v5+; optional-trailing on decode —
+    /// a v1–v4 peer is always a plain engine).
     HelloOk {
         version: u8,
+        role: NodeRole,
     },
     HealthOk,
     StatsOk(StatsPayload),
@@ -243,10 +329,23 @@ pub enum Response {
     },
     /// Extended stats (v3+).
     StatsExOk(StatsExPayload),
+    /// Shard-placement description (v5+).
+    ShardInfoOk(ShardInfoPayload),
     /// One page of result ids; `last` marks the final page of a request.
+    /// `partial` (v5+) flags a result assembled with one or more shards
+    /// missing — encoded as an optional-trailing byte emitted only when
+    /// set, so a complete page is byte-identical to its v4 encoding.
     Page {
         last: bool,
         ids: Vec<u32>,
+        partial: bool,
+    },
+    /// One page of scored results `(id, exact distance)` for the `NnEx`/
+    /// `KnnEx` sub-queries (v5+), closest first.
+    PageD {
+        last: bool,
+        partial: bool,
+        items: Vec<(u32, f64)>,
     },
     /// Terminal failure for a request.
     Error {
@@ -401,9 +500,11 @@ pub fn encode_request(request_id: u64, req: &Request) -> Vec<u8> {
         Request::Hello {
             min_version,
             max_version,
+            role,
         } => {
             p.push(*min_version);
             p.push(*max_version);
+            p.push(*role as u8);
             K_HELLO
         }
         Request::Health => K_HEALTH,
@@ -411,6 +512,7 @@ pub fn encode_request(request_id: u64, req: &Request) -> Vec<u8> {
         Request::Shutdown => K_SHUTDOWN,
         Request::Metrics => K_METRICS,
         Request::StatsEx => K_STATS_EX,
+        Request::ShardInfo => K_SHARD_INFO,
         Request::Contains {
             p: point,
             deadline_ms,
@@ -457,6 +559,24 @@ pub fn encode_request(request_id: u64, req: &Request) -> Vec<u8> {
             put_u32(&mut p, *deadline_ms);
             K_KNN
         }
+        Request::NnEx {
+            target,
+            deadline_ms,
+        } => {
+            put_u32(&mut p, *target);
+            put_u32(&mut p, *deadline_ms);
+            K_NN_EX
+        }
+        Request::KnnEx {
+            target,
+            k,
+            deadline_ms,
+        } => {
+            put_u32(&mut p, *target);
+            put_u32(&mut p, *k);
+            put_u32(&mut p, *deadline_ms);
+            K_KNN_EX
+        }
     };
     encode_frame(kind, request_id, &p)
 }
@@ -465,15 +585,29 @@ pub fn encode_request(request_id: u64, req: &Request) -> Vec<u8> {
 pub fn decode_request_body(kind: u8, payload: &[u8]) -> Result<Request, WireError> {
     let mut c = Cursor::new(payload);
     let req = match kind {
-        K_HELLO => Request::Hello {
-            min_version: c.u8()?,
-            max_version: c.u8()?,
-        },
+        K_HELLO => {
+            let min_version = c.u8()?;
+            let max_version = c.u8()?;
+            // v5 appended the connecting node's role; v1–v4 hello frames
+            // end after the version range, so the field is
+            // optional-trailing: absent decodes as a plain client.
+            let role = if payload.len() - c.pos == 1 {
+                NodeRole::from_u8(c.u8()?)?
+            } else {
+                NodeRole::Client
+            };
+            Request::Hello {
+                min_version,
+                max_version,
+                role,
+            }
+        }
         K_HEALTH => Request::Health,
         K_STATS => Request::Stats,
         K_SHUTDOWN => Request::Shutdown,
         K_METRICS => Request::Metrics,
         K_STATS_EX => Request::StatsEx,
+        K_SHARD_INFO => Request::ShardInfo,
         K_CONTAINS => Request::Contains {
             p: [c.f64()?, c.f64()?, c.f64()?],
             deadline_ms: c.u32()?,
@@ -492,6 +626,15 @@ pub fn decode_request_body(kind: u8, payload: &[u8]) -> Result<Request, WireErro
             deadline_ms: c.u32()?,
         },
         K_KNN => Request::Knn {
+            target: c.u32()?,
+            k: c.u32()?,
+            deadline_ms: c.u32()?,
+        },
+        K_NN_EX => Request::NnEx {
+            target: c.u32()?,
+            deadline_ms: c.u32()?,
+        },
+        K_KNN_EX => Request::KnnEx {
             target: c.u32()?,
             k: c.u32()?,
             deadline_ms: c.u32()?,
@@ -529,8 +672,9 @@ fn truncate_metrics_text(text: &str) -> &[u8] {
 pub fn encode_response(request_id: u64, resp: &Response) -> Vec<u8> {
     let mut p = Vec::new();
     let kind = match resp {
-        Response::HelloOk { version } => {
+        Response::HelloOk { version, role } => {
             p.push(*version);
+            p.push(*role as u8);
             K_HELLO_OK
         }
         Response::HealthOk => K_HEALTH_OK,
@@ -578,13 +722,43 @@ pub fn encode_response(request_id: u64, resp: &Response) -> Vec<u8> {
             }
             K_STATS_EX_OK
         }
-        Response::Page { last, ids } => {
+        Response::ShardInfoOk(s) => {
+            p.push(s.role as u8);
+            put_u64(&mut p, s.epoch);
+            put_u32(&mut p, s.index);
+            put_u32(&mut p, s.count);
+            put_f64(&mut p, s.cell);
+            put_u64(&mut p, s.target_objects);
+            put_u64(&mut p, s.source_objects);
+            put_u64(&mut p, s.source_total);
+            K_SHARD_INFO_OK
+        }
+        Response::Page { last, ids, partial } => {
             p.push(u8::from(*last));
             put_u32(&mut p, ids.len() as u32);
             for id in ids {
                 put_u32(&mut p, *id);
             }
+            // Emitted only when set, so the common complete page stays
+            // byte-identical to its v4 encoding.
+            if *partial {
+                p.push(1);
+            }
             K_PAGE
+        }
+        Response::PageD {
+            last,
+            partial,
+            items,
+        } => {
+            p.push(u8::from(*last));
+            p.push(u8::from(*partial));
+            put_u32(&mut p, items.len() as u32);
+            for (id, dist) in items {
+                put_u32(&mut p, *id);
+                put_f64(&mut p, *dist);
+            }
+            K_PAGE_D
         }
         Response::Error {
             code,
@@ -607,7 +781,17 @@ pub fn encode_response(request_id: u64, resp: &Response) -> Vec<u8> {
 pub fn decode_response_body(kind: u8, payload: &[u8]) -> Result<Response, WireError> {
     let mut c = Cursor::new(payload);
     let resp = match kind {
-        K_HELLO_OK => Response::HelloOk { version: c.u8()? },
+        K_HELLO_OK => {
+            let version = c.u8()?;
+            // v5 appended the serving node's role; a v1–v4 server is
+            // always a plain engine, so the field is optional-trailing.
+            let role = if payload.len() - c.pos == 1 {
+                NodeRole::from_u8(c.u8()?)?
+            } else {
+                NodeRole::Engine
+            };
+            Response::HelloOk { version, role }
+        }
         K_HEALTH_OK => Response::HealthOk,
         K_STATS_OK => Response::StatsOk(StatsPayload {
             admitted: c.u64()?,
@@ -646,6 +830,16 @@ pub fn decode_response_body(kind: u8, payload: &[u8]) -> Result<Response, WireEr
             stage_items: [c.u64()?, c.u64()?, c.u64()?, c.u64()?],
             queue_stalls: [c.u64()?, c.u64()?, c.u64()?],
         }),
+        K_SHARD_INFO_OK => Response::ShardInfoOk(ShardInfoPayload {
+            role: NodeRole::from_u8(c.u8()?)?,
+            epoch: c.u64()?,
+            index: c.u32()?,
+            count: c.u32()?,
+            cell: c.f64()?,
+            target_objects: c.u64()?,
+            source_objects: c.u64()?,
+            source_total: c.u64()?,
+        }),
         K_PAGE => {
             let last = c.u8()? != 0;
             let count = c.u32()? as usize;
@@ -656,7 +850,31 @@ pub fn decode_response_body(kind: u8, payload: &[u8]) -> Result<Response, WireEr
             for _ in 0..count {
                 ids.push(c.u32()?);
             }
-            Response::Page { last, ids }
+            // v5 appended a partial-result flag, emitted only when set;
+            // every other page ends after the ids (optional-trailing).
+            let partial = if payload.len() - c.pos == 1 {
+                c.u8()? != 0
+            } else {
+                false
+            };
+            Response::Page { last, ids, partial }
+        }
+        K_PAGE_D => {
+            let last = c.u8()? != 0;
+            let partial = c.u8()? != 0;
+            let count = c.u32()? as usize;
+            if count > PAGE_MAX_IDS {
+                return Err(WireError::Malformed("page exceeds PAGE_MAX_IDS"));
+            }
+            let mut items = Vec::with_capacity(count);
+            for _ in 0..count {
+                items.push((c.u32()?, c.f64()?));
+            }
+            Response::PageD {
+                last,
+                partial,
+                items,
+            }
         }
         K_ERROR => {
             let code = ErrorCode::from_u8(c.u8()?)?;
@@ -733,10 +951,17 @@ pub fn write_frame<W: Write>(w: &mut W, frame: &[u8]) -> Result<(), WireError> {
 
 /// Split result ids into wire pages (at least one page, the last flagged).
 pub fn pages_of(ids: &[u32]) -> Vec<Response> {
+    pages_of_flagged(ids, false)
+}
+
+/// [`pages_of`] with a partial-result flag carried on every page (v5+;
+/// `false` keeps the pages byte-identical to their v4 encoding).
+pub fn pages_of_flagged(ids: &[u32], partial: bool) -> Vec<Response> {
     if ids.is_empty() {
         return vec![Response::Page {
             last: true,
             ids: Vec::new(),
+            partial,
         }];
     }
     let chunks: Vec<&[u32]> = ids.chunks(PAGE_MAX_IDS).collect();
@@ -747,6 +972,30 @@ pub fn pages_of(ids: &[u32]) -> Vec<Response> {
         .map(|(i, chunk)| Response::Page {
             last: i + 1 == n,
             ids: chunk.to_vec(),
+            partial,
+        })
+        .collect()
+}
+
+/// Split scored results into `PageD` wire pages (at least one page, the
+/// last flagged; v5+).
+pub fn scored_pages_of(items: &[(u32, f64)], partial: bool) -> Vec<Response> {
+    if items.is_empty() {
+        return vec![Response::PageD {
+            last: true,
+            partial,
+            items: Vec::new(),
+        }];
+    }
+    let chunks: Vec<&[(u32, f64)]> = items.chunks(PAGE_MAX_IDS).collect();
+    let n = chunks.len();
+    chunks
+        .into_iter()
+        .enumerate()
+        .map(|(i, chunk)| Response::PageD {
+            last: i + 1 == n,
+            partial,
+            items: chunk.to_vec(),
         })
         .collect()
 }
@@ -775,15 +1024,19 @@ mod tests {
 
     #[test]
     fn every_request_kind_roundtrips() {
-        roundtrip_request(Request::Hello {
-            min_version: 1,
-            max_version: 3,
-        });
+        for role in [NodeRole::Client, NodeRole::Engine, NodeRole::Coordinator] {
+            roundtrip_request(Request::Hello {
+                min_version: 1,
+                max_version: 3,
+                role,
+            });
+        }
         roundtrip_request(Request::Health);
         roundtrip_request(Request::Stats);
         roundtrip_request(Request::Shutdown);
         roundtrip_request(Request::Metrics);
         roundtrip_request(Request::StatsEx);
+        roundtrip_request(Request::ShardInfo);
         roundtrip_request(Request::Contains {
             p: [1.5, -2.25, 1e300],
             deadline_ms: 250,
@@ -806,11 +1059,22 @@ mod tests {
             k: 17,
             deadline_ms: 99,
         });
+        roundtrip_request(Request::NnEx {
+            target: 4,
+            deadline_ms: NO_DEADLINE_MS,
+        });
+        roundtrip_request(Request::KnnEx {
+            target: 2,
+            k: 5,
+            deadline_ms: 1000,
+        });
     }
 
     #[test]
     fn every_response_kind_roundtrips() {
-        roundtrip_response(Response::HelloOk { version: 1 });
+        for role in [NodeRole::Engine, NodeRole::Coordinator] {
+            roundtrip_response(Response::HelloOk { version: 1, role });
+        }
         roundtrip_response(Response::HealthOk);
         roundtrip_response(Response::StatsOk(StatsPayload {
             admitted: 1,
@@ -849,13 +1113,40 @@ mod tests {
             stage_items: [20, 21, 22, 23],
             queue_stalls: [24, 25, 26],
         }));
+        roundtrip_response(Response::ShardInfoOk(ShardInfoPayload {
+            role: NodeRole::Engine,
+            epoch: 7,
+            index: 1,
+            count: 3,
+            cell: 2.5,
+            target_objects: 40,
+            source_objects: 17,
+            source_total: 40,
+        }));
         roundtrip_response(Response::Page {
             last: false,
             ids: vec![1, 2, 3],
+            partial: false,
         });
         roundtrip_response(Response::Page {
             last: true,
             ids: Vec::new(),
+            partial: false,
+        });
+        roundtrip_response(Response::Page {
+            last: true,
+            ids: vec![9],
+            partial: true,
+        });
+        roundtrip_response(Response::PageD {
+            last: true,
+            partial: false,
+            items: vec![(3, 0.25), (7, 1.5)],
+        });
+        roundtrip_response(Response::PageD {
+            last: true,
+            partial: true,
+            items: Vec::new(),
         });
         roundtrip_response(Response::Error {
             code: ErrorCode::Overloaded,
@@ -895,6 +1186,111 @@ mod tests {
                 retry_after_ms: 0,
             }
         );
+    }
+
+    #[test]
+    fn pre_v5_hello_frames_decode_to_role_defaults() {
+        // Byte-for-byte v1–v4 Hello request: min/max version only, no
+        // role byte. Must decode as a plain client, not reject.
+        for version in 1..=4u8 {
+            let mut frame = Vec::new();
+            frame.extend_from_slice(&2u32.to_le_bytes()); // payload length
+            frame.extend_from_slice(&MAGIC.to_le_bytes());
+            frame.push(version);
+            frame.push(0x01); // K_HELLO
+            frame.extend_from_slice(&11u64.to_le_bytes());
+            frame.push(1); // min_version
+            frame.push(version); // max_version
+            let mut r = frame.as_slice();
+            let (id, req) = read_request(&mut r).unwrap();
+            assert_eq!(id, 11);
+            assert_eq!(
+                req,
+                Request::Hello {
+                    min_version: 1,
+                    max_version: version,
+                    role: NodeRole::Client,
+                },
+                "v{version} hello"
+            );
+
+            // And the matching v1–v4 HelloOk: version byte only — the
+            // peer is by definition a plain engine.
+            let mut resp = Vec::new();
+            resp.extend_from_slice(&1u32.to_le_bytes());
+            resp.extend_from_slice(&MAGIC.to_le_bytes());
+            resp.push(version);
+            resp.push(0x81); // K_HELLO_OK
+            resp.extend_from_slice(&11u64.to_le_bytes());
+            resp.push(version);
+            let mut r = resp.as_slice();
+            assert_eq!(
+                read_response(&mut r).unwrap(),
+                (
+                    11,
+                    Response::HelloOk {
+                        version,
+                        role: NodeRole::Engine,
+                    }
+                ),
+                "v{version} hello-ok"
+            );
+        }
+    }
+
+    #[test]
+    fn complete_page_encoding_is_byte_identical_to_v4() {
+        // A non-partial v5 page must serialize exactly as v4 did (modulo
+        // the header version byte): last flag, count, ids — no trailer.
+        let frame = encode_response(
+            3,
+            &Response::Page {
+                last: true,
+                ids: vec![5, 9],
+                partial: false,
+            },
+        );
+        let mut expect = Vec::new();
+        expect.extend_from_slice(&13u32.to_le_bytes()); // 1 + 4 + 2*4
+        expect.extend_from_slice(&MAGIC.to_le_bytes());
+        expect.push(VERSION);
+        expect.push(0x90); // K_PAGE
+        expect.extend_from_slice(&3u64.to_le_bytes());
+        expect.push(1); // last
+        expect.extend_from_slice(&2u32.to_le_bytes());
+        expect.extend_from_slice(&5u32.to_le_bytes());
+        expect.extend_from_slice(&9u32.to_le_bytes());
+        assert_eq!(frame, expect);
+
+        // And the v4-layout page (no trailer) decodes as complete.
+        let payload = &expect[HEADER_LEN..];
+        assert_eq!(
+            decode_response_body(K_PAGE, payload).unwrap(),
+            Response::Page {
+                last: true,
+                ids: vec![5, 9],
+                partial: false,
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_role_byte_is_rejected() {
+        let mut frame = encode_request(
+            1,
+            &Request::Hello {
+                min_version: 1,
+                max_version: VERSION,
+                role: NodeRole::Coordinator,
+            },
+        );
+        let n = frame.len();
+        frame[n - 1] = 9; // no such role
+        let mut r = frame.as_slice();
+        assert!(matches!(
+            read_request(&mut r).unwrap_err(),
+            WireError::Malformed("unknown node role")
+        ));
     }
 
     #[test]
@@ -1065,7 +1461,8 @@ mod tests {
             pages_of(&[]),
             vec![Response::Page {
                 last: true,
-                ids: vec![]
+                ids: vec![],
+                partial: false,
             }]
         );
         let ids: Vec<u32> = (0..PAGE_MAX_IDS as u32 + 3).collect();
@@ -1073,10 +1470,11 @@ mod tests {
         assert_eq!(pages.len(), 2);
         let mut seen = Vec::new();
         for (i, p) in pages.iter().enumerate() {
-            let Response::Page { last, ids } = p else {
+            let Response::Page { last, ids, partial } = p else {
                 panic!("not a page")
             };
             assert_eq!(*last, i == 1);
+            assert!(!partial);
             seen.extend_from_slice(ids);
         }
         assert_eq!(seen, ids);

@@ -36,9 +36,11 @@
 //! flag on a short read timeout, so no thread blocks past a drain.
 
 use crate::protocol::{
-    self, decode_header, decode_request_body, encode_response, ErrorCode, Header, Request,
-    Response, StatsExPayload, StatsPayload, HEADER_LEN, MIN_VERSION, NO_DEADLINE_MS, VERSION,
+    self, decode_header, decode_request_body, encode_response, ErrorCode, Header, NodeRole,
+    Request, Response, ShardInfoPayload, StatsExPayload, StatsPayload, HEADER_LEN, MIN_VERSION,
+    NO_DEADLINE_MS, VERSION,
 };
+use crate::shard::ShardView;
 use crate::ServeError;
 use std::collections::VecDeque;
 use std::io::Read;
@@ -97,6 +99,15 @@ pub struct ServeConfig {
     /// frame) work regardless; this only gates per-request span capture
     /// and the slow-query log.
     pub trace: TraceConfig,
+    /// Cluster identity when this engine serves one shard of a partitioned
+    /// source store (`None` = standalone single engine). Echoed over
+    /// `ShardInfo` so a coordinator can validate the backend before
+    /// routing to it (see `docs/sharding.md`).
+    pub shard: Option<ShardView>,
+    /// Local → global source id map when `shard` is set: query results
+    /// are remapped to global ids before leaving the process, so every
+    /// shard (and the coordinator merge) speaks one id space.
+    pub source_ids: Option<Arc<Vec<u32>>>,
 }
 
 impl Default for ServeConfig {
@@ -116,23 +127,26 @@ impl Default for ServeConfig {
             inject_latency: None,
             poll_interval: Duration::from_millis(25),
             trace: TraceConfig::default(),
+            shard: None,
+            source_ids: None,
         }
     }
 }
 
 /// Pre-bound registry handles for the per-outcome request counters, so the
 /// hot path pays one relaxed `fetch_add` instead of a registry lookup.
-struct Outcomes {
-    admitted: Arc<AtomicU64>,
-    shed: Arc<AtomicU64>,
-    completed: Arc<AtomicU64>,
-    deadline_expired: Arc<AtomicU64>,
-    failed: Arc<AtomicU64>,
-    protocol_error: Arc<AtomicU64>,
+/// Shared with the coordinator, which keeps the same admission ledger.
+pub(crate) struct Outcomes {
+    pub(crate) admitted: Arc<AtomicU64>,
+    pub(crate) shed: Arc<AtomicU64>,
+    pub(crate) completed: Arc<AtomicU64>,
+    pub(crate) deadline_expired: Arc<AtomicU64>,
+    pub(crate) failed: Arc<AtomicU64>,
+    pub(crate) protocol_error: Arc<AtomicU64>,
 }
 
 impl Outcomes {
-    fn bind() -> Self {
+    pub(crate) fn bind() -> Self {
         Self {
             admitted: obs::request_outcome_counter("admitted"),
             shed: obs::request_outcome_counter("shed"),
@@ -145,7 +159,7 @@ impl Outcomes {
 }
 
 #[inline]
-fn bump(c: &AtomicU64) {
+pub(crate) fn bump(c: &AtomicU64) {
     c.fetch_add(1, Ordering::Relaxed);
 }
 
@@ -156,6 +170,19 @@ enum Op {
     Within(u32, f64),
     Nn(u32),
     Knn(u32, u32),
+    /// Scored nearest-neighbour (coordinator sub-query): the local best
+    /// with its exact distance, for cross-shard merging.
+    NnEx(u32),
+    /// Scored kNN (coordinator sub-query): local top-k with exact
+    /// distances.
+    KnnEx(u32, u32),
+}
+
+/// The successful result of a query op: plain id pages, or scored pages
+/// for the `*Ex` coordinator sub-queries.
+enum Reply {
+    Ids(Vec<u32>),
+    Scored(Vec<(u32, f64)>),
 }
 
 /// An admitted request parked in the dispatcher queue.
@@ -176,8 +203,9 @@ struct DispatchState {
 
 /// Write half of a connection, shared between the connection thread (inline
 /// probe replies) and batch workers (query replies). Send failures mean the
-/// client went away; the request's work is simply dropped.
-struct ConnWriter {
+/// client went away; the request's work is simply dropped. Shared with the
+/// coordinator's connection threads.
+pub(crate) struct ConnWriter {
     // LOCK-RANK(30): per-connection write half; taken with no other lock
     // held (repliers drop the dispatch guard before sending).
     stream: Mutex<TcpStream>,
@@ -188,7 +216,7 @@ struct ConnWriter {
 }
 
 impl ConnWriter {
-    fn new(stream: TcpStream) -> Self {
+    pub(crate) fn new(stream: TcpStream) -> Self {
         Self {
             stream: Mutex::new(stream),
             dead: AtomicBool::new(false),
@@ -267,7 +295,7 @@ impl ConnWriter {
         }
     }
 
-    fn send_response(&self, request_id: u64, resp: &Response) {
+    pub(crate) fn send_response(&self, request_id: u64, resp: &Response) {
         self.send(&encode_response(request_id, resp));
     }
 }
@@ -386,9 +414,12 @@ impl Core {
     /// set so the two key spaces never collide).
     fn group_of(&self, op: &Op) -> u64 {
         match op {
-            Op::Intersect(t) | Op::Within(t, _) | Op::Nn(t) | Op::Knn(t, _) => {
-                self.cuboid_of.get(*t as usize).copied().unwrap_or(0)
-            }
+            Op::Intersect(t)
+            | Op::Within(t, _)
+            | Op::Nn(t)
+            | Op::Knn(t, _)
+            | Op::NnEx(t)
+            | Op::KnnEx(t, _) => self.cuboid_of.get(*t as usize).copied().unwrap_or(0),
             Op::Contains(p) => {
                 let b = self.target.rtree().bounds();
                 let cell = self.cell.max(1e-9);
@@ -427,6 +458,38 @@ impl Core {
             .with_deadline(deadline);
         qc.cuboid_cell = self.cfg.cuboid_cell;
         qc
+    }
+
+    /// Local source id → global id (identity when not sharded).
+    #[inline]
+    fn global_id(&self, local: u32) -> u32 {
+        match &self.cfg.source_ids {
+            Some(map) => map.get(local as usize).copied().unwrap_or(local),
+            None => local,
+        }
+    }
+
+    fn shard_info_payload(&self) -> ShardInfoPayload {
+        let (epoch, index, count, cell, source_total) = match self.cfg.shard {
+            Some(v) => (
+                v.map.epoch,
+                v.index,
+                v.map.count,
+                v.map.cell,
+                v.source_total,
+            ),
+            None => (0, 0, 1, self.cell, self.source.len() as u64),
+        };
+        ShardInfoPayload {
+            role: NodeRole::Engine,
+            epoch,
+            index,
+            count,
+            cell,
+            target_objects: self.target.len() as u64,
+            source_objects: self.source.len() as u64,
+            source_total,
+        }
     }
 }
 
@@ -654,7 +717,7 @@ fn accept_loop(core: &Arc<Core>, listener: &TcpListener) {
 // ---------------------------------------------------------------------
 
 /// Outcome of a shutdown-aware exact read.
-enum ReadFull {
+pub(crate) enum ReadFull {
     Full,
     /// Clean stop: EOF at a frame boundary, or shutdown observed.
     Stop,
@@ -662,9 +725,15 @@ enum ReadFull {
     Failed,
 }
 
-/// Read exactly `buf.len()` bytes, polling the shutdown flag on every read
+/// Read exactly `buf.len()` bytes, polling `shutdown` on every read
 /// timeout. `at_boundary` means EOF here is a clean close, not truncation.
-fn read_full(core: &Core, reader: &mut TcpStream, buf: &mut [u8], at_boundary: bool) -> ReadFull {
+/// Shared by the server's and the coordinator's connection threads.
+pub(crate) fn read_full(
+    shutdown: &AtomicBool,
+    reader: &mut TcpStream,
+    buf: &mut [u8],
+    at_boundary: bool,
+) -> ReadFull {
     // Serve-side read failpoint: erroring actions surface as a transport
     // failure (connection drops, protocol_error counted) — a read path
     // must never panic, so Panic degrades to Failed here too.
@@ -675,7 +744,9 @@ fn read_full(core: &Core, reader: &mut TcpStream, buf: &mut [u8], at_boundary: b
     }
     let mut n = 0;
     while n < buf.len() {
-        if core.is_shutdown() {
+        // ORDERING: Acquire pairs with the Release store raising the flag
+        // (see `Core::begin_shutdown`).
+        if shutdown.load(Ordering::Acquire) {
             return ReadFull::Stop;
         }
         match reader.read(&mut buf[n..]) {
@@ -711,7 +782,7 @@ fn conn_loop(core: &Arc<Core>, stream: TcpStream) {
 
     loop {
         let mut hb = [0u8; HEADER_LEN];
-        match read_full(core, &mut reader, &mut hb, true) {
+        match read_full(&core.shutdown, &mut reader, &mut hb, true) {
             ReadFull::Full => {}
             ReadFull::Stop => return,
             ReadFull::Failed => {
@@ -753,7 +824,7 @@ fn conn_loop(core: &Arc<Core>, stream: TcpStream) {
             return;
         }
         let mut payload = vec![0u8; header.payload_len as usize];
-        match read_full(core, &mut reader, &mut payload, false) {
+        match read_full(&core.shutdown, &mut reader, &mut payload, false) {
             ReadFull::Full => {}
             ReadFull::Stop => return,
             ReadFull::Failed => {
@@ -797,14 +868,22 @@ fn handle_frame(
         Request::Hello {
             min_version,
             max_version,
+            role: _,
         } => {
-            // Speak the newest version both sides understand.
+            // Speak the newest version both sides understand. The peer's
+            // role is informational; the engine answers anyone.
             let spoken = (MIN_VERSION..=VERSION)
                 .rev()
                 .find(|v| (min_version..=max_version).contains(v));
             match spoken {
                 Some(version) => {
-                    writer.send_response(id, &Response::HelloOk { version });
+                    writer.send_response(
+                        id,
+                        &Response::HelloOk {
+                            version,
+                            role: NodeRole::Engine,
+                        },
+                    );
                 }
                 None => {
                     core.stats.record_protocol_error();
@@ -827,6 +906,10 @@ fn handle_frame(
         }
         Request::Stats => {
             writer.send_response(id, &Response::StatsOk(core.stats_payload()));
+            return true;
+        }
+        Request::ShardInfo => {
+            writer.send_response(id, &Response::ShardInfoOk(core.shard_info_payload()));
             return true;
         }
         Request::Metrics => {
@@ -866,10 +949,25 @@ fn handle_frame(
             k,
             deadline_ms,
         } => (Op::Knn(target, k), deadline_ms),
+        Request::NnEx {
+            target,
+            deadline_ms,
+        } => (Op::NnEx(target), deadline_ms),
+        Request::KnnEx {
+            target,
+            k,
+            deadline_ms,
+        } => (Op::KnnEx(target, k), deadline_ms),
     };
 
     // Validate before admission so a bad id never occupies a slot.
-    if let Op::Intersect(t) | Op::Within(t, _) | Op::Nn(t) | Op::Knn(t, _) = op {
+    if let Op::Intersect(t)
+    | Op::Within(t, _)
+    | Op::Nn(t)
+    | Op::Knn(t, _)
+    | Op::NnEx(t)
+    | Op::KnnEx(t, _) = op
+    {
         if t as usize >= core.target.len() {
             writer.send_response(
                 id,
@@ -1008,23 +1106,36 @@ fn serve_one(core: &Core, p: &Pending) {
     // `serve.exec` failpoint) converts to a typed `Error::Internal` so it
     // flows through the ordinary failure path — accounted in the ledger,
     // answered over the wire, and the server keeps serving.
-    let exec = catch_unwind(AssertUnwindSafe(|| -> Result<Vec<u32>, Error> {
+    let exec = catch_unwind(AssertUnwindSafe(|| -> Result<Reply, Error> {
         fault::failpoint(fault::SERVE_EXEC)?;
         match p.op {
-            Op::Contains(pt) => PointQuery::new(&core.target).containing(
-                tripro_geom::vec3(pt[0], pt[1], pt[2]),
-                &qc,
-                stats,
-            ),
-            Op::Intersect(t) => engine.intersect_one(t, &qc, stats),
-            Op::Within(t, d) => engine.within_one(t, d, &qc, stats),
+            Op::Contains(pt) => PointQuery::new(&core.target)
+                .containing(tripro_geom::vec3(pt[0], pt[1], pt[2]), &qc, stats)
+                .map(Reply::Ids),
+            Op::Intersect(t) => engine.intersect_one(t, &qc, stats).map(Reply::Ids),
+            Op::Within(t, d) => engine.within_one(t, d, &qc, stats).map(Reply::Ids),
             Op::Nn(t) => engine
                 .nn_one(t, &qc, stats)
-                .map(|nn| nn.into_iter().collect()),
-            Op::Knn(t, k) => engine.knn_one(t, k as usize, &qc, stats),
+                .map(|nn| Reply::Ids(nn.into_iter().collect())),
+            Op::Knn(t, k) => engine.knn_one(t, k as usize, &qc, stats).map(Reply::Ids),
+            Op::NnEx(t) => {
+                let mut out = Vec::new();
+                if let Some(c) = engine.nn_one(t, &qc, stats)? {
+                    out.push((c, engine.pair_distance(t, c, &qc, stats)?));
+                }
+                Ok(Reply::Scored(out))
+            }
+            Op::KnnEx(t, k) => {
+                let ids = engine.knn_one(t, k as usize, &qc, stats)?;
+                let mut out = Vec::with_capacity(ids.len());
+                for c in ids {
+                    out.push((c, engine.pair_distance(t, c, &qc, stats)?));
+                }
+                Ok(Reply::Scored(out))
+            }
         }
     }));
-    let result: Result<Vec<u32>, Error> = match exec {
+    let result: Result<Reply, Error> = match exec {
         Ok(r) => r,
         Err(payload) => {
             core.stats.record_panic();
@@ -1036,8 +1147,27 @@ fn serve_one(core: &Core, p: &Pending) {
         }
     };
     match result {
-        Ok(ids) => {
-            for page in protocol::pages_of(&ids) {
+        Ok(reply) => {
+            // Contains results are target ids (full store everywhere); all
+            // other ops return source ids, remapped to the global id space
+            // when this engine serves a shard partition.
+            let pages = match reply {
+                Reply::Ids(mut ids) => {
+                    if !matches!(p.op, Op::Contains(_)) {
+                        for id in &mut ids {
+                            *id = core.global_id(*id);
+                        }
+                    }
+                    protocol::pages_of(&ids)
+                }
+                Reply::Scored(mut items) => {
+                    for (id, _) in &mut items {
+                        *id = core.global_id(*id);
+                    }
+                    protocol::scored_pages_of(&items, false)
+                }
+            };
+            for page in pages {
                 p.writer.send_response(p.request_id, &page);
             }
             core.stats.record_completed();

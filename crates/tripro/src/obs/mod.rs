@@ -386,6 +386,73 @@ pub fn retry_backoff_histogram() -> &'static Histogram {
     })
 }
 
+/// Sub-queries fanned out per coordinator request (1 for routed
+/// single-shard queries, shard count for scatter-gather joins).
+#[inline]
+#[must_use]
+pub fn shard_fanout_histogram() -> &'static Histogram {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| {
+        registry().histogram(
+            "tripro_shard_fanout",
+            "Backend sub-queries fanned out per coordinator request.",
+            &[],
+        )
+    })
+}
+
+/// Coordinator merge phase: time to combine per-shard partial results
+/// after the last sub-query lands.
+#[inline]
+#[must_use]
+pub fn merge_latency_histogram() -> &'static Histogram {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| {
+        registry().histogram(
+            "tripro_merge_seconds",
+            "Partial-result merge latency at the coordinator.",
+            &[],
+        )
+    })
+}
+
+/// Per-backend-shard sub-query round-trip latency (shard indices ≥ 15
+/// aggregate into the last series, mirroring the cache-shard clamp).
+#[inline]
+#[must_use]
+pub fn shard_subquery_histogram(shard: usize) -> &'static Histogram {
+    static HANDLES: OnceLock<[Arc<Histogram>; CACHE_SHARDS]> = OnceLock::new();
+    let handles = HANDLES.get_or_init(|| {
+        std::array::from_fn(|i| {
+            registry().histogram(
+                "tripro_shard_subquery_seconds",
+                "Sub-query round-trip latency per backend shard.",
+                &[("shard", SHARD_LABELS[i])],
+            )
+        })
+    });
+    &handles[shard.min(CACHE_SHARDS - 1)]
+}
+
+/// Failed sub-queries per backend shard (transport errors, typed errors,
+/// and deadline expiries all count — the series going nonzero is the
+/// signal a shard is degrading).
+#[inline]
+#[must_use]
+pub fn shard_error_counter(shard: usize) -> &'static AtomicU64 {
+    static HANDLES: OnceLock<[Arc<AtomicU64>; CACHE_SHARDS]> = OnceLock::new();
+    let handles = HANDLES.get_or_init(|| {
+        std::array::from_fn(|i| {
+            registry().counter(
+                "tripro_shard_errors_total",
+                "Failed sub-queries per backend shard.",
+                &[("shard", SHARD_LABELS[i])],
+            )
+        })
+    });
+    &handles[shard.min(CACHE_SHARDS - 1)]
+}
+
 /// Resource-manager task counter by executor role.
 #[must_use]
 pub fn resource_task_counter(device: &str) -> Arc<AtomicU64> {

@@ -844,6 +844,34 @@ impl<'a> Engine<'a> {
         Ok((out, stats))
     }
 
+    /// Exact distance between target `t` and source `c`, scored exactly
+    /// the way `knn_one`'s final pass scores survivors: `min_dist2` at
+    /// the ladder top with an infinite seed. A shard coordinator uses
+    /// this to merge per-shard kNN winners on exact distances, so the
+    /// merged ranking is bit-identical to a single-engine run.
+    pub fn pair_distance(
+        &self,
+        t: ObjectId,
+        c: ObjectId,
+        cfg: &QueryConfig,
+        stats: &ExecStats,
+    ) -> Result<f64> {
+        let ctx = self.join_ctx(cfg);
+        let top = ctx.lods.last().copied().unwrap_or(0);
+        let geom_t = self.target.get(t, top, stats)?;
+        let geom_c = self.source.get(c, top, stats)?;
+        stats.record_pair_evaluated(top);
+        let d2 = ctx.computer.min_dist2(
+            &geom_t,
+            &geom_c,
+            self.target.skeleton(t),
+            self.source.skeleton(c),
+            f64::INFINITY,
+            stats,
+        );
+        Ok(d2.sqrt())
+    }
+
     // -----------------------------------------------------------------
     // Parallel join driver: batch target objects by cuboid (§5.3) and let
     // workers claim cuboids, preserving decode-cache locality. Under

@@ -19,6 +19,7 @@ use tripro_mesh::{CompressedMesh, EncoderConfig, MeshError, TriMesh};
 pub type ObjectId = u32;
 
 /// One compressed object plus its precomputed partition metadata.
+#[derive(Clone)]
 pub struct StoredObject {
     pub mbb: Aabb,
     pub compressed: CompressedMesh,
@@ -120,6 +121,12 @@ impl ObjectStore {
             partition_rtree,
             cache: DecodeCache::new(cache_bytes),
         }
+    }
+
+    /// Tear the store back down into its object records (used by shard
+    /// partitioning to rebuild per-shard stores without re-compressing).
+    pub fn into_objects(self) -> Vec<StoredObject> {
+        self.objects
     }
 
     /// Number of objects.

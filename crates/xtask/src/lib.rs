@@ -240,6 +240,8 @@ mod tests {
             "crates/tripro/src/fault.rs",
             "crates/serve/src/server.rs",
             "crates/serve/src/client.rs",
+            "crates/serve/src/coordinator.rs",
+            "crates/serve/src/shard.rs",
         ] {
             let rules = rules_for(file);
             assert!(rules.contains(&Rule::NoPanic), "{file} must be no-panic");

@@ -24,7 +24,8 @@ use std::time::{Duration, Instant};
 use tripro::fault::{self, mix64, FaultAction, Trigger};
 use tripro::{Engine, ExecStats, ObjectStore, Paradigm, QueryConfig, StoreConfig};
 use tripro_serve::{
-    Client, ErrorCode, QueryReply, Request, RetryPolicy, RetryingClient, ServeConfig, Server,
+    partition_source, Client, Coordinator, CoordinatorConfig, ErrorCode, QueryReply, Request,
+    RetryPolicy, RetryingClient, ServeConfig, Server, ShardMap, ShardView,
 };
 use tripro_synth::{DatasetConfig, VesselConfig};
 
@@ -216,6 +217,7 @@ fn panicking_query_returns_internal_and_server_keeps_serving() {
                 assert_eq!(code, ErrorCode::Internal, "unexpected error: {message}");
                 internal += 1;
             }
+            other => panic!("engine never answers these requests with {other:?}"),
         }
     }
     assert_eq!(internal, 1, "exactly the injected panic must surface");
@@ -252,6 +254,7 @@ fn partial_writes_are_completed_not_truncated() {
             QueryReply::Error { code, message, .. } => {
                 panic!("unexpected error under partial writes: {code:?} {message}")
             }
+            other => panic!("engine never answers these requests with {other:?}"),
         }
     }
     assert!(
@@ -365,6 +368,9 @@ fn seeded_fault_schedules_drain_clean() {
                     resolved += 1;
                 }
                 Ok((QueryReply::Error { .. }, _)) => failed += 1,
+                Ok((other, _)) => {
+                    panic!("engine never answers these requests with {other:?}")
+                }
                 Err(_) => {
                     // Retry budget exhausted: reconnect and move on.
                     exhausted += 1;
@@ -400,4 +406,238 @@ fn seeded_fault_schedules_drain_clean() {
             "seed {i}: nothing resolved — schedule too hostile to be useful ({schedule})"
         );
     }
+}
+
+// ---------------------------------------------------------------------
+// Sharded scatter-gather chaos: a coordinator fronting loopback shards
+// ---------------------------------------------------------------------
+
+/// In-process 3-shard cluster built from fresh seeded stores (the shared
+/// `stores()` keep their `Arc`s, so the cluster rebuilds its own source
+/// objects to partition).
+fn start_cluster() -> (Arc<ObjectStore>, Vec<Server>, Coordinator) {
+    let block = tripro_synth::generate(&DatasetConfig {
+        nuclei_count: 12,
+        vessel_count: 0,
+        seed: 0x00C4_05C1,
+        ..Default::default()
+    });
+    let target =
+        Arc::new(ObjectStore::build(&block.nuclei_a, &StoreConfig::default()).expect("encode a"));
+    let objects = ObjectStore::build(&block.nuclei_b, &StoreConfig::default())
+        .expect("encode b")
+        .into_objects();
+    let map = ShardMap::new(1, ShardMap::cell_for(&target), 3);
+    let source_total = objects.len() as u64;
+    let mut shards = Vec::new();
+    let mut addrs = Vec::new();
+    for i in 0..3 {
+        let full = ObjectStore::from_objects(objects.clone(), 32 << 20);
+        let (local, ids) = partition_source(full, &map, i, 32 << 20);
+        let cfg = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            shard: Some(ShardView {
+                map,
+                index: i,
+                source_total,
+            }),
+            source_ids: Some(ids),
+            ..Default::default()
+        };
+        let s = Server::start(Arc::clone(&target), Arc::new(local), cfg).expect("start shard");
+        addrs.push(s.addr().to_string());
+        shards.push(s);
+    }
+    let coord = Coordinator::start(
+        Arc::clone(&target),
+        CoordinatorConfig {
+            addr: "127.0.0.1:0".to_string(),
+            shards: addrs,
+            epoch: 1,
+            ..Default::default()
+        },
+    )
+    .expect("start coordinator");
+    (target, shards, coord)
+}
+
+/// Poll until the coordinator's admission ledger balances.
+fn await_balanced_coordinator(coord: &Coordinator, context: &str) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let s = coord.stats();
+        let accounted = s.completed + s.deadline_expired + s.failed;
+        if s.admitted == accounted {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "{context}: coordinator ledger never balanced: admitted {} vs accounted \
+             {accounted} ({s:?})",
+            s.admitted
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Disconnect-mid-join chaos for the sharded tier: with `serve.read` and
+/// `serve.write` failpoints periodically killing connections on every
+/// node (shard engines *and* coordinator), scatter-gather queries must
+/// resolve correctly or fail with a typed error — never hang, never
+/// corrupt — and every admission ledger must balance after the run.
+#[test]
+fn shard_disconnects_mid_join_degrade_typed_and_ledgers_balance() {
+    let _guard = serial();
+    fault::clear();
+    let _wd = Watchdog::arm(
+        "shard disconnects mid-join".into(),
+        Duration::from_secs(180),
+    );
+
+    let (target, shards, coord) = start_cluster();
+    let addr = coord.addr();
+
+    // Fault-free reference, computed through the coordinator itself.
+    let mut reference = Vec::new();
+    {
+        let mut c = Client::connect(addr).expect("reference connect");
+        for t in 0..target.len() as u32 {
+            for req in [
+                Request::Intersect {
+                    target: t,
+                    deadline_ms: u32::MAX,
+                },
+                Request::Nn {
+                    target: t,
+                    deadline_ms: u32::MAX,
+                },
+                Request::Knn {
+                    target: t,
+                    k: 3,
+                    deadline_ms: u32::MAX,
+                },
+            ] {
+                let want = match c.query(&req).expect("reference query") {
+                    QueryReply::Ids(ids) => ids,
+                    other => panic!("fault-free cluster answered {other:?}"),
+                };
+                reference.push((req, want));
+            }
+        }
+    }
+
+    fault::set(
+        fault::SERVE_READ,
+        FaultAction::Disconnect,
+        Trigger::Every(5),
+    );
+    fault::set(fault::SERVE_WRITE, FaultAction::Err, Trigger::Every(7));
+
+    let mut resolved = 0u64;
+    let mut failed = 0u64;
+    let mut exhausted = 0u64;
+    let mut client = connect_retrying(addr, 0x00C4_05C2);
+    for (req, want) in &reference {
+        let Some(c) = client.as_mut() else { break };
+        match c.query(req) {
+            Ok((QueryReply::Ids(ids), _)) => {
+                assert_eq!(&ids, want, "corrupted scatter-gather result for {req:?}");
+                resolved += 1;
+            }
+            Ok((QueryReply::Error { .. }, _)) => failed += 1,
+            Ok((other, _)) => panic!("unexpected reply {other:?}"),
+            Err(_) => {
+                exhausted += 1;
+                client = connect_retrying(addr, mix64(0x00C4_05C3 ^ exhausted));
+            }
+        }
+    }
+    drop(client);
+    assert!(
+        fault::fired(fault::SERVE_READ) > 0,
+        "disconnect schedule never fired"
+    );
+
+    fault::clear();
+    await_balanced_coordinator(&coord, "shard disconnects");
+    for (i, s) in shards.iter().enumerate() {
+        await_balanced_ledger(s, &format!("shard {i} after disconnect chaos"));
+    }
+
+    // A clean line through the whole tier must still answer correctly.
+    let mut probe = Client::connect(addr).expect("post-chaos connect");
+    let (req, want) = &reference[0];
+    let got = probe.query(req).expect("post-chaos query");
+    assert_eq!(
+        got.ids(),
+        Some(want.as_slice()),
+        "cluster degraded after chaos"
+    );
+
+    coord.shutdown();
+    for s in shards {
+        s.shutdown();
+    }
+    assert_pool_alive();
+
+    eprintln!(
+        "[chaos] cluster: {resolved} resolved, {failed} failed, {exhausted} exhausted \
+         of {} requests",
+        reference.len()
+    );
+    assert!(resolved > 0, "nothing resolved — schedule too hostile");
+}
+
+/// A shard process dying outright (not just flaky I/O) must degrade to a
+/// typed error within the request deadline — the "no hang" acceptance
+/// criterion — and the coordinator must keep serving afterwards.
+#[test]
+fn dead_shard_yields_typed_error_within_deadline() {
+    let _guard = serial();
+    fault::clear();
+    let _wd = Watchdog::arm("dead shard".into(), Duration::from_secs(120));
+
+    let (_target, mut shards, coord) = start_cluster();
+    let addr = coord.addr();
+
+    // Kill the middle shard after startup validation succeeded.
+    shards.remove(1).shutdown();
+
+    let mut c = Client::connect(addr).expect("connect");
+    let t0 = Instant::now();
+    // NN scatters to all shards, so it must route through the corpse.
+    match c
+        .query(&Request::Nn {
+            target: 0,
+            deadline_ms: 5_000,
+        })
+        .expect("transport must survive a dead backend")
+    {
+        QueryReply::Error { code, .. } => {
+            assert!(
+                matches!(
+                    code,
+                    ErrorCode::Internal | ErrorCode::DeadlineExceeded | ErrorCode::Overloaded
+                ),
+                "dead shard surfaced as {code:?}"
+            );
+        }
+        other => panic!("dead shard must fail the scatter, got {other:?}"),
+    }
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "dead-shard error took {:?} — deadline not enforced",
+        t0.elapsed()
+    );
+
+    // Queries routed only to live shards must still succeed.
+    let mut health = Client::connect(addr).expect("reconnect");
+    health.health().expect("coordinator must stay live");
+
+    await_balanced_coordinator(&coord, "dead shard");
+    coord.shutdown();
+    for s in shards {
+        s.shutdown();
+    }
+    assert_pool_alive();
 }

@@ -1,0 +1,251 @@
+//! Loopback cluster end-to-end tests: a coordinator fronting in-process
+//! shard engines must answer **byte-identically** to a single engine for
+//! every join kind — the boundary-cuboid replication property test from
+//! `docs/sharding.md`. Each shard holds the full target store plus its
+//! boundary-replicated slice of the source store; the coordinator's merge
+//! must union, deduplicate replicas exactly once, and preserve the
+//! engine's (distance, id) ranking bit-for-bit.
+
+use std::sync::Arc;
+use tripro::{ObjectStore, StoreConfig, StoredObject};
+use tripro_serve::{
+    partition_source, Client, Coordinator, CoordinatorConfig, QueryReply, Request, ServeConfig,
+    Server, ShardMap, ShardView,
+};
+use tripro_synth::DatasetConfig;
+
+const CACHE: usize = 64 << 20;
+
+/// Build seeded target/source stores and keep the raw source objects so
+/// each shard (and the single-engine reference) can be cut from the same
+/// compressed bytes.
+fn build_stores(seed: u64) -> (Arc<ObjectStore>, Vec<StoredObject>) {
+    let block = tripro_synth::generate(&DatasetConfig {
+        nuclei_count: 18,
+        vessel_count: 0,
+        seed,
+        ..Default::default()
+    });
+    let target = ObjectStore::build(&block.nuclei_a, &StoreConfig::default()).expect("encode a");
+    let source = ObjectStore::build(&block.nuclei_b, &StoreConfig::default()).expect("encode b");
+    (Arc::new(target), source.into_objects())
+}
+
+struct Cluster {
+    shards: Vec<Server>,
+    coord: Coordinator,
+}
+
+fn start_cluster(
+    target: &Arc<ObjectStore>,
+    source_objects: &[StoredObject],
+    n: u32,
+    epoch: u64,
+) -> Cluster {
+    let map = ShardMap::new(epoch, ShardMap::cell_for(target), n);
+    let source_total = source_objects.len() as u64;
+    let mut shards = Vec::new();
+    let mut addrs = Vec::new();
+    for i in 0..n {
+        let full = ObjectStore::from_objects(source_objects.to_vec(), CACHE);
+        let (local, ids) = partition_source(full, &map, i, CACHE);
+        let cfg = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            shard: Some(ShardView {
+                map,
+                index: i,
+                source_total,
+            }),
+            source_ids: Some(ids),
+            ..Default::default()
+        };
+        let s = Server::start(Arc::clone(target), Arc::new(local), cfg).expect("start shard");
+        addrs.push(s.addr().to_string());
+        shards.push(s);
+    }
+    let coord = Coordinator::start(
+        Arc::clone(target),
+        CoordinatorConfig {
+            addr: "127.0.0.1:0".to_string(),
+            shards: addrs,
+            epoch,
+            ..Default::default()
+        },
+    )
+    .expect("start coordinator");
+    Cluster { shards, coord }
+}
+
+fn ids_of(reply: QueryReply) -> Vec<u32> {
+    match reply {
+        QueryReply::Ids(ids) => ids,
+        QueryReply::Error { code, message, .. } => panic!("unexpected error {code:?}: {message}"),
+        other => panic!("unexpected reply {other:?}"),
+    }
+}
+
+/// The full request matrix for one target store: all four join kinds per
+/// target object, plus a containment probe at each target's MBB centre.
+fn request_matrix(target: &ObjectStore) -> Vec<Request> {
+    let extent = target.rtree().bounds().extent();
+    let d = extent.max_component() / 6.0;
+    let mut reqs = Vec::new();
+    for t in 0..target.len() as u32 {
+        reqs.push(Request::Intersect {
+            target: t,
+            deadline_ms: u32::MAX,
+        });
+        reqs.push(Request::Within {
+            target: t,
+            d,
+            deadline_ms: u32::MAX,
+        });
+        reqs.push(Request::Nn {
+            target: t,
+            deadline_ms: u32::MAX,
+        });
+        reqs.push(Request::Knn {
+            target: t,
+            k: 3,
+            deadline_ms: u32::MAX,
+        });
+        let b = target.mbb(t);
+        reqs.push(Request::Contains {
+            p: [
+                (b.lo.x + b.hi.x) / 2.0,
+                (b.lo.y + b.hi.y) / 2.0,
+                (b.lo.z + b.hi.z) / 2.0,
+            ],
+            deadline_ms: u32::MAX,
+        });
+    }
+    reqs
+}
+
+/// The property test: across seeded stores, a 3-shard scatter-gather
+/// cluster answers every join kind byte-identically to a single engine
+/// serving the unpartitioned stores.
+#[test]
+fn cluster_matches_single_engine_for_all_join_kinds() {
+    for seed in [0x3D5A_0001u64, 0x3D5A_0002] {
+        let (target, source_objects) = build_stores(seed);
+
+        let single = Server::start(
+            Arc::clone(&target),
+            Arc::new(ObjectStore::from_objects(source_objects.clone(), CACHE)),
+            ServeConfig {
+                addr: "127.0.0.1:0".to_string(),
+                ..Default::default()
+            },
+        )
+        .expect("start single engine");
+        let cluster = start_cluster(&target, &source_objects, 3, 1);
+
+        // Boundary replication must actually replicate: the shard-local
+        // counts sum past the global store (and never exceed 3x it).
+        let mut replicated = 0u64;
+        for s in &cluster.shards {
+            let mut probe = Client::connect(s.addr()).expect("shard probe");
+            let info = probe.shard_info().expect("shard info");
+            assert_eq!(info.source_total, source_objects.len() as u64);
+            replicated += info.source_objects;
+        }
+        assert!(
+            replicated > source_objects.len() as u64,
+            "seed {seed:#x}: no boundary object was replicated — dedup is untested"
+        );
+        assert!(replicated <= 3 * source_objects.len() as u64);
+
+        let mut direct = Client::connect(single.addr()).expect("connect single");
+        let mut sharded = Client::connect(cluster.coord.addr()).expect("connect coordinator");
+        for req in request_matrix(&target) {
+            let want = ids_of(direct.query(&req).expect("single-engine query"));
+            let got = ids_of(sharded.query(&req).expect("cluster query"));
+            assert_eq!(
+                got, want,
+                "seed {seed:#x}: cluster diverged from single engine on {req:?}"
+            );
+        }
+
+        // Per-shard scatter metrics must be visible on the coordinator.
+        let text = sharded.metrics().expect("coordinator metrics");
+        for family in [
+            "tripro_shard_fanout",
+            "tripro_shard_subquery_seconds",
+            "tripro_merge_seconds",
+        ] {
+            assert!(
+                text.contains(family),
+                "metrics exposition is missing {family}"
+            );
+        }
+
+        let stats = cluster.coord.stats();
+        assert_eq!(stats.failed, 0, "fault-free run must not fail ({stats:?})");
+        assert_eq!(stats.admitted, stats.completed, "{stats:?}");
+
+        cluster.coord.shutdown();
+        for s in cluster.shards {
+            s.shutdown();
+        }
+        single.shutdown();
+    }
+}
+
+/// A coordinator must refuse a cluster whose shards were partitioned
+/// under a different epoch — mixed shard maps would silently drop pairs.
+#[test]
+fn coordinator_refuses_mismatched_epoch() {
+    let (target, source_objects) = build_stores(0x3D5A_0003);
+    let cluster = start_cluster(&target, &source_objects, 2, 7);
+    let addrs: Vec<String> = cluster
+        .shards
+        .iter()
+        .map(|s| s.addr().to_string())
+        .collect();
+
+    let err = Coordinator::start(
+        Arc::clone(&target),
+        CoordinatorConfig {
+            addr: "127.0.0.1:0".to_string(),
+            shards: addrs,
+            epoch: 8,
+            ..Default::default()
+        },
+    );
+    assert!(err.is_err(), "epoch 8 coordinator accepted epoch 7 shards");
+
+    cluster.coord.shutdown();
+    for s in cluster.shards {
+        s.shutdown();
+    }
+}
+
+/// Routed single-shard queries and scatter joins agree on an empty
+/// route: a region query far outside the dataset returns empty, fast.
+#[test]
+fn out_of_range_target_is_rejected_before_admission() {
+    let (target, source_objects) = build_stores(0x3D5A_0004);
+    let n = target.len() as u32;
+    let cluster = start_cluster(&target, &source_objects, 2, 1);
+    let mut c = Client::connect(cluster.coord.addr()).expect("connect");
+    match c
+        .query(&Request::Intersect {
+            target: n + 5,
+            deadline_ms: u32::MAX,
+        })
+        .expect("transport")
+    {
+        QueryReply::Error { code, .. } => {
+            assert_eq!(code, tripro_serve::ErrorCode::BadRequest);
+        }
+        other => panic!("expected BadRequest, got {other:?}"),
+    }
+    // The reject must not occupy a ledger slot.
+    let stats = cluster.coord.stats();
+    assert_eq!(stats.admitted, 0, "{stats:?}");
+    cluster.coord.shutdown();
+    for s in cluster.shards {
+        s.shutdown();
+    }
+}

@@ -37,6 +37,7 @@ fn ids_of(reply: QueryReply) -> Vec<u32> {
     match reply {
         QueryReply::Ids(ids) => ids,
         QueryReply::Error { code, message, .. } => panic!("unexpected error {code:?}: {message}"),
+        other => panic!("engine never answers these requests with {other:?}"),
     }
 }
 
