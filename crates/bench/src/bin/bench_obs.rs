@@ -20,20 +20,110 @@
 //! disarmed gate (baseline) and the armed-on-miss case must stay inside
 //! the same <2% budget.
 
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 use tripro::fault::{self, FaultAction, Trigger};
 use tripro::obs;
-use tripro::{Accel, Paradigm, TraceConfig};
+use tripro::{Accel, ObjectStore, Paradigm, StoreConfig, TraceConfig};
 use tripro_bench::harness::{threads, Scale, TestId, Workloads};
+use tripro_serve::{
+    partition_source, Client, Coordinator, CoordinatorConfig, Request, ServeConfig, Server,
+    ShardMap, ShardView, TraceContext,
+};
 
 /// Overhead budget for enabled span tracing, in percent.
 const BUDGET_PCT: f64 = 2.0;
 /// Interleaved repetitions per side.
 const REPS: usize = 5;
+/// Shard fanout of the distributed leg's loopback cluster.
+const CLUSTER_SHARDS: u32 = 3;
 
 fn median(xs: &mut [f64]) -> f64 {
     xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     xs.get(xs.len() / 2).copied().unwrap_or(0.0)
+}
+
+/// A loopback 3-shard cluster over the harness stores, for the
+/// distributed tracing leg: shards + coordinator in-process, queried over
+/// real TCP so the v6 trace propagation pays its true wire cost.
+struct LoopCluster {
+    shards: Vec<Server>,
+    coord: Coordinator,
+    n_targets: u32,
+}
+
+impl LoopCluster {
+    fn start(w: &Workloads) -> LoopCluster {
+        const CACHE: usize = 64 << 20;
+        let store_cfg = StoreConfig::default();
+        let target =
+            Arc::new(ObjectStore::build(&w.raw_nuclei_a, &store_cfg).expect("encode target"));
+        let source_objects = ObjectStore::build(&w.raw_nuclei_b, &store_cfg)
+            .expect("encode source")
+            .into_objects();
+        let map = ShardMap::new(1, ShardMap::cell_for(&target), CLUSTER_SHARDS);
+        let source_total = source_objects.len() as u64;
+        let mut shards = Vec::new();
+        let mut addrs = Vec::new();
+        for i in 0..CLUSTER_SHARDS {
+            let full = ObjectStore::from_objects(source_objects.clone(), CACHE);
+            let (local, ids) = partition_source(full, &map, i, CACHE);
+            let cfg = ServeConfig {
+                addr: "127.0.0.1:0".to_string(),
+                shard: Some(ShardView {
+                    map,
+                    index: i,
+                    source_total,
+                }),
+                source_ids: Some(ids),
+                ..Default::default()
+            };
+            let s = Server::start(Arc::clone(&target), Arc::new(local), cfg).expect("start shard");
+            addrs.push(s.addr().to_string());
+            shards.push(s);
+        }
+        let coord = Coordinator::start(
+            Arc::clone(&target),
+            CoordinatorConfig {
+                addr: "127.0.0.1:0".to_string(),
+                shards: addrs,
+                epoch: 1,
+                ..Default::default()
+            },
+        )
+        .expect("start coordinator");
+        let n_targets = target.len() as u32;
+        LoopCluster {
+            shards,
+            coord,
+            n_targets,
+        }
+    }
+
+    /// One pass of kNN joins over every target, optionally traced.
+    fn run(&self, client: &mut Client, trace: Option<&TraceContext>) -> f64 {
+        let t0 = Instant::now();
+        for t in 0..self.n_targets {
+            client
+                .query_traced(
+                    &Request::Knn {
+                        target: t,
+                        k: 3,
+                        deadline_ms: u32::MAX,
+                    },
+                    trace,
+                )
+                .expect("cluster query");
+        }
+        t0.elapsed().as_secs_f64()
+    }
+
+    fn shutdown(self) {
+        self.coord.shutdown();
+        for s in self.shards {
+            s.shutdown();
+        }
+    }
 }
 
 fn main() {
@@ -90,9 +180,56 @@ fn main() {
         fault_armed.push(c);
     }
 
+    // Distributed leg: the same budget applied to the v6 cluster path —
+    // trace-context propagation, per-shard span summaries and coordinator
+    // stitching must stay inside the tracing budget end to end. The
+    // untraced side sends no trace context with the tracer disabled, so
+    // the coordinator skips propagation entirely; the traced side samples
+    // every request.
+    let cluster = LoopCluster::start(&w);
+    let mut client = Client::connect(cluster.coord.addr()).expect("connect coordinator");
+    let ctx = TraceContext {
+        trace_id: 0x0b5_0b5,
+        parent_span_id: 0,
+        sampled: true,
+    };
+    let run_cluster = |client: &mut Client, traced: bool| -> f64 {
+        obs::tracer().set_enabled(traced);
+        let s = cluster.run(client, traced.then_some(&ctx));
+        obs::tracer().set_enabled(false);
+        s
+    };
+    let _ = run_cluster(&mut client, false);
+    let _ = run_cluster(&mut client, true);
+    let mut cl_off = Vec::with_capacity(REPS);
+    let mut cl_on = Vec::with_capacity(REPS);
+    for rep in 0..REPS {
+        let a = run_cluster(&mut client, false);
+        let b = run_cluster(&mut client, true);
+        eprintln!("[bench_obs] cluster rep {rep}: untraced {a:.4}s, traced {b:.4}s");
+        cl_off.push(a);
+        cl_on.push(b);
+    }
+    drop(client);
+    cluster.shutdown();
+
     let med_off = median(&mut off);
     let med_on = median(&mut on);
     let med_fault = median(&mut fault_armed);
+    // Loopback TCP latency drifts across reps, so the cluster overhead is
+    // the median of the *paired* per-rep ratios (each traced run divided
+    // by the untraced run interleaved right before it), not the ratio of
+    // independent medians — pairing cancels the drift both sides share.
+    // (Computed before `median` sorts the sides in place.)
+    let mut cl_ratio: Vec<f64> = cl_on
+        .iter()
+        .zip(&cl_off)
+        .filter(|&(_, &a)| a > 0.0)
+        .map(|(&b, &a)| (b - a) / a * 100.0)
+        .collect();
+    let cluster_trace_overhead_pct = median(&mut cl_ratio);
+    let med_cl_off = median(&mut cl_off);
+    let med_cl_on = median(&mut cl_on);
     let pct_of = |v: f64| {
         if med_off > 0.0 {
             (v - med_off) / med_off * 100.0
@@ -102,14 +239,21 @@ fn main() {
     };
     let overhead_pct = pct_of(med_on);
     let fault_overhead_pct = pct_of(med_fault);
-    let pass = overhead_pct < BUDGET_PCT && fault_overhead_pct < BUDGET_PCT;
+    let pass = overhead_pct < BUDGET_PCT
+        && fault_overhead_pct < BUDGET_PCT
+        && cluster_trace_overhead_pct < BUDGET_PCT;
     eprintln!(
         "[bench_obs] tracing overhead: {overhead_pct:+.2}% \
          (disabled {med_off:.4}s, enabled {med_on:.4}s, budget {BUDGET_PCT}%)"
     );
     eprintln!(
         "[bench_obs] fault-gate overhead (armed, registry miss): \
-         {fault_overhead_pct:+.2}% ({med_fault:.4}s, budget {BUDGET_PCT}%) -> {}",
+         {fault_overhead_pct:+.2}% ({med_fault:.4}s, budget {BUDGET_PCT}%)"
+    );
+    eprintln!(
+        "[bench_obs] cluster tracing overhead (3-shard loopback, v6 \
+         propagation + stitching): {cluster_trace_overhead_pct:+.2}% \
+         (untraced {med_cl_off:.4}s, traced {med_cl_on:.4}s, budget {BUDGET_PCT}%) -> {}",
         if pass { "PASS" } else { "OVER BUDGET" }
     );
 
@@ -119,7 +263,9 @@ fn main() {
             "\"paradigm\":\"FPR\",\"accel\":\"AABB\",\"reps\":{},",
             "\"seconds_disabled\":{:.6},\"seconds_enabled\":{:.6},",
             "\"seconds_faults_armed\":{:.6},",
+            "\"seconds_cluster\":{:.6},\"seconds_cluster_traced\":{:.6},",
             "\"overhead_pct\":{:.4},\"fault_overhead_pct\":{:.4},",
+            "\"cluster_trace_overhead_pct\":{:.4},",
             "\"budget_pct\":{:.1},\"pass\":{}}}\n"
         ),
         scale,
@@ -129,8 +275,11 @@ fn main() {
         med_off,
         med_on,
         med_fault,
+        med_cl_off,
+        med_cl_on,
         overhead_pct,
         fault_overhead_pct,
+        cluster_trace_overhead_pct,
         BUDGET_PCT,
         pass
     );

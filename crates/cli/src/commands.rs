@@ -386,8 +386,10 @@ pub fn serve(a: &Parsed) -> Result<(), CliError> {
     if inject_ms > 0 {
         cfg.inject_latency = Some(Duration::from_millis(inject_ms));
     }
-    let trace_slow_ms: u64 = a.get_parsed("trace-slow-ms", 0u64)?;
-    if trace_slow_ms > 0 {
+    // Flag *presence* enables tracing, so an explicit `--trace-slow-ms 0`
+    // means "trace every request" (the smoke gates rely on this).
+    if a.get("trace-slow-ms").is_some() {
+        let trace_slow_ms: u64 = a.get_parsed("trace-slow-ms", 0u64)?;
         cfg.trace = tripro::TraceConfig {
             enabled: true,
             slow_threshold: Duration::from_millis(trace_slow_ms),
@@ -456,8 +458,9 @@ fn serve_coordinator(a: &Parsed) -> Result<(), CliError> {
     if cap_ms > 0 {
         cfg.deadline_cap = Some(Duration::from_millis(cap_ms));
     }
-    let trace_slow_ms: u64 = a.get_parsed("trace-slow-ms", 0u64)?;
-    if trace_slow_ms > 0 {
+    // Presence enables tracing; an explicit 0 traces every request.
+    if a.get("trace-slow-ms").is_some() {
+        let trace_slow_ms: u64 = a.get_parsed("trace-slow-ms", 0u64)?;
         cfg.trace = tripro::TraceConfig {
             enabled: true,
             slow_threshold: Duration::from_millis(trace_slow_ms),
@@ -541,6 +544,24 @@ pub fn metrics(a: &Parsed) -> Result<(), CliError> {
 /// indented span trees.
 pub fn trace(a: &Parsed) -> Result<(), CliError> {
     use tripro::obs;
+
+    // Remote mode: fetch the slow-query log of a running server or
+    // coordinator over a `TraceLog` frame. On a coordinator the entries
+    // are stitched cross-node waterfalls — each shard's span summary
+    // appears as a `shard` subtree under the coordinator's root span.
+    if let Some(addr) = a.get("addr") {
+        let mut client = tripro_serve::Client::connect(addr)
+            .map_err(|e| CliError::msg(format!("{addr}: {e}")))?;
+        let text = client
+            .trace_log()
+            .map_err(|e| CliError::msg(format!("trace-log request failed: {e}")))?;
+        if text.trim().is_empty() {
+            eprintln!("slow-query log at {addr} is empty (no sampled request over threshold yet)");
+        } else {
+            outln!("{}", text.trim_end());
+        }
+        return Ok(());
+    }
 
     let target = load_store(a.require("target")?)?;
     let source = load_store(a.require("source")?)?;

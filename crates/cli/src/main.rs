@@ -10,7 +10,7 @@
 //! tripro query nn        --target DIR --source DIR [--k K] [...]
 //! tripro serve           --target DIR --source DIR [--addr A] [...]
 //! tripro metrics         [--addr A] [--check] [--stages]
-//! tripro trace           --target DIR --source DIR --slow MS [--kind K]
+//! tripro trace           --target DIR --source DIR --slow MS [--kind K] | --addr A
 //! ```
 
 mod args;
@@ -110,12 +110,14 @@ USAGE:
 
   tripro metrics [--addr HOST:PORT] [--check] [--stages]
       Fetch a running server's metrics registry (a v2 Metrics frame) and
-      print the Prometheus text exposition. --check validates the
-      exposition format and fails on malformed output. --stages instead
-      issues a v3 StatsEx frame and prints the pipelined executor's
-      per-stage wall time, item counts and queue-full stalls. Default
-      --addr 127.0.0.1:3750. See docs/observability.md for the metric
-      inventory.
+      print the Prometheus text exposition. Pointed at a coordinator, the
+      exposition is federated: every shard is scraped over v6 MetricsBin
+      frames and exact-merged into one document with a node label (plus a
+      node=\"cluster\" aggregate). --check validates the exposition format
+      and fails on malformed output. --stages instead issues a v3 StatsEx
+      frame and prints the pipelined executor's per-stage wall time, item
+      counts and queue-full stalls. Default --addr 127.0.0.1:3750. See
+      docs/observability.md for the metric inventory.
 
   tripro trace --target DIR --source DIR [--slow MS] [--kind intersect|within|nn|knn]
                [--keep N] [--fr] [--accel A] [--k K] [--distance D]
@@ -123,4 +125,10 @@ USAGE:
       the slow-query log: the N worst (default 8) request traces at or
       over the MS threshold (default 0 = trace everything), rendered as
       indented span trees (filter, refine rounds, decodes, pool tasks).
+
+  tripro trace --addr HOST:PORT
+      Instead fetch the slow-query log of a running server over a v6
+      TraceLog frame. On a coordinator each entry is a stitched cluster
+      waterfall: per-shard span summaries render as shard subtrees under
+      the coordinator's root span, all under one trace id.
 ";

@@ -12,14 +12,16 @@
 //! hint), reconnect-on-reset and a per-request retry budget.
 
 use crate::protocol::{
-    encode_request, read_response, write_frame, ErrorCode, NodeRole, Request, Response,
-    ShardInfoPayload, StatsExPayload, StatsPayload, WireError, MIN_VERSION, VERSION,
+    encode_request_traced, read_response_traced, write_frame, ErrorCode, NodeRole, Request,
+    Response, ShardInfoPayload, StatsExPayload, StatsPayload, TraceContext, WireError, MIN_VERSION,
+    VERSION,
 };
 use crate::ServeError;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 use tripro::fault::mix64;
 use tripro::obs;
+use tripro::obs::{MetricSnapshot, SpanSummary};
 
 /// Outcome of a query request.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,6 +79,9 @@ pub struct Client {
     stream: TcpStream,
     next_id: u64,
     server_role: NodeRole,
+    /// Span summary from the final page of the most recent traced query
+    /// (v6+), when the server attached one.
+    last_summary: Option<SpanSummary>,
 }
 
 impl Client {
@@ -95,6 +100,7 @@ impl Client {
             stream,
             next_id: 1,
             server_role: NodeRole::Engine,
+            last_summary: None,
         };
         match c.roundtrip(&Request::Hello {
             min_version: MIN_VERSION,
@@ -123,19 +129,27 @@ impl Client {
     }
 
     fn send(&mut self, req: &Request) -> Result<u64, ServeError> {
+        self.send_traced(req, None)
+    }
+
+    fn send_traced(&mut self, req: &Request, trace: Option<&TraceContext>) -> Result<u64, ServeError> {
         let id = self.next_id;
         self.next_id = self.next_id.wrapping_add(1).max(1);
-        write_frame(&mut self.stream, &encode_request(id, req))?;
+        write_frame(&mut self.stream, &encode_request_traced(id, req, trace))?;
         Ok(id)
     }
 
-    /// Read the next response frame addressed to `id`.
+    /// Read the next response frame addressed to `id`, stashing any v6
+    /// span-summary trailer for [`Self::last_summary`].
     fn recv_for(&mut self, id: u64) -> Result<Response, ServeError> {
         loop {
-            let (rid, resp) = read_response(&mut self.stream)?;
+            let (rid, resp, summary) = read_response_traced(&mut self.stream)?;
             // A strictly serial client only ever has one request in
             // flight; frames for other ids would be a server bug.
             if rid == id {
+                if summary.is_some() {
+                    self.last_summary = summary;
+                }
                 return Ok(resp);
             }
         }
@@ -190,6 +204,32 @@ impl Client {
         }
     }
 
+    /// The server's metrics registry as a binary snapshot (v6+):
+    /// histograms carry full bucket images, so a coordinator can merge
+    /// scrapes from many nodes exactly.
+    pub fn metrics_bin(&mut self) -> Result<Vec<MetricSnapshot>, ServeError> {
+        match self.roundtrip(&Request::MetricsBin)? {
+            Response::MetricsBinOk(snaps) => Ok(snaps),
+            _ => Err(ServeError::Unexpected("non-metrics reply to metrics-bin")),
+        }
+    }
+
+    /// The server's rendered slow-trace log (v6+); on a coordinator this
+    /// is the stitched cluster waterfall.
+    pub fn trace_log(&mut self) -> Result<String, ServeError> {
+        match self.roundtrip(&Request::TraceLog)? {
+            Response::TraceLogOk { text } => Ok(text),
+            _ => Err(ServeError::Unexpected("non-trace reply to trace-log")),
+        }
+    }
+
+    /// Span summary from the final page of the most recent traced query
+    /// (v6+), when the server attached one. Reset at the start of every
+    /// query.
+    pub fn last_summary(&self) -> Option<&SpanSummary> {
+        self.last_summary.as_ref()
+    }
+
     /// Ask the server to drain and exit. The server acknowledges before it
     /// begins draining.
     pub fn shutdown_server(&mut self) -> Result<(), ServeError> {
@@ -204,6 +244,17 @@ impl Client {
     /// Accepts only query kinds (`Contains`/`Intersect`/`Within`/`Nn`/
     /// `Knn`); probe kinds have dedicated methods above.
     pub fn query(&mut self, req: &Request) -> Result<QueryReply, ServeError> {
+        self.query_traced(req, None)
+    }
+
+    /// [`Self::query`] with a v6 [`TraceContext`] attached: the server
+    /// executes under the propagated trace id and, when `sampled`, ships
+    /// a span summary back (readable via [`Self::last_summary`]).
+    pub fn query_traced(
+        &mut self,
+        req: &Request,
+        trace: Option<&TraceContext>,
+    ) -> Result<QueryReply, ServeError> {
         match req {
             Request::Contains { .. }
             | Request::Intersect { .. }
@@ -214,7 +265,8 @@ impl Client {
             | Request::KnnEx { .. } => {}
             _ => return Err(ServeError::Unexpected("query() needs a query request")),
         }
-        let id = self.send(req)?;
+        self.last_summary = None;
+        let id = self.send_traced(req, trace)?;
         let mut out: Vec<u32> = Vec::new();
         let mut scored: Vec<(u32, f64)> = Vec::new();
         let mut any_partial = false;
@@ -411,12 +463,33 @@ impl RetryingClient {
     /// * Everything else — including `Internal` and `DeadlineExceeded`
     ///   replies — is returned as-is, immediately.
     pub fn query(&mut self, req: &Request) -> Result<(QueryReply, RetryOutcome), ServeError> {
+        self.query_traced(req, None)
+    }
+
+    /// [`Self::query`] with a v6 [`TraceContext`] propagated on every
+    /// attempt. All attempts carry the SAME trace id, and each one is
+    /// tagged with its 0-based attempt index via a `retry_attempt` span,
+    /// so a retried request renders as one waterfall in the slow log —
+    /// never as disconnected fragments.
+    pub fn query_traced(
+        &mut self,
+        req: &Request,
+        trace: Option<&TraceContext>,
+    ) -> Result<(QueryReply, RetryOutcome), ServeError> {
         let mut outcome = RetryOutcome::default();
         loop {
             outcome.attempts += 1;
             let retry = outcome.retries; // 0-based index of the *next* retry
+            let _attempt = trace.map(|t| {
+                obs::span_for_at(
+                    t.trace_id,
+                    obs::SpanKind::RetryAttempt,
+                    outcome.attempts - 1,
+                    obs::trace::NO_LOD,
+                )
+            });
             let result = match self.ensure_conn() {
-                Ok(conn) => conn.query(req),
+                Ok(conn) => conn.query_traced(req, trace),
                 Err(e) => Err(e),
             };
             match result {
@@ -454,5 +527,11 @@ impl RetryingClient {
     /// `metrics`, `shutdown_server`...), reconnecting first if needed.
     pub fn raw(&mut self) -> Result<&mut Client, ServeError> {
         self.ensure_conn()
+    }
+
+    /// Span summary from the most recent traced query's final page, when
+    /// the server attached one (v6+).
+    pub fn last_summary(&self) -> Option<&SpanSummary> {
+        self.conn.as_ref().and_then(Client::last_summary)
     }
 }

@@ -39,9 +39,9 @@
 
 use crate::client::{Client, QueryReply, RetryingClient};
 use crate::protocol::{
-    self, decode_header, decode_request_body, ErrorCode, NodeRole, Request, Response,
-    ShardInfoPayload, StatsExPayload, StatsPayload, HEADER_LEN, MIN_VERSION, NO_DEADLINE_MS,
-    VERSION,
+    self, decode_header, decode_request_body_traced, ErrorCode, NodeRole, Request, Response,
+    ShardInfoPayload, StatsExPayload, StatsPayload, TraceContext, HEADER_LEN, MIN_VERSION,
+    NO_DEADLINE_MS, VERSION,
 };
 use crate::server::{bump, read_full, ConnWriter, Outcomes, ReadFull};
 use crate::shard::ShardMap;
@@ -54,6 +54,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tripro::fault::{self, mix64};
 use tripro::obs;
+use tripro::obs::{CostExemplar, MetricSnapshot, SpanKind, SpanSummary};
 use tripro::sync::{lock, wait, Condvar, Mutex};
 use tripro::{Deadline, ObjectStore, ServiceSnapshot, ServiceStats, TraceConfig};
 use tripro_geom::{Aabb, Vec3};
@@ -614,7 +615,7 @@ fn handle_frame(
     id: u64,
     payload: &[u8],
 ) -> bool {
-    let request = match decode_request_body(kind, payload) {
+    let (request, trace) = match decode_request_body_traced(kind, payload) {
         Ok(r) => r,
         Err(e) => {
             core.stats.record_protocol_error();
@@ -683,10 +684,32 @@ fn handle_frame(
             return true;
         }
         Request::Metrics => {
+            // Federated scrape (v6): the coordinator answers for the whole
+            // cluster — every reachable backend's binary snapshot merged
+            // exactly with its own registry, one `node` label per origin.
             writer.send_response(
                 id,
                 &Response::MetricsOk {
-                    text: obs::render_global(),
+                    text: federated_metrics(core),
+                },
+            );
+            return true;
+        }
+        Request::MetricsBin => {
+            // The coordinator's OWN registry as plain data — what another
+            // federation layer (or a test) scrapes; the text `Metrics`
+            // frame is the cluster-merged view.
+            writer.send_response(
+                id,
+                &Response::MetricsBinOk(obs::snapshot_registry(obs::registry())),
+            );
+            return true;
+        }
+        Request::TraceLog => {
+            writer.send_response(
+                id,
+                &Response::TraceLogOk {
+                    text: obs::render_slow_log(),
                 },
             );
             return true;
@@ -783,7 +806,7 @@ fn handle_frame(
     }
 
     let deadline = core.deadline_for(deadline_ms);
-    execute_query(core, writer, id, &op, &deadline, &shards);
+    execute_query(core, writer, id, &op, &deadline, &shards, trace);
 
     let mut n = lock(&core.executing);
     *n = n.saturating_sub(1);
@@ -804,35 +827,68 @@ fn execute_query(
     op: &COp,
     deadline: &Deadline,
     shards: &[u32],
+    trace: Option<TraceContext>,
 ) {
-    let _req = obs::tracer().request(id);
+    // The cluster-wide trace id: the client's propagated id when it sent
+    // one, else this wire request id. Sub-queries carry the same id to
+    // every shard, so the whole fan-out renders as one waterfall in the
+    // coordinator's slow log.
+    let trace_id = trace.map_or(id, |t| t.trace_id);
+    let _req = obs::tracer().request(trace_id);
+    let started = Instant::now();
+    // Propagate to shards when the client traced this request or our own
+    // tracer is armed; ask for shard summaries (sampled) in either case —
+    // they feed both the stitched trace and the client's aggregate.
+    let sampled = trace.is_some_and(|t| t.sampled) || obs::enabled();
+    let sub_ctx = (trace.is_some() || obs::enabled()).then_some(TraceContext {
+        trace_id,
+        parent_span_id: 0, // overwritten per shard at dispatch
+        sampled,
+    });
     // Panic containment mirrors `serve_one`: a panicking merge (or
     // injected fault) becomes a typed Internal error so the admission
     // ledger still balances.
-    let exec = catch_unwind(AssertUnwindSafe(|| coordinate(core, op, deadline, shards)));
-    let result = match exec {
+    let exec = catch_unwind(AssertUnwindSafe(|| {
+        coordinate(core, op, deadline, shards, trace_id, sub_ctx)
+    }));
+    let (result, summary) = match exec {
         Ok(r) => r,
         Err(payload) => {
             core.stats.record_panic();
             obs::panic_counter("coord_request").fetch_add(1, Ordering::Relaxed);
-            CoordReply::Fail {
-                code: ErrorCode::Internal,
-                message: fault::panic_message(payload.as_ref()),
-                retry_after_ms: 0,
-            }
+            (
+                CoordReply::Fail {
+                    code: ErrorCode::Internal,
+                    message: fault::panic_message(payload.as_ref()),
+                    retry_after_ms: 0,
+                },
+                None,
+            )
         }
     };
+    // A client that sent a sampled context gets the cluster aggregate on
+    // its final page, totalled with the coordinator's own wall time.
+    let reply_summary = trace.filter(|t| t.sampled).and(summary).map(|mut s| {
+        s.total_ns = started.elapsed().as_nanos() as u64;
+        s
+    });
     match result {
         CoordReply::Ids { ids, partial } => {
-            for page in protocol::pages_of_flagged(&ids, partial) {
-                writer.send_response(id, &page);
+            let pages = protocol::pages_of_flagged(&ids, partial);
+            let n = pages.len();
+            for (i, page) in pages.iter().enumerate() {
+                let s = if i + 1 == n { reply_summary.as_ref() } else { None };
+                writer.send_response_traced(id, page, s);
             }
             core.stats.record_completed();
             bump(&core.outcomes.completed);
         }
         CoordReply::Scored { items, partial } => {
-            for page in protocol::scored_pages_of(&items, partial) {
-                writer.send_response(id, &page);
+            let pages = protocol::scored_pages_of(&items, partial);
+            let n = pages.len();
+            for (i, page) in pages.iter().enumerate() {
+                let s = if i + 1 == n { reply_summary.as_ref() } else { None };
+                writer.send_response_traced(id, page, s);
             }
             core.stats.record_completed();
             bump(&core.outcomes.completed);
@@ -861,20 +917,34 @@ fn execute_query(
     }
 }
 
-/// Scatter the query and merge the partial results.
-fn coordinate(core: &Core, op: &COp, deadline: &Deadline, shards: &[u32]) -> CoordReply {
+/// Scatter the query and merge the partial results, returning the reply
+/// plus the cluster-aggregate span summary when shards reported cost.
+fn coordinate(
+    core: &Core,
+    op: &COp,
+    deadline: &Deadline,
+    shards: &[u32],
+    trace_id: u64,
+    sub_ctx: Option<TraceContext>,
+) -> (CoordReply, Option<SpanSummary>) {
     if shards.is_empty() {
-        return CoordReply::Ids {
-            ids: Vec::new(),
-            partial: false,
-        };
+        return (
+            CoordReply::Ids {
+                ids: Vec::new(),
+                partial: false,
+            },
+            None,
+        );
     }
     if deadline.check().is_err() {
-        return CoordReply::Fail {
-            code: ErrorCode::DeadlineExceeded,
-            message: "deadline expired before fan-out".to_string(),
-            retry_after_ms: 0,
-        };
+        return (
+            CoordReply::Fail {
+                code: ErrorCode::DeadlineExceeded,
+                message: "deadline expired before fan-out".to_string(),
+                retry_after_ms: 0,
+            },
+            None,
+        );
     }
     obs::shard_fanout_histogram().record(shards.len() as u64);
 
@@ -918,8 +988,75 @@ fn coordinate(core: &Core, op: &COp, deadline: &Deadline, shards: &[u32]) -> Coo
             COp::Knn(..) | COp::KnnEx(..) | COp::Nn(_) | COp::NnEx(_)
         );
 
-    let subs = scatter(core, shards, &req, deadline, can_partial);
-    merge(op, subs, deadline, can_partial)
+    let (subs, legs) = scatter(core, shards, &req, deadline, can_partial, sub_ctx);
+    // Stitch the shard legs into this trace (we are on the connection
+    // thread, inside the request guard) and build the cluster aggregate.
+    let summary = stitch(trace_id, &legs);
+    (merge(op, subs, deadline, can_partial), summary)
+}
+
+/// Timing and wire summary of one dispatched shard sub-query.
+struct ShardLeg {
+    shard: u32,
+    started: Instant,
+    wall_ns: u64,
+    summary: Option<SpanSummary>,
+}
+
+/// Replay each shard leg into the coordinator's open trace — a `shard`
+/// span per sub-query, with `filter`/`decode`/`compute` children stacked
+/// sequentially from the shard's reported durations — attach the
+/// per-query cost exemplar, and return the cluster-aggregate summary
+/// (`total_ns` is filled in by the caller with the coordinator's wall).
+fn stitch(trace_id: u64, legs: &[ShardLeg]) -> Option<SpanSummary> {
+    let mut agg = SpanSummary {
+        trace_id,
+        ..SpanSummary::default()
+    };
+    let mut ex = CostExemplar::default();
+    let mut saw_summary = false;
+    for leg in legs {
+        obs::record_remote(
+            SpanKind::Shard,
+            leg.shard,
+            obs::trace::NO_LOD,
+            leg.started,
+            leg.wall_ns,
+            0,
+        );
+        let Some(s) = &leg.summary else { continue };
+        saw_summary = true;
+        let mut at = leg.started;
+        for (kind, ns) in [
+            (SpanKind::Filter, s.filter_ns),
+            (SpanKind::Decode, s.decode_ns),
+            (SpanKind::Compute, s.compute_ns),
+        ] {
+            if ns > 0 {
+                obs::record_remote(kind, obs::trace::NO_OBJECT, obs::trace::NO_LOD, at, ns, 1);
+                at += Duration::from_nanos(ns);
+            }
+        }
+        agg.filter_ns += s.filter_ns;
+        agg.decode_ns += s.decode_ns;
+        agg.compute_ns += s.compute_ns;
+        agg.decoded_bytes += s.decoded_bytes;
+        agg.cache_hits += s.cache_hits;
+        agg.cache_misses += s.cache_misses;
+        agg.lod_rounds += s.lod_rounds;
+        agg.resolved_pairs += s.resolved_pairs;
+        ex.shards.push((leg.shard, leg.wall_ns, s.decoded_bytes));
+    }
+    if !saw_summary {
+        return None;
+    }
+    ex.decoded_bytes = agg.decoded_bytes;
+    ex.resolved_pairs = agg.resolved_pairs;
+    ex.cache_hits = agg.cache_hits;
+    ex.cache_misses = agg.cache_misses;
+    ex.lod_rounds = agg.lod_rounds;
+    obs::attach_exemplar(ex);
+    Some(agg)
 }
 
 /// Fan the sub-query out to `shards` on the process-wide worker pool.
@@ -931,11 +1068,14 @@ fn scatter(
     req: &Request,
     deadline: &Deadline,
     can_partial: bool,
-) -> Vec<(u32, SubOutcome)> {
+    sub_ctx: Option<TraceContext>,
+) -> (Vec<(u32, SubOutcome)>, Vec<ShardLeg>) {
     let cancel = AtomicBool::new(false);
-    // LOCK-RANK(80): scatter result accumulator; leaf lock local to this
-    // call, taken only for a push.
-    let results: Mutex<Vec<(u32, SubOutcome)>> = Mutex::new(Vec::with_capacity(shards.len()));
+    // LOCK-RANK(80): scatter result accumulator (outcomes + trace legs);
+    // leaf lock local to this call, taken only for a push.
+    #[allow(clippy::type_complexity)]
+    let results: Mutex<(Vec<(u32, SubOutcome)>, Vec<ShardLeg>)> =
+        Mutex::new((Vec::with_capacity(shards.len()), Vec::new()));
     let next = AtomicUsize::new(0);
     let helpers = shards.len().saturating_sub(1);
     tripro::pool::global().run_with(helpers, |_| {
@@ -948,9 +1088,22 @@ fn scatter(
             let out = if cancel.load(Ordering::Relaxed) || deadline.is_over() {
                 SubOutcome::Skipped
             } else {
+                // Each shard gets the shared trace id with its own index
+                // as the parent-span marker.
+                let ctx = sub_ctx.map(|mut t| {
+                    t.parent_span_id = u64::from(s);
+                    t
+                });
                 let t0 = Instant::now();
-                let out = sub_query(core, s, req, deadline);
-                obs::shard_subquery_histogram(s as usize).record_duration(t0.elapsed());
+                let (out, summary) = sub_query(core, s, req, deadline, ctx.as_ref());
+                let wall = t0.elapsed();
+                obs::shard_subquery_histogram(s as usize).record_duration(wall);
+                lock(&results).1.push(ShardLeg {
+                    shard: s,
+                    started: t0,
+                    wall_ns: wall.as_nanos() as u64,
+                    summary,
+                });
                 out
             };
             let failed = matches!(
@@ -964,7 +1117,7 @@ fn scatter(
                     cancel.store(true, Ordering::Relaxed);
                 }
             }
-            lock(&results).push((s, out));
+            lock(&results).0.push((s, out));
         }));
         if contained.is_err() {
             obs::panic_counter("coord_scatter").fetch_add(1, Ordering::Relaxed);
@@ -975,13 +1128,23 @@ fn scatter(
 }
 
 /// One sub-query against one backend, with per-shard load accounting.
-fn sub_query(core: &Core, s: u32, req: &Request, deadline: &Deadline) -> SubOutcome {
+/// Returns the outcome plus the shard's span summary when it sent one.
+fn sub_query(
+    core: &Core,
+    s: u32,
+    req: &Request,
+    deadline: &Deadline,
+    trace: Option<&TraceContext>,
+) -> (SubOutcome, Option<SpanSummary>) {
     let Some(b) = core.backends.get(s as usize) else {
-        return SubOutcome::Unavailable(format!("shard {s} not configured"));
+        return (
+            SubOutcome::Unavailable(format!("shard {s} not configured")),
+            None,
+        );
     };
     // ORDERING: Relaxed — advisory budget counter (see `Backend::load`).
     b.outstanding.fetch_add(1, Ordering::Relaxed);
-    let out = sub_query_conn(core, b, s, req, deadline);
+    let out = sub_query_conn(core, b, s, req, deadline, trace);
     b.outstanding.fetch_sub(1, Ordering::Relaxed);
     out
 }
@@ -992,7 +1155,8 @@ fn sub_query_conn(
     s: u32,
     req: &Request,
     deadline: &Deadline,
-) -> SubOutcome {
+    trace: Option<&TraceContext>,
+) -> (SubOutcome, Option<SpanSummary>) {
     // Check out an idle connection (guard drops before any I/O) or dial a
     // fresh one; the retrying client self-heals across reconnects, so it
     // is returned to the pool even after a failed attempt.
@@ -1005,7 +1169,12 @@ fn sub_query_conn(
             policy.seed = mix64(policy.seed ^ (u64::from(s) << 8));
             match RetryingClient::connect_as(b.addr, NodeRole::Coordinator, policy) {
                 Ok(c) => c,
-                Err(e) => return SubOutcome::Unavailable(format!("shard {s} unreachable: {e}")),
+                Err(e) => {
+                    return (
+                        SubOutcome::Unavailable(format!("shard {s} unreachable: {e}")),
+                        None,
+                    );
+                }
             }
         }
     };
@@ -1019,18 +1188,70 @@ fn sub_query_conn(
     }
     .max(Duration::from_millis(5));
     if let Err(e) = conn.raw().and_then(|c| c.set_timeout(Some(per_attempt))) {
-        return SubOutcome::Unavailable(format!("shard {s} unreachable: {e}"));
+        return (
+            SubOutcome::Unavailable(format!("shard {s} unreachable: {e}")),
+            None,
+        );
     }
-    match conn.query(req) {
+    match conn.query_traced(req, trace) {
         Ok((reply, _)) => {
+            let summary = conn.last_summary().copied();
             lock(&b.idle).push(conn);
-            SubOutcome::Reply(reply)
+            (SubOutcome::Reply(reply), summary)
         }
         Err(e) => {
             lock(&b.idle).push(conn);
-            SubOutcome::Unavailable(format!("shard {s} failed: {e}"))
+            (
+                SubOutcome::Unavailable(format!("shard {s} failed: {e}")),
+                None,
+            )
         }
     }
+}
+
+/// Federated metrics: scrape every backend's registry over `MetricsBin`
+/// frames, merge with the coordinator's own snapshot, and render one
+/// exposition with a `node` label (plus an exact `node="cluster"`
+/// aggregate — histogram merges are exact, not approximated).
+fn federated_metrics(core: &Core) -> String {
+    let mut nodes: Vec<tripro::obs::NodeSnapshot> = Vec::with_capacity(core.backends.len() + 1);
+    nodes.push((
+        "coordinator".to_owned(),
+        obs::snapshot_registry(obs::registry()),
+    ));
+    for (i, b) in core.backends.iter().enumerate() {
+        match scrape_backend(core, b, i as u32) {
+            Ok(series) => nodes.push((format!("shard{i}"), series)),
+            Err(e) => {
+                obs::shard_error_counter(i).fetch_add(1, Ordering::Relaxed);
+                eprintln!("tripro-coordinator: metrics scrape of shard {i} failed: {e}");
+            }
+        }
+    }
+    obs::render_federated(&nodes)
+}
+
+/// Fetch one backend's binary metrics snapshot, reusing (and returning)
+/// an idle pooled connection when one is available.
+fn scrape_backend(core: &Core, b: &Backend, s: u32) -> Result<Vec<MetricSnapshot>, ServeError> {
+    let pooled = lock(&b.idle).pop();
+    let mut conn = match pooled {
+        Some(c) => c,
+        None => {
+            let mut policy = core.cfg.retry.clone();
+            // Distinct deterministic jitter stream per shard.
+            policy.seed = mix64(policy.seed ^ (u64::from(s) << 8));
+            RetryingClient::connect_as(b.addr, NodeRole::Coordinator, policy)?
+        }
+    };
+    let out = conn.raw().and_then(|c| {
+        c.set_timeout(Some(core.cfg.sub_query_cap))?;
+        c.metrics_bin()
+    });
+    if out.is_ok() {
+        lock(&b.idle).push(conn);
+    }
+    out
 }
 
 /// Merge per-shard results into the client's answer. See the module doc

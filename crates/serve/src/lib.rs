@@ -34,7 +34,7 @@ pub use client::{Client, QueryReply, RetryOutcome, RetryPolicy, RetryingClient};
 pub use coordinator::{Coordinator, CoordinatorConfig};
 pub use protocol::{
     ErrorCode, NodeRole, Request, Response, ShardInfoPayload, StatsExPayload, StatsPayload,
-    WireError,
+    TraceContext, WireError,
 };
 pub use server::{ServeConfig, Server};
 pub use shard::{partition_source, ShardMap, ShardView};

@@ -19,6 +19,8 @@
 
 use std::io::{Read, Write};
 
+use tripro::obs::{HistogramSnapshot, MetricSnapshot, MetricValue, SpanSummary};
+
 /// Frame magic ("=P" little-endian): rejects non-protocol peers early.
 pub const MAGIC: u16 = 0x3D50;
 
@@ -32,10 +34,17 @@ pub const MAGIC: u16 = 0x3D50;
 /// the role defaults), the `ShardInfo`/`ShardInfoOk` probe, the scored
 /// sub-query pair `NnEx`/`KnnEx` with `PageD` result pages, and an
 /// optional-trailing `partial` flag on `Page` (emitted only when set, so
-/// a complete v5 page is byte-identical to its v4 encoding). Every older
-/// frame is unchanged, so both ends accept the whole
-/// [`MIN_VERSION`]`..=`[`VERSION`] range.
-pub const VERSION: u8 = 5;
+/// a complete v5 page is byte-identical to its v4 encoding). Version 6
+/// adds cluster observability: an optional-trailing [`TraceContext`]
+/// triple (`trace_id`, `parent_span_id`, `sampled` — 17 bytes) on every
+/// query request so a coordinator can propagate its trace id to shards,
+/// an optional-trailing 80-byte [`SpanSummary`] on the final `Page` /
+/// `PageD` of a sampled reply carrying the shard's per-stage cost back,
+/// and two probe pairs — `MetricsBin`/`MetricsBinOk` (binary metric
+/// snapshots for exact federated merging) and `TraceLog`/`TraceLogOk`
+/// (the node's rendered slow-trace log). Every older frame is unchanged,
+/// so both ends accept the whole [`MIN_VERSION`]`..=`[`VERSION`] range.
+pub const VERSION: u8 = 6;
 
 /// Oldest protocol version this build still accepts.
 pub const MIN_VERSION: u8 = 1;
@@ -60,6 +69,8 @@ const K_SHUTDOWN: u8 = 0x04;
 const K_METRICS: u8 = 0x05; // v2+
 const K_STATS_EX: u8 = 0x06; // v3+
 const K_SHARD_INFO: u8 = 0x07; // v5+
+const K_METRICS_BIN: u8 = 0x08; // v6+
+const K_TRACE_LOG: u8 = 0x09; // v6+
 const K_CONTAINS: u8 = 0x10;
 const K_INTERSECT: u8 = 0x11;
 const K_WITHIN: u8 = 0x12;
@@ -74,6 +85,8 @@ const K_SHUTDOWN_OK: u8 = 0x84;
 const K_METRICS_OK: u8 = 0x85; // v2+
 const K_STATS_EX_OK: u8 = 0x86; // v3+
 const K_SHARD_INFO_OK: u8 = 0x87; // v5+
+const K_METRICS_BIN_OK: u8 = 0x88; // v6+
+const K_TRACE_LOG_OK: u8 = 0x89; // v6+
 const K_PAGE: u8 = 0x90;
 const K_PAGE_D: u8 = 0x91; // v5+
 const K_ERROR: u8 = 0xFF;
@@ -205,6 +218,32 @@ pub struct ShardInfoPayload {
     pub source_total: u64,
 }
 
+/// Distributed trace context carried on query requests (v6+). Encoded as
+/// an optional-trailing 17-byte triple (`trace_id` u64, `parent_span_id`
+/// u64, `sampled` u8) after the query body: a v1–v5 request ends at the
+/// body, and a v6 peer that does not trace simply omits the triple, so
+/// both decode to "no context". A shard that receives a sampled context
+/// executes the request under the propagated `trace_id` and ships a
+/// [`SpanSummary`] back on the final page of its reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Cluster-wide trace id (the coordinator's request id by default).
+    pub trace_id: u64,
+    /// Span id of the parent on the initiating node (the coordinator
+    /// encodes the shard index here so replies are attributable).
+    pub parent_span_id: u64,
+    /// Whether the initiator is actively sampling this request; unsampled
+    /// contexts propagate the id for log correlation but ask the shard
+    /// not to pay for span collection.
+    pub sampled: bool,
+}
+
+/// Wire size of an encoded [`TraceContext`] (u64 + u64 + u8).
+pub const TRACE_CTX_LEN: usize = 17;
+
+/// Wire size of an encoded [`SpanSummary`] (ten u64 fields).
+pub const SPAN_SUMMARY_LEN: usize = 80;
+
 /// Counters reported by a [`Response::StatsOk`] frame.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StatsPayload {
@@ -279,6 +318,15 @@ pub enum Request {
     /// Shard-placement probe (v5+): role, shard map position, store
     /// sizes; answered inline even under overload.
     ShardInfo,
+    /// Binary metric snapshot (v6+): every registered series as plain
+    /// data, histograms with full bucket images so a coordinator can
+    /// merge them exactly (the text exposition is lossy); answered
+    /// inline even under overload.
+    MetricsBin,
+    /// The node's rendered slow-trace log (v6+); on a coordinator this
+    /// is the stitched cluster waterfall. Answered inline even under
+    /// overload.
+    TraceLog,
     /// Ids of target-store objects containing the point.
     Contains { p: [f64; 3], deadline_ms: u32 },
     /// Source objects intersecting target object `target`.
@@ -331,6 +379,15 @@ pub enum Response {
     StatsExOk(StatsExPayload),
     /// Shard-placement description (v5+).
     ShardInfoOk(ShardInfoPayload),
+    /// Binary metric snapshot (v6+): the node's registry as plain data.
+    /// Truncated at a whole-series boundary if it would overflow
+    /// [`MAX_PAYLOAD`].
+    MetricsBinOk(Vec<MetricSnapshot>),
+    /// Rendered slow-trace log text (v6+). Truncated server-side at a
+    /// UTF-8 line boundary if it would overflow [`MAX_PAYLOAD`].
+    TraceLogOk {
+        text: String,
+    },
     /// One page of result ids; `last` marks the final page of a request.
     /// `partial` (v5+) flags a result assembled with one or more shards
     /// missing — encoded as an optional-trailing byte emitted only when
@@ -438,6 +495,49 @@ fn put_f64(out: &mut Vec<u8>, v: f64) {
     put_u64(out, v.to_bits());
 }
 
+/// Length-prefixed string (u16 length, truncated like error messages).
+fn put_str16(out: &mut Vec<u8>, s: &str) {
+    let b = s.as_bytes();
+    let n = b.len().min(u16::MAX as usize);
+    put_u16(out, n as u16);
+    out.extend_from_slice(&b[..n]);
+}
+
+fn read_str16(c: &mut Cursor<'_>) -> Result<String, WireError> {
+    let n = c.u16()? as usize;
+    Ok(String::from_utf8_lossy(c.take(n)?).into_owned())
+}
+
+/// Encode a [`SpanSummary`] as its fixed [`SPAN_SUMMARY_LEN`]-byte image
+/// (ten u64 fields in declaration order).
+fn put_summary(out: &mut Vec<u8>, s: &SpanSummary) {
+    put_u64(out, s.trace_id);
+    put_u64(out, s.total_ns);
+    put_u64(out, s.filter_ns);
+    put_u64(out, s.decode_ns);
+    put_u64(out, s.compute_ns);
+    put_u64(out, s.decoded_bytes);
+    put_u64(out, s.cache_hits);
+    put_u64(out, s.cache_misses);
+    put_u64(out, s.lod_rounds);
+    put_u64(out, s.resolved_pairs);
+}
+
+fn read_summary(c: &mut Cursor<'_>) -> Result<SpanSummary, WireError> {
+    Ok(SpanSummary {
+        trace_id: c.u64()?,
+        total_ns: c.u64()?,
+        filter_ns: c.u64()?,
+        decode_ns: c.u64()?,
+        compute_ns: c.u64()?,
+        decoded_bytes: c.u64()?,
+        cache_hits: c.u64()?,
+        cache_misses: c.u64()?,
+        lod_rounds: c.u64()?,
+        resolved_pairs: c.u64()?,
+    })
+}
+
 // ---------------------------------------------------------------------
 // Header
 // ---------------------------------------------------------------------
@@ -495,6 +595,17 @@ fn encode_frame(kind: u8, request_id: u64, payload: &[u8]) -> Vec<u8> {
 
 /// Encode a request into a complete frame (header + payload).
 pub fn encode_request(request_id: u64, req: &Request) -> Vec<u8> {
+    encode_request_traced(request_id, req, None)
+}
+
+/// [`encode_request`] with an optional [`TraceContext`] appended to query
+/// requests (v6+). Non-query requests never carry a context; passing one
+/// is ignored so callers can thread an `Option` through unconditionally.
+pub fn encode_request_traced(
+    request_id: u64,
+    req: &Request,
+    trace: Option<&TraceContext>,
+) -> Vec<u8> {
     let mut p = Vec::new();
     let kind = match req {
         Request::Hello {
@@ -513,6 +624,8 @@ pub fn encode_request(request_id: u64, req: &Request) -> Vec<u8> {
         Request::Metrics => K_METRICS,
         Request::StatsEx => K_STATS_EX,
         Request::ShardInfo => K_SHARD_INFO,
+        Request::MetricsBin => K_METRICS_BIN,
+        Request::TraceLog => K_TRACE_LOG,
         Request::Contains {
             p: point,
             deadline_ms,
@@ -578,12 +691,33 @@ pub fn encode_request(request_id: u64, req: &Request) -> Vec<u8> {
             K_KNN_EX
         }
     };
+    // v6 appends the trace triple to query requests only; probes and
+    // lifecycle frames are never traced.
+    if let Some(t) = trace {
+        if (K_CONTAINS..=K_KNN_EX).contains(&kind) {
+            put_u64(&mut p, t.trace_id);
+            put_u64(&mut p, t.parent_span_id);
+            p.push(u8::from(t.sampled));
+        }
+    }
     encode_frame(kind, request_id, &p)
 }
 
-/// Decode a request payload given its header `kind`.
+/// Decode a request payload given its header `kind`, discarding any v6
+/// trace context (what a trace-unaware service loop uses).
 pub fn decode_request_body(kind: u8, payload: &[u8]) -> Result<Request, WireError> {
+    Ok(decode_request_body_traced(kind, payload)?.0)
+}
+
+/// Decode a request payload given its header `kind`, surfacing the v6
+/// [`TraceContext`] when the peer appended one. Pre-v6 frames (and v6
+/// frames from non-tracing peers) yield `None`.
+pub fn decode_request_body_traced(
+    kind: u8,
+    payload: &[u8],
+) -> Result<(Request, Option<TraceContext>), WireError> {
     let mut c = Cursor::new(payload);
+    let mut trace = None;
     let req = match kind {
         K_HELLO => {
             let min_version = c.u8()?;
@@ -608,6 +742,8 @@ pub fn decode_request_body(kind: u8, payload: &[u8]) -> Result<Request, WireErro
         K_METRICS => Request::Metrics,
         K_STATS_EX => Request::StatsEx,
         K_SHARD_INFO => Request::ShardInfo,
+        K_METRICS_BIN => Request::MetricsBin,
+        K_TRACE_LOG => Request::TraceLog,
         K_CONTAINS => Request::Contains {
             p: [c.f64()?, c.f64()?, c.f64()?],
             deadline_ms: c.u32()?,
@@ -641,8 +777,17 @@ pub fn decode_request_body(kind: u8, payload: &[u8]) -> Result<Request, WireErro
         },
         _ => return Err(WireError::Malformed("unknown request kind")),
     };
+    // v6 appended the trace triple to query requests; pre-v6 frames (and
+    // untraced v6 ones) end at the body, so it is optional-trailing.
+    if (K_CONTAINS..=K_KNN_EX).contains(&kind) && payload.len() - c.pos == TRACE_CTX_LEN {
+        trace = Some(TraceContext {
+            trace_id: c.u64()?,
+            parent_span_id: c.u64()?,
+            sampled: c.u8()? != 0,
+        });
+    }
     c.finish()?;
-    Ok(req)
+    Ok((req, trace))
 }
 
 // ---------------------------------------------------------------------
@@ -670,6 +815,21 @@ fn truncate_metrics_text(text: &str) -> &[u8] {
 
 /// Encode a response into a complete frame (header + payload).
 pub fn encode_response(request_id: u64, resp: &Response) -> Vec<u8> {
+    encode_response_traced(request_id, resp, None)
+}
+
+/// [`encode_response`] with an optional [`SpanSummary`] appended to `Page`
+/// / `PageD` frames (v6+) — the shard-side cost report a traced request's
+/// final page carries home. Ignored for every other frame kind, so
+/// callers can thread an `Option` through unconditionally. On `Page` the
+/// `partial` flag byte is always emitted when a summary follows (the two
+/// trailers are length-distinguished: remainder 1 = flag only, 81 = flag
+/// + summary).
+pub fn encode_response_traced(
+    request_id: u64,
+    resp: &Response,
+    summary: Option<&SpanSummary>,
+) -> Vec<u8> {
     let mut p = Vec::new();
     let kind = match resp {
         Response::HelloOk { version, role } => {
@@ -733,16 +893,69 @@ pub fn encode_response(request_id: u64, resp: &Response) -> Vec<u8> {
             put_u64(&mut p, s.source_total);
             K_SHARD_INFO_OK
         }
+        Response::MetricsBinOk(snaps) => {
+            // Series count is prefixed, so truncation (to respect
+            // MAX_PAYLOAD) happens at a whole-series boundary: a clipped
+            // scrape is still a well-formed, exactly-mergeable snapshot.
+            let mut body = Vec::new();
+            let mut n = 0u32;
+            for s in snaps {
+                let mut one = Vec::new();
+                put_str16(&mut one, &s.name);
+                put_str16(&mut one, &s.labels);
+                put_str16(&mut one, &s.help);
+                match &s.value {
+                    MetricValue::Counter(v) => {
+                        one.push(0);
+                        put_u64(&mut one, *v);
+                    }
+                    MetricValue::Histogram(h) => {
+                        one.push(1);
+                        put_u64(&mut one, h.count);
+                        put_u64(&mut one, h.sum);
+                        put_u64(&mut one, h.min);
+                        put_u64(&mut one, h.max);
+                        put_u32(&mut one, h.buckets.len() as u32);
+                        for (i, cnt) in &h.buckets {
+                            put_u32(&mut one, *i);
+                            put_u64(&mut one, *cnt);
+                        }
+                    }
+                }
+                if 4 + body.len() + one.len() > MAX_PAYLOAD as usize {
+                    break;
+                }
+                body.extend_from_slice(&one);
+                n += 1;
+            }
+            put_u32(&mut p, n);
+            p.extend_from_slice(&body);
+            K_METRICS_BIN_OK
+        }
+        Response::TraceLogOk { text } => {
+            let bytes = truncate_metrics_text(text);
+            put_u32(&mut p, bytes.len() as u32);
+            p.extend_from_slice(bytes);
+            K_TRACE_LOG_OK
+        }
         Response::Page { last, ids, partial } => {
             p.push(u8::from(*last));
             put_u32(&mut p, ids.len() as u32);
             for id in ids {
                 put_u32(&mut p, *id);
             }
-            // Emitted only when set, so the common complete page stays
-            // byte-identical to its v4 encoding.
-            if *partial {
+            // The partial flag is emitted only when set, so the common
+            // complete untraced page stays byte-identical to its v4
+            // encoding — except when a summary trailer follows, where the
+            // flag byte always precedes it (remainder 81, never 80) so
+            // the two optional trailers stay length-distinguishable.
+            if summary.is_some() {
+                p.push(u8::from(*partial));
+            } else if *partial {
                 p.push(1);
+            }
+            if let Some(s) = summary {
+                put_summary(&mut p, s);
             }
             K_PAGE
         }
@@ -757,6 +970,9 @@ pub fn encode_response(request_id: u64, resp: &Response) -> Vec<u8> {
             for (id, dist) in items {
                 put_u32(&mut p, *id);
                 put_f64(&mut p, *dist);
+            }
+            if let Some(s) = summary {
+                put_summary(&mut p, s);
             }
             K_PAGE_D
         }
@@ -777,9 +993,21 @@ pub fn encode_response(request_id: u64, resp: &Response) -> Vec<u8> {
     encode_frame(kind, request_id, &p)
 }
 
-/// Decode a response payload given its header `kind`.
+/// Decode a response payload given its header `kind`, discarding any v6
+/// span-summary trailer.
 pub fn decode_response_body(kind: u8, payload: &[u8]) -> Result<Response, WireError> {
+    Ok(decode_response_body_traced(kind, payload)?.0)
+}
+
+/// Decode a response payload given its header `kind`, surfacing the v6
+/// [`SpanSummary`] trailer when the peer appended one to a `Page` /
+/// `PageD`. Pre-v6 frames (and untraced v6 replies) yield `None`.
+pub fn decode_response_body_traced(
+    kind: u8,
+    payload: &[u8],
+) -> Result<(Response, Option<SpanSummary>), WireError> {
     let mut c = Cursor::new(payload);
+    let mut summary = None;
     let resp = match kind {
         K_HELLO_OK => {
             let version = c.u8()?;
@@ -840,6 +1068,51 @@ pub fn decode_response_body(kind: u8, payload: &[u8]) -> Result<Response, WireEr
             source_objects: c.u64()?,
             source_total: c.u64()?,
         }),
+        K_METRICS_BIN_OK => {
+            let n = c.u32()? as usize;
+            let mut snaps = Vec::new();
+            for _ in 0..n {
+                let name = read_str16(&mut c)?;
+                let labels = read_str16(&mut c)?;
+                let help = read_str16(&mut c)?;
+                let value = match c.u8()? {
+                    0 => MetricValue::Counter(c.u64()?),
+                    1 => {
+                        let count = c.u64()?;
+                        let sum = c.u64()?;
+                        let min = c.u64()?;
+                        let max = c.u64()?;
+                        let nb = c.u32()? as usize;
+                        let mut buckets = Vec::new();
+                        for _ in 0..nb {
+                            buckets.push((c.u32()?, c.u64()?));
+                        }
+                        MetricValue::Histogram(HistogramSnapshot {
+                            count,
+                            sum,
+                            min,
+                            max,
+                            buckets,
+                        })
+                    }
+                    _ => return Err(WireError::Malformed("unknown metric value type")),
+                };
+                snaps.push(MetricSnapshot {
+                    name,
+                    labels,
+                    help,
+                    value,
+                });
+            }
+            Response::MetricsBinOk(snaps)
+        }
+        K_TRACE_LOG_OK => {
+            let n = c.u32()? as usize;
+            let bytes = c.take(n)?;
+            Response::TraceLogOk {
+                text: String::from_utf8_lossy(bytes).into_owned(),
+            }
+        }
         K_PAGE => {
             let last = c.u8()? != 0;
             let count = c.u32()? as usize;
@@ -851,12 +1124,18 @@ pub fn decode_response_body(kind: u8, payload: &[u8]) -> Result<Response, WireEr
                 ids.push(c.u32()?);
             }
             // v5 appended a partial-result flag, emitted only when set;
-            // every other page ends after the ids (optional-trailing).
-            let partial = if payload.len() - c.pos == 1 {
+            // v6 may follow it with an 80-byte span summary (the flag is
+            // always present when the summary is). The three layouts are
+            // length-distinguished: remainder 0 / 1 / 1+80.
+            let rem = payload.len() - c.pos;
+            let partial = if rem == 1 || rem == 1 + SPAN_SUMMARY_LEN {
                 c.u8()? != 0
             } else {
                 false
             };
+            if payload.len() - c.pos == SPAN_SUMMARY_LEN {
+                summary = Some(read_summary(&mut c)?);
+            }
             Response::Page { last, ids, partial }
         }
         K_PAGE_D => {
@@ -869,6 +1148,10 @@ pub fn decode_response_body(kind: u8, payload: &[u8]) -> Result<Response, WireEr
             let mut items = Vec::with_capacity(count);
             for _ in 0..count {
                 items.push((c.u32()?, c.f64()?));
+            }
+            // v6 span-summary trailer (optional-trailing).
+            if payload.len() - c.pos == SPAN_SUMMARY_LEN {
+                summary = Some(read_summary(&mut c)?);
             }
             Response::PageD {
                 last,
@@ -898,7 +1181,7 @@ pub fn decode_response_body(kind: u8, payload: &[u8]) -> Result<Response, WireEr
         _ => return Err(WireError::Malformed("unknown response kind")),
     };
     c.finish()?;
-    Ok(resp)
+    Ok((resp, summary))
 }
 
 // ---------------------------------------------------------------------
@@ -929,6 +1212,15 @@ pub fn read_request<R: Read>(r: &mut R) -> Result<(u64, Request), WireError> {
 
 /// Read one response frame (blocking).
 pub fn read_response<R: Read>(r: &mut R) -> Result<(u64, Response), WireError> {
+    let (id, resp, _) = read_response_traced(r)?;
+    Ok((id, resp))
+}
+
+/// Read one response frame (blocking), surfacing the v6 span-summary
+/// trailer when the server appended one to a `Page`/`PageD`.
+pub fn read_response_traced<R: Read>(
+    r: &mut R,
+) -> Result<(u64, Response, Option<SpanSummary>), WireError> {
     let mut hb = [0u8; HEADER_LEN];
     r.read_exact(&mut hb)?;
     let header = decode_header(&hb)?;
@@ -936,10 +1228,8 @@ pub fn read_response<R: Read>(r: &mut R) -> Result<(u64, Response), WireError> {
         return Err(WireError::UnsupportedVersion(header.version));
     }
     let payload = read_payload(r, &header)?;
-    Ok((
-        header.request_id,
-        decode_response_body(header.kind, &payload)?,
-    ))
+    let (resp, summary) = decode_response_body_traced(header.kind, &payload)?;
+    Ok((header.request_id, resp, summary))
 }
 
 /// Write a pre-encoded frame and flush it.
@@ -1068,6 +1358,150 @@ mod tests {
             k: 5,
             deadline_ms: 1000,
         });
+        roundtrip_request(Request::MetricsBin);
+        roundtrip_request(Request::TraceLog);
+    }
+
+    fn query_requests() -> Vec<Request> {
+        vec![
+            Request::Contains {
+                p: [1.0, 2.0, 3.0],
+                deadline_ms: 250,
+            },
+            Request::Intersect {
+                target: 9,
+                deadline_ms: NO_DEADLINE_MS,
+            },
+            Request::Within {
+                target: 3,
+                d: 0.125,
+                deadline_ms: 0,
+            },
+            Request::Nn {
+                target: 7,
+                deadline_ms: 1,
+            },
+            Request::Knn {
+                target: 0,
+                k: 17,
+                deadline_ms: 99,
+            },
+            Request::NnEx {
+                target: 4,
+                deadline_ms: NO_DEADLINE_MS,
+            },
+            Request::KnnEx {
+                target: 2,
+                k: 5,
+                deadline_ms: 1000,
+            },
+        ]
+    }
+
+    #[test]
+    fn trace_context_roundtrips_on_every_query_kind() {
+        let ctx = TraceContext {
+            trace_id: 0xDEAD_BEEF_CAFE_F00D,
+            parent_span_id: 2,
+            sampled: true,
+        };
+        for req in query_requests() {
+            let plain = encode_request(42, &req);
+            let frame = encode_request_traced(42, &req, Some(&ctx));
+            // Exactly the 17-byte triple is appended.
+            assert_eq!(frame.len(), plain.len() + TRACE_CTX_LEN, "{req:?}");
+            let payload = &frame[HEADER_LEN..];
+            let kind = frame[7];
+            let (got, trace) = decode_request_body_traced(kind, payload).unwrap();
+            assert_eq!(got, req);
+            assert_eq!(trace, Some(ctx));
+            // The trace-unaware decoder accepts the same bytes and
+            // simply discards the context.
+            assert_eq!(decode_request_body(kind, payload).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn trace_context_is_ignored_on_non_query_requests() {
+        let ctx = TraceContext {
+            trace_id: 1,
+            parent_span_id: 2,
+            sampled: true,
+        };
+        for req in [
+            Request::Health,
+            Request::Stats,
+            Request::Metrics,
+            Request::MetricsBin,
+            Request::TraceLog,
+        ] {
+            assert_eq!(
+                encode_request_traced(5, &req, Some(&ctx)),
+                encode_request(5, &req),
+                "{req:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn v5_query_frames_decode_without_trace_context() {
+        // Byte-for-byte v5 Intersect frame (no trailing triple): must
+        // decode with trace None, not reject or misparse.
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&8u32.to_le_bytes()); // payload length
+        frame.extend_from_slice(&MAGIC.to_le_bytes());
+        frame.push(5); // stamped v5
+        frame.push(0x11); // K_INTERSECT
+        frame.extend_from_slice(&21u64.to_le_bytes());
+        frame.extend_from_slice(&9u32.to_le_bytes()); // target
+        frame.extend_from_slice(&250u32.to_le_bytes()); // deadline_ms
+        let (req, trace) = decode_request_body_traced(0x11, &frame[HEADER_LEN..]).unwrap();
+        assert_eq!(
+            req,
+            Request::Intersect {
+                target: 9,
+                deadline_ms: 250,
+            }
+        );
+        assert_eq!(trace, None);
+        let mut r = frame.as_slice();
+        assert!(read_request(&mut r).is_ok(), "v5-stamped frame accepted");
+
+        // And the untraced v6 encoding of every query request is
+        // byte-identical to its v5 payload (the header version byte is
+        // the only difference) — a v5 peer parses it unchanged.
+        for req in query_requests() {
+            let frame = encode_request_traced(42, &req, None);
+            assert_eq!(frame, encode_request(42, &req), "{req:?}");
+            let (_, trace) =
+                decode_request_body_traced(frame[7], &frame[HEADER_LEN..]).unwrap();
+            assert_eq!(trace, None, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn a_16_byte_trailer_is_rejected_not_misread() {
+        // 16 trailing bytes is not a trace triple (17) — must be a
+        // trailing-bytes protocol error, never a silent partial read.
+        let mut frame = encode_request_traced(
+            1,
+            &Request::Nn {
+                target: 7,
+                deadline_ms: 1,
+            },
+            Some(&TraceContext {
+                trace_id: 1,
+                parent_span_id: 0,
+                sampled: false,
+            }),
+        );
+        frame.truncate(frame.len() - 1);
+        let n = (frame.len() - HEADER_LEN) as u32;
+        frame[..4].copy_from_slice(&n.to_le_bytes());
+        assert!(matches!(
+            decode_request_body_traced(frame[7], &frame[HEADER_LEN..]).unwrap_err(),
+            WireError::Malformed("trailing bytes in payload")
+        ));
     }
 
     #[test]
@@ -1147,6 +1581,40 @@ mod tests {
             last: true,
             partial: true,
             items: Vec::new(),
+        });
+        roundtrip_response(Response::MetricsBinOk(Vec::new()));
+        roundtrip_response(Response::MetricsBinOk(vec![
+            MetricSnapshot {
+                name: "tripro_cache_hits_total".to_string(),
+                labels: "shard=\"0\"".to_string(),
+                help: "decode cache hits".to_string(),
+                value: MetricValue::Counter(41),
+            },
+            MetricSnapshot {
+                name: "tripro_query_seconds".to_string(),
+                labels: String::new(),
+                help: "query latency".to_string(),
+                value: MetricValue::Histogram(HistogramSnapshot {
+                    count: 3,
+                    sum: 99,
+                    min: 7,
+                    max: 50,
+                    buckets: vec![(0, 1), (17, 2)],
+                }),
+            },
+            MetricSnapshot {
+                name: "tripro_empty_hist".to_string(),
+                labels: String::new(),
+                help: String::new(),
+                // The empty-histogram min sentinel must survive the wire.
+                value: MetricValue::Histogram(HistogramSnapshot::default()),
+            },
+        ]));
+        roundtrip_response(Response::TraceLogOk {
+            text: String::new(),
+        });
+        roundtrip_response(Response::TraceLogOk {
+            text: "trace 7 total=1.2ms\n  span filter\n".to_string(),
         });
         roundtrip_response(Response::Error {
             code: ErrorCode::Overloaded,
@@ -1272,6 +1740,193 @@ mod tests {
                 partial: false,
             }
         );
+    }
+
+    fn sample_summary() -> SpanSummary {
+        SpanSummary {
+            trace_id: 0xAB,
+            total_ns: 1_000_000,
+            filter_ns: 100,
+            decode_ns: 200,
+            compute_ns: 300,
+            decoded_bytes: 4096,
+            cache_hits: 3,
+            cache_misses: 1,
+            lod_rounds: 2,
+            resolved_pairs: 8,
+        }
+    }
+
+    #[test]
+    fn span_summary_roundtrips_on_both_page_kinds() {
+        let s = sample_summary();
+        for (resp, base_rem) in [
+            (
+                Response::Page {
+                    last: true,
+                    ids: vec![5, 9],
+                    partial: false,
+                },
+                // Complete page: untraced remainder 0, traced 81 (the
+                // partial byte is forced in).
+                1 + SPAN_SUMMARY_LEN,
+            ),
+            (
+                Response::Page {
+                    last: true,
+                    ids: vec![5],
+                    partial: true,
+                },
+                1 + SPAN_SUMMARY_LEN,
+            ),
+            (
+                Response::PageD {
+                    last: true,
+                    partial: false,
+                    items: vec![(3, 0.25)],
+                },
+                SPAN_SUMMARY_LEN,
+            ),
+        ] {
+            let plain = encode_response(7, &resp);
+            let frame = encode_response_traced(7, &resp, Some(&s));
+            let grew = frame.len() - plain.len();
+            assert!(
+                grew == base_rem || grew == base_rem - 1,
+                "{resp:?}: grew {grew}"
+            );
+            let (got, sum) = decode_response_body_traced(frame[7], &frame[HEADER_LEN..]).unwrap();
+            assert_eq!(got, resp);
+            assert_eq!(sum, Some(s));
+            // Trace-unaware decode of the same bytes drops the trailer.
+            assert_eq!(
+                decode_response_body(frame[7], &frame[HEADER_LEN..]).unwrap(),
+                resp
+            );
+        }
+    }
+
+    #[test]
+    fn summary_is_ignored_on_non_page_responses() {
+        let s = sample_summary();
+        for resp in [
+            Response::HealthOk,
+            Response::MetricsOk {
+                text: "x 1\n".to_string(),
+            },
+            Response::TraceLogOk {
+                text: String::new(),
+            },
+        ] {
+            assert_eq!(
+                encode_response_traced(7, &resp, Some(&s)),
+                encode_response(7, &resp),
+                "{resp:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn v5_page_frames_decode_without_summary() {
+        // Byte-for-byte v5 partial page: last + count + ids + flag byte,
+        // no summary trailer. Must decode partial=true, summary None.
+        let mut payload = Vec::new();
+        payload.push(1); // last
+        payload.extend_from_slice(&1u32.to_le_bytes());
+        payload.extend_from_slice(&9u32.to_le_bytes());
+        payload.push(1); // partial flag
+        let (resp, sum) = decode_response_body_traced(K_PAGE, &payload).unwrap();
+        assert_eq!(
+            resp,
+            Response::Page {
+                last: true,
+                ids: vec![9],
+                partial: true,
+            }
+        );
+        assert_eq!(sum, None);
+
+        // Byte-for-byte v5 PageD: no trailer.
+        let mut payload = Vec::new();
+        payload.push(1); // last
+        payload.push(0); // partial
+        payload.extend_from_slice(&1u32.to_le_bytes());
+        payload.extend_from_slice(&3u32.to_le_bytes());
+        payload.extend_from_slice(&0.25f64.to_bits().to_le_bytes());
+        let (resp, sum) = decode_response_body_traced(K_PAGE_D, &payload).unwrap();
+        assert_eq!(
+            resp,
+            Response::PageD {
+                last: true,
+                partial: false,
+                items: vec![(3, 0.25)],
+            }
+        );
+        assert_eq!(sum, None);
+
+        // And untraced v6 encodes stay byte-identical to v5 for both
+        // kinds (header version byte aside).
+        for resp in [
+            Response::Page {
+                last: true,
+                ids: vec![5, 9],
+                partial: true,
+            },
+            Response::PageD {
+                last: false,
+                partial: false,
+                items: vec![(1, 2.0)],
+            },
+        ] {
+            assert_eq!(
+                encode_response_traced(3, &resp, None),
+                encode_response(3, &resp),
+                "{resp:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_metric_value_type_is_rejected() {
+        let frame = encode_response(
+            1,
+            &Response::MetricsBinOk(vec![MetricSnapshot {
+                name: "t".to_string(),
+                labels: String::new(),
+                help: String::new(),
+                value: MetricValue::Counter(1),
+            }]),
+        );
+        let mut payload = frame[HEADER_LEN..].to_vec();
+        // The type byte sits after the three length-prefixed strings:
+        // count(4) + (2+1) + 2 + 2.
+        let type_at = 4 + 3 + 2 + 2;
+        assert_eq!(payload[type_at], 0);
+        payload[type_at] = 9;
+        assert!(matches!(
+            decode_response_body(K_METRICS_BIN_OK, &payload).unwrap_err(),
+            WireError::Malformed("unknown metric value type")
+        ));
+    }
+
+    #[test]
+    fn oversized_metric_snapshot_truncates_at_series_boundary() {
+        // Enough fat series to overflow MAX_PAYLOAD: the encoder must
+        // clip to a whole-series prefix and the result must decode.
+        let fat = MetricSnapshot {
+            name: "n".repeat(60_000),
+            labels: String::new(),
+            help: String::new(),
+            value: MetricValue::Counter(1),
+        };
+        let snaps: Vec<_> = (0..40).map(|_| fat.clone()).collect();
+        let frame = encode_response(1, &Response::MetricsBinOk(snaps));
+        assert!(frame.len() <= HEADER_LEN + MAX_PAYLOAD as usize);
+        let (resp, _) = decode_response_body_traced(K_METRICS_BIN_OK, &frame[HEADER_LEN..]).unwrap();
+        let Response::MetricsBinOk(got) = resp else {
+            panic!("not MetricsBinOk")
+        };
+        assert!(!got.is_empty() && got.len() < 40, "clipped: {}", got.len());
     }
 
     #[test]

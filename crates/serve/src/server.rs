@@ -36,9 +36,9 @@
 //! flag on a short read timeout, so no thread blocks past a drain.
 
 use crate::protocol::{
-    self, decode_header, decode_request_body, encode_response, ErrorCode, Header, NodeRole,
-    Request, Response, ShardInfoPayload, StatsExPayload, StatsPayload, HEADER_LEN, MIN_VERSION,
-    NO_DEADLINE_MS, VERSION,
+    self, decode_header, decode_request_body_traced, encode_response, encode_response_traced,
+    ErrorCode, Header, NodeRole, Request, Response, ShardInfoPayload, StatsExPayload, StatsPayload,
+    TraceContext, HEADER_LEN, MIN_VERSION, NO_DEADLINE_MS, VERSION,
 };
 use crate::shard::ShardView;
 use crate::ServeError;
@@ -49,7 +49,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use tripro::fault::{self, FaultAction};
 use tripro::obs;
 use tripro::sync::{lock, wait, Condvar, Mutex};
@@ -193,6 +193,10 @@ struct Pending {
     deadline: Deadline,
     /// Batching key: cuboid index of the target object (or point bucket).
     group: u64,
+    /// Propagated v6 trace context, when the peer sent one: the request
+    /// executes under its trace id and, if sampled, ships a span summary
+    /// back on the final reply page.
+    trace: Option<TraceContext>,
 }
 
 #[derive(Default)]
@@ -297,6 +301,17 @@ impl ConnWriter {
 
     pub(crate) fn send_response(&self, request_id: u64, resp: &Response) {
         self.send(&encode_response(request_id, resp));
+    }
+
+    /// [`Self::send_response`] with a v6 span-summary trailer attached
+    /// (only meaningful on the final `Page`/`PageD` of a sampled reply).
+    pub(crate) fn send_response_traced(
+        &self,
+        request_id: u64,
+        resp: &Response,
+        summary: Option<&obs::SpanSummary>,
+    ) {
+        self.send(&encode_response_traced(request_id, resp, summary));
     }
 }
 
@@ -847,7 +862,7 @@ fn handle_frame(
     header: &Header,
     payload: &[u8],
 ) -> bool {
-    let request = match decode_request_body(header.kind, payload) {
+    let (request, trace) = match decode_request_body_traced(header.kind, payload) {
         Ok(r) => r,
         Err(e) => {
             core.stats.record_protocol_error();
@@ -925,6 +940,22 @@ fn handle_frame(
             writer.send_response(id, &Response::StatsExOk(core.stats_ex_payload()));
             return true;
         }
+        Request::MetricsBin => {
+            writer.send_response(
+                id,
+                &Response::MetricsBinOk(obs::snapshot_registry(obs::registry())),
+            );
+            return true;
+        }
+        Request::TraceLog => {
+            writer.send_response(
+                id,
+                &Response::TraceLogOk {
+                    text: obs::render_slow_log(),
+                },
+            );
+            return true;
+        }
         Request::Shutdown => {
             writer.send_response(id, &Response::ShutdownOk);
             core.begin_shutdown();
@@ -988,6 +1019,7 @@ fn handle_frame(
         op,
         deadline: core.deadline_for(deadline_ms),
         group,
+        trace,
     };
 
     // Admission control: bounded outstanding work, shed beyond.
@@ -1095,12 +1127,23 @@ fn execute_batch(core: &Arc<Core>, mut batch: Vec<Pending>) {
 
 /// Execute a single admitted request and stream its response.
 fn serve_one(core: &Core, p: &Pending) {
-    // Root span for the whole request, keyed by the wire request id. The
-    // engine's filter/refine/decode spans nest under it; if the request
-    // exceeds the slow threshold the full tree lands in the slow log.
-    let _req = obs::tracer().request(p.request_id);
+    // Root span for the whole request, keyed by the propagated v6 trace
+    // id when the peer sent one (a coordinator's cluster-wide id), else
+    // the wire request id. The engine's filter/refine/decode spans nest
+    // under it; if the request exceeds the slow threshold the full tree
+    // lands in the slow log.
+    let trace_id = p.trace.map_or(p.request_id, |t| t.trace_id);
+    let _req = obs::tracer().request(trace_id);
+    let started = Instant::now();
+    // Per-request cost attribution: a sampled trace executes against a
+    // private stats block so its span summary reports this request's work
+    // alone; the block is merged back into the cumulative counters after
+    // execution, leaving StatsEx totals unchanged. Unsampled requests
+    // write straight to the shared block exactly as before v6.
+    let sampled = p.trace.is_some_and(|t| t.sampled) && obs::enabled();
+    let local_stats = sampled.then(ExecStats::new);
+    let stats = local_stats.as_ref().unwrap_or(&core.exec_stats);
     let qc = core.query_config(p.deadline.clone());
-    let stats = &core.exec_stats;
     let engine = Engine::new(&core.target, &core.source);
     // Panic containment: a panicking query (engine bug or injected via the
     // `serve.exec` failpoint) converts to a typed `Error::Internal` so it
@@ -1146,6 +1189,11 @@ fn serve_one(core: &Core, p: &Pending) {
             })
         }
     };
+    let summary = local_stats.map(|local| {
+        let snap = local.snapshot();
+        core.exec_stats.merge_from(&snap);
+        obs::SpanSummary::from_stats(trace_id, started.elapsed().as_nanos() as u64, &snap)
+    });
     match result {
         Ok(reply) => {
             // Contains results are target ids (full store everywhere); all
@@ -1167,8 +1215,11 @@ fn serve_one(core: &Core, p: &Pending) {
                     protocol::scored_pages_of(&items, false)
                 }
             };
-            for page in pages {
-                p.writer.send_response(p.request_id, &page);
+            let n = pages.len();
+            for (i, page) in pages.iter().enumerate() {
+                // The span summary rides the final page only.
+                let s = if i + 1 == n { summary.as_ref() } else { None };
+                p.writer.send_response_traced(p.request_id, page, s);
             }
             core.stats.record_completed();
             bump(&core.outcomes.completed);

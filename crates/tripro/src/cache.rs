@@ -514,6 +514,7 @@ impl DecodeCache {
         let took = t0.elapsed();
         stats.add_decode(took);
         stats.decodes.fetch_add(1, Ordering::Relaxed);
+        stats.add_decoded_bytes(std::mem::size_of_val(tris.as_slice()) as u64);
         obs::decode_histogram(lod).record_duration(took);
         Ok(LodData::new(tris))
     }
@@ -535,6 +536,7 @@ impl DecodeCache {
         let took = t0.elapsed();
         stats.add_decode(took);
         stats.decodes.fetch_add(1, Ordering::Relaxed);
+        stats.add_decoded_bytes(std::mem::size_of_val(tris.as_slice()) as u64);
         obs::decode_histogram(lod).record_duration(took);
         Ok(LodData::new(tris))
     }

@@ -84,7 +84,7 @@ pub use deadline::Deadline;
 pub use error::{Error, Result};
 pub use fault::{FaultAction, Trigger};
 pub use gpu::BatchExecutor;
-pub use obs::{Histogram, MetricsRegistry, TraceConfig};
+pub use obs::{CostExemplar, Histogram, MetricsRegistry, SpanSummary, TraceConfig};
 pub use pipeline::{run_pipeline, Channel};
 pub use point::PointQuery;
 pub use pool::WorkerPool;

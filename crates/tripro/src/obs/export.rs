@@ -6,8 +6,8 @@
 //! from the fine log-linear buckets ([`Histogram::count_le`]), so the
 //! exported ladder is a lossless coarsening — `_sum`/`_count` are exact.
 
-use super::histogram::Histogram;
-use super::registry::{Metric, MetricsRegistry};
+use super::histogram::{Histogram, HistogramSnapshot};
+use super::registry::{render_labels, Metric, MetricsRegistry};
 use std::fmt::Write as _;
 use std::sync::atomic::Ordering;
 
@@ -116,6 +116,153 @@ pub fn render_prometheus(reg: &MetricsRegistry) -> String {
     out
 }
 
+/// Node-label value of the exact-merged cluster aggregate series in a
+/// federated exposition.
+pub const CLUSTER_NODE: &str = "cluster";
+
+/// Plain-data value of one series: the wire-transferable form.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic counter value.
+    Counter(u64),
+    /// Full bucket image (exact-mergeable, see [`HistogramSnapshot`]).
+    Histogram(HistogramSnapshot),
+}
+
+/// Plain-data image of one registered series. Unlike the registry (which
+/// interns `&'static` names), snapshots carry owned strings so they can
+/// cross a process boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSnapshot {
+    /// Metric name (`tripro_*`).
+    pub name: String,
+    /// Canonical rendered label set (may be empty).
+    pub labels: String,
+    /// `# HELP` text.
+    pub help: String,
+    /// Current value.
+    pub value: MetricValue,
+}
+
+/// One node's scrape: the `node` label value plus every series it exported.
+pub type NodeSnapshot = (String, Vec<MetricSnapshot>);
+
+/// Snapshot every registered series as plain data — the scrape side of
+/// metrics federation (shipped over the wire as a `MetricsBin` reply).
+#[must_use]
+pub fn snapshot_registry(reg: &MetricsRegistry) -> Vec<MetricSnapshot> {
+    let mut out = Vec::new();
+    for fam in reg.families() {
+        for (labels, metric) in &fam.samples {
+            out.push(MetricSnapshot {
+                name: fam.name.to_string(),
+                labels: labels.clone(),
+                help: fam.help.to_string(),
+                value: match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.load(Ordering::Relaxed)),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                },
+            });
+        }
+    }
+    out
+}
+
+fn with_node_label(labels: &str, node: &str) -> String {
+    let node_label = render_labels(&[("node", node)]);
+    if labels.is_empty() {
+        node_label
+    } else {
+        format!("{labels},{node_label}")
+    }
+}
+
+enum Agg {
+    Counter(u64),
+    Histogram(Histogram),
+}
+
+/// Render a cluster-wide exposition from per-node scrapes. Every series
+/// gains a `node` label; per base label set, an exact aggregate series is
+/// emitted first with `node="cluster"` — counters by integer addition,
+/// histograms by lossless bucket merge ([`Histogram::merge_snapshot`]),
+/// so aggregate counts equal the sum of the per-node counts *exactly*.
+/// Each family keeps a single `# HELP`/`# TYPE` declaration; a series
+/// whose type disagrees with the family's first-seen type is skipped
+/// rather than corrupting the family.
+#[must_use]
+pub fn render_federated(nodes: &[NodeSnapshot]) -> String {
+    use std::collections::BTreeMap;
+    struct Fam {
+        help: String,
+        is_hist: bool,
+        /// base labels -> exact cross-node aggregate
+        agg: BTreeMap<String, Agg>,
+        /// (base labels, node) -> as-scraped value
+        series: BTreeMap<(String, String), MetricValue>,
+    }
+    let mut fams: BTreeMap<String, Fam> = BTreeMap::new();
+    for (node, snaps) in nodes {
+        for s in snaps {
+            let fam = fams.entry(s.name.clone()).or_insert_with(|| Fam {
+                help: s.help.clone(),
+                is_hist: matches!(s.value, MetricValue::Histogram(_)),
+                agg: BTreeMap::new(),
+                series: BTreeMap::new(),
+            });
+            if fam.is_hist != matches!(s.value, MetricValue::Histogram(_)) {
+                continue;
+            }
+            match &s.value {
+                MetricValue::Counter(v) => {
+                    let slot = fam.agg.entry(s.labels.clone()).or_insert(Agg::Counter(0));
+                    if let Agg::Counter(acc) = slot {
+                        *acc = acc.saturating_add(*v);
+                    }
+                }
+                MetricValue::Histogram(hs) => {
+                    let slot = fam
+                        .agg
+                        .entry(s.labels.clone())
+                        .or_insert_with(|| Agg::Histogram(Histogram::new()));
+                    if let Agg::Histogram(acc) = slot {
+                        acc.merge_snapshot(hs);
+                    }
+                }
+            }
+            fam.series
+                .insert((s.labels.clone(), node.clone()), s.value.clone());
+        }
+    }
+    let mut out = String::new();
+    for (name, fam) in &fams {
+        let kind = if fam.is_hist { "histogram" } else { "counter" };
+        let _ = writeln!(out, "# HELP {name} {}", fam.help);
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        for (labels, agg) in &fam.agg {
+            let lbl = with_node_label(labels, CLUSTER_NODE);
+            match agg {
+                Agg::Counter(v) => {
+                    let _ = writeln!(out, "{} {v}", sample_name(name, "", &lbl, None));
+                }
+                Agg::Histogram(h) => render_histogram(&mut out, name, &lbl, h),
+            }
+        }
+        for ((labels, node), value) in &fam.series {
+            let lbl = with_node_label(labels, node);
+            match value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{} {v}", sample_name(name, "", &lbl, None));
+                }
+                MetricValue::Histogram(hs) => {
+                    render_histogram(&mut out, name, &lbl, &hs.to_histogram());
+                }
+            }
+        }
+    }
+    out
+}
+
 fn valid_name(s: &str) -> bool {
     !s.is_empty()
         && s.chars()
@@ -165,7 +312,12 @@ pub fn validate_exposition(text: &str) -> Result<(), String> {
                 ) {
                     return Err(format!("line {n}: unknown metric type {kind:?}"));
                 }
-                declared.insert(name.to_string());
+                if !declared.insert(name.to_string()) {
+                    // A federation bug that re-declares a family per node
+                    // would otherwise scrape fine and break aggregation
+                    // downstream; reject it here.
+                    return Err(format!("line {n}: duplicate TYPE for family {name:?}"));
+                }
             } else if !rest.starts_with("HELP ") && !rest.is_empty() {
                 // Plain comments are legal; nothing to check.
             }
@@ -289,5 +441,78 @@ mod tests {
     fn bucket_and_sum_suffixes_resolve_to_declared_family() {
         let text = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 0.5\nh_count 1\n";
         validate_exposition(text).expect("suffix resolution");
+    }
+
+    #[test]
+    fn validator_rejects_duplicate_family_declarations() {
+        let text = "# TYPE t counter\nt 1\n# TYPE t counter\nt{node=\"1\"} 2\n";
+        let err = validate_exposition(text).expect_err("duplicate TYPE");
+        assert!(err.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn snapshot_registry_captures_every_series() {
+        let snaps = snapshot_registry(&populated());
+        assert_eq!(snaps.len(), 2);
+        let c = snaps
+            .iter()
+            .find(|s| s.name == "tripro_cache_hits_total")
+            .expect("counter series");
+        assert_eq!(c.labels, "shard=\"0\"");
+        assert_eq!(c.value, MetricValue::Counter(41));
+        let h = snaps
+            .iter()
+            .find(|s| s.name == "tripro_query_latency_seconds")
+            .expect("histogram series");
+        match &h.value {
+            MetricValue::Histogram(hs) => assert_eq!(hs.count, 2),
+            MetricValue::Counter(_) => panic!("histogram expected"),
+        }
+    }
+
+    #[test]
+    fn federated_rendering_merges_exactly_and_validates() {
+        let nodes: Vec<NodeSnapshot> = vec![
+            ("shard0".to_string(), snapshot_registry(&populated())),
+            ("shard1".to_string(), snapshot_registry(&populated())),
+            ("coordinator".to_string(), Vec::new()),
+        ];
+        let text = render_federated(&nodes);
+        validate_exposition(&text).expect("federated exposition validates");
+        // One declaration per family, node labels on every series.
+        assert_eq!(text.matches("# TYPE tripro_cache_hits_total").count(), 1);
+        assert!(text.contains("tripro_cache_hits_total{shard=\"0\",node=\"cluster\"} 82"));
+        assert!(text.contains("tripro_cache_hits_total{shard=\"0\",node=\"shard0\"} 41"));
+        assert!(text.contains("tripro_cache_hits_total{shard=\"0\",node=\"shard1\"} 41"));
+        // Histogram aggregate counts are the exact per-node sum.
+        let count_of = |needle: &str| -> u64 {
+            text.lines()
+                .find(|l| l.starts_with(needle))
+                .and_then(|l| l.rsplit(' ').next())
+                .and_then(|v| v.parse().ok())
+                .expect("series present")
+        };
+        let agg = count_of(
+            "tripro_query_latency_seconds_count{kind=\"intersect\",paradigm=\"FPR\",node=\"cluster\"}",
+        );
+        let s0 = count_of(
+            "tripro_query_latency_seconds_count{kind=\"intersect\",paradigm=\"FPR\",node=\"shard0\"}",
+        );
+        let s1 = count_of(
+            "tripro_query_latency_seconds_count{kind=\"intersect\",paradigm=\"FPR\",node=\"shard1\"}",
+        );
+        assert_eq!(agg, s0 + s1, "merged count equals per-node sum exactly");
+        // Same exactness on an individual bucket bound.
+        let b = |node: &str| {
+            text.lines()
+                .filter(|l| {
+                    l.starts_with("tripro_query_latency_seconds_bucket")
+                        && l.contains(&format!("node=\"{node}\""))
+                        && l.contains("le=\"1\"")
+                })
+                .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+                .sum::<u64>()
+        };
+        assert_eq!(b("cluster"), b("shard0") + b("shard1"));
     }
 }

@@ -145,6 +145,50 @@ impl Histogram {
             .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
+    /// Capture the full bucket state as plain data. The image is exact:
+    /// feeding it back through [`Histogram::merge_snapshot`] is equivalent
+    /// to [`Histogram::merge_from`] on the original histogram, which is
+    /// what lets a coordinator merge shard histograms **losslessly** across
+    /// a process boundary (the buckets travel, not a coarsened ladder).
+    /// Buckets are sparse `(index, count)` pairs in ascending index order.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n != 0).then_some((i as u32, n))
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+
+    /// Fold a snapshot into this histogram — the cross-process form of
+    /// [`Histogram::merge_from`], with the same exactness guarantee.
+    /// Out-of-range bucket indices (a newer peer with a different shape)
+    /// are ignored rather than trusted.
+    pub fn merge_snapshot(&self, s: &HistogramSnapshot) {
+        for &(i, n) in &s.buckets {
+            if let Some(b) = self.buckets.get(i as usize) {
+                if n != 0 {
+                    b.fetch_add(n, Ordering::Relaxed);
+                }
+            }
+        }
+        self.count.fetch_add(s.count, Ordering::Relaxed);
+        self.sum.fetch_add(s.sum, Ordering::Relaxed);
+        self.min.fetch_min(s.min, Ordering::Relaxed);
+        self.max.fetch_max(s.max, Ordering::Relaxed);
+    }
+
     /// The value at quantile `q` in `[0, 1]`: the upper bound of the bucket
     /// containing the sample of rank `ceil(q * count)`, clamped to the
     /// recorded max. Returns 0 for an empty histogram.
@@ -206,6 +250,41 @@ impl Histogram {
             acc = acc.saturating_add(b.load(Ordering::Relaxed));
         }
         acc
+    }
+}
+
+/// Plain-data image of a [`Histogram`] (see [`Histogram::snapshot`]).
+/// `min` carries the raw internal sentinel (`u64::MAX` when empty) so
+/// round-tripping through a snapshot never corrupts min tracking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    /// Sparse `(bucket_index, count)` pairs, ascending by index.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: Vec::new(),
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Materialise the snapshot as a standalone histogram.
+    #[must_use]
+    pub fn to_histogram(&self) -> Histogram {
+        let h = Histogram::new();
+        h.merge_snapshot(self);
+        h
     }
 }
 
@@ -321,6 +400,49 @@ mod tests {
         for q in [0.1, 0.5, 0.9, 0.99, 0.999] {
             assert_eq!(a.quantile(q), c.quantile(q), "merged quantile {q}");
         }
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_an_exact_merge() {
+        let a = Histogram::new();
+        for v in [3u64, 70, 70, 12_345, 9_999_999] {
+            a.record(v);
+        }
+        let snap = a.snapshot();
+        // Sparse, sorted, and exact on totals.
+        assert!(snap.buckets.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(snap.buckets.iter().map(|&(_, n)| n).sum::<u64>(), 5);
+        let b = snap.to_histogram();
+        assert_eq!(b.count(), a.count());
+        assert_eq!(b.sum(), a.sum());
+        assert_eq!(b.min(), a.min());
+        assert_eq!(b.max(), a.max());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(b.quantile(q), a.quantile(q));
+        }
+        // merge_snapshot == merge_from across a "process boundary".
+        let via_snapshot = Histogram::new();
+        via_snapshot.merge_snapshot(&snap);
+        let via_merge = Histogram::new();
+        via_merge.merge_from(&a);
+        assert_eq!(via_snapshot.count(), via_merge.count());
+        assert_eq!(via_snapshot.count_le(100), via_merge.count_le(100));
+        // Empty snapshot keeps the min sentinel intact.
+        let empty = Histogram::new().snapshot();
+        assert_eq!(empty, HistogramSnapshot::default());
+        let c = empty.to_histogram();
+        c.record(9);
+        assert_eq!(c.min(), 9, "sentinel min survives the roundtrip");
+        // Foreign out-of-range indices are ignored, not trusted.
+        let hostile = HistogramSnapshot {
+            count: 1,
+            sum: 1,
+            min: 1,
+            max: 1,
+            buckets: vec![(u32::MAX, 7)],
+        };
+        let d = hostile.to_histogram();
+        assert_eq!(d.count_le(u64::MAX), 0);
     }
 
     #[test]

@@ -23,11 +23,15 @@ pub mod histogram;
 pub mod registry;
 pub mod trace;
 
-pub use export::{render_prometheus, validate_exposition};
-pub use histogram::Histogram;
+pub use export::{
+    render_federated, render_prometheus, snapshot_registry, validate_exposition, MetricSnapshot,
+    MetricValue, NodeSnapshot, CLUSTER_NODE,
+};
+pub use histogram::{Histogram, HistogramSnapshot};
 pub use registry::{Metric, MetricFamily, MetricsRegistry};
 pub use trace::{
-    current_trace_id, enabled, span, span_at, span_for, tracer, SpanKind, SpanRecord, TraceConfig,
+    attach_exemplar, current_trace_id, enabled, record_remote, render_slow_log, span, span_at,
+    span_for, span_for_at, tracer, CostExemplar, SpanKind, SpanRecord, SpanSummary, TraceConfig,
     TraceRecord, Tracer,
 };
 
@@ -432,6 +436,19 @@ pub fn shard_subquery_histogram(shard: usize) -> &'static Histogram {
         })
     });
     &handles[shard.min(CACHE_SHARDS - 1)]
+}
+
+/// `tripro_trace_dropped_total{reason}` — spans/traces discarded by the
+/// tracing sinks (`ring_overwrite` when a lapped ring slot replaces an
+/// unread span, `slow_log_evict` when slow-log retention truncates).
+/// Callers pre-bind the returned handle; see `trace.rs`.
+#[must_use]
+pub fn trace_dropped_counter(reason: &'static str) -> Arc<AtomicU64> {
+    registry().counter(
+        "tripro_trace_dropped_total",
+        "Trace spans/records dropped by the ring and slow-log sinks.",
+        &[("reason", reason)],
+    )
 }
 
 /// Failed sub-queries per backend shard (transport errors, typed errors,

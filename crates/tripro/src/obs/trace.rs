@@ -28,7 +28,7 @@
 use crate::sync::{lock, Mutex};
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Sentinel for "no object id" on a span.
@@ -48,10 +48,19 @@ pub enum SpanKind {
     Decode,
     /// One LOD round of the refinement ladder.
     RefineRound,
+    /// Geometric computation stage (used when stitching a shard's wire
+    /// span summary into a coordinator trace).
+    Compute,
     /// Decode-cache miss handling (lookup + insert bookkeeping).
     CacheTouch,
     /// One worker-pool task execution (broadcast job claim).
     PoolTask,
+    /// One remote shard sub-query, stitched into a coordinator trace from
+    /// the shard's wire span summary (`object` carries the shard index).
+    Shard,
+    /// One attempt of a retrying client (`object` carries the attempt
+    /// index), so a retried request renders as one waterfall.
+    RetryAttempt,
 }
 
 impl SpanKind {
@@ -63,8 +72,11 @@ impl SpanKind {
             SpanKind::Filter => "filter",
             SpanKind::Decode => "decode",
             SpanKind::RefineRound => "refine_round",
+            SpanKind::Compute => "compute",
             SpanKind::CacheTouch => "cache_touch",
             SpanKind::PoolTask => "pool_task",
+            SpanKind::Shard => "shard",
+            SpanKind::RetryAttempt => "retry_attempt",
         }
     }
 }
@@ -99,7 +111,14 @@ impl SpanRecord {
         }
         line.push_str(self.kind.label());
         if self.object != NO_OBJECT {
-            line.push_str(&format!(" obj={}", self.object));
+            // Shard/attempt spans borrow the object field for their index;
+            // label accordingly so cluster waterfalls read naturally.
+            let key = match self.kind {
+                SpanKind::Shard => "shard",
+                SpanKind::RetryAttempt => "attempt",
+                _ => "obj",
+            };
+            line.push_str(&format!(" {key}={}", self.object));
         }
         if self.lod != NO_LOD {
             line.push_str(&format!(" lod={}", self.lod));
@@ -113,6 +132,131 @@ impl SpanRecord {
     }
 }
 
+/// Compact per-request execution summary a shard ships back on the wire
+/// (protocol v6) so the coordinator can stitch shard-local detail into its
+/// own trace without shipping whole span trees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanSummary {
+    /// The propagated trace id the work ran under.
+    pub trace_id: u64,
+    /// End-to-end request wall time on the shard (ns).
+    pub total_ns: u64,
+    /// Per-stage wall: global-index filter time (ns).
+    pub filter_ns: u64,
+    /// Per-stage wall: progressive decode time (ns).
+    pub decode_ns: u64,
+    /// Per-stage wall: geometric computation time (ns).
+    pub compute_ns: u64,
+    /// Bytes of geometry materialised by decodes.
+    pub decoded_bytes: u64,
+    /// Decode-cache hits.
+    pub cache_hits: u64,
+    /// Decode-cache misses.
+    pub cache_misses: u64,
+    /// Progressive refinement rounds executed.
+    pub lod_rounds: u64,
+    /// Object pairs resolved (pruned from further refinement).
+    pub resolved_pairs: u64,
+}
+
+impl SpanSummary {
+    /// Build a summary from a per-request stats snapshot.
+    #[must_use]
+    pub fn from_stats(trace_id: u64, total_ns: u64, s: &crate::stats::StatsSnapshot) -> Self {
+        Self {
+            trace_id,
+            total_ns,
+            filter_ns: s.filter_ns,
+            decode_ns: s.decode_ns,
+            compute_ns: s.compute_ns,
+            decoded_bytes: s.decoded_bytes,
+            cache_hits: s.cache_hits,
+            cache_misses: s.cache_misses,
+            lod_rounds: s.lod_rounds,
+            resolved_pairs: s.resolved_pairs(),
+        }
+    }
+
+    /// Decode-cache hit ratio in `[0, 1]`; 0.0 when nothing was requested.
+    #[must_use]
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Per-query cost attribution retained with a slow trace: the exemplar
+/// that links the decode-cost metrics back to a concrete trace (the
+/// margin planner's input signal — see ROADMAP).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CostExemplar {
+    /// Bytes of geometry decoded for this query (all shards).
+    pub decoded_bytes: u64,
+    /// Object pairs resolved by this query (all shards).
+    pub resolved_pairs: u64,
+    /// Decode-cache hits / misses (all shards).
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    /// Refinement rounds executed (all shards).
+    pub lod_rounds: u64,
+    /// Per-shard fanout contribution: `(shard, sub_query_wall_ns,
+    /// decoded_bytes)`, one entry per shard that worked on the query.
+    pub shards: Vec<(u32, u64, u64)>,
+}
+
+impl CostExemplar {
+    /// Decoded bytes per resolved pair; 0.0 when nothing was resolved.
+    #[must_use]
+    pub fn bytes_per_pair(&self) -> f64 {
+        if self.resolved_pairs == 0 {
+            0.0
+        } else {
+            self.decoded_bytes as f64 / self.resolved_pairs as f64
+        }
+    }
+
+    /// Decode-cache hit ratio in `[0, 1]`.
+    #[must_use]
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Render the attribution lines appended to a slow-trace tree.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "cost: {} decoded bytes / {} resolved pairs = {:.1} B/pair, \
+             cache {}/{} ({:.1}% hit), {} lod rounds",
+            self.decoded_bytes,
+            self.resolved_pairs,
+            self.bytes_per_pair(),
+            self.cache_hits,
+            self.cache_hits + self.cache_misses,
+            self.hit_ratio() * 100.0,
+            self.lod_rounds,
+        );
+        if !self.shards.is_empty() {
+            out.push_str("\nfanout:");
+            for (shard, wall_ns, bytes) in &self.shards {
+                out.push_str(&format!(
+                    " shard {shard} {:.3}ms {bytes}B;",
+                    *wall_ns as f64 / 1e6
+                ));
+            }
+        }
+        out
+    }
+}
+
 /// A retained slow request: its id, total latency and full span tree in
 /// start order.
 #[derive(Debug, Clone)]
@@ -123,10 +267,14 @@ pub struct TraceRecord {
     pub total_ns: u64,
     /// All spans of the request (root first, then by start offset).
     pub spans: Vec<SpanRecord>,
+    /// Cost attribution, when the executing layer attached one
+    /// ([`attach_exemplar`]).
+    pub exemplar: Option<CostExemplar>,
 }
 
 impl TraceRecord {
-    /// Render the whole span tree, one span per line.
+    /// Render the whole span tree, one span per line, followed by the
+    /// cost-attribution exemplar when present.
     #[must_use]
     pub fn render(&self) -> String {
         let mut out = format!(
@@ -138,6 +286,13 @@ impl TraceRecord {
         for s in &self.spans {
             out.push_str(&s.render());
             out.push('\n');
+        }
+        if let Some(ex) = &self.exemplar {
+            for line in ex.render().lines() {
+                out.push_str("  ");
+                out.push_str(line);
+                out.push('\n');
+            }
         }
         out
     }
@@ -189,7 +344,11 @@ impl SpanRing {
     fn push(&self, record: SpanRecord) {
         let i = self.cursor.fetch_add(1, Ordering::Relaxed) & (self.slots.len() - 1);
         if let Some(slot) = self.slots.get(i) {
-            *lock(slot) = Some(record);
+            if lock(slot).replace(record).is_some() {
+                // A lapped writer just discarded an unread span: make the
+                // loss visible so an undersized ring is diagnosable.
+                ring_overwrite_drops().fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -221,8 +380,25 @@ impl SlowLog {
     fn offer(&mut self, record: TraceRecord) {
         self.worst.push(record);
         self.worst.sort_by_key(|r| std::cmp::Reverse(r.total_ns));
-        self.worst.truncate(self.keep);
+        if self.worst.len() > self.keep {
+            let evicted = (self.worst.len() - self.keep) as u64;
+            self.worst.truncate(self.keep);
+            slow_log_evictions().fetch_add(evicted, Ordering::Relaxed);
+        }
     }
+}
+
+/// Pre-bound handles for the `tripro_trace_dropped_total{reason}` family:
+/// resolved once, then plain relaxed adds on the (already slow-path) drop
+/// sites.
+fn ring_overwrite_drops() -> &'static Arc<AtomicU64> {
+    static C: OnceLock<Arc<AtomicU64>> = OnceLock::new();
+    C.get_or_init(|| super::trace_dropped_counter("ring_overwrite"))
+}
+
+fn slow_log_evictions() -> &'static Arc<AtomicU64> {
+    static C: OnceLock<Arc<AtomicU64>> = OnceLock::new();
+    C.get_or_init(|| super::trace_dropped_counter("slow_log_evict"))
 }
 
 /// The global tracer: enable/disable switch, span ring and slow log.
@@ -302,6 +478,7 @@ impl Tracer {
                 depth: 0,
                 start: Instant::now(),
                 spans: Vec::with_capacity(16),
+                exemplar: None,
             });
             RequestGuard { active: true }
         })
@@ -330,6 +507,7 @@ struct ThreadCtx {
     depth: u16,
     start: Instant,
     spans: Vec<SpanRecord>,
+    exemplar: Option<CostExemplar>,
 }
 
 thread_local! {
@@ -350,6 +528,19 @@ pub fn enabled() -> bool {
     tracer().is_enabled()
 }
 
+/// Render the whole slow log as text, worst request first — the payload
+/// of a `TraceLogOk` wire reply and what `tripro trace --slow` prints.
+#[must_use]
+pub fn render_slow_log() -> String {
+    let recs = tracer().slow_log();
+    let mut out = String::new();
+    for r in &recs {
+        out.push_str(&r.render());
+        out.push('\n');
+    }
+    out
+}
+
 /// The trace id of the request context on this thread, or 0. Used to
 /// propagate ids across the pool boundary.
 #[must_use]
@@ -358,6 +549,84 @@ pub fn current_trace_id() -> u64 {
         return 0;
     }
     CTX.with(|ctx| ctx.borrow().as_ref().map_or(0, |c| c.trace_id))
+}
+
+/// Attach a per-query cost-attribution exemplar to the request context on
+/// this thread; it is retained with the trace if the request enters the
+/// slow log. Replaces any prior exemplar. Returns false (and drops the
+/// exemplar) when tracing is off or no request context is open.
+pub fn attach_exemplar(ex: CostExemplar) -> bool {
+    if !enabled() {
+        return false;
+    }
+    CTX.with(|ctx| {
+        let mut ctx = ctx.borrow_mut();
+        match ctx.as_mut() {
+            Some(c) => {
+                c.exemplar = Some(ex);
+                true
+            }
+            None => false,
+        }
+    })
+}
+
+/// Record an already-measured span into the request context on this
+/// thread — the stitching primitive for remote work: the coordinator
+/// replays each shard's wire span summary as child spans of its own
+/// trace. `started` anchors the span on the local waterfall (clamped to
+/// the request start); `extra_depth` nests synthetic children below a
+/// parent recorded the same way. Returns false when tracing is off or no
+/// request context is open.
+pub fn record_remote(
+    kind: SpanKind,
+    object: u32,
+    lod: u32,
+    started: Instant,
+    dur_ns: u64,
+    extra_depth: u16,
+) -> bool {
+    if !enabled() {
+        return false;
+    }
+    CTX.with(|ctx| {
+        let mut ctx = ctx.borrow_mut();
+        match ctx.as_mut() {
+            Some(c) => {
+                let start_ns = u64::try_from(
+                    started
+                        .saturating_duration_since(c.start)
+                        .as_nanos(),
+                )
+                .unwrap_or(0);
+                let depth = c.depth.saturating_add(1).saturating_add(extra_depth);
+                let trace_id = c.trace_id;
+                c.spans.push(SpanRecord {
+                    trace_id,
+                    kind,
+                    depth,
+                    object,
+                    lod,
+                    start_ns,
+                    dur_ns,
+                });
+                true
+            }
+            None => false,
+        }
+    })
+}
+
+/// Like [`span_for`] but with object/LOD attribution — used by the
+/// retrying client to tag each attempt (`object` = attempt index) under
+/// an explicitly propagated trace id.
+#[inline]
+#[must_use]
+pub fn span_for_at(trace_id: u64, kind: SpanKind, object: u32, lod: u32) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { state: None };
+    }
+    SpanGuard::open(kind, object, lod, trace_id)
 }
 
 /// Guard for a request-root trace context (see [`Tracer::request`]).
@@ -397,6 +666,7 @@ impl Drop for RequestGuard {
                 trace_id: ctx.trace_id,
                 total_ns,
                 spans,
+                exemplar: ctx.exemplar,
             });
         }
     }
@@ -616,6 +886,90 @@ mod tests {
                 .iter()
                 .any(|s| s.kind == SpanKind::PoolTask && s.trace_id == 0x51));
         });
+    }
+
+    #[test]
+    fn trace_drops_are_counted_by_reason() {
+        with_tracing(|| {
+            let overwrites0 = ring_overwrite_drops().load(Ordering::Relaxed);
+            let evictions0 = slow_log_evictions().load(Ordering::Relaxed);
+            // Lap the (4096-slot) ring twice: every slot past the first
+            // pass replaces a live record.
+            for _ in 0..(2 * 4096) {
+                let _g = span(SpanKind::CacheTouch);
+            }
+            assert!(
+                ring_overwrite_drops().load(Ordering::Relaxed) >= overwrites0 + 4096,
+                "lapping the ring must count overwrites"
+            );
+            // keep=4 (with_tracing config): 10 zero-threshold requests
+            // force at least 6 evictions.
+            for i in 0..10u64 {
+                let _req = tracer().request(i + 1);
+            }
+            assert!(
+                slow_log_evictions().load(Ordering::Relaxed) >= evictions0 + 6,
+                "slow-log truncation must count evictions"
+            );
+        });
+    }
+
+    #[test]
+    fn remote_spans_and_exemplar_stitch_into_the_trace() {
+        with_tracing(|| {
+            let t0 = Instant::now();
+            {
+                let _req = tracer().request(0x77);
+                assert!(record_remote(SpanKind::Shard, 2, NO_LOD, t0, 5_000_000, 0));
+                assert!(record_remote(SpanKind::Decode, NO_OBJECT, 3, t0, 2_000_000, 1));
+                assert!(attach_exemplar(CostExemplar {
+                    decoded_bytes: 4096,
+                    resolved_pairs: 8,
+                    cache_hits: 3,
+                    cache_misses: 1,
+                    lod_rounds: 2,
+                    shards: vec![(2, 5_000_000, 4096)],
+                }));
+            }
+            let slow = tracer().slow_log();
+            let t = slow
+                .iter()
+                .find(|t| t.trace_id == 0x77)
+                .expect("request retained");
+            let shard = t
+                .spans
+                .iter()
+                .find(|s| s.kind == SpanKind::Shard)
+                .expect("stitched shard span");
+            assert_eq!(shard.object, 2);
+            assert_eq!(shard.dur_ns, 5_000_000);
+            let child = t
+                .spans
+                .iter()
+                .find(|s| s.kind == SpanKind::Decode)
+                .expect("stitched child span");
+            assert_eq!(child.depth, shard.depth + 1);
+            let ex = t.exemplar.as_ref().expect("exemplar retained");
+            assert!((ex.bytes_per_pair() - 512.0).abs() < 1e-9);
+            assert!((ex.hit_ratio() - 0.75).abs() < 1e-9);
+            let rendered = t.render();
+            assert!(rendered.contains("shard=2"), "{rendered}");
+            assert!(rendered.contains("512.0 B/pair"), "{rendered}");
+            assert!(rendered.contains("fanout: shard 2"), "{rendered}");
+        });
+        // Outside a request context both primitives refuse quietly.
+        let _g = lock(&GATE);
+        tracer().set_enabled(true);
+        assert!(!record_remote(
+            SpanKind::Shard,
+            0,
+            NO_LOD,
+            Instant::now(),
+            1,
+            0
+        ));
+        assert!(!attach_exemplar(CostExemplar::default()));
+        tracer().set_enabled(false);
     }
 
     #[test]

@@ -80,6 +80,7 @@ impl<'a> PointQuery<'a> {
         for &lod in &lods {
             cfg.deadline.check()?;
             let _round = obs::span_at(SpanKind::RefineRound, id, lod as u32);
+            stats.record_lod_round();
             let geom = self.store.get(id, lod, stats)?;
             stats.record_pair_evaluated(lod);
             let t1 = Instant::now();

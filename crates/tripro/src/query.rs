@@ -347,6 +347,7 @@ impl<'a> Engine<'a> {
             }
             ctx.deadline.check()?;
             let _round = obs::span_at(SpanKind::RefineRound, obs::trace::NO_OBJECT, lod as u32);
+            stats.record_lod_round();
             let geom_t = self.target.get(t, lod, stats)?;
             let sk_t = self.target.skeleton(t);
             let mut remaining = Vec::with_capacity(candidates.len());
@@ -498,6 +499,7 @@ impl<'a> Engine<'a> {
             }
             ctx.deadline.check()?;
             let _round = obs::span_at(SpanKind::RefineRound, obs::trace::NO_OBJECT, lod as u32);
+            stats.record_lod_round();
             let geom_t = self.target.get(t, lod, stats)?;
             let sk_t = self.target.skeleton(t);
             let mut remaining = Vec::with_capacity(candidates.len());
@@ -615,6 +617,7 @@ impl<'a> Engine<'a> {
             }
             ctx.deadline.check()?;
             let _round = obs::span_at(SpanKind::RefineRound, obs::trace::NO_OBJECT, lod as u32);
+            stats.record_lod_round();
             let geom_t = self.target.get(t, lod, stats)?;
             let sk_t = self.target.skeleton(t);
             let mut next = Vec::with_capacity(candidates.len());
@@ -747,6 +750,7 @@ impl<'a> Engine<'a> {
             }
             ctx.deadline.check()?;
             let _round = obs::span_at(SpanKind::RefineRound, obs::trace::NO_OBJECT, lod as u32);
+            stats.record_lod_round();
             let geom_t = self.target.get(t, lod, stats)?;
             let sk_t = self.target.skeleton(t);
             let mut next = Vec::with_capacity(candidates.len());

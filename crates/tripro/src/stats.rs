@@ -39,6 +39,14 @@ pub struct ExecStats {
     pub cache_misses: AtomicU64,
     /// Number of object decodes performed (cache misses materialised).
     pub decodes: AtomicU64,
+    /// Bytes of geometry materialised by decodes (triangle payloads).
+    /// Decoded-bytes-per-resolved-pair is the margin planner's input
+    /// signal (ROADMAP), so it is tracked at the source rather than
+    /// estimated from decode counts.
+    pub decoded_bytes: AtomicU64,
+    /// Progressive refinement rounds executed (one per LOD the driver
+    /// actually visited, across all paradigms).
+    pub lod_rounds: AtomicU64,
     /// Pair records whose LOD exceeded [`MAX_TRACKED_LOD`] and were merged
     /// into the top bucket. Silent clamping would make the Fig 12 per-LOD
     /// breakdown lie for deep ladders; this counter is the signal.
@@ -115,6 +123,50 @@ impl ExecStats {
         self.queue_stalls[queue.min(PIPELINE_QUEUES - 1)].fetch_add(1, Ordering::Relaxed);
     }
 
+    #[inline]
+    pub fn add_decoded_bytes(&self, n: u64) {
+        self.decoded_bytes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn record_lod_round(&self) {
+        self.lod_rounds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fold a snapshot into this accumulator. Used by the serve layer to
+    /// account a per-request `ExecStats` (needed for exact per-query cost
+    /// attribution) back into the long-lived aggregate, so `StatsEx`
+    /// totals are unchanged by whether a request was traced.
+    pub fn merge_from(&self, s: &StatsSnapshot) {
+        self.filter_ns.fetch_add(s.filter_ns, Ordering::Relaxed);
+        self.decode_ns.fetch_add(s.decode_ns, Ordering::Relaxed);
+        self.compute_ns.fetch_add(s.compute_ns, Ordering::Relaxed);
+        self.face_pair_tests
+            .fetch_add(s.face_pair_tests, Ordering::Relaxed);
+        for (a, v) in self.pairs_evaluated.iter().zip(&s.pairs_evaluated) {
+            a.fetch_add(*v, Ordering::Relaxed);
+        }
+        for (a, v) in self.pairs_pruned.iter().zip(&s.pairs_pruned) {
+            a.fetch_add(*v, Ordering::Relaxed);
+        }
+        self.cache_hits.fetch_add(s.cache_hits, Ordering::Relaxed);
+        self.cache_misses.fetch_add(s.cache_misses, Ordering::Relaxed);
+        self.decodes.fetch_add(s.decodes, Ordering::Relaxed);
+        self.decoded_bytes
+            .fetch_add(s.decoded_bytes, Ordering::Relaxed);
+        self.lod_rounds.fetch_add(s.lod_rounds, Ordering::Relaxed);
+        self.lod_overflow.fetch_add(s.lod_overflow, Ordering::Relaxed);
+        for (a, v) in self.stage_ns.iter().zip(&s.stage_ns) {
+            a.fetch_add(*v, Ordering::Relaxed);
+        }
+        for (a, v) in self.stage_items.iter().zip(&s.stage_items) {
+            a.fetch_add(*v, Ordering::Relaxed);
+        }
+        for (a, v) in self.queue_stalls.iter().zip(&s.queue_stalls) {
+            a.fetch_add(*v, Ordering::Relaxed);
+        }
+    }
+
     /// Snapshot into a plain, serialisable struct.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -135,6 +187,8 @@ impl ExecStats {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             decodes: self.decodes.load(Ordering::Relaxed),
+            decoded_bytes: self.decoded_bytes.load(Ordering::Relaxed),
+            lod_rounds: self.lod_rounds.load(Ordering::Relaxed),
             lod_overflow: self.lod_overflow.load(Ordering::Relaxed),
             stage_ns: self
                 .stage_ns
@@ -167,6 +221,10 @@ pub struct StatsSnapshot {
     pub cache_hits: u64,
     pub cache_misses: u64,
     pub decodes: u64,
+    /// Bytes of geometry materialised by decodes.
+    pub decoded_bytes: u64,
+    /// Progressive refinement rounds executed.
+    pub lod_rounds: u64,
     /// Pair records clamped into the top LOD bucket (see
     /// [`ExecStats::lod_overflow`]); nonzero means `pairs_evaluated[15]` /
     /// `pairs_pruned[15]` aggregate more than one real LOD.
@@ -227,6 +285,23 @@ impl StatsSnapshot {
             0.0
         } else {
             busy as f64 / wall_ns as f64
+        }
+    }
+
+    /// Object pairs resolved (pruned from further refinement) across all
+    /// LODs — the denominator of the decoded-bytes-per-resolved-pair
+    /// attribution ratio.
+    pub fn resolved_pairs(&self) -> u64 {
+        self.pairs_pruned.iter().sum()
+    }
+
+    /// Decoded bytes per resolved pair; 0.0 when nothing was resolved.
+    pub fn bytes_per_resolved_pair(&self) -> f64 {
+        let pairs = self.resolved_pairs();
+        if pairs == 0 {
+            0.0
+        } else {
+            self.decoded_bytes as f64 / pairs as f64
         }
     }
 
@@ -440,6 +515,35 @@ mod tests {
             StatsSnapshot::default().overlap_factor(Duration::from_secs(1)),
             0.0
         );
+    }
+
+    #[test]
+    fn merge_from_folds_every_counter() {
+        let a = ExecStats::new();
+        a.add_filter(Duration::from_millis(1));
+        a.record_pair_evaluated(2);
+        a.record_pair_pruned(2);
+        a.add_decoded_bytes(100);
+        a.record_lod_round();
+        a.add_stage(0, Duration::from_millis(1));
+        a.record_stall(0);
+        let b = ExecStats::new();
+        b.add_filter(Duration::from_millis(2));
+        b.add_decoded_bytes(50);
+        b.record_lod_round();
+        b.record_lod_round();
+        b.merge_from(&a.snapshot());
+        let snap = b.snapshot();
+        assert_eq!(snap.filter_ns, 3_000_000);
+        assert_eq!(snap.pairs_evaluated[2], 1);
+        assert_eq!(snap.pairs_pruned[2], 1);
+        assert_eq!(snap.decoded_bytes, 150);
+        assert_eq!(snap.lod_rounds, 3);
+        assert_eq!(snap.stage_ns[0], 1_000_000);
+        assert_eq!(snap.queue_stalls[0], 1);
+        assert_eq!(snap.resolved_pairs(), 1);
+        assert!((snap.bytes_per_resolved_pair() - 150.0).abs() < 1e-9);
+        assert_eq!(StatsSnapshot::default().bytes_per_resolved_pair(), 0.0);
     }
 
     #[test]

@@ -5,8 +5,12 @@
 #
 #   1. the cluster answers the mixed workload byte-identically to the
 #      single engine (tripro-load --verify exits nonzero on divergence),
-#   2. per-shard scatter metrics are visible on the coordinator, and
-#   3. every process drains cleanly on a wire Shutdown frame.
+#   2. per-shard scatter metrics are visible on the coordinator,
+#   3. the coordinator's exposition is federated: per-node families
+#      (node="shard0..2") plus an exact node="cluster" aggregate,
+#   4. `tripro trace --addr` on the coordinator renders stitched cluster
+#      waterfalls with child spans from all 3 shards under one trace id,
+#   5. every process drains cleanly on a wire Shutdown frame.
 #
 # Usage: scripts/smoke_cluster.sh [port-base]   (default 3760)
 set -euo pipefail
@@ -60,7 +64,8 @@ echo "[smoke_cluster] starting 3 shards"
 i=0
 for addr in "$S1" "$S2" "$S3"; do
     "$BIN/tripro" serve --target "$WORK/store_a" --source "$WORK/store_b" \
-        --addr "$addr" --shard-index "$i" --shard-count 3 --epoch 1 &
+        --addr "$addr" --shard-index "$i" --shard-count 3 --epoch 1 \
+        --trace-slow-ms 0 &
     PIDS+=($!)
     i=$((i + 1))
 done
@@ -70,7 +75,8 @@ echo "[smoke_cluster] starting coordinator on $COORD"
 # --max-inflight above the client count so a small CI box never sheds
 # the verification workload for lack of executor slots.
 "$BIN/tripro" serve --coordinator --target "$WORK/store_a" \
-    --shards "$S1,$S2,$S3" --addr "$COORD" --epoch 1 --max-inflight 16 &
+    --shards "$S1,$S2,$S3" --addr "$COORD" --epoch 1 --max-inflight 16 \
+    --trace-slow-ms 0 &
 PIDS+=($!)
 await_port "$COORD"
 
@@ -84,6 +90,44 @@ METRICS="$WORK/metrics.txt"
 grep -q '^# TYPE tripro_shard_fanout histogram$' "$METRICS"
 grep -q 'tripro_shard_subquery_seconds' "$METRICS"
 grep -q 'tripro_merge_seconds' "$METRICS"
+
+echo "[smoke_cluster] federated exposition: per-node families + cluster aggregate"
+for node in cluster coordinator shard0 shard1 shard2; do
+    grep -q "node=\"$node\"" "$METRICS" || {
+        echo "[smoke_cluster] federated exposition is missing node=\"$node\"" >&2
+        exit 1
+    }
+done
+# Every shard must export the engine's query-latency family; the
+# coordinator (which merges, not executes) must export its merge timer.
+for node in shard0 shard1 shard2; do
+    grep 'tripro_query_latency_seconds_count{' "$METRICS" \
+        | grep -q "node=\"$node\"" || {
+        echo "[smoke_cluster] no tripro_query_latency_seconds for node=\"$node\"" >&2
+        exit 1
+    }
+done
+grep 'tripro_merge_seconds_count{' "$METRICS" | grep -q 'node="coordinator"' || {
+    echo "[smoke_cluster] no tripro_merge_seconds for node=\"coordinator\"" >&2
+    exit 1
+}
+
+echo "[smoke_cluster] cross-node trace waterfalls on the coordinator"
+TRACES="$WORK/traces.txt"
+"$BIN/tripro" trace --addr "$COORD" > "$TRACES"
+# At least one stitched record must contain a child span from every
+# shard; records are blocks starting with "trace 0x...".
+awk '
+    /^trace 0x/ { if (s0 && s1 && s2) ok = 1; s0 = s1 = s2 = 0 }
+    /shard=0/ { s0 = 1 }
+    /shard=1/ { s1 = 1 }
+    /shard=2/ { s2 = 1 }
+    END { if ((s0 && s1 && s2) || ok) exit 0; exit 1 }
+' "$TRACES" || {
+    echo "[smoke_cluster] no trace waterfall spans all 3 shards:" >&2
+    head -40 "$TRACES" >&2
+    exit 1
+}
 
 echo "[smoke_cluster] byte-identity columns in the artifact"
 grep -q '"mismatches":0' "$WORK/BENCH_cluster.json"

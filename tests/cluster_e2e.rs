@@ -192,6 +192,185 @@ fn cluster_matches_single_engine_for_all_join_kinds() {
     }
 }
 
+/// The v6 tentpole, end to end: a traced join through a 3-shard cluster
+/// must land in the coordinator's slow log as ONE stitched waterfall —
+/// a single record, under the client's trace id, with a `shard` child
+/// span for every shard that worked on the query — and the final reply
+/// page must carry the aggregated span summary back to the client.
+#[test]
+fn traced_cluster_query_stitches_one_waterfall_in_coordinator_slow_log() {
+    use tripro::obs;
+
+    let (target, source_objects) = build_stores(0x3D5A_0005);
+    let cluster = start_cluster(&target, &source_objects, 3, 1);
+    obs::tracer().configure(&tripro::TraceConfig {
+        enabled: true,
+        slow_threshold: std::time::Duration::ZERO,
+        keep: 64,
+        ..Default::default()
+    });
+
+    // A distinctive id keeps this trace separable from records emitted by
+    // tests sharing the process-global tracer.
+    let trace = tripro_serve::TraceContext {
+        trace_id: 0x7C0F_FEE0_3D5A_0005,
+        parent_span_id: 0,
+        sampled: true,
+    };
+    let mut c = Client::connect(cluster.coord.addr()).expect("connect coordinator");
+    // A kNN join fans out to every shard.
+    let reply = c
+        .query_traced(
+            &Request::Knn {
+                target: 0,
+                k: 3,
+                deadline_ms: u32::MAX,
+            },
+            Some(&trace),
+        )
+        .expect("traced cluster query");
+    assert!(matches!(reply, QueryReply::Ids(_)), "got {reply:?}");
+    let summary = c.last_summary().copied();
+    obs::tracer().set_enabled(false);
+
+    // Exactly one stitched record: the coordinator's. (In-process shard
+    // engines share the tracer, so their own records carry the same trace
+    // id — but only the coordinator's contains `shard` spans.)
+    let stitched: Vec<_> = obs::tracer()
+        .slow_log()
+        .into_iter()
+        .filter(|r| {
+            r.trace_id == trace.trace_id
+                && r.spans.iter().any(|s| matches!(s.kind, obs::SpanKind::Shard))
+        })
+        .collect();
+    assert_eq!(
+        stitched.len(),
+        1,
+        "expected one stitched coordinator record, got {stitched:#?}"
+    );
+    let rec = &stitched[0];
+    assert!(
+        rec.spans.iter().all(|s| s.trace_id == trace.trace_id),
+        "a span lost the propagated trace id: {rec:#?}"
+    );
+    let mut shards: Vec<u32> = rec
+        .spans
+        .iter()
+        .filter(|s| matches!(s.kind, obs::SpanKind::Shard))
+        .map(|s| s.object)
+        .collect();
+    shards.sort_unstable();
+    assert_eq!(
+        shards,
+        vec![0, 1, 2],
+        "waterfall must contain a child span from every shard: {}",
+        rec.render()
+    );
+
+    // Cost attribution rode along: the exemplar's fanout names all shards.
+    let ex = rec.exemplar.as_ref().expect("stitched cost exemplar");
+    let mut fanout: Vec<u32> = ex.shards.iter().map(|&(s, _, _)| s).collect();
+    fanout.sort_unstable();
+    assert_eq!(fanout, vec![0, 1, 2], "exemplar fanout incomplete: {ex:?}");
+
+    // The aggregated summary reached the client on the final reply page.
+    let summary = summary.expect("v6 reply must carry a span summary");
+    assert_eq!(summary.trace_id, trace.trace_id);
+
+    obs::tracer().clear_slow_log();
+    cluster.coord.shutdown();
+    for s in cluster.shards {
+        s.shutdown();
+    }
+}
+
+/// Federated metrics exactness: the coordinator's `Metrics` exposition
+/// scrapes every shard over `MetricsBin` and exact-merges — for every
+/// integer-valued sample (counters, histogram `_count`/`_bucket`), the
+/// `node="cluster"` aggregate equals the sum of the per-node series
+/// bit-for-bit, and the whole document validates.
+#[test]
+fn federated_metrics_aggregate_is_the_exact_sum_of_node_series() {
+    use std::collections::BTreeMap;
+
+    let (target, source_objects) = build_stores(0x3D5A_0006);
+    let cluster = start_cluster(&target, &source_objects, 3, 1);
+    let mut c = Client::connect(cluster.coord.addr()).expect("connect coordinator");
+    // Traffic first, so counters and latency histograms are non-zero.
+    for req in request_matrix(&target).into_iter().take(10) {
+        let _ = c.query(&req).expect("warm-up query");
+    }
+
+    let text = c.metrics().expect("federated metrics");
+    tripro::obs::validate_exposition(&text).expect("federated exposition must validate");
+    for node in ["cluster", "coordinator", "shard0", "shard1", "shard2"] {
+        assert!(
+            text.contains(&format!("node=\"{node}\"")),
+            "exposition is missing node=\"{node}\" series"
+        );
+    }
+
+    // Parse every integer sample into (series key without the node label)
+    // -> node -> value, then check cluster == sum(nodes) exactly.
+    let mut samples: BTreeMap<String, BTreeMap<String, u64>> = BTreeMap::new();
+    for line in text.lines() {
+        if line.starts_with('#') || line.trim().is_empty() {
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').expect("malformed sample line");
+        let (name, labels) = match series.split_once('{') {
+            Some((n, rest)) => (n, rest.trim_end_matches('}')),
+            None => (series, ""),
+        };
+        if name.ends_with("_sum") {
+            continue; // float-valued seconds; exactness asserted on integers
+        }
+        let Ok(v) = value.parse::<u64>() else {
+            continue;
+        };
+        let mut node = None;
+        let base: Vec<&str> = labels
+            .split(',')
+            .filter(|l| !l.is_empty())
+            .filter(|l| match l.strip_prefix("node=\"") {
+                Some(rest) => {
+                    node = Some(rest.trim_end_matches('"').to_string());
+                    false
+                }
+                None => true,
+            })
+            .collect();
+        let node = node.expect("federated sample without node label");
+        let key = format!("{name}{{{}}}", base.join(","));
+        samples.entry(key).or_default().insert(node, v);
+    }
+    assert!(!samples.is_empty(), "no integer samples parsed");
+
+    let mut checked = 0usize;
+    for (key, by_node) in &samples {
+        let Some(&cluster_v) = by_node.get("cluster") else {
+            panic!("{key}: no node=\"cluster\" aggregate");
+        };
+        let sum: u64 = by_node
+            .iter()
+            .filter(|(n, _)| n.as_str() != "cluster")
+            .map(|(_, &v)| v)
+            .sum();
+        assert_eq!(
+            cluster_v, sum,
+            "{key}: cluster aggregate {cluster_v} != exact per-node sum {sum} ({by_node:?})"
+        );
+        checked += 1;
+    }
+    assert!(checked > 10, "too few federated series checked ({checked})");
+
+    cluster.coord.shutdown();
+    for s in cluster.shards {
+        s.shutdown();
+    }
+}
+
 /// A coordinator must refuse a cluster whose shards were partitioned
 /// under a different epoch — mixed shard maps would silently drop pairs.
 #[test]
